@@ -1,0 +1,84 @@
+// Ablation: bandwidth-constrained ALM scheduling. The paper's Figure-7
+// report carries up/downlink estimates precisely so a task manager can
+// respect stream rates; this sweep shows what happens to tree height,
+// helper usage and feasibility as the per-link stream rate rises on the
+// Gnutella-like access population (modems cannot source even one stream;
+// T3 hosts can fan out dozens).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "pool/task_manager.h"
+
+namespace {
+
+using namespace p2p;
+
+alm::SessionSpec SpecFor(pool::ResourcePool& rp, alm::SessionId id,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto idx = rng.SampleIndices(rp.size(), 20);
+  // Root the session at its best-uplinked member — a modem host cannot
+  // source a stream to anyone, so no rational organiser roots there.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < idx.size(); ++i) {
+    if (rp.bandwidths().host(idx[i]).up_kbps >
+        rp.bandwidths().host(idx[best]).up_kbps)
+      best = i;
+  }
+  std::swap(idx[0], idx[best]);
+  alm::SessionSpec spec;
+  spec.id = id;
+  spec.priority = 1;
+  spec.root = idx[0];
+  spec.members.assign(idx.begin() + 1, idx.end());
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace p2p;
+  bench::CsvSink csv(argc, argv);
+  bench::PrintHeader(
+      "Ablation — stream-rate-constrained scheduling",
+      "an extension exercising the Figure-7 report's bandwidth fields");
+
+  util::ThreadPool threads;
+  pool::ResourcePool rp(bench::PaperConfig(83), &threads);
+
+  constexpr std::size_t kRuns = 10;
+  util::Table table({"stream_kbps", "feasible_frac", "height_ms", "helpers",
+                     "improvement"});
+  for (const double rate : {0.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0}) {
+    util::Accumulator height, helpers, impr;
+    std::size_t feasible = 0;
+    for (std::size_t run = 0; run < kRuns; ++run) {
+      pool::TaskManagerOptions opt;
+      opt.stream_kbps = rate;
+      pool::TaskManager tm(rp, SpecFor(rp, 1, 600 + run), opt);
+      const auto out = tm.Schedule();
+      if (out.ok) {
+        ++feasible;
+        height.Add(tm.current_height());
+        helpers.Add(static_cast<double>(tm.current_helpers()));
+        impr.Add(tm.CurrentImprovement());
+      }
+      tm.Teardown();
+    }
+    table.AddRow({rate,
+                  static_cast<double>(feasible) /
+                      static_cast<double>(kRuns),
+                  height.mean(), helpers.mean(), impr.mean()});
+  }
+  std::printf("%s\n", table.ToText(3).c_str());
+  std::printf(
+      "Check: unconstrained (0) is the Figure-8 regime; as the rate rises, "
+      "thin-uplink members become leaves and trees lean on high-uplink "
+      "helpers (the feasibility-rescue splice), heights grow — eventually "
+      "past the unconstrained AMCast baseline (negative improvement: the "
+      "constrained problem is strictly harder) — and at ~2 Mbps per link "
+      "even helper capacity runs out for some sessions.\n");
+  csv.Write(table, "ablation_bandwidth");
+  return 0;
+}

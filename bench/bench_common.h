@@ -1,0 +1,51 @@
+// Shared setup for the experiment harnesses: paper-sized pools, run
+// parallelisation, and consistent output formatting.
+//
+// Every harness prints the series of one paper figure (see DESIGN.md §2)
+// as an aligned text table; pass --csv <dir> to also drop CSV files for
+// external plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "pool/resource_pool.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace p2p::bench {
+
+// Paper configuration: 600-router transit-stub, 1200 end systems,
+// leafset 32, paper degree distribution.
+inline pool::PoolConfig PaperConfig(std::uint64_t seed) {
+  pool::PoolConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct CsvSink {
+  std::string dir;  // empty = disabled
+
+  explicit CsvSink(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--csv") dir = argv[i + 1];
+    }
+  }
+
+  void Write(const util::Table& table, const std::string& name) const {
+    if (dir.empty()) return;
+    const std::string path = dir + "/" + name + ".csv";
+    if (table.WriteCsv(path)) {
+      std::printf("[csv] wrote %s\n", path.c_str());
+    } else {
+      std::printf("[csv] FAILED to write %s\n", path.c_str());
+    }
+  }
+};
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("\n=== %s ===\n(reproduces %s)\n\n", title, paper_ref);
+}
+
+}  // namespace p2p::bench

@@ -1,0 +1,138 @@
+// Figure 4: CDF of relative latency-prediction error — original GNP with
+// 16/32 landmarks vs the leafset-based variant with leafset size 16/32,
+// over 1200 end systems on the paper's transit-stub topology.
+//
+// Expected shape (paper §4.1): the leafset variant with leafset 32 tracks
+// GNP with 16 landmarks closely; GNP is less sensitive to its parameter
+// than the leafset variant is to leafset size.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "coord/gnp.h"
+#include "util/ascii_chart.h"
+#include "coord/leafset_coords.h"
+#include "dht/ring.h"
+#include "net/latency_oracle.h"
+#include "net/transit_stub.h"
+
+namespace p2p {
+namespace {
+
+constexpr std::size_t kPairSamples = 8000;
+
+std::vector<double> GnpErrors(const net::LatencyOracle& oracle,
+                              std::size_t landmarks, std::uint64_t seed) {
+  std::vector<net::HostIdx> hosts(oracle.host_count());
+  for (std::size_t i = 0; i < hosts.size(); ++i) hosts[i] = i;
+  util::Rng rng(seed);
+  coord::GnpOptions opt;
+  opt.landmark_count = landmarks;
+  coord::GnpSystem gnp(oracle, hosts, opt, rng);
+  gnp.Solve();
+  util::Rng prng(seed ^ 0x1234);
+  std::vector<double> errs;
+  errs.reserve(kPairSamples);
+  while (errs.size() < kPairSamples) {
+    const auto a = prng.NextBounded(hosts.size());
+    const auto b = prng.NextBounded(hosts.size());
+    if (a == b) continue;
+    errs.push_back(
+        coord::RelativeError(gnp.Predict(a, b), gnp.Measured(a, b)));
+  }
+  return errs;
+}
+
+std::vector<double> LeafsetErrors(const net::LatencyOracle& oracle,
+                                  std::size_t leafset_size,
+                                  std::uint64_t seed) {
+  dht::Ring ring(leafset_size, &oracle);
+  for (net::HostIdx h = 0; h < oracle.host_count(); ++h) ring.JoinHashed(h);
+  ring.StabilizeAll();
+  coord::LeafsetCoordOptions opt;
+  opt.nm.max_iterations = 120;
+  util::Rng rng(seed);
+  coord::LeafsetCoordSystem cs(ring, opt, rng);
+  cs.RunRounds(8);
+  util::Rng prng(seed ^ 0x5678);
+  std::vector<double> errs;
+  errs.reserve(kPairSamples);
+  while (errs.size() < kPairSamples) {
+    const auto a = prng.NextBounded(oracle.host_count());
+    const auto b = prng.NextBounded(oracle.host_count());
+    if (a == b) continue;
+    errs.push_back(coord::RelativeError(cs.Predict(a, b),
+                                        oracle.Latency(a, b)));
+  }
+  return errs;
+}
+
+}  // namespace
+}  // namespace p2p
+
+int main(int argc, char** argv) {
+  using namespace p2p;
+  bench::CsvSink csv(argc, argv);
+  bench::PrintHeader("Figure 4 — network-coordinate accuracy (CDF)",
+                     "Fig. 4: GNP vs leafset variant, 1200 GT-ITM nodes");
+
+  util::Rng topo_rng(2026);
+  const auto topo =
+      net::GenerateTransitStub(net::TransitStubParams{}, topo_rng);
+  util::ThreadPool threads;
+  const net::LatencyOracle oracle(topo, &threads);
+
+  std::map<std::string, std::vector<double>> series;
+  series["GNP-16"] = GnpErrors(oracle, 16, 11);
+  series["GNP-32"] = GnpErrors(oracle, 32, 12);
+  series["Leafset-16"] = LeafsetErrors(oracle, 16, 13);
+  series["Leafset-32"] = LeafsetErrors(oracle, 32, 14);
+
+  // CDF table at fixed relative-error abscissae (the paper's x-axis).
+  const std::vector<double> xs = {0.05, 0.1, 0.15, 0.2, 0.3, 0.4,
+                                  0.5,  0.7, 1.0,  1.5, 2.0};
+  std::vector<std::string> header{"rel_error"};
+  for (const auto& [name, errs] : series) {
+    (void)errs;
+    header.push_back(name);
+  }
+  util::Table table(header);
+  std::map<std::string, util::EmpiricalCdf> cdfs;
+  for (const auto& [name, errs] : series) cdfs.emplace(name, errs);
+  for (const double x : xs) {
+    std::vector<util::Table::Cell> row{x};
+    for (const auto& [name, cdf] : cdfs) row.emplace_back(cdf.Eval(x));
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToText(3).c_str());
+
+  util::Table summary({"series", "mean", "p50", "p90"});
+  for (const auto& [name, errs] : series) {
+    summary.AddRow({name, util::Mean(errs), util::Percentile(errs, 50),
+                    util::Percentile(errs, 90)});
+  }
+  std::printf("%s\n", summary.ToText(3).c_str());
+
+  // Visual CDF (x = relative error, y = fraction of pairs).
+  std::vector<util::ChartSeries> chart;
+  for (const auto& [name, cdf] : cdfs) {
+    util::ChartSeries s;
+    s.name = name;
+    for (double x = 0.0; x <= 1.0; x += 0.02)
+      s.points.emplace_back(x, cdf.Eval(x));
+    chart.push_back(std::move(s));
+  }
+  util::ChartOptions copt;
+  copt.y_min = 0.0;
+  copt.y_max = 1.0;
+  std::printf("%s\n", util::RenderAsciiChart(chart, copt).c_str());
+
+  std::printf(
+      "Check: Leafset-32 should track GNP-16; larger leafset/landmark "
+      "sets should not be worse.\n");
+
+  csv.Write(table, "fig4_cdf");
+  csv.Write(summary, "fig4_summary");
+  return 0;
+}

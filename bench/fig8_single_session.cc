@@ -1,0 +1,113 @@
+// Figure 8: single-session tree-height improvement over AMCast vs group
+// size, averaged over 20 runs — the paper's headline single-session
+// result.
+//
+// Series: AMCast+adj, Critical, Critical+adj, Leafset, Leafset+adj, and
+// the theoretical Bound (root with infinite degree).
+//
+// Expected shape: resource-pool strategies gain ~30 % for small-to-medium
+// groups (paper: Leafset+adj ≈ 35 % at 20, >30 % at 100) and the gain
+// shrinks for large groups where plain AMCast already has many members to
+// work with; Bound sits at 40–50 %; adjustment is especially effective on
+// top of Leafset.
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "alm/bounds.h"
+#include "alm/critical.h"
+#include "bench/bench_common.h"
+
+namespace p2p {
+namespace {
+
+constexpr std::size_t kRuns = 20;
+const std::vector<std::size_t> kGroupSizes = {20, 50, 100, 200, 300, 400};
+
+const std::vector<alm::Strategy> kStrategies = {
+    alm::Strategy::kAmcastAdjust,   alm::Strategy::kCritical,
+    alm::Strategy::kCriticalAdjust, alm::Strategy::kLeafset,
+    alm::Strategy::kLeafsetAdjust,
+};
+
+struct CellStats {
+  util::Accumulator improvement;
+};
+
+}  // namespace
+}  // namespace p2p
+
+int main(int argc, char** argv) {
+  using namespace p2p;
+  bench::CsvSink csv(argc, argv);
+  bench::PrintHeader(
+      "Figure 8 — single ALM session: improvement over AMCast vs group "
+      "size",
+      "Fig. 8: 1200-host pool, 20 runs, R=100, degree dist 2^-i");
+
+  // improvement[strategy][group] plus the bound column.
+  std::vector<std::vector<CellStats>> stats(
+      kStrategies.size() + 1, std::vector<CellStats>(kGroupSizes.size()));
+  std::mutex mu;
+
+  util::ThreadPool threads;
+  threads.ParallelFor(kRuns, [&](std::size_t run) {
+    pool::ResourcePool rp(bench::PaperConfig(1000 + run), nullptr);
+    util::Rng rng(5000 + run);
+    for (std::size_t gi = 0; gi < kGroupSizes.size(); ++gi) {
+      const std::size_t m = kGroupSizes[gi];
+      const auto idx = rng.SampleIndices(rp.size(), m);
+      alm::PlanInput in;
+      in.degree_bounds = rp.degree_bounds();
+      in.root = idx[0];
+      in.members.assign(idx.begin() + 1, idx.end());
+      std::vector<char> is_member(rp.size(), 0);
+      for (const auto v : idx) is_member[v] = 1;
+      for (std::size_t v = 0; v < rp.size(); ++v) {
+        if (!is_member[v] && rp.degree_bound(v) >= 4)
+          in.helper_candidates.push_back(v);
+      }
+      in.true_latency = rp.TrueLatencyFn();
+      in.estimated_latency = rp.EstimatedLatencyFn();
+
+      const double base =
+          PlanSession(in, alm::Strategy::kAmcast).height_true;
+      std::vector<double> improvements;
+      improvements.reserve(kStrategies.size());
+      for (const alm::Strategy s : kStrategies) {
+        improvements.push_back(
+            alm::Improvement(base, PlanSession(in, s).height_true));
+      }
+      const double bound = alm::Improvement(
+          base, alm::IdealHeight(in.root, in.members, in.true_latency));
+
+      std::lock_guard lock(mu);
+      for (std::size_t si = 0; si < kStrategies.size(); ++si)
+        stats[si][gi].improvement.Add(improvements[si]);
+      stats[kStrategies.size()][gi].improvement.Add(bound);
+    }
+  });
+
+  std::vector<std::string> header{"group"};
+  for (const alm::Strategy s : kStrategies)
+    header.push_back(StrategyName(s));
+  header.push_back("Bound");
+  util::Table table(header);
+  for (std::size_t gi = 0; gi < kGroupSizes.size(); ++gi) {
+    std::vector<util::Table::Cell> row{
+        static_cast<long long>(kGroupSizes[gi])};
+    for (std::size_t si = 0; si <= kStrategies.size(); ++si)
+      row.emplace_back(stats[si][gi].improvement.mean());
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToText(3).c_str());
+  std::printf(
+      "Check: helper strategies (Critical/Leafset +adj) clearly beat "
+      "AMCast+adj for small-to-medium groups and the gain shrinks as the "
+      "group grows; Critical+adj approaches Bound; adjustment helps "
+      "Leafset far more than Critical. (Our absolute numbers run ~5-10 "
+      "points under the paper's because the AMCast baseline here is "
+      "stronger — see EXPERIMENTS.md E3.)\n");
+  csv.Write(table, "fig8_single_session");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// §3.2 LiquidEye self-healing experiment: run heartbeats + SOMO over the
+// simulated network, crash machines ("unplug cables"), and measure how
+// long until the root's global view covers every surviving node again.
+//
+// Expected shape: the view regenerates after a short jitter — roughly the
+// failure-detection timeout plus one or two reporting cycles — at every
+// tested failure burst size.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "dht/heartbeat.h"
+#include "net/latency_oracle.h"
+#include "net/transit_stub.h"
+#include "sim/simulation.h"
+#include "somo/somo.h"
+
+namespace p2p {
+namespace {
+
+struct RepairResult {
+  double detect_ms = -1.0;   // first failure detection after the burst
+  double recover_ms = -1.0;  // root view complete again
+};
+
+RepairResult RunBurst(std::size_t nodes, std::size_t burst,
+                      std::uint64_t seed, bool synchronized_gather) {
+  net::TransitStubParams params;
+  params.end_hosts = nodes;
+  util::Rng topo_rng(seed);
+  const auto topo = net::GenerateTransitStub(params, topo_rng);
+  const net::LatencyOracle oracle(topo);
+
+  sim::Simulation sim(seed);
+  dht::Ring ring(16, &oracle);
+  for (std::size_t h = 0; h < nodes; ++h) ring.JoinHashed(h);
+  ring.StabilizeAll();
+
+  dht::HeartbeatConfig hcfg;
+  hcfg.period_ms = 1000.0;
+  hcfg.timeout_ms = 3500.0;
+  dht::HeartbeatProtocol hb(sim, ring, hcfg);
+
+  somo::SomoConfig scfg;
+  scfg.fanout = 8;
+  scfg.report_interval_ms = 5000.0;  // the paper's 5 s cycle
+  scfg.synchronized_gather = synchronized_gather;
+  somo::SomoProtocol somo(sim, ring, scfg, [&](dht::NodeIndex n) {
+    somo::NodeReport r;
+    r.node = n;
+    r.host = ring.node(n).host();
+    r.generated_at = sim.now();
+    return r;
+  });
+  double first_detection = -1.0;
+  hb.AddFailureObserver([&](dht::NodeIndex, dht::NodeIndex, sim::Time t) {
+    if (first_detection < 0) first_detection = t;
+    somo.Rebuild();
+  });
+
+  hb.Start();
+  somo.Start();
+  sim.RunUntil(60000.0);
+  if (!somo.RootViewComplete()) return {};
+
+  // The burst: crash `burst` random nodes at once.
+  const double t0 = sim.now();
+  util::Rng pick(seed ^ 0xbeef);
+  for (std::size_t i = 0; i < burst; ++i) {
+    const auto alive = ring.SortedAlive();
+    ring.Fail(alive[pick.NextBounded(alive.size())]);
+  }
+  // Measure until the root view is regenerated: every survivor present
+  // AND the dead machines purged (a merely-stale view still lists them).
+  double recovered = -1.0;
+  while (sim.now() < t0 + 120000.0) {
+    sim.RunUntil(sim.now() + 250.0);
+    if (somo.RootViewComplete() &&
+        somo.RootReport().size() == ring.alive_count()) {
+      recovered = sim.now();
+      break;
+    }
+  }
+  RepairResult result;
+  if (first_detection >= t0) result.detect_ms = first_detection - t0;
+  if (recovered >= 0) result.recover_ms = recovered - t0;
+  return result;
+}
+
+}  // namespace
+}  // namespace p2p
+
+int main(int argc, char** argv) {
+  using namespace p2p;
+  bench::CsvSink csv(argc, argv);
+  bench::PrintHeader("SOMO self-healing (LiquidEye, §3.2)",
+                     "§3.2: view regenerates after a short jitter");
+
+  util::Table table({"nodes", "burst", "detect_ms", "recover_unsync_ms",
+                     "recover_sync_ms"});
+  for (const std::size_t burst : {1u, 4u, 8u, 16u}) {
+    util::Accumulator detect, recover_unsync, recover_sync;
+    for (std::uint64_t r = 0; r < 3; ++r) {
+      const auto u = RunBurst(128, burst, 300 + r, false);
+      if (u.detect_ms >= 0) detect.Add(u.detect_ms);
+      if (u.recover_ms >= 0) recover_unsync.Add(u.recover_ms);
+      const auto sy = RunBurst(128, burst, 300 + r, true);
+      if (sy.recover_ms >= 0) recover_sync.Add(sy.recover_ms);
+    }
+    table.AddRow({128ll, static_cast<long long>(burst), detect.mean(),
+                  recover_unsync.mean(), recover_sync.mean()});
+  }
+  std::printf("%s\n", table.ToText(0).c_str());
+  std::printf(
+      "Check: detection within the 3.5 s heartbeat timeout; synchronised "
+      "gather recovers within ~1-2 reporting cycles after detection; "
+      "unsynchronised gather needs ~depth cycles (information climbs one "
+      "level per cycle).\n");
+  csv.Write(table, "somo_repair");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figure 1 demo: an optimal degree-bounded plan over session members only,
+// versus the better plan that splices an otherwise-idle high-degree helper
+// from the resource pool ("the square node") next to the bottleneck.
+//
+//   $ ./helper_tree
+//
+// Prints both trees and their heights so the structural difference is
+// visible, then repeats the comparison on the full simulated pool.
+#include <cstdio>
+#include <vector>
+
+#include "alm/adjust.h"
+#include "alm/bounds.h"
+#include "alm/critical.h"
+#include "pool/resource_pool.h"
+
+namespace {
+
+using namespace p2p;
+
+void PrintTree(const alm::MulticastTree& tree,
+               const std::vector<char>& is_member,
+               const alm::LatencyFn& latency) {
+  const auto heights = tree.ComputeHeights(latency);
+  std::vector<std::pair<std::size_t, int>> stack{{tree.root(), 0}};
+  while (!stack.empty()) {
+    const auto [v, depth] = stack.back();
+    stack.pop_back();
+    std::printf("  %*s%c%zu  (height %.0f ms)\n", depth * 2, "",
+                is_member[v] ? 'o' : '#', v, heights[v]);
+    for (const auto c : tree.children(v)) stack.push_back({c, depth + 1});
+  }
+}
+
+// The hand-crafted Figure-1 scenario: five members 100 ms from the root
+// and 50 ms apart, with degree 2 each; one idle helper 60 ms from the
+// root and 10 ms from every member, with degree 6.
+void FigureOneScenario() {
+  std::printf("--- Figure 1, hand-crafted scenario ---\n");
+  std::printf("circles (o) are session members, # is the pool helper\n\n");
+  alm::AmcastInput in;
+  in.degree_bounds = {2, 2, 2, 2, 2, 6};
+  in.root = 0;
+  in.members = {1, 2, 3, 4};
+  auto latency = [](alm::ParticipantId a, alm::ParticipantId b) -> double {
+    if (a == b) return 0.0;
+    if (a > b) std::swap(a, b);
+    if (b == 5) return a == 0 ? 60.0 : 10.0;
+    if (a == 0) return 100.0;
+    return 50.0;
+  };
+  std::vector<char> is_member{1, 1, 1, 1, 1, 0};
+
+  const auto plain = BuildAmcastTree(in, latency);
+  std::printf("(a) members only — height %.0f ms:\n", plain.height);
+  PrintTree(plain.tree, is_member, latency);
+
+  in.helper_candidates = {5};
+  alm::AmcastOptions opt;
+  opt.selection = alm::HelperSelection::kMinimaxHeuristic;
+  const auto helped = BuildAmcastTree(in, latency, opt);
+  std::printf("\n(b) with the pool helper — height %.0f ms:\n",
+              helped.height);
+  PrintTree(helped.tree, is_member, latency);
+  std::printf("\n");
+}
+
+// The same comparison on the full simulated pool.
+void PoolScenario() {
+  std::printf("--- the same effect on the 1200-host simulated pool ---\n");
+  pool::PoolConfig cfg;
+  cfg.seed = 77;
+  cfg.build_coordinates = false;  // Critical (oracle) planning only
+  cfg.build_bandwidth_estimates = false;
+  pool::ResourcePool rp(cfg);
+
+  util::Rng rng(5);
+  const auto idx = rng.SampleIndices(rp.size(), 12);
+  alm::PlanInput in;
+  in.degree_bounds = rp.degree_bounds();
+  in.root = idx[0];
+  in.members.assign(idx.begin() + 1, idx.end());
+  std::vector<char> is_member(rp.size(), 0);
+  for (const auto v : idx) is_member[v] = 1;
+  for (std::size_t v = 0; v < rp.size(); ++v) {
+    if (!is_member[v] && rp.degree_bound(v) >= 4)
+      in.helper_candidates.push_back(v);
+  }
+  in.true_latency = rp.TrueLatencyFn();
+
+  const auto base = PlanSession(in, alm::Strategy::kAmcastAdjust);
+  const auto helped = PlanSession(in, alm::Strategy::kCriticalAdjust);
+  std::printf("members-only (AMCast+adjust): height %.1f ms\n",
+              base.height_true);
+  std::printf("with pool helpers (Critical+adjust): height %.1f ms, "
+              "%zu helpers\n",
+              helped.height_true, helped.helpers_used);
+  std::printf("improvement: %.1f %%\n",
+              100.0 * alm::Improvement(base.height_true,
+                                       helped.height_true));
+  std::printf("\nhelped tree:\n");
+  PrintTree(helped.tree, is_member, in.true_latency);
+}
+
+}  // namespace
+
+int main() {
+  FigureOneScenario();
+  PoolScenario();
+  return 0;
+}

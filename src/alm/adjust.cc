@@ -1,0 +1,148 @@
+#include "alm/adjust.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace p2p::alm {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The member attaining the maximum height (always a leaf: heights strictly
+// increase down any path because latencies are positive).
+ParticipantId HighestNode(const MulticastTree& tree,
+                          const std::vector<double>& heights) {
+  ParticipantId best = kNoParticipant;
+  for (const ParticipantId v : tree.members()) {
+    if (best == kNoParticipant || heights[v] > heights[best]) best = v;
+  }
+  return best;
+}
+
+}  // namespace
+
+AdjustStats AdjustTree(MulticastTree& tree,
+                       const std::vector<int>& degree_bounds,
+                       const LatencyFn& latency,
+                       const AdjustOptions& options) {
+  AdjustStats stats;
+  auto heights = tree.ComputeHeights(latency);
+  stats.initial_height = tree.Height(latency);
+
+  auto free_degree = [&](ParticipantId v) {
+    return degree_bounds[v] - tree.Degree(v);
+  };
+
+  for (std::size_t move = 0; move < options.max_moves; ++move) {
+    heights = tree.ComputeHeights(latency);
+    const ParticipantId x = HighestNode(tree, heights);
+    if (x == kNoParticipant || x == tree.root()) break;
+    const double current = heights[x];
+
+    // ---- move (a): reparent the highest node ---------------------------
+    ParticipantId best_parent = kNoParticipant;
+    double best_a = current;
+    if (options.enable_reparent) {
+      for (const ParticipantId w : tree.members()) {
+        if (w == x || w == tree.parent(x)) continue;
+        if (tree.InSubtree(w, x)) continue;  // would create a cycle
+        if (free_degree(w) <= 0) continue;
+        const double h = heights[w] + latency(w, x);
+        if (h < best_a) {
+          best_a = h;
+          best_parent = w;
+        }
+      }
+    }
+
+    // ---- move (b): swap the highest leaf with another leaf -------------
+    // (x is a leaf; swapping exchanges the two hosts' positions.)
+    ParticipantId best_leaf = kNoParticipant;
+    double best_b = current;
+    if (options.enable_leaf_swap && tree.IsLeaf(x)) {
+      for (const ParticipantId y : tree.members()) {
+        if (y == x || y == tree.root() || !tree.IsLeaf(y)) continue;
+        if (tree.parent(y) == x || tree.parent(x) == y) continue;
+        // After the swap x hangs under parent(y) and y under parent(x).
+        const ParticipantId px = tree.parent(x);
+        const ParticipantId py = tree.parent(y);
+        const double hx = heights[py] + latency(py, x);
+        const double hy = heights[px] + latency(px, y);
+        // Both new heights must beat the current max for a net win.
+        const double worst = std::max(hx, hy);
+        if (worst < best_b) {
+          best_b = worst;
+          best_leaf = y;
+        }
+      }
+    }
+
+    // ---- move (c): swap the subtree rooted at parent(x) ----------------
+    ParticipantId best_subtree = kNoParticipant;
+    double best_c = current;
+    const ParticipantId px =
+        tree.parent(x) == kNoParticipant ? kNoParticipant : tree.parent(x);
+    if (options.enable_subtree_swap && px != kNoParticipant &&
+        px != tree.root()) {
+      for (const ParticipantId q : tree.members()) {
+        if (q == px || q == x || q == tree.root()) continue;
+        if (tree.InSubtree(q, px) || tree.InSubtree(px, q)) continue;
+        if (tree.parent(q) == px || tree.parent(px) == q) continue;
+        // Heights inside both subtrees shift by the change in their roots'
+        // heights; evaluating the true new max needs a full recompute, so
+        // estimate with the shifted subtree maxima.
+        const ParticipantId pp = tree.parent(px);
+        const ParticipantId pq = tree.parent(q);
+        const double new_hpx = heights[pq] + latency(pq, px);
+        const double new_hq = heights[pp] + latency(pp, q);
+        const double delta_px = new_hpx - heights[px];
+        const double delta_q = new_hq - heights[q];
+        double max_px_sub = 0.0;
+        double max_q_sub = 0.0;
+        for (const ParticipantId v : tree.members()) {
+          if (tree.InSubtree(v, px)) max_px_sub = std::max(max_px_sub, heights[v]);
+          if (tree.InSubtree(v, q)) max_q_sub = std::max(max_q_sub, heights[v]);
+        }
+        const double worst =
+            std::max(max_px_sub + delta_px, max_q_sub + delta_q);
+        if (worst < best_c) {
+          best_c = worst;
+          best_subtree = q;
+        }
+      }
+    }
+
+    // ---- apply the best of the three ------------------------------------
+    const double best = std::min({best_a, best_b, best_c});
+    if (best >= current) break;  // local optimum
+    if (best == best_a && best_parent != kNoParticipant) {
+      tree.Reparent(x, best_parent);
+      ++stats.reparent_moves;
+    } else if (best == best_b && best_leaf != kNoParticipant) {
+      tree.SwapPositions(x, best_leaf);
+      ++stats.leaf_swaps;
+    } else if (best_subtree != kNoParticipant) {
+      tree.SwapSubtrees(px, best_subtree);
+      ++stats.subtree_swaps;
+    } else {
+      break;
+    }
+    // Degree bounds are preserved by construction: (a) checks free degree,
+    // (b)/(c) exchange positions without changing any node's used degree.
+    // Verify cheaply in debug builds.
+#ifndef NDEBUG
+    tree.Validate(degree_bounds);
+#endif
+    // Ties elsewhere in the tree can absorb the local gain; require strict
+    // global progress to guarantee termination before max_moves.
+    if (tree.Height(latency) >= current - 1e-12) break;
+  }
+
+  stats.final_height = tree.Height(latency);
+  P2P_CHECK(stats.final_height <= stats.initial_height + 1e-9);
+  return stats;
+}
+
+}  // namespace p2p::alm

@@ -1,0 +1,46 @@
+// Tree adjustment (paper §5.2, footnote 2): approximate a globally optimal
+// DB-MHT by hill-climbing with three move classes applied to the current
+// highest (max aggregated latency) node:
+//   (a) find a new parent for the highest node;
+//   (b) swap the highest node with another leaf node;
+//   (c) swap the sub-tree rooted at the highest node's parent with another
+//       sub-tree.
+// Moves are accepted only when they strictly reduce the tree height; the
+// loop stops at a local optimum or after `max_moves`.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "alm/tree.h"
+
+namespace p2p::alm {
+
+struct AdjustOptions {
+  bool enable_reparent = true;       // move (a)
+  bool enable_leaf_swap = true;      // move (b)
+  bool enable_subtree_swap = true;   // move (c)
+  std::size_t max_moves = 1000;
+};
+
+struct AdjustStats {
+  std::size_t reparent_moves = 0;
+  std::size_t leaf_swaps = 0;
+  std::size_t subtree_swaps = 0;
+  double initial_height = 0.0;
+  double final_height = 0.0;
+
+  std::size_t total_moves() const {
+    return reparent_moves + leaf_swaps + subtree_swaps;
+  }
+};
+
+// Adjust `tree` in place. `degree_bounds` indexed by participant id;
+// `latency` is the planning latency (decisions); the caller evaluates the
+// final height under whatever latency it cares about.
+AdjustStats AdjustTree(MulticastTree& tree,
+                       const std::vector<int>& degree_bounds,
+                       const LatencyFn& latency,
+                       const AdjustOptions& options = {});
+
+}  // namespace p2p::alm

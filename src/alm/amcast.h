@@ -1,0 +1,63 @@
+// The AMCast greedy DB-MHT heuristic (paper §5.2, Figure 6) and the
+// critical-node helper extension (the dashed box).
+//
+// AMCast grows the tree from the root: each step absorbs the pending node
+// of minimum tentative height, then relaxes the remaining nodes' tentative
+// (height, parent) against every tree member with free degree — O(N³)
+// overall.
+//
+// The critical-node extension fires when the chosen node's parent is about
+// to spend its last free degree: the builder searches the resource pool for
+// a helper h to splice between them, so the parent's fan-out effectively
+// grows. Selection criteria (paper §5.2):
+//   minimise l(h, parent(u)) + max_v l(h, v)       (condition 1)
+//   over v with parent(v) == parent(u),
+//   subject to d_bound(h) ≥ helper_min_degree      (condition 2)
+//   and l(h, parent(u)) < helper_radius R          (condition 3).
+// The simpler "nearest to parent" rule is kept as an ablation option.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "alm/tree.h"
+
+namespace p2p::alm {
+
+enum class HelperSelection {
+  kNone,             // plain AMCast
+  kNearestToParent,  // first variation in §5.2
+  kMinimaxHeuristic, // conditions 1–3 (the paper's preferred rule)
+};
+
+struct AmcastOptions {
+  HelperSelection selection = HelperSelection::kNone;
+  double helper_radius = 100.0;   // R; paper: 50–150 works well
+  int helper_min_degree = 4;      // condition 2 ("we use 4")
+};
+
+struct AmcastInput {
+  // Degree bound per participant id; ids ≥ degree_bounds.size() invalid.
+  std::vector<int> degree_bounds;
+  ParticipantId root = kNoParticipant;
+  // Session members M(s), excluding the root.
+  std::vector<ParticipantId> members;
+  // Helper candidates H from the resource pool (disjoint from members and
+  // root); only consulted when options.selection != kNone.
+  std::vector<ParticipantId> helper_candidates;
+};
+
+struct AmcastResult {
+  MulticastTree tree;
+  double height = 0.0;           // under the planning latency
+  std::size_t helpers_used = 0;  // helper nodes spliced into the tree
+};
+
+// Build a DB-MHT tree. `latency` is the planning latency (oracle for
+// "Critical", coordinate estimate for "Leafset"); callers evaluate the
+// resulting tree under the true latency separately.
+AmcastResult BuildAmcastTree(const AmcastInput& input,
+                             const LatencyFn& latency,
+                             const AmcastOptions& options = {});
+
+}  // namespace p2p::alm

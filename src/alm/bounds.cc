@@ -1,0 +1,25 @@
+#include "alm/bounds.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace p2p::alm {
+
+double IdealHeight(ParticipantId root,
+                   const std::vector<ParticipantId>& members,
+                   const LatencyFn& latency) {
+  double worst = 0.0;
+  for (const ParticipantId v : members) {
+    if (v == root) continue;
+    worst = std::max(worst, latency(root, v));
+  }
+  return worst;
+}
+
+double Improvement(double base_height, double alg_height) {
+  P2P_CHECK_MSG(base_height > 0.0, "baseline height must be positive");
+  return (base_height - alg_height) / base_height;
+}
+
+}  // namespace p2p::alm

@@ -1,0 +1,22 @@
+// Theoretical bound for the DB-MHT improvement metric (paper §5.2): "the
+// upper bound is the latency between the furthest node to the root,
+// corresponding to the ideal performance if the root has degree of
+// infinity" — i.e. a star topology.
+#pragma once
+
+#include <vector>
+
+#include "alm/tree.h"
+
+namespace p2p::alm {
+
+// Height of the ideal (unbounded-degree) tree: max over members of
+// l(root, v).
+double IdealHeight(ParticipantId root,
+                   const std::vector<ParticipantId>& members,
+                   const LatencyFn& latency);
+
+// The paper's improvement metric: (H_base − H_alg) / H_base.
+double Improvement(double base_height, double alg_height);
+
+}  // namespace p2p::alm

@@ -1,0 +1,86 @@
+#include "alm/critical.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace p2p::alm {
+
+std::string StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kAmcast: return "AMCast";
+    case Strategy::kAmcastAdjust: return "AMCast+adj";
+    case Strategy::kCritical: return "Critical";
+    case Strategy::kCriticalAdjust: return "Critical+adj";
+    case Strategy::kLeafset: return "Leafset";
+    case Strategy::kLeafsetAdjust: return "Leafset+adj";
+  }
+  return "?";
+}
+
+bool StrategyUsesHelpers(Strategy s) {
+  return s != Strategy::kAmcast && s != Strategy::kAmcastAdjust;
+}
+
+bool StrategyUsesAdjust(Strategy s) {
+  return s == Strategy::kAmcastAdjust || s == Strategy::kCriticalAdjust ||
+         s == Strategy::kLeafsetAdjust;
+}
+
+bool StrategyUsesEstimates(Strategy s) {
+  return s == Strategy::kLeafset || s == Strategy::kLeafsetAdjust;
+}
+
+PlanResult PlanSession(const PlanInput& input, Strategy strategy) {
+  P2P_CHECK(input.true_latency != nullptr);
+  P2P_CHECK_MSG(!StrategyUsesEstimates(strategy) ||
+                    input.estimated_latency != nullptr,
+                "Leafset strategies need an estimated latency");
+
+  // Planning latency: true for oracle strategies; hybrid for Leafset.
+  LatencyFn planning = input.true_latency;
+  if (StrategyUsesEstimates(strategy)) {
+    std::vector<char> is_member(input.degree_bounds.size(), 0);
+    is_member[input.root] = 1;
+    for (const ParticipantId m : input.members) is_member[m] = 1;
+    planning = [is_member = std::move(is_member),
+                truth = input.true_latency,
+                est = input.estimated_latency](ParticipantId a,
+                                               ParticipantId b) {
+      return (is_member[a] && is_member[b]) ? truth(a, b) : est(a, b);
+    };
+  }
+
+  AmcastInput ain;
+  ain.degree_bounds = input.degree_bounds;
+  ain.root = input.root;
+  ain.members = input.members;
+  if (StrategyUsesHelpers(strategy))
+    ain.helper_candidates = input.helper_candidates;
+
+  AmcastOptions aopt = input.amcast;
+  aopt.selection = StrategyUsesHelpers(strategy)
+                       ? (input.amcast.selection == HelperSelection::kNone
+                              ? HelperSelection::kMinimaxHeuristic
+                              : input.amcast.selection)
+                       : HelperSelection::kNone;
+
+  AmcastResult built = BuildAmcastTree(ain, planning, aopt);
+
+  PlanResult result{std::move(built.tree), 0.0, 0.0, built.helpers_used, {}};
+  if (StrategyUsesAdjust(strategy)) {
+    // Adjustment always runs on TRUE latencies: by this point every tree
+    // node — helpers included — has been contacted to reserve its degree,
+    // so the session can measure the actual delays among its (small) tree
+    // membership. This is why the paper finds adjustment "remarkably
+    // effective especially for Leafset": it repairs the damage done by
+    // coordinate-estimate errors during helper selection.
+    result.adjust_stats = AdjustTree(result.tree, input.degree_bounds,
+                                     input.true_latency, input.adjust);
+  }
+  result.height_planning = result.tree.Height(planning);
+  result.height_true = result.tree.Height(input.true_latency);
+  return result;
+}
+
+}  // namespace p2p::alm

@@ -1,0 +1,61 @@
+// Named planning strategies for an ALM session — the six lines of the
+// paper's Figure 8 plus the theoretical bound:
+//   AMCast            greedy DB-MHT over M(s) only
+//   AMCast+adjust     ... followed by tree adjustment
+//   Critical          helper recruitment with oracle pairwise latency
+//   Critical+adjust
+//   Leafset           helper recruitment with coordinate-estimated latency
+//   Leafset+adjust    (the practical algorithm the paper recommends)
+//
+// The Leafset strategies plan with a hybrid latency: session members know
+// their true pairwise latencies (a small group can measure directly), while
+// any pair involving a helper candidate is judged through the coordinate
+// estimate — "the one used the leafset estimation for vicinity judgment".
+// Every strategy's resulting tree is evaluated under the TRUE latency.
+#pragma once
+
+#include <string>
+
+#include "alm/adjust.h"
+#include "alm/amcast.h"
+#include "alm/session.h"
+
+namespace p2p::alm {
+
+enum class Strategy {
+  kAmcast,
+  kAmcastAdjust,
+  kCritical,
+  kCriticalAdjust,
+  kLeafset,
+  kLeafsetAdjust,
+};
+
+std::string StrategyName(Strategy s);
+bool StrategyUsesHelpers(Strategy s);
+bool StrategyUsesAdjust(Strategy s);
+bool StrategyUsesEstimates(Strategy s);
+
+struct PlanInput {
+  std::vector<int> degree_bounds;  // by participant id
+  ParticipantId root = kNoParticipant;
+  std::vector<ParticipantId> members;  // excluding root
+  std::vector<ParticipantId> helper_candidates;
+  LatencyFn true_latency;
+  // Coordinate-based estimate; required only for Leafset strategies.
+  LatencyFn estimated_latency;
+  AmcastOptions amcast;   // helper_radius / helper_min_degree knobs
+  AdjustOptions adjust;
+};
+
+struct PlanResult {
+  MulticastTree tree;
+  double height_true = 0.0;      // evaluated with true latency
+  double height_planning = 0.0;  // evaluated with the planning latency
+  std::size_t helpers_used = 0;
+  AdjustStats adjust_stats;
+};
+
+PlanResult PlanSession(const PlanInput& input, Strategy strategy);
+
+}  // namespace p2p::alm

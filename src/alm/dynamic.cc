@@ -1,0 +1,169 @@
+#include "alm/dynamic.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace p2p::alm {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+DynamicSession::DynamicSession(MulticastTree tree,
+                               std::vector<int> degree_bounds,
+                               std::vector<ParticipantId> helpers_in_tree,
+                               LatencyFn latency,
+                               DynamicSessionOptions options)
+    : tree_(std::move(tree)), degree_bounds_(std::move(degree_bounds)),
+      latency_(std::move(latency)), options_(options) {
+  P2P_CHECK(degree_bounds_.size() == tree_.participant_space());
+  P2P_CHECK(latency_ != nullptr);
+  tree_.Validate(degree_bounds_);
+  is_helper_.assign(tree_.participant_space(), 0);
+  for (const ParticipantId h : helpers_in_tree) {
+    P2P_CHECK_MSG(tree_.Contains(h), "helper " << h << " not in the tree");
+    is_helper_[h] = 1;
+  }
+}
+
+std::size_t DynamicSession::helpers_in_tree() const {
+  std::size_t n = 0;
+  for (const ParticipantId v : tree_.members()) n += is_helper_[v];
+  return n;
+}
+
+int DynamicSession::FreeDegree(ParticipantId v) const {
+  return degree_bounds_[v] - tree_.Degree(v);
+}
+
+ParticipantId DynamicSession::BestParent(
+    ParticipantId v, ParticipantId exclude_subtree) const {
+  const auto heights = tree_.ComputeHeights(latency_);
+  ParticipantId best = kNoParticipant;
+  double best_height = kInf;
+  for (const ParticipantId w : tree_.members()) {
+    if (w == v || FreeDegree(w) <= 0) continue;
+    if (exclude_subtree != kNoParticipant &&
+        tree_.InSubtree(w, exclude_subtree))
+      continue;
+    const double h = heights[w] + latency_(w, v);
+    if (h < best_height) {
+      best_height = h;
+      best = w;
+    }
+  }
+  return best;
+}
+
+bool DynamicSession::Join(
+    ParticipantId v, const std::vector<ParticipantId>& helper_candidates) {
+  P2P_CHECK(v < tree_.participant_space());
+  P2P_CHECK_MSG(!tree_.Contains(v), "node " << v << " already in session");
+  const ParticipantId parent = BestParent(v, kNoParticipant);
+  if (parent == kNoParticipant) return false;
+
+  // Critical-node trigger: the chosen parent is about to spend its last
+  // free degree — try to splice a helper (conditions 1–3 with v as the
+  // only prospective child).
+  if (options_.amcast.selection != HelperSelection::kNone &&
+      FreeDegree(parent) == 1 && !helper_candidates.empty()) {
+    ParticipantId h = kNoParticipant;
+    double best_score = kInf;
+    for (const ParticipantId c : helper_candidates) {
+      if (tree_.Contains(c)) continue;
+      if (degree_bounds_[c] < options_.amcast.helper_min_degree) continue;
+      const double to_parent = latency_(c, parent);
+      if (to_parent >= options_.amcast.helper_radius) continue;
+      double score = to_parent;
+      if (options_.amcast.selection == HelperSelection::kMinimaxHeuristic)
+        score += latency_(c, v);
+      if (score < best_score) {
+        best_score = score;
+        h = c;
+      }
+    }
+    if (h != kNoParticipant) {
+      tree_.AddChild(parent, h);
+      tree_.AddChild(h, v);
+      is_helper_[h] = 1;
+      ++helpers_recruited_;
+      ++joins_;
+      MaybeAdjust();
+      return true;
+    }
+  }
+
+  tree_.AddChild(parent, v);
+  ++joins_;
+  MaybeAdjust();
+  return true;
+}
+
+bool DynamicSession::Leave(ParticipantId v) {
+  P2P_CHECK_MSG(tree_.Contains(v), "node " << v << " not in session");
+  P2P_CHECK_MSG(v != tree_.root(), "the root cannot leave");
+
+  // Re-home every child subtree. Plan all moves first so a failure leaves
+  // the tree untouched.
+  const std::vector<ParticipantId> kids = tree_.children(v);
+  // Detaching v frees one degree at its parent; simulate that by allowing
+  // v's parent as a target with its post-departure free degree. For
+  // simplicity, re-home iteratively and roll back on failure.
+  std::vector<std::pair<ParticipantId, ParticipantId>> moves;  // (child, old parent)
+  for (const ParticipantId c : kids) {
+    // Parent candidates: anywhere outside c's subtree, except v itself.
+    const auto heights = tree_.ComputeHeights(latency_);
+    ParticipantId best = kNoParticipant;
+    double best_height = kInf;
+    for (const ParticipantId w : tree_.members()) {
+      if (w == v || w == c || tree_.InSubtree(w, c)) continue;
+      if (FreeDegree(w) <= 0) continue;
+      const double h = heights[w] + latency_(w, c);
+      if (h < best_height) {
+        best_height = h;
+        best = w;
+      }
+    }
+    if (best == kNoParticipant) {
+      // Roll back the moves done so far.
+      for (auto it = moves.rbegin(); it != moves.rend(); ++it)
+        tree_.Reparent(it->first, it->second);
+      return false;
+    }
+    tree_.Reparent(c, best);
+    moves.emplace_back(c, v);
+  }
+  P2P_DCHECK(tree_.IsLeaf(v));
+  tree_.RemoveLeaf(v);
+  ++leaves_;
+  PruneChildlessHelpers();
+  MaybeAdjust();
+  return true;
+}
+
+void DynamicSession::PruneChildlessHelpers() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const ParticipantId v : tree_.members()) {
+      if (is_helper_[v] && tree_.IsLeaf(v) && v != tree_.root()) {
+        tree_.RemoveLeaf(v);
+        is_helper_[v] = 0;
+        ++helpers_pruned_;
+        changed = true;
+        break;  // members() invalidated
+      }
+    }
+  }
+}
+
+void DynamicSession::MaybeAdjust() {
+  if (!options_.adjust_after_change) return;
+  AdjustTree(tree_, degree_bounds_, latency_, options_.adjust);
+#ifndef NDEBUG
+  tree_.Validate(degree_bounds_);
+#endif
+}
+
+}  // namespace p2p::alm

@@ -1,0 +1,83 @@
+// Dynamic session membership — the extension §5 of the paper flags as
+// straightforward ("the algorithm can be extended to accommodate dynamic
+// membership as well").
+//
+// A DynamicSession wraps a planned multicast tree and supports incremental
+// Join and Leave without replanning from scratch:
+//  * Join attaches the newcomer under its best feasible parent (the same
+//    greedy rule AMCast uses), firing the critical-node helper search when
+//    that parent is about to spend its last degree.
+//  * Leave re-homes the departing node's children greedily (each subtree
+//    moves under the best feasible parent outside itself), then prunes
+//    helper nodes left without children — helpers only ever exist to
+//    serve members.
+// After each change an optional local adjustment pass restores tree
+// quality.
+#pragma once
+
+#include <vector>
+
+#include "alm/adjust.h"
+#include "alm/amcast.h"
+#include "alm/tree.h"
+
+namespace p2p::alm {
+
+struct DynamicSessionOptions {
+  AmcastOptions amcast;  // helper selection knobs for joins
+  AdjustOptions adjust;
+  bool adjust_after_change = true;
+};
+
+class DynamicSession {
+ public:
+  // `tree` is an already-planned session tree; `helpers_in_tree` lists the
+  // tree nodes that are pool helpers (prunable when childless); `latency`
+  // is the planning latency.
+  DynamicSession(MulticastTree tree, std::vector<int> degree_bounds,
+                 std::vector<ParticipantId> helpers_in_tree,
+                 LatencyFn latency, DynamicSessionOptions options = {});
+
+  const MulticastTree& tree() const { return tree_; }
+  double Height() const { return tree_.Height(latency_); }
+  bool IsHelper(ParticipantId v) const { return is_helper_.at(v); }
+  std::size_t helpers_in_tree() const;
+
+  // Attach `v` (not currently in the tree). Helper candidates are pool
+  // nodes available for recruitment right now. Returns false when no
+  // feasible parent exists (every tree node full and no helper applies).
+  bool Join(ParticipantId v,
+            const std::vector<ParticipantId>& helper_candidates = {});
+
+  // Detach member `v` (not the root). Children are re-homed; childless
+  // helpers are pruned transitively. Returns false when some child cannot
+  // be re-homed (degree bounds too tight), in which case the tree is
+  // unchanged.
+  bool Leave(ParticipantId v);
+
+  std::size_t joins() const { return joins_; }
+  std::size_t leaves() const { return leaves_; }
+  std::size_t helpers_recruited() const { return helpers_recruited_; }
+  std::size_t helpers_pruned() const { return helpers_pruned_; }
+
+ private:
+  int FreeDegree(ParticipantId v) const;
+  // Best feasible parent for `v` by resulting height; `exclude_subtree`
+  // (optional) bars parents inside a moving subtree.
+  ParticipantId BestParent(ParticipantId v,
+                           ParticipantId exclude_subtree) const;
+  void PruneChildlessHelpers();
+  void MaybeAdjust();
+
+  MulticastTree tree_;
+  std::vector<int> degree_bounds_;
+  std::vector<char> is_helper_;
+  LatencyFn latency_;
+  DynamicSessionOptions options_;
+  std::size_t joins_ = 0;
+  std::size_t leaves_ = 0;
+  std::size_t helpers_recruited_ = 0;
+  std::size_t helpers_pruned_ = 0;
+};
+
+}  // namespace p2p::alm

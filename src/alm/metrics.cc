@@ -1,0 +1,72 @@
+#include "alm/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace p2p::alm {
+
+TreeMetrics ComputeTreeMetrics(const MulticastTree& tree,
+                               const LatencyFn& latency,
+                               const BandwidthFn& bandwidth) {
+  P2P_CHECK(latency != nullptr);
+  TreeMetrics m;
+  const auto heights = tree.ComputeHeights(latency);
+
+  util::Accumulator height_acc;
+  double bottleneck = std::numeric_limits<double>::infinity();
+  bool any_edge = false;
+
+  // BFS for hop depth.
+  std::vector<std::pair<ParticipantId, std::size_t>> queue{
+      {tree.root(), 0}};
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const auto [v, hops] = queue[head++];
+    m.depth_hops = std::max(m.depth_hops, hops);
+    m.max_fanout = std::max(m.max_fanout, tree.children(v).size());
+    for (const ParticipantId c : tree.children(v)) {
+      const double l = latency(v, c);
+      m.total_edge_ms += l;
+      m.max_link_ms = std::max(m.max_link_ms, l);
+      any_edge = true;
+      if (bandwidth != nullptr)
+        bottleneck = std::min(bottleneck, bandwidth(v, c));
+      queue.push_back({c, hops + 1});
+    }
+    if (v != tree.root()) {
+      height_acc.Add(heights[v]);
+      m.max_height_ms = std::max(m.max_height_ms, heights[v]);
+    }
+  }
+  m.mean_height_ms = height_acc.mean();
+  m.height_stddev_ms = height_acc.stddev();
+  m.bottleneck_kbps =
+      (bandwidth != nullptr && any_edge) ? bottleneck : 0.0;
+  return m;
+}
+
+std::string TreeToDot(const MulticastTree& tree, const LatencyFn& latency,
+                      const std::vector<char>& is_helper) {
+  P2P_CHECK(latency != nullptr);
+  std::ostringstream os;
+  os << "digraph alm_tree {\n  rankdir=TB;\n";
+  for (const ParticipantId v : tree.members()) {
+    const bool helper = v < is_helper.size() && is_helper[v];
+    os << "  n" << v << " [label=\"" << v << "\", shape="
+       << (helper ? "box" : (v == tree.root() ? "doublecircle" : "circle"))
+       << "];\n";
+  }
+  for (const ParticipantId v : tree.members()) {
+    for (const ParticipantId c : tree.children(v)) {
+      os << "  n" << v << " -> n" << c << " [label=\""
+         << static_cast<long long>(latency(v, c) + 0.5) << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace p2p::alm

@@ -1,0 +1,43 @@
+// Tree quality metrics beyond DB-MHT's max height. §5.1 lists the
+// alternative QoS criteria — "bandwidth bottleneck, maximal latency or
+// variance of latencies" — and this module computes all of them for a
+// planned tree, so benches and applications can evaluate a plan under
+// whichever objective matters to them.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "alm/tree.h"
+
+namespace p2p::alm {
+
+// Per-directed-link available bandwidth (kbps), e.g. bound to
+// net::BandwidthModel::PathBottleneckKbps.
+using BandwidthFn = std::function<double(ParticipantId, ParticipantId)>;
+
+struct TreeMetrics {
+  double max_height_ms = 0.0;    // the DB-MHT objective
+  double mean_height_ms = 0.0;   // over non-root members
+  double height_stddev_ms = 0.0; // §5.1's "variance of latencies"
+  double total_edge_ms = 0.0;    // tree cost (sum of link latencies)
+  double max_link_ms = 0.0;      // longest single hop
+  std::size_t max_fanout = 0;    // busiest node's child count
+  std::size_t depth_hops = 0;    // deepest node in hop count
+  // Minimum over tree links of the link's available bandwidth; the rate
+  // the session can sustain end-to-end (0 when no BandwidthFn given or
+  // the tree has no edges).
+  double bottleneck_kbps = 0.0;
+};
+
+// Compute all metrics under `latency` (and `bandwidth`, if provided).
+TreeMetrics ComputeTreeMetrics(const MulticastTree& tree,
+                               const LatencyFn& latency,
+                               const BandwidthFn& bandwidth = nullptr);
+
+// Graphviz DOT rendering of the tree: members as circles, nodes in
+// `helpers` as boxes, edges labelled with their latency.
+std::string TreeToDot(const MulticastTree& tree, const LatencyFn& latency,
+                      const std::vector<char>& is_helper = {});
+
+}  // namespace p2p::alm

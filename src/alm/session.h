@@ -1,0 +1,33 @@
+// ALM session descriptor shared by the single-session planner and the
+// multi-session market scheduler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alm/tree.h"
+
+namespace p2p::alm {
+
+using SessionId = std::int64_t;
+
+struct SessionSpec {
+  SessionId id = 0;
+  // Paper §5.3: integer priority 1..3, 1 highest.
+  int priority = 1;
+  ParticipantId root = kNoParticipant;
+  // Original member set M(s), excluding the root.
+  std::vector<ParticipantId> members;
+  // Activity window (ms of simulated time); end < start means "forever".
+  double start_ms = 0.0;
+  double end_ms = -1.0;
+
+  // Members including the root.
+  std::vector<ParticipantId> AllMembers() const {
+    std::vector<ParticipantId> all{root};
+    all.insert(all.end(), members.begin(), members.end());
+    return all;
+  }
+};
+
+}  // namespace p2p::alm

@@ -1,0 +1,191 @@
+#include "alm/tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace p2p::alm {
+
+MulticastTree::MulticastTree(std::size_t participant_count)
+    : parent_(participant_count, kNoParticipant),
+      children_(participant_count) {}
+
+bool MulticastTree::Contains(ParticipantId v) const {
+  P2P_CHECK(v < parent_.size());
+  return parent_[v] != kNoParticipant;
+}
+
+void MulticastTree::SetRoot(ParticipantId r) {
+  P2P_CHECK_MSG(root_ == kNoParticipant, "root already set");
+  P2P_CHECK(r < parent_.size());
+  root_ = r;
+  parent_[r] = r;  // root is its own parent (sentinel for "in tree")
+  members_.push_back(r);
+  ++member_count_;
+}
+
+void MulticastTree::AddChild(ParticipantId parent, ParticipantId v) {
+  P2P_CHECK_MSG(Contains(parent), "parent " << parent << " not in tree");
+  P2P_CHECK_MSG(!Contains(v), "node " << v << " already in tree");
+  parent_[v] = parent;
+  children_[parent].push_back(v);
+  members_.push_back(v);
+  ++member_count_;
+}
+
+void MulticastTree::Reparent(ParticipantId v, ParticipantId new_parent) {
+  P2P_CHECK(Contains(v) && v != root_);
+  P2P_CHECK(Contains(new_parent));
+  P2P_CHECK_MSG(!InSubtree(new_parent, v),
+                "reparenting " << v << " under its own descendant");
+  auto& sibs = children_[parent_[v]];
+  sibs.erase(std::find(sibs.begin(), sibs.end(), v));
+  parent_[v] = new_parent;
+  children_[new_parent].push_back(v);
+}
+
+void MulticastTree::SwapPositions(ParticipantId a, ParticipantId b) {
+  P2P_CHECK(Contains(a) && Contains(b));
+  if (a == b) return;
+  P2P_CHECK_MSG(parent_[a] != b && parent_[b] != a,
+                "cannot swap a parent with its direct child");
+  P2P_CHECK_MSG(a != root_ && b != root_, "cannot swap the root");
+
+  const ParticipantId pa = parent_[a];
+  const ParticipantId pb = parent_[b];
+  // Swap the parent links (careful when a and b are siblings: swapping the
+  // two entries in one child list must not match the freshly written one).
+  if (pa == pb) {
+    auto& cs = children_[pa];
+    std::iter_swap(std::find(cs.begin(), cs.end(), a),
+                   std::find(cs.begin(), cs.end(), b));
+  } else {
+    auto replace_child = [&](ParticipantId p, ParticipantId from,
+                             ParticipantId to) {
+      auto& cs = children_[p];
+      *std::find(cs.begin(), cs.end(), from) = to;
+    };
+    replace_child(pa, a, b);
+    replace_child(pb, b, a);
+    parent_[a] = pb;
+    parent_[b] = pa;
+  }
+  // Swap the children lists; their members' parent pointers follow.
+  std::swap(children_[a], children_[b]);
+  for (const ParticipantId c : children_[a]) parent_[c] = a;
+  for (const ParticipantId c : children_[b]) parent_[c] = b;
+}
+
+void MulticastTree::SwapSubtrees(ParticipantId a, ParticipantId b) {
+  P2P_CHECK(Contains(a) && Contains(b));
+  P2P_CHECK(a != b);
+  P2P_CHECK_MSG(a != root_ && b != root_, "cannot swap the root's subtree");
+  P2P_CHECK_MSG(!InSubtree(a, b) && !InSubtree(b, a),
+                "subtree swap between ancestor and descendant");
+  const ParticipantId pa = parent_[a];
+  const ParticipantId pb = parent_[b];
+  if (pa == pb) return;  // same parent: the swap changes nothing
+  auto& ca = children_[pa];
+  auto& cb = children_[pb];
+  *std::find(ca.begin(), ca.end(), a) = b;
+  *std::find(cb.begin(), cb.end(), b) = a;
+  parent_[a] = pb;
+  parent_[b] = pa;
+}
+
+void MulticastTree::RemoveLeaf(ParticipantId v) {
+  P2P_CHECK(Contains(v));
+  P2P_CHECK_MSG(v != root_, "cannot remove the root");
+  P2P_CHECK_MSG(children_[v].empty(), "node " << v << " has children");
+  auto& sibs = children_[parent_[v]];
+  sibs.erase(std::find(sibs.begin(), sibs.end(), v));
+  parent_[v] = kNoParticipant;
+  members_.erase(std::find(members_.begin(), members_.end(), v));
+  --member_count_;
+}
+
+ParticipantId MulticastTree::parent(ParticipantId v) const {
+  P2P_CHECK(Contains(v));
+  return v == root_ ? kNoParticipant : parent_[v];
+}
+
+const std::vector<ParticipantId>& MulticastTree::children(
+    ParticipantId v) const {
+  P2P_CHECK(Contains(v));
+  return children_[v];
+}
+
+int MulticastTree::Degree(ParticipantId v) const {
+  P2P_CHECK(Contains(v));
+  return static_cast<int>(children_[v].size()) + (v == root_ ? 0 : 1);
+}
+
+bool MulticastTree::IsLeaf(ParticipantId v) const {
+  P2P_CHECK(Contains(v));
+  return children_[v].empty();
+}
+
+bool MulticastTree::InSubtree(ParticipantId v, ParticipantId ancestor) const {
+  P2P_CHECK(Contains(v) && Contains(ancestor));
+  ParticipantId cur = v;
+  for (;;) {
+    if (cur == ancestor) return true;
+    if (cur == root_) return false;
+    cur = parent_[cur];
+  }
+}
+
+std::vector<double> MulticastTree::ComputeHeights(
+    const LatencyFn& latency) const {
+  std::vector<double> h(parent_.size(), 0.0);
+  // members_ is insertion-ordered but Reparent/SwapPositions break the
+  // parent-before-child property, so walk top-down via BFS from the root.
+  if (root_ == kNoParticipant) return h;
+  std::vector<ParticipantId> queue{root_};
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const ParticipantId v = queue[head++];
+    for (const ParticipantId c : children_[v]) {
+      h[c] = h[v] + latency(v, c);
+      queue.push_back(c);
+    }
+  }
+  P2P_CHECK_MSG(queue.size() == member_count_, "tree contains a cycle");
+  return h;
+}
+
+double MulticastTree::Height(const LatencyFn& latency) const {
+  const auto h = ComputeHeights(latency);
+  double best = 0.0;
+  for (const ParticipantId v : members_) best = std::max(best, h[v]);
+  return best;
+}
+
+void MulticastTree::Validate(const std::vector<int>& degree_bounds) const {
+  P2P_CHECK(root_ != kNoParticipant);
+  P2P_CHECK(degree_bounds.size() == parent_.size());
+  std::size_t counted = 0;
+  for (ParticipantId v = 0; v < parent_.size(); ++v) {
+    if (!Contains(v)) {
+      P2P_CHECK_MSG(children_[v].empty(), "non-member " << v << " has children");
+      continue;
+    }
+    ++counted;
+    P2P_CHECK_MSG(Degree(v) <= degree_bounds[v],
+                  "node " << v << " degree " << Degree(v) << " exceeds bound "
+                          << degree_bounds[v]);
+    for (const ParticipantId c : children_[v])
+      P2P_CHECK_MSG(parent_[c] == v, "broken parent link at " << c);
+    if (v != root_) {
+      P2P_CHECK_MSG(Contains(parent_[v]), "orphan node " << v);
+      const auto& sibs = children_[parent_[v]];
+      P2P_CHECK_MSG(std::count(sibs.begin(), sibs.end(), v) == 1,
+                    "child-list inconsistency at " << v);
+    }
+  }
+  P2P_CHECK(counted == member_count_);
+  // Acyclicity + connectivity via the BFS in ComputeHeights.
+  (void)ComputeHeights([](ParticipantId, ParticipantId) { return 1.0; });
+}
+
+}  // namespace p2p::alm

@@ -1,0 +1,89 @@
+// Multicast tree representation for the degree-bounded minimum-height tree
+// (DB-MHT) problem of paper §5.1.
+//
+// Participants live in a dense index space 0..P-1 (session members plus
+// helper candidates); a tree spans a subset of them. "Height" of a node is
+// its aggregated latency from the root (Definition 1); the tree's height is
+// the maximum over its nodes, attained at some leaf.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace p2p::alm {
+
+using ParticipantId = std::size_t;
+inline constexpr ParticipantId kNoParticipant =
+    static_cast<ParticipantId>(-1);
+
+// Pairwise latency used for planning. Both the oracle ("Critical") and the
+// coordinate estimate ("Leafset") plug in here.
+using LatencyFn = std::function<double(ParticipantId, ParticipantId)>;
+
+class MulticastTree {
+ public:
+  // `participant_count` sizes the index space; nodes join via SetRoot /
+  // AddChild.
+  explicit MulticastTree(std::size_t participant_count);
+
+  std::size_t participant_space() const { return parent_.size(); }
+  std::size_t size() const { return member_count_; }
+  bool Contains(ParticipantId v) const;
+
+  ParticipantId root() const { return root_; }
+  void SetRoot(ParticipantId r);
+
+  // Attach `v` (not yet in the tree) under `parent` (already in the tree).
+  void AddChild(ParticipantId parent, ParticipantId v);
+
+  // Re-attach `v` (already in the tree, not the root) under `new_parent`.
+  // `new_parent` must not be in v's subtree.
+  void Reparent(ParticipantId v, ParticipantId new_parent);
+
+  // Exchange the tree positions of two members (used by adjust move (b):
+  // "swap the highest node with another leaf node"). Each takes over the
+  // other's parent and children.
+  void SwapPositions(ParticipantId a, ParticipantId b);
+
+  // Exchange the parent edges of two subtree roots (adjust move (c)):
+  // each keeps its own children, so the whole subtrees move. Neither may
+  // be the root or an ancestor of the other.
+  void SwapSubtrees(ParticipantId a, ParticipantId b);
+
+  // Detach a childless non-root member from the tree (dynamic-membership
+  // support; interior departures first re-home their children).
+  void RemoveLeaf(ParticipantId v);
+
+  ParticipantId parent(ParticipantId v) const;
+  const std::vector<ParticipantId>& children(ParticipantId v) const;
+
+  // Tree degree: incident tree edges (children + parent link for non-root).
+  int Degree(ParticipantId v) const;
+  bool IsLeaf(ParticipantId v) const;
+
+  // True iff `ancestor` lies on the root path of `v` (inclusive of v).
+  bool InSubtree(ParticipantId v, ParticipantId ancestor) const;
+
+  // Members in insertion order (root first).
+  const std::vector<ParticipantId>& members() const { return members_; }
+
+  // Aggregated-latency heights for every member; index by participant id
+  // (non-members hold 0). Root has height 0.
+  std::vector<double> ComputeHeights(const LatencyFn& latency) const;
+  // Max over members of the height (the DB-MHT objective).
+  double Height(const LatencyFn& latency) const;
+
+  // Structural + degree validation; throws util::CheckError on violation.
+  // `degree_bounds` indexed by participant id.
+  void Validate(const std::vector<int>& degree_bounds) const;
+
+ private:
+  ParticipantId root_ = kNoParticipant;
+  std::vector<ParticipantId> parent_;  // kNoParticipant = not in tree
+  std::vector<std::vector<ParticipantId>> children_;
+  std::vector<ParticipantId> members_;
+  std::size_t member_count_ = 0;
+};
+
+}  // namespace p2p::alm

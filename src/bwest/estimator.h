@@ -1,0 +1,65 @@
+// Leafset bandwidth estimator (paper §4.2): a node's upstream bottleneck
+// bandwidth is estimated as the MAXIMUM of the measured bottlenecks from
+// itself to its leafset members (each limited by min(own uplink, member
+// downlink)); its downstream estimate is the maximum of the measured
+// bottlenecks from the members to itself. With enough leafset members, some
+// member's downlink exceeds the node's uplink and the uplink estimate
+// becomes exact.
+#pragma once
+
+#include <vector>
+
+#include "bwest/packet_pair.h"
+#include "dht/heartbeat.h"
+#include "dht/ring.h"
+
+namespace p2p::bwest {
+
+struct BandwidthEstimate {
+  double up_kbps = 0.0;
+  double down_kbps = 0.0;
+  std::size_t up_samples = 0;
+  std::size_t down_samples = 0;
+};
+
+class BandwidthEstimator {
+ public:
+  BandwidthEstimator(const dht::Ring& ring, const net::BandwidthModel& model,
+                     PacketPairOptions options, util::Rng& rng);
+
+  // Synchronous mode: every alive node probes every leafset member once in
+  // each direction and folds the results in.
+  void EstimateAll();
+
+  // Event-driven mode: each heartbeat delivery doubles as a padded
+  // back-to-back pair, i.e. one probe of (sender → receiver); the receiver
+  // folds the measurement into both its own downlink estimate and (via the
+  // piggybacked reply the paper describes) the sender's uplink estimate.
+  void AttachTo(dht::HeartbeatProtocol& heartbeat);
+
+  const BandwidthEstimate& estimate(dht::NodeIndex n) const {
+    return estimates_.at(n);
+  }
+
+  // True capacities of the host behind node n.
+  double TrueUpKbps(dht::NodeIndex n) const;
+  double TrueDownKbps(dht::NodeIndex n) const;
+
+  // |est − true| / true for the given node (requires ≥1 sample).
+  double UpRelativeError(dht::NodeIndex n) const;
+  double DownRelativeError(dht::NodeIndex n) const;
+
+  // Fraction of alive-node pairs whose uplink ranking by estimate matches
+  // the ranking by true capacity ("the ranking is 100 % correct", §4.2).
+  double UpRankingAccuracy() const;
+
+ private:
+  void FoldProbe(dht::NodeIndex from, dht::NodeIndex to, double measured);
+
+  const dht::Ring& ring_;
+  const net::BandwidthModel& model_;
+  PacketPairProbe probe_;
+  std::vector<BandwidthEstimate> estimates_;
+};
+
+}  // namespace p2p::bwest

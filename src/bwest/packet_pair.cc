@@ -1,0 +1,36 @@
+#include "bwest/packet_pair.h"
+
+#include "util/check.h"
+
+namespace p2p::bwest {
+
+PacketPairProbe::PacketPairProbe(const net::BandwidthModel& model,
+                                 PacketPairOptions options, util::Rng& rng)
+    : model_(model), options_(options), rng_(rng) {
+  P2P_CHECK(options_.packet_bytes > 0.0);
+  P2P_CHECK(options_.dispersion_noise >= 0.0 &&
+            options_.dispersion_noise < 1.0);
+}
+
+double PacketPairProbe::IdealDispersionMs(std::size_t from_host,
+                                          std::size_t to_host) const {
+  const double bottleneck_kbps =
+      model_.PathBottleneckKbps(from_host, to_host);
+  // S bits / (kbps * 1000 bits/s) seconds → ms. kbps = kilobit/s.
+  const double bits = options_.packet_bytes * 8.0;
+  return bits / (bottleneck_kbps * 1000.0) * 1000.0;
+}
+
+double PacketPairProbe::MeasureKbps(std::size_t from_host,
+                                    std::size_t to_host) {
+  ++probes_;
+  double dispersion_ms = IdealDispersionMs(from_host, to_host);
+  if (options_.dispersion_noise > 0.0) {
+    dispersion_ms *= rng_.Uniform(1.0 - options_.dispersion_noise,
+                                  1.0 + options_.dispersion_noise);
+  }
+  const double bits = options_.packet_bytes * 8.0;
+  return bits / (dispersion_ms / 1000.0) / 1000.0;
+}
+
+}  // namespace p2p::bwest

@@ -1,0 +1,47 @@
+// Packet-pair bottleneck-bandwidth measurement (paper §4.2, after Lai [21]):
+// two back-to-back packets of size S traverse the path; the receiver
+// measures their dispersion T, which the bottleneck link stretches to
+// T = S / bottleneck, and estimates bottleneck = S / T.
+//
+// The simulated path's true bottleneck follows the paper's last-hop
+// assumption: min(uplink(sender), downlink(receiver)). Optional
+// cross-traffic noise perturbs the measured dispersion multiplicatively.
+#pragma once
+
+#include "net/bandwidth_model.h"
+#include "util/rng.h"
+
+namespace p2p::bwest {
+
+struct PacketPairOptions {
+  double packet_bytes = 1500.0;  // paper: heartbeats padded to ~1.5 KB
+  // Relative dispersion jitter from cross traffic: measured T is scaled by
+  // a factor uniform in [1-noise, 1+noise]. Cross traffic can only ever
+  // *increase* dispersion on real networks, but receiver timestamp
+  // quantisation cuts both ways; a symmetric jitter keeps the estimator
+  // unbiased, which is what the paper's near-zero error curves assume.
+  double dispersion_noise = 0.0;
+};
+
+class PacketPairProbe {
+ public:
+  PacketPairProbe(const net::BandwidthModel& model, PacketPairOptions options,
+                  util::Rng& rng);
+
+  // One probe of the directed path from → to; returns the estimated
+  // bottleneck bandwidth in kbps.
+  double MeasureKbps(std::size_t from_host, std::size_t to_host);
+
+  // Dispersion (ms) a probe of this path would observe, before noise.
+  double IdealDispersionMs(std::size_t from_host, std::size_t to_host) const;
+
+  std::size_t probes_sent() const { return probes_; }
+
+ private:
+  const net::BandwidthModel& model_;
+  PacketPairOptions options_;
+  util::Rng& rng_;
+  std::size_t probes_ = 0;
+};
+
+}  // namespace p2p::bwest

@@ -1,0 +1,111 @@
+#include "coord/gnp.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace p2p::coord {
+
+double RelativeError(double predicted, double measured) {
+  P2P_CHECK_MSG(measured > 0.0, "measured latency must be positive");
+  return std::abs(predicted - measured) / measured;
+}
+
+GnpSystem::GnpSystem(const net::LatencyOracle& oracle,
+                     std::vector<net::HostIdx> hosts, GnpOptions options,
+                     util::Rng& rng)
+    : oracle_(oracle), hosts_(std::move(hosts)), options_(options) {
+  P2P_CHECK(options_.dimensions > 0);
+  P2P_CHECK_MSG(options_.landmark_count >= options_.dimensions + 1,
+                "need at least d+1 landmarks to fix a d-dim embedding");
+  P2P_CHECK(hosts_.size() >= options_.landmark_count);
+  coords_.resize(hosts_.size());
+  for (auto& c : coords_) {
+    c.resize(options_.dimensions);
+    for (double& v : c) v = rng.Uniform(0.0, options_.init_range);
+  }
+  SelectLandmarks(rng);
+}
+
+void GnpSystem::SelectLandmarks(util::Rng& rng) {
+  const std::size_t k = options_.landmark_count;
+  if (!options_.greedy_landmarks) {
+    const auto idx = rng.SampleIndices(hosts_.size(), k);
+    landmarks_.assign(idx.begin(), idx.end());
+    return;
+  }
+  // Greedy max-min: start from a random host, repeatedly add the host whose
+  // minimum latency to the chosen set is largest ("well-distributed"
+  // landmarks, as GNP prescribes).
+  landmarks_.clear();
+  landmarks_.push_back(rng.NextBounded(hosts_.size()));
+  std::vector<double> min_dist(hosts_.size(), net::kInfLatency);
+  while (landmarks_.size() < k) {
+    const std::size_t last = landmarks_.back();
+    std::size_t best = hosts_.size();
+    double best_dist = -1.0;
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      if (std::find(landmarks_.begin(), landmarks_.end(), i) !=
+          landmarks_.end())
+        continue;
+      min_dist[i] = std::min(min_dist[i], Measured(i, last));
+      if (min_dist[i] > best_dist) {
+        best_dist = min_dist[i];
+        best = i;
+      }
+    }
+    P2P_CHECK(best < hosts_.size());
+    landmarks_.push_back(best);
+  }
+}
+
+void GnpSystem::SolveLandmarks() {
+  // Coordinate descent: sweep the landmarks, each minimising the summed
+  // squared relative error against measured inter-landmark latencies while
+  // the others stay fixed. (The original GNP solves the joint k×d problem
+  // with one big simplex; per-landmark sweeps reach the same fixed point
+  // far more robustly at k=16..32.)
+  for (std::size_t round = 0; round < options_.landmark_rounds; ++round) {
+    for (const std::size_t li : landmarks_) {
+      auto objective = [&](const Vec& x) {
+        double err = 0.0;
+        for (const std::size_t lj : landmarks_) {
+          if (lj == li) continue;
+          const double meas = Measured(li, lj);
+          const double pred = Distance(x, coords_[lj]);
+          const double rel = (pred - meas) / meas;
+          err += rel * rel;
+        }
+        return err;
+      };
+      Vec x = coords_[li];
+      Minimize(objective, x, options_.nm);
+      coords_[li] = std::move(x);
+    }
+  }
+}
+
+void GnpSystem::SolveHost(std::size_t i) {
+  if (std::find(landmarks_.begin(), landmarks_.end(), i) != landmarks_.end())
+    return;  // landmark coordinates are already solved
+  auto objective = [&](const Vec& x) {
+    double err = 0.0;
+    for (const std::size_t lj : landmarks_) {
+      const double meas = Measured(i, lj);
+      const double pred = Distance(x, coords_[lj]);
+      const double rel = (pred - meas) / meas;
+      err += rel * rel;
+    }
+    return err;
+  };
+  Vec x = coords_[i];
+  Minimize(objective, x, options_.nm);
+  coords_[i] = std::move(x);
+}
+
+void GnpSystem::Solve() {
+  SolveLandmarks();
+  for (std::size_t i = 0; i < hosts_.size(); ++i) SolveHost(i);
+}
+
+}  // namespace p2p::coord

@@ -1,0 +1,70 @@
+// GNP (Global Network Positioning) baseline, per Ng & Zhang [12]: a set of
+// well-distributed landmark nodes solve their own coordinates against
+// measured inter-landmark latencies, then every ordinary host solves its
+// coordinates against the landmarks. This is the infrastructure-dependent
+// baseline that the paper's leafset-based variant (leafset_coords.h)
+// removes the landmarks from.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coord/nelder_mead.h"
+#include "coord/vec.h"
+#include "net/latency_oracle.h"
+#include "util/rng.h"
+
+namespace p2p::coord {
+
+struct GnpOptions {
+  std::size_t dimensions = 5;
+  std::size_t landmark_count = 16;
+  // Landmark coordinates are solved by coordinate descent: this many full
+  // sweeps of per-landmark downhill-simplex refinement.
+  std::size_t landmark_rounds = 6;
+  // Greedy max-min landmark selection (true) or uniform random (false).
+  bool greedy_landmarks = true;
+  // Initial coordinates are drawn uniformly from [0, init_range)^d.
+  double init_range = 400.0;
+  NelderMeadOptions nm;
+};
+
+class GnpSystem {
+ public:
+  // `hosts[i]` is the end-system backing logical index i; all latency
+  // "measurements" come from the oracle.
+  GnpSystem(const net::LatencyOracle& oracle, std::vector<net::HostIdx> hosts,
+            GnpOptions options, util::Rng& rng);
+
+  // Select landmarks, solve their coordinates, then solve every host.
+  void Solve();
+
+  std::size_t host_count() const { return hosts_.size(); }
+  const std::vector<std::size_t>& landmarks() const { return landmarks_; }
+  const Vec& coord(std::size_t i) const { return coords_.at(i); }
+
+  // Predicted latency between logical hosts a and b.
+  double Predict(std::size_t a, std::size_t b) const {
+    return Distance(coords_.at(a), coords_.at(b));
+  }
+  // True (oracle) latency between logical hosts a and b.
+  double Measured(std::size_t a, std::size_t b) const {
+    return oracle_.Latency(hosts_.at(a), hosts_.at(b));
+  }
+
+ private:
+  void SelectLandmarks(util::Rng& rng);
+  void SolveLandmarks();
+  void SolveHost(std::size_t i);
+
+  const net::LatencyOracle& oracle_;
+  std::vector<net::HostIdx> hosts_;
+  GnpOptions options_;
+  std::vector<std::size_t> landmarks_;  // logical indices
+  std::vector<Vec> coords_;
+};
+
+// |predicted − measured| / measured; measured must be > 0.
+double RelativeError(double predicted, double measured);
+
+}  // namespace p2p::coord

@@ -1,0 +1,96 @@
+#include "coord/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace p2p::coord {
+
+NelderMeadResult Minimize(const std::function<double(const Vec&)>& f, Vec& x,
+                          const NelderMeadOptions& opt) {
+  const std::size_t d = x.size();
+  P2P_CHECK_MSG(d > 0, "empty start point");
+
+  // Initial simplex: start point plus one per-axis perturbed vertex.
+  std::vector<Vec> pts(d + 1, x);
+  for (std::size_t i = 0; i < d; ++i) pts[i + 1][i] += opt.initial_step;
+  std::vector<double> vals(d + 1);
+  for (std::size_t i = 0; i <= d; ++i) vals[i] = f(pts[i]);
+
+  NelderMeadResult result;
+  auto order = [&] {
+    std::vector<std::size_t> idx(d + 1);
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return vals[a] < vals[b]; });
+    return idx;
+  };
+
+  for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
+    const auto idx = order();
+    const std::size_t best = idx[0];
+    const std::size_t worst = idx[d];
+    const std::size_t second_worst = idx[d - 1];
+
+    if (std::abs(vals[worst] - vals[best]) <= opt.f_tolerance) {
+      result.converged = true;
+      result.iterations = iter;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    Vec centroid(d, 0.0);
+    for (std::size_t i = 0; i <= d; ++i) {
+      if (i == worst) continue;
+      for (std::size_t k = 0; k < d; ++k) centroid[k] += pts[i][k];
+    }
+    for (double& c : centroid) c /= static_cast<double>(d);
+
+    // Reflection.
+    const Vec xr = Lerp(pts[worst], centroid, 1.0 + opt.reflection);
+    const double fr = f(xr);
+    if (fr < vals[best]) {
+      // Expansion.
+      const Vec xe = Lerp(pts[worst], centroid, 1.0 + opt.expansion);
+      const double fe = f(xe);
+      if (fe < fr) {
+        pts[worst] = xe;
+        vals[worst] = fe;
+      } else {
+        pts[worst] = xr;
+        vals[worst] = fr;
+      }
+    } else if (fr < vals[second_worst]) {
+      pts[worst] = xr;
+      vals[worst] = fr;
+    } else {
+      // Contraction (outside if the reflected point improved on the worst,
+      // inside otherwise).
+      const bool outside = fr < vals[worst];
+      const Vec base = outside ? xr : pts[worst];
+      const Vec xc = Lerp(base, centroid, 1.0 - opt.contraction);
+      const double fc = f(xc);
+      if (fc < std::min(fr, vals[worst])) {
+        pts[worst] = xc;
+        vals[worst] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= d; ++i) {
+          if (i == best) continue;
+          pts[i] = Lerp(pts[best], pts[i], opt.shrink);
+          vals[i] = f(pts[i]);
+        }
+      }
+    }
+    result.iterations = iter + 1;
+  }
+
+  const auto idx = order();
+  x = pts[idx[0]];
+  result.best_value = vals[idx[0]];
+  return result;
+}
+
+}  // namespace p2p::coord

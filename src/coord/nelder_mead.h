@@ -1,0 +1,35 @@
+// Downhill-simplex (Nelder–Mead) minimiser — the optimiser the paper's §4.1
+// prescribes for solving node coordinates ("Node x updates its own
+// coordinates by executing downhill simplex algorithm").
+#pragma once
+
+#include <functional>
+
+#include "coord/vec.h"
+
+namespace p2p::coord {
+
+struct NelderMeadOptions {
+  std::size_t max_iterations = 400;
+  // Convergence: stop when the simplex's value spread falls below this.
+  double f_tolerance = 1e-8;
+  // Initial simplex edge length (per-axis perturbation of the start point).
+  double initial_step = 50.0;
+  // Standard coefficients.
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+struct NelderMeadResult {
+  double best_value = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+// Minimise `f` starting from `x` (modified in place to the best point).
+NelderMeadResult Minimize(const std::function<double(const Vec&)>& f, Vec& x,
+                          const NelderMeadOptions& options = {});
+
+}  // namespace p2p::coord

@@ -1,0 +1,31 @@
+#include "core/pool_api.h"
+
+#include "util/check.h"
+
+namespace p2p {
+
+Pool::Pool(PoolOptions options)
+    : options_(std::move(options)),
+      threads_(options_.build_threads),
+      resources_(options_.config, &threads_),
+      market_(resources_, options_.scheduling),
+      sweep_rng_(options_.config.seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+alm::SessionId Pool::CreateSession(std::size_t root,
+                                   std::vector<std::size_t> members,
+                                   int priority) {
+  alm::SessionSpec spec;
+  spec.id = next_id_++;
+  spec.priority = priority;
+  spec.root = root;
+  spec.members = std::move(members);
+  const alm::SessionId id = spec.id;
+  market_.AddSession(std::move(spec));
+  return id;
+}
+
+void Pool::EndSession(alm::SessionId id) { market_.RemoveSession(id); }
+
+void Pool::RunMarketSweep() { market_.ReschedulingSweep(sweep_rng_); }
+
+}  // namespace p2p

@@ -1,0 +1,73 @@
+// p2p::Pool — the library's front door. Assembles the whole stack (network
+// substrate, DHT, coordinates, bandwidth estimation, degree registry,
+// market scheduler) behind a handful of calls:
+//
+//   p2p::Pool pool;                                  // paper-sized pool
+//   auto id = pool.CreateSession(root, members, 1);  // plan + reserve
+//   double gain = pool.SessionImprovement(id);       // vs AMCast baseline
+//   pool.EndSession(id);                             // release resources
+//
+// Examples/quickstart.cpp walks through this API end to end.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pool/market.h"
+#include "pool/multi_session_sim.h"
+#include "pool/resource_pool.h"
+#include "util/thread_pool.h"
+
+namespace p2p {
+
+struct PoolOptions {
+  pool::PoolConfig config;
+  pool::TaskManagerOptions scheduling;
+  // Threads for pool construction (0 = hardware concurrency).
+  std::size_t build_threads = 0;
+};
+
+class Pool {
+ public:
+  explicit Pool(PoolOptions options = {});
+
+  // Number of end systems in the pool.
+  std::size_t size() const { return resources_.size(); }
+
+  // Create, plan and reserve an ALM session. `members` excludes the root;
+  // priority 1 (highest) .. 3. Returns the session id.
+  alm::SessionId CreateSession(std::size_t root,
+                               std::vector<std::size_t> members,
+                               int priority = 1);
+
+  // Tear the session down and release its resources.
+  void EndSession(alm::SessionId id);
+
+  const pool::TaskManager& session(alm::SessionId id) const {
+    return market_.session(id);
+  }
+
+  // (H_AMCast − H_session)/H_AMCast for the session's current plan.
+  double SessionImprovement(alm::SessionId id) {
+    return market_.session(id).CurrentImprovement();
+  }
+
+  // One market round: every session re-examines its plan against current
+  // availability (call after sessions end to let survivors pick up freed
+  // resources).
+  void RunMarketSweep();
+
+  pool::ResourcePool& resources() { return resources_; }
+  const pool::ResourcePool& resources() const { return resources_; }
+  pool::MarketScheduler& market() { return market_; }
+
+ private:
+  PoolOptions options_;
+  util::ThreadPool threads_;
+  pool::ResourcePool resources_;
+  pool::MarketScheduler market_;
+  util::Rng sweep_rng_;
+  alm::SessionId next_id_ = 1;
+};
+
+}  // namespace p2p

@@ -1,0 +1,58 @@
+#include "dht/churn.h"
+
+#include "util/check.h"
+
+namespace p2p::dht {
+
+ChurnProcess::ChurnProcess(sim::Simulation& sim, Ring& ring, Config config,
+                           HeartbeatProtocol* heartbeat)
+    : sim_(sim), ring_(ring), config_(std::move(config)),
+      heartbeat_(heartbeat) {}
+
+void ChurnProcess::Start() {
+  P2P_CHECK(!running_);
+  running_ = true;
+  if (config_.mean_join_interval_ms > 0.0) {
+    P2P_CHECK_MSG(!config_.join_hosts.empty(),
+                  "join process enabled but no join hosts provided");
+    ScheduleJoin();
+  }
+  if (config_.mean_fail_interval_ms > 0.0) ScheduleFail();
+}
+
+void ChurnProcess::Stop() { running_ = false; }
+
+void ChurnProcess::ScheduleJoin() {
+  const double dt =
+      sim_.rng().Exponential(1.0 / config_.mean_join_interval_ms);
+  sim_.After(dt, [this] {
+    if (!running_) return;
+    const net::HostIdx host =
+        config_.join_hosts[next_host_++ % config_.join_hosts.size()];
+    const NodeIndex n = ring_.JoinHashed(host, join_salt_++);
+    ++joins_;
+    if (heartbeat_ != nullptr) heartbeat_->OnNodeJoined(n);
+    if (on_join) on_join(n);
+    ScheduleJoin();
+  });
+}
+
+void ChurnProcess::ScheduleFail() {
+  const double dt =
+      sim_.rng().Exponential(1.0 / config_.mean_fail_interval_ms);
+  sim_.After(dt, [this] {
+    if (!running_) return;
+    if (ring_.alive_count() > config_.min_alive) {
+      // Pick a uniformly random alive node to crash.
+      const auto alive = ring_.SortedAlive();
+      const NodeIndex victim =
+          alive[sim_.rng().NextBounded(alive.size())];
+      ring_.Fail(victim);
+      ++failures_;
+      if (on_fail) on_fail(victim);
+    }
+    ScheduleFail();
+  });
+}
+
+}  // namespace p2p::dht

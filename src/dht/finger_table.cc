@@ -1,0 +1,22 @@
+#include "dht/finger_table.h"
+
+namespace p2p::dht {
+
+NodeIndex FingerTable::ClosestPreceding(NodeId key) const {
+  NodeIndex best = kNoNode;
+  NodeId best_dist = 0;
+  for (std::size_t i = kBits; i-- > 0;) {
+    const auto& e = entries_[i];
+    if (e.node == kNoNode || e.id == owner_) continue;
+    // Strictly inside (owner, key): progress without overshoot.
+    if (!InArc(owner_, e.id, key) || e.id == key) continue;
+    const NodeId progress = ClockwiseDistance(owner_, e.id);
+    if (best == kNoNode || progress > best_dist) {
+      best = e.node;
+      best_dist = progress;
+    }
+  }
+  return best;
+}
+
+}  // namespace p2p::dht

@@ -1,0 +1,55 @@
+// Chord-style finger table: the i-th finger of node x is the node
+// responsible for key x + 2^i. Fingers give O(log N) lookup on top of the
+// O(N) base ring (paper §3.1: "elaborate algorithms built upon the above
+// concept achieve O(logN) performance").
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "dht/id.h"
+#include "dht/leafset.h"
+
+namespace p2p::dht {
+
+class FingerTable {
+ public:
+  static constexpr std::size_t kBits = 64;
+
+  explicit FingerTable(NodeId owner) : owner_(owner) {
+    entries_.fill({0, kNoNode});
+  }
+
+  NodeId owner() const { return owner_; }
+
+  // Target key of finger i: owner + 2^i (mod 2^64).
+  NodeId TargetKey(std::size_t i) const {
+    return owner_ + (NodeId{1} << i);
+  }
+
+  void Set(std::size_t i, NodeId id, NodeIndex node) {
+    entries_.at(i) = {id, node};
+  }
+
+  const LeafsetEntry& finger(std::size_t i) const { return entries_.at(i); }
+
+  // Remove any fingers pointing at a failed node (they will be refilled on
+  // the next rebuild).
+  void Invalidate(NodeIndex node) {
+    for (auto& e : entries_) {
+      if (e.node == node) e = {0, kNoNode};
+    }
+  }
+
+  // Best next hop toward `key`: the finger with the largest id in the arc
+  // (owner, key), i.e. the classic closest-preceding-finger rule. Returns
+  // kNoNode when no finger makes progress.
+  NodeIndex ClosestPreceding(NodeId key) const;
+
+ private:
+  NodeId owner_;
+  std::array<LeafsetEntry, kBits> entries_;
+};
+
+}  // namespace p2p::dht

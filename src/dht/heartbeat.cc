@@ -1,0 +1,94 @@
+#include "dht/heartbeat.h"
+
+#include "util/check.h"
+
+namespace p2p::dht {
+
+HeartbeatProtocol::HeartbeatProtocol(sim::Simulation& sim, Ring& ring,
+                                     Config config)
+    : sim_(sim), ring_(ring), config_(config) {
+  P2P_CHECK(config_.period_ms > 0.0);
+  P2P_CHECK(config_.timeout_ms > config_.period_ms);
+}
+
+double HeartbeatProtocol::DelayBetween(NodeIndex a, NodeIndex b) const {
+  if (ring_.oracle() != nullptr) return ring_.LatencyBetween(a, b);
+  return config_.default_delay_ms;
+}
+
+void HeartbeatProtocol::Start() {
+  P2P_CHECK_MSG(!running_, "heartbeat protocol already running");
+  running_ = true;
+  last_heard_.resize(ring_.size());
+  detected_.assign(ring_.size(), 0);
+  tokens_.resize(ring_.size());
+  for (NodeIndex n = 0; n < ring_.size(); ++n) {
+    if (ring_.node(n).alive()) SchedulePeriodic(n);
+  }
+}
+
+void HeartbeatProtocol::Stop() {
+  running_ = false;
+  for (auto& t : tokens_) sim::Simulation::CancelPeriodic(t);
+}
+
+void HeartbeatProtocol::OnNodeJoined(NodeIndex n) {
+  if (!running_) return;
+  if (last_heard_.size() <= n) {
+    last_heard_.resize(n + 1);
+    detected_.resize(n + 1, 0);
+    tokens_.resize(n + 1);
+  }
+  SchedulePeriodic(n);
+}
+
+void HeartbeatProtocol::SchedulePeriodic(NodeIndex n) {
+  // Desynchronise nodes with a random phase within one period.
+  const sim::Time phase = sim_.rng().Uniform(0.0, config_.period_ms);
+  tokens_[n] = sim_.Every(config_.period_ms, phase, [this, n] { Beat(n); });
+}
+
+void HeartbeatProtocol::Beat(NodeIndex n) {
+  if (!running_ || !ring_.node(n).alive()) return;
+  const sim::Time now = sim_.now();
+  for (const auto& e : ring_.node(n).leafset().Members()) {
+    ++sent_;
+    const NodeIndex to = e.node;
+    const double delay = DelayBetween(n, to);
+    sim_.After(delay, [this, n, to, now] { Deliver(n, to, now); });
+  }
+  CheckTimeouts(n);
+}
+
+void HeartbeatProtocol::Deliver(NodeIndex from, NodeIndex to,
+                                sim::Time send_time) {
+  if (!running_) return;
+  // A crashed sender's in-flight messages are dropped (it "stopped
+  // responding" at fail time, and Beat checks liveness at send time, so
+  // this only filters messages racing a failure).
+  if (!ring_.node(from).alive() || !ring_.node(to).alive()) return;
+  ++delivered_;
+  last_heard_[to][from] = sim_.now();
+  for (const auto& obs : observers_) obs(from, to, send_time, sim_.now());
+}
+
+void HeartbeatProtocol::CheckTimeouts(NodeIndex n) {
+  const sim::Time now = sim_.now();
+  for (const auto& e : ring_.node(n).leafset().Members()) {
+    const NodeIndex m = e.node;
+    if (ring_.node(m).alive()) continue;
+    if (detected_[m]) continue;
+    const auto it = last_heard_[n].find(m);
+    const sim::Time heard = it == last_heard_[n].end() ? 0.0 : it->second;
+    if (now - heard >= config_.timeout_ms) {
+      detected_[m] = 1;
+      ++failures_detected_;
+      // First detection triggers ring-wide cleanup, standing in for the
+      // rapid propagation of the death notice through leafset exchanges.
+      ring_.DetectFailure(m);
+      for (const auto& obs : failure_observers_) obs(n, m, now);
+    }
+  }
+}
+
+}  // namespace p2p::dht

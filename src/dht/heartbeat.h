@@ -1,0 +1,88 @@
+// Leafset heartbeat protocol (paper §3.1/§4): every node periodically
+// heartbeats its leafset members; missed heartbeats drive failure
+// detection; the §4 measurement protocols (network coordinates, packet-pair
+// bandwidth probing) piggyback on the same messages via observers.
+//
+// Message delivery runs over the simulation kernel with the latency
+// oracle's host-to-host delays, so observers see realistic send/receive
+// timestamps.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/ring.h"
+#include "sim/simulation.h"
+
+namespace p2p::dht {
+
+// Namespace-scope (not nested) so it can serve as a defaulted constructor
+// argument — GCC rejects brace-defaulting a nested aggregate with default
+// member initializers inside its enclosing class.
+struct HeartbeatConfig {
+  sim::Time period_ms = 1000.0;
+  // Declare a member failed after this long without hearing from it.
+  sim::Time timeout_ms = 3500.0;
+  // Fixed one-way delay used when the ring has no latency oracle.
+  sim::Time default_delay_ms = 50.0;
+};
+
+class HeartbeatProtocol {
+ public:
+  using Config = HeartbeatConfig;
+
+  // Called on each heartbeat delivery: (sender, receiver, send_t, recv_t).
+  using Observer = std::function<void(NodeIndex, NodeIndex, sim::Time,
+                                      sim::Time)>;
+  // Called when `detector` times out `dead` (fires once per dead node,
+  // at first detection).
+  using FailureObserver =
+      std::function<void(NodeIndex detector, NodeIndex dead, sim::Time when)>;
+
+  HeartbeatProtocol(sim::Simulation& sim, Ring& ring, Config config = {});
+
+  // Begin periodic heartbeating for every currently-alive node. Nodes that
+  // join later are picked up via OnNodeJoined.
+  void Start();
+  void Stop();
+
+  // Register a node that joined after Start().
+  void OnNodeJoined(NodeIndex n);
+
+  void AddObserver(Observer obs) { observers_.push_back(std::move(obs)); }
+  void AddFailureObserver(FailureObserver obs) {
+    failure_observers_.push_back(std::move(obs));
+  }
+
+  std::size_t heartbeats_sent() const { return sent_; }
+  std::size_t heartbeats_delivered() const { return delivered_; }
+  std::size_t failures_detected() const { return failures_detected_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  void SchedulePeriodic(NodeIndex n);
+  void Beat(NodeIndex n);
+  void Deliver(NodeIndex from, NodeIndex to, sim::Time send_time);
+  void CheckTimeouts(NodeIndex n);
+  double DelayBetween(NodeIndex a, NodeIndex b) const;
+
+  sim::Simulation& sim_;
+  Ring& ring_;
+  Config config_;
+  bool running_ = false;
+
+  // last_heard_[n][m] = sim time node n last heard from leafset member m.
+  std::vector<std::unordered_map<NodeIndex, sim::Time>> last_heard_;
+  std::vector<sim::Simulation::PeriodicToken> tokens_;
+  std::vector<char> detected_;  // dead nodes already processed
+
+  std::vector<Observer> observers_;
+  std::vector<FailureObserver> failure_observers_;
+  std::size_t sent_ = 0;
+  std::size_t delivered_ = 0;
+  std::size_t failures_detected_ = 0;
+};
+
+}  // namespace p2p::dht

@@ -1,0 +1,53 @@
+// DHT identifier space: an unsigned 64-bit ring with consistent-hashing
+// zones, zone(x) ≡ (id(pred(x)), id(x)]  (paper §3.1).
+//
+// SOMO's logical space [0, 1] maps onto the same ring via IdFromUnit, so
+// logical tree points and node ids live in one space (the property §3.2 of
+// the paper calls "virtualization of a space where both resources and other
+// entities live together").
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace p2p::dht {
+
+using NodeId = std::uint64_t;
+
+// Clockwise (forward) distance from a to b on the ring; 0 when a == b.
+constexpr NodeId ClockwiseDistance(NodeId a, NodeId b) { return b - a; }
+
+// Minimal ring distance between a and b (either direction).
+constexpr NodeId RingDistance(NodeId a, NodeId b) {
+  const NodeId d = b - a;
+  const NodeId e = a - b;
+  return d < e ? d : e;
+}
+
+// True iff x lies in the half-open clockwise arc (a, b]. When a == b the
+// arc is the entire ring (single-node system owns everything).
+constexpr bool InArc(NodeId a, NodeId x, NodeId b) {
+  if (a == b) return true;
+  return ClockwiseDistance(a, x) != 0 &&
+         ClockwiseDistance(a, x) <= ClockwiseDistance(a, b);
+}
+
+// Map u in [0, 1] to a ring id (1.0 wraps to 0, matching ring topology).
+constexpr NodeId IdFromUnit(double u) {
+  // 2^64 as double; values >= 1.0 wrap.
+  if (u >= 1.0) u -= 1.0;
+  if (u < 0.0) u += 1.0;
+  return static_cast<NodeId>(u * 18446744073709551616.0);
+}
+
+constexpr double UnitFromId(NodeId id) {
+  return static_cast<double>(id) / 18446744073709551616.0;
+}
+
+// Deterministic pseudo-random id for a host (MD5-over-IP stand-in, §3.1).
+constexpr NodeId HashHostToId(std::uint64_t host_key) {
+  return util::Mix64(host_key ^ 0x5bd1e995751e2d43ULL);
+}
+
+}  // namespace p2p::dht

@@ -1,0 +1,140 @@
+#include "dht/kv_store.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace p2p::dht {
+
+KvStore::KvStore(Ring& ring, std::size_t replicas)
+    : ring_(ring), replicas_(replicas) {
+  P2P_CHECK_MSG(replicas_ >= 1, "need at least one copy");
+  store_.resize(ring_.size());
+}
+
+std::vector<NodeIndex> KvStore::ReplicaSet(NodeId key) const {
+  std::vector<NodeIndex> set;
+  const NodeIndex primary = ring_.ResponsibleFor(key);
+  set.push_back(primary);
+  // Walk the alive ring order clockwise from the primary.
+  const auto sorted = ring_.SortedAlive();
+  const auto it = std::find(sorted.begin(), sorted.end(), primary);
+  P2P_CHECK(it != sorted.end());
+  std::size_t pos = static_cast<std::size_t>(it - sorted.begin());
+  while (set.size() < std::min(replicas_, sorted.size())) {
+    pos = (pos + 1) % sorted.size();
+    set.push_back(sorted[pos]);
+  }
+  return set;
+}
+
+KvStore::PutResult KvStore::Put(NodeIndex via, NodeId key,
+                                std::string value) {
+  PutResult result;
+  result.route = ring_.Route(via, key);
+  if (!result.route.success) return result;
+  if (store_.size() < ring_.size()) store_.resize(ring_.size());
+  for (const NodeIndex n : ReplicaSet(key)) {
+    store_[n][key] = value;
+    ++result.copies_stored;
+  }
+  directory_[key] = std::move(value);
+  result.ok = true;
+  return result;
+}
+
+KvStore::GetResult KvStore::Get(NodeIndex via, NodeId key) const {
+  GetResult result;
+  result.route = ring_.Route(via, key);
+  if (!result.route.success) return result;
+  // Nodes that joined after construction have no storage until the next
+  // Put/Repair resizes; treat them as empty.
+  auto lookup = [&](NodeIndex n) -> const std::string* {
+    if (n >= store_.size()) return nullptr;
+    const auto it = store_[n].find(key);
+    return it == store_[n].end() ? nullptr : &it->second;
+  };
+  if (const std::string* hit = lookup(result.route.destination)) {
+    result.found = true;
+    result.value = *hit;
+    return result;
+  }
+  // Replica fallback: fresh joiners may have displaced the whole nominal
+  // replica set without holding data yet, so probe clockwise through the
+  // primary's successor span (bounded by the ring's leafset reach — the
+  // nodes a real implementation can contact in one step).
+  const auto sorted = ring_.SortedAlive();
+  const auto it =
+      std::find(sorted.begin(), sorted.end(), result.route.destination);
+  P2P_CHECK(it != sorted.end());
+  std::size_t pos = static_cast<std::size_t>(it - sorted.begin());
+  const std::size_t probes =
+      std::min(sorted.size(), replicas_ + ring_.per_side());
+  for (std::size_t k = 1; k < probes; ++k) {
+    pos = (pos + 1) % sorted.size();
+    if (const std::string* hit = lookup(sorted[pos])) {
+      result.found = true;
+      result.value = *hit;
+      result.from_replica = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+bool KvStore::Erase(NodeIndex via, NodeId key) {
+  const RouteResult route = ring_.Route(via, key);
+  (void)route;
+  const bool existed = directory_.erase(key) > 0;
+  for (auto& node_store : store_) node_store.erase(key);
+  return existed;
+}
+
+void KvStore::RepairReplicas() {
+  if (store_.size() < ring_.size()) store_.resize(ring_.size());
+  // Drop copies from dead nodes; re-place every key on its current
+  // replica set (idempotent).
+  for (NodeIndex n = 0; n < store_.size(); ++n) {
+    if (!ring_.node(n).alive()) store_[n].clear();
+  }
+  for (const auto& [key, value] : directory_) {
+    const auto set = ReplicaSet(key);
+    // Remove copies that are no longer in the set.
+    for (NodeIndex n = 0; n < store_.size(); ++n) {
+      if (std::find(set.begin(), set.end(), n) == set.end())
+        store_[n].erase(key);
+    }
+    for (const NodeIndex n : set) store_[n][key] = value;
+  }
+}
+
+// Note: CopiesOf and CheckInvariants iterate store_, which only covers
+// nodes present at the last resize; unsized joiners hold nothing by
+// definition.
+std::size_t KvStore::CopiesOf(NodeId key) const {
+  std::size_t copies = 0;
+  for (NodeIndex n = 0; n < store_.size(); ++n) {
+    if (ring_.node(n).alive() && store_[n].count(key)) ++copies;
+  }
+  return copies;
+}
+
+std::size_t KvStore::StoredOn(NodeIndex n) const {
+  return store_.at(n).size();
+}
+
+void KvStore::CheckInvariants() const {
+  for (const auto& [key, value] : directory_) {
+    const auto set = ReplicaSet(key);
+    for (const NodeIndex n : set) {
+      P2P_CHECK_MSG(n < store_.size(), "replica node " << n << " unsized");
+      const auto it = store_[n].find(key);
+      P2P_CHECK_MSG(it != store_[n].end(),
+                    "key missing from replica node " << n);
+      P2P_CHECK_MSG(it->second == value, "replica divergence at " << n);
+    }
+    P2P_CHECK(CopiesOf(key) == set.size());
+  }
+}
+
+}  // namespace p2p::dht

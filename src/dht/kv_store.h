@@ -1,0 +1,72 @@
+// Replicated key-value storage over the ring — the "documents stored in
+// DHT" half of §3.1's virtualised space (resources and entities living
+// together). Values live at the key's responsible node plus the next
+// `replicas − 1` alive successors; reads fall back to replicas when the
+// primary is unreachable; RepairReplicas() restores the replication
+// invariant after membership changes (hook it to failure detection).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/ring.h"
+
+namespace p2p::dht {
+
+class KvStore {
+ public:
+  // `replicas` total copies per key (1 = primary only).
+  KvStore(Ring& ring, std::size_t replicas = 3);
+
+  std::size_t replicas() const { return replicas_; }
+
+  struct PutResult {
+    bool ok = false;
+    RouteResult route;           // lookup cost from `via` to the primary
+    std::size_t copies_stored = 0;
+  };
+  // Store (routes from `via` to the responsible node, then replicates to
+  // its alive successors).
+  PutResult Put(NodeIndex via, NodeId key, std::string value);
+
+  struct GetResult {
+    bool found = false;
+    std::string value;
+    RouteResult route;
+    bool from_replica = false;  // primary missed; a successor answered
+  };
+  GetResult Get(NodeIndex via, NodeId key) const;
+
+  // Delete all copies. Returns true if the key existed.
+  bool Erase(NodeIndex via, NodeId key);
+
+  // Restore the replication invariant for every known key against current
+  // membership (re-replication after failures/joins).
+  void RepairReplicas();
+
+  // Copies of `key` currently stored across alive nodes.
+  std::size_t CopiesOf(NodeId key) const;
+  // Keys stored on node `n`.
+  std::size_t StoredOn(NodeIndex n) const;
+  std::size_t total_keys() const { return directory_.size(); }
+
+  // Invariant: every known key has min(replicas, alive) copies placed on
+  // the responsible node and its immediate alive successors.
+  void CheckInvariants() const;
+
+ private:
+  // The replica set for a key under current membership: responsible node
+  // followed by its alive successors (deduplicated), up to `replicas_`.
+  std::vector<NodeIndex> ReplicaSet(NodeId key) const;
+
+  Ring& ring_;
+  std::size_t replicas_;
+  // Per-node storage.
+  std::vector<std::unordered_map<NodeId, std::string>> store_;
+  // All keys ever written and not erased (the repair worklist).
+  std::unordered_map<NodeId, std::string> directory_;
+};
+
+}  // namespace p2p::dht

@@ -1,0 +1,79 @@
+// Leafset: the rudimentary routing table of the base ring (paper §3.1) —
+// r neighbours to each side of a node, kept sorted by ring proximity.
+//
+// The leafset is also the substrate for the paper's §4 protocols: nodes
+// heartbeat their leafset members, and those interactions yield network
+// coordinates and packet-pair bandwidth estimates "for free".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dht/id.h"
+
+namespace p2p::dht {
+
+// Index of a node within its Ring.
+using NodeIndex = std::size_t;
+inline constexpr NodeIndex kNoNode = static_cast<NodeIndex>(-1);
+
+struct LeafsetEntry {
+  NodeId id;
+  NodeIndex node;
+};
+
+class Leafset {
+ public:
+  // `r` neighbours per side (total capacity 2r).
+  explicit Leafset(NodeId owner, std::size_t r);
+
+  std::size_t per_side() const { return r_; }
+  NodeId owner() const { return owner_; }
+
+  // Insert or refresh a candidate neighbour. Keeps only the r closest on
+  // each side. No-op for the owner itself. Returns true if the set changed.
+  bool Insert(NodeId id, NodeIndex node);
+
+  // Remove a (failed) member. Returns true if it was present.
+  bool Remove(NodeId id);
+
+  void Clear();
+
+  // Successor side: nodes clockwise from the owner, nearest first.
+  const std::vector<LeafsetEntry>& successors() const { return succ_; }
+  // Predecessor side: nodes counter-clockwise, nearest first.
+  const std::vector<LeafsetEntry>& predecessors() const { return pred_; }
+
+  // All members, successors then predecessors (no particular global order).
+  std::vector<LeafsetEntry> Members() const;
+  std::size_t size() const { return succ_.size() + pred_.size(); }
+  bool Contains(NodeId id) const;
+
+  // Immediate successor/predecessor, or kNoNode when the side is empty.
+  NodeIndex successor() const { return succ_.empty() ? kNoNode : succ_[0].node; }
+  NodeIndex predecessor() const {
+    return pred_.empty() ? kNoNode : pred_[0].node;
+  }
+
+  // The member whose id is ring-closest to `key` and at or clockwise-before
+  // key relative to the owner (routing helper); kNoNode if none better than
+  // the owner.
+  NodeIndex ClosestTo(NodeId key) const;
+
+  // The member whose id is the first at or clockwise-after `key` — the
+  // member that would be responsible for the key under consistent hashing
+  // (zone = (pred, id]). kNoNode when the leafset is empty.
+  NodeIndex SuccessorOf(NodeId key) const;
+
+  // True iff `key` falls within the leafset's covered arc
+  // [farthest predecessor, farthest successor].
+  bool Covers(NodeId key) const;
+
+ private:
+  NodeId owner_;
+  std::size_t r_;
+  std::vector<LeafsetEntry> succ_;  // sorted by clockwise distance from owner
+  std::vector<LeafsetEntry> pred_;  // sorted by counter-clockwise distance
+};
+
+}  // namespace p2p::dht

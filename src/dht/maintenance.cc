@@ -1,0 +1,61 @@
+#include "dht/maintenance.h"
+
+#include "util/check.h"
+
+namespace p2p::dht {
+
+MaintenanceProtocol::MaintenanceProtocol(sim::Simulation& sim, Ring& ring,
+                                         MaintenanceConfig config)
+    : sim_(sim), ring_(ring), config_(config) {
+  P2P_CHECK(config_.period_ms > 0.0);
+  P2P_CHECK(config_.fingers_per_round > 0);
+}
+
+void MaintenanceProtocol::Start() {
+  P2P_CHECK(!running_);
+  running_ = true;
+  tokens_.resize(ring_.size());
+  for (NodeIndex n = 0; n < ring_.size(); ++n) {
+    if (ring_.node(n).alive()) ScheduleNode(n);
+  }
+}
+
+void MaintenanceProtocol::Stop() {
+  running_ = false;
+  for (auto& t : tokens_) sim::Simulation::CancelPeriodic(t);
+}
+
+void MaintenanceProtocol::OnNodeJoined(NodeIndex n) {
+  if (!running_) return;
+  if (tokens_.size() <= n) tokens_.resize(n + 1);
+  ScheduleNode(n);
+}
+
+void MaintenanceProtocol::ScheduleNode(NodeIndex n) {
+  const sim::Time phase = sim_.rng().Uniform(0.0, config_.period_ms);
+  tokens_[n] =
+      sim_.Every(config_.period_ms, phase, [this, n] { RefreshRound(n); });
+}
+
+void MaintenanceProtocol::RefreshRound(NodeIndex n) {
+  if (!running_ || !ring_.node(n).alive()) return;
+  Node& x = ring_.node(n);
+  for (std::size_t k = 0; k < config_.fingers_per_round; ++k) {
+    const std::size_t i = sim_.rng().NextBounded(FingerTable::kBits);
+    const NodeId key = x.fingers().TargetKey(i);
+    // Resolve via an actual overlay lookup using current (possibly stale)
+    // tables; a failed lookup leaves the entry for the next round.
+    const RouteResult r = ring_.Route(n, key);
+    if (!r.success) {
+      ++failed_lookups_;
+      continue;
+    }
+    x.fingers().Set(i, ring_.node(r.destination).id(), r.destination);
+    // Pastry-style tables learn from lookup traffic: offer the resolved
+    // node for whatever prefix slot it fits (no-op if already filled).
+    x.prefix().Offer(ring_.node(r.destination).id(), r.destination);
+    ++refreshes_;
+  }
+}
+
+}  // namespace p2p::dht

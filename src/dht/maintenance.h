@@ -1,0 +1,46 @@
+// Periodic routing-table maintenance, Chord's fix_fingers style: each node
+// refreshes a few finger entries per period by running an actual overlay
+// lookup for the finger's target key. Keeps O(log N) routing after churn
+// without any global rebuild (Ring::StabilizeAll is the oracle shortcut
+// used by harnesses that don't model maintenance time).
+#pragma once
+
+#include <vector>
+
+#include "dht/ring.h"
+#include "sim/simulation.h"
+
+namespace p2p::dht {
+
+struct MaintenanceConfig {
+  sim::Time period_ms = 2000.0;
+  // Finger entries each node refreshes per period.
+  std::size_t fingers_per_round = 4;
+};
+
+class MaintenanceProtocol {
+ public:
+  MaintenanceProtocol(sim::Simulation& sim, Ring& ring,
+                      MaintenanceConfig config = {});
+
+  void Start();
+  void Stop();
+  void OnNodeJoined(NodeIndex n);
+
+  std::size_t refreshes() const { return refreshes_; }
+  std::size_t failed_lookups() const { return failed_lookups_; }
+
+ private:
+  void ScheduleNode(NodeIndex n);
+  void RefreshRound(NodeIndex n);
+
+  sim::Simulation& sim_;
+  Ring& ring_;
+  MaintenanceConfig config_;
+  bool running_ = false;
+  std::vector<sim::Simulation::PeriodicToken> tokens_;
+  std::size_t refreshes_ = 0;
+  std::size_t failed_lookups_ = 0;
+};
+
+}  // namespace p2p::dht

@@ -1,0 +1,67 @@
+#include "dht/prefix_table.h"
+
+#include "util/check.h"
+
+namespace p2p::dht {
+
+const LeafsetEntry PrefixTable::kEmpty{0, kNoNode};
+
+PrefixTable::PrefixTable(NodeId owner, std::size_t bits_per_digit)
+    : owner_(owner), bits_(bits_per_digit) {
+  P2P_CHECK_MSG(bits_ >= 1 && bits_ <= 8 && 64 % bits_ == 0,
+                "bits per digit must divide 64 (got " << bits_ << ")");
+  entries_.assign(digits() * columns(), kEmpty);
+}
+
+std::size_t PrefixTable::DigitOf(NodeId id, std::size_t d) const {
+  P2P_DCHECK(d < digits());
+  const std::size_t shift = 64 - bits_ * (d + 1);
+  return static_cast<std::size_t>((id >> shift) & (columns() - 1));
+}
+
+std::size_t PrefixTable::SharedPrefixDigits(NodeId a, NodeId b) const {
+  std::size_t d = 0;
+  while (d < digits() && DigitOf(a, d) == DigitOf(b, d)) ++d;
+  return d;
+}
+
+bool PrefixTable::Offer(NodeId id, NodeIndex node) {
+  if (id == owner_) return false;
+  const std::size_t row = SharedPrefixDigits(owner_, id);
+  P2P_DCHECK(row < digits());
+  const std::size_t col = DigitOf(id, row);
+  LeafsetEntry& slot = entries_[row * columns() + col];
+  if (slot.node != kNoNode) return false;
+  slot = {id, node};
+  ++filled_;
+  return true;
+}
+
+void PrefixTable::Clear() {
+  entries_.assign(digits() * columns(), kEmpty);
+  filled_ = 0;
+}
+
+const LeafsetEntry& PrefixTable::EntryFor(NodeId key) const {
+  if (key == owner_) return kEmpty;
+  const std::size_t row = SharedPrefixDigits(owner_, key);
+  if (row >= digits()) return kEmpty;
+  const std::size_t col = DigitOf(key, row);
+  return entries_[row * columns() + col];
+}
+
+const LeafsetEntry& PrefixTable::At(std::size_t row, std::size_t col) const {
+  P2P_CHECK(row < digits() && col < columns());
+  return entries_[row * columns() + col];
+}
+
+void PrefixTable::Invalidate(NodeIndex node) {
+  for (auto& e : entries_) {
+    if (e.node == node) {
+      e = kEmpty;
+      --filled_;
+    }
+  }
+}
+
+}  // namespace p2p::dht

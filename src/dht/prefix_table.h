@@ -1,0 +1,62 @@
+// Pastry/Tapestry-style prefix routing table (paper §3.1 cites both as
+// O(log N) designs "built upon the above concept"). Ids are strings of
+// 2^b-ary digits (most-significant first); row r holds, for each digit
+// value c, a node whose id shares the first r digits with the owner and
+// has c as digit r. One hop fixes at least one digit, giving
+// O(log_{2^b} N) routing — steeper-base log than Chord fingers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dht/id.h"
+#include "dht/leafset.h"
+
+namespace p2p::dht {
+
+class PrefixTable {
+ public:
+  // `bits_per_digit` = b; Pastry's default is 4 (hex digits).
+  explicit PrefixTable(NodeId owner, std::size_t bits_per_digit = 4);
+
+  NodeId owner() const { return owner_; }
+  std::size_t bits_per_digit() const { return bits_; }
+  std::size_t digits() const { return 64 / bits_; }
+  std::size_t columns() const { return std::size_t{1} << bits_; }
+
+  // The d-th digit (0 = most significant) of `id`.
+  std::size_t DigitOf(NodeId id, std::size_t d) const;
+
+  // Number of leading digits `a` and `b` share.
+  std::size_t SharedPrefixDigits(NodeId a, NodeId b) const;
+
+  // Offer a candidate for inclusion; fills the (shared, next-digit) slot
+  // if empty (first-come placement, as Pastry's locality-blind baseline).
+  // Returns true if the candidate was placed.
+  bool Offer(NodeId id, NodeIndex node);
+
+  // Clear all entries (before a rebuild).
+  void Clear();
+
+  // Entry for routing `key`: the node at [shared(owner,key)][digit of key],
+  // or kNoNode when the slot is empty or key == owner id.
+  const LeafsetEntry& EntryFor(NodeId key) const;
+
+  const LeafsetEntry& At(std::size_t row, std::size_t col) const;
+
+  // Remove a failed node everywhere it appears.
+  void Invalidate(NodeIndex node);
+
+  std::size_t filled_entries() const { return filled_; }
+
+ private:
+  NodeId owner_;
+  std::size_t bits_;
+  // rows × columns, row-major; empty slots have node == kNoNode.
+  std::vector<LeafsetEntry> entries_;
+  std::size_t filled_ = 0;
+
+  static const LeafsetEntry kEmpty;
+};
+
+}  // namespace p2p::dht

@@ -1,0 +1,63 @@
+#include "net/bandwidth_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace p2p::net {
+
+std::vector<AccessClass> GnutellaAccessClasses() {
+  // Shares approximate the Saroiu et al. measurement study: a quarter of
+  // peers on dial-up-grade links, the bulk on asymmetric broadband
+  // (cable/DSL), and a minority on symmetric high-capacity lines.
+  return {
+      {"modem", 0.08, 33.6, 56.0},
+      {"isdn", 0.05, 128.0, 128.0},
+      {"dsl", 0.25, 256.0, 1500.0},
+      {"cable", 0.35, 400.0, 3000.0},
+      {"t1", 0.22, 1544.0, 1544.0},
+      {"t3", 0.05, 44736.0, 44736.0},
+  };
+}
+
+BandwidthModel::BandwidthModel(std::vector<AccessClass> classes,
+                               std::size_t host_count, util::Rng& rng,
+                               double jitter)
+    : classes_(std::move(classes)) {
+  P2P_CHECK(!classes_.empty());
+  P2P_CHECK(jitter >= 0.0 && jitter < 1.0);
+  double total = 0.0;
+  for (const auto& c : classes_) {
+    P2P_CHECK_MSG(c.fraction > 0.0, "class " << c.name);
+    P2P_CHECK_MSG(c.up_kbps > 0.0 && c.down_kbps > 0.0, "class " << c.name);
+    total += c.fraction;
+  }
+  P2P_CHECK_MSG(std::abs(total - 1.0) < 1e-9,
+                "class fractions sum to " << total);
+
+  hosts_.reserve(host_count);
+  for (std::size_t h = 0; h < host_count; ++h) {
+    const double u = rng.NextDouble();
+    double acc = 0.0;
+    const AccessClass* pick = &classes_.back();
+    for (const auto& c : classes_) {
+      acc += c.fraction;
+      if (u < acc) {
+        pick = &c;
+        break;
+      }
+    }
+    const double j_up = rng.Uniform(1.0 - jitter, 1.0 + jitter);
+    const double j_down = rng.Uniform(1.0 - jitter, 1.0 + jitter);
+    hosts_.push_back({pick->up_kbps * j_up, pick->down_kbps * j_down});
+  }
+}
+
+double BandwidthModel::PathBottleneckKbps(std::size_t a, std::size_t b) const {
+  P2P_CHECK(a < hosts_.size() && b < hosts_.size());
+  P2P_CHECK(a != b);
+  return std::min(hosts_[a].up_kbps, hosts_[b].down_kbps);
+}
+
+}  // namespace p2p::net

@@ -1,0 +1,59 @@
+// Synthetic access-bandwidth population, substituting for the private
+// Saroiu/Gribble Gnutella measurement trace the paper evaluates on
+// (DESIGN.md §4.2). Hosts are drawn from modal access classes (modem, ISDN,
+// DSL, cable, T1, T3) with asymmetric up/down rates and multiplicative
+// jitter. The class mix reproduces the property §4.2 of the paper relies
+// on: "most hosts have downstream bandwidths higher than the upstream
+// bandwidths of most others", which makes uplink estimation via
+// max-over-leafset nearly exact while downlink can be underestimated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace p2p::net {
+
+struct HostBandwidth {
+  double up_kbps;    // last-hop uplink capacity
+  double down_kbps;  // last-hop downlink capacity
+};
+
+struct AccessClass {
+  std::string name;
+  double fraction;   // population share; fractions sum to 1
+  double up_kbps;
+  double down_kbps;
+};
+
+// The default Gnutella-like class mix (shares approximate the published
+// measurement study's reported distribution).
+std::vector<AccessClass> GnutellaAccessClasses();
+
+class BandwidthModel {
+ public:
+  // Draw `host_count` hosts from `classes`; each host's rates get a
+  // multiplicative jitter uniform in [1-jitter, 1+jitter].
+  BandwidthModel(std::vector<AccessClass> classes, std::size_t host_count,
+                 util::Rng& rng, double jitter = 0.15);
+
+  // Convenience: default Gnutella-like classes.
+  BandwidthModel(std::size_t host_count, util::Rng& rng)
+      : BandwidthModel(GnutellaAccessClasses(), host_count, rng) {}
+
+  std::size_t host_count() const { return hosts_.size(); }
+  const HostBandwidth& host(std::size_t h) const { return hosts_.at(h); }
+
+  // True bottleneck bandwidth of a one-directional transfer a -> b under
+  // the last-hop-bottleneck assumption: min(up(a), down(b)).
+  double PathBottleneckKbps(std::size_t a, std::size_t b) const;
+
+  const std::vector<AccessClass>& classes() const { return classes_; }
+
+ private:
+  std::vector<AccessClass> classes_;
+  std::vector<HostBandwidth> hosts_;
+};
+
+}  // namespace p2p::net

@@ -1,0 +1,78 @@
+#include "net/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace p2p::net {
+
+NodeIdx Graph::AddNode() {
+  adj_.emplace_back();
+  return adj_.size() - 1;
+}
+
+void Graph::AddEdge(NodeIdx a, NodeIdx b, double w) {
+  P2P_CHECK(a < adj_.size() && b < adj_.size());
+  P2P_CHECK_MSG(a != b, "self-loop at node " << a);
+  P2P_CHECK_MSG(w > 0.0, "non-positive edge weight " << w);
+  adj_[a].push_back({b, w});
+  adj_[b].push_back({a, w});
+  ++edge_count_;
+}
+
+bool Graph::HasEdge(NodeIdx a, NodeIdx b) const {
+  P2P_CHECK(a < adj_.size() && b < adj_.size());
+  const auto& na = adj_[a];
+  return std::any_of(na.begin(), na.end(),
+                     [b](const Neighbor& n) { return n.to == b; });
+}
+
+std::span<const Graph::Neighbor> Graph::Neighbors(NodeIdx v) const {
+  return adj_.at(v);
+}
+
+std::vector<double> Graph::Dijkstra(NodeIdx source) const {
+  P2P_CHECK(source < adj_.size());
+  std::vector<double> dist(adj_.size(), kInfLatency);
+  dist[source] = 0.0;
+  using Item = std::pair<double, NodeIdx>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;  // stale entry
+    for (const auto& [to, w] : adj_[v]) {
+      const double nd = d + w;
+      if (nd < dist[to]) {
+        dist[to] = nd;
+        pq.emplace(nd, to);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::IsConnected() const {
+  if (adj_.empty()) return true;
+  std::vector<char> seen(adj_.size(), 0);
+  std::vector<NodeIdx> stack{0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeIdx v = stack.back();
+    stack.pop_back();
+    for (const auto& [to, w] : adj_[v]) {
+      (void)w;
+      if (!seen[to]) {
+        seen[to] = 1;
+        ++visited;
+        stack.push_back(to);
+      }
+    }
+  }
+  return visited == adj_.size();
+}
+
+}  // namespace p2p::net

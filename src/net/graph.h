@@ -1,0 +1,51 @@
+// Weighted undirected graph with single-source shortest paths (Dijkstra).
+// Used for the router-level transit-stub topology.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace p2p::net {
+
+using NodeIdx = std::size_t;
+
+inline constexpr double kInfLatency = std::numeric_limits<double>::infinity();
+
+class Graph {
+ public:
+  explicit Graph(std::size_t node_count = 0) : adj_(node_count) {}
+
+  std::size_t node_count() const { return adj_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  NodeIdx AddNode();
+
+  // Add an undirected edge of weight `w` (w > 0). Parallel edges are allowed
+  // and harmless for shortest paths.
+  void AddEdge(NodeIdx a, NodeIdx b, double w);
+
+  bool HasEdge(NodeIdx a, NodeIdx b) const;
+
+  struct Neighbor {
+    NodeIdx to;
+    double weight;
+  };
+  std::span<const Neighbor> Neighbors(NodeIdx v) const;
+
+  std::size_t Degree(NodeIdx v) const { return adj_.at(v).size(); }
+
+  // Shortest-path distances from `source` to every node (kInfLatency where
+  // unreachable).
+  std::vector<double> Dijkstra(NodeIdx source) const;
+
+  // True if every node is reachable from node 0 (or the graph is empty).
+  bool IsConnected() const;
+
+ private:
+  std::vector<std::vector<Neighbor>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace p2p::net

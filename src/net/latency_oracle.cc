@@ -1,0 +1,42 @@
+#include "net/latency_oracle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace p2p::net {
+
+LatencyOracle::LatencyOracle(const TransitStubTopology& topo,
+                             util::ThreadPool* pool)
+    : router_count_(topo.router_count()),
+      host_router_(topo.host_router),
+      host_last_hop_(topo.host_last_hop_ms) {
+  router_dist_.assign(router_count_ * router_count_, kInfLatency);
+  auto run_source = [&](std::size_t r) {
+    const std::vector<double> d = topo.routers.Dijkstra(r);
+    std::copy(d.begin(), d.end(),
+              router_dist_.begin() +
+                  static_cast<std::ptrdiff_t>(r * router_count_));
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(router_count_, run_source);
+  } else {
+    for (std::size_t r = 0; r < router_count_; ++r) run_source(r);
+  }
+  // The generator guarantees connectivity; every distance must be finite.
+  for (double d : router_dist_) P2P_CHECK(d < kInfLatency);
+}
+
+double LatencyOracle::RouterDistance(NodeIdx a, NodeIdx b) const {
+  P2P_CHECK(a < router_count_ && b < router_count_);
+  return router_dist_[a * router_count_ + b];
+}
+
+double LatencyOracle::Latency(HostIdx a, HostIdx b) const {
+  P2P_CHECK(a < host_count() && b < host_count());
+  if (a == b) return 0.0;
+  return host_last_hop_[a] + RouterDistance(host_router_[a], host_router_[b]) +
+         host_last_hop_[b];
+}
+
+}  // namespace p2p::net

@@ -1,0 +1,46 @@
+// Host-to-host latency oracle over a transit-stub topology.
+//
+// Precomputes all-pairs shortest-path distances between routers (one
+// Dijkstra per router, optionally parallelised across a thread pool), then
+// answers host queries as
+//   latency(a, b) = last_hop(a) + dist(router(a), router(b)) + last_hop(b)
+// with latency(a, a) == 0. This is the "oracle" pairwise latency the paper's
+// `Critical` algorithm assumes; the `Leafset` algorithm instead uses
+// coordinate estimates derived from this oracle's measurements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/transit_stub.h"
+#include "util/thread_pool.h"
+
+namespace p2p::net {
+
+class LatencyOracle {
+ public:
+  // Builds the router distance matrix sequentially.
+  explicit LatencyOracle(const TransitStubTopology& topo)
+      : LatencyOracle(topo, nullptr) {}
+
+  // Builds using `pool` if non-null (one Dijkstra task per router).
+  LatencyOracle(const TransitStubTopology& topo, util::ThreadPool* pool);
+
+  std::size_t host_count() const { return host_router_.size(); }
+
+  // End-to-end latency between hosts, in ms. Symmetric; 0 on the diagonal.
+  double Latency(HostIdx a, HostIdx b) const;
+
+  // Router-level distance (ms) between two routers.
+  double RouterDistance(NodeIdx a, NodeIdx b) const;
+
+  double last_hop_ms(HostIdx h) const { return host_last_hop_[h]; }
+
+ private:
+  std::size_t router_count_;
+  std::vector<double> router_dist_;  // row-major router_count_^2
+  std::vector<NodeIdx> host_router_;
+  std::vector<double> host_last_hop_;
+};
+
+}  // namespace p2p::net

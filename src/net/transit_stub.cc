@@ -1,0 +1,118 @@
+#include "net/transit_stub.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace p2p::net {
+namespace {
+
+// Wire `members` into a connected random subgraph: random spanning tree
+// (each node links to a uniformly chosen earlier node in a shuffled order)
+// plus extra edges with probability `extra_prob` per unordered pair.
+void WireConnected(Graph& g, const std::vector<NodeIdx>& members,
+                   double latency_ms, double extra_prob, util::Rng& rng) {
+  P2P_CHECK(!members.empty());
+  std::vector<NodeIdx> order = members;
+  rng.Shuffle(order);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const std::size_t j = rng.NextBounded(i);
+    g.AddEdge(order[i], order[j], latency_ms);
+  }
+  if (extra_prob <= 0.0) return;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      if (!g.HasEdge(members[i], members[j]) && rng.Bernoulli(extra_prob)) {
+        g.AddEdge(members[i], members[j], latency_ms);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TransitStubTopology GenerateTransitStub(const TransitStubParams& params,
+                                        util::Rng& rng) {
+  P2P_CHECK(params.transit_domains > 0);
+  P2P_CHECK(params.transit_routers_per_domain > 0);
+  P2P_CHECK(params.routers_per_stub_domain > 0);
+  P2P_CHECK(params.last_hop_min_ms <= params.last_hop_max_ms);
+
+  TransitStubTopology topo;
+  topo.params = params;
+  topo.routers = Graph(params.total_routers());
+  topo.is_transit.assign(params.total_routers(), false);
+  topo.domain_of.assign(params.total_routers(), 0);
+
+  // Transit routers occupy indices [0, T); stub routers follow.
+  const std::size_t kTransit = params.total_transit_routers();
+  for (std::size_t i = 0; i < kTransit; ++i) {
+    topo.is_transit[i] = true;
+    topo.domain_of[i] = i / params.transit_routers_per_domain;
+  }
+
+  // 1. Wire each transit domain internally.
+  std::vector<std::vector<NodeIdx>> transit_domains(params.transit_domains);
+  for (std::size_t d = 0; d < params.transit_domains; ++d) {
+    for (std::size_t k = 0; k < params.transit_routers_per_domain; ++k)
+      transit_domains[d].push_back(d * params.transit_routers_per_domain + k);
+    WireConnected(topo.routers, transit_domains[d], params.transit_link_ms,
+                  params.intra_transit_extra_edge_prob, rng);
+  }
+
+  // 2. Interconnect transit domains: random spanning tree over domains, one
+  //    gateway link per tree edge, endpoints chosen at random per domain.
+  {
+    std::vector<std::size_t> order(params.transit_domains);
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(order);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      const std::size_t a = order[i];
+      const std::size_t b = order[rng.NextBounded(i)];
+      const NodeIdx ra =
+          transit_domains[a][rng.NextBounded(transit_domains[a].size())];
+      const NodeIdx rb =
+          transit_domains[b][rng.NextBounded(transit_domains[b].size())];
+      topo.routers.AddEdge(ra, rb, params.transit_link_ms);
+    }
+  }
+
+  // 3. Stub domains: each transit router owns `stub_domains_per_transit_
+  //    router` domains of `routers_per_stub_domain` routers; the domain is
+  //    internally wired with 10 ms links and attached to its transit router
+  //    by a 25 ms link from a random member.
+  std::size_t next_router = kTransit;
+  std::size_t stub_domain_id = 0;
+  for (std::size_t t = 0; t < kTransit; ++t) {
+    for (std::size_t s = 0; s < params.stub_domains_per_transit_router; ++s) {
+      std::vector<NodeIdx> members;
+      members.reserve(params.routers_per_stub_domain);
+      for (std::size_t k = 0; k < params.routers_per_stub_domain; ++k) {
+        const NodeIdx r = next_router++;
+        topo.domain_of[r] = stub_domain_id;
+        members.push_back(r);
+      }
+      WireConnected(topo.routers, members, params.stub_link_ms,
+                    params.intra_stub_extra_edge_prob, rng);
+      const NodeIdx attach = members[rng.NextBounded(members.size())];
+      topo.routers.AddEdge(t, attach, params.stub_transit_link_ms);
+      ++stub_domain_id;
+    }
+  }
+  P2P_CHECK(next_router == params.total_routers());
+  P2P_CHECK_MSG(topo.routers.IsConnected(), "generated topology disconnected");
+
+  // 4. End systems: attach to random stub routers with a 3–8 ms last hop.
+  topo.host_router.reserve(params.end_hosts);
+  topo.host_last_hop_ms.reserve(params.end_hosts);
+  const std::size_t kStub = params.total_stub_routers();
+  for (std::size_t h = 0; h < params.end_hosts; ++h) {
+    topo.host_router.push_back(kTransit + rng.NextBounded(kStub));
+    topo.host_last_hop_ms.push_back(
+        rng.Uniform(params.last_hop_min_ms, params.last_hop_max_ms));
+  }
+  return topo;
+}
+
+}  // namespace p2p::net

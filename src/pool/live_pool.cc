@@ -1,0 +1,120 @@
+#include "pool/live_pool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace p2p::pool {
+
+LiveExperimentResult RunStalenessExperiment(
+    ResourcePool& pool, const LiveExperimentParams& params) {
+  P2P_CHECK(pool.registry().TotalUsed() == 0);
+  P2P_CHECK(params.session_count * params.members_per_session <=
+            pool.size());
+
+  util::Rng rng(params.seed);
+  sim::Simulation sim(params.seed ^ 0x51f15e);
+
+  // SOMO publishes each node's live degree table plus its measured
+  // attributes (the Figure-7 report).
+  somo::SomoProtocol somo(sim, pool.ring(), params.somo,
+                          [&](dht::NodeIndex n) {
+                            somo::NodeReport r;
+                            r.node = n;
+                            r.host = pool.ring().node(n).host();
+                            r.generated_at = sim.now();
+                            r.coordinates = pool.coords().coord(n);
+                            const auto& est =
+                                pool.bandwidth_estimates().estimate(n);
+                            r.up_kbps = est.up_kbps;
+                            r.down_kbps = est.down_kbps;
+                            r.degrees = pool.registry().table(n);
+                            return r;
+                          });
+  somo.Start();
+
+  // Carve disjoint member blocks.
+  std::vector<std::size_t> hosts(pool.size());
+  std::iota(hosts.begin(), hosts.end(), 0);
+  rng.Shuffle(hosts);
+  std::vector<alm::SessionSpec> specs;
+  for (std::size_t s = 0; s < params.session_count; ++s) {
+    alm::SessionSpec spec;
+    spec.id = static_cast<alm::SessionId>(s + 1);
+    spec.priority = static_cast<int>(
+        rng.UniformInt(somo::kHighestPriority, somo::kLowestPriority));
+    const std::size_t base = s * params.members_per_session;
+    spec.root = hosts[base];
+    for (std::size_t k = 1; k < params.members_per_session; ++k)
+      spec.members.push_back(hosts[base + k]);
+    spec.start_ms = rng.Uniform(0.0, params.arrival_window_ms);
+    specs.push_back(std::move(spec));
+  }
+
+  LiveExperimentResult result;
+  std::vector<std::unique_ptr<TaskManager>> managers;
+  managers.resize(specs.size());
+  util::Accumulator staleness;
+
+  // A session schedules from the SOMO root view; on a stale conflict it
+  // replans immediately against the live registry ("contacting the nodes
+  // reveals the truth"). Victims of preemption replan the same way.
+  std::function<void(std::size_t)> schedule_from_view =
+      [&](std::size_t si) {
+        TaskManager& tm = *managers[si];
+        const auto* view =
+            somo.RootReport().empty() ? nullptr : &somo.RootReport();
+        if (view != nullptr) staleness.Add(somo.RootStalenessMs());
+        ScheduleOutcome out = tm.Schedule(view);
+        if (out.stale_conflict) {
+          ++result.stale_conflicts;
+          out = tm.Schedule();  // live fallback
+        }
+        for (const alm::SessionId victim : out.preempted) {
+          const auto vi = static_cast<std::size_t>(victim - 1);
+          if (managers[vi] != nullptr) {
+            // Victim replans a beat later (it must notice the loss first).
+            sim.After(100.0, [&, vi] {
+              if (managers[vi] != nullptr) schedule_from_view(vi);
+            });
+          }
+        }
+      };
+
+  for (std::size_t si = 0; si < specs.size(); ++si) {
+    managers[si] = std::make_unique<TaskManager>(pool, specs[si],
+                                                 params.options);
+    sim.At(specs[si].start_ms, [&, si] { schedule_from_view(si); });
+    // The paper's periodic re-run: every 20 s each session re-examines
+    // its plan against the then-current newscast.
+    sim.Every(20000.0, specs[si].start_ms + 20000.0, [&, si] {
+      if (managers[si] != nullptr && sim.now() < params.arrival_window_ms +
+                                                     params.settle_ms) {
+        schedule_from_view(si);
+      }
+    });
+  }
+
+  sim.RunUntil(params.arrival_window_ms + params.settle_ms);
+
+  for (std::size_t si = 0; si < specs.size(); ++si) {
+    TaskManager& tm = *managers[si];
+    if (tm.scheduled()) {
+      ++result.scheduled_sessions;
+      result.improvement.Add(tm.CurrentImprovement());
+      result.helpers.Add(static_cast<double>(tm.current_helpers()));
+    }
+    tm.Teardown();
+  }
+  somo.Stop();
+  result.mean_view_staleness_ms = staleness.mean();
+  result.somo_messages = somo.messages_sent();
+  P2P_CHECK(pool.registry().TotalUsed() == 0);
+  return result;
+}
+
+}  // namespace p2p::pool

@@ -1,0 +1,49 @@
+// The full closed loop of the paper, run end-to-end in simulated time:
+// nodes publish their degree tables / coordinates / bandwidth in SOMO
+// reports; SOMO gathers them to the root on its reporting cycle; task
+// managers of arriving sessions query that (possibly stale) global view,
+// plan, and go out to reserve degrees on the live nodes. Stale knowledge
+// shows up as refused reservations, which trigger a replan against the
+// live state — the cost of SOMO's staleness made measurable.
+//
+// RunStalenessExperiment sweeps the behaviour for one SOMO reporting
+// interval; the ablation bench sweeps the interval itself.
+#pragma once
+
+#include <cstdint>
+
+#include "pool/market.h"
+#include "pool/resource_pool.h"
+#include "sim/simulation.h"
+#include "somo/somo.h"
+#include "util/stats.h"
+
+namespace p2p::pool {
+
+struct LiveExperimentParams {
+  std::size_t session_count = 20;
+  std::size_t members_per_session = 20;
+  // Sessions arrive uniformly over this window (simulated ms).
+  double arrival_window_ms = 60000.0;
+  // Horizon after the last arrival before measuring.
+  double settle_ms = 60000.0;
+  somo::SomoConfig somo;  // reporting interval / gather discipline
+  TaskManagerOptions options;
+  std::uint64_t seed = 1;
+};
+
+struct LiveExperimentResult {
+  util::Accumulator improvement;      // settled, per session
+  util::Accumulator helpers;          // settled, per session
+  std::size_t stale_conflicts = 0;    // refused reservations (then replanned)
+  std::size_t scheduled_sessions = 0;
+  double mean_view_staleness_ms = 0.0;  // root-view staleness when queried
+  std::size_t somo_messages = 0;
+};
+
+// Runs one live experiment over a pre-built pool (registry must be empty;
+// drained on exit).
+LiveExperimentResult RunStalenessExperiment(ResourcePool& pool,
+                                            const LiveExperimentParams& params);
+
+}  // namespace p2p::pool

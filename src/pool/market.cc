@@ -1,0 +1,80 @@
+#include "pool/market.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace p2p::pool {
+
+MarketScheduler::MarketScheduler(ResourcePool& pool,
+                                 TaskManagerOptions options)
+    : pool_(pool), options_(options) {}
+
+TaskManager& MarketScheduler::session(alm::SessionId id) {
+  const auto it = sessions_.find(id);
+  P2P_CHECK_MSG(it != sessions_.end(), "unknown session " << id);
+  return *it->second;
+}
+
+const TaskManager& MarketScheduler::session(alm::SessionId id) const {
+  const auto it = sessions_.find(id);
+  P2P_CHECK_MSG(it != sessions_.end(), "unknown session " << id);
+  return *it->second;
+}
+
+std::vector<alm::SessionId> MarketScheduler::session_ids() const {
+  std::vector<alm::SessionId> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, tm] : sessions_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TaskManager& MarketScheduler::AddSession(alm::SessionSpec spec) {
+  const alm::SessionId id = spec.id;
+  P2P_CHECK_MSG(sessions_.find(id) == sessions_.end(),
+                "duplicate session id " << id);
+  sessions_.emplace(id,
+                    std::make_unique<TaskManager>(pool_, std::move(spec),
+                                                  options_));
+  ScheduleWithCascade(id);
+  return *sessions_.at(id);
+}
+
+void MarketScheduler::RemoveSession(alm::SessionId id) {
+  auto it = sessions_.find(id);
+  P2P_CHECK_MSG(it != sessions_.end(), "unknown session " << id);
+  it->second->Teardown();
+  sessions_.erase(it);
+}
+
+void MarketScheduler::ScheduleWithCascade(alm::SessionId id) {
+  std::deque<alm::SessionId> queue{id};
+  std::size_t steps = 0;
+  while (!queue.empty()) {
+    const alm::SessionId cur = queue.front();
+    queue.pop_front();
+    const auto it = sessions_.find(cur);
+    if (it == sessions_.end()) continue;  // victim ended meanwhile
+    const ScheduleOutcome out = it->second->Schedule();
+    ++reschedules_;
+    preemptions_ += out.preempted.size();
+    for (const alm::SessionId victim : out.preempted) {
+      if (std::find(queue.begin(), queue.end(), victim) == queue.end())
+        queue.push_back(victim);
+    }
+    if (++steps >= max_cascade_depth) break;
+  }
+}
+
+void MarketScheduler::ReschedulingSweep(util::Rng& rng) {
+  std::vector<alm::SessionId> order = session_ids();
+  rng.Shuffle(order);
+  for (const alm::SessionId id : order) {
+    if (sessions_.find(id) == sessions_.end()) continue;
+    ScheduleWithCascade(id);
+  }
+}
+
+}  // namespace p2p::pool

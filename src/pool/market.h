@@ -1,0 +1,59 @@
+// MarketScheduler: the hands-off, market-driven coordination layer of
+// paper §5.3. There is deliberately NO global scheduler — each session's
+// task manager plans on its own; this class only (1) keeps the roster of
+// active sessions, (2) makes preemption victims replan (they "lost a
+// resource in their current plan"), and (3) runs the periodic rescheduling
+// sweeps in which every session re-examines whether a better plan exists.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "pool/task_manager.h"
+#include "util/rng.h"
+
+namespace p2p::pool {
+
+class MarketScheduler {
+ public:
+  MarketScheduler(ResourcePool& pool, TaskManagerOptions options);
+
+  // Admit a session: schedules it immediately and resolves the preemption
+  // cascade it triggers.
+  TaskManager& AddSession(alm::SessionSpec spec);
+
+  // Session ended: release its resources. Freed capacity is picked up by
+  // the others at their next sweep (the paper's "recently freed
+  // resources").
+  void RemoveSession(alm::SessionId id);
+
+  // One market round: every active session replans, in random order.
+  // Each replan's victims are replanned in turn before the sweep moves on.
+  void ReschedulingSweep(util::Rng& rng);
+
+  std::size_t session_count() const { return sessions_.size(); }
+  TaskManager& session(alm::SessionId id);
+  const TaskManager& session(alm::SessionId id) const;
+  std::vector<alm::SessionId> session_ids() const;
+
+  std::size_t total_reschedules() const { return reschedules_; }
+  std::size_t total_preemptions() const { return preemptions_; }
+
+  // Safety valve for pathological preemption ping-pong (cannot occur with
+  // strictly-ordered priorities, but guards the loop).
+  std::size_t max_cascade_depth = 256;
+
+ private:
+  // Replan `id` and, recursively, every victim. Breadth-first with a
+  // visited cap.
+  void ScheduleWithCascade(alm::SessionId id);
+
+  ResourcePool& pool_;
+  TaskManagerOptions options_;
+  std::unordered_map<alm::SessionId, std::unique_ptr<TaskManager>> sessions_;
+  std::size_t reschedules_ = 0;
+  std::size_t preemptions_ = 0;
+};
+
+}  // namespace p2p::pool

@@ -1,0 +1,114 @@
+#include "pool/multi_session_sim.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "alm/bounds.h"
+#include "util/check.h"
+
+namespace p2p::pool {
+
+MultiSessionResult RunMultiSessionExperiment(
+    ResourcePool& pool, const MultiSessionParams& params) {
+  P2P_CHECK_MSG(params.session_count * params.members_per_session <=
+                    pool.size(),
+                "not enough hosts for non-overlapping member sets");
+  P2P_CHECK_MSG(pool.registry().TotalUsed() == 0,
+                "registry must be empty at experiment start");
+
+  util::Rng rng(params.seed);
+
+  // Non-overlapping member sets: shuffle all hosts, carve consecutive
+  // blocks of `members_per_session`.
+  std::vector<std::size_t> hosts(pool.size());
+  std::iota(hosts.begin(), hosts.end(), 0);
+  rng.Shuffle(hosts);
+
+  std::vector<alm::SessionSpec> specs;
+  specs.reserve(params.session_count);
+  for (std::size_t s = 0; s < params.session_count; ++s) {
+    alm::SessionSpec spec;
+    spec.id = static_cast<alm::SessionId>(s + 1);
+    spec.priority = static_cast<int>(
+        rng.UniformInt(somo::kHighestPriority, somo::kLowestPriority));
+    const std::size_t base = s * params.members_per_session;
+    spec.root = hosts[base];
+    for (std::size_t k = 1; k < params.members_per_session; ++k)
+      spec.members.push_back(hosts[base + k]);
+    specs.push_back(std::move(spec));
+  }
+
+  MultiSessionResult result;
+
+  // Per-session bounds, computed against an uncontended pool.
+  for (const auto& spec : specs) {
+    alm::PlanInput in;
+    in.degree_bounds = pool.degree_bounds();
+    in.root = spec.root;
+    in.members = spec.members;
+    in.true_latency = pool.TrueLatencyFn();
+    in.amcast = params.options.amcast;
+    in.adjust = params.options.adjust;
+
+    const double base_height =
+        PlanSession(in, alm::Strategy::kAmcast).height_true;
+
+    const double lb_height =
+        PlanSession(in, alm::Strategy::kAmcastAdjust).height_true;
+    result.lower_bound_improvement.Add(
+        alm::Improvement(base_height, lb_height));
+
+    if (params.compute_upper_bound) {
+      alm::PlanInput solo = in;
+      std::vector<char> member(pool.size(), 0);
+      member[spec.root] = 1;
+      for (const auto m : spec.members) member[m] = 1;
+      for (std::size_t v = 0; v < pool.size(); ++v) {
+        if (!member[v] &&
+            pool.degree_bound(v) >= params.options.helper_min_available)
+          solo.helper_candidates.push_back(v);
+      }
+      solo.estimated_latency = pool.EstimatedLatencyFn();
+      const double ub_height =
+          PlanSession(solo, alm::Strategy::kLeafsetAdjust).height_true;
+      result.upper_bound_improvement.Add(
+          alm::Improvement(base_height, ub_height));
+    }
+  }
+
+  // Market phase: sessions arrive in random order, then the periodic
+  // rescheduling sweeps let the market settle.
+  MarketScheduler market(pool, params.options);
+  {
+    std::vector<std::size_t> arrival(specs.size());
+    std::iota(arrival.begin(), arrival.end(), 0);
+    rng.Shuffle(arrival);
+    for (const std::size_t i : arrival) market.AddSession(specs[i]);
+  }
+  for (std::size_t sweep = 0; sweep < params.rescheduling_sweeps; ++sweep)
+    market.ReschedulingSweep(rng);
+
+  // Measure the settled state.
+  for (const auto& spec : specs) {
+    TaskManager& tm = market.session(spec.id);
+    P2P_CHECK(tm.scheduled());
+    auto& cls = result.by_priority[static_cast<std::size_t>(spec.priority)];
+    cls.improvement.Add(tm.CurrentImprovement());
+    cls.helpers_used.Add(static_cast<double>(tm.current_helpers()));
+    ++cls.sessions;
+  }
+  result.reschedules = market.total_reschedules();
+  result.preemptions = market.total_preemptions();
+  result.pool_utilisation =
+      static_cast<double>(pool.registry().TotalUsed()) /
+      static_cast<double>(pool.registry().TotalCapacity());
+
+  // Drain the registry so the pool can host another experiment.
+  for (const alm::SessionId id : market.session_ids())
+    market.RemoveSession(id);
+  P2P_CHECK(pool.registry().TotalUsed() == 0);
+
+  return result;
+}
+
+}  // namespace p2p::pool

@@ -1,0 +1,51 @@
+// The Figure-10 experiment driver: S concurrent ALM sessions with
+// non-overlapping 20-node member sets and priorities 1..3 compete for the
+// 1200-node resource pool through the market scheduler. Reports, per
+// priority class, the mean improvement over each session's own AMCast
+// baseline and the mean number of helper nodes retained — plus the
+// theoretical lower bound (AMCast+adjust, members only) and upper bound
+// (Leafset+adjust with the whole pool to itself).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "pool/market.h"
+#include "util/stats.h"
+
+namespace p2p::pool {
+
+struct MultiSessionParams {
+  std::size_t session_count = 10;      // paper sweeps 10..60
+  std::size_t members_per_session = 20;
+  // Market rounds after all arrivals (the paper's periodic re-runs).
+  std::size_t rescheduling_sweeps = 2;
+  std::uint64_t seed = 42;
+  TaskManagerOptions options;
+  // Compute the per-session upper bound (costly: one full solo plan per
+  // session).
+  bool compute_upper_bound = true;
+};
+
+struct PriorityClassStats {
+  util::Accumulator improvement;    // (H_AMCast − H)/H_AMCast
+  util::Accumulator helpers_used;   // helper nodes in the final tree
+  std::size_t sessions = 0;
+};
+
+struct MultiSessionResult {
+  // Indexed by priority 1..3 (slot 0 unused).
+  std::array<PriorityClassStats, 4> by_priority;
+  util::Accumulator lower_bound_improvement;   // AMCast+adjust
+  util::Accumulator upper_bound_improvement;   // Leafset+adjust, solo
+  std::size_t reschedules = 0;
+  std::size_t preemptions = 0;
+  double pool_utilisation = 0.0;  // used degrees / total capacity
+};
+
+// Runs one experiment over a pre-built pool. The pool's degree registry
+// must be empty on entry; it is drained (all sessions torn down) on exit.
+MultiSessionResult RunMultiSessionExperiment(ResourcePool& pool,
+                                             const MultiSessionParams& params);
+
+}  // namespace p2p::pool

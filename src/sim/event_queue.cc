@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace p2p::sim {
+
+EventId EventQueue::Schedule(Time t, Callback cb) {
+  P2P_CHECK_MSG(cb != nullptr, "scheduling a null callback");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::DropCancelledHead() const {
+  // `callbacks_` membership is the liveness test; heap entries whose id was
+  // cancelled are garbage and get skipped here.
+  while (!heap_.empty() &&
+         callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::PeekTime() const {
+  P2P_CHECK(!empty());
+  DropCancelledHead();
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::Pop() {
+  P2P_CHECK(!empty());
+  DropCancelledHead();
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(e.id);
+  P2P_CHECK(it != callbacks_.end());
+  Fired fired{e.time, e.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace p2p::sim

@@ -1,0 +1,74 @@
+// Discrete-event queue: a min-heap of (time, seq) ordered events.
+//
+// Ties on time break by insertion order (seq), which makes simulations
+// deterministic. Events can be cancelled by id; cancelled entries are
+// skipped lazily on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace p2p::sim {
+
+// Simulated time in milliseconds. All paper parameters (link latencies,
+// heartbeat periods, SOMO reporting intervals) are given in ms or s.
+using Time = double;
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedule `cb` at absolute time `t` (must be >= current sim time, which
+  // the owning Simulation enforces). Returns an id usable with Cancel().
+  EventId Schedule(Time t, Callback cb);
+
+  // Cancel a pending event. Returns false if the event already fired,
+  // was already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  // Time of the earliest live event. Requires !empty().
+  Time PeekTime() const;
+
+  // Pop and return the earliest live event. Requires !empty().
+  struct Fired {
+    Time time;
+    EventId id;
+    Callback cb;
+  };
+  Fired Pop();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventId id;
+    // Heap is a max-heap by default; invert for earliest-first, with seq as
+    // the FIFO tie-break.
+    bool operator<(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void DropCancelledHead() const;
+
+  // Callbacks stored out of the heap so Entry stays trivially movable.
+  mutable std::priority_queue<Entry> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace p2p::sim

@@ -1,0 +1,71 @@
+#include "sim/simulation.h"
+
+#include <memory>
+#include <utility>
+
+namespace p2p::sim {
+
+EventId Simulation::At(Time t, EventQueue::Callback cb) {
+  P2P_CHECK_MSG(t >= now_, "cannot schedule in the past: t=" << t << " now="
+                                                             << now_);
+  return queue_.Schedule(t, std::move(cb));
+}
+
+EventId Simulation::After(Time dt, EventQueue::Callback cb) {
+  P2P_CHECK_MSG(dt >= 0.0, "negative delay " << dt);
+  return At(now_ + dt, std::move(cb));
+}
+
+void Simulation::SchedulePeriodic(Time period, Time next,
+                                  std::shared_ptr<bool> alive,
+                                  std::shared_ptr<std::function<void()>> cb) {
+  At(next, [this, period, next, alive, cb] {
+    if (!*alive) return;
+    (*cb)();
+    if (*alive) SchedulePeriodic(period, next + period, alive, cb);
+  });
+}
+
+Simulation::PeriodicToken Simulation::Every(Time period, Time initial_delay,
+                                            std::function<void()> cb) {
+  P2P_CHECK(period > 0.0);
+  P2P_CHECK(initial_delay >= 0.0);
+  PeriodicToken token{std::make_shared<bool>(true)};
+  SchedulePeriodic(period, now_ + initial_delay, token.alive,
+                   std::make_shared<std::function<void()>>(std::move(cb)));
+  return token;
+}
+
+void Simulation::CancelPeriodic(PeriodicToken& token) {
+  if (token.alive) *token.alive = false;
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.Pop();
+  P2P_DCHECK(fired.time >= now_);
+  now_ = fired.time;
+  ++fired_;
+  fired.cb();
+  return true;
+}
+
+std::size_t Simulation::RunUntil(Time t_end) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.PeekTime() <= t_end) {
+    Step();
+    ++n;
+  }
+  // Advance the clock to t_end even if no event lands exactly there, so
+  // successive RunUntil calls observe monotonically increasing time.
+  if (t_end > now_) now_ = t_end;
+  return n;
+}
+
+std::size_t Simulation::Run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && Step()) ++n;
+  return n;
+}
+
+}  // namespace p2p::sim

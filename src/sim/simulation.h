@@ -1,0 +1,67 @@
+// Simulation kernel: owns the virtual clock, the event queue, and the
+// per-run random stream. Protocol objects (DHT heartbeats, SOMO gather,
+// packet-pair probes) schedule callbacks against this kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace p2p::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const { return now_; }
+  util::Rng& rng() { return rng_; }
+
+  // Schedule at absolute virtual time (>= now).
+  EventId At(Time t, EventQueue::Callback cb);
+  // Schedule `dt` ms from now (dt >= 0).
+  EventId After(Time dt, EventQueue::Callback cb);
+  // Schedule a repeating event every `period` ms, first firing after
+  // `initial_delay`. Returns a token that cancels *future* firings.
+  // Periodic callbacks receive no arguments; to stop from inside the
+  // callback, call CancelPeriodic with the returned token.
+  struct PeriodicToken {
+    std::shared_ptr<bool> alive;
+  };
+  PeriodicToken Every(Time period, Time initial_delay,
+                      std::function<void()> cb);
+  static void CancelPeriodic(PeriodicToken& token);
+
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Run a single event; returns false if the queue was empty.
+  bool Step();
+  // Run until the queue drains or virtual time would exceed `t_end`.
+  // Events at exactly t_end still run. Returns the number of events fired.
+  std::size_t RunUntil(Time t_end);
+  // Drain the queue completely (use RunUntil for open-ended protocols that
+  // reschedule themselves forever). `max_events` is a runaway backstop.
+  std::size_t Run(std::size_t max_events =
+                      std::numeric_limits<std::size_t>::max());
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t fired_events() const { return fired_; }
+
+ private:
+  void SchedulePeriodic(Time period, Time next,
+                        std::shared_ptr<bool> alive,
+                        std::shared_ptr<std::function<void()>> cb);
+
+  EventQueue queue_;
+  Time now_ = 0.0;
+  std::size_t fired_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace p2p::sim

@@ -1,0 +1,195 @@
+#include "somo/logical_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace p2p::somo {
+
+namespace {
+constexpr unsigned __int128 kFullSpace =
+    static_cast<unsigned __int128>(1) << 64;
+}  // namespace
+
+double LogicalTree::CenterOf(std::size_t level, std::size_t index,
+                             std::size_t fanout) {
+  // Centre of region [index/k^level, (index+1)/k^level).
+  double width = 1.0;
+  for (std::size_t i = 0; i < level; ++i) width /= static_cast<double>(fanout);
+  return width * (static_cast<double>(index) + 0.5);
+}
+
+LogicalTree::LogicalTree(const dht::Ring& ring, std::size_t fanout)
+    : fanout_(fanout) {
+  P2P_CHECK_MSG(fanout_ >= 2, "SOMO fanout must be at least 2");
+  const auto alive = ring.SortedAlive();
+  P2P_CHECK_MSG(!alive.empty(), "cannot build SOMO over an empty ring");
+  sorted_.reserve(alive.size());
+  for (const dht::NodeIndex n : alive)
+    sorted_.push_back({ring.node(n).id(), n});
+  // SortedAlive is id-sorted already; keep the invariant explicit.
+  P2P_DCHECK(std::is_sorted(sorted_.begin(), sorted_.end(),
+                            [](const dht::LeafsetEntry& a,
+                               const dht::LeafsetEntry& b) {
+                              return a.id < b.id;
+                            }));
+  Build(0, 0, 0, kFullSpace, kNoLogical);
+}
+
+dht::NodeIndex LogicalTree::OwnerOf(dht::NodeId key) const {
+  // zone(x) = (pred, x]: first id at or clockwise after the key.
+  const auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), key,
+      [](const dht::LeafsetEntry& e, dht::NodeId v) { return e.id < v; });
+  return it == sorted_.end() ? sorted_.front().node : it->node;
+}
+
+dht::NodeId LogicalTree::PredIdOf(std::size_t pos) const {
+  return sorted_[(pos + sorted_.size() - 1) % sorted_.size()].id;
+}
+
+std::size_t LogicalTree::CountIdsInRegion(
+    dht::NodeId lo, unsigned __int128 width) const {
+  if (width >= kFullSpace) return sorted_.size();
+  // Regions produced by splitting [0, 2^64) never wrap.
+  const dht::NodeId hi = lo + static_cast<dht::NodeId>(width - 1);
+  const auto first = std::lower_bound(
+      sorted_.begin(), sorted_.end(), lo,
+      [](const dht::LeafsetEntry& e, dht::NodeId v) { return e.id < v; });
+  const auto last = std::upper_bound(
+      sorted_.begin(), sorted_.end(), hi,
+      [](dht::NodeId v, const dht::LeafsetEntry& e) { return v < e.id; });
+  return static_cast<std::size_t>(last - first);
+}
+
+std::vector<dht::NodeIndex> LogicalTree::IdsInRegion(
+    dht::NodeId lo, unsigned __int128 width) const {
+  std::vector<dht::NodeIndex> out;
+  if (width >= kFullSpace) {
+    for (const auto& e : sorted_) out.push_back(e.node);
+    return out;
+  }
+  const dht::NodeId hi = lo + static_cast<dht::NodeId>(width - 1);
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), lo,
+      [](const dht::LeafsetEntry& e, dht::NodeId v) { return e.id < v; });
+  for (; it != sorted_.end() && it->id <= hi; ++it) out.push_back(it->node);
+  return out;
+}
+
+LogicalIndex LogicalTree::Build(std::size_t level, std::size_t index,
+                                dht::NodeId region_lo,
+                                unsigned __int128 region_width,
+                                LogicalIndex parent) {
+  P2P_CHECK_MSG(region_width >= 1, "region exhausted at level " << level);
+  const dht::NodeId center_id =
+      region_lo + static_cast<dht::NodeId>(region_width / 2);
+  const dht::NodeIndex owner = OwnerOf(center_id);
+
+  const LogicalIndex me = nodes_.size();
+  nodes_.push_back({});
+  {
+    LogicalNode& ln = nodes_[me];
+    ln.level = level;
+    ln.index = index;
+    ln.center = dht::UnitFromId(center_id);
+    ln.region_lo = region_lo;
+    ln.region_width = region_width;
+    ln.owner = owner;
+    ln.parent = parent;
+  }
+  depth_ = std::max(depth_, level + 1);
+
+  // Leaf test: the region spans at most two zones, i.e. contains at most
+  // one node id. (Splitting a region that straddles one zone boundary can
+  // never retire the boundary — it is not on the k-ary grid — so recursing
+  // past this point would chase it down to single ids.)
+  const std::size_t ids_inside = CountIdsInRegion(region_lo, region_width);
+  const bool is_leaf =
+      region_width <= 1 || ids_inside <= 1 || sorted_.size() == 1;
+
+  if (is_leaf) {
+    // This leaf reports the machines whose ids fall inside its region.
+    nodes_[me].reported = IdsInRegion(region_lo, region_width);
+    leaves_.push_back(me);
+    return me;
+  }
+
+  // Split the region into `fanout_` near-equal child regions.
+  std::vector<LogicalIndex> children;
+  children.reserve(fanout_);
+  unsigned __int128 consumed = 0;
+  for (std::size_t c = 0; c < fanout_; ++c) {
+    const unsigned __int128 next_boundary =
+        region_width * (c + 1) / fanout_;
+    const unsigned __int128 child_width = next_boundary - consumed;
+    if (child_width == 0) continue;  // tiny regions: fewer than k children
+    const dht::NodeId child_lo =
+        region_lo + static_cast<dht::NodeId>(consumed);
+    children.push_back(Build(level + 1, index * fanout_ + c, child_lo,
+                             child_width, me));
+    consumed = next_boundary;
+  }
+  nodes_[me].children = std::move(children);
+  return me;
+}
+
+std::vector<LogicalIndex> LogicalTree::HostedBy(dht::NodeIndex n) const {
+  std::vector<LogicalIndex> out;
+  for (LogicalIndex i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].owner == n) out.push_back(i);
+  }
+  return out;
+}
+
+LogicalIndex LogicalTree::RepresentationOf(dht::NodeIndex n) const {
+  LogicalIndex best = kNoLogical;
+  for (LogicalIndex i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].owner != n) continue;
+    if (best == kNoLogical || nodes_[i].level < nodes_[best].level) best = i;
+  }
+  return best;
+}
+
+LogicalIndex LogicalTree::ReporterOf(dht::NodeIndex n) const {
+  for (const LogicalIndex l : leaves_) {
+    const auto& rep = nodes_[l].reported;
+    if (std::find(rep.begin(), rep.end(), n) != rep.end()) return l;
+  }
+  return kNoLogical;
+}
+
+void LogicalTree::CheckInvariants(const dht::Ring& ring) const {
+  P2P_CHECK(!nodes_.empty());
+  P2P_CHECK(nodes_[0].is_root());
+  // Parent/child link consistency.
+  for (LogicalIndex i = 0; i < nodes_.size(); ++i) {
+    for (const LogicalIndex c : nodes_[i].children) {
+      P2P_CHECK(nodes_[c].parent == i);
+      P2P_CHECK(nodes_[c].level == nodes_[i].level + 1);
+    }
+  }
+  // Leaf regions tile the full space in order.
+  unsigned __int128 covered = 0;
+  dht::NodeId expect_lo = 0;
+  for (const LogicalIndex l : leaves_) {
+    const LogicalNode& ln = nodes_[l];
+    P2P_CHECK_MSG(ln.region_lo == expect_lo, "leaf regions not contiguous");
+    covered += ln.region_width;
+    expect_lo = ln.region_lo + static_cast<dht::NodeId>(ln.region_width);
+  }
+  P2P_CHECK_MSG(covered == kFullSpace, "leaf regions do not tile the space");
+  // Every alive DHT node is reported by exactly one leaf.
+  std::vector<int> reports(ring.size(), 0);
+  for (const LogicalIndex l : leaves_) {
+    P2P_CHECK_MSG(nodes_[l].reported.size() <= 1 || leaves_.size() == 1,
+                  "leaf reports more than one node");
+    for (const dht::NodeIndex n : nodes_[l].reported) ++reports[n];
+  }
+  for (const auto& e : sorted_)
+    P2P_CHECK_MSG(reports[e.node] == 1,
+                  "alive node " << e.node << " reported " << reports[e.node]
+                                << " times");
+}
+
+}  // namespace p2p::somo

@@ -1,0 +1,105 @@
+// SOMO logical tree (paper §3.2): a fanout-k tree drawn over the DHT's
+// logical space [0, 1]. The logical node at (level ℓ, index j) owns region
+// [j/k^ℓ, (j+1)/k^ℓ) and sits at the region's centre; the DHT node whose
+// zone contains that centre hosts it. Construction is bottom-up in spirit —
+// every position is computed independently from (level, index) alone, so
+// any brick can derive its own representation and its parent's position
+// without coordination.
+//
+// Expansion stops when a region spans at most two zones (equivalently:
+// contains at most one node id). Splitting further would chase the zone
+// boundary with ever-smaller regions all the way to single ids — the
+// boundary point never aligns with the k-ary grid — so the two-zone rule is
+// what bounds the tree at O(N) logical nodes and O(log_k N) depth.
+//
+// Report responsibility: each leaf reports exactly the DHT nodes whose own
+// ids fall inside its region. Ids partition over leaves, so every alive
+// node is reported exactly once per gather — no duplicates, no gaps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dht/ring.h"
+
+namespace p2p::somo {
+
+using LogicalIndex = std::size_t;
+inline constexpr LogicalIndex kNoLogical = static_cast<LogicalIndex>(-1);
+
+struct LogicalNode {
+  std::size_t level = 0;
+  std::size_t index = 0;  // 0 .. k^level - 1
+  double center = 0.5;    // position in [0, 1)
+  // Region in id space: [region_lo, region_lo + region_width). Kept in
+  // exact integer arithmetic — doubles lose the low id bits at depth.
+  dht::NodeId region_lo = 0;
+  unsigned __int128 region_width = 0;
+  dht::NodeIndex owner = dht::kNoNode;  // hosting DHT node
+  LogicalIndex parent = kNoLogical;
+  std::vector<LogicalIndex> children;
+  // Leaves only: DHT nodes whose ids fall in this region — the machines
+  // whose reports this leaf collects.
+  std::vector<dht::NodeIndex> reported;
+
+  bool is_leaf() const { return children.empty(); }
+  bool is_root() const { return parent == kNoLogical; }
+};
+
+class LogicalTree {
+ public:
+  // Build the tree for the current alive membership of `ring`.
+  LogicalTree(const dht::Ring& ring, std::size_t fanout);
+
+  std::size_t fanout() const { return fanout_; }
+  std::size_t size() const { return nodes_.size(); }
+  const LogicalNode& node(LogicalIndex i) const { return nodes_.at(i); }
+  LogicalIndex root() const { return 0; }
+
+  std::size_t depth() const { return depth_; }
+
+  // Leaves in left-to-right (space) order.
+  const std::vector<LogicalIndex>& leaves() const { return leaves_; }
+
+  // All logical nodes hosted by DHT node `n` (its chain of representations).
+  std::vector<LogicalIndex> HostedBy(dht::NodeIndex n) const;
+
+  // The highest (closest-to-root) logical node hosted by DHT node `n`, or
+  // kNoLogical if it hosts none.
+  LogicalIndex RepresentationOf(dht::NodeIndex n) const;
+
+  // The unique leaf whose region contains n's id (the leaf that reports
+  // n's machine status).
+  LogicalIndex ReporterOf(dht::NodeIndex n) const;
+
+  // Centre of logical node (level, index) — the self-computable position.
+  static double CenterOf(std::size_t level, std::size_t index,
+                         std::size_t fanout);
+
+  // Verifies structural invariants: leaf regions tile [0,1), parent/child
+  // links are consistent, every alive DHT node is reported by exactly one
+  // leaf.
+  void CheckInvariants(const dht::Ring& ring) const;
+
+ private:
+  LogicalIndex Build(std::size_t level, std::size_t index,
+                     dht::NodeId region_lo, unsigned __int128 region_width,
+                     LogicalIndex parent);
+  dht::NodeIndex OwnerOf(dht::NodeId key) const;
+  // Zone predecessor id of the sorted-position `pos`.
+  dht::NodeId PredIdOf(std::size_t pos) const;
+  // Node ids falling inside [lo, lo+width): count and listing.
+  std::size_t CountIdsInRegion(dht::NodeId lo,
+                               unsigned __int128 width) const;
+  std::vector<dht::NodeIndex> IdsInRegion(dht::NodeId lo,
+                                          unsigned __int128 width) const;
+
+  std::size_t fanout_;
+  std::size_t depth_ = 0;
+  std::vector<LogicalNode> nodes_;
+  std::vector<LogicalIndex> leaves_;
+  // Alive membership snapshot (id-sorted) taken at construction.
+  std::vector<dht::LeafsetEntry> sorted_;
+};
+
+}  // namespace p2p::somo

@@ -1,0 +1,68 @@
+#include "somo/report.h"
+
+#include <unordered_map>
+
+namespace p2p::somo {
+
+void AggregateReport::Add(NodeReport r) {
+  oldest = std::min(oldest, r.generated_at);
+  newest = std::max(newest, r.generated_at);
+  if (r.capacity > best_capacity) {
+    best_capacity = r.capacity;
+    best_capacity_node = r.node;
+  }
+  members.push_back(std::move(r));
+}
+
+void AggregateReport::Merge(const AggregateReport& other) {
+  if (other.empty()) return;
+  oldest = std::min(oldest, other.oldest);
+  newest = std::max(newest, other.newest);
+  if (other.best_capacity > best_capacity) {
+    best_capacity = other.best_capacity;
+    best_capacity_node = other.best_capacity_node;
+  }
+  members.insert(members.end(), other.members.begin(), other.members.end());
+}
+
+void AggregateReport::MergeKeepFreshest(const AggregateReport& other) {
+  if (other.empty()) return;
+  // Index existing members; replace with fresher duplicates, append new.
+  std::unordered_map<dht::NodeIndex, std::size_t> index;
+  index.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i)
+    index.emplace(members[i].node, i);
+  for (const NodeReport& r : other.members) {
+    const auto it = index.find(r.node);
+    if (it == index.end()) {
+      index.emplace(r.node, members.size());
+      members.push_back(r);
+    } else if (r.generated_at > members[it->second].generated_at) {
+      members[it->second] = r;
+    }
+  }
+  // Recompute freshness window and capacity argmax from scratch (the
+  // replaced entries may have carried the old extrema).
+  oldest = std::numeric_limits<double>::infinity();
+  newest = -std::numeric_limits<double>::infinity();
+  best_capacity = -std::numeric_limits<double>::infinity();
+  best_capacity_node = dht::kNoNode;
+  for (const NodeReport& r : members) {
+    oldest = std::min(oldest, r.generated_at);
+    newest = std::max(newest, r.generated_at);
+    if (r.capacity > best_capacity) {
+      best_capacity = r.capacity;
+      best_capacity_node = r.node;
+    }
+  }
+}
+
+void AggregateReport::Clear() {
+  members.clear();
+  oldest = std::numeric_limits<double>::infinity();
+  newest = -std::numeric_limits<double>::infinity();
+  best_capacity = -std::numeric_limits<double>::infinity();
+  best_capacity_node = dht::kNoNode;
+}
+
+}  // namespace p2p::somo

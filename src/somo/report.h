@@ -1,0 +1,117 @@
+// SOMO report schema for scheduling ALM (paper Figures 7 and 9): each node
+// publishes its network coordinates, its estimated up/down bottleneck
+// bandwidth, and its degree table — total degree plus which sessions (and
+// at what priority) currently hold each degree. The aggregate report that
+// flows up the SOMO tree is the concatenation of member reports plus
+// freshness bookkeeping; the root's aggregate is the "dynamic system status
+// database" task managers query.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "coord/vec.h"
+#include "dht/leafset.h"
+#include "net/transit_stub.h"
+#include "sim/event_queue.h"
+
+namespace p2p::somo {
+
+// Paper §5.3: integer priorities 1..3, 1 highest.
+inline constexpr int kHighestPriority = 1;
+inline constexpr int kLowestPriority = 3;
+
+using SessionId = std::int64_t;
+inline constexpr SessionId kNoSession = -1;
+
+// One taken degree: which session holds it and at what (effective) priority.
+struct DegreeSlot {
+  SessionId session = kNoSession;
+  int priority = kLowestPriority;
+};
+
+// Figure 9's degree table: a node's total degree bound and its partition
+// among active sessions.
+struct DegreeTable {
+  int total = 0;
+  std::vector<DegreeSlot> taken;
+
+  int used() const { return static_cast<int>(taken.size()); }
+  int free() const { return total - used(); }
+
+  // Degrees a session of priority `prio` could claim: free degrees plus
+  // degrees held at strictly lower priority classes (numerically larger),
+  // which it may preempt (paper §5.3: "any resources that are occupied by
+  // tasks with lower priorities than L are considered available").
+  int AvailableFor(int prio) const {
+    int n = free();
+    for (const auto& s : taken) {
+      if (s.priority > prio) ++n;
+    }
+    return n;
+  }
+
+  // Degrees used by `prio` exactly.
+  int UsedAt(int prio) const {
+    return static_cast<int>(
+        std::count_if(taken.begin(), taken.end(),
+                      [prio](const DegreeSlot& s) { return s.priority == prio; }));
+  }
+
+  // Degrees held by a given session.
+  int HeldBy(SessionId s) const {
+    return static_cast<int>(
+        std::count_if(taken.begin(), taken.end(),
+                      [s](const DegreeSlot& d) { return d.session == s; }));
+  }
+};
+
+// Wire-size model (§3.2: "the leaf SOMO report is 40 bytes"): used by the
+// overhead accounting, not by any algorithm.
+inline constexpr std::size_t kReportHeaderBytes = 16;
+inline constexpr std::size_t kPerRecordBytes = 40;
+
+// Per-machine report (Figure 7), stamped with generation time so staleness
+// at the root can be measured.
+struct NodeReport {
+  dht::NodeIndex node = dht::kNoNode;
+  net::HostIdx host = 0;
+  sim::Time generated_at = 0.0;
+  coord::Vec coordinates;
+  double up_kbps = 0.0;
+  double down_kbps = 0.0;
+  DegreeTable degrees;
+  // Generic capability metric for the §3.2 root-swap self-optimisation;
+  // the maximum is "merge-sorted" upward inside AggregateReport.
+  double capacity = 0.0;
+};
+
+// Aggregate flowing up the SOMO hierarchy.
+struct AggregateReport {
+  std::vector<NodeReport> members;
+  sim::Time oldest = std::numeric_limits<double>::infinity();
+  sim::Time newest = -std::numeric_limits<double>::infinity();
+  // Running argmax of member capacity (the upward merge-sort, condensed
+  // to the only value the root swap needs).
+  dht::NodeIndex best_capacity_node = dht::kNoNode;
+  double best_capacity = -std::numeric_limits<double>::infinity();
+
+  bool empty() const { return members.empty(); }
+  std::size_t size() const { return members.size(); }
+
+  void Add(NodeReport r);
+  void Merge(const AggregateReport& other);
+  // Merge keeping only the freshest report per node — used when redundant
+  // SOMO links may deliver overlapping aggregates.
+  void MergeKeepFreshest(const AggregateReport& other);
+  void Clear();
+
+  // Modelled wire size of this aggregate.
+  std::size_t SerializedBytes() const {
+    return kReportHeaderBytes + members.size() * kPerRecordBytes;
+  }
+};
+
+}  // namespace p2p::somo

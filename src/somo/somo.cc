@@ -1,0 +1,352 @@
+#include "somo/somo.h"
+
+#include <memory>
+
+#include "util/check.h"
+
+namespace p2p::somo {
+
+SomoProtocol::SomoProtocol(sim::Simulation& sim, dht::Ring& ring,
+                           SomoConfig config, ReportProvider provider)
+    : sim_(sim), ring_(ring), config_(config), provider_(std::move(provider)) {
+  P2P_CHECK(config_.report_interval_ms > 0.0);
+  P2P_CHECK(provider_ != nullptr);
+  tree_ = std::make_unique<LogicalTree>(ring_, config_.fanout);
+  state_.resize(tree_->size());
+  for (LogicalIndex l = 0; l < tree_->size(); ++l)
+    state_[l].from_children.resize(tree_->node(l).children.size());
+}
+
+double SomoProtocol::HopDelay(dht::NodeIndex a, dht::NodeIndex b) const {
+  if (a == b) return 0.0;
+  if (ring_.oracle() != nullptr) return ring_.LatencyBetween(a, b);
+  return config_.default_hop_delay_ms;
+}
+
+void SomoProtocol::Start() {
+  P2P_CHECK_MSG(!running_, "SOMO already running");
+  running_ = true;
+  ScheduleLogicalTimers();
+}
+
+void SomoProtocol::Stop() {
+  running_ = false;
+  for (auto& t : timers_) sim::Simulation::CancelPeriodic(t);
+  timers_.clear();
+}
+
+void SomoProtocol::ScheduleLogicalTimers() {
+  for (auto& t : timers_) sim::Simulation::CancelPeriodic(t);
+  timers_.clear();
+  if (config_.synchronized_gather) {
+    // Only the root keeps a timer; everything below reacts to the cascade.
+    timers_.push_back(sim_.Every(config_.report_interval_ms, 0.0,
+                                 [this] { StartSyncGather(); }));
+    return;
+  }
+  // Unsynchronised: one independent timer per logical node, random phase.
+  timers_.reserve(tree_->size());
+  for (LogicalIndex l = 0; l < tree_->size(); ++l) {
+    const sim::Time phase =
+        sim_.rng().Uniform(0.0, config_.report_interval_ms);
+    timers_.push_back(sim_.Every(config_.report_interval_ms, phase,
+                                 [this, l] { FireLogical(l); }));
+  }
+}
+
+AggregateReport SomoProtocol::ComputeAggregate(LogicalIndex l) const {
+  const LogicalNode& ln = tree_->node(l);
+  AggregateReport agg;
+  if (ln.is_leaf()) {
+    // A leaf collects the reports of the machines whose ids fall in its
+    // region (each alive node is reported by exactly one leaf).
+    if (ring_.node(ln.owner).alive()) {
+      for (const dht::NodeIndex n : ln.reported) {
+        if (ring_.node(n).alive()) agg.Add(provider_(n));
+      }
+    }
+    return agg;
+  }
+  // Children's aggregates are region-disjoint, but adopted copies (from
+  // redundant links) can overlap with a recovered parent path — merge
+  // keeping the freshest report per node.
+  for (const auto& child_agg : state_[l].from_children)
+    agg.MergeKeepFreshest(child_agg);
+  for (const auto& [src, adopted_agg] : state_[l].adopted)
+    agg.MergeKeepFreshest(adopted_agg);
+  return agg;
+}
+
+void SomoProtocol::FireLogical(LogicalIndex l) {
+  if (!running_) return;
+  if (l >= tree_->size()) return;  // tree shrank in a Rebuild
+  const LogicalNode& ln = tree_->node(l);
+  if (!ring_.node(ln.owner).alive()) return;  // will be repaired by Rebuild
+  state_[l].own = ComputeAggregate(l);
+  if (ln.is_root()) {
+    root_view_ = state_[l].own;
+    if (!root_view_.empty()) {
+      ++gathers_completed_;
+      OnRootViewRefreshed();
+    }
+    return;
+  }
+  PushToParent(l);
+}
+
+void SomoProtocol::PushToParent(LogicalIndex l) {
+  const LogicalNode& ln = tree_->node(l);
+  const LogicalIndex parent = ln.parent;
+  const LogicalNode& pn = tree_->node(parent);
+
+  // Redundant links (§3.2): a dead parent host would swallow the push;
+  // hand the aggregate to a random alive parent-sibling instead, which
+  // adopts it into its own upward aggregate.
+  if (config_.redundant_links && !ring_.node(pn.owner).alive() &&
+      !pn.is_root()) {
+    const LogicalNode& gp = tree_->node(pn.parent);
+    std::vector<LogicalIndex> uncles;
+    for (const LogicalIndex u : gp.children) {
+      if (u != parent && ring_.node(tree_->node(u).owner).alive())
+        uncles.push_back(u);
+    }
+    if (!uncles.empty()) {
+      const LogicalIndex uncle =
+          uncles[sim_.rng().NextBounded(uncles.size())];
+      const double delay = HopDelay(ln.owner, tree_->node(uncle).owner);
+      ++messages_;
+      ++redundant_pushes_;
+      AggregateReport payload = state_[l].own;
+      bytes_ += payload.SerializedBytes();
+      sim_.After(delay, [this, uncle, l, payload = std::move(payload)] {
+        if (!running_ || uncle >= state_.size()) return;
+        state_[uncle].adopted[l] = payload;
+      });
+      return;
+    }
+  }
+
+  // Position of l among its parent's children.
+  std::size_t slot = 0;
+  for (; slot < pn.children.size(); ++slot) {
+    if (pn.children[slot] == l) break;
+  }
+  P2P_CHECK(slot < pn.children.size());
+  const double delay = HopDelay(ln.owner, pn.owner);
+  ++messages_;
+  AggregateReport payload = state_[l].own;
+  bytes_ += payload.SerializedBytes();
+  sim_.After(delay, [this, parent, slot, l,
+                     payload = std::move(payload)] {
+    if (!running_) return;
+    if (parent >= state_.size()) return;
+    if (slot >= state_[parent].from_children.size()) return;
+    state_[parent].from_children[slot] = payload;
+    // A direct push supersedes any adopted detour copy of this child.
+    state_[parent].adopted.erase(l);
+  });
+}
+
+void SomoProtocol::StartSyncGather() {
+  if (!running_) return;
+  SyncDescend(tree_->root(), sim_.now(), ++sync_round_counter_);
+}
+
+void SomoProtocol::SyncDescend(LogicalIndex l, sim::Time arrival,
+                               std::uint64_t round) {
+  const LogicalNode& ln = tree_->node(l);
+  if (ln.is_leaf()) {
+    // Fresh reports travel straight back up.
+    AggregateReport agg;
+    if (ring_.node(ln.owner).alive()) {
+      for (const dht::NodeIndex n : ln.reported) {
+        if (ring_.node(n).alive()) agg.Add(provider_(n));
+      }
+    }
+    const LogicalIndex parent = ln.parent;
+    if (parent == kNoLogical) {
+      sim_.At(arrival, [this, agg = std::move(agg)] {
+        root_view_ = agg;
+        ++gathers_completed_;
+        OnRootViewRefreshed();
+      });
+      return;
+    }
+    const double up = HopDelay(ln.owner, tree_->node(parent).owner);
+    ++messages_;
+    bytes_ += agg.SerializedBytes();
+    sim_.At(arrival + up, [this, parent, round, agg = std::move(agg)] {
+      SyncReplyArrived(parent, agg, round);
+    });
+    return;
+  }
+  state_[l].sync[round] = PendingGather{ln.children.size(), {}};
+  for (const LogicalIndex c : ln.children) {
+    const double down = HopDelay(ln.owner, tree_->node(c).owner);
+    ++messages_;
+    bytes_ += kReportHeaderBytes;  // the "call for reports" is tiny
+    sim_.At(arrival + down, [this, c, round, t = arrival + down] {
+      if (!running_) return;
+      if (c >= tree_->size()) return;  // tree rebuilt meanwhile
+      SyncDescend(c, t, round);
+    });
+  }
+}
+
+void SomoProtocol::SyncReplyArrived(LogicalIndex l,
+                                    const AggregateReport& child_agg,
+                                    std::uint64_t round) {
+  if (!running_ || l >= state_.size()) return;
+  LogicalState& st = state_[l];
+  const auto it = st.sync.find(round);
+  if (it == st.sync.end()) return;  // stale round (tree rebuilt, etc.)
+  it->second.agg.Merge(child_agg);
+  P2P_DCHECK(it->second.pending > 0);
+  if (--it->second.pending > 0) return;
+  AggregateReport complete = std::move(it->second.agg);
+  st.sync.erase(it);
+  const LogicalNode& ln = tree_->node(l);
+  if (ln.is_root()) {
+    root_view_ = std::move(complete);
+    ++gathers_completed_;
+    OnRootViewRefreshed();
+    return;
+  }
+  const LogicalIndex parent = ln.parent;
+  const double up = HopDelay(ln.owner, tree_->node(parent).owner);
+  ++messages_;
+  bytes_ += complete.SerializedBytes();
+  sim_.After(up, [this, parent, round, payload = std::move(complete)] {
+    SyncReplyArrived(parent, payload, round);
+  });
+}
+
+void SomoProtocol::OnRootViewRefreshed() {
+  if (!config_.disseminate) return;
+  auto snapshot = std::make_shared<const AggregateReport>(root_view_);
+  Disseminate(tree_->root(), std::move(snapshot), sim_.now());
+}
+
+void SomoProtocol::Disseminate(LogicalIndex l,
+                               std::shared_ptr<const AggregateReport> view,
+                               sim::Time arrival) {
+  if (node_views_.size() < ring_.size()) node_views_.resize(ring_.size());
+  const LogicalNode& ln = tree_->node(l);
+  // Deliver to the hosting machine (and, at leaves, to the machines the
+  // leaf reports for — they hear the newscast from their leaf's owner).
+  auto deliver = [&](dht::NodeIndex n, sim::Time when) {
+    sim_.At(when, [this, n, view, when] {
+      if (n >= node_views_.size()) return;
+      if (node_views_[n].received_at >= when && node_views_[n].valid())
+        return;  // a fresher copy already arrived
+      node_views_[n] = NodeView{view, when};
+    });
+  };
+  deliver(ln.owner, arrival);
+  if (ln.is_leaf()) {
+    for (const dht::NodeIndex n : ln.reported) {
+      if (n == ln.owner || !ring_.node(n).alive()) continue;
+      ++messages_;
+      bytes_ += view->SerializedBytes();
+      deliver(n, arrival + HopDelay(ln.owner, n));
+    }
+    return;
+  }
+  for (const LogicalIndex c : ln.children) {
+    const double down = HopDelay(ln.owner, tree_->node(c).owner);
+    ++messages_;
+    bytes_ += view->SerializedBytes();
+    sim_.At(arrival + down, [this, c, view, t = arrival + down] {
+      if (!running_ || c >= tree_->size()) return;
+      Disseminate(c, view, t);
+    });
+  }
+}
+
+const SomoProtocol::NodeView& SomoProtocol::ViewAt(dht::NodeIndex n) const {
+  static const NodeView kEmpty;
+  if (n >= node_views_.size()) return kEmpty;
+  return node_views_[n];
+}
+
+double SomoProtocol::ViewStalenessMs(dht::NodeIndex n) const {
+  const NodeView& v = ViewAt(n);
+  if (!v.valid() || v.view->empty())
+    return std::numeric_limits<double>::infinity();
+  return sim_.now() - v.view->oldest;
+}
+
+std::size_t SomoProtocol::nodes_with_view() const {
+  std::size_t n = 0;
+  for (const auto& v : node_views_) n += v.valid();
+  return n;
+}
+
+void SomoProtocol::Rebuild() {
+  tree_ = std::make_unique<LogicalTree>(ring_, config_.fanout);
+  state_.assign(tree_->size(), LogicalState{});
+  for (LogicalIndex l = 0; l < tree_->size(); ++l)
+    state_[l].from_children.resize(tree_->node(l).children.size());
+  if (running_) ScheduleLogicalTimers();
+}
+
+double SomoProtocol::RootStalenessMs() const {
+  if (root_view_.empty())
+    return std::numeric_limits<double>::infinity();
+  return sim_.now() - root_view_.oldest;
+}
+
+bool SomoProtocol::RootViewComplete() const {
+  if (root_view_.empty()) return false;
+  std::vector<char> seen(ring_.size(), 0);
+  for (const auto& r : root_view_.members) {
+    if (r.node < seen.size()) seen[r.node] = 1;
+  }
+  for (const dht::NodeIndex n : ring_.SortedAlive()) {
+    if (!seen[n]) return false;
+  }
+  return true;
+}
+
+SomoProtocol::QueryResult SomoProtocol::QueryFromNode(
+    dht::NodeIndex n) const {
+  QueryResult qr;
+  const dht::NodeIndex root_owner = tree_->node(tree_->root()).owner;
+  qr.route = ring_.Route(n, ring_.node(root_owner).id());
+  qr.view = &root_view_;
+  return qr;
+}
+
+dht::NodeIndex SomoProtocol::OptimizeRootFromView() {
+  if (root_view_.empty() || root_view_.best_capacity_node == dht::kNoNode)
+    return dht::kNoNode;
+  const dht::NodeIndex best = root_view_.best_capacity_node;
+  if (best >= ring_.size() || !ring_.node(best).alive())
+    return dht::kNoNode;  // stale advert: the champion died
+  const dht::NodeIndex root_owner = tree_->node(tree_->root()).owner;
+  if (best != root_owner) {
+    ring_.SwapNodeIds(best, root_owner);
+    Rebuild();
+  }
+  return tree_->node(tree_->root()).owner;
+}
+
+dht::NodeIndex SomoProtocol::OptimizeRoot(
+    const std::function<double(dht::NodeIndex)>& capacity) {
+  // Upward merge-sort through SOMO, condensed: find the most capable alive
+  // node, then swap its id with the current root-point owner's.
+  const auto alive = ring_.SortedAlive();
+  P2P_CHECK(!alive.empty());
+  dht::NodeIndex best = alive.front();
+  for (const dht::NodeIndex n : alive) {
+    if (capacity(n) > capacity(best)) best = n;
+  }
+  const dht::NodeIndex root_owner = tree_->node(tree_->root()).owner;
+  if (best != root_owner) {
+    ring_.SwapNodeIds(best, root_owner);
+    Rebuild();
+  }
+  return tree_->node(tree_->root()).owner;
+}
+
+}  // namespace p2p::somo

@@ -1,0 +1,173 @@
+// SOMO protocol (paper §3.2): gathers per-machine reports up a fanout-k
+// logical tree mapped onto the DHT, producing the root's "global view".
+//
+// Two gather disciplines, matching the paper's latency analysis:
+//  * Unsynchronised: every logical node runs an independent periodic timer
+//    (period T, random phase). Leaves refresh their machine's report;
+//    internal nodes merge the child aggregates they have received and push
+//    the result to their parent. Freshness at the root is bounded by
+//    ~log_k(N)·T.
+//  * Synchronised: the root's timer triggers a cascade — the "call for
+//    reports" propagates down with per-hop latency, leaves answer with
+//    fresh reports, and aggregates flow back up as soon as each parent has
+//    heard from all children. Freshness is bounded by ~2·t_hop·log_k(N),
+//    i.e. T-dominated in practice.
+//
+// The tree self-repairs: Rebuild() recomputes the logical tree against
+// current ring membership (hooked to failure detection by the harnesses),
+// standing in for each brick independently re-deriving its representation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/heartbeat.h"
+#include "dht/ring.h"
+#include "sim/simulation.h"
+#include "somo/logical_tree.h"
+#include "somo/report.h"
+
+namespace p2p::somo {
+
+struct SomoConfig {
+  std::size_t fanout = 8;
+  sim::Time report_interval_ms = 5000.0;  // the paper's LiquidEye cycle: 5 s
+  bool synchronized_gather = false;
+  // One-way delay used when the ring lacks a latency oracle.
+  sim::Time default_hop_delay_ms = 200.0;
+  // Disseminate each completed root view back down the hierarchy, giving
+  // every node a recent copy of the global "newscast" (§3.2: SOMO both
+  // gathers AND disseminates metadata in O(log_k N) time). A real
+  // deployment would delta-compress the downward copies; the simulation
+  // shares one immutable snapshot.
+  bool disseminate = false;
+  // §3.2: "redundant links should be added to increase the robustness;
+  // this can be easily accomplished by letting the representative virtual
+  // node connect to a random set of parent siblings." When on, a logical
+  // node whose parent's host is dead pushes its aggregate to a random
+  // alive parent-sibling instead, so gathering survives internal-node
+  // failures even before the tree is rebuilt.
+  bool redundant_links = false;
+};
+
+class SomoProtocol {
+ public:
+  // Produces the local machine report for a DHT node (coordinates,
+  // bandwidth, degree table come from the measurement/pool layers).
+  using ReportProvider = std::function<NodeReport(dht::NodeIndex)>;
+
+  SomoProtocol(sim::Simulation& sim, dht::Ring& ring, SomoConfig config,
+               ReportProvider provider);
+
+  void Start();
+  void Stop();
+
+  // Recompute the logical tree for current membership (after churn). Child
+  // aggregate caches survive where the logical node persists.
+  void Rebuild();
+
+  const LogicalTree& tree() const { return *tree_; }
+  const SomoConfig& config() const { return config_; }
+
+  // The root owner's current global view.
+  const AggregateReport& RootReport() const { return root_view_; }
+
+  // now − oldest member report at the root (∞ until the first gather
+  // completes, i.e. while some machine has never been represented).
+  double RootStalenessMs() const;
+
+  // True once the root view contains a report from every alive node.
+  bool RootViewComplete() const;
+
+  // Query the global view from an arbitrary node: routes to the root owner
+  // over the DHT and returns the routing cost alongside the view.
+  struct QueryResult {
+    dht::RouteResult route;
+    const AggregateReport* view = nullptr;
+  };
+  QueryResult QueryFromNode(dht::NodeIndex n) const;
+
+  // Dissemination (requires config.disseminate): the latest global view
+  // received by DHT node `n`, or null if none arrived yet.
+  struct NodeView {
+    std::shared_ptr<const AggregateReport> view;
+    sim::Time received_at = -1.0;
+    bool valid() const { return view != nullptr; }
+  };
+  const NodeView& ViewAt(dht::NodeIndex n) const;
+  // now − the oldest member report in n's copy of the view (∞ if none).
+  double ViewStalenessMs(dht::NodeIndex n) const;
+  // Nodes holding a valid view.
+  std::size_t nodes_with_view() const;
+
+  // §3.2 self-optimisation: swap ids so the node maximising `capacity`
+  // hosts the root logical point. Returns the new root owner.
+  dht::NodeIndex OptimizeRoot(
+      const std::function<double(dht::NodeIndex)>& capacity);
+
+  // The fully in-band variant: the capacity argmax was merge-sorted up the
+  // tree inside the aggregates (NodeReport::capacity); swap the root to
+  // the advertised best node. Returns the new root owner, or kNoNode when
+  // the view is empty or carries no capacities.
+  dht::NodeIndex OptimizeRootFromView();
+
+  std::size_t gathers_completed() const { return gathers_completed_; }
+  std::size_t messages_sent() const { return messages_; }
+  // Modelled wire bytes of all gather/dissemination traffic so far.
+  std::size_t bytes_sent() const { return bytes_; }
+  std::size_t redundant_pushes() const { return redundant_pushes_; }
+
+ private:
+  void ScheduleLogicalTimers();
+  void FireLogical(LogicalIndex l);
+  void PushToParent(LogicalIndex l);
+  AggregateReport ComputeAggregate(LogicalIndex l) const;
+  void OnRootViewRefreshed();
+  void Disseminate(LogicalIndex l,
+                   std::shared_ptr<const AggregateReport> view,
+                   sim::Time arrival);
+  void StartSyncGather();
+  void SyncDescend(LogicalIndex l, sim::Time arrival, std::uint64_t round);
+  void SyncReplyArrived(LogicalIndex l, const AggregateReport& child_agg,
+                        std::uint64_t round);
+  double HopDelay(dht::NodeIndex a, dht::NodeIndex b) const;
+
+  sim::Simulation& sim_;
+  dht::Ring& ring_;
+  SomoConfig config_;
+  ReportProvider provider_;
+  std::unique_ptr<LogicalTree> tree_;
+  bool running_ = false;
+
+  // Per logical node: cached aggregate most recently computed/pushed, and
+  // the aggregates received from children (index into children vector).
+  // In-flight synchronised gather at one logical node; rounds may overlap
+  // when the cascade round-trip exceeds the reporting interval, so each
+  // round keeps its own accumulator.
+  struct PendingGather {
+    std::size_t pending = 0;
+    AggregateReport agg;
+  };
+  struct LogicalState {
+    AggregateReport own;  // leaf: last local report; internal: last merge
+    std::vector<AggregateReport> from_children;
+    // Aggregates adopted from "nephews" whose parent's host is dead
+    // (redundant-links mode), keyed by the pushing logical node.
+    std::unordered_map<LogicalIndex, AggregateReport> adopted;
+    std::unordered_map<std::uint64_t, PendingGather> sync;  // by round
+  };
+  std::vector<LogicalState> state_;
+  std::vector<sim::Simulation::PeriodicToken> timers_;
+  AggregateReport root_view_;
+  std::vector<NodeView> node_views_;  // dissemination targets, by NodeIndex
+
+  std::size_t gathers_completed_ = 0;
+  std::size_t messages_ = 0;
+  std::size_t bytes_ = 0;
+  std::size_t redundant_pushes_ = 0;
+  std::uint64_t sync_round_counter_ = 0;
+};
+
+}  // namespace p2p::somo

@@ -1,0 +1,117 @@
+// Terminal line charts for the bench harnesses: render one or more (x, y)
+// series onto a character grid, with automatic axis ranges and a legend.
+// Purely cosmetic — the tables remain the canonical output — but a CDF is
+// far easier to eyeball as a curve.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace p2p::util {
+
+struct ChartSeries {
+  std::string name;
+  std::vector<std::pair<double, double>> points;  // (x, y)
+};
+
+struct ChartOptions {
+  std::size_t width = 64;   // plot columns (excluding axis labels)
+  std::size_t height = 16;  // plot rows
+  // Fixed ranges; NaN = auto from the data.
+  double y_min = std::numeric_limits<double>::quiet_NaN();
+  double y_max = std::numeric_limits<double>::quiet_NaN();
+};
+
+// Marker characters assigned to series in order.
+inline constexpr char kChartMarkers[] = {'*', 'o', '+', 'x', '#', '@'};
+
+inline std::string RenderAsciiChart(const std::vector<ChartSeries>& series,
+                                    const ChartOptions& options = {}) {
+  P2P_CHECK(!series.empty());
+  P2P_CHECK(options.width >= 8 && options.height >= 4);
+
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -std::numeric_limits<double>::infinity();
+  double y_lo = std::numeric_limits<double>::infinity();
+  double y_hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      y_lo = std::min(y_lo, y);
+      y_hi = std::max(y_hi, y);
+    }
+  }
+  P2P_CHECK_MSG(x_lo <= x_hi, "chart has no points");
+  if (!std::isnan(options.y_min)) y_lo = options.y_min;
+  if (!std::isnan(options.y_max)) y_hi = options.y_max;
+  if (x_hi == x_lo) x_hi = x_lo + 1.0;
+  if (y_hi == y_lo) y_hi = y_lo + 1.0;
+
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  auto to_col = [&](double x) {
+    const double f = (x - x_lo) / (x_hi - x_lo);
+    return std::min(options.width - 1,
+                    static_cast<std::size_t>(
+                        f * static_cast<double>(options.width - 1) + 0.5));
+  };
+  auto to_row = [&](double y) {
+    const double f = (y - y_lo) / (y_hi - y_lo);
+    const double clamped = std::clamp(f, 0.0, 1.0);
+    return options.height - 1 -
+           std::min(options.height - 1,
+                    static_cast<std::size_t>(
+                        clamped * static_cast<double>(options.height - 1) +
+                        0.5));
+  };
+
+  // Draw in reverse registration order so the FIRST series wins contested
+  // cells (it is usually the reference curve).
+  for (std::size_t si = series.size(); si-- > 0;) {
+    const char mark =
+        kChartMarkers[si % (sizeof(kChartMarkers) / sizeof(char))];
+    for (const auto& [x, y] : series[si].points)
+      grid[to_row(y)][to_col(x)] = mark;
+  }
+
+  std::ostringstream os;
+  auto label = [](double v) {
+    std::ostringstream ls;
+    ls.precision(3);
+    ls << v;
+    std::string s = ls.str();
+    if (s.size() < 8) s = std::string(8 - s.size(), ' ') + s;
+    return s;
+  };
+  for (std::size_t r = 0; r < options.height; ++r) {
+    if (r == 0) {
+      os << label(y_hi);
+    } else if (r == options.height - 1) {
+      os << label(y_lo);
+    } else {
+      os << std::string(8, ' ');
+    }
+    os << " |" << grid[r] << "\n";
+  }
+  os << std::string(8, ' ') << " +" << std::string(options.width, '-')
+     << "\n";
+  os << std::string(10, ' ') << label(x_lo) << std::string(
+         options.width > 24 ? options.width - 16 : 1, ' ')
+     << label(x_hi) << "\n";
+  os << std::string(10, ' ');
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << kChartMarkers[si % (sizeof(kChartMarkers) / sizeof(char))] << "="
+       << series[si].name << "  ";
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace p2p::util

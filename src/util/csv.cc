@@ -1,0 +1,85 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace p2p::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  P2P_CHECK(!header_.empty());
+}
+
+Table& Table::AddRow(std::vector<Cell> row) {
+  P2P_CHECK_MSG(row.size() == header_.size(),
+                "row width " << row.size() << " != header width "
+                             << header_.size());
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+std::string Table::Format(const Cell& c, int precision) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  std::ostringstream os;
+  if (const auto* d = std::get_if<double>(&c)) {
+    os << std::fixed << std::setprecision(precision) << *d;
+  } else {
+    os << std::get<long long>(c);
+  }
+  return os.str();
+}
+
+std::string Table::ToText(int precision) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    widths[i] = header_[i].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(Format(row[i], precision));
+      widths[i] = std::max(widths[i], r.back().size());
+    }
+    cells.push_back(std::move(r));
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << std::setw(static_cast<int>(widths[i])) << r[i];
+      os << (i + 1 == r.size() ? "\n" : "  ");
+    }
+  };
+  emit_row(header_);
+  for (const auto& r : cells) emit_row(r);
+  return os.str();
+}
+
+std::string Table::ToCsv(int precision) const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i)
+      os << r[i] << (i + 1 == r.size() ? "\n" : ",");
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (const auto& c : row) r.push_back(Format(c, precision));
+    emit(r);
+  }
+  return os.str();
+}
+
+bool Table::WriteCsv(const std::string& path, int precision) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToCsv(precision);
+  return static_cast<bool>(out);
+}
+
+}  // namespace p2p::util

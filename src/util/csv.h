@@ -1,0 +1,38 @@
+// Minimal CSV/table writer: bench binaries print the same series the paper
+// plots, both as aligned text tables (human-readable) and optionally as CSV
+// files for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace p2p::util {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  explicit Table(std::vector<std::string> header);
+
+  Table& AddRow(std::vector<Cell> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+
+  // Aligned, human-readable rendering (doubles with `precision` digits).
+  std::string ToText(int precision = 3) const;
+  std::string ToCsv(int precision = 6) const;
+
+  // Convenience: write CSV to `path`; returns false on I/O failure.
+  bool WriteCsv(const std::string& path, int precision = 6) const;
+
+ private:
+  static std::string Format(const Cell& c, int precision);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace p2p::util

@@ -1,0 +1,67 @@
+// Fixed-bin histogram, used for ASCII plots in the bench harnesses and for
+// coarse distribution assertions in tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace p2p::util {
+
+class Histogram {
+ public:
+  // [lo, hi) split into `bins` equal bins; out-of-range samples land in the
+  // under/overflow counters.
+  Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+    P2P_CHECK(hi > lo);
+    P2P_CHECK(bins > 0);
+    counts_.assign(bins, 0);
+  }
+
+  void Add(double x) {
+    ++total_;
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (x >= hi_) {
+      ++overflow_;
+      return;
+    }
+    const auto bin = static_cast<std::size_t>(
+        (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+    ++counts_[bin < counts_.size() ? bin : counts_.size() - 1];
+  }
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+
+  double bin_lo(std::size_t bin) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                     static_cast<double>(counts_.size());
+  }
+  double bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+  // Fraction of in-range samples at or below the upper edge of `bin`.
+  double CumulativeFraction(std::size_t bin) const {
+    std::size_t c = underflow_;
+    for (std::size_t i = 0; i <= bin && i < counts_.size(); ++i)
+      c += counts_[i];
+    return total_ ? static_cast<double>(c) / static_cast<double>(total_) : 0.0;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace p2p::util

@@ -1,0 +1,156 @@
+// Deterministic pseudo-random number generation.
+//
+// Every simulation run owns one Rng seeded from the run id, so experiment
+// results are reproducible bit-for-bit regardless of how many runs execute
+// concurrently on the thread pool. Xoshiro256** is used as the core engine
+// (fast, 256-bit state, passes BigCrush); SplitMix64 seeds it and derives
+// independent substreams.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+#include "util/check.h"
+
+namespace p2p::util {
+
+// SplitMix64 step: used for seeding and cheap stateless hashing.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless 64-bit mix of a single value (for hashing ids into the DHT space).
+constexpr std::uint64_t Mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return SplitMix64(s);
+}
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = SplitMix64(sm);
+  }
+
+  // A derived, statistically independent stream (e.g. one per simulated run).
+  Rng Substream(std::uint64_t stream_id) const {
+    std::uint64_t sm = state_[0] ^ Mix64(stream_id ^ 0xa0761d6478bd642fULL);
+    return Rng(SplitMix64(sm));
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    P2P_DCHECK(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [0, n). Lemire's unbiased bounded generation.
+  std::uint64_t NextBounded(std::uint64_t n) {
+    P2P_DCHECK(n > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    P2P_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    NextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Standard normal via Box–Muller (no state caching: simplicity over speed).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = NextDouble();
+    while (u1 <= 0.0) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double Exponential(double rate) {
+    P2P_DCHECK(rate > 0);
+    double u = NextDouble();
+    while (u <= 0.0) u = NextDouble();
+    return -std::log(u) / rate;
+  }
+
+  // Fisher–Yates shuffle.
+  template <typename Container>
+  void Shuffle(Container& c) {
+    const std::size_t n = c.size();
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = NextBounded(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  // Sample k distinct indices from [0, n) (reservoir when k << n not needed;
+  // partial Fisher–Yates over an index vector is fine at our scales).
+  std::vector<std::size_t> SampleIndices(std::size_t n, std::size_t k) {
+    P2P_CHECK(k <= n);
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + NextBounded(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace p2p::util

@@ -1,0 +1,59 @@
+// Streaming and batch statistics used by every experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace p2p::util {
+
+// Welford online accumulator: numerically stable mean/variance without
+// storing samples.
+class Accumulator {
+ public:
+  void Add(double x);
+  void Merge(const Accumulator& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Batch helpers (copy + sort internally where order statistics are needed).
+double Mean(std::span<const double> xs);
+double StdDev(std::span<const double> xs);
+double Median(std::span<const double> xs);
+// Linear-interpolated percentile, p in [0, 100].
+double Percentile(std::span<const double> xs, double p);
+
+// Empirical CDF over a sample: Points() yields (x, F(x)) pairs at each
+// distinct sample value; Eval(x) is the fraction of samples <= x.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  double Eval(double x) const;
+  // Inverse CDF / quantile, q in [0, 1].
+  double Quantile(double q) const;
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace p2p::util

@@ -1,0 +1,61 @@
+// Fixed-size work-stealing-free thread pool.
+//
+// Used by bench harnesses to farm out independent simulation runs (each run
+// owns its own Rng substream, so results are deterministic under any thread
+// schedule). Follows CP.4 of the Core Guidelines: callers think in tasks,
+// not threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace p2p::util {
+
+class ThreadPool {
+ public:
+  // `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  // Enqueue a task; the future resolves with the task's result (or its
+  // exception).
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // Run fn(i) for i in [0, n) across the pool and wait for all to finish.
+  // Exceptions propagate (the first one encountered is rethrown).
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace p2p::util

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alm/adjust.h"
+#include "alm/amcast.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace p2p::alm {
+namespace {
+
+double Line(ParticipantId a, ParticipantId b) {
+  return a > b ? static_cast<double>(a - b) : static_cast<double>(b - a);
+}
+
+TEST(Adjust, NeverIncreasesHeight) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  util::Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto idx = rng.SampleIndices(pool.size(), 18);
+    AmcastInput in;
+    in.degree_bounds = pool.degree_bounds();
+    in.root = idx[0];
+    in.members.assign(idx.begin() + 1, idx.end());
+    auto r = BuildAmcastTree(in, pool.TrueLatencyFn());
+    const double before = r.tree.Height(pool.TrueLatencyFn());
+    const auto stats =
+        AdjustTree(r.tree, in.degree_bounds, pool.TrueLatencyFn());
+    EXPECT_LE(stats.final_height, before + 1e-9);
+    EXPECT_DOUBLE_EQ(stats.initial_height, before);
+    r.tree.Validate(in.degree_bounds);
+  }
+}
+
+TEST(Adjust, ReparentMoveFixesObviousMistake) {
+  // 0 → 1 → 2: node 2 would be better directly under the root.
+  MulticastTree t(3);
+  t.SetRoot(0);
+  t.AddChild(0, 1);
+  t.AddChild(1, 2);
+  auto latency = [](ParticipantId a, ParticipantId b) -> double {
+    if (a > b) std::swap(a, b);
+    if (a == 0 && b == 1) return 10.0;
+    if (a == 1 && b == 2) return 10.0;
+    return 5.0;  // 0 ↔ 2 direct is cheap
+  };
+  const std::vector<int> bounds{3, 3, 3};
+  const auto stats = AdjustTree(t, bounds, latency);
+  EXPECT_GE(stats.reparent_moves, 1u);
+  EXPECT_EQ(t.parent(2), 0u);
+  EXPECT_DOUBLE_EQ(stats.final_height, 10.0);
+}
+
+TEST(Adjust, LeafSwapUsedWhenDegreesBlockReparent) {
+  // Root (bound 1) — 1 — {2, 3}: highest node 3 cannot reparent anywhere
+  // (everyone full), but swapping two leaves can pay off.
+  auto latency = [](ParticipantId a, ParticipantId b) -> double {
+    if (a > b) std::swap(a, b);
+    // positions: 0 at 0, 1 at 10, 2 at 11, 3 at 30.
+    auto pos = [](ParticipantId v) {
+      switch (v) {
+        case 0: return 0.0;
+        case 1: return 10.0;
+        case 2: return 11.0;
+        default: return 30.0;
+      }
+    };
+    return std::abs(pos(a) - pos(b));
+  };
+  MulticastTree t(4);
+  t.SetRoot(0);
+  t.AddChild(0, 1);
+  t.AddChild(1, 2);
+  t.AddChild(2, 3);
+  const std::vector<int> bounds{1, 2, 2, 2};
+  const double before = t.Height(latency);
+  AdjustTree(t, bounds, latency);
+  EXPECT_LE(t.Height(latency), before);
+  t.Validate(bounds);
+}
+
+TEST(Adjust, RespectsDisabledMoves) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  util::Rng rng(5);
+  const auto idx = rng.SampleIndices(pool.size(), 16);
+  AmcastInput in;
+  in.degree_bounds = pool.degree_bounds();
+  in.root = idx[0];
+  in.members.assign(idx.begin() + 1, idx.end());
+  auto r = BuildAmcastTree(in, pool.TrueLatencyFn());
+  AdjustOptions opt;
+  opt.enable_reparent = false;
+  opt.enable_leaf_swap = false;
+  opt.enable_subtree_swap = false;
+  const auto stats =
+      AdjustTree(r.tree, in.degree_bounds, pool.TrueLatencyFn(), opt);
+  EXPECT_EQ(stats.total_moves(), 0u);
+  EXPECT_DOUBLE_EQ(stats.initial_height, stats.final_height);
+}
+
+TEST(Adjust, MoveBudgetRespected) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  util::Rng rng(7);
+  const auto idx = rng.SampleIndices(pool.size(), 20);
+  AmcastInput in;
+  in.degree_bounds = pool.degree_bounds();
+  in.root = idx[0];
+  in.members.assign(idx.begin() + 1, idx.end());
+  auto r = BuildAmcastTree(in, pool.TrueLatencyFn());
+  AdjustOptions opt;
+  opt.max_moves = 1;
+  const auto stats =
+      AdjustTree(r.tree, in.degree_bounds, pool.TrueLatencyFn(), opt);
+  EXPECT_LE(stats.total_moves(), 1u);
+}
+
+TEST(Adjust, SingletonTreeIsStable) {
+  MulticastTree t(1);
+  t.SetRoot(0);
+  const auto stats = AdjustTree(t, {5}, Line);
+  EXPECT_EQ(stats.total_moves(), 0u);
+}
+
+TEST(Adjust, StarIsAlreadyOptimal) {
+  MulticastTree t(5);
+  t.SetRoot(0);
+  for (ParticipantId v = 1; v < 5; ++v) t.AddChild(0, v);
+  const std::vector<int> bounds(5, 9);
+  const auto stats = AdjustTree(t, bounds, Line);
+  EXPECT_EQ(stats.total_moves(), 0u);
+  EXPECT_DOUBLE_EQ(stats.final_height, 4.0);
+}
+
+TEST(Adjust, DegreeBoundsHoldAfterManyRandomAdjusts) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  util::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 8 + rng.NextBounded(20);
+    const auto idx = rng.SampleIndices(pool.size(), n);
+    AmcastInput in;
+    in.degree_bounds = pool.degree_bounds();
+    in.root = idx[0];
+    in.members.assign(idx.begin() + 1, idx.end());
+    auto r = BuildAmcastTree(in, pool.TrueLatencyFn());
+    AdjustTree(r.tree, in.degree_bounds, pool.TrueLatencyFn());
+    r.tree.Validate(in.degree_bounds);
+    EXPECT_EQ(r.tree.size(), n);
+  }
+}
+
+}  // namespace
+}  // namespace p2p::alm

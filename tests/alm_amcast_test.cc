@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alm/amcast.h"
+#include "alm/bounds.h"
+#include "alm/critical.h"
+#include "test_support.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace p2p::alm {
+namespace {
+
+// Participants on a line; latency = |a − b|.
+double Line(ParticipantId a, ParticipantId b) {
+  return a > b ? static_cast<double>(a - b) : static_cast<double>(b - a);
+}
+
+TEST(Amcast, StarWhenRootHasDegree) {
+  // Root 0 with enough degree takes everyone directly.
+  AmcastInput in;
+  in.degree_bounds = {9, 2, 2, 2};
+  in.root = 0;
+  in.members = {1, 2, 3};
+  const auto r = BuildAmcastTree(in, Line);
+  EXPECT_DOUBLE_EQ(r.height, 3.0);  // farthest member
+  for (const ParticipantId v : in.members)
+    EXPECT_EQ(r.tree.parent(v), 0u);
+  r.tree.Validate(in.degree_bounds);
+}
+
+TEST(Amcast, RespectsDegreeBounds) {
+  AmcastInput in;
+  in.degree_bounds = std::vector<int>(30, 2);  // everyone degree 2: a path
+  in.root = 0;
+  for (ParticipantId v = 1; v < 30; ++v) in.members.push_back(v);
+  const auto r = BuildAmcastTree(in, Line);
+  r.tree.Validate(in.degree_bounds);
+  // Root degree ≤ 2, internal nodes ≤ 2 (1 child max).
+  EXPECT_LE(r.tree.children(0).size(), 2u);
+}
+
+TEST(Amcast, GreedyAddsClosestFirst) {
+  AmcastInput in;
+  in.degree_bounds = {9, 9, 9, 9};
+  in.root = 0;
+  in.members = {3, 1, 2};
+  const auto r = BuildAmcastTree(in, Line);
+  // Insertion order is by tentative height: members_ = {0, 1, 2, 3}.
+  EXPECT_EQ(r.tree.members(),
+            (std::vector<ParticipantId>{0, 1, 2, 3}));
+}
+
+TEST(Amcast, AllMembersIncludedExactlyOnce) {
+  util::Rng rng(3);
+  AmcastInput in;
+  in.degree_bounds = std::vector<int>(50, 3);
+  in.root = 7;
+  for (ParticipantId v = 0; v < 50; ++v)
+    if (v != 7) in.members.push_back(v);
+  auto latency = [&](ParticipantId a, ParticipantId b) {
+    return 1.0 + static_cast<double>(util::Mix64(a * 1000 + b) % 100) +
+           (a > b ? Line(a, b) : Line(b, a)) * 0.0;
+  };
+  // Symmetrise.
+  auto sym = [&](ParticipantId a, ParticipantId b) {
+    return a < b ? latency(a, b) : latency(b, a);
+  };
+  const auto r = BuildAmcastTree(in, sym);
+  EXPECT_EQ(r.tree.size(), 50u);
+  r.tree.Validate(in.degree_bounds);
+}
+
+TEST(Amcast, InvalidInputsRejected) {
+  AmcastInput in;
+  in.degree_bounds = {2, 2};
+  in.root = 5;  // out of range
+  EXPECT_THROW(BuildAmcastTree(in, Line), util::CheckError);
+}
+
+TEST(Amcast, InfeasibleDegreesDetected) {
+  AmcastInput in;
+  in.degree_bounds = {1, 1, 1};  // root fills after one child
+  in.root = 0;
+  in.members = {1, 2};
+  EXPECT_THROW(BuildAmcastTree(in, Line), util::CheckError);
+}
+
+// ----------------------------------------------------- helper recruiting --
+
+TEST(Amcast, HelperSplicedWhenParentNearlyFull) {
+  // Root 0 (bound 2), members 1–4 all 100 ms from the root and 50 ms from
+  // each other, helper 5 sixty ms from the root but only 10 ms from every
+  // member — the Figure-1 scenario: a high-degree nearby peer turns a deep
+  // member-only tree into a shallow one.
+  AmcastInput in;
+  in.degree_bounds = {2, 2, 2, 2, 2, 6};
+  in.root = 0;
+  in.members = {1, 2, 3, 4};
+  in.helper_candidates = {5};
+  auto latency = [](ParticipantId a, ParticipantId b) -> double {
+    if (a == b) return 0.0;
+    if (a > b) std::swap(a, b);
+    if (b == 5) return a == 0 ? 60.0 : 10.0;  // helper edges
+    if (a == 0) return 100.0;                 // root ↔ member
+    return 50.0;                              // member ↔ member
+  };
+  AmcastOptions opt;
+  opt.selection = HelperSelection::kMinimaxHeuristic;
+  opt.helper_radius = 100.0;
+  const auto r = BuildAmcastTree(in, latency, opt);
+  EXPECT_EQ(r.helpers_used, 1u);
+  EXPECT_TRUE(r.tree.Contains(5));
+  r.tree.Validate(in.degree_bounds);
+  // Member-only baseline is forced to chain members at 150 ms height; the
+  // helper plan fans them out of node 5 at 100 ms.
+  const auto base = BuildAmcastTree(in, latency, AmcastOptions{});
+  EXPECT_DOUBLE_EQ(base.height, 150.0);
+  EXPECT_DOUBLE_EQ(r.height, 100.0);
+}
+
+TEST(Amcast, HelperOutsideRadiusIgnored) {
+  AmcastInput in;
+  in.degree_bounds = std::vector<int>(12, 2);
+  in.degree_bounds[10] = 9;
+  in.root = 0;
+  in.members = {1, 2, 3};
+  in.helper_candidates = {10};
+  auto latency = [](ParticipantId a, ParticipantId b) {
+    auto pos = [](ParticipantId v) {
+      return v == 10 ? 1000.0 : static_cast<double>(v);
+    };
+    return std::abs(pos(a) - pos(b));
+  };
+  AmcastOptions opt;
+  opt.selection = HelperSelection::kMinimaxHeuristic;
+  opt.helper_radius = 100.0;  // condition 3 excludes the distant helper
+  const auto r = BuildAmcastTree(in, latency, opt);
+  EXPECT_EQ(r.helpers_used, 0u);
+  EXPECT_FALSE(r.tree.Contains(10));
+}
+
+TEST(Amcast, HelperWithLowDegreeIgnored) {
+  AmcastInput in;
+  in.degree_bounds = std::vector<int>(12, 2);
+  in.degree_bounds[10] = 3;  // below the ≥4 requirement (condition 2)
+  in.root = 0;
+  in.members = {1, 2, 3};
+  in.helper_candidates = {10};
+  AmcastOptions opt;
+  opt.selection = HelperSelection::kMinimaxHeuristic;
+  opt.helper_radius = 1000.0;
+  const auto r = BuildAmcastTree(in, Line, opt);
+  EXPECT_EQ(r.helpers_used, 0u);
+}
+
+TEST(Amcast, NearestToParentSelectionWorks) {
+  AmcastInput in;
+  in.degree_bounds = std::vector<int>(20, 2);
+  in.degree_bounds[15] = 6;
+  in.degree_bounds[16] = 6;
+  in.root = 0;
+  in.members = {1, 2, 3, 4};
+  in.helper_candidates = {15, 16};
+  auto latency = [](ParticipantId a, ParticipantId b) {
+    auto pos = [](ParticipantId v) {
+      if (v == 15) return 0.4;   // nearest to root
+      if (v == 16) return 2.5;
+      return static_cast<double>(v);
+    };
+    return std::abs(pos(a) - pos(b));
+  };
+  AmcastOptions opt;
+  opt.selection = HelperSelection::kNearestToParent;
+  opt.helper_radius = 10.0;
+  const auto r = BuildAmcastTree(in, latency, opt);
+  EXPECT_GE(r.helpers_used, 1u);
+  EXPECT_TRUE(r.tree.Contains(15));
+}
+
+TEST(Amcast, FeasibilityRescueIgnoresRadiusWhenCapacityRunsOut) {
+  // Root bound 2, every member leaf-only (bound 1): without helpers the
+  // tree exhausts after two attachments. The only helper sits far outside
+  // the radius — the rescue must recruit it anyway.
+  AmcastInput in;
+  in.degree_bounds = {2, 1, 1, 1, 1, 9};
+  in.root = 0;
+  in.members = {1, 2, 3, 4};
+  in.helper_candidates = {5};
+  auto latency = [](ParticipantId a, ParticipantId b) -> double {
+    if (a == b) return 0.0;
+    if (a > b) std::swap(a, b);
+    if (b == 5) return 500.0;  // helper is FAR away
+    return 10.0;
+  };
+  AmcastOptions opt;
+  opt.selection = HelperSelection::kMinimaxHeuristic;
+  opt.helper_radius = 100.0;  // excludes the helper for ordinary splices
+  const auto r = BuildAmcastTree(in, latency, opt);
+  EXPECT_EQ(r.helpers_used, 1u);
+  EXPECT_TRUE(r.tree.Contains(5));
+  EXPECT_EQ(r.tree.size(), 6u);
+  r.tree.Validate(in.degree_bounds);
+}
+
+TEST(Amcast, LeafOnlyMembersTrulyInfeasibleWithoutHelpers) {
+  AmcastInput in;
+  in.degree_bounds = {2, 1, 1, 1, 1};
+  in.root = 0;
+  in.members = {1, 2, 3, 4};
+  EXPECT_THROW(BuildAmcastTree(in, Line), util::CheckError);
+}
+
+TEST(Amcast, HelpersNeverUsedWithoutSelection) {
+  AmcastInput in;
+  in.degree_bounds = std::vector<int>(10, 2);
+  in.degree_bounds[9] = 9;
+  in.root = 0;
+  in.members = {1, 2, 3};
+  in.helper_candidates = {9};
+  const auto r = BuildAmcastTree(in, Line, AmcastOptions{});  // kNone
+  EXPECT_EQ(r.helpers_used, 0u);
+}
+
+// ---------------------------------------------------------------- bounds --
+
+TEST(Bounds, IdealHeightIsFarthestMember) {
+  EXPECT_DOUBLE_EQ(IdealHeight(0, {1, 5, 3}, Line), 5.0);
+  EXPECT_DOUBLE_EQ(IdealHeight(0, {}, Line), 0.0);
+}
+
+TEST(Bounds, ImprovementDefinition) {
+  EXPECT_DOUBLE_EQ(Improvement(100.0, 70.0), 0.3);
+  EXPECT_DOUBLE_EQ(Improvement(100.0, 100.0), 0.0);
+  EXPECT_LT(Improvement(100.0, 120.0), 0.0);
+  EXPECT_THROW(Improvement(0.0, 1.0), util::CheckError);
+}
+
+TEST(Bounds, TreeHeightNeverBeatsIdeal) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  util::Rng rng(5);
+  const auto members_idx = rng.SampleIndices(pool.size(), 15);
+  const ParticipantId root = members_idx[0];
+  std::vector<ParticipantId> members(members_idx.begin() + 1,
+                                     members_idx.end());
+  AmcastInput in;
+  in.degree_bounds = pool.degree_bounds();
+  in.root = root;
+  in.members = members;
+  const auto r = BuildAmcastTree(in, pool.TrueLatencyFn());
+  EXPECT_GE(r.height,
+            IdealHeight(root, members, pool.TrueLatencyFn()) - 1e-9);
+}
+
+// ----------------------------------------------------- strategy wrapper --
+
+TEST(PlanSession, CriticalBeatsAmcastOnRealPool) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  util::Rng rng(6);
+  const auto idx = rng.SampleIndices(pool.size(), 20);
+  PlanInput in;
+  in.degree_bounds = pool.degree_bounds();
+  in.root = idx[0];
+  in.members.assign(idx.begin() + 1, idx.end());
+  for (std::size_t v = 0; v < pool.size(); ++v) {
+    if (std::find(idx.begin(), idx.end(), v) == idx.end() &&
+        pool.degree_bound(v) >= 4)
+      in.helper_candidates.push_back(v);
+  }
+  in.true_latency = pool.TrueLatencyFn();
+  in.estimated_latency = pool.EstimatedLatencyFn();
+
+  const double base = PlanSession(in, Strategy::kAmcast).height_true;
+  const double critical = PlanSession(in, Strategy::kCritical).height_true;
+  const double critical_adj =
+      PlanSession(in, Strategy::kCriticalAdjust).height_true;
+  EXPECT_LE(critical, base + 1e-9);
+  EXPECT_LE(critical_adj, critical + 1e-9);
+}
+
+TEST(PlanSession, LeafsetRequiresEstimates) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  PlanInput in;
+  in.degree_bounds = pool.degree_bounds();
+  in.root = 0;
+  in.members = {1, 2};
+  in.true_latency = pool.TrueLatencyFn();
+  EXPECT_THROW(PlanSession(in, Strategy::kLeafset), util::CheckError);
+}
+
+TEST(PlanSession, StrategyNamesAndFlags) {
+  EXPECT_EQ(StrategyName(Strategy::kAmcast), "AMCast");
+  EXPECT_EQ(StrategyName(Strategy::kLeafsetAdjust), "Leafset+adj");
+  EXPECT_FALSE(StrategyUsesHelpers(Strategy::kAmcastAdjust));
+  EXPECT_TRUE(StrategyUsesHelpers(Strategy::kLeafset));
+  EXPECT_TRUE(StrategyUsesAdjust(Strategy::kCriticalAdjust));
+  EXPECT_FALSE(StrategyUsesEstimates(Strategy::kCritical));
+  EXPECT_TRUE(StrategyUsesEstimates(Strategy::kLeafsetAdjust));
+}
+
+TEST(PlanSession, ValidatedTreesForAllStrategies) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  util::Rng rng(7);
+  const auto idx = rng.SampleIndices(pool.size(), 12);
+  PlanInput in;
+  in.degree_bounds = pool.degree_bounds();
+  in.root = idx[0];
+  in.members.assign(idx.begin() + 1, idx.end());
+  for (std::size_t v = 0; v < pool.size(); ++v) {
+    if (std::find(idx.begin(), idx.end(), v) == idx.end() &&
+        pool.degree_bound(v) >= 4)
+      in.helper_candidates.push_back(v);
+  }
+  in.true_latency = pool.TrueLatencyFn();
+  in.estimated_latency = pool.EstimatedLatencyFn();
+  for (const Strategy s :
+       {Strategy::kAmcast, Strategy::kAmcastAdjust, Strategy::kCritical,
+        Strategy::kCriticalAdjust, Strategy::kLeafset,
+        Strategy::kLeafsetAdjust}) {
+    SCOPED_TRACE(StrategyName(s));
+    const auto r = PlanSession(in, s);
+    r.tree.Validate(in.degree_bounds);
+    EXPECT_EQ(r.tree.size(), 12u + r.helpers_used);
+  }
+}
+
+}  // namespace
+}  // namespace p2p::alm

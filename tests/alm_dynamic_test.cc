@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alm/critical.h"
+#include "alm/dynamic.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace p2p::alm {
+namespace {
+
+// Fixture: plan a session on the shared pool and wrap it dynamically.
+struct DynFixture {
+  pool::ResourcePool& pool;
+  std::vector<ParticipantId> members;  // incl. root at [0]
+  std::vector<ParticipantId> outsiders;
+  DynamicSession session;
+
+  static DynamicSession MakeSession(pool::ResourcePool& pool,
+                                    const std::vector<ParticipantId>& ids,
+                                    bool with_helpers,
+                                    DynamicSessionOptions opts) {
+    PlanInput in;
+    in.degree_bounds = pool.degree_bounds();
+    in.root = ids[0];
+    in.members.assign(ids.begin() + 1, ids.end());
+    if (with_helpers) {
+      for (std::size_t v = 0; v < pool.size(); ++v) {
+        if (std::find(ids.begin(), ids.end(), v) == ids.end() &&
+            pool.degree_bound(v) >= 4)
+          in.helper_candidates.push_back(v);
+      }
+    }
+    in.true_latency = pool.TrueLatencyFn();
+    auto plan = PlanSession(in, with_helpers ? Strategy::kCriticalAdjust
+                                             : Strategy::kAmcastAdjust);
+    // Collect the helpers actually in the tree.
+    std::vector<ParticipantId> helpers;
+    for (const ParticipantId v : plan.tree.members()) {
+      if (std::find(ids.begin(), ids.end(), v) == ids.end())
+        helpers.push_back(v);
+    }
+    return DynamicSession(std::move(plan.tree), pool.degree_bounds(),
+                          helpers, pool.TrueLatencyFn(), opts);
+  }
+
+  explicit DynFixture(std::uint64_t seed, bool with_helpers = false,
+                      DynamicSessionOptions opts = {})
+      : pool(p2p::testing::SharedSmallPool()),
+        members([&] {
+          util::Rng rng(seed);
+          const auto idx = rng.SampleIndices(pool.size(), 12);
+          return std::vector<ParticipantId>(idx.begin(), idx.end());
+        }()),
+        outsiders([&] {
+          std::vector<ParticipantId> out;
+          for (std::size_t v = 0; v < pool.size() && out.size() < 30; ++v) {
+            if (std::find(members.begin(), members.end(), v) ==
+                members.end())
+              out.push_back(v);
+          }
+          return out;
+        }()),
+        session(MakeSession(pool, members, with_helpers, opts)) {}
+};
+
+TEST(DynamicSession, JoinAttachesUnderFeasibleParent) {
+  DynFixture f(1);
+  const ParticipantId newcomer = f.outsiders[0];
+  const std::size_t before = f.session.tree().size();
+  EXPECT_TRUE(f.session.Join(newcomer));
+  EXPECT_EQ(f.session.tree().size(), before + 1);
+  EXPECT_TRUE(f.session.tree().Contains(newcomer));
+  f.session.tree().Validate(f.pool.degree_bounds());
+}
+
+TEST(DynamicSession, DoubleJoinRejected) {
+  DynFixture f(2);
+  const ParticipantId v = f.outsiders[0];
+  ASSERT_TRUE(f.session.Join(v));
+  EXPECT_THROW(f.session.Join(v), util::CheckError);
+}
+
+TEST(DynamicSession, LeafLeaveShrinksTree) {
+  DynFixture f(3);
+  // Find a leaf that is not the root.
+  ParticipantId leaf = kNoParticipant;
+  for (const ParticipantId v : f.session.tree().members()) {
+    if (v != f.session.tree().root() && f.session.tree().IsLeaf(v)) {
+      leaf = v;
+      break;
+    }
+  }
+  ASSERT_NE(leaf, kNoParticipant);
+  const std::size_t before = f.session.tree().size();
+  EXPECT_TRUE(f.session.Leave(leaf));
+  EXPECT_EQ(f.session.tree().size(), before - 1);
+  EXPECT_FALSE(f.session.tree().Contains(leaf));
+  f.session.tree().Validate(f.pool.degree_bounds());
+}
+
+TEST(DynamicSession, InteriorLeaveRehomesChildren) {
+  DynFixture f(4);
+  // Find an interior non-root node.
+  ParticipantId interior = kNoParticipant;
+  for (const ParticipantId v : f.session.tree().members()) {
+    if (v != f.session.tree().root() && !f.session.tree().IsLeaf(v)) {
+      interior = v;
+      break;
+    }
+  }
+  ASSERT_NE(interior, kNoParticipant);
+  const auto kids = f.session.tree().children(interior);
+  EXPECT_TRUE(f.session.Leave(interior));
+  for (const ParticipantId c : kids)
+    EXPECT_TRUE(f.session.tree().Contains(c));
+  f.session.tree().Validate(f.pool.degree_bounds());
+}
+
+TEST(DynamicSession, RootCannotLeave) {
+  DynFixture f(5);
+  EXPECT_THROW(f.session.Leave(f.session.tree().root()),
+               util::CheckError);
+}
+
+TEST(DynamicSession, HelperRecruitedOnCriticalJoin) {
+  // Build the Figure-1 scenario and join a member when the root is about
+  // to fill: the helper must be spliced.
+  MulticastTree t(6);
+  t.SetRoot(0);
+  t.AddChild(0, 1);  // root bound 2 → one free degree left
+  auto latency = [](ParticipantId a, ParticipantId b) -> double {
+    if (a == b) return 0.0;
+    if (a > b) std::swap(a, b);
+    if (b == 5) return a == 0 ? 60.0 : 10.0;
+    if (a == 0) return 100.0;
+    return 50.0;
+  };
+  DynamicSessionOptions opts;
+  opts.amcast.selection = HelperSelection::kMinimaxHeuristic;
+  opts.amcast.helper_radius = 100.0;
+  opts.adjust_after_change = false;
+  DynamicSession session(std::move(t), {2, 2, 2, 2, 2, 6}, {}, latency,
+                         opts);
+  EXPECT_TRUE(session.Join(2, /*helper_candidates=*/{5}));
+  EXPECT_EQ(session.helpers_recruited(), 1u);
+  EXPECT_TRUE(session.tree().Contains(5));
+  EXPECT_TRUE(session.IsHelper(5));
+  // 2 hangs under the helper, not the root.
+  EXPECT_EQ(session.tree().parent(2), 5u);
+}
+
+TEST(DynamicSession, ChildlessHelperPrunedAfterLeave) {
+  // root — helper — member: when the member leaves, the helper serves
+  // nobody and must be pruned.
+  MulticastTree t(6);
+  t.SetRoot(0);
+  t.AddChild(0, 5);
+  t.AddChild(5, 2);
+  auto latency = [](ParticipantId a, ParticipantId b) -> double {
+    return a == b ? 0.0 : 10.0;
+  };
+  DynamicSessionOptions opts;
+  opts.adjust_after_change = false;
+  DynamicSession session(std::move(t), std::vector<int>(6, 4), {5},
+                         latency, opts);
+  EXPECT_EQ(session.helpers_in_tree(), 1u);
+  EXPECT_TRUE(session.Leave(2));
+  EXPECT_EQ(session.helpers_pruned(), 1u);
+  EXPECT_FALSE(session.tree().Contains(5));
+  EXPECT_EQ(session.tree().size(), 1u);  // only the root remains
+}
+
+TEST(DynamicSession, RandomChurnKeepsInvariants) {
+  DynFixture f(6, /*with_helpers=*/true);
+  util::Rng rng(66);
+  std::vector<ParticipantId> joinable = f.outsiders;
+  std::vector<ParticipantId> in_session(f.members.begin() + 1,
+                                        f.members.end());
+  for (int step = 0; step < 40; ++step) {
+    const bool do_join =
+        in_session.size() < 4 ||
+        (rng.Bernoulli(0.5) && !joinable.empty());
+    if (do_join && !joinable.empty()) {
+      const std::size_t pick = rng.NextBounded(joinable.size());
+      const ParticipantId v = joinable[pick];
+      if (f.session.Join(v)) {
+        in_session.push_back(v);
+        joinable.erase(joinable.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    } else if (!in_session.empty()) {
+      const std::size_t pick = rng.NextBounded(in_session.size());
+      const ParticipantId v = in_session[pick];
+      if (f.session.tree().Contains(v) && f.session.Leave(v)) {
+        in_session.erase(in_session.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+        joinable.push_back(v);
+      }
+    }
+    f.session.tree().Validate(f.pool.degree_bounds());
+  }
+  EXPECT_GT(f.session.joins(), 0u);
+  EXPECT_GT(f.session.leaves(), 0u);
+}
+
+TEST(DynamicSession, AdjustAfterChangeImprovesOrKeepsHeight) {
+  DynamicSessionOptions with;
+  with.adjust_after_change = true;
+  DynamicSessionOptions without;
+  without.adjust_after_change = false;
+  DynFixture fa(7, false, with);
+  DynFixture fb(7, false, without);
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_TRUE(fa.session.Join(fa.outsiders[static_cast<std::size_t>(k)]));
+    ASSERT_TRUE(fb.session.Join(fb.outsiders[static_cast<std::size_t>(k)]));
+  }
+  EXPECT_LE(fa.session.Height(), fb.session.Height() + 1e-9);
+}
+
+}  // namespace
+}  // namespace p2p::alm

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alm/critical.h"
+#include "alm/metrics.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace p2p::alm {
+namespace {
+
+double Line(ParticipantId a, ParticipantId b) {
+  return a > b ? static_cast<double>(a - b) : static_cast<double>(b - a);
+}
+
+MulticastTree Chain4() {
+  MulticastTree t(10);
+  t.SetRoot(0);
+  t.AddChild(0, 1);
+  t.AddChild(1, 2);
+  t.AddChild(2, 3);
+  return t;
+}
+
+TEST(TreeMetrics, ChainValues) {
+  const auto m = ComputeTreeMetrics(Chain4(), Line);
+  EXPECT_DOUBLE_EQ(m.max_height_ms, 3.0);
+  EXPECT_DOUBLE_EQ(m.mean_height_ms, 2.0);  // heights 1, 2, 3
+  EXPECT_DOUBLE_EQ(m.total_edge_ms, 3.0);
+  EXPECT_DOUBLE_EQ(m.max_link_ms, 1.0);
+  EXPECT_EQ(m.max_fanout, 1u);
+  EXPECT_EQ(m.depth_hops, 3u);
+  EXPECT_NEAR(m.height_stddev_ms, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.bottleneck_kbps, 0.0);  // no bandwidth fn
+}
+
+TEST(TreeMetrics, StarValues) {
+  MulticastTree t(5);
+  t.SetRoot(0);
+  for (ParticipantId v = 1; v < 5; ++v) t.AddChild(0, v);
+  const auto m = ComputeTreeMetrics(t, Line);
+  EXPECT_DOUBLE_EQ(m.max_height_ms, 4.0);
+  EXPECT_EQ(m.max_fanout, 4u);
+  EXPECT_EQ(m.depth_hops, 1u);
+  EXPECT_DOUBLE_EQ(m.total_edge_ms, 1.0 + 2.0 + 3.0 + 4.0);
+}
+
+TEST(TreeMetrics, BottleneckIsMinOverLinks) {
+  auto bw = [](ParticipantId a, ParticipantId b) -> double {
+    return 100.0 * static_cast<double>(a + b + 1);
+  };
+  const auto m = ComputeTreeMetrics(Chain4(), Line, bw);
+  // Links: (0,1)=200, (1,2)=400, (2,3)=600.
+  EXPECT_DOUBLE_EQ(m.bottleneck_kbps, 200.0);
+}
+
+TEST(TreeMetrics, SingletonTree) {
+  MulticastTree t(1);
+  t.SetRoot(0);
+  const auto m = ComputeTreeMetrics(t, Line);
+  EXPECT_DOUBLE_EQ(m.max_height_ms, 0.0);
+  EXPECT_EQ(m.depth_hops, 0u);
+  EXPECT_DOUBLE_EQ(m.bottleneck_kbps, 0.0);
+}
+
+TEST(TreeMetrics, ConsistentWithTreeHeightOnRealPlans) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  util::Rng rng(8);
+  const auto idx = rng.SampleIndices(pool.size(), 15);
+  PlanInput in;
+  in.degree_bounds = pool.degree_bounds();
+  in.root = idx[0];
+  in.members.assign(idx.begin() + 1, idx.end());
+  in.true_latency = pool.TrueLatencyFn();
+  const auto r = PlanSession(in, Strategy::kAmcastAdjust);
+  const auto m = ComputeTreeMetrics(r.tree, in.true_latency,
+                                    [&](ParticipantId a, ParticipantId b) {
+                                      return pool.bandwidths()
+                                          .PathBottleneckKbps(a, b);
+                                    });
+  EXPECT_NEAR(m.max_height_ms, r.tree.Height(in.true_latency), 1e-9);
+  EXPECT_GT(m.bottleneck_kbps, 0.0);
+  EXPECT_LE(m.mean_height_ms, m.max_height_ms);
+  EXPECT_LE(m.max_link_ms, m.total_edge_ms + 1e-9);
+}
+
+TEST(TreeToDot, ContainsNodesAndEdges) {
+  const auto dot = TreeToDot(Chain4(), Line);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"0\", shape=doublecircle]"),
+            std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n2 -> n3"), std::string::npos);
+}
+
+TEST(TreeToDot, HelpersRenderedAsBoxes) {
+  MulticastTree t(3);
+  t.SetRoot(0);
+  t.AddChild(0, 1);
+  t.AddChild(1, 2);
+  std::vector<char> helper(3, 0);
+  helper[1] = 1;
+  const auto dot = TreeToDot(t, Line, helper);
+  EXPECT_NE(dot.find("n1 [label=\"1\", shape=box]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2p::alm

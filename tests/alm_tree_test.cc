@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "alm/tree.h"
+#include "util/check.h"
+
+namespace p2p::alm {
+namespace {
+
+// Simple latency: |a − b| (participants on a line).
+double Line(ParticipantId a, ParticipantId b) {
+  return a > b ? static_cast<double>(a - b) : static_cast<double>(b - a);
+}
+
+MulticastTree Chain4() {
+  // 0 → 1 → 2 → 3
+  MulticastTree t(10);
+  t.SetRoot(0);
+  t.AddChild(0, 1);
+  t.AddChild(1, 2);
+  t.AddChild(2, 3);
+  return t;
+}
+
+TEST(MulticastTree, SetRootOnce) {
+  MulticastTree t(5);
+  t.SetRoot(2);
+  EXPECT_EQ(t.root(), 2u);
+  EXPECT_TRUE(t.Contains(2));
+  EXPECT_THROW(t.SetRoot(3), util::CheckError);
+}
+
+TEST(MulticastTree, AddChildTracksStructure) {
+  auto t = Chain4();
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.parent(1), 0u);
+  EXPECT_EQ(t.parent(0), kNoParticipant);  // root has no parent
+  EXPECT_EQ(t.children(1), (std::vector<ParticipantId>{2}));
+  EXPECT_TRUE(t.IsLeaf(3));
+  EXPECT_FALSE(t.IsLeaf(1));
+}
+
+TEST(MulticastTree, DegreeCountsIncidentEdges) {
+  auto t = Chain4();
+  EXPECT_EQ(t.Degree(0), 1);  // root: one child, no parent edge
+  EXPECT_EQ(t.Degree(1), 2);  // parent + one child
+  EXPECT_EQ(t.Degree(3), 1);  // leaf
+}
+
+TEST(MulticastTree, AddExistingNodeRejected) {
+  auto t = Chain4();
+  EXPECT_THROW(t.AddChild(0, 2), util::CheckError);
+  EXPECT_THROW(t.AddChild(7, 8), util::CheckError);  // parent not in tree
+}
+
+TEST(MulticastTree, InSubtree) {
+  auto t = Chain4();
+  EXPECT_TRUE(t.InSubtree(3, 1));
+  EXPECT_TRUE(t.InSubtree(3, 3));
+  EXPECT_FALSE(t.InSubtree(1, 3));
+  EXPECT_TRUE(t.InSubtree(3, 0));  // root is everyone's ancestor
+}
+
+TEST(MulticastTree, HeightsAccumulateLatency) {
+  auto t = Chain4();
+  const auto h = t.ComputeHeights(Line);
+  EXPECT_DOUBLE_EQ(h[0], 0.0);
+  EXPECT_DOUBLE_EQ(h[1], 1.0);
+  EXPECT_DOUBLE_EQ(h[2], 2.0);
+  EXPECT_DOUBLE_EQ(h[3], 3.0);
+  EXPECT_DOUBLE_EQ(t.Height(Line), 3.0);
+}
+
+TEST(MulticastTree, ReparentMovesSubtree) {
+  auto t = Chain4();
+  t.Reparent(2, 0);  // 2 (and child 3) now hang off the root
+  EXPECT_EQ(t.parent(2), 0u);
+  const auto h = t.ComputeHeights(Line);
+  EXPECT_DOUBLE_EQ(h[2], 2.0);
+  EXPECT_DOUBLE_EQ(h[3], 3.0);
+  t.Validate(std::vector<int>(10, 9));
+}
+
+TEST(MulticastTree, ReparentUnderDescendantRejected) {
+  auto t = Chain4();
+  EXPECT_THROW(t.Reparent(1, 3), util::CheckError);
+  EXPECT_THROW(t.Reparent(0, 1), util::CheckError);  // cannot move the root
+}
+
+TEST(MulticastTree, SwapPositionsOfLeaves) {
+  MulticastTree t(10);
+  t.SetRoot(0);
+  t.AddChild(0, 1);
+  t.AddChild(0, 2);
+  t.AddChild(1, 3);
+  t.AddChild(2, 4);
+  t.SwapPositions(3, 4);
+  EXPECT_EQ(t.parent(3), 2u);
+  EXPECT_EQ(t.parent(4), 1u);
+  t.Validate(std::vector<int>(10, 9));
+}
+
+TEST(MulticastTree, SwapPositionsOfSiblingsIsStructurallyIdentical) {
+  MulticastTree t(10);
+  t.SetRoot(0);
+  t.AddChild(0, 1);
+  t.AddChild(0, 2);
+  t.SwapPositions(1, 2);
+  EXPECT_EQ(t.parent(1), 0u);
+  EXPECT_EQ(t.parent(2), 0u);
+  t.Validate(std::vector<int>(10, 9));
+}
+
+TEST(MulticastTree, SwapPositionsWithChildrenTransfersThem) {
+  MulticastTree t(10);
+  t.SetRoot(0);
+  t.AddChild(0, 1);
+  t.AddChild(0, 2);
+  t.AddChild(1, 3);  // 1 has a child, 2 is a leaf
+  t.SwapPositions(1, 2);
+  EXPECT_EQ(t.parent(3), 2u);  // 3 followed the position, not the node
+  EXPECT_TRUE(t.IsLeaf(1));
+  t.Validate(std::vector<int>(10, 9));
+}
+
+TEST(MulticastTree, SwapParentChildRejected) {
+  auto t = Chain4();
+  EXPECT_THROW(t.SwapPositions(1, 2), util::CheckError);
+}
+
+TEST(MulticastTree, SwapSubtreesExchangesParentEdgesOnly) {
+  MulticastTree t(10);
+  t.SetRoot(0);
+  t.AddChild(0, 1);
+  t.AddChild(0, 2);
+  t.AddChild(1, 3);
+  t.AddChild(2, 4);
+  t.SwapSubtrees(3, 4);
+  EXPECT_EQ(t.parent(3), 2u);
+  EXPECT_EQ(t.parent(4), 1u);
+  t.Validate(std::vector<int>(10, 9));
+}
+
+TEST(MulticastTree, SwapSubtreesKeepsChildren) {
+  MulticastTree t(10);
+  t.SetRoot(0);
+  t.AddChild(0, 1);
+  t.AddChild(0, 2);
+  t.AddChild(1, 3);
+  t.AddChild(3, 5);  // subtree under 3
+  t.AddChild(2, 4);
+  t.SwapSubtrees(3, 4);
+  EXPECT_EQ(t.parent(5), 3u);  // 5 moved with its subtree root
+  EXPECT_EQ(t.parent(3), 2u);
+  t.Validate(std::vector<int>(10, 9));
+}
+
+TEST(MulticastTree, SwapSubtreesAncestorRejected) {
+  auto t = Chain4();
+  EXPECT_THROW(t.SwapSubtrees(1, 3), util::CheckError);
+}
+
+TEST(MulticastTree, ValidateCatchesDegreeViolation) {
+  MulticastTree t(5);
+  t.SetRoot(0);
+  t.AddChild(0, 1);
+  t.AddChild(0, 2);
+  std::vector<int> bounds(5, 9);
+  bounds[0] = 1;  // root already has 2 children
+  EXPECT_THROW(t.Validate(bounds), util::CheckError);
+}
+
+TEST(MulticastTree, HeightOfSingletonIsZero) {
+  MulticastTree t(3);
+  t.SetRoot(1);
+  EXPECT_DOUBLE_EQ(t.Height(Line), 0.0);
+}
+
+}  // namespace
+}  // namespace p2p::alm

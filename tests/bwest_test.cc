@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "bwest/estimator.h"
+#include "bwest/packet_pair.h"
+#include "test_support.h"
+#include "util/stats.h"
+
+namespace p2p::bwest {
+namespace {
+
+net::BandwidthModel MakeModel(std::size_t hosts, std::uint64_t seed = 1,
+                              double jitter = 0.15) {
+  util::Rng rng(seed);
+  return net::BandwidthModel(net::GnutellaAccessClasses(), hosts, rng,
+                             jitter);
+}
+
+// ------------------------------------------------------------ PacketPair --
+
+TEST(PacketPair, NoiselessProbeRecoversBottleneckExactly) {
+  auto model = MakeModel(20);
+  util::Rng rng(2);
+  PacketPairProbe probe(model, PacketPairOptions{}, rng);
+  for (std::size_t a = 0; a < 20; ++a)
+    for (std::size_t b = 0; b < 20; ++b) {
+      if (a == b) continue;
+      EXPECT_NEAR(probe.MeasureKbps(a, b), model.PathBottleneckKbps(a, b),
+                  1e-6);
+    }
+}
+
+TEST(PacketPair, DispersionMatchesBandwidthFormula) {
+  auto model = MakeModel(5);
+  util::Rng rng(3);
+  PacketPairOptions opt;
+  opt.packet_bytes = 1500.0;
+  PacketPairProbe probe(model, opt, rng);
+  // 1500 bytes = 12000 bits; at B kbps the dispersion is 12000/B ms.
+  const double b01 = model.PathBottleneckKbps(0, 1);
+  EXPECT_NEAR(probe.IdealDispersionMs(0, 1), 12000.0 / b01, 1e-9);
+}
+
+TEST(PacketPair, NoisyProbeStaysWithinNoiseBand) {
+  auto model = MakeModel(10);
+  util::Rng rng(4);
+  PacketPairOptions opt;
+  opt.dispersion_noise = 0.2;
+  PacketPairProbe probe(model, opt, rng);
+  for (int i = 0; i < 500; ++i) {
+    const double truth = model.PathBottleneckKbps(1, 2);
+    const double m = probe.MeasureKbps(1, 2);
+    EXPECT_GE(m, truth / 1.2 - 1e-6);
+    EXPECT_LE(m, truth / 0.8 + 1e-6);
+  }
+}
+
+TEST(PacketPair, ProbeCounterIncrements) {
+  auto model = MakeModel(5);
+  util::Rng rng(5);
+  PacketPairProbe probe(model, PacketPairOptions{}, rng);
+  probe.MeasureKbps(0, 1);
+  probe.MeasureKbps(1, 0);
+  EXPECT_EQ(probe.probes_sent(), 2u);
+}
+
+TEST(PacketPair, InvalidOptionsRejected) {
+  auto model = MakeModel(5);
+  util::Rng rng(6);
+  PacketPairOptions bad;
+  bad.packet_bytes = 0.0;
+  EXPECT_THROW(PacketPairProbe(model, bad, rng), util::CheckError);
+  bad.packet_bytes = 1500.0;
+  bad.dispersion_noise = 1.0;
+  EXPECT_THROW(PacketPairProbe(model, bad, rng), util::CheckError);
+}
+
+// ------------------------------------------------------------- Estimator --
+
+struct EstimatorFixture {
+  net::TransitStubTopology topo;
+  net::LatencyOracle oracle;
+  net::BandwidthModel model;
+  dht::Ring ring;
+
+  explicit EstimatorFixture(std::size_t hosts, std::size_t leafset,
+                            std::uint64_t seed = 9)
+      : topo([&] {
+          util::Rng rng(seed);
+          return net::GenerateTransitStub(
+              p2p::testing::SmallTopologyParams(hosts), rng);
+        }()),
+        oracle(topo),
+        model(MakeModel(hosts, seed + 1)),
+        ring(leafset, &oracle) {
+    for (std::size_t h = 0; h < hosts; ++h) ring.JoinHashed(h);
+    ring.StabilizeAll();
+  }
+};
+
+TEST(Estimator, EstimatesNeverExceedTrueUplink) {
+  EstimatorFixture f(100, 16);
+  util::Rng rng(7);
+  BandwidthEstimator est(f.ring, f.model, PacketPairOptions{}, rng);
+  est.EstimateAll();
+  for (std::size_t n = 0; n < 100; ++n) {
+    // max over min(up(n), down(m)) ≤ up(n): the estimator can only
+    // underestimate (with noiseless probes).
+    EXPECT_LE(est.estimate(n).up_kbps, est.TrueUpKbps(n) + 1e-6);
+    EXPECT_LE(est.estimate(n).down_kbps, est.TrueDownKbps(n) + 1e-6);
+  }
+}
+
+TEST(Estimator, LargerLeafsetGivesBetterUplinkEstimate) {
+  // Paper Figure 5: average relative error decreases with leafset size.
+  auto mean_err = [](std::size_t leafset) {
+    EstimatorFixture f(120, leafset);
+    util::Rng rng(8);
+    BandwidthEstimator est(f.ring, f.model, PacketPairOptions{}, rng);
+    est.EstimateAll();
+    util::Accumulator acc;
+    for (std::size_t n = 0; n < 120; ++n)
+      acc.Add(est.UpRelativeError(n));
+    return acc.mean();
+  };
+  const double e4 = mean_err(4);
+  const double e32 = mean_err(32);
+  EXPECT_LE(e32, e4 + 1e-9);
+  EXPECT_LT(e32, 0.05);  // near-exact at leafset 32, as the paper reports
+}
+
+TEST(Estimator, UplinkMoreAccurateThanDownlink) {
+  // §4.2: most hosts' downlink exceeds most others' uplink, so uplink
+  // estimation saturates at the true value while downlink can fall short.
+  EstimatorFixture f(150, 32);
+  util::Rng rng(9);
+  BandwidthEstimator est(f.ring, f.model, PacketPairOptions{}, rng);
+  est.EstimateAll();
+  util::Accumulator up, down;
+  for (std::size_t n = 0; n < 150; ++n) {
+    up.Add(est.UpRelativeError(n));
+    down.Add(est.DownRelativeError(n));
+  }
+  EXPECT_LE(up.mean(), down.mean() + 1e-9);
+}
+
+TEST(Estimator, RankingAccuracyHighAtLeafset32) {
+  EstimatorFixture f(100, 32);
+  util::Rng rng(10);
+  BandwidthEstimator est(f.ring, f.model, PacketPairOptions{}, rng);
+  est.EstimateAll();
+  EXPECT_GT(est.UpRankingAccuracy(), 0.95);
+}
+
+TEST(Estimator, ErrorWithoutSamplesThrows) {
+  EstimatorFixture f(20, 4);
+  util::Rng rng(11);
+  BandwidthEstimator est(f.ring, f.model, PacketPairOptions{}, rng);
+  EXPECT_THROW(est.UpRelativeError(0), util::CheckError);
+}
+
+TEST(Estimator, EventDrivenMatchesSynchronousShape) {
+  EstimatorFixture f(64, 16);
+  sim::Simulation sim(12);
+  dht::HeartbeatProtocol hb(sim, f.ring);
+  util::Rng rng(13);
+  BandwidthEstimator est(f.ring, f.model, PacketPairOptions{}, rng);
+  est.AttachTo(hb);
+  hb.Start();
+  sim.RunUntil(10000.0);
+  util::Accumulator up;
+  for (std::size_t n = 0; n < 64; ++n) {
+    ASSERT_GT(est.estimate(n).up_samples, 0u);
+    up.Add(est.UpRelativeError(n));
+  }
+  EXPECT_LT(up.mean(), 0.15);
+}
+
+}  // namespace
+}  // namespace p2p::bwest

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "dht/churn.h"
+#include "dht/heartbeat.h"
+#include "dht/ring.h"
+#include "sim/simulation.h"
+
+namespace p2p::dht {
+namespace {
+
+struct HeartbeatFixture {
+  sim::Simulation sim{123};
+  Ring ring{8};
+
+  explicit HeartbeatFixture(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) ring.JoinHashed(i);
+    ring.StabilizeAll();
+  }
+};
+
+TEST(Heartbeat, TimeoutMustExceedPeriod) {
+  HeartbeatFixture f(4);
+  HeartbeatConfig cfg;
+  cfg.period_ms = 1000;
+  cfg.timeout_ms = 500;
+  EXPECT_THROW(HeartbeatProtocol(f.sim, f.ring, cfg), util::CheckError);
+}
+
+TEST(Heartbeat, DeliversToAllLeafsetMembers) {
+  HeartbeatFixture f(10);
+  HeartbeatProtocol hb(f.sim, f.ring);
+  hb.Start();
+  f.sim.RunUntil(3000.0);
+  EXPECT_GT(hb.heartbeats_sent(), 0u);
+  EXPECT_GT(hb.heartbeats_delivered(), 0u);
+  // Without failures every sent heartbeat is eventually delivered; allow
+  // the in-flight tail at the horizon.
+  EXPECT_GE(hb.heartbeats_sent(), hb.heartbeats_delivered());
+}
+
+TEST(Heartbeat, ObserverSeesSendAndReceiveTimes) {
+  HeartbeatFixture f(6);
+  HeartbeatProtocol hb(f.sim, f.ring);
+  int count = 0;
+  hb.AddObserver([&](NodeIndex from, NodeIndex to, sim::Time send_t,
+                     sim::Time recv_t) {
+    EXPECT_NE(from, to);
+    EXPECT_GE(recv_t, send_t);
+    ++count;
+  });
+  hb.Start();
+  f.sim.RunUntil(2500.0);
+  EXPECT_GT(count, 0);
+}
+
+TEST(Heartbeat, DetectsCrashedNodeWithinTimeout) {
+  HeartbeatFixture f(16);
+  HeartbeatConfig cfg;
+  cfg.period_ms = 500.0;
+  cfg.timeout_ms = 1600.0;
+  HeartbeatProtocol hb(f.sim, f.ring, cfg);
+  NodeIndex dead = kNoNode;
+  sim::Time detected_at = -1.0;
+  hb.AddFailureObserver([&](NodeIndex, NodeIndex d, sim::Time when) {
+    dead = d;
+    detected_at = when;
+  });
+  hb.Start();
+  f.sim.RunUntil(2000.0);
+  f.ring.Fail(3);
+  f.sim.RunUntil(8000.0);
+  EXPECT_EQ(dead, 3u);
+  EXPECT_EQ(hb.failures_detected(), 1u);
+  // Detection no earlier than the timeout after the crash, and not much
+  // later than timeout + one period of checking slack.
+  EXPECT_GE(detected_at, 2000.0 + 0.0);
+  EXPECT_LE(detected_at, 2000.0 + cfg.timeout_ms + 2 * cfg.period_ms);
+  // Ring-wide cleanup happened.
+  for (const NodeIndex n : f.ring.SortedAlive())
+    EXPECT_FALSE(f.ring.node(n).leafset().Contains(f.ring.node(3).id()));
+}
+
+TEST(Heartbeat, EachFailureDetectedOnce) {
+  HeartbeatFixture f(20);
+  HeartbeatConfig cfg;
+  cfg.period_ms = 400.0;
+  cfg.timeout_ms = 1300.0;
+  HeartbeatProtocol hb(f.sim, f.ring, cfg);
+  int notifications = 0;
+  hb.AddFailureObserver(
+      [&](NodeIndex, NodeIndex, sim::Time) { ++notifications; });
+  hb.Start();
+  f.sim.RunUntil(1000.0);
+  f.ring.Fail(2);
+  f.ring.Fail(9);
+  f.sim.RunUntil(10000.0);
+  EXPECT_EQ(notifications, 2);
+  EXPECT_EQ(hb.failures_detected(), 2u);
+}
+
+TEST(Heartbeat, StopCancelsFutureBeats) {
+  HeartbeatFixture f(8);
+  HeartbeatProtocol hb(f.sim, f.ring);
+  hb.Start();
+  f.sim.RunUntil(1500.0);
+  const std::size_t sent = hb.heartbeats_sent();
+  hb.Stop();
+  f.sim.RunUntil(10000.0);
+  EXPECT_EQ(hb.heartbeats_sent(), sent);
+}
+
+TEST(Heartbeat, JoinedNodeStartsBeating) {
+  HeartbeatFixture f(8);
+  HeartbeatProtocol hb(f.sim, f.ring);
+  hb.Start();
+  f.sim.RunUntil(1000.0);
+  const NodeIndex n = f.ring.JoinHashed(99);
+  hb.OnNodeJoined(n);
+  std::size_t from_new = 0;
+  hb.AddObserver([&](NodeIndex from, NodeIndex, sim::Time, sim::Time) {
+    if (from == n) ++from_new;
+  });
+  f.sim.RunUntil(4000.0);
+  EXPECT_GT(from_new, 0u);
+}
+
+// ---------------------------------------------------------------- Churn --
+
+TEST(Churn, JoinsAndFailuresOccurAtConfiguredRates) {
+  HeartbeatFixture f(30);
+  ChurnProcess::Config cfg;
+  cfg.mean_join_interval_ms = 500.0;
+  cfg.mean_fail_interval_ms = 500.0;
+  for (std::size_t h = 100; h < 200; ++h) cfg.join_hosts.push_back(h);
+  ChurnProcess churn(f.sim, f.ring, cfg);
+  churn.Start();
+  f.sim.RunUntil(20000.0);
+  churn.Stop();
+  // ~40 of each expected; allow wide tolerance.
+  EXPECT_GT(churn.joins(), 15u);
+  EXPECT_GT(churn.failures(), 15u);
+  f.ring.StabilizeAll();
+  f.ring.CheckInvariants();
+}
+
+TEST(Churn, NeverFailsBelowMinAlive) {
+  HeartbeatFixture f(6);
+  ChurnProcess::Config cfg;
+  cfg.mean_fail_interval_ms = 10.0;  // aggressive
+  cfg.min_alive = 4;
+  ChurnProcess churn(f.sim, f.ring, cfg);
+  churn.Start();
+  f.sim.RunUntil(5000.0);
+  EXPECT_GE(f.ring.alive_count(), 4u);
+}
+
+TEST(Churn, CallbacksFire) {
+  HeartbeatFixture f(10);
+  ChurnProcess::Config cfg;
+  cfg.mean_join_interval_ms = 200.0;
+  cfg.join_hosts = {50, 51, 52};
+  ChurnProcess churn(f.sim, f.ring, cfg);
+  int joined = 0;
+  churn.on_join = [&](NodeIndex) { ++joined; };
+  churn.Start();
+  f.sim.RunUntil(5000.0);
+  EXPECT_GT(joined, 0);
+  EXPECT_EQ(static_cast<std::size_t>(joined), churn.joins());
+}
+
+}  // namespace
+}  // namespace p2p::dht

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "dht/id.h"
+
+namespace p2p::dht {
+namespace {
+
+TEST(Id, ClockwiseDistanceWraps) {
+  EXPECT_EQ(ClockwiseDistance(10, 15), 5u);
+  EXPECT_EQ(ClockwiseDistance(15, 10), ~0ull - 4);  // the long way round
+  EXPECT_EQ(ClockwiseDistance(7, 7), 0u);
+}
+
+TEST(Id, RingDistanceIsMinOfBothDirections) {
+  EXPECT_EQ(RingDistance(10, 15), 5u);
+  EXPECT_EQ(RingDistance(15, 10), 5u);
+  EXPECT_EQ(RingDistance(0, ~0ull), 1u);  // adjacent across the wrap
+}
+
+TEST(Id, InArcBasic) {
+  EXPECT_TRUE(InArc(10, 15, 20));
+  EXPECT_TRUE(InArc(10, 20, 20));   // inclusive right end
+  EXPECT_FALSE(InArc(10, 10, 20));  // exclusive left end
+  EXPECT_FALSE(InArc(10, 25, 20));
+}
+
+TEST(Id, InArcWrapsAroundZero) {
+  const NodeId hi = ~0ull - 5;
+  EXPECT_TRUE(InArc(hi, 2, 10));
+  EXPECT_TRUE(InArc(hi, ~0ull, 10));
+  EXPECT_FALSE(InArc(hi, 11, 10));
+}
+
+TEST(Id, DegenerateArcCoversWholeRing) {
+  EXPECT_TRUE(InArc(5, 123456, 5));
+  EXPECT_TRUE(InArc(5, 5, 5));
+}
+
+TEST(Id, UnitConversionRoundTrips) {
+  for (const double u : {0.0, 0.25, 0.5, 0.75, 0.999}) {
+    EXPECT_NEAR(UnitFromId(IdFromUnit(u)), u, 1e-12);
+  }
+}
+
+TEST(Id, UnitConversionWrapsOutOfRange) {
+  EXPECT_EQ(IdFromUnit(1.0), IdFromUnit(0.0));
+  EXPECT_EQ(IdFromUnit(1.25), IdFromUnit(0.25));
+  EXPECT_EQ(IdFromUnit(-0.25), IdFromUnit(0.75));
+}
+
+TEST(Id, HalfPointIsMidRing) {
+  EXPECT_EQ(IdFromUnit(0.5), 1ull << 63);
+}
+
+TEST(Id, HashIsDeterministicAndSpreads) {
+  EXPECT_EQ(HashHostToId(1), HashHostToId(1));
+  // Consecutive host numbers land far apart (avalanche).
+  EXPECT_GT(RingDistance(HashHostToId(1), HashHostToId(2)), 1ull << 40);
+}
+
+}  // namespace
+}  // namespace p2p::dht

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "dht/kv_store.h"
+#include "util/rng.h"
+
+namespace p2p::dht {
+namespace {
+
+Ring MakeRing(std::size_t n) {
+  Ring ring(16);
+  for (std::size_t i = 0; i < n; ++i) ring.JoinHashed(i);
+  ring.StabilizeAll();
+  return ring;
+}
+
+TEST(KvStore, PutGetRoundTrip) {
+  auto ring = MakeRing(40);
+  KvStore kv(ring, 3);
+  const auto put = kv.Put(0, 12345, "hello");
+  EXPECT_TRUE(put.ok);
+  EXPECT_EQ(put.copies_stored, 3u);
+  const auto got = kv.Get(7, 12345);
+  EXPECT_TRUE(got.found);
+  EXPECT_EQ(got.value, "hello");
+  EXPECT_FALSE(got.from_replica);
+  kv.CheckInvariants();
+}
+
+TEST(KvStore, MissingKeyNotFound) {
+  auto ring = MakeRing(20);
+  KvStore kv(ring);
+  EXPECT_FALSE(kv.Get(0, 999).found);
+}
+
+TEST(KvStore, OverwriteReplacesValue) {
+  auto ring = MakeRing(20);
+  KvStore kv(ring);
+  kv.Put(0, 1, "a");
+  kv.Put(1, 1, "b");
+  EXPECT_EQ(kv.Get(2, 1).value, "b");
+  EXPECT_EQ(kv.total_keys(), 1u);
+  kv.CheckInvariants();
+}
+
+TEST(KvStore, EraseRemovesAllCopies) {
+  auto ring = MakeRing(20);
+  KvStore kv(ring, 3);
+  kv.Put(0, 42, "x");
+  EXPECT_TRUE(kv.Erase(1, 42));
+  EXPECT_FALSE(kv.Get(0, 42).found);
+  EXPECT_EQ(kv.CopiesOf(42), 0u);
+  EXPECT_FALSE(kv.Erase(1, 42));
+}
+
+TEST(KvStore, ReplicasPlacedOnSuccessors) {
+  auto ring = MakeRing(30);
+  KvStore kv(ring, 3);
+  const NodeId key = 777;
+  kv.Put(0, key, "v");
+  const NodeIndex primary = ring.ResponsibleFor(key);
+  const auto sorted = ring.SortedAlive();
+  const auto it = std::find(sorted.begin(), sorted.end(), primary);
+  const std::size_t pos = static_cast<std::size_t>(it - sorted.begin());
+  for (std::size_t k = 0; k < 3; ++k) {
+    const NodeIndex expect = sorted[(pos + k) % sorted.size()];
+    EXPECT_GT(kv.StoredOn(expect), 0u) << "replica " << k;
+  }
+}
+
+TEST(KvStore, SurvivesPrimaryFailureAfterRepair) {
+  auto ring = MakeRing(30);
+  KvStore kv(ring, 3);
+  util::Rng rng(3);
+  std::vector<NodeId> keys;
+  for (int i = 0; i < 50; ++i) {
+    keys.push_back(rng());
+    kv.Put(0, keys.back(), "value" + std::to_string(i));
+  }
+  // Kill the primary of the first key.
+  const NodeIndex victim = ring.ResponsibleFor(keys[0]);
+  ring.Fail(victim);
+  ring.DetectFailure(victim);
+  kv.RepairReplicas();
+  kv.CheckInvariants();
+  for (int i = 0; i < 50; ++i) {
+    const auto alive = ring.SortedAlive();
+    const auto got = kv.Get(alive[0], keys[static_cast<std::size_t>(i)]);
+    EXPECT_TRUE(got.found) << "key " << i;
+    EXPECT_EQ(got.value, "value" + std::to_string(i));
+  }
+}
+
+TEST(KvStore, RepairAfterJoinMovesPrimary) {
+  auto ring = MakeRing(20);
+  KvStore kv(ring, 2);
+  util::Rng rng(5);
+  std::vector<NodeId> keys;
+  for (int i = 0; i < 30; ++i) {
+    keys.push_back(rng());
+    kv.Put(0, keys.back(), "v");
+  }
+  // New joiners take over some zones; before repair their stores are
+  // empty (reads fall back to replicas), after repair invariants hold.
+  for (std::size_t i = 0; i < 5; ++i) ring.JoinHashed(100 + i);
+  for (const NodeId key : keys) EXPECT_TRUE(kv.Get(0, key).found);
+  kv.RepairReplicas();
+  kv.CheckInvariants();
+  for (const NodeId key : keys) {
+    const auto got = kv.Get(0, key);
+    EXPECT_TRUE(got.found);
+    EXPECT_FALSE(got.from_replica);  // primary serves again
+  }
+}
+
+TEST(KvStore, MassFailureWithinReplicationFactorLosesNothing) {
+  auto ring = MakeRing(60);
+  KvStore kv(ring, 4);
+  util::Rng rng(7);
+  std::vector<NodeId> keys;
+  for (int i = 0; i < 100; ++i) {
+    keys.push_back(rng());
+    kv.Put(0, keys.back(), std::to_string(i));
+  }
+  // Fail 3 RANDOM nodes (< replication factor 4): with repair after each
+  // detection, nothing is lost.
+  for (int f = 0; f < 3; ++f) {
+    const auto alive = ring.SortedAlive();
+    const NodeIndex victim = alive[rng.NextBounded(alive.size())];
+    ring.Fail(victim);
+    ring.DetectFailure(victim);
+    kv.RepairReplicas();
+  }
+  kv.CheckInvariants();
+  std::size_t found = 0;
+  for (const NodeId key : keys) found += kv.Get(0, key).found;
+  EXPECT_EQ(found, keys.size());
+}
+
+TEST(KvStore, ReplicaCountCappedByRingSize) {
+  Ring ring(4);
+  ring.JoinHashed(0);
+  ring.JoinHashed(1);
+  KvStore kv(ring, 5);
+  const auto put = kv.Put(0, 1, "v");
+  EXPECT_TRUE(put.ok);
+  EXPECT_EQ(put.copies_stored, 2u);  // only two nodes exist
+  kv.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace p2p::dht

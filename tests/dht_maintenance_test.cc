@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "dht/maintenance.h"
+#include "dht/ring.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace p2p::dht {
+namespace {
+
+// Fraction of finger entries matching the oracle responsible node.
+double FingerAccuracy(const Ring& ring) {
+  std::size_t correct = 0, total = 0;
+  for (const NodeIndex n : ring.SortedAlive()) {
+    const Node& x = ring.node(n);
+    for (std::size_t i = 0; i < FingerTable::kBits; ++i) {
+      const auto& e = x.fingers().finger(i);
+      if (e.node == kNoNode) continue;
+      ++total;
+      if (e.node == ring.ResponsibleFor(x.fingers().TargetKey(i)))
+        ++correct;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+TEST(Maintenance, RefreshesConvergeAfterChurn) {
+  sim::Simulation sim(3);
+  Ring ring(16);
+  for (std::size_t i = 0; i < 128; ++i) ring.JoinHashed(i);
+  ring.StabilizeAll();
+  // Churn: fail 20, join 20 — fingers now stale everywhere.
+  util::Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const auto alive = ring.SortedAlive();
+    const NodeIndex victim = alive[rng.NextBounded(alive.size())];
+    ring.Fail(victim);
+    ring.DetectFailure(victim);
+  }
+  for (std::size_t i = 0; i < 20; ++i) ring.JoinHashed(500 + i);
+
+  const double before = FingerAccuracy(ring);
+  MaintenanceConfig cfg;
+  cfg.period_ms = 500.0;
+  cfg.fingers_per_round = 8;
+  MaintenanceProtocol maint(sim, ring, cfg);
+  maint.Start();
+  // Enough rounds for each node to cover most of its 64 entries.
+  sim.RunUntil(20000.0);
+  maint.Stop();
+  const double after = FingerAccuracy(ring);
+  EXPECT_GT(maint.refreshes(), 1000u);
+  EXPECT_GE(after, before);
+  EXPECT_GT(after, 0.95);
+}
+
+TEST(Maintenance, RoutingStaysCorrectUnderMaintenance) {
+  sim::Simulation sim(5);
+  Ring ring(16);
+  for (std::size_t i = 0; i < 100; ++i) ring.JoinHashed(i);
+  ring.StabilizeAll();
+  MaintenanceProtocol maint(sim, ring);
+  maint.Start();
+  sim.RunUntil(5000.0);
+  util::Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId key = rng();
+    const auto r = ring.Route(rng.NextBounded(ring.size()), key);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.destination, ring.ResponsibleFor(key));
+  }
+}
+
+TEST(Maintenance, StopHaltsRefreshes) {
+  sim::Simulation sim(7);
+  Ring ring(8);
+  for (std::size_t i = 0; i < 20; ++i) ring.JoinHashed(i);
+  MaintenanceProtocol maint(sim, ring);
+  maint.Start();
+  sim.RunUntil(5000.0);
+  maint.Stop();
+  const std::size_t n = maint.refreshes();
+  sim.RunUntil(20000.0);
+  EXPECT_EQ(maint.refreshes(), n);
+}
+
+TEST(Maintenance, JoinedNodeGetsMaintained) {
+  sim::Simulation sim(9);
+  Ring ring(8);
+  for (std::size_t i = 0; i < 30; ++i) ring.JoinHashed(i);
+  ring.StabilizeAll();
+  MaintenanceProtocol maint(sim, ring);
+  maint.Start();
+  sim.RunUntil(1000.0);
+  const NodeIndex n = ring.JoinHashed(999);
+  maint.OnNodeJoined(n);
+  const std::size_t before = maint.refreshes();
+  sim.RunUntil(10000.0);
+  EXPECT_GT(maint.refreshes(), before);
+}
+
+}  // namespace
+}  // namespace p2p::dht

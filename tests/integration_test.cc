@@ -1,0 +1,164 @@
+// End-to-end tests across the whole stack: the p2p::Pool facade, the
+// paper-sized pool, and the live SOMO + measurement protocols running
+// together over the simulated network (the LiquidEye scenario).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alm/bounds.h"
+#include "core/pool_api.h"
+#include "dht/heartbeat.h"
+#include "somo/somo.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace {
+
+PoolOptions SmallOptions(std::uint64_t seed = 5) {
+  PoolOptions opts;
+  opts.config = testing::SmallPoolConfig(120, seed);
+  return opts;
+}
+
+TEST(PoolApi, QuickstartFlow) {
+  Pool pool(SmallOptions());
+  EXPECT_EQ(pool.size(), 120u);
+  std::vector<std::size_t> members;
+  for (std::size_t i = 1; i <= 9; ++i) members.push_back(i * 11);
+  const auto id = pool.CreateSession(7, members, /*priority=*/1);
+  EXPECT_TRUE(pool.session(id).scheduled());
+  EXPECT_GE(pool.SessionImprovement(id), -0.05);
+  pool.EndSession(id);
+  EXPECT_EQ(pool.resources().registry().TotalUsed(), 0u);
+}
+
+TEST(PoolApi, ConcurrentSessionsAndSweep) {
+  Pool pool(SmallOptions(8));
+  std::vector<alm::SessionId> ids;
+  for (std::size_t s = 0; s < 5; ++s) {
+    std::vector<std::size_t> members;
+    for (std::size_t k = 1; k < 10; ++k) members.push_back(s * 10 + k);
+    ids.push_back(pool.CreateSession(s * 10, members,
+                                     1 + static_cast<int>(s % 3)));
+  }
+  for (const auto id : ids) EXPECT_TRUE(pool.session(id).scheduled());
+  pool.EndSession(ids[0]);
+  pool.EndSession(ids[1]);
+  pool.RunMarketSweep();
+  for (std::size_t i = 2; i < ids.size(); ++i)
+    EXPECT_TRUE(pool.session(ids[i]).scheduled());
+  for (std::size_t i = 2; i < ids.size(); ++i) pool.EndSession(ids[i]);
+  EXPECT_EQ(pool.resources().registry().TotalUsed(), 0u);
+}
+
+TEST(PaperPool, Figure8ShapeHoldsOnPaperTopology) {
+  // Full 1200-host paper configuration, one session of 20: the ordering
+  // AMCast ≥ Leafset ≥ ... and bound sanity from Figure 8.
+  pool::PoolConfig cfg;  // paper defaults
+  cfg.seed = 99;
+  pool::ResourcePool rp(cfg);
+  util::Rng rng(3);
+  const auto idx = rng.SampleIndices(rp.size(), 20);
+  alm::PlanInput in;
+  in.degree_bounds = rp.degree_bounds();
+  in.root = idx[0];
+  in.members.assign(idx.begin() + 1, idx.end());
+  for (std::size_t v = 0; v < rp.size(); ++v) {
+    if (std::find(idx.begin(), idx.end(), v) == idx.end() &&
+        rp.degree_bound(v) >= 4)
+      in.helper_candidates.push_back(v);
+  }
+  in.true_latency = rp.TrueLatencyFn();
+  in.estimated_latency = rp.EstimatedLatencyFn();
+
+  const double base = PlanSession(in, alm::Strategy::kAmcast).height_true;
+  const double crit_adj =
+      PlanSession(in, alm::Strategy::kCriticalAdjust).height_true;
+  const double leaf_adj =
+      PlanSession(in, alm::Strategy::kLeafsetAdjust).height_true;
+  const double ideal =
+      alm::IdealHeight(in.root, in.members, in.true_latency);
+
+  EXPECT_LT(crit_adj, base);               // helpers + adjust always win
+  EXPECT_LT(leaf_adj, base);               // even with estimated latency
+  EXPECT_GE(crit_adj, ideal - 1e-9);       // nothing beats the star bound
+  // Critical+adj should land near the bound (paper: ~40 % vs 41 % bound).
+  EXPECT_GT(alm::Improvement(base, crit_adj), 0.15);
+}
+
+TEST(LiquidEye, SomoViewSurvivesNodeFailure) {
+  // The §3.2 LiquidEye experiment: heartbeats + SOMO over the simulated
+  // network; unplug a machine; the global view regenerates after a short
+  // jitter.
+  auto& rp = testing::SharedSmallPool();
+  // Work on a private ring so the shared pool stays pristine.
+  sim::Simulation sim(42);
+  dht::Ring ring(16, &rp.oracle());
+  for (std::size_t h = 0; h < 100; ++h) ring.JoinHashed(h);
+  ring.StabilizeAll();
+
+  dht::HeartbeatConfig hcfg;
+  hcfg.period_ms = 1000.0;
+  hcfg.timeout_ms = 3500.0;
+  dht::HeartbeatProtocol hb(sim, ring, hcfg);
+
+  somo::SomoConfig scfg;
+  scfg.fanout = 8;
+  scfg.report_interval_ms = 5000.0;  // the paper's 5 s cycle
+  somo::SomoProtocol somo(sim, ring, scfg, [&](dht::NodeIndex n) {
+    somo::NodeReport r;
+    r.node = n;
+    r.host = ring.node(n).host();
+    r.generated_at = sim.now();
+    return r;
+  });
+  // Failure detection triggers SOMO self-repair, as in the real system.
+  hb.AddFailureObserver(
+      [&](dht::NodeIndex, dht::NodeIndex, sim::Time) { somo.Rebuild(); });
+
+  hb.Start();
+  somo.Start();
+  sim.RunUntil(60000.0);
+  ASSERT_TRUE(somo.RootViewComplete());
+
+  const dht::NodeIndex victim = 55;
+  ring.Fail(victim);
+  sim.RunUntil(sim.now() + 60000.0);
+  EXPECT_GE(hb.failures_detected(), 1u);
+  EXPECT_TRUE(somo.RootViewComplete());
+  EXPECT_EQ(somo.RootReport().size(), 99u);
+}
+
+TEST(Determinism, SamePoolSeedSameResults) {
+  pool::PoolConfig cfg = testing::SmallPoolConfig(80, 123);
+  pool::ResourcePool a(cfg);
+  pool::ResourcePool b(cfg);
+  EXPECT_EQ(a.degree_bounds(), b.degree_bounds());
+  for (std::size_t i = 0; i < 80; i += 7)
+    for (std::size_t j = 0; j < 80; j += 11) {
+      if (i == j) continue;
+      EXPECT_DOUBLE_EQ(a.TrueLatency(i, j), b.TrueLatency(i, j));
+      EXPECT_DOUBLE_EQ(a.EstimatedLatency(i, j), b.EstimatedLatency(i, j));
+    }
+}
+
+TEST(Determinism, MultiSessionExperimentIsReproducible) {
+  auto& rp = testing::SharedSmallPool();
+  pool::MultiSessionParams params;
+  params.session_count = 5;
+  params.members_per_session = 10;
+  params.seed = 13;
+  params.compute_upper_bound = false;
+  const auto r1 = RunMultiSessionExperiment(rp, params);
+  const auto r2 = RunMultiSessionExperiment(rp, params);
+  for (int p = 1; p <= 3; ++p) {
+    const auto& a = r1.by_priority[static_cast<std::size_t>(p)];
+    const auto& b = r2.by_priority[static_cast<std::size_t>(p)];
+    EXPECT_EQ(a.sessions, b.sessions);
+    EXPECT_DOUBLE_EQ(a.improvement.mean(), b.improvement.mean());
+  }
+}
+
+}  // namespace
+}  // namespace p2p

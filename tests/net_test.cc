@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "net/bandwidth_model.h"
+#include "net/graph.h"
+#include "net/latency_oracle.h"
+#include "net/transit_stub.h"
+#include "test_support.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace p2p::net {
+namespace {
+
+// ---------------------------------------------------------------- Graph --
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(1, 2, 3.0);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));  // undirected
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.Degree(1), 2u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.AddEdge(1, 1, 1.0), util::CheckError);
+}
+
+TEST(Graph, NonPositiveWeightRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.AddEdge(0, 1, 0.0), util::CheckError);
+  EXPECT_THROW(g.AddEdge(0, 1, -1.0), util::CheckError);
+}
+
+TEST(Graph, DijkstraLineGraph) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(2, 3, 4.0);
+  const auto d = g.Dijkstra(0);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 1.0);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);
+  EXPECT_DOUBLE_EQ(d[3], 7.0);
+}
+
+TEST(Graph, DijkstraPrefersShorterMultiHopPath) {
+  Graph g(3);
+  g.AddEdge(0, 2, 10.0);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(g.Dijkstra(0)[2], 5.0);
+}
+
+TEST(Graph, DijkstraUnreachableIsInfinite) {
+  Graph g(3);
+  g.AddEdge(0, 1, 1.0);
+  EXPECT_EQ(g.Dijkstra(0)[2], kInfLatency);
+  EXPECT_FALSE(g.IsConnected());
+}
+
+TEST(Graph, EmptyGraphIsConnected) {
+  Graph g;
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(Graph, DijkstraSymmetricDistances) {
+  util::Rng rng(3);
+  Graph g(20);
+  // Random connected graph.
+  for (NodeIdx i = 1; i < 20; ++i)
+    g.AddEdge(i, rng.NextBounded(i), rng.Uniform(1.0, 10.0));
+  for (int e = 0; e < 15; ++e) {
+    const NodeIdx a = rng.NextBounded(20), b = rng.NextBounded(20);
+    if (a != b && !g.HasEdge(a, b)) g.AddEdge(a, b, rng.Uniform(1.0, 10.0));
+  }
+  const auto d0 = g.Dijkstra(7);
+  for (NodeIdx v = 0; v < 20; ++v)
+    EXPECT_DOUBLE_EQ(g.Dijkstra(v)[7], d0[v]);
+}
+
+// ---------------------------------------------------------- TransitStub --
+
+class TransitStubTest : public ::testing::Test {
+ protected:
+  static TransitStubTopology Paper() {
+    util::Rng rng(42);
+    return GenerateTransitStub(TransitStubParams{}, rng);
+  }
+};
+
+TEST_F(TransitStubTest, PaperShape600Routers1200Hosts) {
+  const auto topo = Paper();
+  EXPECT_EQ(topo.router_count(), 600u);
+  EXPECT_EQ(topo.params.total_transit_routers(), 24u);
+  EXPECT_EQ(topo.params.total_stub_routers(), 576u);
+  EXPECT_EQ(topo.host_count(), 1200u);
+}
+
+TEST_F(TransitStubTest, TransitFlagMatchesLayout) {
+  const auto topo = Paper();
+  for (std::size_t r = 0; r < topo.router_count(); ++r)
+    EXPECT_EQ(topo.is_transit[r], r < 24u);
+}
+
+TEST_F(TransitStubTest, RouterGraphIsConnected) {
+  EXPECT_TRUE(Paper().routers.IsConnected());
+}
+
+TEST_F(TransitStubTest, HostsAttachToStubRoutersOnly) {
+  const auto topo = Paper();
+  for (const NodeIdx r : topo.host_router) {
+    EXPECT_GE(r, 24u);
+    EXPECT_LT(r, 600u);
+  }
+}
+
+TEST_F(TransitStubTest, LastHopWithinConfiguredRange) {
+  const auto topo = Paper();
+  for (const double ms : topo.host_last_hop_ms) {
+    EXPECT_GE(ms, 3.0);
+    EXPECT_LT(ms, 8.0);
+  }
+}
+
+TEST_F(TransitStubTest, LinkLatenciesComeFromTheThreeClasses) {
+  const auto topo = Paper();
+  std::set<double> latencies;
+  for (NodeIdx v = 0; v < topo.router_count(); ++v)
+    for (const auto& [to, w] : topo.routers.Neighbors(v)) {
+      (void)to;
+      latencies.insert(w);
+    }
+  EXPECT_EQ(latencies, (std::set<double>{10.0, 25.0, 100.0}));
+}
+
+TEST_F(TransitStubTest, StubDomainsAttachViaOne25msLink) {
+  const auto topo = Paper();
+  // Every transit router has exactly 3 stub-domain attachment links.
+  for (NodeIdx t = 0; t < 24; ++t) {
+    std::size_t attach = 0;
+    for (const auto& [to, w] : topo.routers.Neighbors(t)) {
+      (void)to;
+      if (w == 25.0) ++attach;
+    }
+    EXPECT_EQ(attach, 3u) << "transit router " << t;
+  }
+}
+
+TEST_F(TransitStubTest, DeterministicForSameSeed) {
+  util::Rng r1(7), r2(7);
+  const auto a = GenerateTransitStub(TransitStubParams{}, r1);
+  const auto b = GenerateTransitStub(TransitStubParams{}, r2);
+  EXPECT_EQ(a.host_router, b.host_router);
+  EXPECT_EQ(a.routers.edge_count(), b.routers.edge_count());
+}
+
+TEST_F(TransitStubTest, SmallConfigurationWorks) {
+  util::Rng rng(5);
+  const auto topo =
+      GenerateTransitStub(p2p::testing::SmallTopologyParams(60), rng);
+  EXPECT_EQ(topo.router_count(), 6u + 48u);
+  EXPECT_EQ(topo.host_count(), 60u);
+  EXPECT_TRUE(topo.routers.IsConnected());
+}
+
+// -------------------------------------------------------- LatencyOracle --
+
+TEST(LatencyOracle, SymmetricPositiveZeroDiagonal) {
+  util::Rng rng(9);
+  const auto topo =
+      GenerateTransitStub(p2p::testing::SmallTopologyParams(80), rng);
+  const LatencyOracle oracle(topo);
+  for (HostIdx a = 0; a < 80; a += 7) {
+    EXPECT_DOUBLE_EQ(oracle.Latency(a, a), 0.0);
+    for (HostIdx b = 0; b < 80; b += 11) {
+      if (a == b) continue;
+      EXPECT_DOUBLE_EQ(oracle.Latency(a, b), oracle.Latency(b, a));
+      EXPECT_GT(oracle.Latency(a, b), 0.0);
+    }
+  }
+}
+
+TEST(LatencyOracle, TriangleInequalityOverRouterCore) {
+  // Router-level distances are shortest paths, hence metric.
+  util::Rng rng(9);
+  const auto topo =
+      GenerateTransitStub(p2p::testing::SmallTopologyParams(40), rng);
+  const LatencyOracle oracle(topo);
+  for (NodeIdx a = 0; a < 20; ++a)
+    for (NodeIdx b = 0; b < 20; ++b)
+      for (NodeIdx c = 0; c < 20; ++c) {
+        EXPECT_LE(oracle.RouterDistance(a, c),
+                  oracle.RouterDistance(a, b) + oracle.RouterDistance(b, c) +
+                      1e-9);
+      }
+}
+
+TEST(LatencyOracle, ParallelBuildMatchesSequential) {
+  util::Rng r1(13), r2(13);
+  const auto t1 =
+      GenerateTransitStub(p2p::testing::SmallTopologyParams(50), r1);
+  const auto t2 =
+      GenerateTransitStub(p2p::testing::SmallTopologyParams(50), r2);
+  util::ThreadPool pool(4);
+  const LatencyOracle seq(t1);
+  const LatencyOracle par(t2, &pool);
+  for (HostIdx a = 0; a < 50; a += 3)
+    for (HostIdx b = 0; b < 50; b += 5)
+      EXPECT_DOUBLE_EQ(seq.Latency(a, b), par.Latency(a, b));
+}
+
+TEST(LatencyOracle, SameStubPairsAreCloserThanCrossTransit) {
+  // Statistical sanity: hosts on the same stub router should usually be
+  // much closer than hosts in different transit domains.
+  util::Rng rng(21);
+  const auto topo = GenerateTransitStub(TransitStubParams{}, rng);
+  const LatencyOracle oracle(topo);
+  double same_router = 0.0;
+  int same_count = 0;
+  for (HostIdx a = 0; a < topo.host_count() && same_count < 50; ++a)
+    for (HostIdx b = a + 1; b < topo.host_count() && same_count < 50; ++b)
+      if (topo.host_router[a] == topo.host_router[b]) {
+        same_router += oracle.Latency(a, b);
+        ++same_count;
+      }
+  ASSERT_GT(same_count, 0);
+  EXPECT_LT(same_router / same_count, 20.0);  // two last hops only
+}
+
+// ------------------------------------------------------- BandwidthModel --
+
+TEST(BandwidthModel, FractionsMustSumToOne) {
+  util::Rng rng(1);
+  std::vector<AccessClass> bad{{"a", 0.5, 100, 100}};
+  EXPECT_THROW(BandwidthModel(bad, 10, rng), util::CheckError);
+}
+
+TEST(BandwidthModel, HostsDrawnFromClassesWithJitter) {
+  util::Rng rng(2);
+  const BandwidthModel m(1000, rng);
+  for (std::size_t h = 0; h < m.host_count(); ++h) {
+    const auto& hw = m.host(h);
+    EXPECT_GT(hw.up_kbps, 0.0);
+    EXPECT_GT(hw.down_kbps, 0.0);
+  }
+}
+
+TEST(BandwidthModel, ClassMixRoughlyMatchesFractions) {
+  util::Rng rng(3);
+  const BandwidthModel m(20000, rng);
+  // Count hosts whose uplink is in the modem band (33.6 ± 15 %).
+  int modem = 0;
+  for (std::size_t h = 0; h < m.host_count(); ++h) {
+    if (m.host(h).up_kbps < 33.6 * 1.16) ++modem;
+  }
+  EXPECT_NEAR(modem / 20000.0, 0.08, 0.02);
+}
+
+TEST(BandwidthModel, AsymmetryPropertyHolds) {
+  // §4.2's key property: most hosts' downlink exceeds most other hosts'
+  // uplink. Check the medians.
+  util::Rng rng(4);
+  const BandwidthModel m(5000, rng);
+  std::vector<double> up, down;
+  for (std::size_t h = 0; h < m.host_count(); ++h) {
+    up.push_back(m.host(h).up_kbps);
+    down.push_back(m.host(h).down_kbps);
+  }
+  EXPECT_GT(util::Median(down), util::Median(up));
+}
+
+TEST(BandwidthModel, PathBottleneckIsMinOfUpAndDown) {
+  util::Rng rng(5);
+  const BandwidthModel m(10, rng);
+  for (std::size_t a = 0; a < 10; ++a)
+    for (std::size_t b = 0; b < 10; ++b) {
+      if (a == b) continue;
+      EXPECT_DOUBLE_EQ(m.PathBottleneckKbps(a, b),
+                       std::min(m.host(a).up_kbps, m.host(b).down_kbps));
+    }
+}
+
+TEST(BandwidthModel, SelfPathRejected) {
+  util::Rng rng(6);
+  const BandwidthModel m(5, rng);
+  EXPECT_THROW(m.PathBottleneckKbps(2, 2), util::CheckError);
+}
+
+}  // namespace
+}  // namespace p2p::net

@@ -1,0 +1,116 @@
+// Bandwidth-constrained scheduling: the stream_kbps option caps each
+// node's usable child degree by its estimated uplink (the reason the
+// Figure-7 SOMO report carries bandwidth at all).
+#include <gtest/gtest.h>
+
+#include "pool/task_manager.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace p2p::pool {
+namespace {
+
+alm::SessionSpec Spec(ResourcePool& pool, alm::SessionId id,
+                      std::uint64_t seed, std::size_t group = 10) {
+  util::Rng rng(seed);
+  auto idx = rng.SampleIndices(pool.size(), group);
+  // Root at the best-uplinked member: a modem root cannot source a stream
+  // to anyone, which would make every rate-constrained case trivially
+  // infeasible instead of exercising the capping logic.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < idx.size(); ++i) {
+    if (pool.bandwidths().host(idx[i]).up_kbps >
+        pool.bandwidths().host(idx[best]).up_kbps)
+      best = i;
+  }
+  std::swap(idx[0], idx[best]);
+  alm::SessionSpec spec;
+  spec.id = id;
+  spec.priority = 1;
+  spec.root = idx[0];
+  spec.members.assign(idx.begin() + 1, idx.end());
+  return spec;
+}
+
+TEST(BandwidthScheduling, UnconstrainedWhenRateIsZero) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  TaskManagerOptions opt;
+  opt.stream_kbps = 0.0;
+  TaskManager tm(pool, Spec(pool, 1, 50), opt);
+  EXPECT_TRUE(tm.Schedule().ok);
+  tm.Teardown();
+}
+
+TEST(BandwidthScheduling, TreeRespectsUplinkCaps) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  TaskManagerOptions opt;
+  opt.stream_kbps = 300.0;  // a typical video stream
+  TaskManager tm(pool, Spec(pool, 2, 51), opt);
+  const auto out = tm.Schedule();
+  if (!out.ok) GTEST_SKIP() << "session infeasible at this rate";
+  const auto* tree = tm.current_tree();
+  for (const auto v : tree->members()) {
+    const int children = static_cast<int>(tree->children(v).size());
+    const auto& est = pool.bandwidth_estimates().estimate(v);
+    const double up =
+        est.up_samples > 0 ? est.up_kbps : pool.bandwidths().host(v).up_kbps;
+    EXPECT_LE(children, static_cast<int>(up / opt.stream_kbps))
+        << "node " << v << " fans out beyond its uplink";
+  }
+  tm.Teardown();
+  EXPECT_EQ(pool.registry().TotalUsed(), 0u);
+}
+
+TEST(BandwidthScheduling, HigherRateNeverImprovesHeight) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  auto height_at = [&](double rate) -> double {
+    TaskManagerOptions opt;
+    opt.stream_kbps = rate;
+    TaskManager tm(pool, Spec(pool, 3, 52), opt);
+    const auto out = tm.Schedule();
+    const double h = out.ok ? tm.current_height() : -1.0;
+    tm.Teardown();
+    return h;
+  };
+  const double h_low = height_at(100.0);
+  const double h_high = height_at(800.0);
+  ASSERT_GT(h_low, 0.0);
+  if (h_high > 0.0) {
+    // Tighter fan-out caps can only lengthen (or keep) the tree.
+    EXPECT_GE(h_high + 1e-9, h_low);
+  }
+}
+
+TEST(BandwidthScheduling, AbsurdRateFailsGracefully) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  TaskManagerOptions opt;
+  opt.stream_kbps = 1e9;  // nobody can source even one stream
+  TaskManager tm(pool, Spec(pool, 4, 53), opt);
+  const auto out = tm.Schedule();
+  EXPECT_FALSE(out.ok);
+  EXPECT_FALSE(tm.scheduled());
+  EXPECT_EQ(pool.registry().TotalUsed(), 0u);
+}
+
+TEST(BandwidthScheduling, ThinUplinkMembersBecomeLeaves) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  TaskManagerOptions opt;
+  opt.stream_kbps = 500.0;
+  TaskManager tm(pool, Spec(pool, 5, 54, 12), opt);
+  const auto out = tm.Schedule();
+  if (!out.ok) GTEST_SKIP() << "infeasible at this rate";
+  const auto* tree = tm.current_tree();
+  for (const auto v : tree->members()) {
+    const auto& est = pool.bandwidth_estimates().estimate(v);
+    const double up =
+        est.up_samples > 0 ? est.up_kbps : pool.bandwidths().host(v).up_kbps;
+    if (up < opt.stream_kbps) {
+      EXPECT_TRUE(tree->IsLeaf(v))
+          << "node " << v << " cannot source a stream but has children";
+    }
+  }
+  tm.Teardown();
+}
+
+}  // namespace
+}  // namespace p2p::pool

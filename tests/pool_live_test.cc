@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "pool/live_pool.h"
+#include "test_support.h"
+
+namespace p2p::pool {
+namespace {
+
+TEST(LivePool, ExperimentSchedulesEverySessionAndDrains) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  LiveExperimentParams params;
+  params.session_count = 6;
+  params.members_per_session = 10;
+  params.somo.report_interval_ms = 2000.0;
+  params.somo.fanout = 8;
+  params.seed = 9;
+  const auto result = RunStalenessExperiment(pool, params);
+  EXPECT_EQ(result.scheduled_sessions, 6u);
+  EXPECT_GT(result.somo_messages, 0u);
+  EXPECT_EQ(pool.registry().TotalUsed(), 0u);
+}
+
+TEST(LivePool, StaleViewsCauseOnlyBoundedDamage) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  auto run = [&](double interval) {
+    LiveExperimentParams params;
+    params.session_count = 8;
+    params.members_per_session = 10;
+    params.somo.report_interval_ms = interval;
+    params.seed = 21;
+    return RunStalenessExperiment(pool, params);
+  };
+  const auto fresh = run(1000.0);
+  const auto stale = run(30000.0);
+  // Both settle to positive mean improvement; staleness costs conflicts,
+  // not correctness.
+  EXPECT_GT(fresh.improvement.mean(), 0.0);
+  EXPECT_GT(stale.improvement.mean(), 0.0);
+  EXPECT_GT(stale.mean_view_staleness_ms,
+            fresh.mean_view_staleness_ms);
+}
+
+TEST(LivePool, ScheduleFromExplicitSnapshot) {
+  // Unit-level: a TaskManager planning from a fabricated stale view that
+  // over-promises a node's availability must roll back cleanly.
+  auto& pool = p2p::testing::SharedSmallPool();
+  alm::SessionSpec spec;
+  spec.id = 1;
+  spec.priority = 2;
+  spec.root = 0;
+  for (std::size_t k = 1; k < 10; ++k) spec.members.push_back(k);
+  TaskManager tm(pool, spec, TaskManagerOptions{});
+
+  // Fabricate a view where every non-member node advertises full
+  // availability — but first, exhaust a few high-degree nodes in the
+  // live registry so the view lies.
+  somo::AggregateReport view;
+  for (std::size_t v = 0; v < pool.size(); ++v) {
+    somo::NodeReport r;
+    r.node = v;
+    r.host = v;
+    r.generated_at = 0.0;
+    r.degrees.total = pool.degree_bound(v);
+    view.Add(r);
+  }
+  std::size_t poisoned = 0;
+  for (std::size_t v = 10; v < pool.size() && poisoned < 40; ++v) {
+    if (pool.degree_bound(v) >= 4) {
+      for (int k = 0; k < pool.degree_bound(v); ++k)
+        pool.registry().Claim(v, /*session=*/99, /*priority=*/1, false);
+      ++poisoned;
+    }
+  }
+  const auto out = tm.Schedule(&view);
+  // Either the plan avoided the poisoned nodes (ok) or it hit one and
+  // rolled back reporting the conflict; both leave state consistent.
+  if (!out.ok) {
+    EXPECT_TRUE(out.stale_conflict);
+    EXPECT_FALSE(tm.scheduled());
+    // No partial reservation left behind.
+    for (std::size_t v = 0; v < pool.size(); ++v)
+      EXPECT_EQ(pool.registry().HeldBy(v, spec.id), 0);
+  }
+  tm.Teardown();
+  pool.registry().ReleaseSession(99);
+  EXPECT_EQ(pool.registry().TotalUsed(), 0u);
+}
+
+TEST(LivePool, EmptyViewMeansNoHelpers) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  alm::SessionSpec spec;
+  spec.id = 2;
+  spec.priority = 1;
+  spec.root = 50;
+  for (std::size_t k = 1; k < 8; ++k) spec.members.push_back(50 + k);
+  TaskManager tm(pool, spec, TaskManagerOptions{});
+  somo::AggregateReport empty_view;
+  somo::NodeReport stub;  // view mentions only one irrelevant node
+  stub.node = 0;
+  stub.degrees.total = 0;
+  empty_view.Add(stub);
+  const auto out = tm.Schedule(&empty_view);
+  // Members are planned from live truth, so the session still runs — just
+  // without helpers (nobody else is advertised).
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(tm.current_helpers(), 0u);
+  tm.Teardown();
+  EXPECT_EQ(pool.registry().TotalUsed(), 0u);
+}
+
+TEST(LivePool, DeterministicForSeed) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  LiveExperimentParams params;
+  params.session_count = 5;
+  params.members_per_session = 10;
+  params.seed = 33;
+  const auto a = RunStalenessExperiment(pool, params);
+  const auto b = RunStalenessExperiment(pool, params);
+  EXPECT_DOUBLE_EQ(a.improvement.mean(), b.improvement.mean());
+  EXPECT_EQ(a.stale_conflicts, b.stale_conflicts);
+}
+
+}  // namespace
+}  // namespace p2p::pool

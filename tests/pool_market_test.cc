@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pool/market.h"
+#include "pool/multi_session_sim.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace p2p::pool {
+namespace {
+
+alm::SessionSpec DisjointSpec(ResourcePool& pool, alm::SessionId id,
+                              int priority, std::size_t block,
+                              std::size_t group = 10) {
+  // Deterministic non-overlapping member blocks.
+  alm::SessionSpec spec;
+  spec.id = id;
+  spec.priority = priority;
+  const std::size_t base = block * group;
+  spec.root = base % pool.size();
+  for (std::size_t k = 1; k < group; ++k)
+    spec.members.push_back((base + k) % pool.size());
+  return spec;
+}
+
+TEST(Market, AddAndRemoveSessions) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  MarketScheduler market(pool, TaskManagerOptions{});
+  market.AddSession(DisjointSpec(pool, 1, 1, 0));
+  market.AddSession(DisjointSpec(pool, 2, 2, 1));
+  EXPECT_EQ(market.session_count(), 2u);
+  EXPECT_TRUE(market.session(1).scheduled());
+  EXPECT_TRUE(market.session(2).scheduled());
+  market.RemoveSession(1);
+  market.RemoveSession(2);
+  EXPECT_EQ(market.session_count(), 0u);
+  EXPECT_EQ(pool.registry().TotalUsed(), 0u);
+}
+
+TEST(Market, DuplicateSessionIdRejected) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  MarketScheduler market(pool, TaskManagerOptions{});
+  market.AddSession(DisjointSpec(pool, 1, 1, 0));
+  EXPECT_THROW(market.AddSession(DisjointSpec(pool, 1, 2, 1)),
+               util::CheckError);
+  market.RemoveSession(1);
+}
+
+TEST(Market, UnknownSessionRejected) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  MarketScheduler market(pool, TaskManagerOptions{});
+  EXPECT_THROW(market.session(99), util::CheckError);
+  EXPECT_THROW(market.RemoveSession(99), util::CheckError);
+}
+
+TEST(Market, PreemptionCascadeKeepsEveryoneScheduled) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  MarketScheduler market(pool, TaskManagerOptions{});
+  // Saturate: 12 sessions of 10 on a 120-host pool, mixed priorities.
+  util::Rng rng(9);
+  for (alm::SessionId id = 1; id <= 12; ++id) {
+    const int prio = 1 + static_cast<int>(rng.NextBounded(3));
+    market.AddSession(
+        DisjointSpec(pool, id, prio, static_cast<std::size_t>(id - 1)));
+  }
+  for (alm::SessionId id = 1; id <= 12; ++id)
+    EXPECT_TRUE(market.session(id).scheduled()) << "session " << id;
+  pool.registry().CheckInvariants();
+  for (alm::SessionId id = 1; id <= 12; ++id) market.RemoveSession(id);
+  EXPECT_EQ(pool.registry().TotalUsed(), 0u);
+}
+
+TEST(Market, SweepImprovesOrKeepsAfterDepartures) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  MarketScheduler market(pool, TaskManagerOptions{});
+  util::Rng rng(10);
+  for (alm::SessionId id = 1; id <= 8; ++id) {
+    market.AddSession(DisjointSpec(
+        pool, id, 1 + static_cast<int>(rng.NextBounded(3)),
+        static_cast<std::size_t>(id - 1)));
+  }
+  // Remove half, freeing resources.
+  for (alm::SessionId id = 1; id <= 4; ++id) market.RemoveSession(id);
+  std::vector<double> before;
+  for (alm::SessionId id = 5; id <= 8; ++id)
+    before.push_back(market.session(id).CurrentImprovement());
+  market.ReschedulingSweep(rng);
+  for (alm::SessionId id = 5; id <= 8; ++id) {
+    // After picking up freed resources the plan should not be much worse
+    // (it can wiggle slightly because estimates drive planning).
+    EXPECT_GE(market.session(id).CurrentImprovement(),
+              before[static_cast<std::size_t>(id - 5)] - 0.15);
+  }
+  for (alm::SessionId id = 5; id <= 8; ++id) market.RemoveSession(id);
+  EXPECT_EQ(pool.registry().TotalUsed(), 0u);
+}
+
+TEST(Market, StatsCountersAdvance) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  MarketScheduler market(pool, TaskManagerOptions{});
+  market.AddSession(DisjointSpec(pool, 1, 1, 0));
+  EXPECT_GE(market.total_reschedules(), 1u);
+  market.RemoveSession(1);
+}
+
+// --------------------------------------------- multi-session experiment --
+
+TEST(MultiSession, ExperimentRunsAndDrainsRegistry) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  MultiSessionParams params;
+  params.session_count = 6;
+  params.members_per_session = 10;
+  params.rescheduling_sweeps = 1;
+  params.seed = 77;
+  params.compute_upper_bound = false;
+  const auto result = RunMultiSessionExperiment(pool, params);
+  EXPECT_EQ(pool.registry().TotalUsed(), 0u);
+  std::size_t sessions = 0;
+  for (int p = 1; p <= 3; ++p)
+    sessions += result.by_priority[static_cast<std::size_t>(p)].sessions;
+  EXPECT_EQ(sessions, 6u);
+  EXPECT_GT(result.pool_utilisation, 0.0);
+  EXPECT_LE(result.pool_utilisation, 1.0);
+  EXPECT_FALSE(result.lower_bound_improvement.empty());
+}
+
+TEST(MultiSession, TooManySessionsRejected) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  MultiSessionParams params;
+  params.session_count = 100;  // 100 × 10 > 120 hosts
+  params.members_per_session = 10;
+  EXPECT_THROW(RunMultiSessionExperiment(pool, params), util::CheckError);
+}
+
+TEST(MultiSession, ImprovementsWithinTheoreticalBounds) {
+  auto& pool = p2p::testing::SharedSmallPool();
+  MultiSessionParams params;
+  params.session_count = 4;
+  params.members_per_session = 10;
+  params.rescheduling_sweeps = 2;
+  params.seed = 31;
+  params.compute_upper_bound = true;
+  const auto result = RunMultiSessionExperiment(pool, params);
+  // Mean improvement of every priority class should be sane: no worse
+  // than a modest negative wiggle and no better than the solo upper bound
+  // plus slack (estimates make individual sessions noisy).
+  const double ub = result.upper_bound_improvement.mean();
+  for (int p = 1; p <= 3; ++p) {
+    const auto& cls = result.by_priority[static_cast<std::size_t>(p)];
+    if (cls.sessions == 0) continue;
+    EXPECT_GE(cls.improvement.mean(), -0.1);
+    EXPECT_LE(cls.improvement.mean(), ub + 0.15);
+  }
+}
+
+}  // namespace
+}  // namespace p2p::pool

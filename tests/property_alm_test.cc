@@ -1,0 +1,169 @@
+// Property sweeps over the ALM planner: for random metric-ish latency
+// spaces, degree distributions, group sizes and strategies — trees are
+// always valid, degree-bounded, no worse than planned, and bounded below
+// by the ideal star.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "alm/bounds.h"
+#include "alm/critical.h"
+#include "util/rng.h"
+
+namespace p2p::alm {
+namespace {
+
+// Synthetic participant space: random points in a 2-D box, Euclidean
+// latency (a clean metric — triangle inequality holds exactly).
+struct Space {
+  std::vector<std::pair<double, double>> pos;
+  std::vector<int> bounds;
+
+  Space(std::size_t n, std::uint64_t seed, int min_deg, int max_deg) {
+    util::Rng rng(seed);
+    pos.reserve(n);
+    bounds.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pos.emplace_back(rng.Uniform(0.0, 500.0), rng.Uniform(0.0, 500.0));
+      bounds.push_back(
+          static_cast<int>(rng.UniformInt(min_deg, max_deg)));
+    }
+  }
+
+  LatencyFn Latency() const {
+    return [this](ParticipantId a, ParticipantId b) {
+      const double dx = pos[a].first - pos[b].first;
+      const double dy = pos[a].second - pos[b].second;
+      return std::sqrt(dx * dx + dy * dy) + (a == b ? 0.0 : 1.0);
+    };
+  }
+};
+
+// (participants, group size, seed)
+using AlmParam = std::tuple<std::size_t, std::size_t, std::uint64_t>;
+
+class AlmProperty : public ::testing::TestWithParam<AlmParam> {
+ protected:
+  void SetUp() override {
+    const auto [n, group, seed] = GetParam();
+    space_ = std::make_unique<Space>(n, seed, 2, 6);
+    util::Rng rng(seed ^ 0x999);
+    const auto idx = rng.SampleIndices(n, group);
+    input_.degree_bounds = space_->bounds;
+    input_.root = idx[0];
+    input_.members.assign(idx.begin() + 1, idx.end());
+    for (std::size_t v = 0; v < n; ++v) {
+      if (std::find(idx.begin(), idx.end(), v) == idx.end() &&
+          space_->bounds[v] >= 4)
+        input_.helper_candidates.push_back(v);
+    }
+    input_.true_latency = space_->Latency();
+    // "Estimates": the true latency perturbed ±25 % deterministically.
+    input_.estimated_latency = [lat = space_->Latency()](ParticipantId a,
+                                                         ParticipantId b) {
+      const double f =
+          0.75 + 0.5 * (static_cast<double>(util::Mix64(a * 7919 + b) %
+                                            1000) /
+                        1000.0);
+      return lat(a, b) * f;
+    };
+  }
+  std::unique_ptr<Space> space_;
+  PlanInput input_;
+};
+
+TEST_P(AlmProperty, EveryStrategyYieldsValidBoundedTree) {
+  for (const Strategy s :
+       {Strategy::kAmcast, Strategy::kAmcastAdjust, Strategy::kCritical,
+        Strategy::kCriticalAdjust, Strategy::kLeafset,
+        Strategy::kLeafsetAdjust}) {
+    SCOPED_TRACE(StrategyName(s));
+    const auto r = PlanSession(input_, s);
+    r.tree.Validate(input_.degree_bounds);
+    EXPECT_EQ(r.tree.size(), input_.members.size() + 1 + r.helpers_used);
+    EXPECT_EQ(r.tree.root(), input_.root);
+  }
+}
+
+TEST_P(AlmProperty, HeightsBoundedBelowByIdealStar) {
+  const double ideal =
+      IdealHeight(input_.root, input_.members, input_.true_latency);
+  for (const Strategy s :
+       {Strategy::kAmcast, Strategy::kCriticalAdjust,
+        Strategy::kLeafsetAdjust}) {
+    const auto r = PlanSession(input_, s);
+    // Helpers can relay but never beat direct root→member delivery in a
+    // metric space (triangle inequality).
+    EXPECT_GE(r.height_true, ideal - 1e-6) << StrategyName(s);
+  }
+}
+
+TEST_P(AlmProperty, AdjustNeverHurtsPlannedHeight) {
+  const auto raw = PlanSession(input_, Strategy::kCritical);
+  const auto adj = PlanSession(input_, Strategy::kCriticalAdjust);
+  EXPECT_LE(adj.height_true, raw.height_true + 1e-9);
+}
+
+TEST_P(AlmProperty, HelperRecruitmentStaysSane) {
+  // Greedy splicing is a heuristic and can lose to plain AMCast on
+  // individual instances; the properties that must ALWAYS hold are that
+  // it never explodes the tree and never recruits more helpers than
+  // members (each splice accompanies exactly one member attachment).
+  const auto base = PlanSession(input_, Strategy::kAmcast);
+  const auto crit = PlanSession(input_, Strategy::kCritical);
+  EXPECT_LE(crit.height_true, base.height_true * 1.5 + 1e-9);
+  EXPECT_LE(crit.helpers_used, input_.members.size());
+  // And with adjustment on top, the helper plan is competitive with the
+  // adjusted baseline.
+  const auto base_adj = PlanSession(input_, Strategy::kAmcastAdjust);
+  const auto crit_adj = PlanSession(input_, Strategy::kCriticalAdjust);
+  EXPECT_LE(crit_adj.height_true, base_adj.height_true * 1.25 + 1e-9);
+}
+
+TEST_P(AlmProperty, DeterministicForSameInput) {
+  const auto a = PlanSession(input_, Strategy::kLeafsetAdjust);
+  const auto b = PlanSession(input_, Strategy::kLeafsetAdjust);
+  EXPECT_DOUBLE_EQ(a.height_true, b.height_true);
+  EXPECT_EQ(a.helpers_used, b.helpers_used);
+  EXPECT_EQ(a.tree.members(), b.tree.members());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlmProperty,
+    ::testing::Combine(::testing::Values(60, 200),
+                       ::testing::Values(5, 15, 40),
+                       ::testing::Values(11, 42, 360)),
+    [](const ::testing::TestParamInfo<AlmParam>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_g" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---- degree-distribution sweep -----------------------------------------
+
+class DegreeDistProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DegreeDistProperty, FeasibleWheneverMinDegreeIsTwo) {
+  const auto [min_deg, max_deg] = GetParam();
+  Space space(80, 5, min_deg, max_deg);
+  util::Rng rng(6);
+  const auto idx = rng.SampleIndices(80, 25);
+  AmcastInput in;
+  in.degree_bounds = space.bounds;
+  in.root = idx[0];
+  in.members.assign(idx.begin() + 1, idx.end());
+  const auto r = BuildAmcastTree(in, space.Latency());
+  r.tree.Validate(in.degree_bounds);
+  EXPECT_EQ(r.tree.size(), 25u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DegreeDistProperty,
+                         ::testing::Values(std::make_tuple(2, 2),
+                                           std::make_tuple(2, 9),
+                                           std::make_tuple(3, 5),
+                                           std::make_tuple(9, 9)));
+
+}  // namespace
+}  // namespace p2p::alm

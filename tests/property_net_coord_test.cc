@@ -1,0 +1,166 @@
+// Property sweeps over the network substrate and coordinate systems:
+// topology-shape invariants across generator parameters, and embedding
+// sanity across dimensions and leafset sizes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "coord/leafset_coords.h"
+#include "dht/ring.h"
+#include "net/latency_oracle.h"
+#include "net/transit_stub.h"
+#include "util/stats.h"
+
+namespace p2p {
+namespace {
+
+// ---- transit-stub generator sweep ---------------------------------------
+
+// (transit domains, routers/domain, stub domains/router, routers/stub,
+//  hosts, seed)
+using TopoParam =
+    std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
+               std::size_t, std::uint64_t>;
+
+class TopologyProperty : public ::testing::TestWithParam<TopoParam> {
+ protected:
+  net::TransitStubTopology Generate() const {
+    const auto [td, trd, sdr, rsd, hosts, seed] = GetParam();
+    net::TransitStubParams p;
+    p.transit_domains = td;
+    p.transit_routers_per_domain = trd;
+    p.stub_domains_per_transit_router = sdr;
+    p.routers_per_stub_domain = rsd;
+    p.end_hosts = hosts;
+    util::Rng rng(seed);
+    return net::GenerateTransitStub(p, rng);
+  }
+};
+
+TEST_P(TopologyProperty, ShapeMatchesParameters) {
+  const auto topo = Generate();
+  const auto& p = topo.params;
+  EXPECT_EQ(topo.router_count(), p.total_routers());
+  EXPECT_EQ(topo.host_count(), p.end_hosts);
+  std::size_t transit = 0;
+  for (const bool t : topo.is_transit) transit += t;
+  EXPECT_EQ(transit, p.total_transit_routers());
+}
+
+TEST_P(TopologyProperty, AlwaysConnected) {
+  EXPECT_TRUE(Generate().routers.IsConnected());
+}
+
+TEST_P(TopologyProperty, OracleIsMetricOverRouters) {
+  const auto topo = Generate();
+  const net::LatencyOracle oracle(topo);
+  util::Rng rng(99);
+  for (int i = 0; i < 40; ++i) {
+    const auto a = rng.NextBounded(topo.router_count());
+    const auto b = rng.NextBounded(topo.router_count());
+    const auto c = rng.NextBounded(topo.router_count());
+    EXPECT_LE(oracle.RouterDistance(a, c),
+              oracle.RouterDistance(a, b) + oracle.RouterDistance(b, c) +
+                  1e-9);
+    EXPECT_DOUBLE_EQ(oracle.RouterDistance(a, b),
+                     oracle.RouterDistance(b, a));
+  }
+}
+
+TEST_P(TopologyProperty, HostLatencyDecomposition) {
+  const auto topo = Generate();
+  const net::LatencyOracle oracle(topo);
+  util::Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    const auto a = rng.NextBounded(topo.host_count());
+    const auto b = rng.NextBounded(topo.host_count());
+    if (a == b) continue;
+    EXPECT_NEAR(oracle.Latency(a, b),
+                topo.host_last_hop_ms[a] +
+                    oracle.RouterDistance(topo.host_router[a],
+                                          topo.host_router[b]) +
+                    topo.host_last_hop_ms[b],
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopologyProperty,
+    ::testing::Values(
+        TopoParam{1, 1, 1, 1, 4, 1},     // degenerate minimum
+        TopoParam{1, 4, 2, 3, 40, 2},    // single transit domain
+        TopoParam{2, 3, 2, 4, 80, 3},    // the test-suite default
+        TopoParam{4, 6, 3, 8, 300, 4},   // the paper's shape, fewer hosts
+        TopoParam{8, 2, 1, 2, 64, 5}),   // many small domains
+    [](const ::testing::TestParamInfo<TopoParam>& info) {
+      return "td" + std::to_string(std::get<0>(info.param)) + "x" +
+             std::to_string(std::get<1>(info.param)) + "_sd" +
+             std::to_string(std::get<2>(info.param)) + "x" +
+             std::to_string(std::get<3>(info.param)) + "_h" +
+             std::to_string(std::get<4>(info.param));
+    });
+
+// ---- coordinate-system sweep --------------------------------------------
+
+// (dimensions, leafset size)
+using CoordParam = std::tuple<std::size_t, std::size_t>;
+
+class CoordProperty : public ::testing::TestWithParam<CoordParam> {};
+
+TEST_P(CoordProperty, EmbeddingBeatsNaiveConstantPredictor) {
+  const auto [dims, leafset] = GetParam();
+  util::Rng topo_rng(31);
+  net::TransitStubParams p;
+  p.transit_domains = 2;
+  p.transit_routers_per_domain = 3;
+  p.stub_domains_per_transit_router = 2;
+  p.routers_per_stub_domain = 4;
+  p.end_hosts = 100;
+  const auto topo = net::GenerateTransitStub(p, topo_rng);
+  const net::LatencyOracle oracle(topo);
+  dht::Ring ring(leafset, &oracle);
+  for (std::size_t h = 0; h < 100; ++h) ring.JoinHashed(h);
+  ring.StabilizeAll();
+
+  coord::LeafsetCoordOptions copt;
+  copt.dimensions = dims;
+  copt.nm.max_iterations = 60;
+  util::Rng crng(32);
+  coord::LeafsetCoordSystem cs(ring, copt, crng);
+  cs.RunRounds(4);
+
+  // Baseline: always predict the global mean latency.
+  util::Rng prng(33);
+  util::Accumulator lat;
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = prng.NextBounded(100);
+    const auto b = prng.NextBounded(100);
+    if (a != b) lat.Add(oracle.Latency(a, b));
+  }
+  const double mean_lat = lat.mean();
+  util::Accumulator model_err, naive_err;
+  util::Rng prng2(34);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = prng2.NextBounded(100);
+    const auto b = prng2.NextBounded(100);
+    if (a == b) continue;
+    const double truth = oracle.Latency(a, b);
+    model_err.Add(std::abs(cs.Predict(a, b) - truth) / truth);
+    naive_err.Add(std::abs(mean_lat - truth) / truth);
+  }
+  EXPECT_LT(model_err.mean(), naive_err.mean())
+      << "dims=" << dims << " leafset=" << leafset;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoordProperty,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                       ::testing::Values(8, 16, 32)),
+    [](const ::testing::TestParamInfo<CoordParam>& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "_ls" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace p2p

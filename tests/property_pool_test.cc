@@ -1,0 +1,147 @@
+// Randomised-operation fuzzing of the DegreeRegistry against a simple
+// reference model, plus market-level conservation properties.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "pool/degree_table.h"
+#include "util/rng.h"
+
+namespace p2p::pool {
+namespace {
+
+// Reference model: the same semantics, implemented naively.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(std::vector<int> bounds)
+      : bounds_(std::move(bounds)), slots_(bounds_.size()) {}
+
+  struct Slot {
+    alm::SessionId session;
+    int priority;
+    bool member;
+  };
+
+  bool Claim(std::size_t node, alm::SessionId s, int prio, bool member,
+             alm::SessionId* victim) {
+    auto& v = slots_[node];
+    if (static_cast<int>(v.size()) < bounds_[node]) {
+      v.push_back({s, prio, member});
+      return true;
+    }
+    int weakest = -1;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const bool preemptible =
+          v[i].priority > prio ||
+          (v[i].priority == prio && member && !v[i].member);
+      if (!preemptible) continue;
+      if (weakest < 0 ||
+          v[i].priority > v[static_cast<std::size_t>(weakest)].priority ||
+          (v[i].priority == v[static_cast<std::size_t>(weakest)].priority &&
+           !v[i].member && v[static_cast<std::size_t>(weakest)].member)) {
+        weakest = static_cast<int>(i);
+      }
+    }
+    if (weakest < 0) return false;
+    *victim = v[static_cast<std::size_t>(weakest)].session;
+    v[static_cast<std::size_t>(weakest)] = {s, prio, member};
+    return true;
+  }
+
+  int Release(std::size_t node, alm::SessionId s) {
+    auto& v = slots_[node];
+    const auto it = std::remove_if(
+        v.begin(), v.end(), [s](const Slot& x) { return x.session == s; });
+    const int n = static_cast<int>(v.end() - it);
+    v.erase(it, v.end());
+    return n;
+  }
+
+  int Held(std::size_t node, alm::SessionId s) const {
+    int n = 0;
+    for (const auto& x : slots_[node]) n += x.session == s;
+    return n;
+  }
+
+  std::size_t Used(std::size_t node) const { return slots_[node].size(); }
+
+ private:
+  std::vector<int> bounds_;
+  std::vector<std::vector<Slot>> slots_;
+};
+
+class RegistryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegistryFuzz, MatchesReferenceModel) {
+  util::Rng rng(GetParam());
+  std::vector<int> bounds;
+  for (int i = 0; i < 12; ++i)
+    bounds.push_back(static_cast<int>(rng.UniformInt(0, 5)));
+  DegreeRegistry real(bounds);
+  ModelRegistry model(bounds);
+
+  for (int step = 0; step < 600; ++step) {
+    const std::size_t node = rng.NextBounded(bounds.size());
+    const alm::SessionId session =
+        static_cast<alm::SessionId>(rng.UniformInt(1, 6));
+    if (rng.Bernoulli(0.7)) {
+      const int prio = static_cast<int>(rng.UniformInt(1, 3));
+      const bool member = rng.Bernoulli(0.3);
+      alm::SessionId model_victim = somo::kNoSession;
+      const bool model_ok =
+          model.Claim(node, session, prio, member, &model_victim);
+      const ClaimResult r = real.Claim(node, session, prio, member);
+      ASSERT_EQ(r.ok, model_ok) << "step " << step;
+      if (r.preemption) {
+        EXPECT_EQ(r.preempted, model_victim);
+      }
+    } else {
+      const int real_n = real.Release(node, session);
+      const int model_n = model.Release(node, session);
+      ASSERT_EQ(real_n, model_n) << "step " << step;
+    }
+    // Cross-check state.
+    for (std::size_t n = 0; n < bounds.size(); ++n) {
+      ASSERT_EQ(static_cast<std::size_t>(real.table(n).used()),
+                model.Used(n));
+      for (alm::SessionId s = 1; s <= 6; ++s)
+        ASSERT_EQ(real.HeldBy(n, s), model.Held(n, s));
+    }
+    real.CheckInvariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegistryFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 31337));
+
+// ---- conservation properties ------------------------------------------
+
+TEST(RegistryConservation, UsedNeverExceedsCapacity) {
+  util::Rng rng(9);
+  DegreeRegistry reg({3, 3, 3, 3});
+  for (int i = 0; i < 200; ++i) {
+    reg.Claim(rng.NextBounded(4),
+              static_cast<alm::SessionId>(rng.UniformInt(1, 4)),
+              static_cast<int>(rng.UniformInt(1, 3)), rng.Bernoulli(0.5));
+    EXPECT_LE(reg.TotalUsed(), reg.TotalCapacity());
+    reg.CheckInvariants();
+  }
+}
+
+TEST(RegistryConservation, ReleaseSessionZeroesItsFootprint) {
+  util::Rng rng(10);
+  DegreeRegistry reg(std::vector<int>(8, 4));
+  for (int i = 0; i < 100; ++i) {
+    reg.Claim(rng.NextBounded(8),
+              static_cast<alm::SessionId>(rng.UniformInt(1, 3)),
+              static_cast<int>(rng.UniformInt(1, 3)), false);
+  }
+  reg.ReleaseSession(2);
+  for (std::size_t n = 0; n < 8; ++n) EXPECT_EQ(reg.HeldBy(n, 2), 0);
+  reg.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace p2p::pool

@@ -1,0 +1,89 @@
+// Property sweeps over the SOMO logical tree: structural invariants for
+// every (ring size, fanout, seed) combination, plus the size/depth bounds
+// the latency analysis depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "dht/ring.h"
+#include "somo/logical_tree.h"
+
+namespace p2p::somo {
+namespace {
+
+using TreeParam = std::tuple<std::size_t, std::size_t, std::uint64_t>;
+
+class LogicalTreeProperty : public ::testing::TestWithParam<TreeParam> {
+ protected:
+  void SetUp() override {
+    const auto [n, fanout, seed] = GetParam();
+    ring_ = std::make_unique<dht::Ring>(8);
+    for (std::size_t i = 0; i < n; ++i)
+      ring_->JoinHashed(i, /*salt=*/seed & 0xff);
+    tree_ = std::make_unique<LogicalTree>(*ring_, fanout);
+  }
+  std::unique_ptr<dht::Ring> ring_;
+  std::unique_ptr<LogicalTree> tree_;
+};
+
+TEST_P(LogicalTreeProperty, StructuralInvariants) {
+  tree_->CheckInvariants(*ring_);
+}
+
+TEST_P(LogicalTreeProperty, SizeIsLinearInRingSize) {
+  const auto [n, fanout, seed] = GetParam();
+  (void)seed;
+  // Each split is forced by a distinct zone boundary; with k-ary splits
+  // the internal-node count is O(N · 64/log2 k) in the adversarial worst
+  // case but O(N) in expectation. Assert a generous linear bound.
+  EXPECT_LE(tree_->size(), 8 * n * fanout + 16);
+}
+
+TEST_P(LogicalTreeProperty, DepthWithinTwiceLogBound) {
+  const auto [n, fanout, seed] = GetParam();
+  (void)seed;
+  const double logk =
+      std::log(static_cast<double>(n)) / std::log(static_cast<double>(fanout));
+  // Closest-pair gaps cost about another log_k(N); +3 covers rounding and
+  // the root level.
+  EXPECT_LE(static_cast<double>(tree_->depth()), 2.0 * logk + 3.0);
+}
+
+TEST_P(LogicalTreeProperty, CentersAreSelfComputable) {
+  for (LogicalIndex i = 0; i < tree_->size(); ++i) {
+    const auto& ln = tree_->node(i);
+    EXPECT_NEAR(ln.center,
+                LogicalTree::CenterOf(ln.level, ln.index, tree_->fanout()),
+                1.0 / static_cast<double>(tree_->fanout()))
+        << "logical node " << i;
+  }
+}
+
+TEST_P(LogicalTreeProperty, ChildIndicesFollowKaryNumbering) {
+  for (LogicalIndex i = 0; i < tree_->size(); ++i) {
+    const auto& ln = tree_->node(i);
+    for (const LogicalIndex c : ln.children) {
+      EXPECT_EQ(tree_->node(c).index / tree_->fanout(), ln.index);
+    }
+  }
+}
+
+TEST_P(LogicalTreeProperty, OwnersAreAlive) {
+  for (LogicalIndex i = 0; i < tree_->size(); ++i)
+    EXPECT_TRUE(ring_->node(tree_->node(i).owner).alive());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LogicalTreeProperty,
+    ::testing::Combine(::testing::Values(1, 3, 10, 50, 200),
+                       ::testing::Values(2, 4, 8, 16),
+                       ::testing::Values(7, 77)),
+    [](const ::testing::TestParamInfo<TreeParam>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace p2p::somo

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+#include "util/check.h"
+
+namespace p2p::sim {
+namespace {
+
+// ----------------------------------------------------------- EventQueue --
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(3.0, [&] { fired.push_back(3); });
+  q.Schedule(1.0, [&] { fired.push_back(1); });
+  q.Schedule(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.Pop().cb();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i)
+    q.Schedule(1.0, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.Pop().cb();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.Schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.Cancel(id));  // double-cancel reports false
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelledHeadIsSkipped) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId first = q.Schedule(1.0, [&] { fired.push_back(1); });
+  q.Schedule(2.0, [&] { fired.push_back(2); });
+  q.Cancel(first);
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 2.0);
+  q.Pop().cb();
+  EXPECT_EQ(fired, std::vector<int>{2});
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.Pop(), util::CheckError);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.Schedule(1.0, [] {});
+  q.Schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// ----------------------------------------------------------- Simulation --
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.At(5.0, [&] { seen = sim.now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulation, AfterSchedulesRelative) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.At(10.0, [&] {
+    sim.After(2.5, [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 12.5);
+}
+
+TEST(Simulation, SchedulingInPastThrows) {
+  Simulation sim;
+  sim.At(5.0, [&] {
+    EXPECT_THROW(sim.At(1.0, [] {}), util::CheckError);
+  });
+  sim.Run();
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryInclusive) {
+  Simulation sim;
+  int fired = 0;
+  sim.At(1.0, [&] { ++fired; });
+  sim.At(2.0, [&] { ++fired; });
+  sim.At(3.0, [&] { ++fired; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);  // clock advances to the boundary
+}
+
+TEST(Simulation, RunHonoursMaxEvents) {
+  Simulation sim;
+  // Self-rescheduling event would run forever without the backstop.
+  std::function<void()> reschedule = [&] { sim.After(1.0, reschedule); };
+  sim.After(1.0, reschedule);
+  const std::size_t n = sim.Run(50);
+  EXPECT_EQ(n, 50u);
+}
+
+TEST(Simulation, PeriodicFiresAtFixedInterval) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.Every(10.0, 5.0, [&] { times.push_back(sim.now()); });
+  sim.RunUntil(36.0);
+  EXPECT_EQ(times, (std::vector<double>{5.0, 15.0, 25.0, 35.0}));
+}
+
+TEST(Simulation, CancelPeriodicStopsFutureFirings) {
+  Simulation sim;
+  int count = 0;
+  auto token = sim.Every(1.0, 0.0, [&] { ++count; });
+  sim.RunUntil(3.5);
+  EXPECT_EQ(count, 4);  // t = 0,1,2,3
+  Simulation::CancelPeriodic(token);
+  sim.RunUntil(10.0);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Simulation, PeriodicCanCancelItselfFromCallback) {
+  Simulation sim;
+  int count = 0;
+  Simulation::PeriodicToken token;
+  token = sim.Every(1.0, 0.0, [&] {
+    if (++count == 3) Simulation::CancelPeriodic(token);
+  });
+  sim.RunUntil(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulation, CancelPendingEvent) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.At(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulation, FiredEventsCounter) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.At(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.fired_events(), 7u);
+}
+
+TEST(Simulation, RngIsDeterministicPerSeed) {
+  Simulation a(99), b(99);
+  EXPECT_EQ(a.rng()(), b.rng()());
+}
+
+// Events scheduled at identical times from within callbacks preserve
+// causal (FIFO) order — the property the SOMO sync-gather relies on.
+TEST(Simulation, NestedSchedulingKeepsDeterministicOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.At(1.0, [&] {
+    sim.At(2.0, [&] { order.push_back(1); });
+    sim.At(2.0, [&] { order.push_back(2); });
+  });
+  sim.At(2.0, [&] { order.push_back(0); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace p2p::sim

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dht/ring.h"
+#include "sim/simulation.h"
+#include "somo/somo.h"
+
+namespace p2p::somo {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim{77};
+  dht::Ring ring{8};
+
+  explicit Fixture(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) ring.JoinHashed(i);
+    ring.StabilizeAll();
+  }
+
+  std::unique_ptr<SomoProtocol> Make(SomoConfig cfg) {
+    cfg.disseminate = true;
+    return std::make_unique<SomoProtocol>(
+        sim, ring, cfg, [this](dht::NodeIndex n) {
+          NodeReport r;
+          r.node = n;
+          r.host = ring.node(n).host();
+          r.generated_at = sim.now();
+          return r;
+        });
+  }
+};
+
+TEST(SomoDisseminate, EveryNodeReceivesTheNewscast) {
+  Fixture f(50);
+  SomoConfig cfg;
+  cfg.fanout = 4;
+  cfg.report_interval_ms = 1000.0;
+  auto somo = f.Make(cfg);
+  somo->Start();
+  // Gather needs ~depth intervals, dissemination one more sweep.
+  f.sim.RunUntil(
+      (somo->tree().depth() + 3) * cfg.report_interval_ms + 2000.0);
+  EXPECT_EQ(somo->nodes_with_view(), 50u);
+  for (const dht::NodeIndex n : f.ring.SortedAlive()) {
+    const auto& v = somo->ViewAt(n);
+    ASSERT_TRUE(v.valid());
+    EXPECT_FALSE(v.view->empty());
+  }
+}
+
+TEST(SomoDisseminate, ViewStalenessBounded) {
+  Fixture f(64);
+  SomoConfig cfg;
+  cfg.fanout = 8;
+  cfg.report_interval_ms = 500.0;
+  auto somo = f.Make(cfg);
+  somo->Start();
+  f.sim.RunUntil(30000.0);
+  // Staleness at any node ≤ gather bound + one dissemination sweep:
+  // roughly 2·(depth+1)·T plus hop slack.
+  const double bound =
+      2.0 * (static_cast<double>(somo->tree().depth()) + 1.0) *
+          cfg.report_interval_ms +
+      2000.0;
+  for (const dht::NodeIndex n : f.ring.SortedAlive()) {
+    EXPECT_LT(somo->ViewStalenessMs(n), bound) << "node " << n;
+  }
+}
+
+TEST(SomoDisseminate, SyncGatherDisseminatesToo) {
+  Fixture f(40);
+  SomoConfig cfg;
+  cfg.fanout = 8;
+  cfg.report_interval_ms = 5000.0;
+  cfg.synchronized_gather = true;
+  auto somo = f.Make(cfg);
+  somo->Start();
+  f.sim.RunUntil(15000.0);
+  EXPECT_EQ(somo->nodes_with_view(), 40u);
+}
+
+TEST(SomoDisseminate, DisabledByDefault) {
+  Fixture f(20);
+  SomoConfig cfg;
+  cfg.report_interval_ms = 500.0;
+  cfg.disseminate = false;
+  SomoProtocol somo(f.sim, f.ring, cfg, [&](dht::NodeIndex n) {
+    NodeReport r;
+    r.node = n;
+    r.generated_at = f.sim.now();
+    return r;
+  });
+  somo.Start();
+  f.sim.RunUntil(20000.0);
+  EXPECT_EQ(somo.nodes_with_view(), 0u);
+  EXPECT_TRUE(std::isinf(somo.ViewStalenessMs(0)));
+}
+
+TEST(SomoDisseminate, FresherCopyWins) {
+  Fixture f(30);
+  SomoConfig cfg;
+  cfg.fanout = 4;
+  cfg.report_interval_ms = 400.0;
+  auto somo = f.Make(cfg);
+  somo->Start();
+  f.sim.RunUntil(20000.0);
+  // After many cycles, each node's copy must be recent (not the first one
+  // ever received).
+  for (const dht::NodeIndex n : f.ring.SortedAlive()) {
+    EXPECT_GT(somo->ViewAt(n).received_at, 10000.0) << "node " << n;
+  }
+}
+
+}  // namespace
+}  // namespace p2p::somo

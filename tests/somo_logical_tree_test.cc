@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dht/ring.h"
+#include "somo/logical_tree.h"
+#include "util/check.h"
+
+namespace p2p::somo {
+namespace {
+
+dht::Ring MakeRing(std::size_t n) {
+  dht::Ring ring(8);
+  for (std::size_t i = 0; i < n; ++i) ring.JoinHashed(i);
+  return ring;
+}
+
+TEST(LogicalTree, FanoutMustBeAtLeastTwo) {
+  auto ring = MakeRing(4);
+  EXPECT_THROW(LogicalTree(ring, 1), util::CheckError);
+}
+
+TEST(LogicalTree, EmptyRingRejected) {
+  dht::Ring ring(4);
+  EXPECT_THROW(LogicalTree(ring, 8), util::CheckError);
+}
+
+TEST(LogicalTree, SingleNodeIsRootLeaf) {
+  auto ring = MakeRing(1);
+  const LogicalTree tree(ring, 8);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.node(tree.root()).is_leaf());
+  EXPECT_TRUE(tree.node(tree.root()).is_root());
+  EXPECT_EQ(tree.node(tree.root()).owner, 0u);
+  tree.CheckInvariants(ring);
+}
+
+TEST(LogicalTree, CenterOfFormula) {
+  EXPECT_DOUBLE_EQ(LogicalTree::CenterOf(0, 0, 8), 0.5);
+  EXPECT_DOUBLE_EQ(LogicalTree::CenterOf(1, 0, 2), 0.25);
+  EXPECT_DOUBLE_EQ(LogicalTree::CenterOf(1, 1, 2), 0.75);
+  EXPECT_DOUBLE_EQ(LogicalTree::CenterOf(2, 3, 2), 0.875);
+}
+
+TEST(LogicalTree, RootSitsAtMidSpace) {
+  auto ring = MakeRing(32);
+  const LogicalTree tree(ring, 8);
+  EXPECT_NEAR(tree.node(tree.root()).center, 0.5, 1e-12);
+  // The root's owner is the node responsible for the 0.5 point.
+  EXPECT_EQ(tree.node(tree.root()).owner,
+            ring.ResponsibleFor(dht::IdFromUnit(0.5)));
+}
+
+TEST(LogicalTree, InvariantsAcrossSizesAndFanouts) {
+  for (const std::size_t n : {2u, 3u, 7u, 16u, 64u, 200u}) {
+    auto ring = MakeRing(n);
+    for (const std::size_t k : {2u, 4u, 8u}) {
+      const LogicalTree tree(ring, k);
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " k=" << k);
+      tree.CheckInvariants(ring);
+    }
+  }
+}
+
+TEST(LogicalTree, DepthIsLogarithmic) {
+  auto ring = MakeRing(256);
+  const LogicalTree tree(ring, 8);
+  // log8(256) ≈ 2.67; closest-pair id gaps force roughly the square
+  // (≈ 2·log_k N) in the worst case, plus one for the root level.
+  EXPECT_LE(tree.depth(), 8u);
+  EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST(LogicalTree, HigherFanoutGivesShallowerTree) {
+  auto ring = MakeRing(128);
+  const LogicalTree t2(ring, 2);
+  const LogicalTree t8(ring, 8);
+  EXPECT_LT(t8.depth(), t2.depth());
+}
+
+TEST(LogicalTree, EveryAliveNodeHasAReporter) {
+  auto ring = MakeRing(60);
+  const LogicalTree tree(ring, 4);
+  for (const dht::NodeIndex n : ring.SortedAlive()) {
+    const LogicalIndex rep = tree.ReporterOf(n);
+    ASSERT_NE(rep, kNoLogical);
+    EXPECT_TRUE(tree.node(rep).is_leaf());
+    const auto& lst = tree.node(rep).reported;
+    EXPECT_NE(std::find(lst.begin(), lst.end(), n), lst.end());
+  }
+}
+
+TEST(LogicalTree, RepresentationIsHighestHostedNode) {
+  auto ring = MakeRing(40);
+  const LogicalTree tree(ring, 4);
+  for (const dht::NodeIndex n : ring.SortedAlive()) {
+    const LogicalIndex rep = tree.RepresentationOf(n);
+    for (const LogicalIndex l : tree.HostedBy(n))
+      EXPECT_LE(tree.node(rep).level, tree.node(l).level);
+  }
+}
+
+TEST(LogicalTree, InternalNodesHaveChildren) {
+  auto ring = MakeRing(50);
+  const LogicalTree tree(ring, 8);
+  std::size_t leaves = 0;
+  for (LogicalIndex i = 0; i < tree.size(); ++i) {
+    const auto& ln = tree.node(i);
+    if (ln.is_leaf()) {
+      ++leaves;
+    } else {
+      EXPECT_GE(ln.children.size(), 1u);
+      EXPECT_LE(ln.children.size(), 8u);
+    }
+  }
+  EXPECT_EQ(leaves, tree.leaves().size());
+}
+
+TEST(LogicalTree, LeafCountIsLinearInRingSize) {
+  // Each leaf region lies inside one zone; number of leaves is O(N·k).
+  auto ring = MakeRing(100);
+  const LogicalTree tree(ring, 8);
+  EXPECT_GE(tree.leaves().size(), 100u);
+  EXPECT_LE(tree.leaves().size(), 100u * 16u);
+}
+
+TEST(LogicalTree, RebuildAfterMembershipChange) {
+  auto ring = MakeRing(30);
+  ring.Fail(5);
+  ring.DetectFailure(5);
+  ring.JoinHashed(200);
+  const LogicalTree tree(ring, 8);
+  tree.CheckInvariants(ring);
+  // The failed node owns nothing.
+  EXPECT_TRUE(tree.HostedBy(5).empty());
+}
+
+}  // namespace
+}  // namespace p2p::somo

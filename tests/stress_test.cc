@@ -1,0 +1,167 @@
+// Full-stack stress: every protocol running together over one simulated
+// network — heartbeats with failure detection, finger maintenance, SOMO
+// gather + dissemination with self-repair, event-driven coordinates,
+// packet-pair bandwidth estimation, a replicated KV store, and a churn
+// process killing and adding nodes throughout. After the dust settles the
+// whole system must be converged and consistent.
+#include <gtest/gtest.h>
+
+#include "bwest/estimator.h"
+#include "coord/leafset_coords.h"
+#include "dht/churn.h"
+#include "dht/heartbeat.h"
+#include "dht/kv_store.h"
+#include "dht/maintenance.h"
+#include "net/bandwidth_model.h"
+#include "net/latency_oracle.h"
+#include "net/transit_stub.h"
+#include "sim/simulation.h"
+#include "somo/somo.h"
+#include "test_support.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace p2p {
+namespace {
+
+TEST(FullStackStress, EverythingRunsThroughChurnAndConverges) {
+  constexpr std::size_t kInitialNodes = 80;
+  constexpr double kHorizonMs = 240000.0;  // 4 simulated minutes
+
+  util::Rng topo_rng(1);
+  net::TransitStubParams params = testing::SmallTopologyParams(200);
+  const auto topo = net::GenerateTransitStub(params, topo_rng);
+  const net::LatencyOracle oracle(topo);
+  util::Rng bw_rng(2);
+  const net::BandwidthModel bandwidths(net::GnutellaAccessClasses(), 200,
+                                       bw_rng);
+
+  sim::Simulation sim(3);
+  dht::Ring ring(16, &oracle);
+  for (std::size_t h = 0; h < kInitialNodes; ++h) ring.JoinHashed(h);
+  ring.StabilizeAll();
+
+  // Heartbeats + failure detection.
+  dht::HeartbeatConfig hcfg;
+  hcfg.period_ms = 1000.0;
+  hcfg.timeout_ms = 3500.0;
+  dht::HeartbeatProtocol hb(sim, ring, hcfg);
+
+  // Finger maintenance.
+  dht::MaintenanceProtocol maint(sim, ring);
+
+  // Coordinates + bandwidth estimation riding the heartbeats.
+  coord::LeafsetCoordOptions copt;
+  copt.nm.max_iterations = 40;
+  util::Rng coord_rng(4);
+  coord::LeafsetCoordSystem coords(ring, copt, coord_rng);
+  coords.Bootstrap();
+  coords.AttachTo(hb);
+  util::Rng probe_rng(5);
+  bwest::BandwidthEstimator bw(ring, bandwidths, bwest::PacketPairOptions{},
+                               probe_rng);
+  bw.AttachTo(hb);
+
+  // SOMO with dissemination + redundant links; rebuilt on detection.
+  somo::SomoConfig scfg;
+  scfg.fanout = 8;
+  scfg.report_interval_ms = 5000.0;
+  scfg.disseminate = true;
+  scfg.redundant_links = true;
+  somo::SomoProtocol somo(sim, ring, scfg, [&](dht::NodeIndex n) {
+    somo::NodeReport r;
+    r.node = n;
+    r.host = ring.node(n).host();
+    r.generated_at = sim.now();
+    const auto& est = bw.estimate(n);
+    r.up_kbps = est.up_samples ? est.up_kbps : 0.0;
+    return r;
+  });
+  hb.AddFailureObserver(
+      [&](dht::NodeIndex, dht::NodeIndex, sim::Time) { somo.Rebuild(); });
+
+  // Replicated storage, repaired on detection.
+  dht::KvStore kv(ring, 4);
+  hb.AddFailureObserver(
+      [&](dht::NodeIndex, dht::NodeIndex, sim::Time) {
+        kv.RepairReplicas();
+      });
+
+  // Churn: a join every ~15 s, a crash every ~20 s.
+  dht::ChurnProcess::Config ccfg;
+  ccfg.mean_join_interval_ms = 15000.0;
+  ccfg.mean_fail_interval_ms = 20000.0;
+  ccfg.min_alive = 40;
+  for (std::size_t h = kInitialNodes; h < 200; ++h)
+    ccfg.join_hosts.push_back(h);
+  dht::ChurnProcess churn(sim, ring, ccfg, &hb);
+  churn.on_join = [&](dht::NodeIndex n) {
+    maint.OnNodeJoined(n);
+    kv.RepairReplicas();
+    somo.Rebuild();
+  };
+
+  hb.Start();
+  maint.Start();
+  somo.Start();
+  churn.Start();
+
+  // Seed the store.
+  util::Rng key_rng(6);
+  std::vector<dht::NodeId> keys;
+  for (int i = 0; i < 40; ++i) {
+    keys.push_back(key_rng());
+    ASSERT_TRUE(kv.Put(0, keys.back(), "v" + std::to_string(i)).ok);
+  }
+
+  sim.RunUntil(kHorizonMs);
+  churn.Stop();
+  EXPECT_GT(churn.joins(), 5u);
+  EXPECT_GT(churn.failures(), 4u);
+
+  // Quiesce: let detection and the protocols settle with churn stopped.
+  sim.RunUntil(kHorizonMs + 60000.0);
+
+  // 1. Ring healthy: every remaining failure detected, ids routable.
+  ring.StabilizeAll();
+  ring.CheckInvariants();
+  util::Rng route_rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const auto alive = ring.SortedAlive();
+    const auto r =
+        ring.Route(alive[route_rng.NextBounded(alive.size())], route_rng());
+    EXPECT_TRUE(r.success);
+  }
+
+  // 2. SOMO view complete over the final membership after a last repair
+  //    pass (a crash in the final heartbeat window may still be pending).
+  somo.Rebuild();
+  sim.RunUntil(sim.now() + 8 * scfg.report_interval_ms);
+  EXPECT_TRUE(somo.RootViewComplete());
+
+  // 3. Every key still readable after churn (≤ replica-factor concurrent
+  //    losses between repairs, which the churn rate guarantees here).
+  kv.RepairReplicas();
+  kv.CheckInvariants();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto alive = ring.SortedAlive();
+    EXPECT_TRUE(kv.Get(alive[0], keys[i]).found) << "key " << i;
+  }
+
+  // 4. Coordinates converged for surviving nodes.
+  util::Accumulator err;
+  util::Rng prng(8);
+  const auto alive = ring.SortedAlive();
+  for (int i = 0; i < 500; ++i) {
+    const auto a = alive[prng.NextBounded(alive.size())];
+    const auto b = alive[prng.NextBounded(alive.size())];
+    if (a == b) continue;
+    const double truth = oracle.Latency(ring.node(a).host(),
+                                        ring.node(b).host());
+    err.Add(std::abs(coords.Predict(a, b) - truth) / truth);
+  }
+  EXPECT_LT(err.mean(), 0.6);  // churned, event-driven: looser than batch
+}
+
+}  // namespace
+}  // namespace p2p

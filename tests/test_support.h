@@ -1,0 +1,45 @@
+// Shared fixtures and helpers for the test suite: small (fast) topologies,
+// pre-built pools, and common assertions.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "net/latency_oracle.h"
+#include "net/transit_stub.h"
+#include "pool/resource_pool.h"
+
+namespace p2p::testing {
+
+// A small transit-stub configuration: 2×3 transit routers, 2 stub domains
+// of 4 routers per transit router → 6 + 48 = 54 routers, `hosts` end
+// systems. Fast to generate and Dijkstra.
+inline net::TransitStubParams SmallTopologyParams(std::size_t hosts = 120) {
+  net::TransitStubParams p;
+  p.transit_domains = 2;
+  p.transit_routers_per_domain = 3;
+  p.stub_domains_per_transit_router = 2;
+  p.routers_per_stub_domain = 4;
+  p.end_hosts = hosts;
+  return p;
+}
+
+inline pool::PoolConfig SmallPoolConfig(std::size_t hosts = 120,
+                                        std::uint64_t seed = 17) {
+  pool::PoolConfig cfg;
+  cfg.topology = SmallTopologyParams(hosts);
+  cfg.seed = seed;
+  cfg.coord_rounds = 4;
+  cfg.coord_nm_iterations = 60;
+  return cfg;
+}
+
+// Pool construction dominates many tests' runtime; share one lazily-built
+// pool per test binary. Tests that claim registry degrees must release
+// them (RunMultiSessionExperiment already drains on exit).
+inline pool::ResourcePool& SharedSmallPool() {
+  static pool::ResourcePool* pool =
+      new pool::ResourcePool(SmallPoolConfig());
+  return *pool;
+}
+
+}  // namespace p2p::testing

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "util/ascii_chart.h"
+#include "util/check.h"
+
+namespace p2p::util {
+namespace {
+
+TEST(AsciiChart, RendersMarkersAndLegend) {
+  ChartSeries s;
+  s.name = "line";
+  for (int i = 0; i <= 10; ++i)
+    s.points.emplace_back(i, i);
+  const std::string out = RenderAsciiChart({s});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("*=line"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);  // axis corner
+}
+
+TEST(AsciiChart, MultipleSeriesGetDistinctMarkers) {
+  ChartSeries a{"a", {{0, 0}, {1, 1}}};
+  ChartSeries b{"b", {{0, 1}, {1, 0}}};
+  const std::string out = RenderAsciiChart({a, b});
+  EXPECT_NE(out.find("*=a"), std::string::npos);
+  EXPECT_NE(out.find("o=b"), std::string::npos);
+}
+
+TEST(AsciiChart, FixedYRangeClampsPoints) {
+  ChartSeries s{"s", {{0, -5}, {1, 5}}};
+  ChartOptions opt;
+  opt.y_min = 0.0;
+  opt.y_max = 1.0;
+  // Should not throw; out-of-range points clamp to the border rows.
+  const std::string out = RenderAsciiChart({s}, opt);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(AsciiChart, EmptySeriesListRejected) {
+  EXPECT_THROW(RenderAsciiChart({}), CheckError);
+}
+
+TEST(AsciiChart, NoPointsRejected) {
+  ChartSeries s{"empty", {}};
+  EXPECT_THROW(RenderAsciiChart({s}), CheckError);
+}
+
+TEST(AsciiChart, TinyDimensionsRejected) {
+  ChartSeries s{"s", {{0, 0}}};
+  ChartOptions opt;
+  opt.width = 2;
+  EXPECT_THROW(RenderAsciiChart({s}, opt), CheckError);
+}
+
+TEST(AsciiChart, SinglePointDoesNotDivideByZero) {
+  ChartSeries s{"dot", {{3.0, 7.0}}};
+  const std::string out = RenderAsciiChart({s});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, LineCountMatchesGeometry) {
+  ChartSeries s{"s", {{0, 0}, {1, 1}}};
+  ChartOptions opt;
+  opt.height = 10;
+  const std::string out = RenderAsciiChart({s}, opt);
+  // height rows + axis + x labels + legend = height + 3 newline-terminated
+  // lines.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(out.begin(), out.end(), '\n')),
+            opt.height + 3);
+}
+
+}  // namespace
+}  // namespace p2p::util

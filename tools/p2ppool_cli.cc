@@ -1,0 +1,267 @@
+// p2ppool_cli — drive the library's experiments from the command line.
+//
+//   p2ppool_cli plan  --group 20 --strategy leafset+adj --seed 1
+//   p2ppool_cli multi --sessions 30 --members 20 --sweeps 2
+//   p2ppool_cli somo  --nodes 256 --fanout 8 --interval-ms 5000 --sync
+//   p2ppool_cli topo  --hosts 1200 --seed 7
+//
+// Every command prints an aligned table; run without arguments for usage.
+#include <cstdio>
+#include <string>
+
+#include "alm/bounds.h"
+#include "alm/critical.h"
+#include "pool/multi_session_sim.h"
+#include "pool/resource_pool.h"
+#include "sim/simulation.h"
+#include "somo/somo.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace p2p;
+
+int Usage() {
+  std::printf(
+      "usage: p2ppool_cli <command> [flags]\n"
+      "commands:\n"
+      "  plan   plan one ALM session on a paper-sized pool\n"
+      "  multi  run the market-driven multi-session experiment\n"
+      "  somo   run the SOMO gather protocol and report latency/overhead\n"
+      "  topo   generate a transit-stub topology and print its stats\n");
+  return 2;
+}
+
+alm::Strategy ParseStrategy(const std::string& s) {
+  if (s == "amcast") return alm::Strategy::kAmcast;
+  if (s == "amcast+adj") return alm::Strategy::kAmcastAdjust;
+  if (s == "critical") return alm::Strategy::kCritical;
+  if (s == "critical+adj") return alm::Strategy::kCriticalAdjust;
+  if (s == "leafset") return alm::Strategy::kLeafset;
+  if (s == "leafset+adj") return alm::Strategy::kLeafsetAdjust;
+  throw util::CheckError("unknown strategy '" + s +
+                         "' (amcast|amcast+adj|critical|critical+adj|"
+                         "leafset|leafset+adj)");
+}
+
+int CmdPlan(util::FlagParser& flags) {
+  const auto group = static_cast<std::size_t>(
+      flags.GetInt("group", 20, "session size incl. root"));
+  const auto seed = static_cast<std::uint64_t>(
+      flags.GetInt("seed", 1, "pool + sampling seed"));
+  const std::string strategy_name =
+      flags.GetString("strategy", "leafset+adj", "planning strategy");
+  const double radius =
+      flags.GetDouble("radius", 100.0, "helper radius R (ms)");
+  const double stream =
+      flags.GetDouble("stream-kbps", 0.0, "per-link stream rate (0=off)");
+
+  std::printf("building pool (seed %llu) ...\n",
+              static_cast<unsigned long long>(seed));
+  pool::PoolConfig cfg;
+  cfg.seed = seed;
+  pool::ResourcePool rp(cfg);
+
+  util::Rng rng(seed ^ 0xfeed);
+  const auto idx = rng.SampleIndices(rp.size(), group);
+  alm::PlanInput in;
+  in.degree_bounds = rp.degree_bounds();
+  if (stream > 0.0) {
+    for (std::size_t v = 0; v < rp.size(); ++v) {
+      const double up = rp.bandwidths().host(v).up_kbps;
+      const int cap = static_cast<int>(up / stream) + (v == idx[0] ? 0 : 1);
+      in.degree_bounds[v] = std::min(in.degree_bounds[v], cap);
+    }
+  }
+  in.root = idx[0];
+  in.members.assign(idx.begin() + 1, idx.end());
+  std::vector<char> is_member(rp.size(), 0);
+  for (const auto v : idx) is_member[v] = 1;
+  for (std::size_t v = 0; v < rp.size(); ++v) {
+    if (!is_member[v] && in.degree_bounds[v] >= 4)
+      in.helper_candidates.push_back(v);
+  }
+  in.true_latency = rp.TrueLatencyFn();
+  in.estimated_latency = rp.EstimatedLatencyFn();
+  in.amcast.helper_radius = radius;
+
+  const alm::Strategy strategy = ParseStrategy(strategy_name);
+  const double base = PlanSession(in, alm::Strategy::kAmcast).height_true;
+  const auto r = PlanSession(in, strategy);
+  const double ideal =
+      alm::IdealHeight(in.root, in.members, in.true_latency);
+
+  util::Table t({"metric", "value"});
+  t.AddRow({std::string("strategy"), strategy_name});
+  t.AddRow({std::string("group size"), static_cast<long long>(group)});
+  t.AddRow({std::string("AMCast baseline height (ms)"), base});
+  t.AddRow({std::string("planned height (ms)"), r.height_true});
+  t.AddRow({std::string("improvement"), alm::Improvement(base, r.height_true)});
+  t.AddRow({std::string("bound (ideal star)"), alm::Improvement(base, ideal)});
+  t.AddRow({std::string("helpers used"),
+            static_cast<long long>(r.helpers_used)});
+  std::printf("%s", t.ToText(3).c_str());
+  return 0;
+}
+
+int CmdMulti(util::FlagParser& flags) {
+  pool::MultiSessionParams params;
+  params.session_count = static_cast<std::size_t>(
+      flags.GetInt("sessions", 30, "concurrent sessions"));
+  params.members_per_session = static_cast<std::size_t>(
+      flags.GetInt("members", 20, "members per session"));
+  params.rescheduling_sweeps = static_cast<std::size_t>(
+      flags.GetInt("sweeps", 2, "market rescheduling sweeps"));
+  params.seed = static_cast<std::uint64_t>(
+      flags.GetInt("seed", 42, "experiment seed"));
+  params.compute_upper_bound =
+      flags.GetBool("bounds", true, "compute per-session bounds");
+
+  std::printf("building pool ...\n");
+  pool::PoolConfig cfg;
+  cfg.seed = params.seed;
+  pool::ResourcePool rp(cfg);
+  const auto result = RunMultiSessionExperiment(rp, params);
+
+  util::Table t({"priority", "sessions", "improvement", "helpers"});
+  for (int p = 1; p <= 3; ++p) {
+    const auto& cls = result.by_priority[static_cast<std::size_t>(p)];
+    t.AddRow({static_cast<long long>(p),
+              static_cast<long long>(cls.sessions),
+              cls.improvement.mean(), cls.helpers_used.mean()});
+  }
+  std::printf("%s", t.ToText(3).c_str());
+  if (params.compute_upper_bound) {
+    std::printf("bounds: lower %.3f (AMCast+adj) / upper %.3f "
+                "(Leafset+adj solo)\n",
+                result.lower_bound_improvement.mean(),
+                result.upper_bound_improvement.mean());
+  }
+  std::printf("pool utilisation %.2f, %zu reschedules, %zu preemptions\n",
+              result.pool_utilisation, result.reschedules,
+              result.preemptions);
+  return 0;
+}
+
+int CmdSomo(util::FlagParser& flags) {
+  const auto nodes =
+      static_cast<std::size_t>(flags.GetInt("nodes", 256, "ring size"));
+  const auto fanout =
+      static_cast<std::size_t>(flags.GetInt("fanout", 8, "SOMO fanout k"));
+  const double interval =
+      flags.GetDouble("interval-ms", 5000.0, "reporting cycle T");
+  const bool sync = flags.GetBool("sync", false, "synchronised gather");
+  const bool disseminate =
+      flags.GetBool("disseminate", false, "broadcast the view back down");
+  const bool redundant =
+      flags.GetBool("redundant", false, "parent-sibling detour links");
+  const double horizon =
+      flags.GetDouble("horizon-ms", 120000.0, "simulated time");
+
+  sim::Simulation sim(nodes);
+  dht::Ring ring(16);
+  for (std::size_t i = 0; i < nodes; ++i) ring.JoinHashed(i);
+  ring.StabilizeAll();
+  somo::SomoConfig cfg;
+  cfg.fanout = fanout;
+  cfg.report_interval_ms = interval;
+  cfg.synchronized_gather = sync;
+  cfg.disseminate = disseminate;
+  cfg.redundant_links = redundant;
+  somo::SomoProtocol somo(sim, ring, cfg, [&](dht::NodeIndex n) {
+    somo::NodeReport r;
+    r.node = n;
+    r.host = ring.node(n).host();
+    r.generated_at = sim.now();
+    return r;
+  });
+  somo.Start();
+  sim.RunUntil(horizon);
+
+  util::Table t({"metric", "value"});
+  t.AddRow({std::string("nodes"), static_cast<long long>(nodes)});
+  t.AddRow({std::string("fanout"), static_cast<long long>(fanout)});
+  t.AddRow({std::string("tree depth"),
+            static_cast<long long>(somo.tree().depth())});
+  t.AddRow({std::string("logical nodes"),
+            static_cast<long long>(somo.tree().size())});
+  t.AddRow({std::string("gathers completed"),
+            static_cast<long long>(somo.gathers_completed())});
+  t.AddRow({std::string("root staleness (ms)"), somo.RootStalenessMs()});
+  t.AddRow({std::string("messages"),
+            static_cast<long long>(somo.messages_sent())});
+  t.AddRow({std::string("bytes/node/cycle"),
+            static_cast<double>(somo.bytes_sent()) /
+                static_cast<double>(nodes) /
+                (horizon / interval)});
+  if (disseminate) {
+    t.AddRow({std::string("nodes with newscast"),
+              static_cast<long long>(somo.nodes_with_view())});
+  }
+  std::printf("%s", t.ToText(1).c_str());
+  return 0;
+}
+
+int CmdTopo(util::FlagParser& flags) {
+  net::TransitStubParams params;
+  params.end_hosts = static_cast<std::size_t>(
+      flags.GetInt("hosts", 1200, "end systems"));
+  const auto seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 7, "topology seed"));
+  util::Rng rng(seed);
+  const auto topo = net::GenerateTransitStub(params, rng);
+  const net::LatencyOracle oracle(topo);
+
+  util::Rng prng(seed ^ 0x777);
+  std::vector<double> lat;
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = prng.NextBounded(topo.host_count());
+    const auto b = prng.NextBounded(topo.host_count());
+    if (a != b) lat.push_back(oracle.Latency(a, b));
+  }
+  util::Table t({"metric", "value"});
+  t.AddRow({std::string("routers"),
+            static_cast<long long>(topo.router_count())});
+  t.AddRow({std::string("transit routers"),
+            static_cast<long long>(params.total_transit_routers())});
+  t.AddRow({std::string("end hosts"),
+            static_cast<long long>(topo.host_count())});
+  t.AddRow({std::string("router edges"),
+            static_cast<long long>(topo.routers.edge_count())});
+  t.AddRow({std::string("latency p10 (ms)"), util::Percentile(lat, 10)});
+  t.AddRow({std::string("latency p50 (ms)"), util::Percentile(lat, 50)});
+  t.AddRow({std::string("latency p90 (ms)"), util::Percentile(lat, 90)});
+  std::printf("%s", t.ToText(1).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string cmd = flags.positional()[0];
+  try {
+    int rc;
+    if (cmd == "plan") {
+      rc = CmdPlan(flags);
+    } else if (cmd == "multi") {
+      rc = CmdMulti(flags);
+    } else if (cmd == "somo") {
+      rc = CmdSomo(flags);
+    } else if (cmd == "topo") {
+      rc = CmdTopo(flags);
+    } else {
+      std::printf("unknown command '%s'\n", cmd.c_str());
+      return Usage();
+    }
+    for (const auto& f : flags.UnknownFlags())
+      std::printf("warning: unknown flag --%s ignored\n%s", f.c_str(),
+                  flags.Help().c_str());
+    return rc;
+  } catch (const util::CheckError& e) {
+    std::printf("error: %s\n%s", e.what(), flags.Help().c_str());
+    return 1;
+  }
+}
