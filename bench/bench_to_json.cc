@@ -1,0 +1,210 @@
+// Bench-regression harness for the ALM planning fast path.
+//
+// Runs the heap+matrix planner against the retained linear-scan reference
+// (BuildAmcastTreeReference) on the same instances, so one JSON file
+// captures the speedup ratio at every size. Unlike bench_micro this binary
+// defaults to machine-readable output: with no flags it writes
+// BENCH_alm.json (google-benchmark JSON schema) to the working directory —
+// tools/run_benches.sh runs it from the repo root. Pass your own
+// --benchmark_out=... to override.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "alm/adjust.h"
+#include "alm/amcast.h"
+#include "alm/latency_matrix.h"
+#include "net/latency_oracle.h"
+#include "net/transit_stub.h"
+#include "pool/resource_pool.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace {
+
+struct PlanFixture {
+  net::TransitStubTopology topo;
+  net::LatencyOracle oracle;
+  std::vector<int> bounds;
+
+  explicit PlanFixture(std::uint64_t seed)
+      : topo([&] {
+          util::Rng rng(seed);
+          return net::GenerateTransitStub(net::TransitStubParams{}, rng);
+        }()),
+        oracle(topo) {
+    util::Rng rng(seed + 1);
+    for (std::size_t i = 0; i < topo.host_count(); ++i)
+      bounds.push_back(pool::SamplePaperDegreeBound(rng));
+  }
+};
+
+PlanFixture& SharedFixture() {
+  static PlanFixture fx(9);
+  return fx;
+}
+
+// The new planner and the reference run on identical instances (same
+// fixture, same sampling seed) so the per-size ratio is the speedup.
+alm::AmcastInput MakeInput(const PlanFixture& fx, std::size_t group,
+                           bool with_helpers) {
+  util::Rng rng(11);
+  const auto idx = rng.SampleIndices(fx.topo.host_count(), group);
+  alm::AmcastInput in;
+  in.degree_bounds = fx.bounds;
+  in.root = idx[0];
+  in.members.assign(idx.begin() + 1, idx.end());
+  if (with_helpers) {
+    std::vector<char> is_member(fx.topo.host_count(), 0);
+    for (const auto v : idx) is_member[v] = 1;
+    for (std::size_t v = 0; v < fx.topo.host_count(); ++v)
+      if (!is_member[v] && fx.bounds[v] >= 4)
+        in.helper_candidates.push_back(v);
+  }
+  return in;
+}
+
+alm::LatencyFn OracleFn(const PlanFixture& fx) {
+  return [&fx](std::size_t a, std::size_t b) {
+    return fx.oracle.Latency(a, b);
+  };
+}
+
+// ------------------------------------------------- members-only planning --
+
+void BM_AmcastPlan(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  const auto in =
+      MakeInput(fx, static_cast<std::size_t>(state.range(0)), false);
+  const auto latency = OracleFn(fx);
+  for (auto _ : state) {
+    const auto r = BuildAmcastTree(in, latency);
+    benchmark::DoNotOptimize(r.height);
+  }
+}
+BENCHMARK(BM_AmcastPlan)->Arg(20)->Arg(100)->Arg(400)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AmcastPlanReference(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  const auto in =
+      MakeInput(fx, static_cast<std::size_t>(state.range(0)), false);
+  const auto latency = OracleFn(fx);
+  for (auto _ : state) {
+    const auto r = BuildAmcastTreeReference(in, latency);
+    benchmark::DoNotOptimize(r.height);
+  }
+}
+BENCHMARK(BM_AmcastPlanReference)->Arg(20)->Arg(100)->Arg(400)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// Matrix built once outside the loop: the planner's cost with the fill
+// amortised away, e.g. when several strategies plan the same session.
+void BM_AmcastPlanPrebuiltMatrix(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  const auto in =
+      MakeInput(fx, static_cast<std::size_t>(state.range(0)), false);
+  std::vector<alm::ParticipantId> core;
+  core.push_back(in.root);
+  core.insert(core.end(), in.members.begin(), in.members.end());
+  const alm::LatencyMatrix matrix(in.degree_bounds.size(), core,
+                                  OracleFn(fx));
+  for (auto _ : state) {
+    const auto r = BuildAmcastTree(in, matrix);
+    benchmark::DoNotOptimize(r.height);
+  }
+}
+BENCHMARK(BM_AmcastPlanPrebuiltMatrix)->Arg(20)->Arg(100)->Arg(400)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------- helper-aware planning --
+
+void BM_AmcastPlanWithHelpers(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  const auto in =
+      MakeInput(fx, static_cast<std::size_t>(state.range(0)), true);
+  const auto latency = OracleFn(fx);
+  alm::AmcastOptions opt;
+  opt.selection = alm::HelperSelection::kMinimaxHeuristic;
+  for (auto _ : state) {
+    const auto r = BuildAmcastTree(in, latency, opt);
+    benchmark::DoNotOptimize(r.height);
+  }
+}
+BENCHMARK(BM_AmcastPlanWithHelpers)->Arg(20)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AmcastPlanWithHelpersReference(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  const auto in =
+      MakeInput(fx, static_cast<std::size_t>(state.range(0)), true);
+  const auto latency = OracleFn(fx);
+  alm::AmcastOptions opt;
+  opt.selection = alm::HelperSelection::kMinimaxHeuristic;
+  for (auto _ : state) {
+    const auto r = BuildAmcastTreeReference(in, latency, opt);
+    benchmark::DoNotOptimize(r.height);
+  }
+}
+BENCHMARK(BM_AmcastPlanWithHelpersReference)->Arg(20)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------- adjustment --
+
+void BM_AdjustTree(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  const auto in =
+      MakeInput(fx, static_cast<std::size_t>(state.range(0)), false);
+  const auto latency = OracleFn(fx);
+  const auto built = BuildAmcastTree(in, latency);
+  for (auto _ : state) {
+    auto tree = built.tree;
+    const auto stats = AdjustTree(tree, fx.bounds, latency);
+    benchmark::DoNotOptimize(stats.final_height);
+  }
+}
+BENCHMARK(BM_AdjustTree)->Arg(20)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+// ----------------------------------------------------------- matrix fill --
+
+void BM_LatencyMatrixBuild(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(11);
+  const auto idx = rng.SampleIndices(fx.topo.host_count(), n);
+  const std::vector<alm::ParticipantId> ids(idx.begin(), idx.end());
+  const auto latency = OracleFn(fx);
+  for (auto _ : state) {
+    const alm::LatencyMatrix matrix(fx.topo.host_count(), ids, latency);
+    benchmark::DoNotOptimize(matrix.size());
+  }
+}
+BENCHMARK(BM_LatencyMatrixBuild)->Arg(100)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace p2p
+
+int main(int argc, char** argv) {
+  // Default to JSON-on-disk so `bench_to_json` with no arguments produces
+  // BENCH_alm.json; explicit --benchmark_out wins.
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  static std::string out_flag = "--benchmark_out=BENCH_alm.json";
+  static std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int out_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&out_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(out_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,18 +25,81 @@ ParticipantId HighestNode(const MulticastTree& tree,
 
 AdjustStats AdjustTree(MulticastTree& tree,
                        const std::vector<int>& degree_bounds,
-                       const LatencyFn& latency,
+                       const LatencyMatrix& latency,
                        const AdjustOptions& options) {
   AdjustStats stats;
-  auto heights = tree.ComputeHeights(latency);
-  stats.initial_height = tree.Height(latency);
+  // Heights are computed in full once, then maintained move by move:
+  // a move only dislodges the subtrees whose parent edges it rewired, and
+  // every other member keeps its root-path prefix sum bit-for-bit.
+  std::vector<double> heights = tree.ComputeHeights(latency);
+
+  const auto max_height = [&] {
+    double best = 0.0;
+    for (const ParticipantId v : tree.members())
+      best = std::max(best, heights[v]);
+    return best;
+  };
+
+  // Re-derive heights below (and including) `sub` from its parent's height.
+  std::vector<ParticipantId> bfs;
+  const auto recompute_subtree = [&](ParticipantId sub) {
+    bfs.assign(1, sub);
+    heights[sub] = heights[tree.parent(sub)] + latency(tree.parent(sub), sub);
+    std::size_t head = 0;
+    while (head < bfs.size()) {
+      const ParticipantId v = bfs[head++];
+      for (const ParticipantId c : tree.children(v)) {
+        heights[c] = heights[v] + latency(v, c);
+        bfs.push_back(c);
+      }
+    }
+  };
+
+  stats.initial_height = max_height();
 
   auto free_degree = [&](ParticipantId v) {
     return degree_bounds[v] - tree.Degree(v);
   };
 
+  // Scratch for the per-move candidate scans. The old implementation
+  // answered "is w inside x's (or px's) subtree?" with an InSubtree root
+  // walk per candidate — O(n·depth) per move — and recomputed the two
+  // subtree maxima from scratch for every candidate q. One BFS per move
+  // marks the subtree and collects its max; one reverse-BFS aggregates
+  // max-subtree-height for ALL nodes at once.
+  const std::size_t space = tree.participant_space();
+  std::vector<char> is_member(space, 0);
+  for (const ParticipantId v : tree.members()) is_member[v] = 1;
+  std::vector<char> in_sub_x(space, 0);
+  std::vector<char> in_sub_px(space, 0);
+  std::vector<char> anc_px(space, 0);
+  std::vector<double> max_sub(space, 0.0);
+  std::vector<ParticipantId> scratch, order, marked_x, marked_px, marked_anc;
+
+  // Mark `sub`'s subtree in `mark`, remember what was marked in `log`, and
+  // return the max MEMBER height inside the subtree (helpers relay, they
+  // are not delivery targets — matches the candidate scans below).
+  const auto mark_subtree = [&](ParticipantId sub, std::vector<char>& mark,
+                                std::vector<ParticipantId>& log) {
+    scratch.assign(1, sub);
+    log.clear();
+    double max_h = 0.0;
+    std::size_t head = 0;
+    while (head < scratch.size()) {
+      const ParticipantId v = scratch[head++];
+      mark[v] = 1;
+      log.push_back(v);
+      if (is_member[v]) max_h = std::max(max_h, heights[v]);
+      for (const ParticipantId c : tree.children(v)) scratch.push_back(c);
+    }
+    return max_h;
+  };
+  const auto unmark = [](std::vector<char>& mark,
+                         std::vector<ParticipantId>& log) {
+    for (const ParticipantId v : log) mark[v] = 0;
+  };
+
   for (std::size_t move = 0; move < options.max_moves; ++move) {
-    heights = tree.ComputeHeights(latency);
     const ParticipantId x = HighestNode(tree, heights);
     if (x == kNoParticipant || x == tree.root()) break;
     const double current = heights[x];
@@ -45,9 +108,10 @@ AdjustStats AdjustTree(MulticastTree& tree,
     ParticipantId best_parent = kNoParticipant;
     double best_a = current;
     if (options.enable_reparent) {
+      mark_subtree(x, in_sub_x, marked_x);
       for (const ParticipantId w : tree.members()) {
         if (w == x || w == tree.parent(x)) continue;
-        if (tree.InSubtree(w, x)) continue;  // would create a cycle
+        if (in_sub_x[w]) continue;  // would create a cycle
         if (free_degree(w) <= 0) continue;
         const double h = heights[w] + latency(w, x);
         if (h < best_a) {
@@ -55,6 +119,7 @@ AdjustStats AdjustTree(MulticastTree& tree,
           best_parent = w;
         }
       }
+      unmark(in_sub_x, marked_x);
     }
 
     // ---- move (b): swap the highest leaf with another leaf -------------
@@ -86,32 +151,49 @@ AdjustStats AdjustTree(MulticastTree& tree,
         tree.parent(x) == kNoParticipant ? kNoParticipant : tree.parent(x);
     if (options.enable_subtree_swap && px != kNoParticipant &&
         px != tree.root()) {
+      // The subtree maximum under px is candidate-invariant: hoist it. The
+      // per-candidate maxima come from one reverse-BFS aggregation pass
+      // (max_sub[v] = max member height in v's subtree), and the two
+      // containment tests become flag lookups: q inside px's subtree is
+      // in_sub_px[q]; px inside q's subtree means q is an ancestor of px.
+      const double max_px_sub = mark_subtree(px, in_sub_px, marked_px);
+      marked_anc.clear();
+      for (ParticipantId a = px; a != kNoParticipant; a = tree.parent(a)) {
+        anc_px[a] = 1;
+        marked_anc.push_back(a);
+      }
+      order.assign(1, tree.root());
+      for (std::size_t head = 0; head < order.size(); ++head) {
+        const ParticipantId v = order[head];
+        max_sub[v] = is_member[v] ? heights[v] : 0.0;
+        for (const ParticipantId c : tree.children(v)) order.push_back(c);
+      }
+      for (std::size_t i = order.size(); i-- > 1;) {
+        const ParticipantId v = order[i];
+        max_sub[tree.parent(v)] = std::max(max_sub[tree.parent(v)], max_sub[v]);
+      }
+      const ParticipantId pp = tree.parent(px);
       for (const ParticipantId q : tree.members()) {
         if (q == px || q == x || q == tree.root()) continue;
-        if (tree.InSubtree(q, px) || tree.InSubtree(px, q)) continue;
-        if (tree.parent(q) == px || tree.parent(px) == q) continue;
+        if (in_sub_px[q] || anc_px[q]) continue;
+        if (tree.parent(q) == px || pp == q) continue;
         // Heights inside both subtrees shift by the change in their roots'
         // heights; evaluating the true new max needs a full recompute, so
         // estimate with the shifted subtree maxima.
-        const ParticipantId pp = tree.parent(px);
         const ParticipantId pq = tree.parent(q);
         const double new_hpx = heights[pq] + latency(pq, px);
         const double new_hq = heights[pp] + latency(pp, q);
         const double delta_px = new_hpx - heights[px];
         const double delta_q = new_hq - heights[q];
-        double max_px_sub = 0.0;
-        double max_q_sub = 0.0;
-        for (const ParticipantId v : tree.members()) {
-          if (tree.InSubtree(v, px)) max_px_sub = std::max(max_px_sub, heights[v]);
-          if (tree.InSubtree(v, q)) max_q_sub = std::max(max_q_sub, heights[v]);
-        }
         const double worst =
-            std::max(max_px_sub + delta_px, max_q_sub + delta_q);
+            std::max(max_px_sub + delta_px, max_sub[q] + delta_q);
         if (worst < best_c) {
           best_c = worst;
           best_subtree = q;
         }
       }
+      unmark(in_sub_px, marked_px);
+      unmark(anc_px, marked_anc);
     }
 
     // ---- apply the best of the three ------------------------------------
@@ -119,12 +201,17 @@ AdjustStats AdjustTree(MulticastTree& tree,
     if (best >= current) break;  // local optimum
     if (best == best_a && best_parent != kNoParticipant) {
       tree.Reparent(x, best_parent);
+      recompute_subtree(x);
       ++stats.reparent_moves;
     } else if (best == best_b && best_leaf != kNoParticipant) {
       tree.SwapPositions(x, best_leaf);
+      recompute_subtree(x);
+      recompute_subtree(best_leaf);
       ++stats.leaf_swaps;
     } else if (best_subtree != kNoParticipant) {
       tree.SwapSubtrees(px, best_subtree);
+      recompute_subtree(px);
+      recompute_subtree(best_subtree);
       ++stats.subtree_swaps;
     } else {
       break;
@@ -137,12 +224,21 @@ AdjustStats AdjustTree(MulticastTree& tree,
 #endif
     // Ties elsewhere in the tree can absorb the local gain; require strict
     // global progress to guarantee termination before max_moves.
-    if (tree.Height(latency) >= current - 1e-12) break;
+    if (max_height() >= current - 1e-12) break;
   }
 
-  stats.final_height = tree.Height(latency);
+  stats.final_height = max_height();
   P2P_CHECK(stats.final_height <= stats.initial_height + 1e-9);
   return stats;
+}
+
+AdjustStats AdjustTree(MulticastTree& tree,
+                       const std::vector<int>& degree_bounds,
+                       const LatencyFn& latency,
+                       const AdjustOptions& options) {
+  const LatencyMatrix matrix(tree.participant_space(), tree.members(),
+                             latency);
+  return AdjustTree(tree, degree_bounds, matrix, options);
 }
 
 }  // namespace p2p::alm

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "alm/latency_matrix.h"
 #include "alm/tree.h"
 
 namespace p2p::alm {
@@ -38,9 +39,20 @@ struct AdjustStats {
 // Adjust `tree` in place. `degree_bounds` indexed by participant id;
 // `latency` is the planning latency (decisions); the caller evaluates the
 // final height under whatever latency it cares about.
+//
+// Heights are maintained incrementally: each accepted move re-derives only
+// the subtrees it actually dislodged instead of recomputing the whole tree,
+// so a move costs O(dirty subtree + members) rather than O(members × moves)
+// latency evaluations. The LatencyMatrix overload is the fast path (the
+// matrix must cover every tree member); the LatencyFn overload builds that
+// matrix over the current members and delegates.
 AdjustStats AdjustTree(MulticastTree& tree,
                        const std::vector<int>& degree_bounds,
                        const LatencyFn& latency,
+                       const AdjustOptions& options = {});
+AdjustStats AdjustTree(MulticastTree& tree,
+                       const std::vector<int>& degree_bounds,
+                       const LatencyMatrix& latency,
                        const AdjustOptions& options = {});
 
 }  // namespace p2p::alm

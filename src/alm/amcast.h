@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "alm/latency_matrix.h"
 #include "alm/tree.h"
 
 namespace p2p::alm {
@@ -56,8 +57,28 @@ struct AmcastResult {
 // Build a DB-MHT tree. `latency` is the planning latency (oracle for
 // "Critical", coordinate estimate for "Leafset"); callers evaluate the
 // resulting tree under the true latency separately.
+//
+// The LatencyMatrix overload is the fast path: an indexed lazy-deletion
+// min-heap replaces the per-iteration linear min-scan, relaxation sweeps
+// touch only the still-pending members, and every latency read is a flat
+// array load. The matrix must cover the root, all members, and (when
+// options.selection != kNone) all helper candidates. The LatencyFn
+// overload builds that matrix internally and delegates, so existing
+// callers and tests are unaffected. Both produce trees identical to
+// BuildAmcastTreeReference (same pop order, same tie-breaks).
 AmcastResult BuildAmcastTree(const AmcastInput& input,
                              const LatencyFn& latency,
                              const AmcastOptions& options = {});
+AmcastResult BuildAmcastTree(const AmcastInput& input,
+                             const LatencyMatrix& latency,
+                             const AmcastOptions& options = {});
+
+// The original O(P) linear-scan implementation, retained verbatim as the
+// behavioural reference: the randomized equivalence test and the
+// bench-regression harness compare the heap-based fast path against it.
+// Do not optimise this function.
+AmcastResult BuildAmcastTreeReference(const AmcastInput& input,
+                                      const LatencyFn& latency,
+                                      const AmcastOptions& options = {});
 
 }  // namespace p2p::alm

@@ -65,7 +65,21 @@ PlanResult PlanSession(const PlanInput& input, Strategy strategy) {
                               : input.amcast.selection)
                        : HelperSelection::kNone;
 
-  AmcastResult built = BuildAmcastTree(ain, planning, aopt);
+  // One planning matrix per session: every latency the build (and the
+  // final planning-height evaluation) reads becomes a flat array load
+  // instead of a std::function dispatch. Root and members are the core;
+  // helper candidates are satellites (their pairwise block is never read).
+  std::vector<ParticipantId> core_ids;
+  core_ids.reserve(1 + ain.members.size());
+  core_ids.push_back(ain.root);
+  core_ids.insert(core_ids.end(), ain.members.begin(), ain.members.end());
+  const LatencyMatrix planning_matrix(
+      input.degree_bounds.size(), core_ids,
+      aopt.selection != HelperSelection::kNone ? ain.helper_candidates
+                                               : std::vector<ParticipantId>{},
+      planning);
+
+  AmcastResult built = BuildAmcastTree(ain, planning_matrix, aopt);
 
   PlanResult result{std::move(built.tree), 0.0, 0.0, built.helpers_used, {}};
   if (StrategyUsesAdjust(strategy)) {
@@ -75,11 +89,17 @@ PlanResult PlanSession(const PlanInput& input, Strategy strategy) {
     // membership. This is why the paper finds adjustment "remarkably
     // effective especially for Leafset": it repairs the damage done by
     // coordinate-estimate errors during helper selection.
+    const LatencyMatrix true_matrix(input.degree_bounds.size(),
+                                    result.tree.members(),
+                                    input.true_latency);
     result.adjust_stats = AdjustTree(result.tree, input.degree_bounds,
-                                     input.true_latency, input.adjust);
+                                     true_matrix, input.adjust);
+    result.height_true = result.tree.Height(true_matrix);
+  } else {
+    // One O(members) evaluation pass; not worth a pairwise matrix fill.
+    result.height_true = result.tree.Height(input.true_latency);
   }
-  result.height_planning = result.tree.Height(planning);
-  result.height_true = result.tree.Height(input.true_latency);
+  result.height_planning = result.tree.Height(planning_matrix);
   return result;
 }
 

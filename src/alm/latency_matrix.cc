@@ -1,0 +1,50 @@
+#include "alm/latency_matrix.h"
+
+#include <algorithm>
+
+namespace p2p::alm {
+
+LatencyMatrix::LatencyMatrix(std::size_t participant_space,
+                             const std::vector<ParticipantId>& core_ids,
+                             const std::vector<ParticipantId>& satellite_ids,
+                             const LatencyFn& fn)
+    : dense_(participant_space, kAbsent), fn_(fn) {
+  P2P_CHECK_MSG(fn != nullptr, "building a LatencyMatrix from a null fn");
+  std::vector<ParticipantId> covered;
+  covered.reserve(core_ids.size() + satellite_ids.size());
+  const auto cover = [&](const std::vector<ParticipantId>& ids) {
+    for (const ParticipantId v : ids) {
+      P2P_CHECK_MSG(v < participant_space, "id " << v << " out of range");
+      if (dense_[v] != kAbsent) continue;  // collapse duplicates
+      dense_[v] = static_cast<std::uint32_t>(covered.size());
+      covered.push_back(v);
+    }
+  };
+  cover(core_ids);
+  core_n_ = static_cast<std::uint32_t>(covered.size());
+  cover(satellite_ids);  // a satellite already covered as core stays core
+  n_ = covered.size();
+
+  data_.assign(n_ * core_n_, 0.0);
+  // Fill the strict lower triangle row by row — every write is sequential —
+  // then mirror the core block with a blocked transpose so neither side of
+  // the copy strides through cold cache lines.
+  for (std::size_t i = 1; i < n_; ++i) {
+    double* row = data_.data() + i * core_n_;
+    const std::size_t jmax = std::min<std::size_t>(i, core_n_);
+    for (std::size_t j = 0; j < jmax; ++j) row[j] = fn(covered[i], covered[j]);
+  }
+  constexpr std::size_t kTile = 32;
+  for (std::size_t ib = 0; ib < core_n_; ib += kTile) {
+    for (std::size_t jb = 0; jb <= ib; jb += kTile) {
+      const std::size_t iend = std::min(ib + kTile, static_cast<std::size_t>(core_n_));
+      for (std::size_t i = ib; i < iend; ++i) {
+        const std::size_t jend = std::min(jb + kTile, i);
+        for (std::size_t j = jb; j < jend; ++j)
+          data_[j * core_n_ + i] = data_[i * core_n_ + j];
+      }
+    }
+  }
+}
+
+}  // namespace p2p::alm

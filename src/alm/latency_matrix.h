@@ -1,0 +1,102 @@
+// Flat pairwise-latency view for the ALM planning hot path.
+//
+// Planning algorithms (AMCast build, adjustment, height evaluation) make
+// O(N²)–O(N³) latency queries over a small, fixed participant set. Going
+// through the `LatencyFn` std::function for each query costs an indirect
+// call per pair; a LatencyMatrix instead evaluates pairs ONCE up front and
+// serves all subsequent queries from a flat row-major array.
+//
+// Covered ids come in two tiers, remapped to a dense 0..n-1 space:
+//   - core ids (session root + members): every pair touching a core id is
+//     precomputed — these are the pairs the inner loops hammer;
+//   - satellite ids (helper candidates): satellite↔satellite pairs are NOT
+//     filled. The only such queries are candidate-vs-spliced-helper scores,
+//     a vanishing fraction of the total, and eagerly filling the candidate
+//     block would cost O(H²) evaluations for a pool-sized H. They fall back
+//     to the stored LatencyFn.
+// Latencies are assumed symmetric — each unordered pair is evaluated once
+// and mirrored — and the diagonal is pinned to 0 (planning never queries
+// self-latency; 0 keeps the view a metric). The public `LatencyFn` APIs
+// remain: they build a matrix internally and delegate, so tests and
+// callers with exotic latencies need no changes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alm/tree.h"
+#include "util/check.h"
+
+namespace p2p::alm {
+
+class LatencyMatrix {
+ public:
+  LatencyMatrix() = default;
+
+  // Builds an all-core view over `ids` (duplicates tolerated and
+  // collapsed) drawn from the participant space [0, participant_space).
+  LatencyMatrix(std::size_t participant_space,
+                const std::vector<ParticipantId>& ids, const LatencyFn& fn)
+      : LatencyMatrix(participant_space, ids, {}, fn) {}
+
+  // Two-tier view: all pairs touching a core id are precomputed;
+  // satellite↔satellite queries go through `fn` (which is retained).
+  LatencyMatrix(std::size_t participant_space,
+                const std::vector<ParticipantId>& core_ids,
+                const std::vector<ParticipantId>& satellite_ids,
+                const LatencyFn& fn);
+
+  // Number of distinct covered ids (core + satellite).
+  std::size_t size() const { return n_; }
+  std::size_t core_size() const { return core_n_; }
+  std::size_t participant_space() const { return dense_.size(); }
+
+  bool Covers(ParticipantId v) const {
+    return v < dense_.size() && dense_[v] != kAbsent;
+  }
+
+  // Latency between two covered ids. Symmetric; 0 on the diagonal.
+  double operator()(ParticipantId a, ParticipantId b) const {
+    P2P_DCHECK(Covers(a) && Covers(b));
+    std::uint32_t ia = dense_[a];
+    std::uint32_t ib = dense_[b];
+    if (ib >= core_n_) {
+      if (ia >= core_n_) return fn_(a, b);  // satellite↔satellite: rare
+      std::swap(ia, ib);
+    }
+    return data_[static_cast<std::size_t>(ia) * core_n_ + ib];
+  }
+
+  // Dense index of a covered id; indices < core_size() are core.
+  std::uint32_t DenseIndex(ParticipantId v) const {
+    P2P_DCHECK(Covers(v));
+    return dense_[v];
+  }
+
+  // Raw precomputed row of a covered id (core or satellite): entry
+  // [DenseIndex(b)] holds the latency to core id b. The planner's
+  // relaxation sweeps pin a row once per tree node and index it with
+  // cached dense member indices, skipping both per-query id remaps.
+  const double* CoreRow(ParticipantId v) const {
+    P2P_DCHECK(Covers(v));
+    return data_.data() + static_cast<std::size_t>(dense_[v]) * core_n_;
+  }
+
+  // Adapter for APIs that still take a LatencyFn. The returned function
+  // references this matrix; it must not outlive it.
+  LatencyFn AsFn() const {
+    return [this](ParticipantId a, ParticipantId b) { return (*this)(a, b); };
+  }
+
+ private:
+  static constexpr std::uint32_t kAbsent = ~std::uint32_t{0};
+
+  std::size_t n_ = 0;       // distinct covered ids
+  std::uint32_t core_n_ = 0;
+  std::vector<std::uint32_t> dense_;  // participant id -> dense index;
+                                      // core ids occupy [0, core_n_)
+  std::vector<double> data_;          // n_ rows × core_n_ columns
+  LatencyFn fn_;                      // satellite↔satellite fallback
+};
+
+}  // namespace p2p::alm

@@ -2,9 +2,36 @@
 
 #include <algorithm>
 
+#include "alm/latency_matrix.h"
 #include "util/check.h"
 
 namespace p2p::alm {
+namespace {
+
+// BFS height computation shared by the LatencyFn and LatencyMatrix
+// overloads; `Lat` only needs operator()(ParticipantId, ParticipantId).
+template <typename Lat>
+std::vector<double> ComputeHeightsImpl(
+    const std::vector<std::vector<ParticipantId>>& children,
+    ParticipantId root, std::size_t member_count, const Lat& latency) {
+  std::vector<double> h(children.size(), 0.0);
+  // members_ is insertion-ordered but Reparent/SwapPositions break the
+  // parent-before-child property, so walk top-down via BFS from the root.
+  if (root == kNoParticipant) return h;
+  std::vector<ParticipantId> queue{root};
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const ParticipantId v = queue[head++];
+    for (const ParticipantId c : children[v]) {
+      h[c] = h[v] + latency(v, c);
+      queue.push_back(c);
+    }
+  }
+  P2P_CHECK_MSG(queue.size() == member_count, "tree contains a cycle");
+  return h;
+}
+
+}  // namespace
 
 MulticastTree::MulticastTree(std::size_t participant_count)
     : parent_(participant_count, kNoParticipant),
@@ -137,24 +164,22 @@ bool MulticastTree::InSubtree(ParticipantId v, ParticipantId ancestor) const {
 
 std::vector<double> MulticastTree::ComputeHeights(
     const LatencyFn& latency) const {
-  std::vector<double> h(parent_.size(), 0.0);
-  // members_ is insertion-ordered but Reparent/SwapPositions break the
-  // parent-before-child property, so walk top-down via BFS from the root.
-  if (root_ == kNoParticipant) return h;
-  std::vector<ParticipantId> queue{root_};
-  std::size_t head = 0;
-  while (head < queue.size()) {
-    const ParticipantId v = queue[head++];
-    for (const ParticipantId c : children_[v]) {
-      h[c] = h[v] + latency(v, c);
-      queue.push_back(c);
-    }
-  }
-  P2P_CHECK_MSG(queue.size() == member_count_, "tree contains a cycle");
-  return h;
+  return ComputeHeightsImpl(children_, root_, member_count_, latency);
+}
+
+std::vector<double> MulticastTree::ComputeHeights(
+    const LatencyMatrix& latency) const {
+  return ComputeHeightsImpl(children_, root_, member_count_, latency);
 }
 
 double MulticastTree::Height(const LatencyFn& latency) const {
+  const auto h = ComputeHeights(latency);
+  double best = 0.0;
+  for (const ParticipantId v : members_) best = std::max(best, h[v]);
+  return best;
+}
+
+double MulticastTree::Height(const LatencyMatrix& latency) const {
   const auto h = ComputeHeights(latency);
   double best = 0.0;
   for (const ParticipantId v : members_) best = std::max(best, h[v]);

@@ -21,6 +21,8 @@ inline constexpr ParticipantId kNoParticipant =
 // coordinate estimate ("Leafset") plug in here.
 using LatencyFn = std::function<double(ParticipantId, ParticipantId)>;
 
+class LatencyMatrix;  // flat fast-path view, see alm/latency_matrix.h
+
 class MulticastTree {
  public:
   // `participant_count` sizes the index space; nodes join via SetRoot /
@@ -69,10 +71,14 @@ class MulticastTree {
   const std::vector<ParticipantId>& members() const { return members_; }
 
   // Aggregated-latency heights for every member; index by participant id
-  // (non-members hold 0). Root has height 0.
+  // (non-members hold 0). Root has height 0. The LatencyMatrix overloads
+  // are the fast path (array indexing instead of std::function dispatch);
+  // the matrix must cover every tree member.
   std::vector<double> ComputeHeights(const LatencyFn& latency) const;
+  std::vector<double> ComputeHeights(const LatencyMatrix& latency) const;
   // Max over members of the height (the DB-MHT objective).
   double Height(const LatencyFn& latency) const;
+  double Height(const LatencyMatrix& latency) const;
 
   // Structural + degree validation; throws util::CheckError on violation.
   // `degree_bounds` indexed by participant id.

@@ -1,6 +1,7 @@
 #include "net/latency_oracle.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 
@@ -11,12 +12,14 @@ LatencyOracle::LatencyOracle(const TransitStubTopology& topo,
     : router_count_(topo.router_count()),
       host_router_(topo.host_router),
       host_last_hop_(topo.host_last_hop_ms) {
-  router_dist_.assign(router_count_ * router_count_, kInfLatency);
+  router_dist_.assign(router_count_ * (router_count_ + 1) / 2, kInfLatency);
+  // Source r writes only the cells (r, c) with c >= r, so under a parallel
+  // fill every packed cell has exactly one writer and no synchronisation is
+  // needed (the old full-matrix layout had the same property per row).
   auto run_source = [&](std::size_t r) {
     const std::vector<double> d = topo.routers.Dijkstra(r);
-    std::copy(d.begin(), d.end(),
-              router_dist_.begin() +
-                  static_cast<std::ptrdiff_t>(r * router_count_));
+    for (std::size_t c = r; c < router_count_; ++c)
+      router_dist_[TriIndex(r, c)] = d[c];
   };
   if (pool != nullptr) {
     pool->ParallelFor(router_count_, run_source);
@@ -25,11 +28,22 @@ LatencyOracle::LatencyOracle(const TransitStubTopology& topo,
   }
   // The generator guarantees connectivity; every distance must be finite.
   for (double d : router_dist_) P2P_CHECK(d < kInfLatency);
+#ifndef NDEBUG
+  // The packed layout assumes Dijkstra distances are symmetric (they are:
+  // the router graph is undirected). Spot-check a few sources in debug
+  // builds by recomputing their full row and comparing both triangles.
+  const std::size_t step = std::max<std::size_t>(1, router_count_ / 4);
+  for (std::size_t r = 0; r < router_count_; r += step) {
+    const std::vector<double> d = topo.routers.Dijkstra(r);
+    for (std::size_t c = 0; c < router_count_; ++c)
+      P2P_DCHECK(std::abs(RouterDistance(r, c) - d[c]) <= 1e-9);
+  }
+#endif
 }
 
 double LatencyOracle::RouterDistance(NodeIdx a, NodeIdx b) const {
   P2P_CHECK(a < router_count_ && b < router_count_);
-  return router_dist_[a * router_count_ + b];
+  return a <= b ? router_dist_[TriIndex(a, b)] : router_dist_[TriIndex(b, a)];
 }
 
 double LatencyOracle::Latency(HostIdx a, HostIdx b) const {

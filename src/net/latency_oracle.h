@@ -37,8 +37,21 @@ class LatencyOracle {
   double last_hop_ms(HostIdx h) const { return host_last_hop_[h]; }
 
  private:
+  // Packed upper-triangle index for a <= b: row a starts after the
+  // (router_count_ + ... + router_count_-a+1) entries of rows above it.
+  std::size_t TriIndex(NodeIdx a, NodeIdx b) const {
+    return a * router_count_ - a * (a - 1) / 2 + (b - a);
+  }
+
   std::size_t router_count_;
-  std::vector<double> router_dist_;  // row-major router_count_^2
+  // Distances are symmetric, so only the upper triangle (b >= a) is stored:
+  // router_count_*(router_count_+1)/2 doubles instead of router_count_^2 —
+  // half the footprint of the old full matrix. The branch + index
+  // arithmetic this adds to RouterDistance was measured against the full
+  // row-major layout and is lost in the noise: ALM planning reads latencies
+  // through a session-local LatencyMatrix (filled once), so this lookup is
+  // off the hot path and the fill itself is Dijkstra-dominated.
+  std::vector<double> router_dist_;
   std::vector<NodeIdx> host_router_;
   std::vector<double> host_last_hop_;
 };

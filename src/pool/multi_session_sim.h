@@ -12,6 +12,7 @@
 
 #include "pool/market.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace p2p::pool {
 
@@ -25,6 +26,14 @@ struct MultiSessionParams {
   // Compute the per-session upper bound (costly: one full solo plan per
   // session).
   bool compute_upper_bound = true;
+  // Optional worker pool for the per-session bound computations, which are
+  // independent of each other and of the (sequential) market phase.
+  // Results are identical to a sequential run: each session's plans depend
+  // only on its own spec, and the accumulator folds stay in spec order.
+  // Leave null when the caller already parallelises at a coarser grain
+  // (e.g. fig10 runs whole experiments on a pool) — nesting would
+  // oversubscribe.
+  util::ThreadPool* workers = nullptr;
 };
 
 struct PriorityClassStats {

@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace p2p::sim {
@@ -7,7 +8,8 @@ namespace p2p::sim {
 EventId EventQueue::Schedule(Time t, Callback cb) {
   P2P_CHECK_MSG(cb != nullptr, "scheduling a null callback");
   const EventId id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
+  heap_.push_back(Entry{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end());
   callbacks_.emplace(id, std::move(cb));
   ++live_count_;
   return id;
@@ -18,29 +20,45 @@ bool EventQueue::Cancel(EventId id) {
   if (it == callbacks_.end()) return false;
   callbacks_.erase(it);
   --live_count_;
+  CompactIfMostlyGarbage();
   return true;
+}
+
+void EventQueue::CompactIfMostlyGarbage() {
+  // Cancelled entries stay in the heap until they surface; once they
+  // outnumber the live ones, filter them out and re-heapify. The rebuild is
+  // O(heap) but at least half the entries are discarded, so the cost
+  // amortises to O(1) per cancellation and the footprint stays within
+  // 2 * live + 1 entries.
+  if (heap_.size() - live_count_ <= heap_.size() / 2) return;
+  std::erase_if(heap_, [this](const Entry& e) {
+    return callbacks_.find(e.id) == callbacks_.end();
+  });
+  std::make_heap(heap_.begin(), heap_.end());
 }
 
 void EventQueue::DropCancelledHead() const {
   // `callbacks_` membership is the liveness test; heap entries whose id was
   // cancelled are garbage and get skipped here.
   while (!heap_.empty() &&
-         callbacks_.find(heap_.top().id) == callbacks_.end()) {
-    heap_.pop();
+         callbacks_.find(heap_.front().id) == callbacks_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
   }
 }
 
 Time EventQueue::PeekTime() const {
   P2P_CHECK(!empty());
   DropCancelledHead();
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::Pop() {
   P2P_CHECK(!empty());
   DropCancelledHead();
-  const Entry e = heap_.top();
-  heap_.pop();
+  const Entry e = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end());
+  heap_.pop_back();
   auto it = callbacks_.find(e.id);
   P2P_CHECK(it != callbacks_.end());
   Fired fired{e.time, e.id, std::move(it->second)};

@@ -2,12 +2,14 @@
 //
 // Ties on time break by insertion order (seq), which makes simulations
 // deterministic. Events can be cancelled by id; cancelled entries are
-// skipped lazily on pop.
+// skipped lazily on pop, and the heap is compacted whenever cancelled
+// entries outnumber live ones — without this, workloads that cancel most
+// of what they schedule (heartbeat timers rearmed on every message) grow
+// the heap without bound.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +39,10 @@ class EventQueue {
   bool empty() const { return live_count_ == 0; }
   std::size_t size() const { return live_count_; }
 
+  // Heap entries currently held, live or cancelled. Bounded by
+  // 2 * size() + 1 thanks to compaction; exposed for tests.
+  std::size_t heap_footprint() const { return heap_.size(); }
+
   // Time of the earliest live event. Requires !empty().
   Time PeekTime() const;
 
@@ -53,7 +59,7 @@ class EventQueue {
     Time time;
     std::uint64_t seq;
     EventId id;
-    // Heap is a max-heap by default; invert for earliest-first, with seq as
+    // std::*_heap builds a max-heap; invert for earliest-first, with seq as
     // the FIFO tie-break.
     bool operator<(const Entry& o) const {
       if (time != o.time) return time > o.time;
@@ -62,9 +68,12 @@ class EventQueue {
   };
 
   void DropCancelledHead() const;
+  void CompactIfMostlyGarbage();
 
   // Callbacks stored out of the heap so Entry stays trivially movable.
-  mutable std::priority_queue<Entry> heap_;
+  // A plain vector managed with the <algorithm> heap functions (rather
+  // than std::priority_queue) so compaction can filter it in place.
+  mutable std::vector<Entry> heap_;
   std::unordered_map<EventId, Callback> callbacks_;
   std::uint64_t next_seq_ = 1;
   EventId next_id_ = 1;

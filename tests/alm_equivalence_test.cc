@@ -1,0 +1,184 @@
+// Randomized equivalence: the heap-based fast path of BuildAmcastTree must
+// reproduce the retained linear-scan reference implementation exactly —
+// same tree, same height, same helper count — across many seeded
+// instances, with and without helper splicing. Plus unit tests for the
+// LatencyMatrix view both paths share.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "alm/amcast.h"
+#include "alm/latency_matrix.h"
+#include "util/rng.h"
+
+namespace p2p::alm {
+namespace {
+
+// Symmetric pseudo-random latency in [1, 101), 0 on the diagonal. Stateless
+// so the reference and fast path see bit-identical inputs.
+LatencyFn HashLatency(std::uint64_t seed) {
+  return [seed](ParticipantId a, ParticipantId b) {
+    if (a == b) return 0.0;
+    if (a > b) std::swap(a, b);
+    const std::uint64_t h =
+        util::Mix64(seed ^ (static_cast<std::uint64_t>(a) * 1000003ULL + b));
+    return 1.0 + static_cast<double>(h % 10000) / 100.0;
+  };
+}
+
+struct Instance {
+  AmcastInput input;
+  AmcastOptions options;
+  LatencyFn latency;
+};
+
+Instance MakeInstance(std::uint64_t seed, bool with_helpers) {
+  util::Rng rng(seed);
+  Instance inst;
+  const std::size_t members =
+      static_cast<std::size_t>(rng.UniformInt(3, 40));
+  const std::size_t helpers =
+      with_helpers ? static_cast<std::size_t>(rng.UniformInt(5, 60)) : 0;
+  const std::size_t space = members + helpers + 1;
+
+  inst.input.degree_bounds.resize(space);
+  // Bounds ≥ 2 keep every instance feasible (total free degree can only
+  // grow as nodes attach).
+  for (auto& d : inst.input.degree_bounds)
+    d = static_cast<int>(rng.UniformInt(2, 6));
+
+  std::vector<ParticipantId> ids(space);
+  for (ParticipantId v = 0; v < space; ++v) ids[v] = v;
+  rng.Shuffle(ids);
+  inst.input.root = ids[0];
+  for (std::size_t k = 1; k <= members; ++k)
+    inst.input.members.push_back(ids[k]);
+  for (std::size_t k = members + 1; k < space; ++k)
+    inst.input.helper_candidates.push_back(ids[k]);
+
+  if (with_helpers) {
+    inst.options.selection = (seed % 2 == 0)
+                                 ? HelperSelection::kMinimaxHeuristic
+                                 : HelperSelection::kNearestToParent;
+    inst.options.helper_radius = rng.Uniform(20.0, 120.0);
+    inst.options.helper_min_degree = static_cast<int>(rng.UniformInt(2, 4));
+  }
+  inst.latency = HashLatency(seed * 0x9e3779b97f4a7c15ULL + 1);
+  return inst;
+}
+
+void ExpectIdenticalResults(const AmcastResult& fast,
+                            const AmcastResult& ref) {
+  ASSERT_DOUBLE_EQ(fast.height, ref.height);
+  ASSERT_EQ(fast.helpers_used, ref.helpers_used);
+  ASSERT_EQ(fast.tree.members(), ref.tree.members());
+  for (const ParticipantId v : ref.tree.members())
+    ASSERT_EQ(fast.tree.parent(v), ref.tree.parent(v)) << "node " << v;
+}
+
+TEST(AmcastEquivalence, MatchesReferenceWithoutHelpers) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    SCOPED_TRACE(seed);
+    const Instance inst = MakeInstance(seed, /*with_helpers=*/false);
+    const auto ref =
+        BuildAmcastTreeReference(inst.input, inst.latency, inst.options);
+    const auto fast = BuildAmcastTree(inst.input, inst.latency, inst.options);
+    ExpectIdenticalResults(fast, ref);
+  }
+}
+
+TEST(AmcastEquivalence, MatchesReferenceWithHelpers) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    SCOPED_TRACE(seed);
+    const Instance inst = MakeInstance(seed, /*with_helpers=*/true);
+    const auto ref =
+        BuildAmcastTreeReference(inst.input, inst.latency, inst.options);
+    const auto fast = BuildAmcastTree(inst.input, inst.latency, inst.options);
+    ExpectIdenticalResults(fast, ref);
+  }
+}
+
+TEST(AmcastEquivalence, MatchesReferenceThroughPrebuiltMatrix) {
+  // The matrix overload (what PlanSession uses) must agree too.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    SCOPED_TRACE(seed);
+    const Instance inst = MakeInstance(seed, /*with_helpers=*/true);
+    std::vector<ParticipantId> core;
+    core.push_back(inst.input.root);
+    core.insert(core.end(), inst.input.members.begin(),
+                inst.input.members.end());
+    const LatencyMatrix matrix(inst.input.degree_bounds.size(), core,
+                               inst.input.helper_candidates, inst.latency);
+    const auto ref =
+        BuildAmcastTreeReference(inst.input, inst.latency, inst.options);
+    const auto fast = BuildAmcastTree(inst.input, matrix, inst.options);
+    ExpectIdenticalResults(fast, ref);
+  }
+}
+
+// ---------------------------------------------------------- LatencyMatrix --
+
+TEST(LatencyMatrix, ServesExactFnValuesForCorePairs) {
+  const LatencyFn fn = HashLatency(7);
+  const std::vector<ParticipantId> ids = {4, 9, 2, 17};
+  const LatencyMatrix m(20, ids, fn);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.core_size(), 4u);
+  for (const ParticipantId a : ids)
+    for (const ParticipantId b : ids) {
+      EXPECT_DOUBLE_EQ(m(a, b), fn(a, b)) << a << "," << b;
+      EXPECT_DOUBLE_EQ(m(a, b), m(b, a));
+    }
+}
+
+TEST(LatencyMatrix, CollapsesDuplicates) {
+  const LatencyFn fn = HashLatency(11);
+  const LatencyMatrix m(10, {3, 5, 3, 5, 3}, fn);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.Covers(3));
+  EXPECT_TRUE(m.Covers(5));
+  EXPECT_FALSE(m.Covers(4));
+  EXPECT_DOUBLE_EQ(m(3, 5), fn(3, 5));
+}
+
+TEST(LatencyMatrix, SatelliteTierCoversCoreFacingPairsAndFallsBack) {
+  const LatencyFn fn = HashLatency(13);
+  const std::vector<ParticipantId> core = {0, 1, 2};
+  const std::vector<ParticipantId> sats = {7, 8};
+  const LatencyMatrix m(10, core, sats, fn);
+  EXPECT_EQ(m.core_size(), 3u);
+  EXPECT_EQ(m.size(), 5u);
+  // Core↔satellite pairs are precomputed; satellite↔satellite queries go
+  // through the retained fn. Either way the values match fn exactly.
+  for (const ParticipantId a : {0u, 1u, 2u, 7u, 8u})
+    for (const ParticipantId b : {0u, 1u, 2u, 7u, 8u})
+      EXPECT_DOUBLE_EQ(m(a, b), fn(a, b)) << a << "," << b;
+}
+
+TEST(LatencyMatrix, SatelliteDuplicatedAsCoreStaysCore) {
+  const LatencyFn fn = HashLatency(17);
+  const LatencyMatrix m(10, {0, 1}, {1, 5}, fn);
+  EXPECT_EQ(m.core_size(), 2u);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 5), fn(1, 5));
+}
+
+TEST(LatencyMatrix, DiagonalIsZero) {
+  const LatencyFn always_one = [](ParticipantId, ParticipantId) {
+    return 1.0;
+  };
+  const LatencyMatrix m(4, {0, 1, 2}, always_one);
+  EXPECT_DOUBLE_EQ(m(2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 1.0);
+}
+
+TEST(LatencyMatrix, AsFnDelegates) {
+  const LatencyFn fn = HashLatency(23);
+  const LatencyMatrix m(8, {1, 3, 6}, fn);
+  const LatencyFn view = m.AsFn();
+  EXPECT_DOUBLE_EQ(view(1, 6), fn(1, 6));
+}
+
+}  // namespace
+}  // namespace p2p::alm

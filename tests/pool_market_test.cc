@@ -125,6 +125,35 @@ TEST(MultiSession, ExperimentRunsAndDrainsRegistry) {
   EXPECT_FALSE(result.lower_bound_improvement.empty());
 }
 
+TEST(MultiSession, ParallelBoundsMatchSequential) {
+  // The per-session bound computations fan out over params.workers; the
+  // folded statistics must be identical to a sequential run.
+  auto& pool = p2p::testing::SharedSmallPool();
+  MultiSessionParams params;
+  params.session_count = 5;
+  params.members_per_session = 10;
+  params.rescheduling_sweeps = 1;
+  params.seed = 99;
+  params.compute_upper_bound = true;
+  const auto sequential = RunMultiSessionExperiment(pool, params);
+  util::ThreadPool workers(4);
+  params.workers = &workers;
+  const auto parallel = RunMultiSessionExperiment(pool, params);
+  EXPECT_EQ(parallel.lower_bound_improvement.mean(),
+            sequential.lower_bound_improvement.mean());
+  EXPECT_EQ(parallel.upper_bound_improvement.mean(),
+            sequential.upper_bound_improvement.mean());
+  for (int p = 1; p <= 3; ++p) {
+    const auto& a = parallel.by_priority[static_cast<std::size_t>(p)];
+    const auto& b = sequential.by_priority[static_cast<std::size_t>(p)];
+    EXPECT_EQ(a.sessions, b.sessions);
+    if (!a.improvement.empty()) {
+      EXPECT_EQ(a.improvement.mean(), b.improvement.mean());
+    }
+  }
+  EXPECT_EQ(pool.registry().TotalUsed(), 0u);
+}
+
 TEST(MultiSession, TooManySessionsRejected) {
   auto& pool = p2p::testing::SharedSmallPool();
   MultiSessionParams params;

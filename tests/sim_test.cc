@@ -65,6 +65,33 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(EventQueue, CompactionBoundsHeapFootprint) {
+  // A rearmed-timer workload: every scheduled event is cancelled and
+  // replaced. Without compaction the heap keeps every cancelled entry
+  // until it surfaces at the top, so the footprint grows with the number
+  // of cancellations instead of the number of live events.
+  EventQueue q;
+  constexpr std::size_t kTimers = 16;
+  std::vector<EventId> pending;
+  for (std::size_t i = 0; i < kTimers; ++i)
+    pending.push_back(q.Schedule(1e6 + static_cast<double>(i), [] {}));
+  for (int round = 0; round < 1000; ++round) {
+    for (std::size_t i = 0; i < kTimers; ++i) {
+      ASSERT_TRUE(q.Cancel(pending[i]));
+      pending[i] =
+          q.Schedule(1e6 + static_cast<double>(round * 100 + i), [] {});
+    }
+    ASSERT_EQ(q.size(), kTimers);
+    ASSERT_LE(q.heap_footprint(), 2 * kTimers + 1);
+  }
+  // The queue still works: a fresh early event fires first.
+  bool early_fired = false;
+  q.Schedule(0.5, [&] { early_fired = true; });
+  q.Pop().cb();
+  EXPECT_TRUE(early_fired);
+  EXPECT_EQ(q.size(), kTimers);
+}
+
 // ----------------------------------------------------------- Simulation --
 
 TEST(Simulation, ClockAdvancesWithEvents) {

@@ -117,11 +117,15 @@ int CmdMulti(util::FlagParser& flags) {
       flags.GetInt("seed", 42, "experiment seed"));
   params.compute_upper_bound =
       flags.GetBool("bounds", true, "compute per-session bounds");
+  const int jobs = flags.GetInt(
+      "jobs", 0, "threads for per-session bounds (0 = hardware concurrency)");
 
   std::printf("building pool ...\n");
   pool::PoolConfig cfg;
   cfg.seed = params.seed;
   pool::ResourcePool rp(cfg);
+  util::ThreadPool workers(jobs < 0 ? 1 : static_cast<std::size_t>(jobs));
+  params.workers = &workers;
   const auto result = RunMultiSessionExperiment(rp, params);
 
   util::Table t({"priority", "sessions", "improvement", "helpers"});

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build the Release tree and run the ALM planning bench-regression harness.
+#
+# Writes BENCH_alm.json (google-benchmark JSON) at the repo root: every
+# BM_* family runs the new heap+matrix planner AND the retained reference
+# implementation on identical instances, so the per-size real_time ratio
+# BM_AmcastPlanReference/N : BM_AmcastPlan/N is the planning-path speedup.
+#
+# Usage: tools/run_benches.sh [extra google-benchmark flags...]
+set -euo pipefail
+
+repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
+cd "$repo_root"
+
+cmake --preset release
+cmake --build --preset release -j "$(nproc)" --target bench_to_json bench_micro
+
+./build-release/bench/bench_to_json \
+  --benchmark_out="$repo_root/BENCH_alm.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2 \
+  "$@"
+
+echo "wrote $repo_root/BENCH_alm.json"
