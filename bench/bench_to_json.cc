@@ -19,6 +19,8 @@
 #include "net/latency_oracle.h"
 #include "net/transit_stub.h"
 #include "pool/resource_pool.h"
+#include "sim/simulation.h"
+#include "sim/transport.h"
 #include "util/rng.h"
 
 namespace p2p {
@@ -183,6 +185,61 @@ void BM_LatencyMatrixBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LatencyMatrixBuild)->Arg(100)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------- transport overhead --
+
+// Cost of one message through the bus: schedule + deliver, faults off.
+// This is the per-message tax the unified transport adds over protocols
+// scheduling their own callbacks; items_per_second is the bus throughput.
+void BM_TransportThroughput(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  sim::Simulation sim(1);
+  sim::Message msg;
+  msg.src_host = 0;
+  msg.dst_host = 1;
+  msg.protocol = sim::Protocol::kOther;
+  msg.bytes = 100;
+  std::size_t delivered = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i)
+      sim.transport().Send(msg, [&delivered] { ++delivered; });
+    sim.Run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_TransportThroughput)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+// Same bus with the full fault pipeline on (loss draw + jitter draw +
+// per-link table + a live trace sink): the worst-case per-message cost.
+void BM_TransportThroughputFaults(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  sim::Simulation sim(1);
+  sim.transport().faults().loss_probability = 0.01;
+  sim.transport().faults().jitter_ms = 5.0;
+  sim.transport().SetLinkLoss(2, 3, 0.5);  // non-empty per-link table
+  sim::TraceSink trace(1 << 12);
+  trace.set_clock([&sim] { return sim.now(); });
+  sim.transport().set_trace(&trace);
+  sim::Message msg;
+  msg.src_host = 0;
+  msg.dst_host = 1;
+  msg.protocol = sim::Protocol::kOther;
+  msg.bytes = 100;
+  std::size_t delivered = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i)
+      sim.transport().Send(msg, [&delivered] { ++delivered; });
+    sim.Run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_TransportThroughputFaults)->Arg(1024)->Arg(16384)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -41,14 +41,17 @@ void BandwidthEstimator::EstimateAll() {
   for (const dht::NodeIndex n : ring_.SortedAlive()) {
     for (const auto& e : ring_.node(n).leafset().Members()) {
       if (!ring_.node(e.node).alive()) continue;
-      const double m =
-          probe_.MeasureKbps(ring_.node(n).host(), ring_.node(e.node).host());
-      FoldProbe(n, e.node, m);
+      const auto m =
+          probe_.Probe(ring_.node(n).host(), ring_.node(e.node).host());
+      if (m.has_value()) FoldProbe(n, e.node, *m);
     }
   }
 }
 
 void BandwidthEstimator::AttachTo(dht::HeartbeatProtocol& heartbeat) {
+  // Direct measurement, not a second bus message: the heartbeat that just
+  // arrived IS the padded pair, so its wire bytes (and any loss) were
+  // already accounted to kHeartbeat by the transport.
   heartbeat.AddObserver([this](dht::NodeIndex from, dht::NodeIndex to,
                                sim::Time /*send_t*/, sim::Time /*recv_t*/) {
     const double m =

@@ -27,6 +27,12 @@ class BandwidthEstimator {
   BandwidthEstimator(const dht::Ring& ring, const net::BandwidthModel& model,
                      PacketPairOptions options, util::Rng& rng);
 
+  // Route every probe over the message bus (accounting, tracing, and fault
+  // injection); a dropped pair simply yields no sample.
+  void BindTransport(sim::Transport* transport) {
+    probe_.BindTransport(transport);
+  }
+
   // Synchronous mode: every alive node probes every leafset member once in
   // each direction and folds the results in.
   void EstimateAll();

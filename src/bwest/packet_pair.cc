@@ -21,6 +21,25 @@ double PacketPairProbe::IdealDispersionMs(std::size_t from_host,
   return bits / (bottleneck_kbps * 1000.0) * 1000.0;
 }
 
+std::optional<double> PacketPairProbe::Probe(std::size_t from_host,
+                                             std::size_t to_host) {
+  if (transport_ != nullptr) {
+    sim::Message msg;
+    msg.src_host = from_host;
+    msg.dst_host = to_host;
+    msg.protocol = sim::Protocol::kBwest;
+    msg.bytes = static_cast<std::size_t>(2.0 * options_.packet_bytes);
+    sim::SendOptions opts;
+    opts.inline_delivery = true;
+    if (!transport_->Send(msg, nullptr, opts)) {
+      ++probes_;
+      ++dropped_;
+      return std::nullopt;
+    }
+  }
+  return MeasureKbps(from_host, to_host);
+}
+
 double PacketPairProbe::MeasureKbps(std::size_t from_host,
                                     std::size_t to_host) {
   ++probes_;

@@ -8,7 +8,10 @@
 // cross-traffic noise perturbs the measured dispersion multiplicatively.
 #pragma once
 
+#include <optional>
+
 #include "net/bandwidth_model.h"
+#include "sim/transport.h"
 #include "util/rng.h"
 
 namespace p2p::bwest {
@@ -28,20 +31,35 @@ class PacketPairProbe {
   PacketPairProbe(const net::BandwidthModel& model, PacketPairOptions options,
                   util::Rng& rng);
 
-  // One probe of the directed path from → to; returns the estimated
-  // bottleneck bandwidth in kbps.
+  // Route standalone probes over the simulation's message bus: each Probe()
+  // becomes one kBwest message (the back-to-back pair, delivered inline —
+  // dispersion is what's measured, so the pair's own latency is not
+  // re-simulated), and fault injection can eat it.
+  void BindTransport(sim::Transport* transport) { transport_ = transport; }
+
+  // One standalone probe of the directed path from → to; returns the
+  // estimated bottleneck bandwidth in kbps, or nullopt when the transport
+  // dropped the pair (only possible once bound to a bus with faults on).
+  std::optional<double> Probe(std::size_t from_host, std::size_t to_host);
+
+  // Direct measurement, never touching the bus. For probes piggybacked on
+  // a message that is already on the bus (heartbeat padding, §4.2) and for
+  // callers outside the event simulation.
   double MeasureKbps(std::size_t from_host, std::size_t to_host);
 
   // Dispersion (ms) a probe of this path would observe, before noise.
   double IdealDispersionMs(std::size_t from_host, std::size_t to_host) const;
 
   std::size_t probes_sent() const { return probes_; }
+  std::size_t probes_dropped() const { return dropped_; }
 
  private:
   const net::BandwidthModel& model_;
   PacketPairOptions options_;
   util::Rng& rng_;
+  sim::Transport* transport_ = nullptr;
   std::size_t probes_ = 0;
+  std::size_t dropped_ = 0;
 };
 
 }  // namespace p2p::bwest

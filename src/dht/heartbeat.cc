@@ -11,16 +11,15 @@ HeartbeatProtocol::HeartbeatProtocol(sim::Simulation& sim, Ring& ring,
   P2P_CHECK(config_.timeout_ms > config_.period_ms);
 }
 
-double HeartbeatProtocol::DelayBetween(NodeIndex a, NodeIndex b) const {
-  if (ring_.oracle() != nullptr) return ring_.LatencyBetween(a, b);
-  return config_.default_delay_ms;
-}
-
 void HeartbeatProtocol::Start() {
   P2P_CHECK_MSG(!running_, "heartbeat protocol already running");
   running_ = true;
+  // The bus charges the same host-to-host delays the protocol used to
+  // compute itself; keep its oracle in sync with the ring's.
+  if (ring_.oracle() != nullptr) sim_.transport().set_oracle(ring_.oracle());
   last_heard_.resize(ring_.size());
   detected_.assign(ring_.size(), 0);
+  suspected_.resize(ring_.size());
   tokens_.resize(ring_.size());
   for (NodeIndex n = 0; n < ring_.size(); ++n) {
     if (ring_.node(n).alive()) SchedulePeriodic(n);
@@ -37,6 +36,7 @@ void HeartbeatProtocol::OnNodeJoined(NodeIndex n) {
   if (last_heard_.size() <= n) {
     last_heard_.resize(n + 1);
     detected_.resize(n + 1, 0);
+    suspected_.resize(n + 1);
     tokens_.resize(n + 1);
   }
   SchedulePeriodic(n);
@@ -54,8 +54,15 @@ void HeartbeatProtocol::Beat(NodeIndex n) {
   for (const auto& e : ring_.node(n).leafset().Members()) {
     ++sent_;
     const NodeIndex to = e.node;
-    const double delay = DelayBetween(n, to);
-    sim_.After(delay, [this, n, to, now] { Deliver(n, to, now); });
+    sim::Message msg;
+    msg.src_host = ring_.node(n).host();
+    msg.dst_host = ring_.node(to).host();
+    msg.protocol = sim::Protocol::kHeartbeat;
+    msg.bytes = kHeartbeatBytes;
+    sim::SendOptions opts;
+    opts.fallback_delay_ms = config_.default_delay_ms;
+    sim_.transport().Send(
+        msg, [this, n, to, now] { Deliver(n, to, now); }, opts);
   }
   CheckTimeouts(n);
 }
@@ -69,6 +76,9 @@ void HeartbeatProtocol::Deliver(NodeIndex from, NodeIndex to,
   if (!ring_.node(from).alive() || !ring_.node(to).alive()) return;
   ++delivered_;
   last_heard_[to][from] = sim_.now();
+  // Hearing from a suspect clears the suspicion (it was a false alarm or
+  // the network healed).
+  if (config_.suspect_alive) suspected_[to].erase(from);
   for (const auto& obs : observers_) obs(from, to, send_time, sim_.now());
 }
 
@@ -76,13 +86,32 @@ void HeartbeatProtocol::CheckTimeouts(NodeIndex n) {
   const sim::Time now = sim_.now();
   for (const auto& e : ring_.node(n).leafset().Members()) {
     const NodeIndex m = e.node;
-    if (ring_.node(m).alive()) continue;
+    if (ring_.node(m).alive()) {
+      // Suspicion (suspect_alive mode): a member we *have* heard from
+      // before has gone silent past the timeout. Requiring one prior
+      // delivery avoids flagging everyone during start-up warm-up.
+      if (!config_.suspect_alive) continue;
+      const auto it = last_heard_[n].find(m);
+      if (it == last_heard_[n].end()) continue;
+      if (now - it->second < config_.timeout_ms) continue;
+      if (!suspected_[n].insert(m).second) continue;  // already suspected
+      ++suspicions_;
+      ++false_suspicions_;  // m is alive: by definition a false positive
+      for (const auto& obs : suspicion_observers_) obs(n, m, now, true);
+      continue;
+    }
     if (detected_[m]) continue;
     const auto it = last_heard_[n].find(m);
     const sim::Time heard = it == last_heard_[n].end() ? 0.0 : it->second;
     if (now - heard >= config_.timeout_ms) {
       detected_[m] = 1;
       ++failures_detected_;
+      if (config_.suspect_alive) {
+        // The unified suspicion stream also sees true positives, so
+        // false_suspicions() / suspicions() is a meaningful FP rate.
+        ++suspicions_;
+        for (const auto& obs : suspicion_observers_) obs(n, m, now, false);
+      }
       // First detection triggers ring-wide cleanup, standing in for the
       // rapid propagation of the death notice through leafset exchanges.
       ring_.DetectFailure(m);

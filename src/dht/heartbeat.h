@@ -3,13 +3,15 @@
 // detection; the §4 measurement protocols (network coordinates, packet-pair
 // bandwidth probing) piggyback on the same messages via observers.
 //
-// Message delivery runs over the simulation kernel with the latency
-// oracle's host-to-host delays, so observers see realistic send/receive
-// timestamps.
+// Message delivery runs over the simulation's Transport bus with the
+// latency oracle's host-to-host delays, so observers see realistic
+// send/receive timestamps — and fault injection (loss, jitter, partitions)
+// configured on the bus applies to heartbeats with no protocol changes.
 #pragma once
 
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "dht/ring.h"
@@ -24,9 +26,21 @@ struct HeartbeatConfig {
   sim::Time period_ms = 1000.0;
   // Declare a member failed after this long without hearing from it.
   sim::Time timeout_ms = 3500.0;
-  // Fixed one-way delay used when the ring has no latency oracle.
+  // Transport fallback one-way delay used when the ring has no latency
+  // oracle (passed per send; the bus-wide default stays untouched).
   sim::Time default_delay_ms = 50.0;
+  // Failure *suspicion*: also flag members that have been heard from
+  // before but have now been silent past timeout_ms, even while they are
+  // in fact alive (message loss / jitter makes silence ambiguous). A
+  // suspicion of an alive member is a false positive; suspicions clear
+  // when the member is heard again. Off by default — the seed behaviour
+  // only ever declares genuinely crashed nodes.
+  bool suspect_alive = false;
 };
+
+// Modelled heartbeat wire size: the paper pads heartbeats to ~1.5 KB so
+// they double as packet-pair probes (§4.2).
+inline constexpr std::size_t kHeartbeatBytes = 1500;
 
 class HeartbeatProtocol {
  public:
@@ -39,6 +53,10 @@ class HeartbeatProtocol {
   // at first detection).
   using FailureObserver =
       std::function<void(NodeIndex detector, NodeIndex dead, sim::Time when)>;
+  // Called when `detector` starts suspecting `suspect` (suspect_alive
+  // mode); `was_alive` marks a false positive.
+  using SuspicionObserver = std::function<void(
+      NodeIndex detector, NodeIndex suspect, sim::Time when, bool was_alive)>;
 
   HeartbeatProtocol(sim::Simulation& sim, Ring& ring, Config config = {});
 
@@ -54,10 +72,21 @@ class HeartbeatProtocol {
   void AddFailureObserver(FailureObserver obs) {
     failure_observers_.push_back(std::move(obs));
   }
+  void AddSuspicionObserver(SuspicionObserver obs) {
+    suspicion_observers_.push_back(std::move(obs));
+  }
 
   std::size_t heartbeats_sent() const { return sent_; }
   std::size_t heartbeats_delivered() const { return delivered_; }
   std::size_t failures_detected() const { return failures_detected_; }
+  // suspect_alive mode only. Suspicions cover both dead members (true
+  // positives, also counted in failures_detected) and alive-but-silent
+  // ones; a false suspicion targeted a node that was alive when flagged
+  // (message loss or jitter starved the detector).
+  std::size_t suspicions() const { return suspicions_; }
+  std::size_t false_suspicions() const { return false_suspicions_; }
+
+  sim::Simulation& simulation() { return sim_; }
 
   const Config& config() const { return config_; }
 
@@ -66,7 +95,6 @@ class HeartbeatProtocol {
   void Beat(NodeIndex n);
   void Deliver(NodeIndex from, NodeIndex to, sim::Time send_time);
   void CheckTimeouts(NodeIndex n);
-  double DelayBetween(NodeIndex a, NodeIndex b) const;
 
   sim::Simulation& sim_;
   Ring& ring_;
@@ -77,12 +105,17 @@ class HeartbeatProtocol {
   std::vector<std::unordered_map<NodeIndex, sim::Time>> last_heard_;
   std::vector<sim::Simulation::PeriodicToken> tokens_;
   std::vector<char> detected_;  // dead nodes already processed
+  // suspected_[n] = members node n currently suspects (suspect_alive mode).
+  std::vector<std::unordered_set<NodeIndex>> suspected_;
 
   std::vector<Observer> observers_;
   std::vector<FailureObserver> failure_observers_;
+  std::vector<SuspicionObserver> suspicion_observers_;
   std::size_t sent_ = 0;
   std::size_t delivered_ = 0;
   std::size_t failures_detected_ = 0;
+  std::size_t suspicions_ = 0;
+  std::size_t false_suspicions_ = 0;
 };
 
 }  // namespace p2p::dht

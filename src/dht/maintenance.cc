@@ -14,6 +14,7 @@ MaintenanceProtocol::MaintenanceProtocol(sim::Simulation& sim, Ring& ring,
 void MaintenanceProtocol::Start() {
   P2P_CHECK(!running_);
   running_ = true;
+  if (ring_.oracle() != nullptr) sim_.transport().set_oracle(ring_.oracle());
   tokens_.resize(ring_.size());
   for (NodeIndex n = 0; n < ring_.size(); ++n) {
     if (ring_.node(n).alive()) ScheduleNode(n);
@@ -50,11 +51,32 @@ void MaintenanceProtocol::RefreshRound(NodeIndex n) {
       ++failed_lookups_;
       continue;
     }
-    x.fingers().Set(i, ring_.node(r.destination).id(), r.destination);
-    // Pastry-style tables learn from lookup traffic: offer the resolved
-    // node for whatever prefix slot it fits (no-op if already filled).
-    x.prefix().Offer(ring_.node(r.destination).id(), r.destination);
     ++refreshes_;
+    // The lookup's repair traffic rides the bus: the response arrives
+    // after the route's accumulated latency, and fault injection can eat
+    // it (the entry then stays stale until a later round).
+    sim::Message msg;
+    msg.src_host = x.host();
+    msg.dst_host = ring_.node(r.destination).host();
+    msg.protocol = sim::Protocol::kMaintenance;
+    msg.bytes = kLookupBytes;
+    sim::SendOptions opts;
+    opts.delay_override_ms = r.latency_ms;
+    const NodeIndex dest = r.destination;
+    const bool admitted = sim_.transport().Send(
+        msg,
+        [this, n, i, dest] {
+          if (!running_) return;
+          if (!ring_.node(n).alive() || !ring_.node(dest).alive()) return;
+          Node& node = ring_.node(n);
+          node.fingers().Set(i, ring_.node(dest).id(), dest);
+          // Pastry-style tables learn from lookup traffic: offer the
+          // resolved node for whatever prefix slot it fits (no-op if
+          // already filled).
+          node.prefix().Offer(ring_.node(dest).id(), dest);
+        },
+        opts);
+    if (!admitted) ++dropped_lookups_;
   }
 }
 

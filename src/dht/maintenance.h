@@ -18,6 +18,9 @@ struct MaintenanceConfig {
   std::size_t fingers_per_round = 4;
 };
 
+// Modelled wire size of one finger-lookup exchange (request + response).
+inline constexpr std::size_t kLookupBytes = 64;
+
 class MaintenanceProtocol {
  public:
   MaintenanceProtocol(sim::Simulation& sim, Ring& ring,
@@ -29,6 +32,9 @@ class MaintenanceProtocol {
 
   std::size_t refreshes() const { return refreshes_; }
   std::size_t failed_lookups() const { return failed_lookups_; }
+  // Lookups whose response the transport dropped (fault injection); the
+  // finger entry stays stale until a later round retries it.
+  std::size_t dropped_lookups() const { return dropped_lookups_; }
 
  private:
   void ScheduleNode(NodeIndex n);
@@ -41,6 +47,7 @@ class MaintenanceProtocol {
   std::vector<sim::Simulation::PeriodicToken> tokens_;
   std::size_t refreshes_ = 0;
   std::size_t failed_lookups_ = 0;
+  std::size_t dropped_lookups_ = 0;
 };
 
 }  // namespace p2p::dht

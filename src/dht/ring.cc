@@ -213,6 +213,17 @@ RouteResult Ring::Route(NodeIndex from, NodeId key) const {
     last = cur;
     if (oracle_ != nullptr)
       res.latency_ms += LatencyBetween(cur, next);
+    if (trace_ != nullptr) {
+      sim::TraceRecord rec;
+      rec.time_ms = trace_->now();
+      rec.src_host = nodes_[cur].host();
+      rec.dst_host = nodes_[next].host();
+      rec.protocol = sim::Protocol::kRouting;
+      rec.kind = static_cast<std::uint16_t>(res.hops);
+      rec.bytes = kRouteHopBytes;
+      rec.dropped = false;
+      trace_->Append(rec);
+    }
     cur = next;
     ++res.hops;
   }

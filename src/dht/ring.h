@@ -13,8 +13,12 @@
 
 #include "dht/node.h"
 #include "net/latency_oracle.h"
+#include "sim/trace.h"
 
 namespace p2p::dht {
+
+// Modelled wire size of one overlay routing hop (lookup request forward).
+inline constexpr std::size_t kRouteHopBytes = 48;
 
 struct RouteResult {
   NodeIndex destination = kNoNode;
@@ -99,6 +103,13 @@ class Ring {
   const Node& node(NodeIndex n) const { return nodes_.at(n); }
   const net::LatencyOracle* oracle() const { return oracle_; }
 
+  // Optional per-hop route tracing: when set, Route() appends one kRouting
+  // record per overlay hop taken (kind = hop ordinal within the route).
+  // Timestamps come from the sink's clock — bind it to a simulation for
+  // sim time, or leave unbound for -1 stamps on offline lookups.
+  void set_trace_sink(sim::TraceSink* sink) { trace_ = sink; }
+  sim::TraceSink* trace_sink() const { return trace_; }
+
   // Alive node indices sorted by id (ascending).
   std::vector<NodeIndex> SortedAlive() const;
 
@@ -116,6 +127,7 @@ class Ring {
 
   std::size_t per_side_;
   const net::LatencyOracle* oracle_;
+  sim::TraceSink* trace_ = nullptr;
   RoutingGeometry geometry_;
   std::vector<Node> nodes_;
   std::size_t alive_count_ = 0;

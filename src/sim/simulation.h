@@ -1,6 +1,8 @@
-// Simulation kernel: owns the virtual clock, the event queue, and the
-// per-run random stream. Protocol objects (DHT heartbeats, SOMO gather,
-// packet-pair probes) schedule callbacks against this kernel.
+// Simulation kernel: owns the virtual clock, the event queue, the per-run
+// random stream, and the Transport message bus. Protocol objects (DHT
+// heartbeats, SOMO gather, packet-pair probes) send inter-host messages
+// through transport(); purely local timers still schedule callbacks
+// directly against this kernel.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +11,7 @@
 #include <memory>
 
 #include "sim/event_queue.h"
+#include "sim/transport.h"
 #include "util/rng.h"
 
 namespace p2p::sim {
@@ -22,6 +25,10 @@ class Simulation {
 
   Time now() const { return now_; }
   util::Rng& rng() { return rng_; }
+
+  // The message bus all inter-host protocol traffic goes through.
+  Transport& transport() { return transport_; }
+  const Transport& transport() const { return transport_; }
 
   // Schedule at absolute virtual time (>= now).
   EventId At(Time t, EventQueue::Callback cb);
@@ -62,6 +69,7 @@ class Simulation {
   Time now_ = 0.0;
   std::size_t fired_ = 0;
   util::Rng rng_;
+  Transport transport_{*this};
 };
 
 }  // namespace p2p::sim

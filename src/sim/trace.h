@@ -1,0 +1,118 @@
+// Message-trace interface shared by the transport bus and overlay routing.
+//
+// A TraceSink is a bounded ring buffer of per-message records
+// {time, src, dst, protocol, kind, size, dropped}. The Transport appends a
+// record for every Send (including fault-injected drops); Ring::Route can
+// be pointed at the same sink to interleave per-hop routing records with
+// protocol traffic, so one trace stream covers everything a run put on the
+// simulated wire. Bounded capacity keeps long runs at a fixed memory cost:
+// when full, the oldest records are overwritten and total_records() keeps
+// counting, so post-hoc analysis can tell a truncated trace from a short
+// one.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "util/check.h"
+
+namespace p2p::sim {
+
+// Which protocol layer put a message on the bus. Used for per-protocol
+// accounting in TransportStats and as the trace stream discriminator.
+enum class Protocol : std::uint8_t {
+  kHeartbeat = 0,
+  kMaintenance = 1,
+  kSomo = 2,
+  kBwest = 3,
+  kRouting = 4,
+  kOther = 5,
+};
+inline constexpr std::size_t kProtocolCount = 6;
+
+inline const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kHeartbeat: return "heartbeat";
+    case Protocol::kMaintenance: return "maintenance";
+    case Protocol::kSomo: return "somo";
+    case Protocol::kBwest: return "bwest";
+    case Protocol::kRouting: return "routing";
+    case Protocol::kOther: return "other";
+  }
+  return "unknown";
+}
+
+struct TraceRecord {
+  double time_ms = -1.0;  // -1 when the recorder has no clock
+  std::size_t src_host = 0;
+  std::size_t dst_host = 0;
+  Protocol protocol = Protocol::kOther;
+  // Protocol-defined message discriminator (heartbeat beat, SOMO push,
+  // routing hop number, ...).
+  std::uint16_t kind = 0;
+  std::size_t bytes = 0;  // modelled wire size
+  bool dropped = false;   // dropped by fault injection at send time
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 1 << 16) : capacity_(capacity) {
+    P2P_CHECK(capacity_ > 0);
+  }
+
+  // Optional time source for recorders that have no clock of their own
+  // (Ring::Route); the Transport stamps records with sim time directly.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+  double now() const { return clock_ ? clock_() : -1.0; }
+
+  void Append(const TraceRecord& r) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(r);
+    } else {
+      ring_[total_ % capacity_] = r;
+    }
+    ++total_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  // Records currently held (<= capacity).
+  std::size_t size() const { return ring_.size(); }
+  // Records ever appended; > size() means the oldest were overwritten.
+  std::size_t total_records() const { return total_; }
+
+  // Held records, oldest first.
+  std::vector<TraceRecord> Snapshot() const {
+    std::vector<TraceRecord> out;
+    out.reserve(ring_.size());
+    const std::size_t start = total_ > capacity_ ? total_ % capacity_ : 0;
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+  }
+
+  // Plain-text dump, one record per line (tools/trace_to_csv converts to
+  // CSV):
+  //   p2ptrace v1 <held> <total>
+  //   <time_ms> <src_host> <dst_host> <protocol> <kind> <bytes> <dropped>
+  bool WriteText(std::FILE* f) const {
+    if (f == nullptr) return false;
+    std::fprintf(f, "p2ptrace v1 %zu %zu\n", size(), total_records());
+    for (const TraceRecord& r : Snapshot()) {
+      std::fprintf(f, "%.6f %zu %zu %s %u %zu %d\n", r.time_ms, r.src_host,
+                   r.dst_host, ProtocolName(r.protocol),
+                   static_cast<unsigned>(r.kind), r.bytes,
+                   r.dropped ? 1 : 0);
+    }
+    return std::ferror(f) == 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t total_ = 0;
+  std::vector<TraceRecord> ring_;
+  std::function<double()> clock_;
+};
+
+}  // namespace p2p::sim

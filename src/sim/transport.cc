@@ -1,0 +1,97 @@
+#include "sim/transport.h"
+
+#include <utility>
+
+#include "sim/simulation.h"
+#include "util/check.h"
+
+namespace p2p::sim {
+
+double Transport::BaseDelayMs(std::size_t src, std::size_t dst,
+                              double fallback) const {
+  if (src == dst) return 0.0;
+  if (oracle_ != nullptr) return oracle_->Latency(src, dst);
+  if (fallback >= 0.0) return fallback;
+  return default_delay_ms_;
+}
+
+void Transport::SetLinkLoss(std::size_t src, std::size_t dst, double p) {
+  P2P_CHECK(p >= 0.0 && p <= 1.0);
+  P2P_CHECK_MSG(src < (1ULL << 32) && dst < (1ULL << 32),
+                "host indices must fit the packed link key");
+  link_loss_[LinkKey(src, dst)] = p;
+}
+
+void Transport::SetLinkLossBoth(std::size_t a, std::size_t b, double p) {
+  SetLinkLoss(a, b, p);
+  SetLinkLoss(b, a, p);
+}
+
+void Transport::Partition(std::vector<std::size_t> hosts) {
+  partitions_.emplace_back(hosts.begin(), hosts.end());
+}
+
+bool Transport::Partitioned(std::size_t a, std::size_t b) const {
+  for (const auto& set : partitions_) {
+    const bool a_in = set.count(a) > 0;
+    const bool b_in = set.count(b) > 0;
+    if (a_in != b_in) return true;
+  }
+  return false;
+}
+
+double Transport::LossFor(std::size_t src, std::size_t dst) const {
+  if (!link_loss_.empty()) {
+    const auto it = link_loss_.find(LinkKey(src, dst));
+    if (it != link_loss_.end()) return it->second;
+  }
+  return faults_.loss_probability;
+}
+
+bool Transport::Send(const Message& msg, DeliverFn deliver,
+                     SendOptions opts) {
+  auto& ps = stats_.by_protocol[static_cast<std::size_t>(msg.protocol)];
+  ++ps.sent;
+  ps.bytes += msg.bytes;
+
+  // Fault decisions, in a fixed order so seeded runs reproduce: partition
+  // (no RNG), then loss (one Bernoulli draw only when the link is lossy),
+  // then jitter (one uniform draw only when enabled). With every fault off
+  // this path consumes no RNG at all.
+  bool dropped = !partitions_.empty() && Partitioned(msg.src_host, msg.dst_host);
+  if (!dropped) {
+    const double loss = LossFor(msg.src_host, msg.dst_host);
+    if (loss > 0.0 && sim_.rng().Bernoulli(loss)) dropped = true;
+  }
+  double delay = 0.0;
+  if (!dropped) {
+    delay = opts.delay_override_ms >= 0.0
+                ? opts.delay_override_ms
+                : BaseDelayMs(msg.src_host, msg.dst_host,
+                              opts.fallback_delay_ms);
+    if (faults_.jitter_ms > 0.0)
+      delay += sim_.rng().Uniform(0.0, faults_.jitter_ms);
+  }
+
+  if (trace_ != nullptr) {
+    trace_->Append(TraceRecord{sim_.now(), msg.src_host, msg.dst_host,
+                               msg.protocol, msg.kind, msg.bytes, dropped});
+  }
+  if (dropped) {
+    ++ps.dropped;
+    return false;
+  }
+  if (opts.inline_delivery) {
+    ++ps.delivered;
+    if (deliver) deliver();
+    return true;
+  }
+  sim_.After(delay, [this, protocol = msg.protocol,
+                     cb = std::move(deliver)] {
+    ++stats_.by_protocol[static_cast<std::size_t>(protocol)].delivered;
+    if (cb) cb();
+  });
+  return true;
+}
+
+}  // namespace p2p::sim

@@ -1,0 +1,178 @@
+// Unified simulated transport: the one message bus every protocol layer
+// sends through (DHT heartbeats, maintenance lookups, SOMO gather and
+// dissemination, packet-pair probes).
+//
+// Delivery delay comes from the net::LatencyOracle when one is configured,
+// falling back to a per-send or bus-wide default; delivery order is the
+// event queue's deterministic (time, seq) order, so with fault injection
+// disabled routing traffic through the bus is bit-identical to the
+// protocols scheduling their own delayed callbacks. The bus adds three
+// things the per-protocol schedulers could not offer:
+//   * a FaultInjector — per-link loss probability, delay jitter and
+//     host-set partitions, all drawn from the simulation's deterministic
+//     RNG stream (and consuming none of it while disabled, so seeded runs
+//     are unchanged until a scenario opts in);
+//   * per-protocol accounting (messages, simulated bytes, drops) via a
+//     TransportStats snapshot;
+//   * an optional bounded TraceSink recording every send for post-hoc
+//     analysis (tools/trace_to_csv).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/latency_oracle.h"
+#include "sim/event_queue.h"
+#include "sim/trace.h"
+
+namespace p2p::sim {
+
+class Simulation;
+
+// A typed inter-host message. Protocols address by host (the transport
+// models the wire, not the overlay); the payload itself stays in the
+// sender's closure — the simulation shares memory, only timing and loss
+// are modelled.
+struct Message {
+  std::size_t src_host = 0;
+  std::size_t dst_host = 0;
+  Protocol protocol = Protocol::kOther;
+  std::uint16_t kind = 0;  // protocol-defined discriminator (see TraceRecord)
+  std::size_t bytes = 0;   // modelled wire size
+};
+
+// Bus-wide fault knobs. All default to "off"; while off the transport
+// consumes no RNG, keeping pre-fault seeded runs bit-identical.
+struct FaultConfig {
+  // Probability each message is dropped at send time (per-link overrides
+  // via Transport::SetLinkLoss take precedence).
+  double loss_probability = 0.0;
+  // Extra delivery delay, uniform in [0, jitter_ms), added per message.
+  double jitter_ms = 0.0;
+};
+
+struct ProtocolStats {
+  std::size_t sent = 0;       // admitted to the bus (includes drops)
+  std::size_t delivered = 0;  // delivery callback actually ran
+  std::size_t dropped = 0;    // killed by loss or partition at send time
+  std::size_t bytes = 0;      // modelled wire bytes of all sends
+};
+
+struct TransportStats {
+  std::array<ProtocolStats, kProtocolCount> by_protocol;
+
+  const ProtocolStats& protocol(Protocol p) const {
+    return by_protocol[static_cast<std::size_t>(p)];
+  }
+  ProtocolStats Total() const {
+    ProtocolStats t;
+    for (const auto& s : by_protocol) {
+      t.sent += s.sent;
+      t.delivered += s.delivered;
+      t.dropped += s.dropped;
+      t.bytes += s.bytes;
+    }
+    return t;
+  }
+};
+
+// Namespace-scope (not nested in Transport) so it can serve as a defaulted
+// argument — GCC rejects brace-defaulting a nested aggregate with default
+// member initializers inside its enclosing class.
+struct SendOptions {
+  // Delay when no oracle is configured and src != dst; < 0 means use the
+  // bus default. Lets protocols keep their historical oracle-less delays
+  // (heartbeat 50 ms vs SOMO hop 200 ms) without private delay paths.
+  double fallback_delay_ms = -1.0;
+  // Explicit base delay (>= 0) overriding the oracle/fallback entirely —
+  // for traffic whose path cost was computed elsewhere (a multi-hop
+  // overlay lookup's accumulated route latency). Jitter still applies.
+  double delay_override_ms = -1.0;
+  // Run the delivery callback inside Send() instead of scheduling an
+  // event. For measurements that piggyback on already-delivered traffic
+  // (packet-pair probes): loss/partition/accounting still apply, timing
+  // is the caller's problem.
+  bool inline_delivery = false;
+};
+
+class Transport {
+ public:
+  using DeliverFn = std::function<void()>;
+  using SendOptions = sim::SendOptions;
+
+  explicit Transport(Simulation& sim) : sim_(sim) {}
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  // --- delay model --------------------------------------------------------
+
+  void set_oracle(const net::LatencyOracle* oracle) { oracle_ = oracle; }
+  const net::LatencyOracle* oracle() const { return oracle_; }
+
+  // Oracle-less one-way delay between distinct hosts. SOMO's deprecated
+  // SomoConfig::default_hop_delay_ms forwards here.
+  void set_default_delay_ms(double ms) { default_delay_ms_ = ms; }
+  double default_delay_ms() const { return default_delay_ms_; }
+
+  // Base one-way delay src → dst (no jitter): 0 for src == dst, else the
+  // oracle latency, else `fallback` (when >= 0), else the bus default.
+  double BaseDelayMs(std::size_t src, std::size_t dst,
+                     double fallback = -1.0) const;
+
+  // --- fault injection ----------------------------------------------------
+
+  FaultConfig& faults() { return faults_; }
+  const FaultConfig& faults() const { return faults_; }
+
+  // Per-link (directed) loss probability, overriding the global one.
+  void SetLinkLoss(std::size_t src, std::size_t dst, double p);
+  // Both directions at once.
+  void SetLinkLossBoth(std::size_t a, std::size_t b, double p);
+  void ClearLinkLoss() { link_loss_.clear(); }
+
+  // Isolate a host set: messages with exactly one endpoint inside any
+  // partitioned set are dropped (traffic within a set, and among the
+  // remainder, flows normally). Multiple sets may coexist.
+  void Partition(std::vector<std::size_t> hosts);
+  void HealPartitions() { partitions_.clear(); }
+  bool Partitioned(std::size_t a, std::size_t b) const;
+
+  // --- tracing ------------------------------------------------------------
+
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+  TraceSink* trace() const { return trace_; }
+
+  // --- sending ------------------------------------------------------------
+
+  // Admit `msg` to the bus. Returns false when fault injection dropped it
+  // (the delivery callback will never run); otherwise schedules `deliver`
+  // at now + base delay + jitter (or runs it inline, see SendOptions).
+  bool Send(const Message& msg, DeliverFn deliver, SendOptions opts = {});
+
+  TransportStats stats() const { return stats_; }
+  void ResetStats() { stats_ = TransportStats{}; }
+
+ private:
+  static std::uint64_t LinkKey(std::size_t src, std::size_t dst) {
+    return (static_cast<std::uint64_t>(src) << 32) ^
+           static_cast<std::uint64_t>(dst);
+  }
+  double LossFor(std::size_t src, std::size_t dst) const;
+
+  Simulation& sim_;
+  const net::LatencyOracle* oracle_ = nullptr;
+  // Matches HeartbeatConfig's historical oracle-less delay.
+  double default_delay_ms_ = 50.0;
+  FaultConfig faults_;
+  std::unordered_map<std::uint64_t, double> link_loss_;
+  std::vector<std::unordered_set<std::size_t>> partitions_;
+  TraceSink* trace_ = nullptr;
+  TransportStats stats_;
+};
+
+}  // namespace p2p::sim

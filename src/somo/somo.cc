@@ -1,5 +1,6 @@
 #include "somo/somo.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "util/check.h"
@@ -11,16 +12,28 @@ SomoProtocol::SomoProtocol(sim::Simulation& sim, dht::Ring& ring,
     : sim_(sim), ring_(ring), config_(config), provider_(std::move(provider)) {
   P2P_CHECK(config_.report_interval_ms > 0.0);
   P2P_CHECK(provider_ != nullptr);
+  // The deprecated per-SOMO hop-delay knob becomes the bus-wide oracle-less
+  // fallback, so every gather discipline prices hops identically.
+  sim_.transport().set_default_delay_ms(config_.default_hop_delay_ms);
+  if (ring_.oracle() != nullptr) sim_.transport().set_oracle(ring_.oracle());
   tree_ = std::make_unique<LogicalTree>(ring_, config_.fanout);
   state_.resize(tree_->size());
   for (LogicalIndex l = 0; l < tree_->size(); ++l)
     state_[l].from_children.resize(tree_->node(l).children.size());
 }
 
-double SomoProtocol::HopDelay(dht::NodeIndex a, dht::NodeIndex b) const {
-  if (a == b) return 0.0;
-  if (ring_.oracle() != nullptr) return ring_.LatencyBetween(a, b);
-  return config_.default_hop_delay_ms;
+bool SomoProtocol::SendBetween(dht::NodeIndex from, dht::NodeIndex to,
+                               SomoMessageKind kind, std::size_t bytes,
+                               std::function<void()> deliver) {
+  ++messages_;
+  bytes_ += bytes;
+  sim::Message msg;
+  msg.src_host = ring_.node(from).host();
+  msg.dst_host = ring_.node(to).host();
+  msg.protocol = sim::Protocol::kSomo;
+  msg.kind = kind;
+  msg.bytes = bytes;
+  return sim_.transport().Send(msg, std::move(deliver));
 }
 
 void SomoProtocol::Start() {
@@ -113,15 +126,14 @@ void SomoProtocol::PushToParent(LogicalIndex l) {
     if (!uncles.empty()) {
       const LogicalIndex uncle =
           uncles[sim_.rng().NextBounded(uncles.size())];
-      const double delay = HopDelay(ln.owner, tree_->node(uncle).owner);
-      ++messages_;
       ++redundant_pushes_;
       AggregateReport payload = state_[l].own;
-      bytes_ += payload.SerializedBytes();
-      sim_.After(delay, [this, uncle, l, payload = std::move(payload)] {
-        if (!running_ || uncle >= state_.size()) return;
-        state_[uncle].adopted[l] = payload;
-      });
+      const std::size_t wire = payload.SerializedBytes();
+      SendBetween(ln.owner, tree_->node(uncle).owner, kMsgRedundantPush,
+                  wire, [this, uncle, l, payload = std::move(payload)] {
+                    if (!running_ || uncle >= state_.size()) return;
+                    state_[uncle].adopted[l] = payload;
+                  });
       return;
     }
   }
@@ -132,19 +144,18 @@ void SomoProtocol::PushToParent(LogicalIndex l) {
     if (pn.children[slot] == l) break;
   }
   P2P_CHECK(slot < pn.children.size());
-  const double delay = HopDelay(ln.owner, pn.owner);
-  ++messages_;
   AggregateReport payload = state_[l].own;
-  bytes_ += payload.SerializedBytes();
-  sim_.After(delay, [this, parent, slot, l,
-                     payload = std::move(payload)] {
-    if (!running_) return;
-    if (parent >= state_.size()) return;
-    if (slot >= state_[parent].from_children.size()) return;
-    state_[parent].from_children[slot] = payload;
-    // A direct push supersedes any adopted detour copy of this child.
-    state_[parent].adopted.erase(l);
-  });
+  const std::size_t wire = payload.SerializedBytes();
+  SendBetween(ln.owner, pn.owner, kMsgPush, wire,
+              [this, parent, slot, l, payload = std::move(payload)] {
+                if (!running_) return;
+                if (parent >= state_.size()) return;
+                if (slot >= state_[parent].from_children.size()) return;
+                state_[parent].from_children[slot] = payload;
+                // A direct push supersedes any adopted detour copy of this
+                // child.
+                state_[parent].adopted.erase(l);
+              });
 }
 
 void SomoProtocol::StartSyncGather() {
@@ -165,6 +176,7 @@ void SomoProtocol::SyncDescend(LogicalIndex l, sim::Time arrival,
     }
     const LogicalIndex parent = ln.parent;
     if (parent == kNoLogical) {
+      // Root is itself a leaf: intra-host hand-off, not bus traffic.
       sim_.At(arrival, [this, agg = std::move(agg)] {
         root_view_ = agg;
         ++gathers_completed_;
@@ -172,24 +184,22 @@ void SomoProtocol::SyncDescend(LogicalIndex l, sim::Time arrival,
       });
       return;
     }
-    const double up = HopDelay(ln.owner, tree_->node(parent).owner);
-    ++messages_;
-    bytes_ += agg.SerializedBytes();
-    sim_.At(arrival + up, [this, parent, round, agg = std::move(agg)] {
-      SyncReplyArrived(parent, agg, round);
-    });
+    const std::size_t wire = agg.SerializedBytes();
+    SendBetween(ln.owner, tree_->node(parent).owner, kMsgSyncReply, wire,
+                [this, parent, round, agg = std::move(agg)] {
+                  SyncReplyArrived(parent, agg, round);
+                });
     return;
   }
   state_[l].sync[round] = PendingGather{ln.children.size(), {}};
   for (const LogicalIndex c : ln.children) {
-    const double down = HopDelay(ln.owner, tree_->node(c).owner);
-    ++messages_;
-    bytes_ += kReportHeaderBytes;  // the "call for reports" is tiny
-    sim_.At(arrival + down, [this, c, round, t = arrival + down] {
-      if (!running_) return;
-      if (c >= tree_->size()) return;  // tree rebuilt meanwhile
-      SyncDescend(c, t, round);
-    });
+    // The "call for reports" is tiny.
+    SendBetween(ln.owner, tree_->node(c).owner, kMsgSyncCall,
+                kReportHeaderBytes, [this, c, round] {
+                  if (!running_) return;
+                  if (c >= tree_->size()) return;  // tree rebuilt meanwhile
+                  SyncDescend(c, sim_.now(), round);
+                });
   }
 }
 
@@ -213,12 +223,11 @@ void SomoProtocol::SyncReplyArrived(LogicalIndex l,
     return;
   }
   const LogicalIndex parent = ln.parent;
-  const double up = HopDelay(ln.owner, tree_->node(parent).owner);
-  ++messages_;
-  bytes_ += complete.SerializedBytes();
-  sim_.After(up, [this, parent, round, payload = std::move(complete)] {
-    SyncReplyArrived(parent, payload, round);
-  });
+  const std::size_t wire = complete.SerializedBytes();
+  SendBetween(ln.owner, tree_->node(parent).owner, kMsgSyncReply, wire,
+              [this, parent, round, payload = std::move(complete)] {
+                SyncReplyArrived(parent, payload, round);
+              });
 }
 
 void SomoProtocol::OnRootViewRefreshed() {
@@ -232,34 +241,32 @@ void SomoProtocol::Disseminate(LogicalIndex l,
                                sim::Time arrival) {
   if (node_views_.size() < ring_.size()) node_views_.resize(ring_.size());
   const LogicalNode& ln = tree_->node(l);
-  // Deliver to the hosting machine (and, at leaves, to the machines the
-  // leaf reports for — they hear the newscast from their leaf's owner).
-  auto deliver = [&](dht::NodeIndex n, sim::Time when) {
-    sim_.At(when, [this, n, view, when] {
-      if (n >= node_views_.size()) return;
-      if (node_views_[n].received_at >= when && node_views_[n].valid())
-        return;  // a fresher copy already arrived
-      node_views_[n] = NodeView{view, when};
-    });
+  // A node adopts the copy unless a fresher one already arrived.
+  auto adopt = [this, view](dht::NodeIndex n) {
+    if (n >= node_views_.size()) return;
+    const sim::Time when = sim_.now();
+    if (node_views_[n].received_at >= when && node_views_[n].valid())
+      return;  // a fresher copy already arrived
+    node_views_[n] = NodeView{view, when};
   };
-  deliver(ln.owner, arrival);
+  // The hosting machine's own copy is an intra-host hand-off.
+  sim_.At(arrival, [adopt, owner = ln.owner] { adopt(owner); });
   if (ln.is_leaf()) {
+    // The machines the leaf reports for hear the newscast from the leaf's
+    // owner.
     for (const dht::NodeIndex n : ln.reported) {
       if (n == ln.owner || !ring_.node(n).alive()) continue;
-      ++messages_;
-      bytes_ += view->SerializedBytes();
-      deliver(n, arrival + HopDelay(ln.owner, n));
+      SendBetween(ln.owner, n, kMsgDisseminate, view->SerializedBytes(),
+                  [adopt, n] { adopt(n); });
     }
     return;
   }
   for (const LogicalIndex c : ln.children) {
-    const double down = HopDelay(ln.owner, tree_->node(c).owner);
-    ++messages_;
-    bytes_ += view->SerializedBytes();
-    sim_.At(arrival + down, [this, c, view, t = arrival + down] {
-      if (!running_ || c >= tree_->size()) return;
-      Disseminate(c, view, t);
-    });
+    SendBetween(ln.owner, tree_->node(c).owner, kMsgDisseminate,
+                view->SerializedBytes(), [this, c, view] {
+                  if (!running_ || c >= tree_->size()) return;
+                  Disseminate(c, view, sim_.now());
+                });
   }
 }
 
@@ -294,6 +301,17 @@ double SomoProtocol::RootStalenessMs() const {
   if (root_view_.empty())
     return std::numeric_limits<double>::infinity();
   return sim_.now() - root_view_.oldest;
+}
+
+double SomoProtocol::RootAliveStalenessMs() const {
+  sim::Time oldest = std::numeric_limits<double>::infinity();
+  for (const auto& r : root_view_.members) {
+    if (r.node >= ring_.size() || !ring_.node(r.node).alive()) continue;
+    oldest = std::min(oldest, r.generated_at);
+  }
+  if (oldest == std::numeric_limits<double>::infinity())
+    return std::numeric_limits<double>::infinity();
+  return sim_.now() - oldest;
 }
 
 bool SomoProtocol::RootViewComplete() const {

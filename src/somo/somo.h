@@ -35,7 +35,11 @@ struct SomoConfig {
   std::size_t fanout = 8;
   sim::Time report_interval_ms = 5000.0;  // the paper's LiquidEye cycle: 5 s
   bool synchronized_gather = false;
-  // One-way delay used when the ring lacks a latency oracle.
+  // DEPRECATED alias: forwarded to Transport::set_default_delay_ms at
+  // construction, so the bus prices every oracle-less hop — synchronized
+  // and unsynchronized gather alike — with this one number. SOMO no longer
+  // keeps a private hop-delay path; prefer configuring the transport
+  // directly. (Last SomoProtocol constructed wins if several share a sim.)
   sim::Time default_hop_delay_ms = 200.0;
   // Disseminate each completed root view back down the hierarchy, giving
   // every node a recent copy of the global "newscast" (§3.2: SOMO both
@@ -50,6 +54,15 @@ struct SomoConfig {
   // alive parent-sibling instead, so gathering survives internal-node
   // failures even before the tree is rebuilt.
   bool redundant_links = false;
+};
+
+// Message kinds SOMO puts on the transport bus (TraceRecord::kind).
+enum SomoMessageKind : std::uint16_t {
+  kMsgPush = 0,           // unsync child → parent aggregate
+  kMsgRedundantPush = 1,  // detour push to a parent-sibling (§3.2)
+  kMsgSyncCall = 2,       // synchronized "call for reports", downward
+  kMsgSyncReply = 3,      // synchronized aggregate, upward
+  kMsgDisseminate = 4,    // root view broadcast, downward
 };
 
 class SomoProtocol {
@@ -77,6 +90,12 @@ class SomoProtocol {
   // now − oldest member report at the root (∞ until the first gather
   // completes, i.e. while some machine has never been represented).
   double RootStalenessMs() const;
+
+  // Same, but only over members that are currently alive. A crashed
+  // machine's final report lingers in cached aggregates until a Rebuild,
+  // which pins RootStalenessMs to the crash time; this variant measures how
+  // well gathering tracks the live membership through failures instead.
+  double RootAliveStalenessMs() const;
 
   // True once the root view contains a report from every alive node.
   bool RootViewComplete() const;
@@ -132,7 +151,10 @@ class SomoProtocol {
   void SyncDescend(LogicalIndex l, sim::Time arrival, std::uint64_t round);
   void SyncReplyArrived(LogicalIndex l, const AggregateReport& child_agg,
                         std::uint64_t round);
-  double HopDelay(dht::NodeIndex a, dht::NodeIndex b) const;
+  // Inter-host send between two logical-node owners over the bus.
+  bool SendBetween(dht::NodeIndex from, dht::NodeIndex to,
+                   SomoMessageKind kind, std::size_t bytes,
+                   std::function<void()> deliver);
 
   sim::Simulation& sim_;
   dht::Ring& ring_;

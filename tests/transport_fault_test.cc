@@ -1,0 +1,233 @@
+// End-to-end fault injection through the transport bus: protocols opt into
+// loss / jitter / partitions configured on the bus and must degrade the way
+// the paper's robustness arguments predict (§3.2 redundant links, §3.1/§4
+// heartbeat failure suspicion).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dht/heartbeat.h"
+#include "dht/maintenance.h"
+#include "dht/ring.h"
+#include "sim/simulation.h"
+#include "sim/transport.h"
+#include "somo/somo.h"
+
+namespace p2p {
+namespace {
+
+struct SomoFixture {
+  sim::Simulation sim{77};
+  dht::Ring ring{8};
+
+  explicit SomoFixture(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) ring.JoinHashed(i);
+    ring.StabilizeAll();
+  }
+
+  std::unique_ptr<somo::SomoProtocol> Make(somo::SomoConfig cfg) {
+    return std::make_unique<somo::SomoProtocol>(
+        sim, ring, cfg, [this](dht::NodeIndex n) {
+          somo::NodeReport r;
+          r.node = n;
+          r.host = ring.node(n).host();
+          r.generated_at = sim.now();
+          return r;
+        });
+  }
+
+  // An internal, non-root logical node whose owner differs from the root's.
+  dht::NodeIndex InternalOwner(const somo::SomoProtocol& somo) const {
+    const auto& tree = somo.tree();
+    for (somo::LogicalIndex l = 0; l < tree.size(); ++l) {
+      const auto& ln = tree.node(l);
+      if (!ln.is_leaf() && !ln.is_root() &&
+          ln.owner != tree.node(tree.root()).owner) {
+        return ln.owner;
+      }
+    }
+    return dht::kNoNode;
+  }
+};
+
+// ------------------------------------------------- SOMO gather under loss --
+
+TEST(SomoUnderLoss, UnsyncGatherStillCompletes) {
+  SomoFixture f(48);
+  f.sim.transport().faults().loss_probability = 0.15;
+  somo::SomoConfig cfg;
+  cfg.fanout = 4;
+  cfg.report_interval_ms = 500.0;
+  auto somo = f.Make(cfg);
+  somo->Start();
+  // Lost pushes are retried on the next interval, so completeness survives
+  // moderate loss — the horizon just stretches.
+  f.sim.RunUntil(30000.0);
+  EXPECT_TRUE(somo->RootViewComplete());
+  const auto stats = f.sim.transport().stats();
+  EXPECT_GT(stats.protocol(sim::Protocol::kSomo).dropped, 0u);
+  EXPECT_GT(stats.protocol(sim::Protocol::kSomo).delivered, 0u);
+}
+
+TEST(SomoUnderLoss, RedundantLinksRecoverRootFreshness) {
+  SomoFixture f(60);
+  f.sim.transport().faults().loss_probability = 0.1;
+  somo::SomoConfig cfg;
+  cfg.fanout = 4;
+  cfg.report_interval_ms = 500.0;
+  cfg.redundant_links = true;
+  auto somo = f.Make(cfg);
+  somo->Start();
+  f.sim.RunUntil(30000.0);
+  ASSERT_TRUE(somo->RootViewComplete());
+
+  // Crash an internal owner WITHOUT detection or rebuild, while the bus
+  // keeps eating 10% of the detour traffic too.
+  const dht::NodeIndex victim = f.InternalOwner(*somo);
+  ASSERT_NE(victim, dht::kNoNode);
+  f.ring.Fail(victim);
+  f.sim.RunUntil(f.sim.now() + 20000.0);
+  EXPECT_GT(somo->redundant_pushes(), 0u);
+  EXPECT_TRUE(somo->RootViewComplete());
+  // Freshness recovers: aggregates keep flowing around the dead owner.
+  // (Alive-member staleness — the victim's own final report lingers in
+  // cached aggregates until a Rebuild, by design.)
+  EXPECT_LT(somo->RootAliveStalenessMs(), 10000.0);
+}
+
+TEST(SomoUnderLoss, WithoutRedundancyFreshnessDecays) {
+  SomoFixture f(60);
+  f.sim.transport().faults().loss_probability = 0.1;
+  somo::SomoConfig cfg;
+  cfg.fanout = 4;
+  cfg.report_interval_ms = 500.0;
+  cfg.redundant_links = false;
+  auto somo = f.Make(cfg);
+  somo->Start();
+  f.sim.RunUntil(30000.0);
+  ASSERT_TRUE(somo->RootViewComplete());
+  const dht::NodeIndex victim = f.InternalOwner(*somo);
+  ASSERT_NE(victim, dht::kNoNode);
+  f.ring.Fail(victim);
+  f.sim.RunUntil(f.sim.now() + 20000.0);
+  EXPECT_EQ(somo->redundant_pushes(), 0u);
+  // The dead owner's whole subtree stops refreshing: even the reports of
+  // machines that are still alive go stale.
+  EXPECT_GT(somo->RootAliveStalenessMs(), 10000.0);
+}
+
+// ------------------------------------------- heartbeat suspicion vs jitter --
+
+struct HeartbeatFixture {
+  sim::Simulation sim{13};
+  dht::Ring ring{8};
+
+  explicit HeartbeatFixture(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) ring.JoinHashed(i);
+    ring.StabilizeAll();
+  }
+};
+
+TEST(HeartbeatSuspicion, NoFalsePositivesUnderBoundedJitter) {
+  HeartbeatFixture f(32);
+  dht::HeartbeatConfig cfg;
+  cfg.period_ms = 1000.0;
+  cfg.timeout_ms = 2500.0;
+  cfg.suspect_alive = true;
+  // Worst-case inter-arrival gap = period + jitter < timeout, so silence
+  // can never look like death.
+  f.sim.transport().faults().jitter_ms = 500.0;
+  dht::HeartbeatProtocol hb(f.sim, f.ring, cfg);
+  hb.Start();
+  f.sim.RunUntil(60000.0);
+  EXPECT_GT(hb.heartbeats_delivered(), 0u);
+  EXPECT_EQ(hb.false_suspicions(), 0u);
+  EXPECT_EQ(hb.failures_detected(), 0u);  // nobody actually died
+}
+
+TEST(HeartbeatSuspicion, HeavyJitterCausesFalsePositives) {
+  HeartbeatFixture f(32);
+  dht::HeartbeatConfig cfg;
+  cfg.period_ms = 1000.0;
+  cfg.timeout_ms = 2500.0;
+  cfg.suspect_alive = true;
+  // Jitter far beyond the timeout: gaps of up to ~4s between arrivals.
+  f.sim.transport().faults().jitter_ms = 4000.0;
+  dht::HeartbeatProtocol hb(f.sim, f.ring, cfg);
+  std::size_t observed = 0;
+  hb.AddSuspicionObserver([&observed](dht::NodeIndex, dht::NodeIndex,
+                                      sim::Time, bool was_alive) {
+    if (was_alive) ++observed;
+  });
+  hb.Start();
+  f.sim.RunUntil(60000.0);
+  EXPECT_GT(hb.false_suspicions(), 0u);
+  EXPECT_EQ(hb.false_suspicions(), observed);
+  EXPECT_EQ(hb.suspicions(), hb.false_suspicions());  // all-alive ring
+  EXPECT_EQ(hb.failures_detected(), 0u);  // suspicion ≠ eviction
+}
+
+TEST(HeartbeatSuspicion, PartitionedHostGetsSuspected) {
+  HeartbeatFixture f(24);
+  dht::HeartbeatConfig cfg;
+  cfg.period_ms = 1000.0;
+  cfg.timeout_ms = 2500.0;
+  cfg.suspect_alive = true;
+  dht::HeartbeatProtocol hb(f.sim, f.ring, cfg);
+  hb.Start();
+  f.sim.RunUntil(10000.0);
+  ASSERT_EQ(hb.false_suspicions(), 0u);
+  // Cut host 5 off; its neighbours stop hearing from node 5 and suspect
+  // it, even though it is alive behind the partition.
+  f.sim.transport().Partition({5});
+  f.sim.RunUntil(20000.0);
+  EXPECT_GT(hb.false_suspicions(), 0u);
+  const auto hb_stats =
+      f.sim.transport().stats().protocol(sim::Protocol::kHeartbeat);
+  EXPECT_GT(hb_stats.dropped, 0u);
+}
+
+TEST(HeartbeatSuspicion, RecoveredSuspectIsCleared) {
+  HeartbeatFixture f(24);
+  dht::HeartbeatConfig cfg;
+  cfg.period_ms = 1000.0;
+  cfg.timeout_ms = 2500.0;
+  cfg.suspect_alive = true;
+  dht::HeartbeatProtocol hb(f.sim, f.ring, cfg);
+  hb.Start();
+  // Warm up before partitioning: suspicion only covers members a detector
+  // has heard from at least once.
+  f.sim.RunUntil(10000.0);
+  f.sim.transport().Partition({5});
+  f.sim.RunUntil(20000.0);
+  ASSERT_GT(hb.false_suspicions(), 0u);
+  const std::size_t during = hb.false_suspicions();
+  // Heal; deliveries resume and clear the suspicion, so the count stops
+  // growing (each (detector, suspect) pair re-arms only after clearing).
+  f.sim.transport().HealPartitions();
+  f.sim.RunUntil(f.sim.now() + 5000.0);
+  const std::size_t after_heal = hb.false_suspicions();
+  f.sim.RunUntil(f.sim.now() + 30000.0);
+  EXPECT_EQ(hb.false_suspicions(), after_heal);
+  EXPECT_GE(after_heal, during);
+}
+
+// --------------------------------------------- maintenance lookups on bus --
+
+TEST(MaintenanceUnderLoss, DroppedLookupsAreCountedNotFatal) {
+  HeartbeatFixture f(32);
+  f.sim.transport().faults().loss_probability = 0.3;
+  dht::MaintenanceProtocol maint(f.sim, f.ring);
+  maint.Start();
+  f.sim.RunUntil(30000.0);
+  EXPECT_GT(maint.refreshes(), 0u);
+  EXPECT_GT(maint.dropped_lookups(), 0u);
+  EXPECT_LT(maint.dropped_lookups(), maint.refreshes());
+  const auto stats =
+      f.sim.transport().stats().protocol(sim::Protocol::kMaintenance);
+  EXPECT_EQ(stats.sent, maint.refreshes());
+  EXPECT_EQ(stats.dropped, maint.dropped_lookups());
+}
+
+}  // namespace
+}  // namespace p2p

@@ -3,17 +3,23 @@
 //   p2ppool_cli plan  --group 20 --strategy leafset+adj --seed 1
 //   p2ppool_cli multi --sessions 30 --members 20 --sweeps 2
 //   p2ppool_cli somo  --nodes 256 --fanout 8 --interval-ms 5000 --sync
+//   p2ppool_cli somo-loss --loss 0,0.1,0.3 --fail 1 --redundant
+//   p2ppool_cli hb-jitter --jitter 0,500,2000,4000
 //   p2ppool_cli topo  --hosts 1200 --seed 7
 //
 // Every command prints an aligned table; run without arguments for usage.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "alm/bounds.h"
 #include "alm/critical.h"
+#include "dht/heartbeat.h"
 #include "pool/multi_session_sim.h"
 #include "pool/resource_pool.h"
 #include "sim/simulation.h"
+#include "sim/trace.h"
+#include "sim/transport.h"
 #include "somo/somo.h"
 #include "util/csv.h"
 #include "util/flags.h"
@@ -26,11 +32,29 @@ int Usage() {
   std::printf(
       "usage: p2ppool_cli <command> [flags]\n"
       "commands:\n"
-      "  plan   plan one ALM session on a paper-sized pool\n"
-      "  multi  run the market-driven multi-session experiment\n"
-      "  somo   run the SOMO gather protocol and report latency/overhead\n"
-      "  topo   generate a transit-stub topology and print its stats\n");
+      "  plan       plan one ALM session on a paper-sized pool\n"
+      "  multi      run the market-driven multi-session experiment\n"
+      "  somo       run the SOMO gather protocol and report latency/overhead\n"
+      "  somo-loss  sweep bus loss rates: SOMO root staleness vs loss\n"
+      "  hb-jitter  sweep bus jitter: heartbeat false-positive rate\n"
+      "  topo       generate a transit-stub topology and print its stats\n");
   return 2;
+}
+
+// "0,0.05,0.1" → {0.0, 0.05, 0.1}.
+std::vector<double> ParseDoubleList(const std::string& s) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string item =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!item.empty()) out.push_back(std::stod(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) throw util::CheckError("empty list '" + s + "'");
+  return out;
 }
 
 alm::Strategy ParseStrategy(const std::string& s) {
@@ -162,9 +186,19 @@ int CmdSomo(util::FlagParser& flags) {
       flags.GetBool("redundant", false, "parent-sibling detour links");
   const double horizon =
       flags.GetDouble("horizon-ms", 120000.0, "simulated time");
+  const std::string trace_path = flags.GetString(
+      "trace", "", "write a p2ptrace v1 dump of all bus traffic to FILE");
+  const auto trace_cap = static_cast<std::size_t>(flags.GetInt(
+      "trace-cap", 1 << 16, "trace ring capacity (oldest overwritten)"));
 
   sim::Simulation sim(nodes);
   dht::Ring ring(16);
+  sim::TraceSink trace(trace_cap);
+  if (!trace_path.empty()) {
+    trace.set_clock([&sim] { return sim.now(); });
+    sim.transport().set_trace(&trace);
+    ring.set_trace_sink(&trace);  // per-hop records for overlay lookups
+  }
   for (std::size_t i = 0; i < nodes; ++i) ring.JoinHashed(i);
   ring.StabilizeAll();
   somo::SomoConfig cfg;
@@ -204,6 +238,136 @@ int CmdSomo(util::FlagParser& flags) {
               static_cast<long long>(somo.nodes_with_view())});
   }
   std::printf("%s", t.ToText(1).c_str());
+  if (!trace_path.empty()) {
+    // One overlay query at the horizon interleaves routing-hop records
+    // with the protocol traffic the trace already holds.
+    (void)somo.QueryFromNode(0);
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr || !trace.WriteText(f)) {
+      std::printf("error: cannot write trace to %s\n", trace_path.c_str());
+      if (f != nullptr) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+    std::printf("trace: %zu records held (%zu total) -> %s\n", trace.size(),
+                trace.total_records(), trace_path.c_str());
+  }
+  return 0;
+}
+
+// Deterministic fault experiment (§3.2 robustness): sweep the bus loss
+// rate and report how stale the SOMO root view gets. With --fail > 0 that
+// many internal logical-node owners crash a third of the way in, WITHOUT
+// failure detection or tree rebuild — pair with --redundant to watch the
+// parent-sibling detour links hold freshness together.
+int CmdSomoLoss(util::FlagParser& flags) {
+  const auto nodes =
+      static_cast<std::size_t>(flags.GetInt("nodes", 128, "ring size"));
+  const auto fanout =
+      static_cast<std::size_t>(flags.GetInt("fanout", 4, "SOMO fanout k"));
+  const double interval =
+      flags.GetDouble("interval-ms", 500.0, "reporting cycle T");
+  const bool redundant =
+      flags.GetBool("redundant", false, "parent-sibling detour links");
+  const auto fail = static_cast<std::size_t>(flags.GetInt(
+      "fail", 0, "internal owners crashed at horizon/3 (no rebuild)"));
+  const double horizon =
+      flags.GetDouble("horizon-ms", 60000.0, "simulated time per loss level");
+  const auto seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 1, "simulation seed"));
+  const auto losses = ParseDoubleList(flags.GetString(
+      "loss", "0,0.05,0.1,0.2,0.3", "comma-separated loss probabilities"));
+
+  // alive_stale_ms ignores crashed machines' lingering final reports (they
+  // persist in cached aggregates until a rebuild), so it isolates how well
+  // gathering tracks the surviving membership.
+  util::Table t({"loss", "alive_stale_ms", "complete", "somo_drop%",
+                 "redundant_pushes"});
+  for (const double loss : losses) {
+    sim::Simulation sim(seed);
+    dht::Ring ring(16);
+    for (std::size_t i = 0; i < nodes; ++i) ring.JoinHashed(i);
+    ring.StabilizeAll();
+    sim.transport().faults().loss_probability = loss;
+    somo::SomoConfig cfg;
+    cfg.fanout = fanout;
+    cfg.report_interval_ms = interval;
+    cfg.redundant_links = redundant;
+    somo::SomoProtocol somo(sim, ring, cfg, [&](dht::NodeIndex n) {
+      somo::NodeReport r;
+      r.node = n;
+      r.host = ring.node(n).host();
+      r.generated_at = sim.now();
+      return r;
+    });
+    somo.Start();
+    sim.RunUntil(horizon / 3.0);
+    std::size_t failed = 0;
+    const auto& tree = somo.tree();
+    for (somo::LogicalIndex l = 0; l < tree.size() && failed < fail; ++l) {
+      const auto& ln = tree.node(l);
+      if (ln.is_leaf() || ln.is_root()) continue;
+      if (ln.owner == tree.node(tree.root()).owner) continue;
+      if (!ring.node(ln.owner).alive()) continue;
+      ring.Fail(ln.owner);
+      ++failed;
+    }
+    sim.RunUntil(horizon);
+    const auto st = sim.transport().stats().protocol(sim::Protocol::kSomo);
+    const double drop_pct =
+        st.sent == 0 ? 0.0
+                     : 100.0 * static_cast<double>(st.dropped) /
+                           static_cast<double>(st.sent);
+    t.AddRow({loss, somo.RootAliveStalenessMs(),
+              std::string(somo.RootViewComplete() ? "yes" : "no"), drop_pct,
+              static_cast<long long>(somo.redundant_pushes())});
+  }
+  std::printf("%s", t.ToText(3).c_str());
+  return 0;
+}
+
+// Deterministic fault experiment (§3.1/§4): sweep the bus delay jitter and
+// report the heartbeat failure detector's false-positive rate in
+// suspect_alive mode. Nobody actually dies; every suspicion is the
+// detector being starved by jitter (and --loss adds message loss on top).
+int CmdHbJitter(util::FlagParser& flags) {
+  const auto nodes =
+      static_cast<std::size_t>(flags.GetInt("nodes", 64, "ring size"));
+  const double period =
+      flags.GetDouble("period-ms", 1000.0, "heartbeat period");
+  const double timeout =
+      flags.GetDouble("timeout-ms", 2500.0, "suspicion timeout");
+  const double loss =
+      flags.GetDouble("loss", 0.0, "bus loss probability on top of jitter");
+  const double horizon =
+      flags.GetDouble("horizon-ms", 120000.0, "simulated time per level");
+  const auto seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 1, "simulation seed"));
+  const auto jitters = ParseDoubleList(flags.GetString(
+      "jitter", "0,500,1000,2000,4000", "comma-separated jitter bounds (ms)"));
+
+  util::Table t({"jitter_ms", "delivered", "false_pos", "fp/node/min"});
+  for (const double jitter : jitters) {
+    sim::Simulation sim(seed);
+    dht::Ring ring(8);
+    for (std::size_t i = 0; i < nodes; ++i) ring.JoinHashed(i);
+    ring.StabilizeAll();
+    sim.transport().faults().jitter_ms = jitter;
+    sim.transport().faults().loss_probability = loss;
+    dht::HeartbeatConfig cfg;
+    cfg.period_ms = period;
+    cfg.timeout_ms = timeout;
+    cfg.suspect_alive = true;
+    dht::HeartbeatProtocol hb(sim, ring, cfg);
+    hb.Start();
+    sim.RunUntil(horizon);
+    const double node_minutes =
+        static_cast<double>(nodes) * horizon / 60000.0;
+    t.AddRow({jitter, static_cast<long long>(hb.heartbeats_delivered()),
+              static_cast<long long>(hb.false_suspicions()),
+              static_cast<double>(hb.false_suspicions()) / node_minutes});
+  }
+  std::printf("%s", t.ToText(3).c_str());
   return 0;
 }
 
@@ -254,6 +418,10 @@ int main(int argc, char** argv) {
       rc = CmdMulti(flags);
     } else if (cmd == "somo") {
       rc = CmdSomo(flags);
+    } else if (cmd == "somo-loss") {
+      rc = CmdSomoLoss(flags);
+    } else if (cmd == "hb-jitter") {
+      rc = CmdHbJitter(flags);
     } else if (cmd == "topo") {
       rc = CmdTopo(flags);
     } else {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build and run the full test suite twice: once under the default
+# (RelWithDebInfo) preset and once under ASan+UBSan. The sanitizer pass is
+# what catches the lifetime bugs event-driven code is prone to (callbacks
+# outliving protocols, trace sinks outliving simulations), so treat a clean
+# default run as only half a result.
+#
+# Usage: tools/run_tests.sh [preset...]     # default: "default sanitize"
+#   tools/run_tests.sh default              # quick pass only
+#   tools/run_tests.sh sanitize             # sanitizer pass only
+set -euo pipefail
+
+repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
+cd "$repo_root"
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default sanitize)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==== preset: $preset ===="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  ctest --preset "$preset" -j "$(nproc)"
+done
+
+echo "all test presets passed: ${presets[*]}"

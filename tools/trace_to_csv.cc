@@ -1,0 +1,98 @@
+// trace_to_csv — convert a "p2ptrace v1" dump (TraceSink::WriteText, as
+// written by `p2ppool_cli somo --trace FILE`) into CSV for external
+// plotting.
+//
+//   trace_to_csv trace.txt            > trace.csv
+//   trace_to_csv trace.txt out.csv
+//
+// Prints a per-protocol summary (messages, bytes, drops) to stderr, so the
+// CSV on stdout stays clean.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+namespace {
+
+struct ProtoSummary {
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  std::size_t drops = 0;
+};
+
+int Fail(const char* msg) {
+  std::fprintf(stderr, "trace_to_csv: %s\n", msg);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr,
+                 "usage: trace_to_csv <trace.txt> [out.csv]\n"
+                 "converts a p2ptrace v1 dump to CSV (stdout by default)\n");
+    return 2;
+  }
+  std::FILE* in = std::fopen(argv[1], "r");
+  if (in == nullptr) return Fail("cannot open input");
+  std::FILE* out = stdout;
+  if (argc == 3) {
+    out = std::fopen(argv[2], "w");
+    if (out == nullptr) {
+      std::fclose(in);
+      return Fail("cannot open output");
+    }
+  }
+
+  char line[512];
+  if (std::fgets(line, sizeof line, in) == nullptr) {
+    std::fclose(in);
+    return Fail("empty input");
+  }
+  std::size_t held = 0, total = 0;
+  if (std::sscanf(line, "p2ptrace v1 %zu %zu", &held, &total) != 2)
+    return Fail("not a p2ptrace v1 file");
+  if (total > held)
+    std::fprintf(stderr,
+                 "trace_to_csv: warning: trace truncated (%zu of %zu "
+                 "records kept — raise --trace-cap)\n",
+                 held, total);
+
+  std::fprintf(out, "time_ms,src_host,dst_host,protocol,kind,bytes,dropped\n");
+  std::map<std::string, ProtoSummary> summary;
+  std::size_t rows = 0;
+  while (std::fgets(line, sizeof line, in) != nullptr) {
+    double time_ms = 0.0;
+    std::size_t src = 0, dst = 0, bytes = 0;
+    unsigned kind = 0;
+    int dropped = 0;
+    char proto[64];
+    if (std::sscanf(line, "%lf %zu %zu %63s %u %zu %d", &time_ms, &src, &dst,
+                    proto, &kind, &bytes, &dropped) != 7) {
+      std::fclose(in);
+      return Fail("malformed record line");
+    }
+    std::fprintf(out, "%.6f,%zu,%zu,%s,%u,%zu,%d\n", time_ms, src, dst,
+                 proto, kind, bytes, dropped);
+    auto& s = summary[proto];
+    ++s.messages;
+    s.bytes += bytes;
+    s.drops += static_cast<std::size_t>(dropped);
+    ++rows;
+  }
+  std::fclose(in);
+  if (out != stdout) std::fclose(out);
+  if (rows != held)
+    std::fprintf(stderr,
+                 "trace_to_csv: warning: header promised %zu records, "
+                 "found %zu\n",
+                 held, rows);
+
+  std::fprintf(stderr, "%-12s %10s %12s %8s\n", "protocol", "messages",
+               "bytes", "drops");
+  for (const auto& [name, s] : summary)
+    std::fprintf(stderr, "%-12s %10zu %12zu %8zu\n", name.c_str(),
+                 s.messages, s.bytes, s.drops);
+  return 0;
+}
