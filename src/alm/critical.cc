@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/scope_timer.h"
 #include "util/check.h"
 
 namespace p2p::alm {
@@ -32,6 +33,9 @@ bool StrategyUsesEstimates(Strategy s) {
 }
 
 PlanResult PlanSession(const PlanInput& input, Strategy strategy) {
+  obs::ScopeTimer plan_timer(
+      input.metrics != nullptr ? &input.metrics->profile("alm.plan_ms")
+                               : nullptr);
   P2P_CHECK(input.true_latency != nullptr);
   P2P_CHECK_MSG(!StrategyUsesEstimates(strategy) ||
                     input.estimated_latency != nullptr,
@@ -100,6 +104,14 @@ PlanResult PlanSession(const PlanInput& input, Strategy strategy) {
     result.height_true = result.tree.Height(input.true_latency);
   }
   result.height_planning = result.tree.Height(planning_matrix);
+  if (input.metrics != nullptr) {
+    input.metrics->counter("alm.sessions.planned").Inc();
+    if (StrategyUsesAdjust(strategy))
+      input.metrics->counter("alm.sessions.adjusted").Inc();
+    input.metrics->histogram("alm.plan.height_ms").Add(result.height_true);
+    input.metrics->histogram("alm.plan.helpers")
+        .Add(static_cast<double>(result.helpers_used));
+  }
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include "alm/adjust.h"
 #include "alm/amcast.h"
 #include "alm/session.h"
+#include "obs/metrics.h"
 
 namespace p2p::alm {
 
@@ -46,6 +47,10 @@ struct PlanInput {
   LatencyFn estimated_latency;
   AmcastOptions amcast;   // helper_radius / helper_min_degree knobs
   AdjustOptions adjust;
+  // Optional instrumentation: alm.plan.* histograms and counters plus the
+  // wall-clock alm.plan_ms profile. Leave null on parallel planning paths —
+  // the registry is not thread-safe.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct PlanResult {

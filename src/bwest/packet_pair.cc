@@ -34,10 +34,26 @@ std::optional<double> PacketPairProbe::Probe(std::size_t from_host,
     if (!transport_->Send(msg, nullptr, opts)) {
       ++probes_;
       ++dropped_;
+      if (m_probes_ != nullptr) {
+        m_probes_->Inc();
+        m_dropped_->Inc();
+      }
       return std::nullopt;
     }
   }
   return MeasureKbps(from_host, to_host);
+}
+
+void PacketPairProbe::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_probes_ = nullptr;
+    m_dropped_ = nullptr;
+    m_estimate_ = nullptr;
+    return;
+  }
+  m_probes_ = &registry->counter("bwest.probes");
+  m_dropped_ = &registry->counter("bwest.probes_dropped");
+  m_estimate_ = &registry->histogram("bwest.estimate_kbps");
 }
 
 double PacketPairProbe::MeasureKbps(std::size_t from_host,
@@ -49,7 +65,12 @@ double PacketPairProbe::MeasureKbps(std::size_t from_host,
                                   1.0 + options_.dispersion_noise);
   }
   const double bits = options_.packet_bytes * 8.0;
-  return bits / (dispersion_ms / 1000.0) / 1000.0;
+  const double kbps = bits / (dispersion_ms / 1000.0) / 1000.0;
+  if (m_probes_ != nullptr) {
+    m_probes_->Inc();
+    m_estimate_->Add(kbps);
+  }
+  return kbps;
 }
 
 }  // namespace p2p::bwest

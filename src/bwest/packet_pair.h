@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "net/bandwidth_model.h"
+#include "obs/metrics.h"
 #include "sim/transport.h"
 #include "util/rng.h"
 
@@ -53,6 +54,10 @@ class PacketPairProbe {
   std::size_t probes_sent() const { return probes_; }
   std::size_t probes_dropped() const { return dropped_; }
 
+  // Optional instrumentation: bwest.probes / bwest.probes_dropped counters
+  // and the bwest.estimate_kbps histogram of returned estimates.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   const net::BandwidthModel& model_;
   PacketPairOptions options_;
@@ -60,6 +65,9 @@ class PacketPairProbe {
   sim::Transport* transport_ = nullptr;
   std::size_t probes_ = 0;
   std::size_t dropped_ = 0;
+  obs::Counter* m_probes_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::Histogram* m_estimate_ = nullptr;
 };
 
 }  // namespace p2p::bwest

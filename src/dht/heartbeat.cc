@@ -9,6 +9,13 @@ HeartbeatProtocol::HeartbeatProtocol(sim::Simulation& sim, Ring& ring,
     : sim_(sim), ring_(ring), config_(config) {
   P2P_CHECK(config_.period_ms > 0.0);
   P2P_CHECK(config_.timeout_ms > config_.period_ms);
+  auto& reg = sim_.metrics();
+  m_sent_ = &reg.counter("dht.heartbeat.sent");
+  m_delivered_ = &reg.counter("dht.heartbeat.delivered");
+  m_failures_ = &reg.counter("dht.heartbeat.failures_detected");
+  m_suspicions_ = &reg.counter("dht.heartbeat.suspicions");
+  m_false_suspicions_ = &reg.counter("dht.heartbeat.false_suspicions");
+  m_suspicion_clears_ = &reg.counter("dht.heartbeat.suspicion_clears");
 }
 
 void HeartbeatProtocol::Start() {
@@ -53,6 +60,7 @@ void HeartbeatProtocol::Beat(NodeIndex n) {
   const sim::Time now = sim_.now();
   for (const auto& e : ring_.node(n).leafset().Members()) {
     ++sent_;
+    m_sent_->Inc();
     const NodeIndex to = e.node;
     sim::Message msg;
     msg.src_host = ring_.node(n).host();
@@ -75,10 +83,12 @@ void HeartbeatProtocol::Deliver(NodeIndex from, NodeIndex to,
   // this only filters messages racing a failure).
   if (!ring_.node(from).alive() || !ring_.node(to).alive()) return;
   ++delivered_;
+  m_delivered_->Inc();
   last_heard_[to][from] = sim_.now();
   // Hearing from a suspect clears the suspicion (it was a false alarm or
   // the network healed).
-  if (config_.suspect_alive) suspected_[to].erase(from);
+  if (config_.suspect_alive && suspected_[to].erase(from) > 0)
+    m_suspicion_clears_->Inc();
   for (const auto& obs : observers_) obs(from, to, send_time, sim_.now());
 }
 
@@ -97,6 +107,8 @@ void HeartbeatProtocol::CheckTimeouts(NodeIndex n) {
       if (!suspected_[n].insert(m).second) continue;  // already suspected
       ++suspicions_;
       ++false_suspicions_;  // m is alive: by definition a false positive
+      m_suspicions_->Inc();
+      m_false_suspicions_->Inc();
       for (const auto& obs : suspicion_observers_) obs(n, m, now, true);
       continue;
     }
@@ -106,10 +118,12 @@ void HeartbeatProtocol::CheckTimeouts(NodeIndex n) {
     if (now - heard >= config_.timeout_ms) {
       detected_[m] = 1;
       ++failures_detected_;
+      m_failures_->Inc();
       if (config_.suspect_alive) {
         // The unified suspicion stream also sees true positives, so
         // false_suspicions() / suspicions() is a meaningful FP rate.
         ++suspicions_;
+        m_suspicions_->Inc();
         for (const auto& obs : suspicion_observers_) obs(n, m, now, false);
       }
       // First detection triggers ring-wide cleanup, standing in for the

@@ -111,6 +111,14 @@ class HeartbeatProtocol {
   std::vector<Observer> observers_;
   std::vector<FailureObserver> failure_observers_;
   std::vector<SuspicionObserver> suspicion_observers_;
+  // dht.heartbeat.* counters in the simulation's registry, cached at
+  // construction (pointer bumps only on the hot path, no name lookups).
+  obs::Counter* m_sent_;
+  obs::Counter* m_delivered_;
+  obs::Counter* m_failures_;
+  obs::Counter* m_suspicions_;
+  obs::Counter* m_false_suspicions_;
+  obs::Counter* m_suspicion_clears_;
   std::size_t sent_ = 0;
   std::size_t delivered_ = 0;
   std::size_t failures_detected_ = 0;

@@ -9,6 +9,10 @@ MaintenanceProtocol::MaintenanceProtocol(sim::Simulation& sim, Ring& ring,
     : sim_(sim), ring_(ring), config_(config) {
   P2P_CHECK(config_.period_ms > 0.0);
   P2P_CHECK(config_.fingers_per_round > 0);
+  auto& reg = sim_.metrics();
+  m_refreshes_ = &reg.counter("dht.maintenance.refreshes");
+  m_failed_ = &reg.counter("dht.maintenance.failed_lookups");
+  m_dropped_ = &reg.counter("dht.maintenance.dropped_lookups");
 }
 
 void MaintenanceProtocol::Start() {
@@ -49,9 +53,11 @@ void MaintenanceProtocol::RefreshRound(NodeIndex n) {
     const RouteResult r = ring_.Route(n, key);
     if (!r.success) {
       ++failed_lookups_;
+      m_failed_->Inc();
       continue;
     }
     ++refreshes_;
+    m_refreshes_->Inc();
     // The lookup's repair traffic rides the bus: the response arrives
     // after the route's accumulated latency, and fault injection can eat
     // it (the entry then stays stale until a later round).
@@ -76,7 +82,10 @@ void MaintenanceProtocol::RefreshRound(NodeIndex n) {
           node.prefix().Offer(ring_.node(dest).id(), dest);
         },
         opts);
-    if (!admitted) ++dropped_lookups_;
+    if (!admitted) {
+      ++dropped_lookups_;
+      m_dropped_->Inc();
+    }
   }
 }
 

@@ -45,6 +45,10 @@ class MaintenanceProtocol {
   MaintenanceConfig config_;
   bool running_ = false;
   std::vector<sim::Simulation::PeriodicToken> tokens_;
+  // dht.maintenance.* counters, cached from the simulation's registry.
+  obs::Counter* m_refreshes_;
+  obs::Counter* m_failed_;
+  obs::Counter* m_dropped_;
   std::size_t refreshes_ = 0;
   std::size_t failed_lookups_ = 0;
   std::size_t dropped_lookups_ = 0;

@@ -123,6 +123,7 @@ void Ring::DetectFailure(NodeIndex n) {
       // Lost a leafset member: refill from converged membership (stands in
       // for the leafset-merge repair exchange of the real protocol).
       FillLeafsetFromSorted(i);
+      if (leafset_repairs_ != nullptr) leafset_repairs_->Inc();
     }
   }
 }
@@ -152,6 +153,10 @@ RouteResult Ring::Route(NodeIndex from, NodeId key) const {
     if (cur == target) {
       res.destination = cur;
       res.success = true;
+      if (route_hops_ != nullptr) {
+        route_hops_->Add(static_cast<double>(res.hops));
+        if (oracle_ != nullptr) route_latency_->Add(res.latency_ms);
+      }
       return res;
     }
     const Node& x = nodes_[cur];
@@ -230,6 +235,19 @@ RouteResult Ring::Route(NodeIndex from, NodeId key) const {
   res.destination = cur;
   res.success = false;
   return res;
+}
+
+void Ring::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    route_hops_ = nullptr;
+    route_latency_ = nullptr;
+    leafset_repairs_ = nullptr;
+    return;
+  }
+  route_hops_ = &registry->histogram("dht.route.hops");
+  route_latency_ = &registry->histogram("dht.route.latency_ms");
+  leafset_repairs_ = &registry->counter("dht.leafset.repairs");
 }
 
 void Ring::StabilizeAll() {

@@ -13,6 +13,7 @@
 
 #include "dht/node.h"
 #include "net/latency_oracle.h"
+#include "obs/metrics.h"
 #include "sim/trace.h"
 
 namespace p2p::dht {
@@ -110,6 +111,12 @@ class Ring {
   void set_trace_sink(sim::TraceSink* sink) { trace_ = sink; }
   sim::TraceSink* trace_sink() const { return trace_; }
 
+  // Optional instrumentation: dht.route.hops / dht.route.latency_ms
+  // histograms per Route() call (latency only with an oracle) and the
+  // dht.leafset.repairs counter (leafset refills in DetectFailure).
+  void set_metrics(obs::MetricsRegistry* registry);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   // Alive node indices sorted by id (ascending).
   std::vector<NodeIndex> SortedAlive() const;
 
@@ -128,6 +135,10 @@ class Ring {
   std::size_t per_side_;
   const net::LatencyOracle* oracle_;
   sim::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Histogram* route_hops_ = nullptr;
+  obs::Histogram* route_latency_ = nullptr;
+  obs::Counter* leafset_repairs_ = nullptr;
   RoutingGeometry geometry_;
   std::vector<Node> nodes_;
   std::size_t alive_count_ = 0;

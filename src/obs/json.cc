@@ -1,0 +1,137 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace p2p::obs {
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!items_.empty() && items_.back() > 0) out_ += ',';
+  if (!items_.empty()) ++items_.back();
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  items_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  P2P_CHECK(!items_.empty());
+  items_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  items_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  P2P_CHECK(!items_.empty());
+  items_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  P2P_CHECK_MSG(!items_.empty(), "Key outside an object");
+  if (items_.back() > 0) out_ += ',';
+  ++items_.back();
+  out_ += Escape(k);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  BeforeValue();
+  out_ += Escape(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double v) {
+  BeforeValue();
+  out_ += FormatNumber(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(std::int64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(std::uint64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_ += json;
+  return *this;
+}
+
+std::string JsonWriter::FormatNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integral values within the exact-double range print as integers, so
+  // counters look like counts, not floats.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace p2p::obs

@@ -1,0 +1,54 @@
+// Minimal streaming JSON writer for the observability layer: metric
+// snapshots, run reports, and timeseries exports. Deliberately tiny — no
+// DOM, no parsing — and deterministic: the same sequence of calls always
+// yields the same bytes, which is what lets same-seed runs produce
+// byte-identical snapshots (a test-enforced property).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2p::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Object key; must be followed by exactly one value (or container).
+  JsonWriter& Key(std::string_view k);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Number(double v);
+  JsonWriter& Int(std::int64_t v);
+  JsonWriter& Uint(std::uint64_t v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+  // Splice an already-serialized JSON value (e.g. a registry snapshot).
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+  // Shortest stable rendering: integral doubles print without a fraction,
+  // everything else as %.17g (round-trip exact). Non-finite values become
+  // null — JSON has no spelling for them.
+  static std::string FormatNumber(double v);
+  static std::string Escape(std::string_view s);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One frame per open container: count of values emitted at that level.
+  std::vector<std::size_t> items_;
+  bool after_key_ = false;
+};
+
+}  // namespace p2p::obs

@@ -1,0 +1,125 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace p2p::obs {
+
+void Histogram::Add(double v) {
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  if (!(v > 0.0)) {
+    ++nonpositive_;
+    return;
+  }
+  ++buckets_[BucketOf(v)];
+}
+
+int Histogram::BucketOf(double v) {
+  int e = 0;
+  const double m = std::frexp(v, &e);  // m in [0.5, 1): exact
+  int sub = static_cast<int>((m - 0.5) * 2.0 * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  if (sub < 0) sub = 0;
+  return e * kSubBuckets + sub;
+}
+
+double Histogram::BucketUpper(int b) {
+  // Floor division so negative exponents (values < 0.5) bucket correctly.
+  int e = b / kSubBuckets;
+  int sub = b - e * kSubBuckets;
+  if (sub < 0) {
+    sub += kSubBuckets;
+    --e;
+  }
+  return std::ldexp(0.5 + static_cast<double>(sub + 1) /
+                              (2.0 * kSubBuckets),
+                    e);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t cum = nonpositive_;
+  // All non-positive samples sit below every log bucket; their
+  // representative is the exact minimum.
+  if (cum >= target) return min_;
+  for (const auto& [b, n] : buckets_) {
+    cum += n;
+    if (cum >= target) {
+      const double upper = BucketUpper(b);
+      if (upper < min_) return min_;
+      if (upper > max_) return max_;
+      return upper;
+    }
+  }
+  return max_;
+}
+
+double MetricsRegistry::Value(const std::string& name) const {
+  const auto c = counters_.find(name);
+  if (c != counters_.end()) return c->second.value();
+  const auto g = gauges_.find(name);
+  if (g != gauges_.end()) return g->second.value();
+  return 0.0;
+}
+
+namespace {
+
+void WriteHistogram(JsonWriter& w, const Histogram& h) {
+  w.BeginObject();
+  w.Key("count").Uint(h.count());
+  if (!h.empty()) {
+    w.Key("min").Number(h.min());
+    w.Key("max").Number(h.max());
+    w.Key("mean").Number(h.mean());
+    w.Key("sum").Number(h.sum());
+    w.Key("p50").Number(h.Percentile(50));
+    w.Key("p90").Number(h.Percentile(90));
+    w.Key("p99").Number(h.Percentile(99));
+  }
+  w.EndObject();
+}
+
+void WriteHistogramSection(JsonWriter& w, const char* key,
+                           const std::map<std::string, Histogram>& hs) {
+  w.Key(key).BeginObject();
+  for (const auto& [name, h] : hs) {
+    w.Key(name);
+    WriteHistogram(w, h);
+  }
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::SnapshotJson(bool include_profile) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("p2pmetrics/v1");
+  w.Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) w.Key(name).Number(c.value());
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) w.Key(name).Number(g.value());
+  w.EndObject();
+  WriteHistogramSection(w, "histograms", histograms_);
+  if (include_profile) WriteHistogramSection(w, "profile", profile_);
+  w.EndObject();
+  return w.Take();
+}
+
+void MetricsRegistry::Reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  profile_.clear();
+}
+
+}  // namespace p2p::obs

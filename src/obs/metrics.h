@@ -1,0 +1,123 @@
+// Simulator-wide metrics registry (paper §3.2 framing: the overlay IS the
+// monitoring infrastructure — this is the local half every host folds into
+// its SOMO report, and the ground truth the in-band view is compared to).
+//
+// Three metric kinds, all cheap enough for hot paths once the call site has
+// cached a handle (one pointer indirection + a double add):
+//   * Counter   — monotonically increasing count (messages, repairs).
+//   * Gauge     — last-written value (root staleness, queue depth).
+//   * Histogram — log-bucketed distribution with p50/p90/p99 estimates
+//                 (route hops, gather latency). Buckets are derived from
+//                 the exact frexp mantissa, so bucketing is bit-stable
+//                 across runs: same samples, same snapshot bytes.
+//
+// The registry keeps two sections: `metrics` (driven by virtual time and
+// the seeded RNG — deterministic, snapshot-comparable across same-seed
+// runs) and `profile` (wall-clock ScopeTimer data — excluded from the
+// deterministic snapshot by default). Names are free-form dotted paths;
+// docs/OBSERVABILITY.md catalogues the convention.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace p2p::obs {
+
+class Counter {
+ public:
+  void Inc(double d = 1.0) { v_ += d; }
+  void Set(double v) { v_ = v; }
+  double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { v_ = v; }
+  void Add(double d) { v_ += d; }
+  double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+// Sparse log-bucketed histogram: kSubBuckets buckets per power of two,
+// giving a worst-case quantile error of one bucket width (~9% relative).
+// min/max/sum/count are exact.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 8;
+
+  void Add(double v);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  // Bucket-upper-bound estimate of the p-th percentile (p in [0, 100]),
+  // clamped to the exact [min, max] range; 0 when empty.
+  double Percentile(double p) const;
+
+ private:
+  static int BucketOf(double v);
+  static double BucketUpper(int b);
+
+  std::map<int, std::uint64_t> buckets_;  // ordered: percentile walk
+  std::uint64_t nonpositive_ = 0;         // samples <= 0 (kept out of log buckets)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. References stay valid for the registry's lifetime
+  // (node-based storage) — cache them at call sites on hot paths.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  // Wall-clock section (ScopeTimer targets): reported separately and
+  // excluded from the deterministic snapshot by default.
+  Histogram& profile(const std::string& name) { return profile_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, Histogram>& profiles() const { return profile_; }
+
+  // Value of a named counter or gauge (counters shadow gauges), 0.0 when
+  // absent — convenient for timeseries probes.
+  double Value(const std::string& name) const;
+
+  // Deterministic JSON snapshot ("p2pmetrics/v1"): sections sorted, names
+  // sorted, numbers rendered by JsonWriter::FormatNumber. Two same-seed
+  // runs produce byte-identical output (test-enforced); include_profile
+  // adds the wall-clock section and forfeits that guarantee.
+  std::string SnapshotJson(bool include_profile = false) const;
+
+  void Reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Histogram> profile_;
+};
+
+}  // namespace p2p::obs

@@ -1,0 +1,79 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace p2p::obs {
+
+void RunReport::AddConfig(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, value);
+}
+
+void RunReport::AddConfig(const std::string& key, const char* value) {
+  config_.emplace_back(key, std::string(value));
+}
+
+void RunReport::AddConfig(const std::string& key, double value) {
+  config_.emplace_back(key, JsonWriter::FormatNumber(value));
+}
+
+void RunReport::AddConfig(const std::string& key, std::int64_t value) {
+  config_.emplace_back(key, std::to_string(value));
+}
+
+void RunReport::AddConfig(const std::string& key, bool value) {
+  config_.emplace_back(key, value ? "true" : "false");
+}
+
+void RunReport::AddResult(const std::string& key, double value) {
+  results_.emplace_back(key, value);
+}
+
+void RunReport::AddTimeseries(const std::string& name, const std::string& path,
+                              std::size_t rows, std::size_t total_rows) {
+  timeseries_.push_back(TimeseriesRef{name, path, rows, total_rows});
+}
+
+std::string RunReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(kRunReportSchema);
+  w.Key("experiment").String(experiment_);
+  w.Key("seed").Uint(seed_);
+  w.Key("config").BeginObject();
+  for (const auto& [k, v] : config_) w.Key(k).String(v);
+  w.EndObject();
+  w.Key("results").BeginObject();
+  for (const auto& [k, v] : results_) w.Key(k).Number(v);
+  w.EndObject();
+  w.Key("metrics");
+  if (metrics_ != nullptr) {
+    w.Raw(metrics_->SnapshotJson(include_profile_));
+  } else {
+    w.Null();
+  }
+  w.Key("timeseries").BeginArray();
+  for (const auto& ts : timeseries_) {
+    w.BeginObject();
+    w.Key("name").String(ts.name);
+    w.Key("path").String(ts.path);
+    w.Key("rows").Uint(ts.rows);
+    w.Key("total_rows").Uint(ts.total_rows);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+bool RunReport::Write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace p2p::obs

@@ -1,0 +1,36 @@
+// Wall-clock scope profiling: measures real elapsed milliseconds of a
+// lexical scope and folds them into a registry *profile* histogram (the
+// wall-clock section, excluded from deterministic snapshots — real time is
+// never reproducible across runs). Used on the planner and event-loop hot
+// paths; cost is two steady_clock reads per scope, so wrap batches, not
+// per-item inner loops.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace p2p::obs {
+
+class ScopeTimer {
+ public:
+  // Null histogram = disabled (zero-cost beyond the branch).
+  explicit ScopeTimer(Histogram* h)
+      : h_(h), start_(h == nullptr ? Clock::time_point{} : Clock::now()) {}
+
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+  ~ScopeTimer() {
+    if (h_ == nullptr) return;
+    const auto dt = Clock::now() - start_;
+    h_->Add(std::chrono::duration<double, std::milli>(dt).count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* h_;
+  Clock::time_point start_;
+};
+
+}  // namespace p2p::obs

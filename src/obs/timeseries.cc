@@ -1,0 +1,64 @@
+#include "obs/timeseries.h"
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace p2p::obs {
+
+TimeseriesSampler::TimeseriesSampler(std::size_t capacity)
+    : capacity_(capacity) {
+  P2P_CHECK(capacity_ > 0);
+}
+
+std::size_t TimeseriesSampler::AddProbe(std::string name, Probe probe) {
+  P2P_CHECK_MSG(total_ == 0, "probes must be registered before sampling");
+  P2P_CHECK(probe != nullptr);
+  names_.push_back(std::move(name));
+  probes_.push_back(std::move(probe));
+  return names_.size() - 1;
+}
+
+void TimeseriesSampler::Sample(double time_ms) {
+  Row row;
+  row.time_ms = time_ms;
+  row.values.reserve(probes_.size());
+  for (const Probe& p : probes_) row.values.push_back(p());
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(row));
+  } else {
+    ring_[total_ % capacity_] = std::move(row);
+  }
+  ++total_;
+}
+
+std::vector<TimeseriesSampler::Row> TimeseriesSampler::Snapshot() const {
+  std::vector<Row> out;
+  out.reserve(ring_.size());
+  const std::size_t start = total_ > capacity_ ? total_ % capacity_ : 0;
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+bool TimeseriesSampler::WriteCsv(std::FILE* f) const {
+  if (f == nullptr) return false;
+  std::fputs("time_ms", f);
+  for (const std::string& n : names_) std::fprintf(f, ",%s", n.c_str());
+  std::fputc('\n', f);
+  for (const Row& row : Snapshot()) {
+    std::fputs(JsonWriter::FormatNumber(row.time_ms).c_str(), f);
+    for (const double v : row.values)
+      std::fprintf(f, ",%s", JsonWriter::FormatNumber(v).c_str());
+    std::fputc('\n', f);
+  }
+  return std::ferror(f) == 0;
+}
+
+bool TimeseriesSampler::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = WriteCsv(f);
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace p2p::obs

@@ -1,0 +1,62 @@
+// Virtual-time timeseries sampling: experiments register named probes
+// (closures reading a metric, a gauge, a protocol accessor) and call
+// Sample(sim.now()) on a simulated-clock cadence — typically from a
+// Simulation::Every timer. Rows land in a bounded ring (oldest overwritten,
+// total kept, mirroring TraceSink) and export to CSV/JSON, so runs produce
+// staleness-over-time and load-over-time curves instead of end-state
+// numbers only.
+//
+// The sampler has no clock and no scheduler of its own: the caller supplies
+// virtual time, which keeps this layer deterministic and reusable outside a
+// Simulation (offline experiments sample per sweep instead of per tick).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace p2p::obs {
+
+class TimeseriesSampler {
+ public:
+  using Probe = std::function<double()>;
+
+  explicit TimeseriesSampler(std::size_t capacity = 4096);
+
+  // Register a column before the first Sample(); name becomes the CSV
+  // header. Returns the column index.
+  std::size_t AddProbe(std::string name, Probe probe);
+
+  // Evaluate every probe at virtual time `time_ms` and append one row.
+  void Sample(double time_ms);
+
+  std::size_t probe_count() const { return names_.size(); }
+  const std::vector<std::string>& probe_names() const { return names_; }
+  std::size_t capacity() const { return capacity_; }
+  // Rows currently held (<= capacity).
+  std::size_t rows() const { return ring_.size(); }
+  // Rows ever sampled; > rows() means the oldest were overwritten.
+  std::size_t total_rows() const { return total_; }
+
+  struct Row {
+    double time_ms = 0.0;
+    std::vector<double> values;
+  };
+  // Held rows, oldest first.
+  std::vector<Row> Snapshot() const;
+
+  // CSV: "time_ms,<probe>..." header then one row per sample, numbers
+  // rendered by JsonWriter::FormatNumber (deterministic bytes).
+  bool WriteCsv(std::FILE* f) const;
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::string> names_;
+  std::vector<Probe> probes_;
+  std::vector<Row> ring_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace p2p::obs

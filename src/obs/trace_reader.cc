@@ -1,0 +1,75 @@
+#include "obs/trace_reader.h"
+
+#include <cstring>
+
+namespace p2p::obs {
+
+bool ParseProtocol(const std::string& name, sim::Protocol* out) {
+  for (std::size_t i = 0; i < sim::kProtocolCount; ++i) {
+    const auto p = static_cast<sim::Protocol>(i);
+    if (name == sim::ProtocolName(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+bool Fail(std::string* error, const char* msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+bool ReadTrace(std::FILE* f, TraceFile* out, std::string* error) {
+  if (f == nullptr) return Fail(error, "null input stream");
+  *out = TraceFile{};
+  char line[512];
+  if (std::fgets(line, sizeof line, f) == nullptr)
+    return Fail(error, "empty input");
+  if (std::sscanf(line, "p2ptrace v%d %zu %zu", &out->version, &out->held,
+                  &out->total) != 3 ||
+      (out->version != 1 && out->version != 2)) {
+    return Fail(error, "not a p2ptrace v1/v2 file");
+  }
+  out->records.reserve(out->held);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    sim::TraceRecord r;
+    char proto[64];
+    unsigned kind = 0;
+    int dropped = 0;
+    unsigned cause = 0;
+    const int fields =
+        std::sscanf(line, "%lf %zu %zu %63s %u %zu %d %u", &r.time_ms,
+                    &r.src_host, &r.dst_host, proto, &kind, &r.bytes,
+                    &dropped, &cause);
+    const int expected = out->version >= 2 ? 8 : 7;
+    if (fields != expected) return Fail(error, "malformed record line");
+    if (!ParseProtocol(proto, &r.protocol))
+      return Fail(error, "unknown protocol name");
+    if (cause > static_cast<unsigned>(sim::DropCause::kPartition))
+      return Fail(error, "unknown drop cause");
+    r.kind = static_cast<std::uint16_t>(kind);
+    r.dropped = dropped != 0;
+    r.cause = static_cast<sim::DropCause>(cause);
+    out->records.push_back(r);
+  }
+  if (std::ferror(f) != 0) return Fail(error, "read error");
+  if (out->records.size() != out->held)
+    return Fail(error, "record count does not match header");
+  return true;
+}
+
+bool ReadTraceFile(const std::string& path, TraceFile* out,
+                   std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Fail(error, "cannot open input");
+  const bool ok = ReadTrace(f, out, error);
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace p2p::obs

@@ -1,0 +1,38 @@
+// Shared parser for "p2ptrace" dumps (TraceSink::WriteText): one
+// implementation serving the CLI, the tests, and tools/trace_to_csv
+// instead of three private copies of the v1 format. Reads both versions:
+//   v1: time src dst protocol kind bytes dropped
+//   v2: ... + drop-cause column (sim::DropCause as a digit)
+// Only header types from sim/trace.h are used, so this stays a leaf
+// library (p2p_obs) with no link dependency on p2p_sim.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace p2p::obs {
+
+struct TraceFile {
+  int version = 0;          // 1 or 2
+  std::size_t held = 0;     // records the header promised
+  std::size_t total = 0;    // records ever appended to the sink
+  std::vector<sim::TraceRecord> records;
+
+  // The sink's ring overwrote the oldest records before the dump.
+  bool truncated() const { return total > held; }
+};
+
+// Reverse of sim::ProtocolName. Returns false for unknown names.
+bool ParseProtocol(const std::string& name, sim::Protocol* out);
+
+// Parse a full dump. On failure returns false and, when `error` is
+// non-null, stores a one-line reason. A record-count mismatch versus the
+// header is an error; use TraceFile::truncated() for ring overwrites.
+bool ReadTrace(std::FILE* f, TraceFile* out, std::string* error = nullptr);
+bool ReadTraceFile(const std::string& path, TraceFile* out,
+                   std::string* error = nullptr);
+
+}  // namespace p2p::obs

@@ -68,10 +68,16 @@ LiveExperimentResult RunStalenessExperiment(
         TaskManager& tm = *managers[si];
         const auto* view =
             somo.RootReport().empty() ? nullptr : &somo.RootReport();
-        if (view != nullptr) staleness.Add(somo.RootStalenessMs());
+        if (view != nullptr) {
+          staleness.Add(somo.RootStalenessMs());
+          sim.metrics()
+              .histogram("pool.schedule.view_staleness_ms")
+              .Add(somo.RootStalenessMs());
+        }
         ScheduleOutcome out = tm.Schedule(view);
         if (out.stale_conflict) {
           ++result.stale_conflicts;
+          sim.metrics().counter("pool.stale_conflicts").Inc();
           out = tm.Schedule();  // live fallback
         }
         for (const alm::SessionId victim : out.preempted) {

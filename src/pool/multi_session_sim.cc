@@ -1,9 +1,11 @@
 #include "pool/multi_session_sim.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "alm/bounds.h"
+#include "obs/scope_timer.h"
 #include "util/check.h"
 
 namespace p2p::pool {
@@ -83,10 +85,17 @@ MultiSessionResult RunMultiSessionExperiment(
       bounds[s].ub_improvement = alm::Improvement(base_height, ub_height);
     }
   };
-  if (params.workers != nullptr && specs.size() > 1) {
-    params.workers->ParallelFor(specs.size(), compute_bounds);
-  } else {
-    for (std::size_t s = 0; s < specs.size(); ++s) compute_bounds(s);
+  {
+    // Wall-clock profile of the bounds fan-out, measured from this (single)
+    // calling thread — safe regardless of params.workers.
+    obs::ScopeTimer timer(params.metrics != nullptr
+                              ? &params.metrics->profile("pool.bounds_ms")
+                              : nullptr);
+    if (params.workers != nullptr && specs.size() > 1) {
+      params.workers->ParallelFor(specs.size(), compute_bounds);
+    } else {
+      for (std::size_t s = 0; s < specs.size(); ++s) compute_bounds(s);
+    }
   }
   for (const BoundsRow& row : bounds) {
     result.lower_bound_improvement.Add(row.lb_improvement);
@@ -98,13 +107,16 @@ MultiSessionResult RunMultiSessionExperiment(
   // rescheduling sweeps let the market settle.
   MarketScheduler market(pool, params.options);
   {
+    obs::ScopeTimer timer(params.metrics != nullptr
+                              ? &params.metrics->profile("pool.market_ms")
+                              : nullptr);
     std::vector<std::size_t> arrival(specs.size());
     std::iota(arrival.begin(), arrival.end(), 0);
     rng.Shuffle(arrival);
     for (const std::size_t i : arrival) market.AddSession(specs[i]);
+    for (std::size_t sweep = 0; sweep < params.rescheduling_sweeps; ++sweep)
+      market.ReschedulingSweep(rng);
   }
-  for (std::size_t sweep = 0; sweep < params.rescheduling_sweeps; ++sweep)
-    market.ReschedulingSweep(rng);
 
   // Measure the settled state.
   for (const auto& spec : specs) {
@@ -114,12 +126,28 @@ MultiSessionResult RunMultiSessionExperiment(
     cls.improvement.Add(tm.CurrentImprovement());
     cls.helpers_used.Add(static_cast<double>(tm.current_helpers()));
     ++cls.sessions;
+    if (params.metrics != nullptr) {
+      params.metrics->counter("pool.sessions.planned").Inc();
+      params.metrics->counter("pool.helpers.recruited")
+          .Inc(static_cast<double>(tm.current_helpers()));
+      params.metrics->histogram("pool.session.height_ms")
+          .Add(tm.current_height());
+      params.metrics->histogram("pool.session.improvement")
+          .Add(tm.CurrentImprovement());
+    }
   }
   result.reschedules = market.total_reschedules();
   result.preemptions = market.total_preemptions();
   result.pool_utilisation =
       static_cast<double>(pool.registry().TotalUsed()) /
       static_cast<double>(pool.registry().TotalCapacity());
+  if (params.metrics != nullptr) {
+    params.metrics->counter("pool.reschedules")
+        .Inc(static_cast<double>(result.reschedules));
+    params.metrics->counter("pool.preemptions")
+        .Inc(static_cast<double>(result.preemptions));
+    params.metrics->gauge("pool.utilisation").Set(result.pool_utilisation);
+  }
 
   // Drain the registry so the pool can host another experiment.
   for (const alm::SessionId id : market.session_ids())

@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "pool/market.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -34,6 +35,11 @@ struct MultiSessionParams {
   // (e.g. fig10 runs whole experiments on a pool) — nesting would
   // oversubscribe.
   util::ThreadPool* workers = nullptr;
+  // Optional registry for pool.* metrics (session height/improvement
+  // histograms, reschedule/preemption counters, utilisation gauge) and the
+  // bounds/market phase wall-clock profiles. Metric folds happen only in
+  // the sequential phases, so attaching a registry is safe with `workers`.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct PriorityClassStats {

@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/scope_timer.h"
+
 namespace p2p::sim {
 
 EventId Simulation::At(Time t, EventQueue::Callback cb) {
@@ -51,6 +53,7 @@ bool Simulation::Step() {
 }
 
 std::size_t Simulation::RunUntil(Time t_end) {
+  obs::ScopeTimer timer(run_profile_);
   std::size_t n = 0;
   while (!queue_.empty() && queue_.PeekTime() <= t_end) {
     Step();
@@ -63,6 +66,7 @@ std::size_t Simulation::RunUntil(Time t_end) {
 }
 
 std::size_t Simulation::Run(std::size_t max_events) {
+  obs::ScopeTimer timer(run_profile_);
   std::size_t n = 0;
   while (n < max_events && Step()) ++n;
   return n;

@@ -10,6 +10,7 @@
 #include <limits>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "sim/transport.h"
 #include "util/rng.h"
@@ -18,7 +19,9 @@ namespace p2p::sim {
 
 class Simulation {
  public:
-  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {
+    run_profile_ = &metrics_.profile("event_loop.run_ms");
+  }
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -29,6 +32,16 @@ class Simulation {
   // The message bus all inter-host protocol traffic goes through.
   Transport& transport() { return transport_; }
   const Transport& transport() const { return transport_; }
+
+  // Per-run metrics registry. Protocol layers instrument through it
+  // unconditionally (counter bumps, no RNG — seeded runs stay
+  // bit-identical); the transport's hot-path counters are opt-in via
+  // EnableMetrics so the bus benchmark can price them.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Wire the transport's per-protocol counters into metrics().
+  void EnableMetrics() { transport_.set_metrics(&metrics_); }
 
   // Schedule at absolute virtual time (>= now).
   EventId At(Time t, EventQueue::Callback cb);
@@ -69,6 +82,9 @@ class Simulation {
   Time now_ = 0.0;
   std::size_t fired_ = 0;
   util::Rng rng_;
+  obs::MetricsRegistry metrics_;
+  // Wall-clock cost of each RunUntil/Run batch (profile section).
+  obs::Histogram* run_profile_ = nullptr;
   Transport transport_{*this};
 };
 

@@ -44,6 +44,25 @@ inline const char* ProtocolName(Protocol p) {
   return "unknown";
 }
 
+// Why fault injection killed a message at send time. Loss (global or
+// per-link Bernoulli) and partitions are different failures — one is the
+// network being lossy, the other being split — so stats and traces keep
+// them distinguishable.
+enum class DropCause : std::uint8_t {
+  kNone = 0,
+  kLoss = 1,
+  kPartition = 2,
+};
+
+inline const char* DropCauseName(DropCause c) {
+  switch (c) {
+    case DropCause::kNone: return "none";
+    case DropCause::kLoss: return "loss";
+    case DropCause::kPartition: return "partition";
+  }
+  return "unknown";
+}
+
 struct TraceRecord {
   double time_ms = -1.0;  // -1 when the recorder has no clock
   std::size_t src_host = 0;
@@ -54,6 +73,9 @@ struct TraceRecord {
   std::uint16_t kind = 0;
   std::size_t bytes = 0;  // modelled wire size
   bool dropped = false;   // dropped by fault injection at send time
+  // Why it was dropped (kNone while dropped == false; v1 traces parsed by
+  // obs::ReadTrace report kNone for drops whose cause was not recorded).
+  DropCause cause = DropCause::kNone;
 };
 
 class TraceSink {
@@ -92,18 +114,19 @@ class TraceSink {
     return out;
   }
 
-  // Plain-text dump, one record per line (tools/trace_to_csv converts to
-  // CSV):
-  //   p2ptrace v1 <held> <total>
-  //   <time_ms> <src_host> <dst_host> <protocol> <kind> <bytes> <dropped>
+  // Plain-text dump, one record per line (obs::ReadTrace parses it back;
+  // tools/trace_to_csv converts to CSV):
+  //   p2ptrace v2 <held> <total>
+  //   <time_ms> <src_host> <dst_host> <protocol> <kind> <bytes> <dropped> <cause>
+  // v1 (no trailing <cause> column) is still read by obs::ReadTrace.
   bool WriteText(std::FILE* f) const {
     if (f == nullptr) return false;
-    std::fprintf(f, "p2ptrace v1 %zu %zu\n", size(), total_records());
+    std::fprintf(f, "p2ptrace v2 %zu %zu\n", size(), total_records());
     for (const TraceRecord& r : Snapshot()) {
-      std::fprintf(f, "%.6f %zu %zu %s %u %zu %d\n", r.time_ms, r.src_host,
+      std::fprintf(f, "%.6f %zu %zu %s %u %zu %d %u\n", r.time_ms, r.src_host,
                    r.dst_host, ProtocolName(r.protocol),
-                   static_cast<unsigned>(r.kind), r.bytes,
-                   r.dropped ? 1 : 0);
+                   static_cast<unsigned>(r.kind), r.bytes, r.dropped ? 1 : 0,
+                   static_cast<unsigned>(r.cause));
     }
     return std::ferror(f) == 0;
   }

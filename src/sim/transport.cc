@@ -1,5 +1,6 @@
 #include "sim/transport.h"
 
+#include <string>
 #include <utility>
 
 #include "sim/simulation.h"
@@ -48,21 +49,78 @@ double Transport::LossFor(std::size_t src, std::size_t dst) const {
   return faults_.loss_probability;
 }
 
+void Transport::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    handles_ = {};
+    inflight_msgs_gauge_ = nullptr;
+    inflight_bytes_gauge_ = nullptr;
+    return;
+  }
+  for (std::size_t i = 0; i < kProtocolCount; ++i) {
+    const std::string prefix =
+        std::string("transport.") + ProtocolName(static_cast<Protocol>(i));
+    handles_[i].sent = &registry->counter(prefix + ".sent");
+    handles_[i].delivered = &registry->counter(prefix + ".delivered");
+    handles_[i].dropped_loss = &registry->counter(prefix + ".dropped.loss");
+    handles_[i].dropped_partition =
+        &registry->counter(prefix + ".dropped.partition");
+    handles_[i].bytes = &registry->counter(prefix + ".bytes");
+  }
+  inflight_msgs_gauge_ = &registry->gauge("transport.inflight.messages");
+  inflight_bytes_gauge_ = &registry->gauge("transport.inflight.bytes");
+}
+
+void Transport::EnablePerHostStats(std::size_t host_count) {
+  if (host_stats_.size() < host_count) host_stats_.resize(host_count);
+}
+
+void Transport::FinishDelivery(Protocol protocol, std::size_t src,
+                               std::size_t bytes, bool was_scheduled) {
+  const auto pi = static_cast<std::size_t>(protocol);
+  ++stats_.by_protocol[pi].delivered;
+  if (src < host_stats_.size()) ++host_stats_[src].delivered;
+  if (was_scheduled) {
+    --inflight_msgs_;
+    inflight_bytes_ -= bytes;
+  }
+  if (metrics_ != nullptr) {
+    handles_[pi].delivered->Inc();
+    inflight_msgs_gauge_->Set(static_cast<double>(inflight_msgs_));
+    inflight_bytes_gauge_->Set(static_cast<double>(inflight_bytes_));
+  }
+}
+
 bool Transport::Send(const Message& msg, DeliverFn deliver,
                      SendOptions opts) {
-  auto& ps = stats_.by_protocol[static_cast<std::size_t>(msg.protocol)];
+  const auto pi = static_cast<std::size_t>(msg.protocol);
+  auto& ps = stats_.by_protocol[pi];
   ++ps.sent;
   ps.bytes += msg.bytes;
+  HostStats* hs = msg.src_host < host_stats_.size()
+                      ? &host_stats_[msg.src_host]
+                      : nullptr;
+  if (hs != nullptr) {
+    ++hs->sent;
+    hs->bytes += msg.bytes;
+  }
+  if (metrics_ != nullptr) {
+    handles_[pi].sent->Inc();
+    handles_[pi].bytes->Inc(static_cast<double>(msg.bytes));
+  }
 
   // Fault decisions, in a fixed order so seeded runs reproduce: partition
   // (no RNG), then loss (one Bernoulli draw only when the link is lossy),
   // then jitter (one uniform draw only when enabled). With every fault off
   // this path consumes no RNG at all.
-  bool dropped = !partitions_.empty() && Partitioned(msg.src_host, msg.dst_host);
-  if (!dropped) {
+  DropCause cause = DropCause::kNone;
+  if (!partitions_.empty() && Partitioned(msg.src_host, msg.dst_host))
+    cause = DropCause::kPartition;
+  if (cause == DropCause::kNone) {
     const double loss = LossFor(msg.src_host, msg.dst_host);
-    if (loss > 0.0 && sim_.rng().Bernoulli(loss)) dropped = true;
+    if (loss > 0.0 && sim_.rng().Bernoulli(loss)) cause = DropCause::kLoss;
   }
+  const bool dropped = cause != DropCause::kNone;
   double delay = 0.0;
   if (!dropped) {
     delay = opts.delay_override_ms >= 0.0
@@ -75,20 +133,39 @@ bool Transport::Send(const Message& msg, DeliverFn deliver,
 
   if (trace_ != nullptr) {
     trace_->Append(TraceRecord{sim_.now(), msg.src_host, msg.dst_host,
-                               msg.protocol, msg.kind, msg.bytes, dropped});
+                               msg.protocol, msg.kind, msg.bytes, dropped,
+                               cause});
   }
   if (dropped) {
     ++ps.dropped;
+    if (cause == DropCause::kLoss) {
+      ++ps.dropped_loss;
+    } else {
+      ++ps.dropped_partition;
+    }
+    if (hs != nullptr) ++hs->dropped;
+    if (metrics_ != nullptr) {
+      (cause == DropCause::kLoss ? handles_[pi].dropped_loss
+                                 : handles_[pi].dropped_partition)
+          ->Inc();
+    }
     return false;
   }
   if (opts.inline_delivery) {
-    ++ps.delivered;
+    FinishDelivery(msg.protocol, msg.src_host, msg.bytes,
+                   /*was_scheduled=*/false);
     if (deliver) deliver();
     return true;
   }
-  sim_.After(delay, [this, protocol = msg.protocol,
-                     cb = std::move(deliver)] {
-    ++stats_.by_protocol[static_cast<std::size_t>(protocol)].delivered;
+  ++inflight_msgs_;
+  inflight_bytes_ += msg.bytes;
+  if (metrics_ != nullptr) {
+    inflight_msgs_gauge_->Set(static_cast<double>(inflight_msgs_));
+    inflight_bytes_gauge_->Set(static_cast<double>(inflight_bytes_));
+  }
+  sim_.After(delay, [this, protocol = msg.protocol, src = msg.src_host,
+                     bytes = msg.bytes, cb = std::move(deliver)] {
+    FinishDelivery(protocol, src, bytes, /*was_scheduled=*/true);
     if (cb) cb();
   });
   return true;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "net/latency_oracle.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "sim/trace.h"
 
@@ -58,7 +59,10 @@ struct FaultConfig {
 struct ProtocolStats {
   std::size_t sent = 0;       // admitted to the bus (includes drops)
   std::size_t delivered = 0;  // delivery callback actually ran
-  std::size_t dropped = 0;    // killed by loss or partition at send time
+  std::size_t dropped = 0;    // killed by fault injection at send time
+  // Drop breakdown by cause; dropped == dropped_loss + dropped_partition.
+  std::size_t dropped_loss = 0;
+  std::size_t dropped_partition = 0;
   std::size_t bytes = 0;      // modelled wire bytes of all sends
 };
 
@@ -74,10 +78,21 @@ struct TransportStats {
       t.sent += s.sent;
       t.delivered += s.delivered;
       t.dropped += s.dropped;
+      t.dropped_loss += s.dropped_loss;
+      t.dropped_partition += s.dropped_partition;
       t.bytes += s.bytes;
     }
     return t;
   }
+};
+
+// Per-source-host accounting, enabled on demand (observe experiments): the
+// ground truth each host's in-band SOMO telemetry is compared against.
+struct HostStats {
+  std::size_t sent = 0;
+  std::size_t delivered = 0;  // deliveries of this host's sends
+  std::size_t dropped = 0;
+  std::size_t bytes = 0;
 };
 
 // Namespace-scope (not nested in Transport) so it can serve as a defaulted
@@ -147,6 +162,30 @@ class Transport {
   void set_trace(TraceSink* sink) { trace_ = sink; }
   TraceSink* trace() const { return trace_; }
 
+  // --- metrics ------------------------------------------------------------
+
+  // Attach a registry: per-protocol transport.* counters (sent, delivered,
+  // dropped by cause, bytes) plus in-flight gauges are updated on every
+  // send. Opt-in so the no-metrics hot path stays one null check; the
+  // handles are resolved once here, not per message (the <5% overhead
+  // budget is bench-enforced, BM_TransportThroughputMetrics).
+  void set_metrics(obs::MetricsRegistry* registry);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  // Per-source-host accounting for hosts [0, host_count). Cheap (vector
+  // index per send); off until enabled.
+  void EnablePerHostStats(std::size_t host_count);
+  bool per_host_enabled() const { return !host_stats_.empty(); }
+  const HostStats& host_stats(std::size_t host) const {
+    return host_stats_.at(host);
+  }
+
+  // Messages scheduled on the bus whose delivery callback has not run yet
+  // (inline deliveries never count). The queue-depth/in-flight-bytes load
+  // signal the timeseries sampler records.
+  std::size_t inflight_messages() const { return inflight_msgs_; }
+  std::size_t inflight_bytes() const { return inflight_bytes_; }
+
   // --- sending ------------------------------------------------------------
 
   // Admit `msg` to the bus. Returns false when fault injection dropped it
@@ -163,6 +202,17 @@ class Transport {
            static_cast<std::uint64_t>(dst);
   }
   double LossFor(std::size_t src, std::size_t dst) const;
+  void FinishDelivery(Protocol protocol, std::size_t src, std::size_t bytes,
+                      bool was_scheduled);
+
+  // Registry handles cached at set_metrics time, one set per protocol.
+  struct ProtoMetricHandles {
+    obs::Counter* sent = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* dropped_loss = nullptr;
+    obs::Counter* dropped_partition = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
 
   Simulation& sim_;
   const net::LatencyOracle* oracle_ = nullptr;
@@ -173,6 +223,13 @@ class Transport {
   std::vector<std::unordered_set<std::size_t>> partitions_;
   TraceSink* trace_ = nullptr;
   TransportStats stats_;
+  std::vector<HostStats> host_stats_;  // empty until EnablePerHostStats
+  std::size_t inflight_msgs_ = 0;
+  std::size_t inflight_bytes_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::array<ProtoMetricHandles, kProtocolCount> handles_;
+  obs::Gauge* inflight_msgs_gauge_ = nullptr;
+  obs::Gauge* inflight_bytes_gauge_ = nullptr;
 };
 
 }  // namespace p2p::sim

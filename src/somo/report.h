@@ -69,9 +69,28 @@ struct DegreeTable {
 };
 
 // Wire-size model (§3.2: "the leaf SOMO report is 40 bytes"): used by the
-// overhead accounting, not by any algorithm.
+// overhead accounting, not by any algorithm. Telemetry counters ride in the
+// same 40-byte record budget — the paper's report is a fixed-size struct
+// and a handful of uint32 counters fits the existing padding, so adding
+// HostTelemetry deliberately does not change the wire model.
 inline constexpr std::size_t kReportHeaderBytes = 16;
 inline constexpr std::size_t kPerRecordBytes = 40;
+
+// In-band self-monitoring (the "SOMO monitors itself" loop): a snapshot of
+// the host's own transport counters folded into its NodeReport, so the
+// telemetry of the whole system flows up the gather tree alongside the
+// scheduling metadata. The root's aggregate then doubles as a monitoring
+// database whose accuracy can be compared against the simulator's ground
+// truth (Transport::host_stats).
+struct HostTelemetry {
+  std::size_t msgs_sent = 0;
+  std::size_t msgs_delivered = 0;
+  std::size_t msgs_dropped = 0;
+  std::size_t bytes_sent = 0;
+  sim::Time sampled_at = -1.0;  // < 0 until a sample is taken
+
+  bool valid() const { return sampled_at >= 0.0; }
+};
 
 // Per-machine report (Figure 7), stamped with generation time so staleness
 // at the root can be measured.
@@ -86,6 +105,8 @@ struct NodeReport {
   // Generic capability metric for the §3.2 root-swap self-optimisation;
   // the maximum is "merge-sorted" upward inside AggregateReport.
   double capacity = 0.0;
+  // Self-monitoring counters (invalid unless the provider fills them).
+  HostTelemetry telemetry;
 };
 
 // Aggregate flowing up the SOMO hierarchy.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
 #include "util/check.h"
 
@@ -20,6 +21,15 @@ SomoProtocol::SomoProtocol(sim::Simulation& sim, dht::Ring& ring,
   state_.resize(tree_->size());
   for (LogicalIndex l = 0; l < tree_->size(); ++l)
     state_[l].from_children.resize(tree_->node(l).children.size());
+  auto& reg = sim_.metrics();
+  m_gathers_ = &reg.counter("somo.gathers");
+  m_messages_ = &reg.counter("somo.messages");
+  m_bytes_ = &reg.counter("somo.bytes");
+  m_redundant_ = &reg.counter("somo.redundant_pushes");
+  m_root_staleness_ = &reg.gauge("somo.root.staleness_ms");
+  m_root_members_ = &reg.gauge("somo.root.members");
+  m_gather_latency_ = &reg.histogram("somo.gather.latency_ms");
+  m_report_age_ = &reg.histogram("somo.report.age_ms");
 }
 
 bool SomoProtocol::SendBetween(dht::NodeIndex from, dht::NodeIndex to,
@@ -27,6 +37,8 @@ bool SomoProtocol::SendBetween(dht::NodeIndex from, dht::NodeIndex to,
                                std::function<void()> deliver) {
   ++messages_;
   bytes_ += bytes;
+  m_messages_->Inc();
+  m_bytes_->Inc(static_cast<double>(bytes));
   sim::Message msg;
   msg.src_host = ring_.node(from).host();
   msg.dst_host = ring_.node(to).host();
@@ -100,6 +112,8 @@ void SomoProtocol::FireLogical(LogicalIndex l) {
     root_view_ = state_[l].own;
     if (!root_view_.empty()) {
       ++gathers_completed_;
+      m_gathers_->Inc();
+      RecordRootMetrics(0);
       OnRootViewRefreshed();
     }
     return;
@@ -127,6 +141,7 @@ void SomoProtocol::PushToParent(LogicalIndex l) {
       const LogicalIndex uncle =
           uncles[sim_.rng().NextBounded(uncles.size())];
       ++redundant_pushes_;
+      m_redundant_->Inc();
       AggregateReport payload = state_[l].own;
       const std::size_t wire = payload.SerializedBytes();
       SendBetween(ln.owner, tree_->node(uncle).owner, kMsgRedundantPush,
@@ -160,7 +175,9 @@ void SomoProtocol::PushToParent(LogicalIndex l) {
 
 void SomoProtocol::StartSyncGather() {
   if (!running_) return;
-  SyncDescend(tree_->root(), sim_.now(), ++sync_round_counter_);
+  const std::uint64_t round = ++sync_round_counter_;
+  sync_started_[round] = sim_.now();
+  SyncDescend(tree_->root(), sim_.now(), round);
 }
 
 void SomoProtocol::SyncDescend(LogicalIndex l, sim::Time arrival,
@@ -177,9 +194,11 @@ void SomoProtocol::SyncDescend(LogicalIndex l, sim::Time arrival,
     const LogicalIndex parent = ln.parent;
     if (parent == kNoLogical) {
       // Root is itself a leaf: intra-host hand-off, not bus traffic.
-      sim_.At(arrival, [this, agg = std::move(agg)] {
+      sim_.At(arrival, [this, round, agg = std::move(agg)] {
         root_view_ = agg;
         ++gathers_completed_;
+        m_gathers_->Inc();
+        RecordRootMetrics(round);
         OnRootViewRefreshed();
       });
       return;
@@ -219,6 +238,8 @@ void SomoProtocol::SyncReplyArrived(LogicalIndex l,
   if (ln.is_root()) {
     root_view_ = std::move(complete);
     ++gathers_completed_;
+    m_gathers_->Inc();
+    RecordRootMetrics(round);
     OnRootViewRefreshed();
     return;
   }
@@ -228,6 +249,40 @@ void SomoProtocol::SyncReplyArrived(LogicalIndex l,
               [this, parent, round, payload = std::move(complete)] {
                 SyncReplyArrived(parent, payload, round);
               });
+}
+
+void SomoProtocol::RecordRootMetrics(std::uint64_t round) {
+  const sim::Time now = sim_.now();
+  m_root_members_->Set(static_cast<double>(root_view_.size()));
+  if (!root_view_.empty()) m_root_staleness_->Set(now - root_view_.oldest);
+  for (const auto& r : root_view_.members)
+    m_report_age_->Add(now - r.generated_at);
+  if (round != 0) {
+    // Synchronized gather: the cascade round-trip, call to complete view.
+    const auto it = sync_started_.find(round);
+    if (it != sync_started_.end()) {
+      m_gather_latency_->Add(now - it->second);
+      sync_started_.erase(it);
+    }
+  }
+  // Per-level freshness: the oldest report inside any non-empty aggregate
+  // cached at each tree level (unsync gather only — internal caches are the
+  // source of the paper's ~log_k(N)·T root-staleness bound, and watching
+  // the age climb level by level makes that bound visible).
+  std::vector<double> level_age;
+  for (LogicalIndex l = 0; l < tree_->size(); ++l) {
+    const AggregateReport& agg = state_[l].own;
+    if (agg.empty()) continue;
+    const std::size_t level = tree_->node(l).level;
+    if (level_age.size() <= level) level_age.resize(level + 1, -1.0);
+    level_age[level] = std::max(level_age[level], now - agg.oldest);
+  }
+  for (std::size_t k = 0; k < level_age.size(); ++k) {
+    if (level_age[k] < 0.0) continue;
+    sim_.metrics()
+        .gauge("somo.level" + std::to_string(k) + ".age_ms")
+        .Set(level_age[k]);
+  }
 }
 
 void SomoProtocol::OnRootViewRefreshed() {

@@ -151,6 +151,11 @@ class SomoProtocol {
   void SyncDescend(LogicalIndex l, sim::Time arrival, std::uint64_t round);
   void SyncReplyArrived(LogicalIndex l, const AggregateReport& child_agg,
                         std::uint64_t round);
+  // Metrics recorded on every root-view refresh: somo.root.* gauges,
+  // somo.report.age_ms member ages, per-level somo.level<k>.age_ms gauges
+  // (unsync gather only — sync keeps no per-level caches). For sync rounds
+  // `round` keys the start time so somo.gather.latency_ms can be measured.
+  void RecordRootMetrics(std::uint64_t round);
   // Inter-host send between two logical-node owners over the bus.
   bool SendBetween(dht::NodeIndex from, dht::NodeIndex to,
                    SomoMessageKind kind, std::size_t bytes,
@@ -190,6 +195,19 @@ class SomoProtocol {
   std::size_t bytes_ = 0;
   std::size_t redundant_pushes_ = 0;
   std::uint64_t sync_round_counter_ = 0;
+
+  // somo.* instrumentation, cached from the simulation's registry at
+  // construction.
+  obs::Counter* m_gathers_;
+  obs::Counter* m_messages_;
+  obs::Counter* m_bytes_;
+  obs::Counter* m_redundant_;
+  obs::Gauge* m_root_staleness_;
+  obs::Gauge* m_root_members_;
+  obs::Histogram* m_gather_latency_;  // sync rounds only
+  obs::Histogram* m_report_age_;
+  // Launch time of each in-flight synchronized round (somo.gather.latency).
+  std::unordered_map<std::uint64_t, sim::Time> sync_started_;
 };
 
 }  // namespace p2p::somo

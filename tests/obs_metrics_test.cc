@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/scope_timer.h"
+#include "obs/timeseries.h"
+
+namespace p2p::obs {
+namespace {
+
+std::string ReadAll(std::FILE* f) {
+  std::rewind(f);
+  std::string out;
+  char buf[512];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  return out;
+}
+
+// ------------------------------------------------------------- primitives --
+
+TEST(Metrics, CounterAccumulates) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.Inc();
+  c.Inc(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  c.Set(10.0);
+  EXPECT_DOUBLE_EQ(c.value(), 10.0);
+}
+
+TEST(Metrics, GaugeKeepsLastValue) {
+  Gauge g;
+  g.Set(7.0);
+  g.Set(3.0);
+  g.Add(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST(Metrics, HistogramExactMoments) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  for (const double v : {4.0, 1.0, 16.0, 2.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 23.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.75);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 16.0);
+}
+
+TEST(Metrics, HistogramPercentileWithinBucketError) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  // Log-bucketed with kSubBuckets per octave: quantile estimates carry at
+  // most one bucket width (~9% relative) of error, clamped to [min, max].
+  EXPECT_NEAR(h.Percentile(50.0), 500.0, 500.0 * 0.15);
+  EXPECT_NEAR(h.Percentile(90.0), 900.0, 900.0 * 0.15);
+  EXPECT_GE(h.Percentile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), h.max());
+}
+
+TEST(Metrics, HistogramNonpositiveSamplesCounted) {
+  Histogram h;
+  h.Add(0.0);
+  h.Add(-3.0);
+  h.Add(8.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0);
+}
+
+// --------------------------------------------------------------- registry --
+
+TEST(Metrics, RegistryFindOrCreateReturnsStableRefs) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("a.b");
+  c1.Inc();
+  Counter& c2 = reg.counter("a.b");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_DOUBLE_EQ(c2.value(), 1.0);
+}
+
+TEST(Metrics, ValueCounterShadowsGauge) {
+  MetricsRegistry reg;
+  reg.gauge("x").Set(5.0);
+  EXPECT_DOUBLE_EQ(reg.Value("x"), 5.0);
+  reg.counter("x").Inc(2.0);
+  EXPECT_DOUBLE_EQ(reg.Value("x"), 2.0);  // counter wins
+  EXPECT_DOUBLE_EQ(reg.Value("absent"), 0.0);
+}
+
+TEST(Metrics, SnapshotIsDeterministic) {
+  const auto build = [] {
+    MetricsRegistry reg;
+    reg.counter("z.count").Inc(3.0);
+    reg.counter("a.count").Inc();
+    reg.gauge("mid.gauge").Set(1.25);
+    for (int i = 1; i <= 100; ++i)
+      reg.histogram("h").Add(static_cast<double>(i));
+    return reg.SnapshotJson();
+  };
+  const std::string a = build();
+  EXPECT_EQ(a, build());  // byte-identical
+  // Sections present, sorted names, schema tag.
+  EXPECT_NE(a.find("\"schema\":\"p2pmetrics/v1\""), std::string::npos);
+  EXPECT_LT(a.find("a.count"), a.find("z.count"));
+}
+
+TEST(Metrics, SnapshotExcludesProfileByDefault) {
+  MetricsRegistry reg;
+  reg.counter("deterministic").Inc();
+  reg.profile("wallclock_ms").Add(12.0);
+  const std::string without = reg.SnapshotJson(false);
+  const std::string with = reg.SnapshotJson(true);
+  EXPECT_EQ(without.find("wallclock_ms"), std::string::npos);
+  EXPECT_NE(with.find("wallclock_ms"), std::string::npos);
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  MetricsRegistry reg;
+  reg.counter("c").Inc();
+  reg.gauge("g").Set(2.0);
+  reg.histogram("h").Add(1.0);
+  reg.Reset();
+  EXPECT_DOUBLE_EQ(reg.counter("c").value(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+  EXPECT_TRUE(reg.histogram("h").empty());
+}
+
+// ------------------------------------------------------------- scope timer --
+
+TEST(ScopeTimer, RecordsIntoProfileHistogram) {
+  MetricsRegistry reg;
+  Histogram& h = reg.profile("scope_ms");
+  { ScopeTimer t(&h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.min(), 0.0);
+}
+
+TEST(ScopeTimer, NullTargetIsDisabled) {
+  ScopeTimer t(nullptr);  // must not crash
+}
+
+// ------------------------------------------------------------ json writer --
+
+TEST(Json, FormatNumberStableRendering) {
+  EXPECT_EQ(JsonWriter::FormatNumber(5.0), "5");
+  EXPECT_EQ(JsonWriter::FormatNumber(-3.0), "-3");
+  EXPECT_EQ(JsonWriter::FormatNumber(0.5), "0.5");
+  EXPECT_EQ(JsonWriter::FormatNumber(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(JsonWriter::FormatNumber(std::nan("")), "null");
+}
+
+TEST(Json, WriterEmitsWellFormedObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("a\"b");
+  w.Key("n").Number(2.0);
+  w.Key("list").BeginArray().Int(-1).Bool(true).Null().EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"name\":\"a\\\"b\",\"n\":2,\"list\":[-1,true,null]}");
+}
+
+// -------------------------------------------------------------- timeseries --
+
+TEST(Timeseries, SamplesProbesPerRow) {
+  TimeseriesSampler s;
+  double v = 1.0;
+  s.AddProbe("v", [&] { return v; });
+  s.AddProbe("twice", [&] { return 2.0 * v; });
+  s.Sample(10.0);
+  v = 3.0;
+  s.Sample(20.0);
+  const auto rows = s.Snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].time_ms, 10.0);
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(rows[1].values[1], 6.0);
+}
+
+TEST(Timeseries, BoundedRingKeepsNewestRows) {
+  TimeseriesSampler s(2);
+  s.AddProbe("t", [] { return 0.0; });
+  s.Sample(1.0);
+  s.Sample(2.0);
+  s.Sample(3.0);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.total_rows(), 3u);
+  const auto rows = s.Snapshot();
+  EXPECT_DOUBLE_EQ(rows.front().time_ms, 2.0);
+  EXPECT_DOUBLE_EQ(rows.back().time_ms, 3.0);
+}
+
+TEST(Timeseries, CsvHeaderAndDeterministicNumbers) {
+  TimeseriesSampler s;
+  s.AddProbe("load", [] { return 0.5; });
+  s.Sample(100.0);
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  ASSERT_TRUE(s.WriteCsv(tmp));
+  EXPECT_EQ(ReadAll(tmp), "time_ms,load\n100,0.5\n");
+  std::fclose(tmp);
+}
+
+// -------------------------------------------------------------- run report --
+
+TEST(RunReport, EmitsSchemaAndSections) {
+  RunReport report("demo");
+  report.set_seed(9);
+  report.AddConfig("nodes", static_cast<std::int64_t>(64));
+  report.AddConfig("loss", 0.25);
+  report.AddConfig("mode", "fast");
+  report.AddResult("height_ms", 120.5);
+  report.AddResult("bad", std::numeric_limits<double>::quiet_NaN());
+  report.AddTimeseries("main", "out.csv", 10, 12);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"schema\":\"p2preport/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"experiment\":\"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"nodes\":\"64\""), std::string::npos);
+  EXPECT_NE(json.find("\"height_ms\":120.5"), std::string::npos);
+  EXPECT_NE(json.find("\"bad\":null"), std::string::npos);  // NaN -> null
+  EXPECT_NE(json.find("\"metrics\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"total_rows\":12"), std::string::npos);
+}
+
+TEST(RunReport, SplicesAttachedRegistrySnapshot) {
+  MetricsRegistry reg;
+  reg.counter("demo.count").Inc(4.0);
+  RunReport report("demo");
+  report.AttachMetrics(&reg, /*include_profile=*/false);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"schema\":\"p2pmetrics/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"demo.count\":4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2p::obs

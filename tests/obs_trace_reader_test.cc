@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/trace_reader.h"
+#include "sim/trace.h"
+
+namespace p2p::obs {
+namespace {
+
+std::FILE* TmpWithContent(const std::string& content) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::rewind(f);
+  return f;
+}
+
+TEST(TraceReader, ParseProtocolRoundTripsEveryName) {
+  for (std::size_t i = 0; i < sim::kProtocolCount; ++i) {
+    const auto p = static_cast<sim::Protocol>(i);
+    sim::Protocol parsed;
+    ASSERT_TRUE(ParseProtocol(sim::ProtocolName(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  sim::Protocol parsed;
+  EXPECT_FALSE(ParseProtocol("nonsense", &parsed));
+}
+
+// The satellite guarantee: whatever TraceSink::WriteText emits, ReadTrace
+// parses back bit-for-bit — including the v2 drop-cause column.
+TEST(TraceReader, WriteTextReadTraceRoundTrip) {
+  sim::TraceSink sink;
+  sim::TraceRecord a;
+  a.time_ms = 12.5;
+  a.src_host = 3;
+  a.dst_host = 9;
+  a.protocol = sim::Protocol::kSomo;
+  a.kind = 2;
+  a.bytes = 640;
+  sink.Append(a);
+  sim::TraceRecord b;
+  b.time_ms = 99.25;
+  b.src_host = 1;
+  b.dst_host = 2;
+  b.protocol = sim::Protocol::kHeartbeat;
+  b.bytes = 40;
+  b.dropped = true;
+  b.cause = sim::DropCause::kLoss;
+  sink.Append(b);
+  sim::TraceRecord c = b;
+  c.cause = sim::DropCause::kPartition;
+  sink.Append(c);
+
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  ASSERT_TRUE(sink.WriteText(tmp));
+  std::rewind(tmp);
+
+  TraceFile parsed;
+  std::string error;
+  ASSERT_TRUE(ReadTrace(tmp, &parsed, &error)) << error;
+  std::fclose(tmp);
+
+  EXPECT_EQ(parsed.version, 2);
+  EXPECT_FALSE(parsed.truncated());
+  ASSERT_EQ(parsed.records.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed.records[0].time_ms, 12.5);
+  EXPECT_EQ(parsed.records[0].src_host, 3u);
+  EXPECT_EQ(parsed.records[0].dst_host, 9u);
+  EXPECT_EQ(parsed.records[0].protocol, sim::Protocol::kSomo);
+  EXPECT_EQ(parsed.records[0].kind, 2u);
+  EXPECT_EQ(parsed.records[0].bytes, 640u);
+  EXPECT_FALSE(parsed.records[0].dropped);
+  EXPECT_EQ(parsed.records[0].cause, sim::DropCause::kNone);
+  EXPECT_TRUE(parsed.records[1].dropped);
+  EXPECT_EQ(parsed.records[1].cause, sim::DropCause::kLoss);
+  EXPECT_EQ(parsed.records[2].cause, sim::DropCause::kPartition);
+}
+
+// Pre-cause dumps stay readable: 7 columns, every cause reads as kNone.
+TEST(TraceReader, ReadsLegacyV1Format) {
+  std::FILE* f = TmpWithContent(
+      "p2ptrace v1 2 5\n"
+      "1.000000 0 1 somo 0 64 0\n"
+      "2.000000 1 2 bwest 3 1500 1\n");
+  TraceFile parsed;
+  std::string error;
+  ASSERT_TRUE(ReadTrace(f, &parsed, &error)) << error;
+  std::fclose(f);
+  EXPECT_EQ(parsed.version, 1);
+  EXPECT_EQ(parsed.held, 2u);
+  EXPECT_EQ(parsed.total, 5u);
+  EXPECT_TRUE(parsed.truncated());  // the ring overwrote 3 records
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_TRUE(parsed.records[1].dropped);
+  EXPECT_EQ(parsed.records[0].cause, sim::DropCause::kNone);
+  EXPECT_EQ(parsed.records[1].cause, sim::DropCause::kNone);
+}
+
+TEST(TraceReader, RejectsMalformedInput) {
+  const struct {
+    const char* content;
+    const char* why;
+  } cases[] = {
+      {"", "empty"},
+      {"not a trace\n", "bad header"},
+      {"p2ptrace v3 0 0\n", "unknown version"},
+      {"p2ptrace v2 1 1\n1.0 0 1 somo 0 64 0\n", "v2 row missing cause"},
+      {"p2ptrace v2 1 1\n1.0 0 1 warp 0 64 0 0\n", "unknown protocol"},
+      {"p2ptrace v2 1 1\n1.0 0 1 somo 0 64 0 9\n", "unknown cause"},
+      {"p2ptrace v2 2 2\n1.0 0 1 somo 0 64 0 0\n", "count mismatch"},
+  };
+  for (const auto& c : cases) {
+    std::FILE* f = TmpWithContent(c.content);
+    TraceFile parsed;
+    std::string error;
+    EXPECT_FALSE(ReadTrace(f, &parsed, &error)) << c.why;
+    EXPECT_FALSE(error.empty()) << c.why;
+    std::fclose(f);
+  }
+}
+
+TEST(TraceReader, ReadTraceFileReportsMissingPath) {
+  TraceFile parsed;
+  std::string error;
+  EXPECT_FALSE(ReadTraceFile("/nonexistent/trace.txt", &parsed, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace p2p::obs

@@ -176,6 +176,105 @@ TEST(Transport, PartitionIsolatesHostSet) {
   EXPECT_TRUE(sim.transport().Send(Msg(0, 2), [] {}));
 }
 
+// ----------------------------------------------------- drop-cause accounting --
+
+TEST(Transport, LossDropAccountedAsLossCause) {
+  Simulation sim;
+  TraceSink trace;
+  sim.transport().set_trace(&trace);
+  sim.transport().faults().loss_probability = 1.0;
+  EXPECT_FALSE(sim.transport().Send(Msg(0, 1), [] {}));
+  const auto total = sim.transport().stats().Total();
+  EXPECT_EQ(total.dropped, 1u);
+  EXPECT_EQ(total.dropped_loss, 1u);
+  EXPECT_EQ(total.dropped_partition, 0u);
+  const auto records = trace.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].dropped);
+  EXPECT_EQ(records[0].cause, DropCause::kLoss);
+}
+
+TEST(Transport, PartitionDropAccountedAsPartitionCause) {
+  Simulation sim;
+  TraceSink trace;
+  sim.transport().set_trace(&trace);
+  // Loss maxed out too: partition is checked first, so the cause must
+  // still read kPartition (and the loss RNG must not even be consulted).
+  sim.transport().faults().loss_probability = 1.0;
+  sim.transport().Partition({0});
+  EXPECT_FALSE(sim.transport().Send(Msg(0, 1), [] {}));
+  const auto total = sim.transport().stats().Total();
+  EXPECT_EQ(total.dropped, 1u);
+  EXPECT_EQ(total.dropped_partition, 1u);
+  EXPECT_EQ(total.dropped_loss, 0u);
+  const auto records = trace.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].cause, DropCause::kPartition);
+}
+
+TEST(Transport, CauseSplitSumsToTotalDropped) {
+  Simulation sim(17);
+  sim.transport().faults().loss_probability = 0.4;
+  sim.transport().Partition({5});
+  for (int i = 0; i < 100; ++i) sim.transport().Send(Msg(0, 1), [] {});
+  for (int i = 0; i < 20; ++i) sim.transport().Send(Msg(5, 1), [] {});
+  sim.Run();
+  const auto total = sim.transport().stats().Total();
+  EXPECT_EQ(total.dropped, total.dropped_loss + total.dropped_partition);
+  EXPECT_GT(total.dropped_loss, 0u);
+  EXPECT_EQ(total.dropped_partition, 20u);  // every partitioned send
+}
+
+// ----------------------------------------------------------------- metrics --
+
+TEST(Transport, EnableMetricsPopulatesRegistry) {
+  Simulation sim;
+  sim.EnableMetrics();
+  sim.transport().faults().loss_probability = 1.0;
+  sim.transport().Send(Msg(0, 1, Protocol::kHeartbeat, 200), [] {});
+  sim.transport().faults().loss_probability = 0.0;
+  sim.transport().Send(Msg(0, 1, Protocol::kHeartbeat, 200), [] {});
+  sim.transport().Partition({0});
+  sim.transport().Send(Msg(0, 1, Protocol::kSomo, 64), [] {});
+  sim.transport().HealPartitions();
+  sim.Run();
+  auto& m = sim.metrics();
+  EXPECT_DOUBLE_EQ(m.Value("transport.heartbeat.sent"), 2.0);
+  EXPECT_DOUBLE_EQ(m.Value("transport.heartbeat.delivered"), 1.0);
+  EXPECT_DOUBLE_EQ(m.Value("transport.heartbeat.dropped.loss"), 1.0);
+  EXPECT_DOUBLE_EQ(m.Value("transport.heartbeat.bytes"), 400.0);
+  EXPECT_DOUBLE_EQ(m.Value("transport.somo.dropped.partition"), 1.0);
+  // Everything in flight has drained.
+  EXPECT_DOUBLE_EQ(m.Value("transport.inflight.messages"), 0.0);
+  EXPECT_DOUBLE_EQ(m.Value("transport.inflight.bytes"), 0.0);
+}
+
+TEST(Transport, InflightGaugesTrackQueuedMessages) {
+  Simulation sim;
+  sim.EnableMetrics();
+  sim.transport().set_default_delay_ms(50.0);
+  sim.transport().Send(Msg(0, 1, Protocol::kOther, 300), [] {});
+  sim.transport().Send(Msg(1, 2, Protocol::kOther, 200), [] {});
+  EXPECT_DOUBLE_EQ(sim.metrics().Value("transport.inflight.messages"), 2.0);
+  EXPECT_DOUBLE_EQ(sim.metrics().Value("transport.inflight.bytes"), 500.0);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.metrics().Value("transport.inflight.messages"), 0.0);
+}
+
+TEST(Transport, EnableMetricsConsumesNoRng) {
+  // Instrumentation must never touch the seeded RNG stream: a run with
+  // metrics on is bit-identical to the same seed with metrics off.
+  Simulation a(42), b(42);
+  a.EnableMetrics();
+  for (int i = 0; i < 10; ++i) {
+    a.transport().Send(Msg(0, 1, Protocol::kSomo), [] {});
+    b.transport().Send(Msg(0, 1, Protocol::kSomo), [] {});
+  }
+  a.Run();
+  b.Run();
+  EXPECT_EQ(a.rng()(), b.rng()());
+}
+
 // ------------------------------------------------------------- accounting --
 
 TEST(Transport, CountersSplitByProtocol) {
@@ -269,9 +368,9 @@ TEST(TraceSink, WriteTextEmitsHeaderAndRows) {
   std::rewind(tmp);
   char line[256];
   ASSERT_NE(std::fgets(line, sizeof line, tmp), nullptr);
-  EXPECT_EQ(std::string(line), "p2ptrace v1 1 1\n");
+  EXPECT_EQ(std::string(line), "p2ptrace v2 1 1\n");
   ASSERT_NE(std::fgets(line, sizeof line, tmp), nullptr);
-  EXPECT_EQ(std::string(line), "1.500000 3 4 bwest 0 3000 0\n");
+  EXPECT_EQ(std::string(line), "1.500000 3 4 bwest 0 3000 0 0\n");
   std::fclose(tmp);
 }
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Check the metrics-registry overhead pairs in BENCH_alm.json.
+
+The observability layer promises <5% overhead on the hot paths it touches.
+bench_to_json runs each instrumented benchmark next to its bare twin on
+identical inputs; this script compares their cpu_time per size:
+
+    BM_TransportThroughputMetrics/N  vs  BM_TransportThroughput/N
+    BM_PlanSessionMetrics/N          vs  BM_PlanSession/N
+
+When the JSON holds repetition aggregates (run_benches.sh passes
+--benchmark_repetitions for the overhead pass), the median row is used —
+single-shot same-process comparisons swing 10-30% with scheduling and
+thermal noise, far above the effect being measured.
+
+Exit 0 when every pair is under the threshold, 1 otherwise (the caller
+treats failure as a warning — benchmark noise should not fail a build).
+
+Usage: check_bench_overhead.py BENCH.json [--threshold 0.05]
+"""
+
+import argparse
+import json
+import sys
+
+PAIRS = [
+    ("BM_TransportThroughputMetrics", "BM_TransportThroughput"),
+    ("BM_PlanSessionMetrics", "BM_PlanSession"),
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json")
+    parser.add_argument("--threshold", type=float, default=0.05)
+    args = parser.parse_args()
+
+    with open(args.bench_json, encoding="utf-8") as f:
+        data = json.load(f)
+
+    times = {}
+    have_medians = any(
+        b.get("aggregate_name") == "median" for b in data.get("benchmarks", [])
+    )
+    for b in data.get("benchmarks", []):
+        if have_medians:
+            if b.get("aggregate_name") != "median":
+                continue
+            times[b["run_name"]] = float(b.get("cpu_time", b["real_time"]))
+        elif b.get("run_type", "iteration") == "iteration":
+            times[b["name"]] = float(b.get("cpu_time", b["real_time"]))
+
+    failures = 0
+    checked = 0
+    for instrumented, bare in PAIRS:
+        for name, t_inst in sorted(times.items()):
+            if not name.startswith(instrumented + "/"):
+                continue
+            size = name.split("/", 1)[1]
+            base = times.get(f"{bare}/{size}")
+            if base is None or base <= 0.0:
+                continue
+            checked += 1
+            overhead = t_inst / base - 1.0
+            status = "ok" if overhead <= args.threshold else "FAIL"
+            print(
+                f"{status:>4}  {instrumented}/{size}: {overhead:+.2%} "
+                f"vs {bare}/{size}"
+            )
+            if overhead > args.threshold:
+                failures += 1
+
+    if checked == 0:
+        print("no overhead pairs found in", args.bench_json, file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,16 +5,24 @@
 //   p2ppool_cli somo  --nodes 256 --fanout 8 --interval-ms 5000 --sync
 //   p2ppool_cli somo-loss --loss 0,0.1,0.3 --fail 1 --redundant
 //   p2ppool_cli hb-jitter --jitter 0,500,2000,4000
+//   p2ppool_cli observe --nodes 64 --loss 0.2 --timeseries-dir /tmp
 //   p2ppool_cli topo  --hosts 1200 --seed 7
 //
-// Every command prints an aligned table; run without arguments for usage.
+// Every command prints an aligned table, and every command accepts
+// --report FILE to additionally emit a structured "p2preport/v1" JSON run
+// report (tools/report_schema.json) with the effective configuration, the
+// headline numbers, and a metrics-registry snapshot.
+#include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "alm/bounds.h"
 #include "alm/critical.h"
 #include "dht/heartbeat.h"
+#include "obs/run_report.h"
+#include "obs/timeseries.h"
 #include "pool/multi_session_sim.h"
 #include "pool/resource_pool.h"
 #include "sim/simulation.h"
@@ -37,8 +45,29 @@ int Usage() {
       "  somo       run the SOMO gather protocol and report latency/overhead\n"
       "  somo-loss  sweep bus loss rates: SOMO root staleness vs loss\n"
       "  hb-jitter  sweep bus jitter: heartbeat false-positive rate\n"
-      "  topo       generate a transit-stub topology and print its stats\n");
+      "  observe    SOMO self-monitoring vs ground truth under faults\n"
+      "  topo       generate a transit-stub topology and print its stats\n"
+      "common flags:\n"
+      "  --report FILE   write a p2preport/v1 run_report.json\n");
   return 2;
+}
+
+// Registers the shared --report flag; every command calls this first so the
+// flag appears in --help output, then FinishReport at the end.
+std::string ReportPath(util::FlagParser& flags) {
+  return flags.GetString("report", "", "write a p2preport/v1 JSON report");
+}
+
+// Writes `report` to `path` unless it is empty. Returns 0, or 1 on I/O
+// error (commands return this directly).
+int FinishReport(const obs::RunReport& report, const std::string& path) {
+  if (path.empty()) return 0;
+  if (!report.Write(path)) {
+    std::printf("error: cannot write report to %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("report -> %s\n", path.c_str());
+  return 0;
 }
 
 // "0,0.05,0.1" → {0.0, 0.05, 0.1}.
@@ -80,6 +109,7 @@ int CmdPlan(util::FlagParser& flags) {
       flags.GetDouble("radius", 100.0, "helper radius R (ms)");
   const double stream =
       flags.GetDouble("stream-kbps", 0.0, "per-link stream rate (0=off)");
+  const std::string report_path = ReportPath(flags);
 
   std::printf("building pool (seed %llu) ...\n",
               static_cast<unsigned long long>(seed));
@@ -109,6 +139,8 @@ int CmdPlan(util::FlagParser& flags) {
   in.true_latency = rp.TrueLatencyFn();
   in.estimated_latency = rp.EstimatedLatencyFn();
   in.amcast.helper_radius = radius;
+  obs::MetricsRegistry registry;
+  in.metrics = &registry;
 
   const alm::Strategy strategy = ParseStrategy(strategy_name);
   const double base = PlanSession(in, alm::Strategy::kAmcast).height_true;
@@ -126,7 +158,20 @@ int CmdPlan(util::FlagParser& flags) {
   t.AddRow({std::string("helpers used"),
             static_cast<long long>(r.helpers_used)});
   std::printf("%s", t.ToText(3).c_str());
-  return 0;
+
+  obs::RunReport report("plan");
+  report.set_seed(seed);
+  report.AddConfig("group", static_cast<std::int64_t>(group));
+  report.AddConfig("strategy", strategy_name);
+  report.AddConfig("radius", radius);
+  report.AddConfig("stream_kbps", stream);
+  report.AddResult("base_height_ms", base);
+  report.AddResult("planned_height_ms", r.height_true);
+  report.AddResult("improvement", alm::Improvement(base, r.height_true));
+  report.AddResult("ideal_bound", alm::Improvement(base, ideal));
+  report.AddResult("helpers_used", static_cast<double>(r.helpers_used));
+  report.AttachMetrics(&registry);
+  return FinishReport(report, report_path);
 }
 
 int CmdMulti(util::FlagParser& flags) {
@@ -143,6 +188,7 @@ int CmdMulti(util::FlagParser& flags) {
       flags.GetBool("bounds", true, "compute per-session bounds");
   const int jobs = flags.GetInt(
       "jobs", 0, "threads for per-session bounds (0 = hardware concurrency)");
+  const std::string report_path = ReportPath(flags);
 
   std::printf("building pool ...\n");
   pool::PoolConfig cfg;
@@ -150,6 +196,8 @@ int CmdMulti(util::FlagParser& flags) {
   pool::ResourcePool rp(cfg);
   util::ThreadPool workers(jobs < 0 ? 1 : static_cast<std::size_t>(jobs));
   params.workers = &workers;
+  obs::MetricsRegistry registry;
+  params.metrics = &registry;
   const auto result = RunMultiSessionExperiment(rp, params);
 
   util::Table t({"priority", "sessions", "improvement", "helpers"});
@@ -169,7 +217,31 @@ int CmdMulti(util::FlagParser& flags) {
   std::printf("pool utilisation %.2f, %zu reschedules, %zu preemptions\n",
               result.pool_utilisation, result.reschedules,
               result.preemptions);
-  return 0;
+
+  obs::RunReport report("multi");
+  report.set_seed(params.seed);
+  report.AddConfig("sessions", static_cast<std::int64_t>(params.session_count));
+  report.AddConfig("members",
+                   static_cast<std::int64_t>(params.members_per_session));
+  report.AddConfig("sweeps",
+                   static_cast<std::int64_t>(params.rescheduling_sweeps));
+  report.AddConfig("bounds", params.compute_upper_bound);
+  for (int p = 1; p <= 3; ++p) {
+    const auto& cls = result.by_priority[static_cast<std::size_t>(p)];
+    const std::string prefix = "priority" + std::to_string(p) + ".";
+    report.AddResult(prefix + "sessions", static_cast<double>(cls.sessions));
+    report.AddResult(prefix + "improvement", cls.improvement.mean());
+    report.AddResult(prefix + "helpers", cls.helpers_used.mean());
+  }
+  if (params.compute_upper_bound) {
+    report.AddResult("lower_bound", result.lower_bound_improvement.mean());
+    report.AddResult("upper_bound", result.upper_bound_improvement.mean());
+  }
+  report.AddResult("pool_utilisation", result.pool_utilisation);
+  report.AddResult("reschedules", static_cast<double>(result.reschedules));
+  report.AddResult("preemptions", static_cast<double>(result.preemptions));
+  report.AttachMetrics(&registry);
+  return FinishReport(report, report_path);
 }
 
 int CmdSomo(util::FlagParser& flags) {
@@ -187,11 +259,15 @@ int CmdSomo(util::FlagParser& flags) {
   const double horizon =
       flags.GetDouble("horizon-ms", 120000.0, "simulated time");
   const std::string trace_path = flags.GetString(
-      "trace", "", "write a p2ptrace v1 dump of all bus traffic to FILE");
+      "trace", "", "write a p2ptrace v2 dump of all bus traffic to FILE");
   const auto trace_cap = static_cast<std::size_t>(flags.GetInt(
       "trace-cap", 1 << 16, "trace ring capacity (oldest overwritten)"));
+  const std::string ts_path = flags.GetString(
+      "timeseries", "", "write a per-cycle staleness/traffic CSV to FILE");
+  const std::string report_path = ReportPath(flags);
 
   sim::Simulation sim(nodes);
+  sim.EnableMetrics();
   dht::Ring ring(16);
   sim::TraceSink trace(trace_cap);
   if (!trace_path.empty()) {
@@ -215,6 +291,21 @@ int CmdSomo(util::FlagParser& flags) {
     return r;
   });
   somo.Start();
+  obs::TimeseriesSampler sampler;
+  if (!ts_path.empty()) {
+    sampler.AddProbe("root_staleness_ms", [&] {
+      const double v = somo.RootStalenessMs();
+      return std::isfinite(v) ? v : -1.0;
+    });
+    sampler.AddProbe("root_members",
+                     [&] { return sim.metrics().Value("somo.root.members"); });
+    sampler.AddProbe("somo_messages",
+                     [&] { return sim.metrics().Value("somo.messages"); });
+    sampler.AddProbe("inflight_messages", [&] {
+      return static_cast<double>(sim.transport().inflight_messages());
+    });
+    sim.Every(interval, interval, [&] { sampler.Sample(sim.now()); });
+  }
   sim.RunUntil(horizon);
 
   util::Table t({"metric", "value"});
@@ -252,7 +343,37 @@ int CmdSomo(util::FlagParser& flags) {
     std::printf("trace: %zu records held (%zu total) -> %s\n", trace.size(),
                 trace.total_records(), trace_path.c_str());
   }
-  return 0;
+
+  obs::RunReport report("somo");
+  report.set_seed(nodes);  // the sim seed above is the ring size
+  report.AddConfig("nodes", static_cast<std::int64_t>(nodes));
+  report.AddConfig("fanout", static_cast<std::int64_t>(fanout));
+  report.AddConfig("interval_ms", interval);
+  report.AddConfig("sync", sync);
+  report.AddConfig("disseminate", disseminate);
+  report.AddConfig("redundant", redundant);
+  report.AddConfig("horizon_ms", horizon);
+  report.AddResult("tree_depth", static_cast<double>(somo.tree().depth()));
+  report.AddResult("logical_nodes", static_cast<double>(somo.tree().size()));
+  report.AddResult("gathers_completed",
+                   static_cast<double>(somo.gathers_completed()));
+  report.AddResult("root_staleness_ms", somo.RootStalenessMs());
+  report.AddResult("messages", static_cast<double>(somo.messages_sent()));
+  report.AddResult("bytes_per_node_cycle",
+                   static_cast<double>(somo.bytes_sent()) /
+                       static_cast<double>(nodes) / (horizon / interval));
+  report.AttachMetrics(&sim.metrics());
+  if (!ts_path.empty()) {
+    if (!sampler.WriteCsv(ts_path)) {
+      std::printf("error: cannot write timeseries to %s\n", ts_path.c_str());
+      return 1;
+    }
+    std::printf("timeseries: %zu rows -> %s\n", sampler.rows(),
+                ts_path.c_str());
+    report.AddTimeseries("somo_cycle", ts_path, sampler.rows(),
+                         sampler.total_rows());
+  }
+  return FinishReport(report, report_path);
 }
 
 // Deterministic fault experiment (§3.2 robustness): sweep the bus loss
@@ -277,6 +398,19 @@ int CmdSomoLoss(util::FlagParser& flags) {
       static_cast<std::uint64_t>(flags.GetInt("seed", 1, "simulation seed"));
   const auto losses = ParseDoubleList(flags.GetString(
       "loss", "0,0.05,0.1,0.2,0.3", "comma-separated loss probabilities"));
+  const std::string report_path = ReportPath(flags);
+
+  obs::RunReport report("somo-loss");
+  report.set_seed(seed);
+  report.AddConfig("nodes", static_cast<std::int64_t>(nodes));
+  report.AddConfig("fanout", static_cast<std::int64_t>(fanout));
+  report.AddConfig("interval_ms", interval);
+  report.AddConfig("redundant", redundant);
+  report.AddConfig("fail", static_cast<std::int64_t>(fail));
+  report.AddConfig("horizon_ms", horizon);
+  // Sims outlive the loop so the final level's registry can back the
+  // report's metrics snapshot.
+  std::vector<std::unique_ptr<sim::Simulation>> sims;
 
   // alive_stale_ms ignores crashed machines' lingering final reports (they
   // persist in cached aggregates until a rebuild), so it isolates how well
@@ -284,7 +418,9 @@ int CmdSomoLoss(util::FlagParser& flags) {
   util::Table t({"loss", "alive_stale_ms", "complete", "somo_drop%",
                  "redundant_pushes"});
   for (const double loss : losses) {
-    sim::Simulation sim(seed);
+    sims.push_back(std::make_unique<sim::Simulation>(seed));
+    sim::Simulation& sim = *sims.back();
+    sim.EnableMetrics();
     dht::Ring ring(16);
     for (std::size_t i = 0; i < nodes; ++i) ring.JoinHashed(i);
     ring.StabilizeAll();
@@ -321,9 +457,17 @@ int CmdSomoLoss(util::FlagParser& flags) {
     t.AddRow({loss, somo.RootAliveStalenessMs(),
               std::string(somo.RootViewComplete() ? "yes" : "no"), drop_pct,
               static_cast<long long>(somo.redundant_pushes())});
+    const std::string prefix = "loss" + std::to_string(loss) + ".";
+    report.AddResult(prefix + "alive_stale_ms", somo.RootAliveStalenessMs());
+    report.AddResult(prefix + "complete",
+                     somo.RootViewComplete() ? 1.0 : 0.0);
+    report.AddResult(prefix + "drop_pct", drop_pct);
+    report.AddResult(prefix + "redundant_pushes",
+                     static_cast<double>(somo.redundant_pushes()));
   }
   std::printf("%s", t.ToText(3).c_str());
-  return 0;
+  if (!sims.empty()) report.AttachMetrics(&sims.back()->metrics());
+  return FinishReport(report, report_path);
 }
 
 // Deterministic fault experiment (§3.1/§4): sweep the bus delay jitter and
@@ -345,10 +489,22 @@ int CmdHbJitter(util::FlagParser& flags) {
       static_cast<std::uint64_t>(flags.GetInt("seed", 1, "simulation seed"));
   const auto jitters = ParseDoubleList(flags.GetString(
       "jitter", "0,500,1000,2000,4000", "comma-separated jitter bounds (ms)"));
+  const std::string report_path = ReportPath(flags);
+
+  obs::RunReport report("hb-jitter");
+  report.set_seed(seed);
+  report.AddConfig("nodes", static_cast<std::int64_t>(nodes));
+  report.AddConfig("period_ms", period);
+  report.AddConfig("timeout_ms", timeout);
+  report.AddConfig("loss", loss);
+  report.AddConfig("horizon_ms", horizon);
+  std::vector<std::unique_ptr<sim::Simulation>> sims;
 
   util::Table t({"jitter_ms", "delivered", "false_pos", "fp/node/min"});
   for (const double jitter : jitters) {
-    sim::Simulation sim(seed);
+    sims.push_back(std::make_unique<sim::Simulation>(seed));
+    sim::Simulation& sim = *sims.back();
+    sim.EnableMetrics();
     dht::Ring ring(8);
     for (std::size_t i = 0; i < nodes; ++i) ring.JoinHashed(i);
     ring.StabilizeAll();
@@ -366,9 +522,18 @@ int CmdHbJitter(util::FlagParser& flags) {
     t.AddRow({jitter, static_cast<long long>(hb.heartbeats_delivered()),
               static_cast<long long>(hb.false_suspicions()),
               static_cast<double>(hb.false_suspicions()) / node_minutes});
+    const std::string prefix = "jitter" + std::to_string(jitter) + ".";
+    report.AddResult(prefix + "delivered",
+                     static_cast<double>(hb.heartbeats_delivered()));
+    report.AddResult(prefix + "false_pos",
+                     static_cast<double>(hb.false_suspicions()));
+    report.AddResult(prefix + "fp_per_node_min",
+                     static_cast<double>(hb.false_suspicions()) /
+                         node_minutes);
   }
   std::printf("%s", t.ToText(3).c_str());
-  return 0;
+  if (!sims.empty()) report.AttachMetrics(&sims.back()->metrics());
+  return FinishReport(report, report_path);
 }
 
 int CmdTopo(util::FlagParser& flags) {
@@ -377,6 +542,7 @@ int CmdTopo(util::FlagParser& flags) {
       flags.GetInt("hosts", 1200, "end systems"));
   const auto seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 7, "topology seed"));
+  const std::string report_path = ReportPath(flags);
   util::Rng rng(seed);
   const auto topo = net::GenerateTransitStub(params, rng);
   const net::LatencyOracle oracle(topo);
@@ -401,7 +567,233 @@ int CmdTopo(util::FlagParser& flags) {
   t.AddRow({std::string("latency p50 (ms)"), util::Percentile(lat, 50)});
   t.AddRow({std::string("latency p90 (ms)"), util::Percentile(lat, 90)});
   std::printf("%s", t.ToText(1).c_str());
-  return 0;
+
+  obs::RunReport report("topo");
+  report.set_seed(seed);
+  report.AddConfig("hosts", static_cast<std::int64_t>(params.end_hosts));
+  report.AddResult("routers", static_cast<double>(topo.router_count()));
+  report.AddResult("end_hosts", static_cast<double>(topo.host_count()));
+  report.AddResult("router_edges",
+                   static_cast<double>(topo.routers.edge_count()));
+  report.AddResult("latency_p10_ms", util::Percentile(lat, 10));
+  report.AddResult("latency_p50_ms", util::Percentile(lat, 50));
+  report.AddResult("latency_p90_ms", util::Percentile(lat, 90));
+  return FinishReport(report, report_path);
+}
+
+// The self-monitoring experiment (tentpole of the observability PR): every
+// host folds a snapshot of its own transport counters into the NodeReport
+// it hands SOMO, so the system's telemetry travels in-band up the gather
+// tree. The root's aggregate then claims to describe per-host traffic —
+// and because this is a simulation we also hold the exact ground truth
+// (Transport::EnablePerHostStats). This command quantifies the divergence
+// between the two under fault injection:
+//   count error  — mean relative error of the root view's per-host
+//                  sent-message counters vs the live transport counters;
+//   age error    — mean age of the telemetry samples in the root view
+//                  (how old the in-band "now" is);
+//   coverage     — alive hosts represented with valid telemetry.
+// Scenarios: none (baseline), loss (Bernoulli drop on every send), and
+// partition (a host block isolated for the middle third of the run).
+int CmdObserve(util::FlagParser& flags) {
+  const auto nodes =
+      static_cast<std::size_t>(flags.GetInt("nodes", 64, "ring size"));
+  const auto fanout =
+      static_cast<std::size_t>(flags.GetInt("fanout", 4, "SOMO fanout k"));
+  const double interval =
+      flags.GetDouble("interval-ms", 1000.0, "SOMO reporting cycle T");
+  const double loss = flags.GetDouble(
+      "loss", 0.2, "loss probability for the 'loss' scenario");
+  const double horizon =
+      flags.GetDouble("horizon-ms", 60000.0, "simulated time per scenario");
+  const auto seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 1, "simulation seed"));
+  const std::string scenarios_flag = flags.GetString(
+      "scenarios", "none,loss,partition", "comma-separated scenario names");
+  const std::string ts_dir = flags.GetString(
+      "timeseries-dir", "", "write observe_<scenario>.csv files to DIR");
+  const std::string report_path = ReportPath(flags);
+
+  struct Scenario {
+    std::string name;
+    double loss = 0.0;
+    bool partition = false;
+  };
+  std::vector<Scenario> scenarios;
+  {
+    std::size_t pos = 0;
+    while (pos <= scenarios_flag.size()) {
+      const std::size_t comma = scenarios_flag.find(',', pos);
+      const std::string name = scenarios_flag.substr(
+          pos, comma == std::string::npos ? comma : comma - pos);
+      if (name == "none") {
+        scenarios.push_back({name, 0.0, false});
+      } else if (name == "loss") {
+        scenarios.push_back({name, loss, false});
+      } else if (name == "partition") {
+        scenarios.push_back({name, 0.0, true});
+      } else if (!name.empty()) {
+        throw util::CheckError("unknown scenario '" + name +
+                               "' (none|loss|partition)");
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  if (scenarios.empty()) throw util::CheckError("no scenarios selected");
+
+  obs::RunReport report("observe");
+  report.set_seed(seed);
+  report.AddConfig("nodes", static_cast<std::int64_t>(nodes));
+  report.AddConfig("fanout", static_cast<std::int64_t>(fanout));
+  report.AddConfig("interval_ms", interval);
+  report.AddConfig("loss", loss);
+  report.AddConfig("horizon_ms", horizon);
+  report.AddConfig("scenarios", scenarios_flag);
+  std::vector<std::unique_ptr<sim::Simulation>> sims;
+
+  util::Table t({"scenario", "coverage", "count_err%", "age_err_ms",
+                 "peak_age_ms", "root_stale_ms", "drop%"});
+  for (const Scenario& sc : scenarios) {
+    sims.push_back(std::make_unique<sim::Simulation>(seed));
+    sim::Simulation& sim = *sims.back();
+    sim.EnableMetrics();
+    sim.transport().EnablePerHostStats(nodes);
+    sim.transport().faults().loss_probability = sc.loss;
+
+    dht::Ring ring(16);
+    for (std::size_t i = 0; i < nodes; ++i) ring.JoinHashed(i);
+    ring.StabilizeAll();
+    ring.set_metrics(&sim.metrics());
+
+    // Background workload whose telemetry the SOMO reports carry: the
+    // leafset heartbeat protocol (suspicion mode doubles as the churn
+    // signal under loss).
+    dht::HeartbeatConfig hb_cfg;
+    hb_cfg.suspect_alive = true;
+    dht::HeartbeatProtocol hb(sim, ring, hb_cfg);
+    hb.Start();
+
+    somo::SomoConfig cfg;
+    cfg.fanout = fanout;
+    cfg.report_interval_ms = interval;
+    somo::SomoProtocol somo(sim, ring, cfg, [&](dht::NodeIndex n) {
+      somo::NodeReport r;
+      r.node = n;
+      r.host = ring.node(n).host();
+      r.generated_at = sim.now();
+      // In-band self-monitoring: snapshot this host's transport counters
+      // into the report (rides the existing 40-byte record budget).
+      const sim::HostStats& hs = sim.transport().host_stats(r.host);
+      r.telemetry.msgs_sent = hs.sent;
+      r.telemetry.msgs_delivered = hs.delivered;
+      r.telemetry.msgs_dropped = hs.dropped;
+      r.telemetry.bytes_sent = hs.bytes;
+      r.telemetry.sampled_at = sim.now();
+      return r;
+    });
+    somo.Start();
+
+    obs::TimeseriesSampler sampler;
+    const std::string ts_path =
+        ts_dir.empty() ? "" : ts_dir + "/observe_" + sc.name + ".csv";
+    if (!ts_path.empty()) {
+      sampler.AddProbe("root_staleness_ms", [&] {
+        const double v = somo.RootStalenessMs();
+        return std::isfinite(v) ? v : -1.0;
+      });
+      sampler.AddProbe("root_members", [&] {
+        return sim.metrics().Value("somo.root.members");
+      });
+      sampler.AddProbe("hb_sent", [&] {
+        return sim.metrics().Value("dht.heartbeat.sent");
+      });
+      sampler.AddProbe("inflight_messages", [&] {
+        return static_cast<double>(sim.transport().inflight_messages());
+      });
+      sim.Every(interval, interval, [&] { sampler.Sample(sim.now()); });
+    }
+
+    // Divergence: the in-band root view vs the live transport counters.
+    struct Divergence {
+      double coverage = 0.0;
+      double count_err_pct = 0.0;
+      double age_ms = 0.0;
+    };
+    const auto measure = [&] {
+      Divergence d;
+      std::size_t with_telemetry = 0;
+      for (const auto& r : somo.RootReport().members) {
+        if (!r.telemetry.valid()) continue;
+        ++with_telemetry;
+        const sim::HostStats& truth = sim.transport().host_stats(r.host);
+        const double truth_sent = static_cast<double>(truth.sent);
+        d.count_err_pct += std::abs(static_cast<double>(r.telemetry.msgs_sent) -
+                                    truth_sent) /
+                           std::max(1.0, truth_sent);
+        d.age_ms += sim.now() - r.telemetry.sampled_at;
+      }
+      const double denom =
+          with_telemetry > 0 ? static_cast<double>(with_telemetry) : 1.0;
+      d.coverage = static_cast<double>(with_telemetry) /
+                   static_cast<double>(ring.alive_count());
+      d.count_err_pct = 100.0 * d.count_err_pct / denom;
+      d.age_ms /= denom;
+      return d;
+    };
+
+    if (sc.partition) {
+      // Isolate the first eighth of the hosts for the middle third of the
+      // run; their telemetry in the root view freezes until the heal.
+      std::vector<std::size_t> block;
+      for (std::size_t h = 0; h < nodes / 8; ++h) block.push_back(h);
+      sim.At(horizon / 3.0, [&sim, block] { sim.transport().Partition(block); });
+      sim.At(2.0 * horizon / 3.0, [&sim] { sim.transport().HealPartitions(); });
+    }
+    // Peak divergence: sampled just before the partition heals (the worst
+    // moment for that scenario; for the others just a mid-run reading).
+    Divergence peak;
+    sim.At(2.0 * horizon / 3.0 - 1.0, [&] { peak = measure(); });
+
+    sim.RunUntil(horizon);
+
+    const Divergence final = measure();
+    const auto total = sim.transport().stats().Total();
+    const double drop_pct =
+        total.sent == 0 ? 0.0
+                        : 100.0 * static_cast<double>(total.dropped) /
+                              static_cast<double>(total.sent);
+    const double root_stale = somo.RootStalenessMs();
+
+    t.AddRow({sc.name, final.coverage, final.count_err_pct, final.age_ms,
+              peak.age_ms, root_stale, drop_pct});
+    const std::string prefix = sc.name + ".";
+    report.AddResult(prefix + "coverage", final.coverage);
+    report.AddResult(prefix + "count_error_pct", final.count_err_pct);
+    report.AddResult(prefix + "age_error_ms", final.age_ms);
+    report.AddResult(prefix + "peak_count_error_pct", peak.count_err_pct);
+    report.AddResult(prefix + "peak_age_error_ms", peak.age_ms);
+    report.AddResult(prefix + "root_staleness_ms", root_stale);
+    report.AddResult(prefix + "drop_pct", drop_pct);
+
+    if (!ts_path.empty()) {
+      if (!sampler.WriteCsv(ts_path)) {
+        std::printf("error: cannot write timeseries to %s\n",
+                    ts_path.c_str());
+        return 1;
+      }
+      report.AddTimeseries(sc.name, ts_path, sampler.rows(),
+                           sampler.total_rows());
+    }
+    somo.Stop();
+    hb.Stop();
+  }
+  std::printf("%s", t.ToText(3).c_str());
+  if (!ts_dir.empty())
+    std::printf("timeseries CSVs -> %s/observe_<scenario>.csv\n",
+                ts_dir.c_str());
+  if (!sims.empty()) report.AttachMetrics(&sims.back()->metrics());
+  return FinishReport(report, report_path);
 }
 
 }  // namespace
@@ -424,6 +816,8 @@ int main(int argc, char** argv) {
       rc = CmdHbJitter(flags);
     } else if (cmd == "topo") {
       rc = CmdTopo(flags);
+    } else if (cmd == "observe") {
+      rc = CmdObserve(flags);
     } else {
       std::printf("unknown command '%s'\n", cmd.c_str());
       return Usage();

@@ -6,6 +6,11 @@
 # implementation on identical instances, so the per-size real_time ratio
 # BM_AmcastPlanReference/N : BM_AmcastPlan/N is the planning-path speedup.
 #
+# Also writes BENCH_metrics_snapshot.json — a p2pmetrics/v1 registry
+# snapshot from a short instrumented workload — and checks the metrics
+# overhead pairs (BM_TransportThroughputMetrics vs BM_TransportThroughput,
+# BM_PlanSessionMetrics vs BM_PlanSession) stay under 5%.
+#
 # Usage: tools/run_benches.sh [extra google-benchmark flags...]
 set -euo pipefail
 
@@ -22,3 +27,23 @@ cmake --build --preset release -j "$(nproc)" --target bench_to_json bench_micro
   "$@"
 
 echo "wrote $repo_root/BENCH_alm.json"
+
+# Metrics-overhead regression gate (<5%): a focused re-run of the
+# instrumented/bare twins with repetitions, compared on median cpu_time
+# (single-shot comparisons are dominated by scheduler noise). Warn-only:
+# noise on loaded machines should not fail the whole bench run.
+./build-release/bench/bench_to_json \
+  --benchmark_filter='BM_TransportThroughput(Metrics)?/|BM_PlanSession(Metrics)?/' \
+  --benchmark_out="$repo_root/BENCH_obs_overhead.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.5 \
+  --benchmark_repetitions=5 \
+  --benchmark_report_aggregates_only=true
+echo "wrote $repo_root/BENCH_obs_overhead.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$repo_root/tools/check_bench_overhead.py" \
+    "$repo_root/BENCH_obs_overhead.json" \
+    || echo "WARNING: metrics overhead above 5% — inspect BENCH_obs_overhead.json"
+else
+  echo "python3 not found; skipping metrics-overhead check"
+fi

@@ -5,15 +5,26 @@
 # outliving protocols, trace sinks outliving simulations), so treat a clean
 # default run as only half a result.
 #
-# Usage: tools/run_tests.sh [preset...]     # default: "default sanitize"
+# Usage: tools/run_tests.sh [--report] [preset...] # default: "default sanitize"
 #   tools/run_tests.sh default              # quick pass only
 #   tools/run_tests.sh sanitize             # sanitizer pass only
+#   tools/run_tests.sh --report default     # also run every CLI experiment
+#                                           # with --report and validate the
+#                                           # emitted p2preport/v1 JSON
 set -euo pipefail
 
 repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
 cd "$repo_root"
 
-presets=("$@")
+report_mode=0
+presets=()
+for arg in "$@"; do
+  if [ "$arg" = "--report" ]; then
+    report_mode=1
+  else
+    presets+=("$arg")
+  fi
+done
 if [ ${#presets[@]} -eq 0 ]; then
   presets=(default sanitize)
 fi
@@ -24,5 +35,30 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "$preset" -j "$(nproc)"
   ctest --preset "$preset" -j "$(nproc)"
 done
+
+if [ "$report_mode" = 1 ]; then
+  echo "==== run-report validation ===="
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "error: --report mode needs python3 for tools/validate_report.py" >&2
+    exit 1
+  fi
+  cli="build/tools/p2ppool_cli"
+  if [ ! -x "$cli" ]; then
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)" --target p2ppool_cli
+  fi
+  report_dir=$(mktemp -d)
+  trap 'rm -rf "$report_dir"' EXIT
+  # Small instances: this validates report plumbing, not experiment scale.
+  "$cli" plan --group 40                  --report "$report_dir/plan.json"      >/dev/null
+  "$cli" multi --sessions 10             --report "$report_dir/multi.json"     >/dev/null
+  "$cli" somo --nodes 32 --horizon-ms 20000 --report "$report_dir/somo.json"   >/dev/null
+  "$cli" somo-loss --nodes 24 --horizon-ms 20000 --report "$report_dir/somo-loss.json" >/dev/null
+  "$cli" hb-jitter --nodes 24 --horizon-ms 20000 --report "$report_dir/hb-jitter.json" >/dev/null
+  "$cli" topo --hosts 300                --report "$report_dir/topo.json"      >/dev/null
+  "$cli" observe --nodes 32 --horizon-ms 20000 --timeseries-dir "$report_dir" \
+         --report "$report_dir/observe.json" >/dev/null
+  python3 tools/validate_report.py "$report_dir"/*.json
+fi
 
 echo "all test presets passed: ${presets[*]}"

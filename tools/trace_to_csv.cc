@@ -1,27 +1,31 @@
-// trace_to_csv — convert a "p2ptrace v1" dump (TraceSink::WriteText, as
+// trace_to_csv — convert a "p2ptrace" dump (TraceSink::WriteText, as
 // written by `p2ppool_cli somo --trace FILE`) into CSV for external
-// plotting.
+// plotting. Reads both v1 (no drop cause) and v2 dumps via the shared
+// obs::ReadTrace parser; the CSV always carries the cause column (v1
+// records report "none").
 //
 //   trace_to_csv trace.txt            > trace.csv
 //   trace_to_csv trace.txt out.csv
 //
-// Prints a per-protocol summary (messages, bytes, drops) to stderr, so the
-// CSV on stdout stays clean.
+// Prints a per-protocol summary (messages, bytes, drops by cause) to
+// stderr, so the CSV on stdout stays clean.
 #include <cstdio>
-#include <cstring>
 #include <map>
 #include <string>
+
+#include "obs/trace_reader.h"
 
 namespace {
 
 struct ProtoSummary {
   std::size_t messages = 0;
   std::size_t bytes = 0;
-  std::size_t drops = 0;
+  std::size_t drops_loss = 0;
+  std::size_t drops_partition = 0;
 };
 
-int Fail(const char* msg) {
-  std::fprintf(stderr, "trace_to_csv: %s\n", msg);
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "trace_to_csv: %s\n", msg.c_str());
   return 1;
 }
 
@@ -31,68 +35,45 @@ int main(int argc, char** argv) {
   if (argc < 2 || argc > 3) {
     std::fprintf(stderr,
                  "usage: trace_to_csv <trace.txt> [out.csv]\n"
-                 "converts a p2ptrace v1 dump to CSV (stdout by default)\n");
+                 "converts a p2ptrace v1/v2 dump to CSV (stdout by default)\n");
     return 2;
   }
-  std::FILE* in = std::fopen(argv[1], "r");
-  if (in == nullptr) return Fail("cannot open input");
-  std::FILE* out = stdout;
-  if (argc == 3) {
-    out = std::fopen(argv[2], "w");
-    if (out == nullptr) {
-      std::fclose(in);
-      return Fail("cannot open output");
-    }
-  }
-
-  char line[512];
-  if (std::fgets(line, sizeof line, in) == nullptr) {
-    std::fclose(in);
-    return Fail("empty input");
-  }
-  std::size_t held = 0, total = 0;
-  if (std::sscanf(line, "p2ptrace v1 %zu %zu", &held, &total) != 2)
-    return Fail("not a p2ptrace v1 file");
-  if (total > held)
+  p2p::obs::TraceFile trace;
+  std::string error;
+  if (!p2p::obs::ReadTraceFile(argv[1], &trace, &error)) return Fail(error);
+  if (trace.truncated())
     std::fprintf(stderr,
                  "trace_to_csv: warning: trace truncated (%zu of %zu "
                  "records kept — raise --trace-cap)\n",
-                 held, total);
+                 trace.held, trace.total);
 
-  std::fprintf(out, "time_ms,src_host,dst_host,protocol,kind,bytes,dropped\n");
+  std::FILE* out = stdout;
+  if (argc == 3) {
+    out = std::fopen(argv[2], "w");
+    if (out == nullptr) return Fail("cannot open output");
+  }
+
+  std::fprintf(out,
+               "time_ms,src_host,dst_host,protocol,kind,bytes,dropped,cause\n");
   std::map<std::string, ProtoSummary> summary;
-  std::size_t rows = 0;
-  while (std::fgets(line, sizeof line, in) != nullptr) {
-    double time_ms = 0.0;
-    std::size_t src = 0, dst = 0, bytes = 0;
-    unsigned kind = 0;
-    int dropped = 0;
-    char proto[64];
-    if (std::sscanf(line, "%lf %zu %zu %63s %u %zu %d", &time_ms, &src, &dst,
-                    proto, &kind, &bytes, &dropped) != 7) {
-      std::fclose(in);
-      return Fail("malformed record line");
-    }
-    std::fprintf(out, "%.6f,%zu,%zu,%s,%u,%zu,%d\n", time_ms, src, dst,
-                 proto, kind, bytes, dropped);
+  for (const auto& r : trace.records) {
+    const char* proto = p2p::sim::ProtocolName(r.protocol);
+    std::fprintf(out, "%.6f,%zu,%zu,%s,%u,%zu,%d,%s\n", r.time_ms,
+                 r.src_host, r.dst_host, proto,
+                 static_cast<unsigned>(r.kind), r.bytes, r.dropped ? 1 : 0,
+                 p2p::sim::DropCauseName(r.cause));
     auto& s = summary[proto];
     ++s.messages;
-    s.bytes += bytes;
-    s.drops += static_cast<std::size_t>(dropped);
-    ++rows;
+    s.bytes += r.bytes;
+    if (r.cause == p2p::sim::DropCause::kLoss) ++s.drops_loss;
+    if (r.cause == p2p::sim::DropCause::kPartition) ++s.drops_partition;
   }
-  std::fclose(in);
   if (out != stdout) std::fclose(out);
-  if (rows != held)
-    std::fprintf(stderr,
-                 "trace_to_csv: warning: header promised %zu records, "
-                 "found %zu\n",
-                 held, rows);
 
-  std::fprintf(stderr, "%-12s %10s %12s %8s\n", "protocol", "messages",
-               "bytes", "drops");
+  std::fprintf(stderr, "%-12s %10s %12s %10s %10s\n", "protocol", "messages",
+               "bytes", "drop:loss", "drop:part");
   for (const auto& [name, s] : summary)
-    std::fprintf(stderr, "%-12s %10zu %12zu %8zu\n", name.c_str(),
-                 s.messages, s.bytes, s.drops);
+    std::fprintf(stderr, "%-12s %10zu %12zu %10zu %10zu\n", name.c_str(),
+                 s.messages, s.bytes, s.drops_loss, s.drops_partition);
   return 0;
 }

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate p2preport/v1 run reports (p2ppool_cli --report output).
+
+Hand-rolled checker mirroring tools/report_schema.json — the container has
+no jsonschema package, and the schema is small enough that an explicit
+walk is clearer anyway. Exits 0 when every file passes, 1 otherwise.
+
+Usage: validate_report.py report.json [more.json ...]
+"""
+
+import json
+import sys
+
+
+def _err(path, msg, errors):
+    errors.append(f"{path}: {msg}")
+
+
+def validate_metrics(m, path, errors):
+    if m is None:
+        return
+    if not isinstance(m, dict):
+        _err(path, "metrics must be an object or null", errors)
+        return
+    if m.get("schema") != "p2pmetrics/v1":
+        _err(path, f"metrics.schema is {m.get('schema')!r}, "
+                   "expected 'p2pmetrics/v1'", errors)
+    for section in ("counters", "gauges", "histograms"):
+        sec = m.get(section)
+        if not isinstance(sec, dict):
+            _err(path, f"metrics.{section} missing or not an object", errors)
+            continue
+        if section == "histograms":
+            for name, h in sec.items():
+                if not isinstance(h, dict):
+                    _err(path, f"histogram {name!r} is not an object", errors)
+                    continue
+                for field in ("count", "min", "max", "mean", "sum",
+                              "p50", "p90", "p99"):
+                    v = h.get(field)
+                    if not (v is None and field != "count"
+                            or isinstance(v, (int, float))):
+                        _err(path, f"histogram {name!r}.{field} "
+                                   f"is {type(v).__name__}", errors)
+        else:
+            for name, v in sec.items():
+                if not isinstance(v, (int, float)):
+                    _err(path, f"{section}[{name!r}] is not a number", errors)
+
+
+def validate_report(doc, path, errors):
+    if not isinstance(doc, dict):
+        _err(path, "top level is not an object", errors)
+        return
+    if doc.get("schema") != "p2preport/v1":
+        _err(path, f"schema is {doc.get('schema')!r}, "
+                   "expected 'p2preport/v1'", errors)
+    if not isinstance(doc.get("experiment"), str) or not doc.get("experiment"):
+        _err(path, "experiment missing or empty", errors)
+    seed = doc.get("seed")
+    if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+        _err(path, "seed missing or not a non-negative integer", errors)
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        _err(path, "config missing or not an object", errors)
+    else:
+        for k, v in config.items():
+            if not isinstance(v, str):
+                _err(path, f"config[{k!r}] is not a string "
+                           "(values are stringified)", errors)
+
+    results = doc.get("results")
+    if not isinstance(results, dict):
+        _err(path, "results missing or not an object", errors)
+    else:
+        for k, v in results.items():
+            # Non-finite results serialize as null by design.
+            if v is not None and not isinstance(v, (int, float)):
+                _err(path, f"results[{k!r}] is not a number or null", errors)
+
+    validate_metrics(doc.get("metrics"), path, errors)
+
+    ts = doc.get("timeseries", [])
+    if not isinstance(ts, list):
+        _err(path, "timeseries is not an array", errors)
+    else:
+        for i, ref in enumerate(ts):
+            if not isinstance(ref, dict):
+                _err(path, f"timeseries[{i}] is not an object", errors)
+                continue
+            for field, typ in (("name", str), ("path", str),
+                               ("rows", int), ("total_rows", int)):
+                if not isinstance(ref.get(field), typ):
+                    _err(path, f"timeseries[{i}].{field} missing or not "
+                               f"{typ.__name__}", errors)
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    for path in sys.argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            _err(path, f"cannot parse: {e}", errors)
+            continue
+        validate_report(doc, path, errors)
+    if errors:
+        for e in errors:
+            print(f"validate_report: {e}", file=sys.stderr)
+        return 1
+    print(f"validate_report: {len(sys.argv) - 1} report(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
