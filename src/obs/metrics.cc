@@ -62,6 +62,30 @@ double Histogram::Percentile(double p) const {
   return max_;
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  for (const auto& [b, n] : other.buckets_) buckets_[b] += n;
+  nonpositive_ += other.nonpositive_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].Inc(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name].Set(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name].MergeFrom(h);
+  }
+  for (const auto& [name, h] : other.profile_) {
+    profile_[name].MergeFrom(h);
+  }
+}
+
 double MetricsRegistry::Value(const std::string& name) const {
   const auto c = counters_.find(name);
   if (c != counters_.end()) return c->second.value();

@@ -67,6 +67,12 @@ class Histogram {
   // clamped to the exact [min, max] range; 0 when empty.
   double Percentile(double p) const;
 
+  // Fold `other` into this histogram: buckets and counts add, min/max
+  // widen, sums add. Equivalent to having recorded both sample streams
+  // (the log-bucketing is order-independent, so a merged shard snapshot
+  // matches a single-registry run byte for byte).
+  void MergeFrom(const Histogram& other);
+
  private:
   static int BucketOf(double v);
   static double BucketUpper(int b);
@@ -112,6 +118,14 @@ class MetricsRegistry {
   std::string SnapshotJson(bool include_profile = false) const;
 
   void Reset();
+
+  // Fold a shard registry into this one: counters add, gauges last-writer
+  // (the shard's value wins for every gauge it touched), histograms and
+  // profiles merge. Used by parallel planning fan-outs that give each
+  // session its own shard and combine them after the barrier — merging
+  // shards in a fixed order keeps float sums, and therefore snapshots,
+  // identical to a sequential run.
+  void MergeFrom(const MetricsRegistry& other);
 
  private:
   std::map<std::string, Counter> counters_;

@@ -52,6 +52,16 @@ MultiSessionResult RunMultiSessionExperiment(
     double ub_improvement = 0.0;
   };
   std::vector<BoundsRow> bounds(specs.size());
+  // Registry sharding: each session's planning instruments its own shard,
+  // merged into params.metrics in spec order after the fan-out. Worker
+  // threads never touch the shared registry, and the sequential path runs
+  // the identical shard-then-merge code, so `--jobs N` snapshots are
+  // byte-identical to sequential ones.
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> shards;
+  if (params.metrics != nullptr) {
+    shards.resize(specs.size());
+    for (auto& shard : shards) shard = std::make_unique<obs::MetricsRegistry>();
+  }
   const auto compute_bounds = [&](std::size_t s) {
     const auto& spec = specs[s];
     alm::PlanInput in;
@@ -68,6 +78,13 @@ MultiSessionResult RunMultiSessionExperiment(
     const double lb_height =
         PlanSession(in, alm::Strategy::kAmcastAdjust).height_true;
     bounds[s].lb_improvement = alm::Improvement(base_height, lb_height);
+    if (!shards.empty()) {
+      obs::MetricsRegistry& shard = *shards[s];
+      shard.counter("pool.bounds.sessions").Inc();
+      shard.histogram("pool.bounds.base_height_ms").Add(base_height);
+      shard.histogram("pool.bounds.lb_improvement")
+          .Add(bounds[s].lb_improvement);
+    }
 
     if (params.compute_upper_bound) {
       alm::PlanInput solo = in;
@@ -83,6 +100,13 @@ MultiSessionResult RunMultiSessionExperiment(
       const double ub_height =
           PlanSession(solo, alm::Strategy::kLeafsetAdjust).height_true;
       bounds[s].ub_improvement = alm::Improvement(base_height, ub_height);
+      if (!shards.empty()) {
+        obs::MetricsRegistry& shard = *shards[s];
+        shard.counter("pool.bounds.helper_candidates")
+            .Inc(static_cast<double>(solo.helper_candidates.size()));
+        shard.histogram("pool.bounds.ub_improvement")
+            .Add(bounds[s].ub_improvement);
+      }
     }
   };
   {
@@ -97,6 +121,9 @@ MultiSessionResult RunMultiSessionExperiment(
       for (std::size_t s = 0; s < specs.size(); ++s) compute_bounds(s);
     }
   }
+  // Merge order is spec order, on this (single) thread: float sums — and
+  // therefore snapshot bytes — cannot depend on worker interleaving.
+  for (const auto& shard : shards) params.metrics->MergeFrom(*shard);
   for (const BoundsRow& row : bounds) {
     result.lower_bound_improvement.Add(row.lb_improvement);
     if (params.compute_upper_bound)

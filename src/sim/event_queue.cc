@@ -1,70 +1,660 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
 #include <utility>
+#include <vector>
 
 namespace p2p::sim {
 
+// ---------------------------------------------------------------------------
+// Ordering backends. A backend owns only the ORDER of scheduled slab
+// records; the records themselves (time, seq, callback, state) live in the
+// facade's slab. Liveness for the lazy structures is resolved through
+// OccurrenceLive(slot, seq): a (slot, seq) pair names one occurrence of one
+// event, so a stale heap entry can never resurrect a cancelled or re-armed
+// record.
+// ---------------------------------------------------------------------------
+
+class EventQueue::Backend {
+ public:
+  explicit Backend(EventQueue& q) : q_(q) {}
+  virtual ~Backend() = default;
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  // `slot` is kScheduled with its final (time, seq) when Add is called.
+  virtual void Add(std::uint32_t slot) = 0;
+  // Called while the occurrence named by the backend's entry is already
+  // dead (seq bumped or state changed), so lazy backends may compact.
+  virtual void Remove(std::uint32_t slot) = 0;
+  virtual std::uint32_t PeekMin() = 0;
+  virtual std::uint32_t PopMin() = 0;
+  virtual std::size_t footprint() const = 0;
+
+ protected:
+  const Slot& record(std::uint32_t slot) const { return q_.slab_[slot]; }
+  bool Live(std::uint32_t slot, std::uint64_t seq) const {
+    return q_.OccurrenceLive(slot, seq);
+  }
+
+ private:
+  EventQueue& q_;
+};
+
+namespace {
+
+// Strict (time, seq) "fires later" order. std::push_heap and friends build
+// a max-heap, so heaping with this comparator keeps the earliest entry at
+// the front.
+template <typename T>
+bool FiresLater(const T& a, const T& b) {
+  return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WheelBackend — hierarchical timing wheel (default).
+//
+// Three levels of 256 buckets cover ticks (whole milliseconds) relative to
+// the wheel clock `current_tick_`:
+//
+//   level 0: ticks sharing current_tick_ >> 8   (1 ms per bucket)
+//   level 1: ticks sharing current_tick_ >> 16  (256 ms per bucket)
+//   level 2: ticks sharing current_tick_ >> 24  (65,536 ms per bucket)
+//   beyond:  overflow min-heap (lazy cancellation, compacting)
+//
+// Window alignment gives a total order across the structures: every level-0
+// tick precedes every level-1 bucket, which precedes every level-2 bucket,
+// which precedes everything in overflow. Advancing therefore never needs a
+// global comparison — serve level 0, else cascade the first level-1/2
+// bucket down, else jump the clock to the overflow minimum and drain its
+// 2^24-tick window back into the wheel. Each entry cascades at most once
+// per level, so scheduling is amortized O(1).
+//
+// Sub-millisecond ordering: the bucket granularity is 1 ms but event times
+// are doubles, so serving a tick first moves its bucket into `due_`, sorted
+// by exact (time, seq); pops walk `due_` with a cursor. Same-tick events
+// scheduled *while the tick is being served* binary-insert at or after the
+// cursor (callers never schedule before the last popped time, so the sorted
+// order is preserved).
+//
+// Cancellation in buckets and due_ is eager (per-slot location tracking),
+// so only the overflow heap carries garbage — that keeps heap_footprint()
+// within the documented 2 * live + 1 bound.
+// ---------------------------------------------------------------------------
+
+class EventQueue::WheelBackend final : public EventQueue::Backend {
+ public:
+  explicit WheelBackend(EventQueue& q) : Backend(q) { occ_.fill(0); }
+
+  void Add(std::uint32_t slot) override {
+    if (loc_.size() <= slot) loc_.resize(slot + 1);
+    Place(slot);
+    // Keep the cached minimum correct: a strictly earlier arrival takes
+    // over; on a time tie the incumbent wins (its seq is smaller).
+    if (cache_ != kNoSlot && record(slot).time < cache_time_) {
+      cache_ = slot;
+      cache_time_ = record(slot).time;
+    }
+  }
+
+  void Remove(std::uint32_t slot) override {
+    if (slot == cache_) cache_ = kNoSlot;
+    Loc& loc = loc_[slot];
+    switch (loc.kind) {
+      case Loc::kBucket: {
+        std::vector<std::uint32_t>& b = buckets_[loc.bucket];
+        b[loc.pos] = b.back();
+        loc_[b[loc.pos]].pos = loc.pos;
+        b.pop_back();
+        --bucket_entries_;
+        if (b.empty()) ClearBit(loc.bucket);
+        break;
+      }
+      case Loc::kDue: {
+        due_.erase(due_.begin() + loc.pos);
+        for (std::size_t i = loc.pos; i < due_.size(); ++i) {
+          loc_[due_[i]].pos = static_cast<std::uint32_t>(i);
+        }
+        // Cancelling the last pending entry must leave due_ truly empty
+        // (not a served prefix with cursor == size): ServeBucketAsDue
+        // swaps the next tick's bucket into due_ and relies on it.
+        if (due_cursor_ >= due_.size()) {
+          due_.clear();
+          due_cursor_ = 0;
+        }
+        break;
+      }
+      case Loc::kOverflow:
+        ++ov_garbage_;
+        // Each compaction discards at least half the heap, so the cost
+        // amortises to O(1) per cancellation.
+        if (ov_garbage_ > overflow_.size() / 2) CompactOverflow();
+        break;
+      case Loc::kNone:
+        break;
+    }
+    loc.kind = Loc::kNone;
+  }
+
+  std::uint32_t PeekMin() override {
+    if (cache_ != kNoSlot) return cache_;
+    // Read-only min: the ordered-hierarchy invariant means the earliest
+    // entry is in due_, else the first occupied bucket of the lowest
+    // occupied level, else the overflow top. No cascading here — peeking
+    // must not move the wheel clock, or a later Schedule at a time between
+    // now and the peeked event would land behind the clock.
+    std::uint32_t best = kNoSlot;
+    if (due_cursor_ < due_.size()) {
+      best = due_[due_cursor_];
+    } else {
+      for (int level = 0; level < 3 && best == kNoSlot; ++level) {
+        const int idx = FindFirst(level);
+        if (idx >= 0) best = MinOfBucket(buckets_[level * 256 + idx]);
+      }
+      if (best == kNoSlot) {
+        DropOverflowGarbage();
+        P2P_CHECK(!overflow_.empty());
+        best = overflow_.front().slot;
+      }
+    }
+    cache_ = best;
+    cache_time_ = record(best).time;
+    return best;
+  }
+
+  std::uint32_t PopMin() override {
+    cache_ = kNoSlot;
+    for (;;) {
+      if (due_cursor_ < due_.size()) {
+        const std::uint32_t slot = due_[due_cursor_++];
+        loc_[slot].kind = Loc::kNone;
+        if (due_cursor_ == due_.size()) {
+          due_.clear();
+          due_cursor_ = 0;
+        }
+        return slot;
+      }
+      const int i0 = FindFirst(0);
+      if (i0 >= 0) {
+        current_tick_ = (current_tick_ & ~0xffull) |
+                        static_cast<std::uint64_t>(i0);
+        ServeBucketAsDue(i0);
+        continue;
+      }
+      const int j1 = FindFirst(1);
+      if (j1 >= 0) {
+        current_tick_ = (current_tick_ & ~0xffffull) |
+                        (static_cast<std::uint64_t>(j1) << 8);
+        CascadeBucket(256 + j1);
+        continue;
+      }
+      const int j2 = FindFirst(2);
+      if (j2 >= 0) {
+        current_tick_ = (current_tick_ & ~0xffffffull) |
+                        (static_cast<std::uint64_t>(j2) << 16);
+        CascadeBucket(512 + j2);
+        continue;
+      }
+      // Wheel empty: jump the clock to the overflow minimum and pull
+      // everything in its 2^24-tick window back into the wheel. Safe
+      // because all wheel windows are empty and overflow entries are the
+      // only events left.
+      DropOverflowGarbage();
+      P2P_CHECK(!overflow_.empty());
+      current_tick_ = TickOf(overflow_.front().time);
+      while (!overflow_.empty()) {
+        const OvItem top = overflow_.front();
+        if (!Live(top.slot, top.seq)) {
+          PopOverflowTop();
+          --ov_garbage_;
+          continue;
+        }
+        if ((TickOf(top.time) >> 24) != (current_tick_ >> 24)) break;
+        PopOverflowTop();
+        Place(top.slot);
+      }
+    }
+  }
+
+  std::size_t footprint() const override {
+    return bucket_entries_ + (due_.size() - due_cursor_) + overflow_.size();
+  }
+
+ private:
+  struct Loc {
+    enum Kind : std::uint8_t { kNone, kBucket, kDue, kOverflow };
+    Kind kind = kNone;
+    std::uint16_t bucket = 0;  // global bucket index (level * 256 + slot)
+    std::uint32_t pos = 0;     // index within the bucket vector or due_
+  };
+  struct OvItem {
+    Time time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  // Casting a double >= 2^63 to uint64 is UB; times this far out (~127
+  // millennia of simulated ms) collapse into one sentinel tick and order
+  // purely by exact (time, seq) in the due list.
+  static constexpr std::uint64_t kHugeTick = std::uint64_t{1} << 62;
+  static std::uint64_t TickOf(Time t) {
+    if (t >= 4.0e15) return kHugeTick;
+    return static_cast<std::uint64_t>(t);
+  }
+
+  void Place(std::uint32_t slot) {
+    const Slot& s = record(slot);
+    const std::uint64_t tick = TickOf(s.time);
+    if (tick <= current_tick_) {
+      // The tick being served right now (or the sentinel tick).
+      InsertDue(slot);
+      return;
+    }
+    int bucket = -1;
+    if ((tick >> 8) == (current_tick_ >> 8)) {
+      bucket = static_cast<int>(tick & 0xff);
+    } else if ((tick >> 16) == (current_tick_ >> 16)) {
+      bucket = 256 + static_cast<int>((tick >> 8) & 0xff);
+    } else if ((tick >> 24) == (current_tick_ >> 24)) {
+      bucket = 512 + static_cast<int>((tick >> 16) & 0xff);
+    }
+    if (bucket < 0) {
+      overflow_.push_back(OvItem{s.time, s.seq, slot});
+      std::push_heap(overflow_.begin(), overflow_.end(), FiresLater<OvItem>);
+      loc_[slot].kind = Loc::kOverflow;
+      return;
+    }
+    std::vector<std::uint32_t>& b = buckets_[bucket];
+    Loc& loc = loc_[slot];
+    loc.kind = Loc::kBucket;
+    loc.bucket = static_cast<std::uint16_t>(bucket);
+    loc.pos = static_cast<std::uint32_t>(b.size());
+    b.push_back(slot);
+    ++bucket_entries_;
+    SetBit(bucket);
+  }
+
+  void InsertDue(std::uint32_t slot) {
+    const Slot& s = record(slot);
+    // Binary insert by (time, seq), clamped to at or after the cursor so
+    // already-served positions are never disturbed.
+    std::size_t lo = due_cursor_;
+    std::size_t hi = due_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const Slot& m = record(due_[mid]);
+      if (m.time < s.time || (m.time == s.time && m.seq < s.seq)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    due_.insert(due_.begin() + lo, slot);
+    loc_[slot].kind = Loc::kDue;
+    for (std::size_t i = lo; i < due_.size(); ++i) {
+      loc_[due_[i]].pos = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Level-0 bucket `idx` holds exactly one tick; move it into due_ sorted
+  // by exact (time, seq).
+  void ServeBucketAsDue(int idx) {
+    std::vector<std::uint32_t>& b = buckets_[idx];
+    due_.swap(b);  // due_ is empty and cursor 0 whenever the wheel advances
+    bucket_entries_ -= due_.size();
+    ClearBit(idx);
+    std::sort(due_.begin(), due_.end(),
+              [this](std::uint32_t x, std::uint32_t y) {
+                const Slot& a = record(x);
+                const Slot& b2 = record(y);
+                return a.time < b2.time ||
+                       (a.time == b2.time && a.seq < b2.seq);
+              });
+    due_cursor_ = 0;
+    for (std::size_t i = 0; i < due_.size(); ++i) {
+      loc_[due_[i]].kind = Loc::kDue;
+      loc_[due_[i]].pos = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Re-place every entry of a level-1/2 bucket after the clock advanced to
+  // its base tick; entries land one level down (or in due_ for the base
+  // tick itself).
+  void CascadeBucket(int idx) {
+    std::vector<std::uint32_t>& b = buckets_[idx];
+    scratch_.clear();
+    scratch_.swap(b);
+    bucket_entries_ -= scratch_.size();
+    ClearBit(idx);
+    for (const std::uint32_t slot : scratch_) Place(slot);
+  }
+
+  std::uint32_t MinOfBucket(const std::vector<std::uint32_t>& b) const {
+    std::uint32_t best = kNoSlot;
+    for (const std::uint32_t slot : b) {
+      if (best == kNoSlot) {
+        best = slot;
+        continue;
+      }
+      const Slot& s = record(slot);
+      const Slot& t = record(best);
+      if (s.time < t.time || (s.time == t.time && s.seq < t.seq)) best = slot;
+    }
+    return best;
+  }
+
+  void SetBit(int bucket) {
+    occ_[static_cast<std::size_t>(bucket) >> 6] |=
+        std::uint64_t{1} << (bucket & 63);
+  }
+  void ClearBit(int bucket) {
+    occ_[static_cast<std::size_t>(bucket) >> 6] &=
+        ~(std::uint64_t{1} << (bucket & 63));
+  }
+  // First occupied bucket of `level`, as an intra-level index, or -1.
+  int FindFirst(int level) const {
+    for (int w = 0; w < 4; ++w) {
+      const std::uint64_t word = occ_[level * 4 + w];
+      if (word != 0) return w * 64 + std::countr_zero(word);
+    }
+    return -1;
+  }
+
+  void PopOverflowTop() {
+    std::pop_heap(overflow_.begin(), overflow_.end(), FiresLater<OvItem>);
+    overflow_.pop_back();
+  }
+  void DropOverflowGarbage() {
+    while (!overflow_.empty() &&
+           !Live(overflow_.front().slot, overflow_.front().seq)) {
+      PopOverflowTop();
+      --ov_garbage_;
+    }
+  }
+  void CompactOverflow() {
+    std::erase_if(overflow_, [this](const OvItem& it) {
+      return !Live(it.slot, it.seq);
+    });
+    std::make_heap(overflow_.begin(), overflow_.end(), FiresLater<OvItem>);
+    ov_garbage_ = 0;
+  }
+
+  std::uint64_t current_tick_ = 0;
+  std::array<std::vector<std::uint32_t>, 768> buckets_;
+  std::array<std::uint64_t, 12> occ_;  // 256-bit occupancy bitmap per level
+  std::size_t bucket_entries_ = 0;
+  std::vector<std::uint32_t> due_;  // current tick, sorted by (time, seq)
+  std::size_t due_cursor_ = 0;
+  std::vector<OvItem> overflow_;  // beyond-horizon min-heap (lazy cancel)
+  std::size_t ov_garbage_ = 0;
+  std::vector<Loc> loc_;  // indexed by slab slot
+  std::vector<std::uint32_t> scratch_;
+  // Cached result of PeekMin, invalidated by pops and by removal of the
+  // cached slot; keeps RunUntil's peek-then-pop loop O(1) per event.
+  std::uint32_t cache_ = kNoSlot;
+  Time cache_time_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// HeapBackend — the retained reference implementation: a flat binary
+// min-heap with lazy cancellation. Cancelled entries stay until they
+// surface; once they outnumber the live ones, a filter-and-reheapify pass
+// discards them — O(heap), but at least half the entries go, so the cost
+// amortises to O(1) per cancellation and the footprint stays within
+// 2 * live + 1 entries.
+// ---------------------------------------------------------------------------
+
+class EventQueue::HeapBackend final : public EventQueue::Backend {
+ public:
+  explicit HeapBackend(EventQueue& q) : Backend(q) {}
+
+  void Add(std::uint32_t slot) override {
+    const Slot& s = record(slot);
+    items_.push_back(Item{s.time, s.seq, slot});
+    std::push_heap(items_.begin(), items_.end(), FiresLater<Item>);
+  }
+
+  void Remove(std::uint32_t) override {
+    ++garbage_;
+    if (garbage_ <= items_.size() / 2) return;
+    std::erase_if(items_, [this](const Item& it) {
+      return !Live(it.slot, it.seq);
+    });
+    std::make_heap(items_.begin(), items_.end(), FiresLater<Item>);
+    garbage_ = 0;
+  }
+
+  std::uint32_t PeekMin() override {
+    DropGarbageHead();
+    return items_.front().slot;
+  }
+
+  std::uint32_t PopMin() override {
+    DropGarbageHead();
+    const std::uint32_t slot = items_.front().slot;
+    std::pop_heap(items_.begin(), items_.end(), FiresLater<Item>);
+    items_.pop_back();
+    return slot;
+  }
+
+  std::size_t footprint() const override { return items_.size(); }
+
+ private:
+  struct Item {
+    Time time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  void DropGarbageHead() {
+    while (!items_.empty() &&
+           !Live(items_.front().slot, items_.front().seq)) {
+      std::pop_heap(items_.begin(), items_.end(), FiresLater<Item>);
+      items_.pop_back();
+      --garbage_;
+    }
+  }
+
+  std::vector<Item> items_;
+  std::size_t garbage_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------------
+
+EventQueue::EventQueue(SchedulerKind kind) : kind_(kind) {
+  if (kind_ == SchedulerKind::kTimingWheel) {
+    backend_ = std::make_unique<WheelBackend>(*this);
+  } else {
+    backend_ = std::make_unique<HeapBackend>(*this);
+  }
+}
+
+EventQueue::~EventQueue() = default;
+
+void EventQueue::CheckTime(Time t) {
+  P2P_CHECK_MSG(std::isfinite(t), "non-finite event time " << t);
+  P2P_CHECK_MSG(t >= 0.0, "negative event time " << t);
+}
+
+std::uint32_t EventQueue::AllocSlot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+    return slot;
+  }
+  P2P_CHECK_MSG(slab_.size() < kNoSlot, "event slab exhausted");
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void EventQueue::FreeSlot(std::uint32_t slot) {
+  Slot& s = slab_[slot];
+  s.fn = nullptr;
+  s.period = -1.0;
+  s.rearmed_while_firing = false;
+  s.state = State::kFree;
+  ++s.gen;  // invalidates every outstanding id for this slot
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+std::uint32_t EventQueue::SlotOf(EventId id) const {
+  const std::uint64_t low = id & 0xffffffffull;
+  if (low == 0) return kNoSlot;
+  const std::uint32_t slot = static_cast<std::uint32_t>(low - 1);
+  if (slot >= slab_.size()) return kNoSlot;
+  if (slab_[slot].gen != static_cast<std::uint32_t>(id >> 32)) return kNoSlot;
+  return slot;
+}
+
 EventId EventQueue::Schedule(Time t, Callback cb) {
-  P2P_CHECK_MSG(cb != nullptr, "scheduling a null callback");
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{t, next_seq_++, id});
-  std::push_heap(heap_.begin(), heap_.end());
-  callbacks_.emplace(id, std::move(cb));
+  P2P_CHECK_MSG(static_cast<bool>(cb), "scheduling a null callback");
+  CheckTime(t);
+  const std::uint32_t slot = AllocSlot();
+  Slot& s = slab_[slot];
+  s.fn = std::move(cb);
+  s.time = t;
+  s.period = -1.0;
+  s.seq = next_seq_++;
+  s.state = State::kScheduled;
+  backend_->Add(slot);
   ++live_count_;
-  return id;
+  return IdOf(slot);
+}
+
+EventId EventQueue::SchedulePeriodic(Time first, Time period, Callback cb) {
+  P2P_CHECK_MSG(static_cast<bool>(cb), "scheduling a null callback");
+  CheckTime(first);
+  P2P_CHECK_MSG(std::isfinite(period) && period > 0.0,
+                "periodic timer needs a positive period, got " << period);
+  const std::uint32_t slot = AllocSlot();
+  Slot& s = slab_[slot];
+  s.fn = std::move(cb);
+  s.time = first;
+  s.period = period;
+  s.seq = next_seq_++;
+  s.state = State::kScheduled;
+  backend_->Add(slot);
+  ++live_count_;
+  return IdOf(slot);
 }
 
 bool EventQueue::Cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  --live_count_;
-  CompactIfMostlyGarbage();
-  return true;
-}
-
-void EventQueue::CompactIfMostlyGarbage() {
-  // Cancelled entries stay in the heap until they surface; once they
-  // outnumber the live ones, filter them out and re-heapify. The rebuild is
-  // O(heap) but at least half the entries are discarded, so the cost
-  // amortises to O(1) per cancellation and the footprint stays within
-  // 2 * live + 1 entries.
-  if (heap_.size() - live_count_ <= heap_.size() / 2) return;
-  std::erase_if(heap_, [this](const Entry& e) {
-    return callbacks_.find(e.id) == callbacks_.end();
-  });
-  std::make_heap(heap_.begin(), heap_.end());
-}
-
-void EventQueue::DropCancelledHead() const {
-  // `callbacks_` membership is the liveness test; heap entries whose id was
-  // cancelled are garbage and get skipped here.
-  while (!heap_.empty() &&
-         callbacks_.find(heap_.front().id) == callbacks_.end()) {
-    std::pop_heap(heap_.begin(), heap_.end());
-    heap_.pop_back();
+  const std::uint32_t slot = SlotOf(id);
+  if (slot == kNoSlot) return false;
+  Slot& s = slab_[slot];
+  switch (s.state) {
+    case State::kScheduled:
+      // Kill the occurrence before telling the backend, so lazy backends
+      // see it as garbage if they compact inside Remove.
+      s.state = State::kStopped;
+      backend_->Remove(slot);
+      --live_count_;
+      FreeSlot(slot);
+      return true;
+    case State::kFiring:
+      // Periodic cancelled from inside its own callback; FinishPeriodic
+      // frees the record once the callback returns.
+      s.state = State::kStopped;
+      --live_count_;
+      return true;
+    case State::kStopped:
+    case State::kFree:
+      return false;
   }
+  return false;
+}
+
+bool EventQueue::Rearm(EventId id, Time t) {
+  const std::uint32_t slot = SlotOf(id);
+  if (slot == kNoSlot) return false;
+  CheckTime(t);
+  Slot& s = slab_[slot];
+  switch (s.state) {
+    case State::kScheduled:
+      // Fresh seq first: the backend's old entry must already read as dead
+      // when Remove runs, in case a lazy backend compacts.
+      s.seq = next_seq_++;
+      s.time = t;
+      backend_->Remove(slot);
+      backend_->Add(slot);
+      return true;
+    case State::kFiring:
+      // From inside the periodic's own callback: override the upcoming
+      // deadline + period re-arm.
+      s.time = t;
+      s.rearmed_while_firing = true;
+      return true;
+    case State::kStopped:
+    case State::kFree:
+      return false;
+  }
+  return false;
 }
 
 Time EventQueue::PeekTime() const {
   P2P_CHECK(!empty());
-  DropCancelledHead();
-  return heap_.front().time;
+  return slab_[backend_->PeekMin()].time;
 }
 
 EventQueue::Fired EventQueue::Pop() {
   P2P_CHECK(!empty());
-  DropCancelledHead();
-  const Entry e = heap_.front();
-  std::pop_heap(heap_.begin(), heap_.end());
-  heap_.pop_back();
-  auto it = callbacks_.find(e.id);
-  P2P_CHECK(it != callbacks_.end());
-  Fired fired{e.time, e.id, std::move(it->second)};
-  callbacks_.erase(it);
-  --live_count_;
+  const std::uint32_t slot = backend_->PopMin();
+  Slot& s = slab_[slot];
+  Fired fired;
+  fired.time = s.time;
+  fired.id = IdOf(slot);
+  if (s.period < 0.0) {
+    fired.cb = std::move(s.fn);
+    --live_count_;
+    FreeSlot(slot);
+  } else {
+    // Periodic: the record survives the firing; the driver runs *periodic
+    // through the slab (stable storage) and then calls FinishPeriodic.
+    s.state = State::kFiring;
+    fired.periodic = &s.fn;
+  }
   return fired;
+}
+
+bool EventQueue::FinishPeriodic(EventId id) {
+  const std::uint32_t slot = SlotOf(id);
+  P2P_CHECK_MSG(slot != kNoSlot, "FinishPeriodic on an unknown event id");
+  Slot& s = slab_[slot];
+  if (s.state == State::kStopped) {
+    FreeSlot(slot);
+    return false;
+  }
+  P2P_CHECK_MSG(s.state == State::kFiring,
+                "FinishPeriodic on an event that is not firing");
+  // Deadline accumulates from the scheduled time, not from `now`, so
+  // periodic timers do not drift. Seq is consumed *after* the callback ran
+  // (the caller invokes the callback between Pop and FinishPeriodic),
+  // matching the order a cancel-and-reschedule implementation would
+  // consume it — same-seed runs stay byte-identical across the migration.
+  if (!s.rearmed_while_firing) s.time += s.period;
+  s.rearmed_while_firing = false;
+  s.seq = next_seq_++;
+  s.state = State::kScheduled;
+  backend_->Add(slot);
+  return true;
+}
+
+bool EventQueue::OccurrenceLive(std::uint32_t slot, std::uint64_t seq) const {
+  return slot < slab_.size() && slab_[slot].state == State::kScheduled &&
+         slab_[slot].seq == seq;
+}
+
+std::size_t EventQueue::heap_footprint() const {
+  return backend_->footprint();
 }
 
 }  // namespace p2p::sim

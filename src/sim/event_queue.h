@@ -1,19 +1,43 @@
-// Discrete-event queue: a min-heap of (time, seq) ordered events.
+// Discrete-event scheduler: the kernel hot path of every simulation.
 //
-// Ties on time break by insertion order (seq), which makes simulations
-// deterministic. Events can be cancelled by id; cancelled entries are
-// skipped lazily on pop, and the heap is compacted whenever cancelled
-// entries outnumber live ones — without this, workloads that cancel most
-// of what they schedule (heartbeat timers rearmed on every message) grow
-// the heap without bound.
+// Events are (time, seq)-ordered; ties on time break by insertion order
+// (seq), which makes simulations deterministic. The public surface is a
+// facade over two interchangeable ordering backends:
+//
+//   * kTimingWheel (default) — a hierarchical timing wheel (Varghese &
+//     Lauck): three levels of 256 power-of-two-millisecond buckets
+//     (1 ms / 256 ms / 65,536 ms per slot, ~4.7 h horizon), entries
+//     cascading down as the clock approaches, with a far-future overflow
+//     min-heap beyond the horizon. Schedule/cancel/pop are amortized O(1)
+//     for the timer-heavy workloads the protocol stack generates.
+//   * kBinaryHeap — the retained reference implementation (std::push_heap
+//     over a flat vector, lazy cancellation with compaction). Kept so
+//     differential tests can prove the wheel pops the exact same order,
+//     and so benches can price the swap.
+//
+// Both backends order the same slab of event records, so the observable
+// behaviour — pop order, ids, callbacks — is identical by construction of
+// everything except the ordering data structure itself
+// (tests/sim_kernel_test.cc enforces it with randomized differential runs).
+//
+// Event records live in a slab (stable storage, freelist-recycled) and
+// callbacks are util::InlineFn, so steady-state scheduling performs no
+// allocation for closures up to 48 bytes. Periodic timers are first-class:
+// SchedulePeriodic keeps one record alive across firings and Rearm/
+// FinishPeriodic move its deadline in place, replacing the historical
+// cancel-and-reschedule churn that heap compaction existed to fight.
+//
+// Ordering contract (both backends): callers never schedule earlier than
+// the time of the last popped event. The owning Simulation enforces
+// t >= now; the raw queue CHECKs only t >= 0 and finiteness.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
-#include <vector>
+#include <deque>
+#include <memory>
 
 #include "util/check.h"
+#include "util/inline_fn.h"
 
 namespace p2p::sim {
 
@@ -24,59 +48,129 @@ using Time = double;
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+enum class SchedulerKind {
+  kTimingWheel,  // hierarchical timing wheel + overflow heap (default)
+  kBinaryHeap,   // retained reference: binary min-heap
+};
+
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = util::InlineFn;
 
-  // Schedule `cb` at absolute time `t` (must be >= current sim time, which
-  // the owning Simulation enforces). Returns an id usable with Cancel().
+  explicit EventQueue(SchedulerKind kind = SchedulerKind::kTimingWheel);
+  ~EventQueue();
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  SchedulerKind scheduler() const { return kind_; }
+
+  // Schedule `cb` at absolute time `t` (must be finite, >= 0, and >= the
+  // last popped event's time — the owning Simulation enforces the
+  // stronger t >= now). Returns an id usable with Cancel()/Rearm().
   EventId Schedule(Time t, Callback cb);
 
-  // Cancel a pending event. Returns false if the event already fired,
+  // First-class periodic timer: fires at `first`, then every `period` ms.
+  // The callback is stored once for the timer's whole lifetime; each
+  // firing re-arms the same record in place (fresh seq, no reallocation).
+  // Cancel(id) stops future firings; Rearm(id, t) moves the next deadline.
+  EventId SchedulePeriodic(Time first, Time period, Callback cb);
+
+  // Cancel a pending event (or stop a periodic timer, including from
+  // inside its own callback). Returns false if the event already fired,
   // was already cancelled, or never existed.
   bool Cancel(EventId id);
+
+  // Move a pending event's (or a periodic timer's next) deadline to `t`
+  // in place: same id, same stored callback, fresh FIFO seq — the
+  // allocation-free replacement for Cancel+Schedule. Also valid from
+  // inside a periodic timer's own callback (overrides the deadline+period
+  // re-arm). Returns false for unknown/already-fired ids.
+  bool Rearm(EventId id, Time t);
 
   bool empty() const { return live_count_ == 0; }
   std::size_t size() const { return live_count_; }
 
-  // Heap entries currently held, live or cancelled. Bounded by
-  // 2 * size() + 1 thanks to compaction; exposed for tests.
-  std::size_t heap_footprint() const { return heap_.size(); }
+  // Entries currently held by the ordering backend, live or cancelled.
+  // Bounded by 2 * size() + 1 (wheel buckets cancel eagerly; only the
+  // lazy structures — the reference heap and the wheel's overflow heap —
+  // carry garbage, and both compact at the half-full mark).
+  std::size_t heap_footprint() const;
 
   // Time of the earliest live event. Requires !empty().
   Time PeekTime() const;
 
-  // Pop and return the earliest live event. Requires !empty().
+  // Pop the earliest live event. Requires !empty().
+  //
+  // One-shot events hand their callback out by move (`cb`). Periodic
+  // events instead expose a pointer to the stored callback (`periodic`,
+  // stable for the duration of the firing); after running it the driver
+  // must call FinishPeriodic(id) to re-arm the timer.
   struct Fired {
-    Time time;
-    EventId id;
+    Time time = 0.0;
+    EventId id = kInvalidEventId;
     Callback cb;
+    Callback* periodic = nullptr;
+    bool is_periodic() const { return periodic != nullptr; }
   };
   Fired Pop();
 
+  // Complete a periodic firing: re-arms the timer at deadline + period
+  // (or at the Rearm()ed time) unless it was cancelled from inside the
+  // callback. Returns true when the timer is live again.
+  bool FinishPeriodic(EventId id);
+
+  // Liveness test used by the lazy backends: is occurrence `seq` of slab
+  // record `slot` still scheduled? (Backend plumbing, not client API.)
+  bool OccurrenceLive(std::uint32_t slot, std::uint64_t seq) const;
+
  private:
-  struct Entry {
-    Time time;
-    std::uint64_t seq;
-    EventId id;
-    // std::*_heap builds a max-heap; invert for earliest-first, with seq as
-    // the FIFO tie-break.
-    bool operator<(const Entry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
+  enum class State : std::uint8_t {
+    kFree,       // slab record on the freelist
+    kScheduled,  // owned by the ordering backend
+    kFiring,     // periodic popped, callback running, awaiting FinishPeriodic
+    kStopped,    // periodic cancelled while firing; freed by FinishPeriodic
   };
 
-  void DropCancelledHead() const;
-  void CompactIfMostlyGarbage();
+  struct Slot {
+    Callback fn;
+    Time time = 0.0;
+    Time period = -1.0;  // < 0: one-shot
+    std::uint64_t seq = 0;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoSlot;
+    State state = State::kFree;
+    bool rearmed_while_firing = false;
+  };
 
-  // Callbacks stored out of the heap so Entry stays trivially movable.
-  // A plain vector managed with the <algorithm> heap functions (rather
-  // than std::priority_queue) so compaction can filter it in place.
-  mutable std::vector<Entry> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  class Backend;
+  class WheelBackend;
+  class HeapBackend;
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  // Ids pack (generation, slab index + 1); generation bumps on every free,
+  // so a stale id can never cancel the record's next tenant. The +1 keeps
+  // kInvalidEventId (0) unreachable.
+  EventId IdOf(std::uint32_t slot) const {
+    return (static_cast<EventId>(slab_[slot].gen) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+  // Returns kNoSlot when the id does not name a current slab record.
+  std::uint32_t SlotOf(EventId id) const;
+
+  std::uint32_t AllocSlot();
+  void FreeSlot(std::uint32_t slot);
+  static void CheckTime(Time t);
+
+  SchedulerKind kind_;
+  // std::deque: callbacks are invoked through pointers into the slab while
+  // the callback itself schedules new events (growing the slab), so
+  // records must never move.
+  std::deque<Slot> slab_;
+  mutable std::unique_ptr<Backend> backend_;
+  std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
   std::size_t live_count_ = 0;
 };
 

@@ -1,6 +1,5 @@
 #include "sim/simulation.h"
 
-#include <memory>
 #include <utility>
 
 #include "obs/scope_timer.h"
@@ -18,28 +17,24 @@ EventId Simulation::After(Time dt, EventQueue::Callback cb) {
   return At(now_ + dt, std::move(cb));
 }
 
-void Simulation::SchedulePeriodic(Time period, Time next,
-                                  std::shared_ptr<bool> alive,
-                                  std::shared_ptr<std::function<void()>> cb) {
-  At(next, [this, period, next, alive, cb] {
-    if (!*alive) return;
-    (*cb)();
-    if (*alive) SchedulePeriodic(period, next + period, alive, cb);
-  });
-}
-
 Simulation::PeriodicToken Simulation::Every(Time period, Time initial_delay,
-                                            std::function<void()> cb) {
+                                            EventQueue::Callback cb) {
   P2P_CHECK(period > 0.0);
   P2P_CHECK(initial_delay >= 0.0);
-  PeriodicToken token{std::make_shared<bool>(true)};
-  SchedulePeriodic(period, now_ + initial_delay, token.alive,
-                   std::make_shared<std::function<void()>>(std::move(cb)));
-  return token;
+  const EventId id =
+      queue_.SchedulePeriodic(now_ + initial_delay, period, std::move(cb));
+  return PeriodicToken{id, &queue_};
 }
 
 void Simulation::CancelPeriodic(PeriodicToken& token) {
-  if (token.alive) *token.alive = false;
+  if (token.queue != nullptr) token.queue->Cancel(token.id);
+  token.queue = nullptr;
+}
+
+bool Simulation::Rearm(EventId id, Time t) {
+  P2P_CHECK_MSG(t >= now_, "cannot rearm into the past: t=" << t << " now="
+                                                            << now_);
+  return queue_.Rearm(id, t);
 }
 
 bool Simulation::Step() {
@@ -48,7 +43,12 @@ bool Simulation::Step() {
   P2P_DCHECK(fired.time >= now_);
   now_ = fired.time;
   ++fired_;
-  fired.cb();
+  if (fired.is_periodic()) {
+    (*fired.periodic)();
+    queue_.FinishPeriodic(fired.id);
+  } else {
+    fired.cb();
+  }
   return true;
 }
 

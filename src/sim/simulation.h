@@ -6,9 +6,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <memory>
 
 #include "obs/metrics.h"
 #include "sim/event_queue.h"
@@ -19,7 +17,9 @@ namespace p2p::sim {
 
 class Simulation {
  public:
-  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {
+  explicit Simulation(std::uint64_t seed = 1,
+                      SchedulerKind sched = SchedulerKind::kTimingWheel)
+      : queue_(sched), rng_(seed) {
     run_profile_ = &metrics_.profile("event_loop.run_ms");
   }
 
@@ -48,17 +48,22 @@ class Simulation {
   // Schedule `dt` ms from now (dt >= 0).
   EventId After(Time dt, EventQueue::Callback cb);
   // Schedule a repeating event every `period` ms, first firing after
-  // `initial_delay`. Returns a token that cancels *future* firings.
-  // Periodic callbacks receive no arguments; to stop from inside the
-  // callback, call CancelPeriodic with the returned token.
+  // `initial_delay`. Backed by a first-class periodic timer: one event
+  // record lives for the timer's whole lifetime and each firing re-arms it
+  // in place. Periodic callbacks receive no arguments; to stop from inside
+  // the callback, call CancelPeriodic with the returned token.
   struct PeriodicToken {
-    std::shared_ptr<bool> alive;
+    EventId id = kInvalidEventId;
+    EventQueue* queue = nullptr;
   };
   PeriodicToken Every(Time period, Time initial_delay,
-                      std::function<void()> cb);
+                      EventQueue::Callback cb);
   static void CancelPeriodic(PeriodicToken& token);
 
   bool Cancel(EventId id) { return queue_.Cancel(id); }
+  // Move a pending event's deadline (>= now) in place — the
+  // allocation-free replacement for Cancel + At.
+  bool Rearm(EventId id, Time t);
 
   // Run a single event; returns false if the queue was empty.
   bool Step();
@@ -74,10 +79,6 @@ class Simulation {
   std::size_t fired_events() const { return fired_; }
 
  private:
-  void SchedulePeriodic(Time period, Time next,
-                        std::shared_ptr<bool> alive,
-                        std::shared_ptr<std::function<void()>> cb);
-
   EventQueue queue_;
   Time now_ = 0.0;
   std::size_t fired_ = 0;

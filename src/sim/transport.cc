@@ -163,12 +163,36 @@ bool Transport::Send(const Message& msg, DeliverFn deliver,
     inflight_msgs_gauge_->Set(static_cast<double>(inflight_msgs_));
     inflight_bytes_gauge_->Set(static_cast<double>(inflight_bytes_));
   }
-  sim_.After(delay, [this, protocol = msg.protocol, src = msg.src_host,
-                     bytes = msg.bytes, cb = std::move(deliver)] {
-    FinishDelivery(protocol, src, bytes, /*was_scheduled=*/true);
-    if (cb) cb();
-  });
+  std::uint32_t idx;
+  if (inflight_free_ != kNoInflight) {
+    idx = inflight_free_;
+    inflight_free_ = inflight_slab_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(inflight_slab_.size());
+    inflight_slab_.emplace_back();
+  }
+  Inflight& rec = inflight_slab_[idx];
+  rec.cb = std::move(deliver);
+  rec.protocol = msg.protocol;
+  rec.src = msg.src_host;
+  rec.bytes = msg.bytes;
+  sim_.After(delay, [this, idx] { DeliverScheduled(idx); });
   return true;
+}
+
+void Transport::DeliverScheduled(std::uint32_t idx) {
+  Inflight& rec = inflight_slab_[idx];
+  const Protocol protocol = rec.protocol;
+  const std::size_t src = rec.src;
+  const std::size_t bytes = rec.bytes;
+  // Free the record before running the callback: deliveries routinely send
+  // follow-up messages, which reuse the slot without growing the slab.
+  DeliverFn cb = std::move(rec.cb);
+  rec.cb = nullptr;
+  rec.next_free = inflight_free_;
+  inflight_free_ = idx;
+  FinishDelivery(protocol, src, bytes, /*was_scheduled=*/true);
+  if (cb) cb();
 }
 
 }  // namespace p2p::sim

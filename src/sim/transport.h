@@ -20,7 +20,7 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -29,6 +29,7 @@
 #include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "sim/trace.h"
+#include "util/inline_fn.h"
 
 namespace p2p::sim {
 
@@ -116,7 +117,9 @@ struct SendOptions {
 
 class Transport {
  public:
-  using DeliverFn = std::function<void()>;
+  // Move-only small-buffer callable: protocol delivery closures up to 48
+  // bytes of captures schedule with zero allocation (see util/inline_fn.h).
+  using DeliverFn = util::InlineFn;
   using SendOptions = sim::SendOptions;
 
   explicit Transport(Simulation& sim) : sim_(sim) {}
@@ -204,6 +207,21 @@ class Transport {
   double LossFor(std::size_t src, std::size_t dst) const;
   void FinishDelivery(Protocol protocol, std::size_t src, std::size_t bytes,
                       bool was_scheduled);
+  void DeliverScheduled(std::uint32_t idx);
+
+  // Scheduled deliveries park their callback + accounting fields in this
+  // freelist-recycled slab so the event closure is just [this, idx] — 16
+  // bytes, always inline in the event record, even when the protocol's own
+  // delivery closure needs the heap. std::deque: records must not move
+  // while a delivery callback sends more messages.
+  struct Inflight {
+    DeliverFn cb;
+    Protocol protocol = Protocol::kOther;
+    std::size_t src = 0;
+    std::size_t bytes = 0;
+    std::uint32_t next_free = kNoInflight;
+  };
+  static constexpr std::uint32_t kNoInflight = 0xffffffffu;
 
   // Registry handles cached at set_metrics time, one set per protocol.
   struct ProtoMetricHandles {
@@ -224,6 +242,8 @@ class Transport {
   TraceSink* trace_ = nullptr;
   TransportStats stats_;
   std::vector<HostStats> host_stats_;  // empty until EnablePerHostStats
+  std::deque<Inflight> inflight_slab_;
+  std::uint32_t inflight_free_ = kNoInflight;
   std::size_t inflight_msgs_ = 0;
   std::size_t inflight_bytes_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -34,7 +34,7 @@ SomoProtocol::SomoProtocol(sim::Simulation& sim, dht::Ring& ring,
 
 bool SomoProtocol::SendBetween(dht::NodeIndex from, dht::NodeIndex to,
                                SomoMessageKind kind, std::size_t bytes,
-                               std::function<void()> deliver) {
+                               sim::Transport::DeliverFn deliver) {
   ++messages_;
   bytes_ += bytes;
   m_messages_->Inc();

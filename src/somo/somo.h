@@ -159,7 +159,7 @@ class SomoProtocol {
   // Inter-host send between two logical-node owners over the bus.
   bool SendBetween(dht::NodeIndex from, dht::NodeIndex to,
                    SomoMessageKind kind, std::size_t bytes,
-                   std::function<void()> deliver);
+                   sim::Transport::DeliverFn deliver);
 
   sim::Simulation& sim_;
   dht::Ring& ring_;

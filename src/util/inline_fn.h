@@ -1,0 +1,133 @@
+// Small-buffer `void()` callable: the event kernel's replacement for
+// std::function callback storage.
+//
+// Every simulated event used to carry a std::function<void()>; libstdc++'s
+// 16-byte small-object buffer is too small for the typical protocol
+// closure ([this, from, to, send_time] is already 32 bytes), so nearly
+// every Schedule() heap-allocated. InlineFn stores captures up to
+// kInlineBytes (48) in place — covering every periodic timer and delivery
+// closure in the protocol stack — and falls back to the heap only for
+// larger payloads (SOMO aggregate pushes that capture whole reports).
+//
+// Move-only by design: the event queue is the single owner of a pending
+// callback, so the copy constructor std::function drags in (and the
+// copyability requirement it imposes on captures) is dead weight.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace p2p::util {
+
+class InlineFn {
+ public:
+  // Chosen to fit a `this` pointer plus five word-sized captures — measured
+  // over the protocol stack's timer and delivery closures (see
+  // docs/KERNEL.md). Raising it grows every pending event; lowering it
+  // sends hot-path closures to the heap.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineFn() = default;
+  InlineFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { MoveFrom(std::move(other)); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  InlineFn& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    P2P_CHECK_MSG(ops_ != nullptr, "invoking an empty InlineFn");
+    ops_->invoke(buf_);
+  }
+
+  // True when the callable lives in the inline buffer (no allocation).
+  bool stored_inline() const { return ops_ != nullptr && ops_->inline_stored; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* obj);
+    // Move-construct into dst from src, then destroy src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* obj);
+    bool inline_stored;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* obj) { (*std::launder(reinterpret_cast<D*>(obj)))(); },
+      [](void* dst, void* src) {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* obj) { std::launder(reinterpret_cast<D*>(obj))->~D(); },
+      true};
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* obj) { (**std::launder(reinterpret_cast<D**>(obj)))(); },
+      [](void* dst, void* src) {
+        D** s = std::launder(reinterpret_cast<D**>(src));
+        ::new (dst) D*(*s);
+      },
+      [](void* obj) { delete *std::launder(reinterpret_cast<D**>(obj)); },
+      false};
+
+  void MoveFrom(InlineFn&& other) {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace p2p::util

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "obs/metrics.h"
 #include "pool/market.h"
 #include "pool/multi_session_sim.h"
 #include "test_support.h"
@@ -152,6 +153,35 @@ TEST(MultiSession, ParallelBoundsMatchSequential) {
     }
   }
   EXPECT_EQ(pool.registry().TotalUsed(), 0u);
+}
+
+TEST(MultiSession, ParallelMetricsSnapshotMatchesSequential) {
+  // Planning instruments per-session registry shards that are merged in
+  // spec order after the fan-out, so the metrics snapshot must be
+  // byte-identical whether or not a worker pool is attached.
+  auto& pool = p2p::testing::SharedSmallPool();
+  MultiSessionParams params;
+  params.session_count = 5;
+  params.members_per_session = 10;
+  params.rescheduling_sweeps = 1;
+  params.seed = 99;
+  params.compute_upper_bound = true;
+
+  obs::MetricsRegistry sequential;
+  params.metrics = &sequential;
+  RunMultiSessionExperiment(pool, params);
+
+  obs::MetricsRegistry parallel;
+  util::ThreadPool workers(4);
+  params.metrics = &parallel;
+  params.workers = &workers;
+  RunMultiSessionExperiment(pool, params);
+
+  EXPECT_GT(sequential.Value("pool.bounds.sessions"), 0.0);
+  EXPECT_GT(sequential.Value("pool.bounds.helper_candidates"), 0.0);
+  // Profiles hold wall-clock timings, so compare the deterministic
+  // sections only (SnapshotJson excludes profiles by default).
+  EXPECT_EQ(parallel.SnapshotJson(), sequential.SnapshotJson());
 }
 
 TEST(MultiSession, TooManySessionsRejected) {

@@ -1,0 +1,545 @@
+// Kernel-scale scheduler tests: the timing-wheel backend against the
+// retained binary-heap reference (randomized differential + cascade
+// boundaries), the InlineFn small-buffer callable, first-class periodic
+// timers, and end-to-end A/B determinism of full protocol runs across the
+// two scheduler backends.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dht/heartbeat.h"
+#include "dht/ring.h"
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+#include "sim/transport.h"
+#include "somo/somo.h"
+#include "util/check.h"
+#include "util/inline_fn.h"
+#include "util/rng.h"
+
+namespace p2p::sim {
+namespace {
+
+// ------------------------------------------------------------- InlineFn --
+
+TEST(InlineFn, SmallCapturesStayInline) {
+  int hits = 0;
+  int* p = &hits;
+  std::uint64_t a = 1, b = 2, c = 3, d = 4;  // 40 bytes with the pointer
+  util::InlineFn fn([p, a, b, c, d] { *p += static_cast<int>(a + b + c + d); });
+  EXPECT_TRUE(fn.stored_inline());
+  fn();
+  EXPECT_EQ(hits, 10);
+}
+
+TEST(InlineFn, LargeCapturesFallBackToHeap) {
+  std::vector<int> payload(64, 7);
+  int sum = 0;
+  std::array<std::uint64_t, 8> big{};  // 64 bytes > kInlineBytes
+  util::InlineFn fn([&sum, payload, big] {
+    for (int v : payload) sum += v;
+    sum += static_cast<int>(big[0]);
+  });
+  EXPECT_FALSE(fn.stored_inline());
+  fn();
+  EXPECT_EQ(sum, 64 * 7);
+}
+
+TEST(InlineFn, MoveTransfersOwnershipExactlyOnce) {
+  auto counter = std::make_shared<int>(0);
+  util::InlineFn fn([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  util::InlineFn moved(std::move(fn));
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(moved));
+  EXPECT_EQ(counter.use_count(), 2);
+  moved();
+  EXPECT_EQ(*counter, 1);
+  moved = nullptr;
+  EXPECT_EQ(counter.use_count(), 1);  // destructor ran
+}
+
+TEST(InlineFn, InvokingEmptyThrows) {
+  util::InlineFn fn;
+  EXPECT_THROW(fn(), util::CheckError);
+  util::InlineFn null_fn(nullptr);
+  EXPECT_THROW(null_fn(), util::CheckError);
+}
+
+TEST(InlineFn, MoveAssignDestroysPreviousTarget) {
+  auto first = std::make_shared<int>(0);
+  auto second = std::make_shared<int>(0);
+  util::InlineFn fn([first] { ++*first; });
+  fn = util::InlineFn([second] { ++*second; });
+  EXPECT_EQ(first.use_count(), 1);  // old callable destroyed
+  fn();
+  EXPECT_EQ(*second, 1);
+}
+
+// ------------------------------------------- Schedule argument hardening --
+
+TEST(EventQueueKernel, RejectsNonFiniteTimes) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kTimingWheel, SchedulerKind::kBinaryHeap}) {
+    EventQueue q(kind);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(q.Schedule(nan, [] {}), util::CheckError);
+    EXPECT_THROW(q.Schedule(inf, [] {}), util::CheckError);
+    EXPECT_THROW(q.Schedule(-inf, [] {}), util::CheckError);
+    EXPECT_THROW(q.Schedule(-1.0, [] {}), util::CheckError);
+    EXPECT_THROW(q.SchedulePeriodic(nan, 10.0, [] {}), util::CheckError);
+    EXPECT_THROW(q.SchedulePeriodic(0.0, 0.0, [] {}), util::CheckError);
+    EXPECT_THROW(q.SchedulePeriodic(0.0, -5.0, [] {}), util::CheckError);
+    EXPECT_THROW(q.SchedulePeriodic(0.0, inf, [] {}), util::CheckError);
+    EXPECT_TRUE(q.empty()) << "rejected schedules must not leak events";
+    EXPECT_EQ(q.heap_footprint(), 0u);
+  }
+}
+
+TEST(EventQueueKernel, RearmRejectsNonFiniteTimes) {
+  EventQueue q;
+  const EventId id = q.Schedule(5.0, [] {});
+  EXPECT_THROW(q.Rearm(id, std::numeric_limits<double>::quiet_NaN()),
+               util::CheckError);
+  EXPECT_THROW(q.Rearm(id, -2.0), util::CheckError);
+  EXPECT_TRUE(q.Rearm(id, 7.0));
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 7.0);
+}
+
+// -------------------------------------------------- wheel cascade bounds --
+
+// Times straddling every wheel-level boundary (level 0 holds 256 one-ms
+// ticks, level 1 256-ms buckets, level 2 65,536-ms buckets, ~4.66 h
+// horizon, then the overflow heap) must still pop in exact (time, seq)
+// order.
+TEST(EventQueueKernel, CascadeBoundaryTimesPopInOrder) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kTimingWheel, SchedulerKind::kBinaryHeap}) {
+    EventQueue q(kind);
+    const std::vector<double> times = {
+        0.0,        0.25,        255.0,       255.999,     256.0,
+        256.001,    511.5,       512.0,       65535.5,     65536.0,
+        65536.25,   131071.9,    131072.0,    16777215.9,  16777216.0,
+        16777217.5, 33554432.0,  1.0e8,       4.2e9,       1.0e12,
+        5.0e15,     1.0e16,      1.0e16,      9.0e17};
+    // Schedule in a scrambled order so placement exercises every level.
+    std::vector<std::size_t> order(times.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    util::Rng rng(7);
+    rng.Shuffle(order);
+    std::vector<double> popped;
+    for (const std::size_t i : order) {
+      q.Schedule(times[i], [] {});
+    }
+    while (!q.empty()) {
+      EXPECT_DOUBLE_EQ(q.PeekTime(), q.PeekTime());
+      auto fired = q.Pop();
+      popped.push_back(fired.time);
+    }
+    std::vector<double> expected = times;
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(popped.size(), expected.size()) << "kind=" << static_cast<int>(kind);
+    for (std::size_t i = 0; i < popped.size(); ++i)
+      EXPECT_DOUBLE_EQ(popped[i], expected[i]) << "i=" << i;
+  }
+}
+
+TEST(EventQueueKernel, SameTickBurstKeepsFifoOrder) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kTimingWheel, SchedulerKind::kBinaryHeap}) {
+    EventQueue q(kind);
+    std::vector<int> log;
+    // 100 events at the same sub-millisecond time: FIFO by seq.
+    for (int i = 0; i < 100; ++i) {
+      q.Schedule(1000.5, [&log, i] { log.push_back(i); });
+    }
+    while (!q.empty()) q.Pop().cb();
+    ASSERT_EQ(log.size(), 100u);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(log[i], i);
+  }
+}
+
+// Events scheduled at the tick currently being served must pop before
+// later entries of the same tick — the due-list insert path.
+TEST(EventQueueKernel, ArrivalsDuringServedTickSlotInByTime) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kTimingWheel, SchedulerKind::kBinaryHeap}) {
+    EventQueue q(kind);
+    q.Schedule(100.2, [] {});
+    q.Schedule(100.8, [] {});
+    auto first = q.Pop();
+    EXPECT_DOUBLE_EQ(first.time, 100.2);
+    // Same tick (100), between the two pending times.
+    q.Schedule(100.5, [] {});
+    // Same tick, same time as a pending event: FIFO puts it after.
+    q.Schedule(100.8, [] {});
+    EXPECT_DOUBLE_EQ(q.Pop().time, 100.5);
+    EXPECT_DOUBLE_EQ(q.Pop().time, 100.8);
+    EXPECT_DOUBLE_EQ(q.Pop().time, 100.8);
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// ------------------------------------------------------ periodic timers --
+
+TEST(EventQueueKernel, PeriodicFiresAndRearmsInPlace) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kTimingWheel, SchedulerKind::kBinaryHeap}) {
+    EventQueue q(kind);
+    int fires = 0;
+    const EventId id = q.SchedulePeriodic(10.0, 25.0, [&fires] { ++fires; });
+    std::vector<double> fire_times;
+    for (int i = 0; i < 4; ++i) {
+      auto fired = q.Pop();
+      ASSERT_TRUE(fired.is_periodic());
+      EXPECT_EQ(fired.id, id);
+      fire_times.push_back(fired.time);
+      (*fired.periodic)();
+      EXPECT_TRUE(q.FinishPeriodic(fired.id));
+    }
+    EXPECT_EQ(fires, 4);
+    EXPECT_EQ(q.size(), 1u) << "one record for the timer's whole lifetime";
+    const std::vector<double> want = {10.0, 35.0, 60.0, 85.0};
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_DOUBLE_EQ(fire_times[i], want[i]);
+    EXPECT_TRUE(q.Cancel(id));
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(EventQueueKernel, RearmMovesDeadlineWithoutCancel) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.Schedule(500.0, [&fired] { ++fired; });
+  EXPECT_TRUE(q.Rearm(id, 50.0));
+  q.Schedule(100.0, [] {});
+  auto f = q.Pop();
+  EXPECT_DOUBLE_EQ(f.time, 50.0);
+  EXPECT_EQ(f.id, id);
+  f.cb();
+  EXPECT_EQ(fired, 1);
+  // The id died with the firing.
+  EXPECT_FALSE(q.Rearm(id, 700.0));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueKernel, RearmFromInsidePeriodicCallbackOverridesPeriod) {
+  EventQueue q;
+  const EventId id = q.SchedulePeriodic(10.0, 100.0, [] {});
+  auto f = q.Pop();
+  (*f.periodic)();
+  EXPECT_TRUE(q.Rearm(id, 17.0));  // instead of 10 + 100
+  EXPECT_TRUE(q.FinishPeriodic(id));
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 17.0);
+  auto g = q.Pop();
+  (*g.periodic)();
+  EXPECT_TRUE(q.FinishPeriodic(id));
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 117.0) << "period resumes after the rearm";
+}
+
+TEST(EventQueueKernel, CancelInsidePeriodicCallbackStopsTimer) {
+  EventQueue q;
+  EventId id = kInvalidEventId;
+  int fires = 0;
+  id = q.SchedulePeriodic(5.0, 5.0, [&] {
+    ++fires;
+    if (fires == 3) {
+      EXPECT_TRUE(q.Cancel(id));
+    }
+  });
+  std::size_t steps = 0;
+  while (!q.empty() && steps < 100) {
+    auto f = q.Pop();
+    if (f.is_periodic()) {
+      (*f.periodic)();
+      q.FinishPeriodic(f.id);
+    } else {
+      f.cb();
+    }
+    ++steps;
+  }
+  EXPECT_EQ(fires, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueKernel, StaleIdsNeverCancelTheSlotsNextTenant) {
+  EventQueue q;
+  const EventId a = q.Schedule(1.0, [] {});
+  q.Pop().cb();  // slot freed, generation bumped
+  const EventId b = q.Schedule(2.0, [] {});
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.Cancel(a)) << "stale id must not hit the reused slot";
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.Cancel(b));
+}
+
+// -------------------------------------------- randomized differential --
+
+// The wheel and the reference heap must agree on every observable: pop
+// order, event ids, Cancel/Rearm return values, sizes. Drives both through
+// an identical randomized schedule/cancel/rearm/pop workload, including
+// same-tick bursts, far-future times beyond the wheel horizon, periodic
+// timers, and pops interleaved with mutation.
+TEST(EventQueueKernel, RandomizedDifferentialWheelVsHeap) {
+  EventQueue wheel(SchedulerKind::kTimingWheel);
+  EventQueue heap(SchedulerKind::kBinaryHeap);
+  util::Rng rng(0xC0FFEE);
+  double now = 0.0;
+  std::vector<EventId> live;       // same for both queues by construction
+  std::vector<EventId> periodics;  // subset of live needing FinishPeriodic
+
+  const auto random_delay = [&]() -> double {
+    switch (rng.UniformInt(0, 4)) {
+      case 0:
+        return rng.Uniform(0.0, 2.0);        // same/next tick
+      case 1:
+        return rng.Uniform(0.0, 300.0);      // level 0/1
+      case 2:
+        return rng.Uniform(0.0, 70000.0);    // level 1/2
+      case 3:
+        return rng.Uniform(0.0, 2.0e7);      // level 2 + overflow
+      default:
+        return 1.0e16 + rng.Uniform(0.0, 1.0);  // beyond-horizon sentinel
+    }
+  };
+
+  for (int step = 0; step < 20000; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(0, 9));
+    if (op <= 3) {  // schedule one-shot
+      const double t = now + random_delay();
+      const EventId wid = wheel.Schedule(t, [] {});
+      const EventId hid = heap.Schedule(t, [] {});
+      ASSERT_EQ(wid, hid);
+      live.push_back(wid);
+    } else if (op == 4) {  // schedule periodic
+      const double t = now + rng.Uniform(0.0, 5000.0);
+      const double period = rng.Uniform(0.5, 10000.0);
+      const EventId wid = wheel.SchedulePeriodic(t, period, [] {});
+      const EventId hid = heap.SchedulePeriodic(t, period, [] {});
+      ASSERT_EQ(wid, hid);
+      live.push_back(wid);
+      periodics.push_back(wid);
+    } else if (op == 5 && !live.empty()) {  // cancel (possibly stale id)
+      const std::size_t k =
+          static_cast<std::size_t>(rng.UniformInt(0, live.size() - 1));
+      const EventId id = live[k];
+      const bool wc = wheel.Cancel(id);
+      const bool hc = heap.Cancel(id);
+      ASSERT_EQ(wc, hc);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+      std::erase(periodics, id);
+    } else if (op == 6 && !live.empty()) {  // rearm (possibly stale id)
+      const std::size_t k =
+          static_cast<std::size_t>(rng.UniformInt(0, live.size() - 1));
+      const double t = now + random_delay();
+      ASSERT_EQ(wheel.Rearm(live[k], t), heap.Rearm(live[k], t));
+    } else {  // pop a few events
+      const int pops = static_cast<int>(rng.UniformInt(1, 4));
+      for (int p = 0; p < pops && !wheel.empty(); ++p) {
+        ASSERT_FALSE(heap.empty());
+        ASSERT_DOUBLE_EQ(wheel.PeekTime(), heap.PeekTime());
+        auto wf = wheel.Pop();
+        auto hf = heap.Pop();
+        ASSERT_DOUBLE_EQ(wf.time, hf.time);
+        ASSERT_EQ(wf.id, hf.id);
+        ASSERT_EQ(wf.is_periodic(), hf.is_periodic());
+        ASSERT_GE(wf.time, now);
+        now = wf.time;
+        if (wf.is_periodic()) {
+          ASSERT_EQ(wheel.FinishPeriodic(wf.id), heap.FinishPeriodic(hf.id));
+        } else {
+          std::erase(live, wf.id);
+        }
+      }
+    }
+    ASSERT_EQ(wheel.size(), heap.size());
+  }
+
+  // Stop periodic timers so the drain below terminates.
+  for (const EventId id : periodics) {
+    ASSERT_EQ(wheel.Cancel(id), heap.Cancel(id));
+  }
+  while (!wheel.empty()) {
+    ASSERT_FALSE(heap.empty());
+    auto wf = wheel.Pop();
+    auto hf = heap.Pop();
+    ASSERT_DOUBLE_EQ(wf.time, hf.time);
+    ASSERT_EQ(wf.id, hf.id);
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+// Eager cancellation in wheel buckets must keep the footprint bound that
+// the reference heap achieves by compaction.
+TEST(EventQueueKernel, WheelFootprintStaysBoundedUnderChurn) {
+  EventQueue q(SchedulerKind::kTimingWheel);
+  util::Rng rng(99);
+  std::vector<EventId> ids;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(q.Schedule(rng.Uniform(0.0, 3.0e7), [] {}));
+    }
+    rng.Shuffle(ids);
+    while (ids.size() > 16) {
+      q.Cancel(ids.back());
+      ids.pop_back();
+    }
+    ASSERT_LE(q.heap_footprint(), 2 * q.size() + 1);
+  }
+}
+
+// ------------------------------------------------- Simulation-level A/B --
+
+struct SimRunLog {
+  std::vector<double> events;  // interleaved (tag, virtual time) stream
+  std::string metrics_json;
+  std::string trace_text;
+  std::size_t fired = 0;
+};
+
+// A protocol-shaped workload on the raw Simulation API: periodic timers
+// with distinct phases, self-rescheduling one-shots, transport traffic
+// with loss + jitter fault injection (consuming RNG), and a mid-run
+// CancelPeriodic. Everything observable is logged.
+SimRunLog RunKernelWorkload(SchedulerKind kind) {
+  SimRunLog log;
+  Simulation sim(4242, kind);
+  sim.EnableMetrics();
+  TraceSink trace;
+  sim.transport().set_trace(&trace);
+  sim.transport().faults().loss_probability = 0.05;
+  sim.transport().faults().jitter_ms = 3.0;
+
+  std::vector<Simulation::PeriodicToken> timers;
+  for (int i = 0; i < 8; ++i) {
+    const double period = 40.0 + 13.0 * i;
+    const double phase = sim.rng().Uniform(0.0, period);
+    timers.push_back(sim.Every(period, phase, [&log, &sim, i] {
+      log.events.push_back(100.0 + i);
+      log.events.push_back(sim.now());
+      Message m;
+      m.src_host = static_cast<std::size_t>(i);
+      m.dst_host = static_cast<std::size_t>((i + 1) % 8);
+      m.protocol = Protocol::kOther;
+      m.bytes = 64;
+      sim.transport().Send(m, [&log, &sim] {
+        log.events.push_back(1.0);
+        log.events.push_back(sim.now());
+      });
+    }));
+  }
+  // Self-rescheduling chain with RNG-dependent gaps.
+  struct Chain {
+    Simulation& sim;
+    SimRunLog& log;
+    void operator()() {
+      log.events.push_back(2.0);
+      log.events.push_back(sim.now());
+      if (sim.now() < 4500.0) sim.After(sim.rng().Uniform(1.0, 90.0), Chain{sim, log});
+    }
+  };
+  sim.After(5.0, Chain{sim, log});
+  // Stop half the periodic timers mid-run.
+  sim.At(2500.0, [&timers] {
+    for (std::size_t i = 0; i < timers.size(); i += 2)
+      Simulation::CancelPeriodic(timers[i]);
+  });
+
+  sim.RunUntil(5000.0);
+  log.fired = sim.fired_events();
+  log.metrics_json = sim.metrics().SnapshotJson();
+
+  std::FILE* f = std::tmpfile();
+  P2P_CHECK(f != nullptr);
+  trace.WriteText(f);
+  std::rewind(f);
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+    log.trace_text.append(buf, n);
+  std::fclose(f);
+  return log;
+}
+
+TEST(SchedulerAB, KernelWorkloadIsByteIdenticalAcrossBackends) {
+  const SimRunLog wheel = RunKernelWorkload(SchedulerKind::kTimingWheel);
+  const SimRunLog heap = RunKernelWorkload(SchedulerKind::kBinaryHeap);
+  EXPECT_EQ(wheel.fired, heap.fired);
+  ASSERT_EQ(wheel.events.size(), heap.events.size());
+  for (std::size_t i = 0; i < wheel.events.size(); ++i)
+    ASSERT_DOUBLE_EQ(wheel.events[i], heap.events[i]) << "i=" << i;
+  EXPECT_EQ(wheel.metrics_json, heap.metrics_json);
+  EXPECT_EQ(wheel.trace_text, heap.trace_text);
+}
+
+// Full protocol stack A/B: DHT heartbeats + SOMO gather/disseminate over
+// the shared transport. Same seed, different scheduler backend — metric
+// snapshots and traces must match byte for byte.
+struct StackRunLog {
+  std::string metrics_json;
+  std::string trace_text;
+  std::size_t fired = 0;
+};
+
+StackRunLog RunProtocolStack(SchedulerKind kind) {
+  StackRunLog log;
+  Simulation sim(321, kind);
+  sim.EnableMetrics();
+  TraceSink trace;
+  sim.transport().set_trace(&trace);
+  sim.transport().faults().jitter_ms = 2.0;
+
+  dht::Ring ring(8);
+  for (std::size_t i = 0; i < 24; ++i) ring.JoinHashed(i);
+  ring.StabilizeAll();
+
+  dht::HeartbeatProtocol hb(sim, ring);
+  hb.Start();
+
+  somo::SomoConfig cfg;
+  cfg.report_interval_ms = 1000.0;
+  cfg.disseminate = true;
+  somo::SomoProtocol somo(sim, ring, cfg, [&](dht::NodeIndex n) {
+    somo::NodeReport r;
+    r.node = n;
+    r.host = ring.node(n).host();
+    r.generated_at = sim.now();
+    r.degrees.total = 4;
+    return r;
+  });
+  somo.Start();
+
+  sim.RunUntil(15000.0);
+  log.fired = sim.fired_events();
+  log.metrics_json = sim.metrics().SnapshotJson();
+
+  std::FILE* f = std::tmpfile();
+  P2P_CHECK(f != nullptr);
+  trace.WriteText(f);
+  std::rewind(f);
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+    log.trace_text.append(buf, n);
+  std::fclose(f);
+  return log;
+}
+
+TEST(SchedulerAB, ProtocolStackIsByteIdenticalAcrossBackends) {
+  const StackRunLog wheel = RunProtocolStack(SchedulerKind::kTimingWheel);
+  const StackRunLog heap = RunProtocolStack(SchedulerKind::kBinaryHeap);
+  EXPECT_EQ(wheel.fired, heap.fired);
+  EXPECT_EQ(wheel.metrics_json, heap.metrics_json);
+  EXPECT_EQ(wheel.trace_text, heap.trace_text);
+}
+
+}  // namespace
+}  // namespace p2p::sim

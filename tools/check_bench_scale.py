@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gate the kernel scale sweep in BENCH_kernel.json.
+
+bench_kernel drives an identical synthetic protocol mix (heartbeats, SOMO
+reports, transport deliveries, failure-timeout rearm churn) through the
+timing-wheel EventQueue, the retained heap backend, and a bench-local copy
+of the pre-wheel queue, at 1.2k/5k/10k hosts. This script checks the
+claims the sweep exists to defend:
+
+  1. Throughput: at the largest scale, the legacy : wheel ns/event ratio
+     must be at least --min-speedup (default 3.0).
+  2. Flat memory: the wheel's peak structure footprint stays within
+     2 * peak_live + 1 at every scale (no garbage accumulation).
+  3. Regression (when a baseline JSON is given): wheel ns/event at the
+     largest scale must not exceed baseline * --max-regression
+     (default 1.5) — catches an accidental de-optimisation of the hot
+     path without failing on ordinary machine-to-machine variance.
+
+Exit 0 when every check passes, 1 otherwise (the caller treats failure as
+a warning — benchmark noise should not fail a build).
+
+Usage: check_bench_scale.py NEW.json [BASELINE.json]
+           [--min-speedup 3.0] [--max-regression 1.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_scales(path):
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    if data.get("schema") != "p2pkernelbench/v1":
+        raise SystemExit(f"{path}: not a p2pkernelbench/v1 file")
+    scales = data.get("scales", [])
+    if not scales:
+        raise SystemExit(f"{path}: no scales recorded")
+    return scales
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json")
+    parser.add_argument("baseline_json", nargs="?")
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--max-regression", type=float, default=1.5)
+    args = parser.parse_args()
+
+    scales = load_scales(args.bench_json)
+    failures = 0
+
+    for sc in scales:
+        wheel = sc["wheel"]
+        slack = 2 * wheel["peak_live"] + 1
+        status = "ok" if wheel["peak_footprint"] <= slack else "FAIL"
+        print(
+            f"{status:>4}  {sc['hosts']} hosts: wheel footprint "
+            f"{wheel['peak_footprint']} <= 2*{wheel['peak_live']}+1"
+        )
+        if status == "FAIL":
+            failures += 1
+
+    top = max(scales, key=lambda sc: sc["hosts"])
+    speedup = top["speedup_legacy_over_wheel"]
+    status = "ok" if speedup >= args.min_speedup else "FAIL"
+    print(
+        f"{status:>4}  {top['hosts']} hosts: legacy/wheel speedup "
+        f"{speedup:.2f}x (floor {args.min_speedup:.1f}x)"
+    )
+    if status == "FAIL":
+        failures += 1
+
+    if args.baseline_json:
+        base_scales = load_scales(args.baseline_json)
+        base_top = max(base_scales, key=lambda sc: sc["hosts"])
+        if base_top["hosts"] != top["hosts"]:
+            print(
+                f"FAIL  baseline largest scale {base_top['hosts']} != "
+                f"{top['hosts']}",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            new_ns = top["wheel"]["ns_per_event"]
+            base_ns = base_top["wheel"]["ns_per_event"]
+            limit = base_ns * args.max_regression
+            status = "ok" if new_ns <= limit else "FAIL"
+            print(
+                f"{status:>4}  {top['hosts']} hosts: wheel "
+                f"{new_ns:.1f} ns/event vs baseline {base_ns:.1f} "
+                f"(limit {limit:.1f})"
+            )
+            if status == "FAIL":
+                failures += 1
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

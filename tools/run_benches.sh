@@ -18,7 +18,8 @@ repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
 cd "$repo_root"
 
 cmake --preset release
-cmake --build --preset release -j "$(nproc)" --target bench_to_json bench_micro
+cmake --build --preset release -j "$(nproc)" \
+  --target bench_to_json bench_micro bench_kernel
 
 ./build-release/bench/bench_to_json \
   --benchmark_out="$repo_root/BENCH_alm.json" \
@@ -47,3 +48,24 @@ if command -v python3 >/dev/null 2>&1; then
 else
   echo "python3 not found; skipping metrics-overhead check"
 fi
+
+# Kernel scale sweep: event-loop ns/event at 1.2k/5k/10k hosts under the
+# timing wheel, the retained heap backend, and a copy of the pre-wheel
+# queue. Gated (warn-only) on the >=3x legacy:wheel speedup at 10k hosts,
+# flat wheel memory, and ns/event regression vs the committed baseline.
+baseline=""
+if [[ -f "$repo_root/BENCH_kernel.json" ]]; then
+  baseline=$(mktemp)
+  cp "$repo_root/BENCH_kernel.json" "$baseline"
+fi
+./build-release/bench/bench_kernel --reps 5 \
+  --json "$repo_root/BENCH_kernel.json"
+echo "wrote $repo_root/BENCH_kernel.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$repo_root/tools/check_bench_scale.py" \
+    "$repo_root/BENCH_kernel.json" ${baseline:+"$baseline"} \
+    || echo "WARNING: kernel scale sweep below target — inspect BENCH_kernel.json"
+else
+  echo "python3 not found; skipping kernel scale check"
+fi
+if [[ -n "$baseline" ]]; then rm -f "$baseline"; fi

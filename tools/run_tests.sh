@@ -49,16 +49,28 @@ if [ "$report_mode" = 1 ]; then
   fi
   report_dir=$(mktemp -d)
   trap 'rm -rf "$report_dir"' EXIT
-  # Small instances: this validates report plumbing, not experiment scale.
-  "$cli" plan --group 40                  --report "$report_dir/plan.json"      >/dev/null
-  "$cli" multi --sessions 10             --report "$report_dir/multi.json"     >/dev/null
-  "$cli" somo --nodes 32 --horizon-ms 20000 --report "$report_dir/somo.json"   >/dev/null
-  "$cli" somo-loss --nodes 24 --horizon-ms 20000 --report "$report_dir/somo-loss.json" >/dev/null
-  "$cli" hb-jitter --nodes 24 --horizon-ms 20000 --report "$report_dir/hb-jitter.json" >/dev/null
-  "$cli" topo --hosts 300                --report "$report_dir/topo.json"      >/dev/null
-  "$cli" observe --nodes 32 --horizon-ms 20000 --timeseries-dir "$report_dir" \
-         --report "$report_dir/observe.json" >/dev/null
-  python3 tools/validate_report.py "$report_dir"/*.json
+  # Each experiment runs twice at the same (default) seed: pass `a`
+  # validates the report plumbing, pass `b` exists so compare_reports.py
+  # can enforce that same-seed reports are identical — the determinism
+  # contract every replanning/regression diff rests on. Small instances:
+  # this validates plumbing, not experiment scale.
+  mkdir "$report_dir/a" "$report_dir/b"
+  for pass in a b; do
+    out="$report_dir/$pass"
+    "$cli" plan --group 40                 --report "$out/plan.json"      >/dev/null
+    "$cli" multi --sessions 10             --report "$out/multi.json"     >/dev/null
+    "$cli" somo --nodes 32 --horizon-ms 20000 --report "$out/somo.json"   >/dev/null
+    "$cli" somo-loss --nodes 24 --horizon-ms 20000 --report "$out/somo-loss.json" >/dev/null
+    "$cli" hb-jitter --nodes 24 --horizon-ms 20000 --report "$out/hb-jitter.json" >/dev/null
+    "$cli" topo --hosts 300                --report "$out/topo.json"      >/dev/null
+    "$cli" observe --nodes 32 --horizon-ms 20000 --timeseries-dir "$out" \
+           --report "$out/observe.json" >/dev/null
+  done
+  python3 tools/validate_report.py "$report_dir"/a/*.json
+  for report in "$report_dir"/a/*.json; do
+    python3 tools/compare_reports.py \
+      "$report" "$report_dir/b/$(basename "$report")"
+  done
 fi
 
 echo "all test presets passed: ${presets[*]}"
