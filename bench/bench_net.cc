@@ -1,0 +1,227 @@
+// Network-substrate scale sweep: LatencyOracle build time, query latency,
+// and memory at the topology presets, flat vs hierarchical.
+//
+// For each preset (1200 / 10k / 50k hosts) the sweep generates the
+// topology once, builds the flat reference oracle, the hierarchical
+// oracle, and the hierarchical oracle with float32 distance storage, then
+// times an identical random host-pair query sequence against each. Every
+// 1000th query is cross-checked flat-vs-hier (exact backends must agree),
+// so the numbers below are guaranteed to price the same answers.
+//
+// JSON schema "p2pnetbench/v1"; tools/check_bench_scale.py gates the
+// committed BENCH_net.json on the >=5x memory reduction and <=2x query
+// ratio at the 10k+ presets.
+//
+// Usage: bench_net [--json PATH] [--reps N] [--quick]
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/latency_oracle.h"
+#include "net/transit_stub.h"
+#include "obs/json.h"
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace p2p::bench {
+namespace {
+
+double WallMs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct OracleStats {
+  double build_ms = 0.0;
+  double query_ns = 0.0;
+  std::size_t bytes = 0;
+};
+
+// Best-of-`reps` timing of `queries` against one oracle. The checksum
+// keeps the loop from being optimised away; the caller compares checksums
+// across oracles as the exactness spot-check.
+double TimeQueries(const net::LatencyOracle& oracle,
+                   const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+                       queries,
+                   int reps, double* checksum) {
+  double best_ns = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    double sum = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& [a, b] : queries) sum += oracle.Latency(a, b);
+    const double ns = WallMs(t0) * 1e6 / static_cast<double>(queries.size());
+    if (r == 0 || ns < best_ns) best_ns = ns;
+    *checksum = sum;
+  }
+  return best_ns;
+}
+
+struct PresetResult {
+  std::string name;
+  std::size_t hosts = 0;
+  std::size_t routers = 0;
+  std::size_t core_nodes = 0;
+  std::size_t gateways = 0;
+  OracleStats flat, hier, hier_f32;
+
+  double memory_reduction() const {
+    return static_cast<double>(flat.bytes) /
+           static_cast<double>(hier.bytes);
+  }
+  double query_ratio() const { return hier.query_ns / flat.query_ns; }
+};
+
+PresetResult RunPreset(net::TopologyPreset preset, int reps,
+                       std::size_t query_count) {
+  PresetResult r;
+  r.name = net::TopologyPresetName(preset);
+  const net::TransitStubParams params = net::PresetParams(preset);
+  util::Rng topo_rng(42);
+  const auto topo = net::GenerateTransitStub(params, topo_rng);
+  r.hosts = topo.host_count();
+  r.routers = topo.router_count();
+  std::printf("[%s] %zu routers, %zu hosts ...\n", r.name.c_str(), r.routers,
+              r.hosts);
+
+  const auto build = [&](net::OracleKind kind, net::OraclePrecision prec) {
+    const auto t0 = std::chrono::steady_clock::now();
+    net::LatencyOracle oracle(
+        topo, net::OracleOptions{.kind = kind, .precision = prec});
+    const double ms = WallMs(t0);
+    return std::make_pair(std::move(oracle), ms);
+  };
+  auto [flat, flat_ms] =
+      build(net::OracleKind::kFlat, net::OraclePrecision::kF64);
+  auto [hier, hier_ms] =
+      build(net::OracleKind::kHierarchical, net::OraclePrecision::kF64);
+  auto [hier32, hier32_ms] =
+      build(net::OracleKind::kHierarchical, net::OraclePrecision::kF32);
+  r.flat = {flat_ms, 0.0, flat.MemoryBytes()};
+  r.hier = {hier_ms, 0.0, hier.MemoryBytes()};
+  r.hier_f32 = {hier32_ms, 0.0, hier32.MemoryBytes()};
+  r.core_nodes = hier.core_node_count();
+  r.gateways = hier.gateway_count();
+
+  // One shared random pair sequence, with spot checks that the backends
+  // price the same answers.
+  util::Rng qrng(42 ^ r.hosts);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> queries;
+  queries.reserve(query_count);
+  for (std::size_t i = 0; i < query_count; ++i)
+    queries.emplace_back(
+        static_cast<std::uint32_t>(qrng.NextBounded(r.hosts)),
+        static_cast<std::uint32_t>(qrng.NextBounded(r.hosts)));
+  for (std::size_t i = 0; i < queries.size(); i += 1000) {
+    const auto [a, b] = queries[i];
+    const double f = flat.Latency(a, b);
+    P2P_CHECK_MSG(std::abs(hier.Latency(a, b) - f) < 1e-6,
+                  "hier backend diverged from flat at query " << i);
+    P2P_CHECK_MSG(std::abs(hier32.Latency(a, b) - f) < 1e-3,
+                  "f32 storage beyond 1e-3 ms at query " << i);
+  }
+  double sum_flat = 0.0, sum_hier = 0.0, sum_f32 = 0.0;
+  r.flat.query_ns = TimeQueries(flat, queries, reps, &sum_flat);
+  r.hier.query_ns = TimeQueries(hier, queries, reps, &sum_hier);
+  r.hier_f32.query_ns = TimeQueries(hier32, queries, reps, &sum_f32);
+  P2P_CHECK(std::abs(sum_hier - sum_flat) <
+            1e-6 * static_cast<double>(queries.size()));
+  P2P_CHECK(std::abs(sum_f32 - sum_flat) <
+            1e-3 * static_cast<double>(queries.size()));
+  return r;
+}
+
+void WriteJson(const std::vector<PresetResult>& results,
+               const std::string& path) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("p2pnetbench/v1");
+  w.Key("presets").BeginArray();
+  for (const auto& r : results) {
+    const auto oracle = [&w](const char* name, const OracleStats& s) {
+      w.Key(name).BeginObject();
+      w.Key("build_ms").Number(s.build_ms);
+      w.Key("query_ns").Number(s.query_ns);
+      w.Key("bytes").Uint(s.bytes);
+      w.EndObject();
+    };
+    w.BeginObject();
+    w.Key("preset").String(r.name);
+    w.Key("hosts").Uint(r.hosts);
+    w.Key("routers").Uint(r.routers);
+    w.Key("core_nodes").Uint(r.core_nodes);
+    w.Key("gateways").Uint(r.gateways);
+    oracle("flat", r.flat);
+    oracle("hier", r.hier);
+    oracle("hier_f32", r.hier_f32);
+    w.Key("memory_reduction").Number(r.memory_reduction());
+    w.Key("query_ratio_hier_over_flat").Number(r.query_ratio());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("[json] FAILED to open %s\n", path.c_str());
+    return;
+  }
+  const std::string out = w.Take();
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("[json] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace p2p::bench
+
+int main(int argc, char** argv) {
+  using namespace p2p::bench;
+
+  std::string json_path;
+  int reps = 3;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+    if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
+    if (arg == "--quick") quick = true;
+  }
+
+  std::vector<p2p::net::TopologyPreset> presets = {
+      p2p::net::TopologyPreset::kPaper1200,
+      p2p::net::TopologyPreset::kHosts10k,
+      p2p::net::TopologyPreset::kHosts50k};
+  if (quick) presets.pop_back();
+  const std::size_t query_count = quick ? 100000 : 1000000;
+
+  std::printf("\n=== Network substrate scale sweep ===\n");
+  std::printf("(flat = all-pairs router triangle, hier = stub-domain + "
+              "gateway-core\n decomposition; query best of %d over %zu "
+              "random host pairs)\n\n", reps, query_count);
+
+  std::vector<PresetResult> results;
+  p2p::util::Table table({"preset", "routers", "hosts", "flat build ms",
+                          "hier build ms", "flat MiB", "hier MiB",
+                          "mem reduction", "flat q ns", "hier q ns",
+                          "q ratio"});
+  for (const auto preset : presets) {
+    PresetResult r = RunPreset(preset, reps, query_count);
+    table.AddRow({r.name, static_cast<long long>(r.routers),
+                  static_cast<long long>(r.hosts), r.flat.build_ms,
+                  r.hier.build_ms,
+                  static_cast<double>(r.flat.bytes) / (1024.0 * 1024.0),
+                  static_cast<double>(r.hier.bytes) / (1024.0 * 1024.0),
+                  r.memory_reduction(), r.flat.query_ns, r.hier.query_ns,
+                  r.query_ratio()});
+    results.push_back(std::move(r));
+  }
+  std::printf("\n%s\n", table.ToText().c_str());
+
+  if (!json_path.empty()) WriteJson(results, json_path);
+  return 0;
+}

@@ -36,19 +36,26 @@ PlanResult PlanSession(const PlanInput& input, Strategy strategy) {
   obs::ScopeTimer plan_timer(
       input.metrics != nullptr ? &input.metrics->profile("alm.plan_ms")
                                : nullptr);
-  P2P_CHECK(input.true_latency != nullptr);
+  P2P_CHECK_MSG(input.true_latency != nullptr || input.oracle != nullptr,
+                "PlanSession needs a true latency fn or an oracle");
   P2P_CHECK_MSG(!StrategyUsesEstimates(strategy) ||
                     input.estimated_latency != nullptr,
                 "Leafset strategies need an estimated latency");
+  const net::LatencyOracle* oracle = input.oracle;
+  LatencyFn truth = input.true_latency;
+  if (truth == nullptr) {
+    truth = [oracle](ParticipantId a, ParticipantId b) {
+      return oracle->Latency(a, b);
+    };
+  }
 
   // Planning latency: true for oracle strategies; hybrid for Leafset.
-  LatencyFn planning = input.true_latency;
+  LatencyFn planning = truth;
   if (StrategyUsesEstimates(strategy)) {
     std::vector<char> is_member(input.degree_bounds.size(), 0);
     is_member[input.root] = 1;
     for (const ParticipantId m : input.members) is_member[m] = 1;
-    planning = [is_member = std::move(is_member),
-                truth = input.true_latency,
+    planning = [is_member = std::move(is_member), truth,
                 est = input.estimated_latency](ParticipantId a,
                                                ParticipantId b) {
       return (is_member[a] && is_member[b]) ? truth(a, b) : est(a, b);
@@ -77,11 +84,20 @@ PlanResult PlanSession(const PlanInput& input, Strategy strategy) {
   core_ids.reserve(1 + ain.members.size());
   core_ids.push_back(ain.root);
   core_ids.insert(core_ids.end(), ain.members.begin(), ain.members.end());
-  const LatencyMatrix planning_matrix(
-      input.degree_bounds.size(), core_ids,
+  // An oracle without estimate-based planning means every planning latency
+  // is a truth query: fill the matrix with direct oracle calls instead of
+  // going through the std::function per pair.
+  const bool oracle_direct =
+      oracle != nullptr && input.true_latency == nullptr &&
+      !StrategyUsesEstimates(strategy);
+  const std::vector<ParticipantId> satellite_ids =
       aopt.selection != HelperSelection::kNone ? ain.helper_candidates
-                                               : std::vector<ParticipantId>{},
-      planning);
+                                               : std::vector<ParticipantId>{};
+  const LatencyMatrix planning_matrix =
+      oracle_direct ? LatencyMatrix(input.degree_bounds.size(), core_ids,
+                                    satellite_ids, *oracle)
+                    : LatencyMatrix(input.degree_bounds.size(), core_ids,
+                                    satellite_ids, planning);
 
   AmcastResult built = BuildAmcastTree(ain, planning_matrix, aopt);
 
@@ -93,15 +109,18 @@ PlanResult PlanSession(const PlanInput& input, Strategy strategy) {
     // membership. This is why the paper finds adjustment "remarkably
     // effective especially for Leafset": it repairs the damage done by
     // coordinate-estimate errors during helper selection.
-    const LatencyMatrix true_matrix(input.degree_bounds.size(),
-                                    result.tree.members(),
-                                    input.true_latency);
+    const LatencyMatrix true_matrix =
+        oracle != nullptr && input.true_latency == nullptr
+            ? LatencyMatrix(input.degree_bounds.size(), result.tree.members(),
+                            *oracle)
+            : LatencyMatrix(input.degree_bounds.size(), result.tree.members(),
+                            truth);
     result.adjust_stats = AdjustTree(result.tree, input.degree_bounds,
                                      true_matrix, input.adjust);
     result.height_true = result.tree.Height(true_matrix);
   } else {
     // One O(members) evaluation pass; not worth a pairwise matrix fill.
-    result.height_true = result.tree.Height(input.true_latency);
+    result.height_true = result.tree.Height(truth);
   }
   result.height_planning = result.tree.Height(planning_matrix);
   if (input.metrics != nullptr) {

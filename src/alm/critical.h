@@ -19,6 +19,7 @@
 #include "alm/adjust.h"
 #include "alm/amcast.h"
 #include "alm/session.h"
+#include "net/latency_oracle.h"
 #include "obs/metrics.h"
 
 namespace p2p::alm {
@@ -45,6 +46,12 @@ struct PlanInput {
   LatencyFn true_latency;
   // Coordinate-based estimate; required only for Leafset strategies.
   LatencyFn estimated_latency;
+  // When set, planning matrices are filled by direct oracle calls (no
+  // std::function dispatch per pair) and `true_latency` may be left null —
+  // participant ids must then be host indices into the oracle. Leafset
+  // strategies still need `estimated_latency`; a non-null `true_latency`
+  // overrides the oracle for truth queries (hybrid test setups).
+  const net::LatencyOracle* oracle = nullptr;
   AmcastOptions amcast;   // helper_radius / helper_min_degree knobs
   AdjustOptions adjust;
   // Optional instrumentation: alm.plan.* histograms and counters plus the

@@ -4,12 +4,12 @@
 
 namespace p2p::alm {
 
-LatencyMatrix::LatencyMatrix(std::size_t participant_space,
-                             const std::vector<ParticipantId>& core_ids,
-                             const std::vector<ParticipantId>& satellite_ids,
-                             const LatencyFn& fn)
-    : dense_(participant_space, kAbsent), fn_(fn) {
-  P2P_CHECK_MSG(fn != nullptr, "building a LatencyMatrix from a null fn");
+template <typename Eval>
+void LatencyMatrix::Build(std::size_t participant_space,
+                          const std::vector<ParticipantId>& core_ids,
+                          const std::vector<ParticipantId>& satellite_ids,
+                          const Eval& eval) {
+  dense_.assign(participant_space, kAbsent);
   std::vector<ParticipantId> covered;
   covered.reserve(core_ids.size() + satellite_ids.size());
   const auto cover = [&](const std::vector<ParticipantId>& ids) {
@@ -32,7 +32,8 @@ LatencyMatrix::LatencyMatrix(std::size_t participant_space,
   for (std::size_t i = 1; i < n_; ++i) {
     double* row = data_.data() + i * core_n_;
     const std::size_t jmax = std::min<std::size_t>(i, core_n_);
-    for (std::size_t j = 0; j < jmax; ++j) row[j] = fn(covered[i], covered[j]);
+    for (std::size_t j = 0; j < jmax; ++j)
+      row[j] = eval(covered[i], covered[j]);
   }
   constexpr std::size_t kTile = 32;
   for (std::size_t ib = 0; ib < core_n_; ib += kTile) {
@@ -45,6 +46,28 @@ LatencyMatrix::LatencyMatrix(std::size_t participant_space,
       }
     }
   }
+}
+
+LatencyMatrix::LatencyMatrix(std::size_t participant_space,
+                             const std::vector<ParticipantId>& core_ids,
+                             const std::vector<ParticipantId>& satellite_ids,
+                             const LatencyFn& fn)
+    : fn_(fn) {
+  P2P_CHECK_MSG(fn != nullptr, "building a LatencyMatrix from a null fn");
+  Build(participant_space, core_ids, satellite_ids, fn);
+}
+
+LatencyMatrix::LatencyMatrix(std::size_t participant_space,
+                             const std::vector<ParticipantId>& core_ids,
+                             const std::vector<ParticipantId>& satellite_ids,
+                             const net::LatencyOracle& oracle)
+    : fn_([&oracle](ParticipantId a, ParticipantId b) {
+        return oracle.Latency(a, b);
+      }) {
+  Build(participant_space, core_ids, satellite_ids,
+        [&oracle](ParticipantId a, ParticipantId b) {
+          return oracle.Latency(a, b);
+        });
 }
 
 }  // namespace p2p::alm

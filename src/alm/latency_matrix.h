@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "alm/tree.h"
+#include "net/latency_oracle.h"
 #include "util/check.h"
 
 namespace p2p::alm {
@@ -45,6 +46,22 @@ class LatencyMatrix {
                 const std::vector<ParticipantId>& core_ids,
                 const std::vector<ParticipantId>& satellite_ids,
                 const LatencyFn& fn);
+
+  // Oracle-direct builds: participant ids must be host indices into
+  // `oracle`. The fill loop calls oracle.Latency() directly — no
+  // std::function dispatch per pair, which matters once the hierarchical
+  // oracle makes 10k-host participant sets practical. Satellite↔satellite
+  // queries fall back to a stored wrapper; `oracle` must outlive the
+  // matrix.
+  LatencyMatrix(std::size_t participant_space,
+                const std::vector<ParticipantId>& ids,
+                const net::LatencyOracle& oracle)
+      : LatencyMatrix(participant_space, ids, {}, oracle) {}
+
+  LatencyMatrix(std::size_t participant_space,
+                const std::vector<ParticipantId>& core_ids,
+                const std::vector<ParticipantId>& satellite_ids,
+                const net::LatencyOracle& oracle);
 
   // Number of distinct covered ids (core + satellite).
   std::size_t size() const { return n_; }
@@ -90,6 +107,14 @@ class LatencyMatrix {
 
  private:
   static constexpr std::uint32_t kAbsent = ~std::uint32_t{0};
+
+  // Shared fill over any pairwise evaluator (LatencyFn or a direct oracle
+  // call); `fn_` must already be set for the satellite fallback.
+  template <typename Eval>
+  void Build(std::size_t participant_space,
+             const std::vector<ParticipantId>& core_ids,
+             const std::vector<ParticipantId>& satellite_ids,
+             const Eval& eval);
 
   std::size_t n_ = 0;       // distinct covered ids
   std::uint32_t core_n_ = 0;

@@ -32,6 +32,48 @@ void WireConnected(Graph& g, const std::vector<NodeIdx>& members,
 
 }  // namespace
 
+TransitStubParams PresetParams(TopologyPreset preset) {
+  TransitStubParams p;  // defaults are the paper's §5.2 shape
+  switch (preset) {
+    case TopologyPreset::kPaper1200:
+      break;
+    case TopologyPreset::kHosts10k:
+      p.transit_domains = 8;
+      p.transit_routers_per_domain = 8;       // 64 transit routers
+      p.stub_domains_per_transit_router = 4;  // 256 stub domains
+      p.routers_per_stub_domain = 16;         // 4096 stub routers
+      p.stub_multihome_prob = 0.3;
+      p.end_hosts = 10000;
+      break;
+    case TopologyPreset::kHosts50k:
+      p.transit_domains = 10;
+      p.transit_routers_per_domain = 10;      // 100 transit routers
+      p.stub_domains_per_transit_router = 6;  // 600 stub domains
+      p.routers_per_stub_domain = 12;         // 7200 stub routers
+      p.stub_multihome_prob = 0.3;
+      p.end_hosts = 50000;
+      break;
+  }
+  return p;
+}
+
+TopologyPreset ParseTopologyPreset(const std::string& name) {
+  if (name == "1200" || name == "paper") return TopologyPreset::kPaper1200;
+  if (name == "10k") return TopologyPreset::kHosts10k;
+  if (name == "50k") return TopologyPreset::kHosts50k;
+  throw util::CheckError("unknown topology preset '" + name +
+                         "' (1200|10k|50k)");
+}
+
+const char* TopologyPresetName(TopologyPreset preset) {
+  switch (preset) {
+    case TopologyPreset::kPaper1200: return "1200";
+    case TopologyPreset::kHosts10k: return "10k";
+    case TopologyPreset::kHosts50k: return "50k";
+  }
+  return "?";
+}
+
 TransitStubTopology GenerateTransitStub(const TransitStubParams& params,
                                         util::Rng& rng) {
   P2P_CHECK(params.transit_domains > 0);
@@ -81,7 +123,9 @@ TransitStubTopology GenerateTransitStub(const TransitStubParams& params,
   // 3. Stub domains: each transit router owns `stub_domains_per_transit_
   //    router` domains of `routers_per_stub_domain` routers; the domain is
   //    internally wired with 10 ms links and attached to its transit router
-  //    by a 25 ms link from a random member.
+  //    by a 25 ms link from a random member. With stub_multihome_prob > 0 a
+  //    domain may gain a second attach link to a different transit router
+  //    (two gateways); prob 0 draws no RNG and reproduces the paper shape.
   std::size_t next_router = kTransit;
   std::size_t stub_domain_id = 0;
   for (std::size_t t = 0; t < kTransit; ++t) {
@@ -97,6 +141,13 @@ TransitStubTopology GenerateTransitStub(const TransitStubParams& params,
                     params.intra_stub_extra_edge_prob, rng);
       const NodeIdx attach = members[rng.NextBounded(members.size())];
       topo.routers.AddEdge(t, attach, params.stub_transit_link_ms);
+      if (params.stub_multihome_prob > 0.0 && kTransit > 1 &&
+          rng.Bernoulli(params.stub_multihome_prob)) {
+        NodeIdx t2 = rng.NextBounded(kTransit - 1);
+        if (t2 >= t) ++t2;  // any transit router except the owner
+        const NodeIdx attach2 = members[rng.NextBounded(members.size())];
+        topo.routers.AddEdge(t2, attach2, params.stub_transit_link_ms);
+      }
       ++stub_domain_id;
     }
   }

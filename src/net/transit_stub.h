@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "net/graph.h"
@@ -29,6 +30,14 @@ struct TransitStubParams {
   // and the inter-domain graph is first wired as a random spanning tree).
   double intra_transit_extra_edge_prob = 0.5;
   double intra_stub_extra_edge_prob = 0.3;
+
+  // Probability that a stub domain is multi-homed: it gets a second
+  // stub-transit attach link, from a random member to a random transit
+  // router other than its owner. 0 (the paper's shape) draws no RNG, so
+  // default topologies are bit-identical to the single-homed generator.
+  // Multi-homed domains have two gateway routers, which is what makes the
+  // hierarchical latency oracle's gateway-pair minimisation non-trivial.
+  double stub_multihome_prob = 0.0;
 
   // Link latency classes (ms). Inter-transit-domain links use the
   // intra-transit class as well, matching the paper's three-class model.
@@ -51,7 +60,26 @@ struct TransitStubParams {
   std::size_t total_routers() const {
     return total_transit_routers() + total_stub_routers();
   }
+  std::size_t total_stub_domains() const {
+    return total_transit_routers() * stub_domains_per_transit_router;
+  }
 };
+
+// Scaling presets for full-stack experiments. kPaper1200 is the §5.2
+// configuration (600 routers / 1200 hosts); the larger presets grow the
+// router substrate sublinearly with the host count and multi-home ~30% of
+// stub domains so gateway-pair routing is actually exercised.
+enum class TopologyPreset {
+  kPaper1200,  //   600 routers,  1200 hosts (paper §5.2, single-homed)
+  kHosts10k,   // 4,160 routers, 10000 hosts
+  kHosts50k,   // 7,300 routers, 50000 hosts
+};
+
+TransitStubParams PresetParams(TopologyPreset preset);
+
+// "1200" | "10k" | "50k" (throws util::CheckError on anything else).
+TopologyPreset ParseTopologyPreset(const std::string& name);
+const char* TopologyPresetName(TopologyPreset preset);
 
 // Index of an end system (0 .. end_hosts-1); routers use net::NodeIdx.
 using HostIdx = std::size_t;

@@ -29,7 +29,10 @@ ResourcePool::ResourcePool(const PoolConfig& config,
   bw_rng_ = std::make_unique<util::Rng>(rng_.Substream(5));
 
   topology_ = net::GenerateTransitStub(config_.topology, topo_rng);
-  oracle_ = std::make_unique<net::LatencyOracle>(topology_, threads);
+  oracle_ = std::make_unique<net::LatencyOracle>(
+      topology_, net::OracleOptions{.kind = config_.oracle_kind,
+                                    .precision = config_.oracle_precision,
+                                    .pool = threads});
   bandwidths_ = std::make_unique<net::BandwidthModel>(
       net::GnutellaAccessClasses(), topology_.host_count(), bw_model_rng);
 

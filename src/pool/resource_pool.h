@@ -28,6 +28,12 @@ struct PoolConfig {
   std::size_t leafset_size = 32;
   std::uint64_t seed = 1;
 
+  // Latency-oracle backend. Flat (all-pairs Dijkstra) is the reference and
+  // default; hierarchical is exact too (diff-tested) and is what makes the
+  // 10k/50k-host presets buildable. Both answer the same TrueLatency().
+  net::OracleKind oracle_kind = net::OracleKind::kFlat;
+  net::OraclePrecision oracle_precision = net::OraclePrecision::kF64;
+
   // Degree bounds follow the paper's distribution: P(d)=2^-(d-1) for
   // d=2..8 and the remaining 2^-7 mass on d=9.
   bool paper_degree_distribution = true;

@@ -35,10 +35,28 @@ class EventQueue::Backend {
   virtual std::uint32_t PopMin() = 0;
   virtual std::size_t footprint() const = 0;
 
+  // Batched drain (EventQueue::PopAllUpTo): the generic loop still pays a
+  // virtual peek+pop per event — it exists so every backend supports the
+  // API; backends with an inline-walkable "next run" structure override it.
+  virtual void PopAllUpTo(Time t_end, void* ctx, EventQueue::SinkFn sink) {
+    while (!QueueEmpty()) {
+      const std::uint32_t slot = PeekMin();
+      if (record(slot).time > t_end) return;
+      PopMin();
+      Emit(slot, ctx, sink);
+    }
+  }
+
  protected:
   const Slot& record(std::uint32_t slot) const { return q_.slab_[slot]; }
   bool Live(std::uint32_t slot, std::uint64_t seq) const {
     return q_.OccurrenceLive(slot, seq);
+  }
+  bool QueueEmpty() const { return q_.live_count_ == 0; }
+  // Run one popped slot through the sink (fire one-shot / fire + re-arm
+  // periodic); the slot must already be detached from the backend.
+  void Emit(std::uint32_t slot, void* ctx, EventQueue::SinkFn sink) {
+    q_.EmitSlot(slot, ctx, sink);
   }
 
  private:
@@ -224,6 +242,34 @@ class EventQueue::WheelBackend final : public EventQueue::Backend {
 
   std::size_t footprint() const override {
     return bucket_entries_ + (due_.size() - due_cursor_) + overflow_.size();
+  }
+
+  // Batched drain: walk the due-run cursor inline — no virtual peek/pop
+  // per event — falling back to PeekMin/PopMin (devirtualised: this class
+  // is final) only when the wheel has to advance or cascade. Sink
+  // callbacks may schedule, cancel, or re-arm freely: the inner loop
+  // re-reads due_/due_cursor_ after every emit, and InsertDue/Remove keep
+  // the served prefix invariant.
+  void PopAllUpTo(Time t_end, void* ctx, EventQueue::SinkFn sink) override {
+    while (!QueueEmpty()) {
+      while (due_cursor_ < due_.size()) {
+        const std::uint32_t slot = due_[due_cursor_];
+        if (record(slot).time > t_end) return;
+        if (slot == cache_) cache_ = kNoSlot;
+        ++due_cursor_;
+        loc_[slot].kind = Loc::kNone;
+        if (due_cursor_ == due_.size()) {
+          due_.clear();
+          due_cursor_ = 0;
+        }
+        Emit(slot, ctx, sink);
+      }
+      if (QueueEmpty()) return;
+      const std::uint32_t slot = PeekMin();
+      if (record(slot).time > t_end) return;
+      PopMin();  // advances the wheel clock / cascades, then pops `slot`
+      Emit(slot, ctx, sink);
+    }
   }
 
  private:
@@ -492,7 +538,12 @@ std::uint32_t EventQueue::AllocSlot() {
   }
   P2P_CHECK_MSG(slab_.size() < kNoSlot, "event slab exhausted");
   slab_.emplace_back();
-  return static_cast<std::uint32_t>(slab_.size() - 1);
+  const std::uint32_t slot = static_cast<std::uint32_t>(slab_.size() - 1);
+  // A record regrowing at a trimmed index resumes the retired generation:
+  // ids issued to the pre-trim tenant must not name the new tenant.
+  if (slot < retired_gen_.size()) slab_.back().gen = retired_gen_[slot];
+  slab_hwm_ = std::max(slab_hwm_, slab_.size());
+  return slot;
 }
 
 void EventQueue::FreeSlot(std::uint32_t slot) {
@@ -504,6 +555,43 @@ void EventQueue::FreeSlot(std::uint32_t slot) {
   ++s.gen;  // invalidates every outstanding id for this slot
   s.next_free = free_head_;
   free_head_ = slot;
+  // Attempt a trim only after at least slab/4 frees since the last check,
+  // keeping the O(slab) freelist rebuild amortised O(1) per free.
+  if (++frees_since_trim_ >= kMinTrimSlots &&
+      frees_since_trim_ * 4 >= slab_.size()) {
+    MaybeTrimSlab();
+  }
+}
+
+void EventQueue::MaybeTrimSlab() {
+  frees_since_trim_ = 0;
+  // Trim only when the slab is mostly dead air after a burst (mass join,
+  // churn storm) drained: at least 4x over-provisioned and big enough to
+  // matter. The rate limit in FreeSlot amortises the freelist rebuild to
+  // O(1) per free.
+  if (slab_.size() < kMinTrimSlots || live_count_ * 4 > slab_.size()) return;
+  const std::size_t floor =
+      std::max<std::size_t>(kMinTrimSlots, live_count_ * 2);
+  bool trimmed = false;
+  while (slab_.size() > floor && slab_.back().state == State::kFree) {
+    const std::size_t idx = slab_.size() - 1;
+    if (retired_gen_.size() <= idx) retired_gen_.resize(idx + 1, 0);
+    retired_gen_[idx] = slab_.back().gen;
+    slab_.pop_back();  // deque: surviving records do not move
+    trimmed = true;
+  }
+  if (!trimmed) return;
+  // The freelist chain threads through the popped records; rebuild it from
+  // the survivors. Backends may still hold lazy (slot, seq) entries for
+  // trimmed indices — OccurrenceLive bound-checks against slab_.size(), so
+  // they read as garbage and compact away.
+  free_head_ = kNoSlot;
+  for (std::size_t i = slab_.size(); i-- > 0;) {
+    if (slab_[i].state == State::kFree) {
+      slab_[i].next_free = free_head_;
+      free_head_ = static_cast<std::uint32_t>(i);
+    }
+  }
 }
 
 std::uint32_t EventQueue::SlotOf(EventId id) const {
@@ -646,6 +734,31 @@ bool EventQueue::FinishPeriodic(EventId id) {
   s.state = State::kScheduled;
   backend_->Add(slot);
   return true;
+}
+
+void EventQueue::EmitSlot(std::uint32_t slot, void* ctx, SinkFn sink) {
+  Slot& s = slab_[slot];
+  Fired fired;
+  fired.time = s.time;
+  fired.id = IdOf(slot);
+  if (s.period < 0.0) {
+    // Same sequencing as Pop(): the record is recycled before the callback
+    // runs, so the callback may schedule into the freed slot.
+    fired.cb = std::move(s.fn);
+    --live_count_;
+    FreeSlot(slot);
+    sink(ctx, fired);
+  } else {
+    s.state = State::kFiring;
+    fired.periodic = &s.fn;
+    sink(ctx, fired);
+    FinishPeriodic(fired.id);
+  }
+}
+
+void EventQueue::PopAllUpTo(Time t_end, void* ctx, SinkFn sink) {
+  CheckTime(t_end);
+  backend_->PopAllUpTo(t_end, ctx, sink);
 }
 
 bool EventQueue::OccurrenceLive(std::uint32_t slot, std::uint64_t seq) const {

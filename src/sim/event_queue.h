@@ -35,6 +35,8 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <type_traits>
+#include <vector>
 
 #include "util/check.h"
 #include "util/inline_fn.h"
@@ -120,9 +122,36 @@ class EventQueue {
   // callback. Returns true when the timer is live again.
   bool FinishPeriodic(EventId id);
 
+  // Drain every event with time <= t_end into `sink`, in (time, seq)
+  // order, with ONE virtual backend call for the whole batch — the wheel
+  // backend walks its due-run cursor inline instead of paying a
+  // peek+pop virtual round trip per event. The sink runs each callback:
+  // one-shots arrive with `cb` moved out (record already recycled);
+  // periodic firings arrive with `periodic` set and are re-armed
+  // internally after the sink returns — the sink must NOT call
+  // FinishPeriodic. Events the sink's callbacks schedule at times
+  // <= t_end fire within the same drain, exactly as a Pop() loop would.
+  using SinkFn = void (*)(void* ctx, Fired& fired);
+  void PopAllUpTo(Time t_end, void* ctx, SinkFn sink);
+
+  template <typename F>
+  void PopAllUpTo(Time t_end, F&& f) {
+    PopAllUpTo(t_end, &f, [](void* ctx, Fired& fired) {
+      (*static_cast<std::remove_reference_t<F>*>(ctx))(fired);
+    });
+  }
+
   // Liveness test used by the lazy backends: is occurrence `seq` of slab
   // record `slot` still scheduled? (Backend plumbing, not client API.)
   bool OccurrenceLive(std::uint32_t slot, std::uint64_t seq) const;
+
+  // Slab footprint introspection: current record capacity, the most
+  // records ever live at once, and the live count. Long simulations with
+  // bursty phases (mass joins, churn storms) can watch slab_capacity()
+  // fall back toward slab_high_water() / live after the burst drains —
+  // FreeSlot opportunistically trims trailing free records.
+  std::size_t slab_capacity() const { return slab_.size(); }
+  std::size_t slab_high_water() const { return slab_hwm_; }
 
  private:
   enum class State : std::uint8_t {
@@ -148,6 +177,9 @@ class EventQueue {
   class HeapBackend;
 
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  // Slabs below this size are never trimmed — reclaiming a few KB is not
+  // worth the freelist rebuild.
+  static constexpr std::size_t kMinTrimSlots = 1024;
 
   // Ids pack (generation, slab index + 1); generation bumps on every free,
   // so a stale id can never cancel the record's next tenant. The +1 keeps
@@ -161,6 +193,9 @@ class EventQueue {
 
   std::uint32_t AllocSlot();
   void FreeSlot(std::uint32_t slot);
+  void MaybeTrimSlab();
+  // Fire one already-popped slot through a PopAllUpTo sink.
+  void EmitSlot(std::uint32_t slot, void* ctx, SinkFn sink);
   static void CheckTime(Time t);
 
   SchedulerKind kind_;
@@ -172,6 +207,13 @@ class EventQueue {
   std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 1;
   std::size_t live_count_ = 0;
+  std::size_t slab_hwm_ = 0;  // peak slab_.size()
+  // Generations of trimmed trailing records, by absolute slot index. A
+  // record that regrows at a trimmed index resumes from the retired
+  // generation, so ids handed out to the pre-trim tenant still fail
+  // SlotOf() against the new tenant.
+  std::vector<std::uint32_t> retired_gen_;
+  std::size_t frees_since_trim_ = 0;
 };
 
 }  // namespace p2p::sim

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "net/bandwidth_model.h"
 #include "net/graph.h"
@@ -233,6 +236,131 @@ TEST(LatencyOracle, SameStubPairsAreCloserThanCrossTransit) {
       }
   ASSERT_GT(same_count, 0);
   EXPECT_LT(same_router / same_count, 20.0);  // two last hops only
+}
+
+// ----------------------------------------------------- Topology presets --
+
+// Gateways (stub routers with a direct transit attachment) per stub
+// domain. The hierarchical oracle's correctness rests on every stub
+// domain reaching the core through at least one of these.
+std::vector<int> GatewaysPerStubDomain(const TransitStubTopology& topo) {
+  std::vector<int> count(topo.params.total_stub_domains(), 0);
+  for (NodeIdx r = 0; r < topo.router_count(); ++r) {
+    if (topo.is_transit[r]) continue;
+    for (const auto& [to, w] : topo.routers.Neighbors(r)) {
+      (void)w;
+      if (topo.is_transit[to]) {
+        ++count[topo.domain_of[r]];
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+class PresetTest : public ::testing::TestWithParam<TopologyPreset> {
+ protected:
+  static TransitStubTopology Generate(std::uint64_t seed = 42) {
+    util::Rng rng(seed);
+    return GenerateTransitStub(PresetParams(GetParam()), rng);
+  }
+};
+
+TEST_P(PresetTest, ShapeMatchesPresetParams) {
+  const auto topo = Generate();
+  EXPECT_EQ(topo.router_count(), topo.params.total_routers());
+  EXPECT_EQ(topo.host_count(), topo.params.end_hosts);
+  for (std::size_t r = 0; r < topo.router_count(); ++r)
+    EXPECT_EQ(topo.is_transit[r], r < topo.params.total_transit_routers());
+}
+
+TEST_P(PresetTest, RouterGraphIsConnected) {
+  EXPECT_TRUE(Generate().routers.IsConnected());
+}
+
+TEST_P(PresetTest, EveryStubDomainHasATransitGateway) {
+  const auto topo = Generate();
+  const auto gateways = GatewaysPerStubDomain(topo);
+  for (std::size_t d = 0; d < gateways.size(); ++d)
+    EXPECT_GE(gateways[d], 1) << "stub domain " << d;
+}
+
+TEST_P(PresetTest, LinkLatenciesComeFromTheThreeClasses) {
+  const auto topo = Generate();
+  std::set<double> latencies;
+  for (NodeIdx v = 0; v < topo.router_count(); ++v)
+    for (const auto& [to, w] : topo.routers.Neighbors(v)) {
+      (void)to;
+      latencies.insert(w);
+    }
+  EXPECT_EQ(latencies, (std::set<double>{10.0, 25.0, 100.0}));
+}
+
+TEST_P(PresetTest, HostsAttachToStubRoutersWithinLastHopRange) {
+  const auto topo = Generate();
+  const std::size_t transit = topo.params.total_transit_routers();
+  for (const NodeIdx r : topo.host_router) {
+    EXPECT_GE(r, transit);
+    EXPECT_LT(r, topo.router_count());
+  }
+  for (const double ms : topo.host_last_hop_ms) {
+    EXPECT_GE(ms, topo.params.last_hop_min_ms);
+    EXPECT_LT(ms, topo.params.last_hop_max_ms);
+  }
+}
+
+TEST_P(PresetTest, DeterministicRegeneration) {
+  const auto a = Generate(7);
+  const auto b = Generate(7);
+  EXPECT_EQ(a.host_router, b.host_router);
+  EXPECT_EQ(a.host_last_hop_ms, b.host_last_hop_ms);
+  EXPECT_EQ(a.domain_of, b.domain_of);
+  ASSERT_EQ(a.routers.edge_count(), b.routers.edge_count());
+  for (NodeIdx v = 0; v < a.router_count(); ++v) {
+    const auto na = a.routers.Neighbors(v);
+    const auto nb = b.routers.Neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].to, nb[i].to);
+      EXPECT_EQ(na[i].weight, nb[i].weight);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetTest,
+                         ::testing::Values(TopologyPreset::kPaper1200,
+                                           TopologyPreset::kHosts10k,
+                                           TopologyPreset::kHosts50k),
+                         [](const auto& info) {
+                           return std::string(
+                               TopologyPresetName(info.param));
+                         });
+
+TEST(TopologyPreset, ParseNamesRoundTrip) {
+  EXPECT_EQ(ParseTopologyPreset("1200"), TopologyPreset::kPaper1200);
+  EXPECT_EQ(ParseTopologyPreset("paper"), TopologyPreset::kPaper1200);
+  EXPECT_EQ(ParseTopologyPreset("10k"), TopologyPreset::kHosts10k);
+  EXPECT_EQ(ParseTopologyPreset("50k"), TopologyPreset::kHosts50k);
+  EXPECT_THROW(ParseTopologyPreset("2M"), util::CheckError);
+  for (const auto p :
+       {TopologyPreset::kPaper1200, TopologyPreset::kHosts10k,
+        TopologyPreset::kHosts50k})
+    EXPECT_EQ(ParseTopologyPreset(TopologyPresetName(p)), p);
+}
+
+TEST(TopologyPreset, ScaledPresetsAreMultihomed) {
+  // ~30% of the 10k preset's stub domains draw a second transit link, so
+  // the gateway-pair minimisation in the hierarchical oracle is actually
+  // exercised (the paper preset stays single-homed).
+  util::Rng rng(42);
+  const auto topo = GenerateTransitStub(
+      PresetParams(TopologyPreset::kHosts10k), rng);
+  const auto gateways = GatewaysPerStubDomain(topo);
+  const auto multihomed = static_cast<std::size_t>(
+      std::count_if(gateways.begin(), gateways.end(),
+                    [](int g) { return g >= 2; }));
+  EXPECT_GT(multihomed, gateways.size() / 10);
+  EXPECT_LT(multihomed, gateways.size() / 2);
 }
 
 // ------------------------------------------------------- BandwidthModel --

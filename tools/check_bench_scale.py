@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Gate the kernel scale sweep in BENCH_kernel.json.
+"""Gate the scale sweeps: BENCH_kernel.json and BENCH_net.json.
 
-bench_kernel drives an identical synthetic protocol mix (heartbeats, SOMO
-reports, transport deliveries, failure-timeout rearm churn) through the
-timing-wheel EventQueue, the retained heap backend, and a bench-local copy
-of the pre-wheel queue, at 1.2k/5k/10k hosts. This script checks the
-claims the sweep exists to defend:
+Dispatches on the "schema" field of the input file.
+
+p2pkernelbench/v1 — bench_kernel drives an identical synthetic protocol
+mix (heartbeats, SOMO reports, transport deliveries, failure-timeout
+rearm churn) through the timing-wheel EventQueue, the retained heap
+backend, and a bench-local copy of the pre-wheel queue, at 1.2k/5k/10k
+hosts. Checks:
 
   1. Throughput: at the largest scale, the legacy : wheel ns/event ratio
      must be at least --min-speedup (default 3.0).
@@ -16,38 +18,44 @@ claims the sweep exists to defend:
      (default 1.5) — catches an accidental de-optimisation of the hot
      path without failing on ordinary machine-to-machine variance.
 
+p2pnetbench/v1 — bench_net builds the flat and hierarchical latency
+oracles at the topology presets and times an identical host-pair query
+sequence against both. Checks, at every preset with hosts >=
+--net-scale-floor (default 10000):
+
+  1. Memory: flat bytes / hier bytes must be at least
+     --min-mem-reduction (default 5.0).
+  2. Queries: hier query_ns / flat query_ns must not exceed
+     --max-query-ratio (default 2.0).
+
 Exit 0 when every check passes, 1 otherwise (the caller treats failure as
 a warning — benchmark noise should not fail a build).
 
 Usage: check_bench_scale.py NEW.json [BASELINE.json]
            [--min-speedup 3.0] [--max-regression 1.5]
+           [--min-mem-reduction 5.0] [--max-query-ratio 2.0]
 """
 
 import argparse
 import json
 import sys
 
+KNOWN_SCHEMAS = ("p2pkernelbench/v1", "p2pnetbench/v1")
 
-def load_scales(path):
+
+def load(path):
     with open(path, encoding="utf-8") as f:
         data = json.load(f)
-    if data.get("schema") != "p2pkernelbench/v1":
-        raise SystemExit(f"{path}: not a p2pkernelbench/v1 file")
+    schema = data.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        raise SystemExit(f"{path}: unknown schema {schema!r}")
+    return schema, data
+
+
+def check_kernel(data, args):
     scales = data.get("scales", [])
     if not scales:
-        raise SystemExit(f"{path}: no scales recorded")
-    return scales
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("bench_json")
-    parser.add_argument("baseline_json", nargs="?")
-    parser.add_argument("--min-speedup", type=float, default=3.0)
-    parser.add_argument("--max-regression", type=float, default=1.5)
-    args = parser.parse_args()
-
-    scales = load_scales(args.bench_json)
+        raise SystemExit("no scales recorded")
     failures = 0
 
     for sc in scales:
@@ -72,7 +80,10 @@ def main() -> int:
         failures += 1
 
     if args.baseline_json:
-        base_scales = load_scales(args.baseline_json)
+        base_schema, base = load(args.baseline_json)
+        if base_schema != "p2pkernelbench/v1":
+            raise SystemExit(f"{args.baseline_json}: schema mismatch")
+        base_scales = base.get("scales", [])
         base_top = max(base_scales, key=lambda sc: sc["hosts"])
         if base_top["hosts"] != top["hosts"]:
             print(
@@ -94,6 +105,67 @@ def main() -> int:
             if status == "FAIL":
                 failures += 1
 
+    return failures
+
+
+def check_net(data, args):
+    presets = data.get("presets", [])
+    if not presets:
+        raise SystemExit("no presets recorded")
+    failures = 0
+    gated = 0
+
+    for p in presets:
+        name, hosts = p["preset"], p["hosts"]
+        if hosts < args.net_scale_floor:
+            print(
+                f"  --  {name} ({hosts} hosts): below the "
+                f"{args.net_scale_floor}-host gate, informational only"
+            )
+            continue
+        gated += 1
+        mem = p["memory_reduction"]
+        status = "ok" if mem >= args.min_mem_reduction else "FAIL"
+        print(
+            f"{status:>4}  {name}: hier memory reduction {mem:.1f}x "
+            f"(floor {args.min_mem_reduction:.1f}x)"
+        )
+        if status == "FAIL":
+            failures += 1
+        ratio = p["query_ratio_hier_over_flat"]
+        status = "ok" if ratio <= args.max_query_ratio else "FAIL"
+        print(
+            f"{status:>4}  {name}: hier/flat query ratio {ratio:.2f} "
+            f"(limit {args.max_query_ratio:.1f})"
+        )
+        if status == "FAIL":
+            failures += 1
+
+    if gated == 0:
+        print(
+            f"FAIL  no preset at >= {args.net_scale_floor} hosts "
+            "— the sweep never reached the scale the gate defends"
+        )
+        failures += 1
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json")
+    parser.add_argument("baseline_json", nargs="?")
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--max-regression", type=float, default=1.5)
+    parser.add_argument("--min-mem-reduction", type=float, default=5.0)
+    parser.add_argument("--max-query-ratio", type=float, default=2.0)
+    parser.add_argument("--net-scale-floor", type=int, default=10000)
+    args = parser.parse_args()
+
+    schema, data = load(args.bench_json)
+    if schema == "p2pkernelbench/v1":
+        failures = check_kernel(data, args)
+    else:
+        failures = check_net(data, args)
     return 1 if failures else 0
 
 

@@ -7,16 +7,21 @@
 //   p2ppool_cli hb-jitter --jitter 0,500,2000,4000
 //   p2ppool_cli observe --nodes 64 --loss 0.2 --timeseries-dir /tmp
 //   p2ppool_cli topo  --hosts 1200 --seed 7
+//   p2ppool_cli topo  --preset 10k --oracle hier
+//   p2ppool_cli fullstack --preset 10k --oracle hier --group 50
 //
 // Every command prints an aligned table, and every command accepts
 // --report FILE to additionally emit a structured "p2preport/v1" JSON run
 // report (tools/report_schema.json) with the effective configuration, the
 // headline numbers, and a metrics-registry snapshot.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "net/latency_oracle.h"
 
 #include "alm/bounds.h"
 #include "alm/critical.h"
@@ -47,6 +52,7 @@ int Usage() {
       "  hb-jitter  sweep bus jitter: heartbeat false-positive rate\n"
       "  observe    SOMO self-monitoring vs ground truth under faults\n"
       "  topo       generate a transit-stub topology and print its stats\n"
+      "  fullstack  DHT + SOMO + ALM planning on a preset-scale topology\n"
       "common flags:\n"
       "  --report FILE   write a p2preport/v1 run_report.json\n");
   return 2;
@@ -96,6 +102,25 @@ alm::Strategy ParseStrategy(const std::string& s) {
   throw util::CheckError("unknown strategy '" + s +
                          "' (amcast|amcast+adj|critical|critical+adj|"
                          "leafset|leafset+adj)");
+}
+
+net::OracleKind ParseOracleKind(const std::string& s) {
+  if (s == "flat") return net::OracleKind::kFlat;
+  if (s == "hier" || s == "hierarchical") return net::OracleKind::kHierarchical;
+  throw util::CheckError("unknown oracle '" + s + "' (flat|hier)");
+}
+
+// Shared --oracle/--f32 flags (topo, fullstack). The caller adds the
+// thread pool and metrics registry.
+net::OracleOptions OracleFlagOptions(util::FlagParser& flags) {
+  net::OracleOptions opts;
+  opts.kind = ParseOracleKind(
+      flags.GetString("oracle", "flat", "latency oracle (flat|hier)"));
+  opts.precision =
+      flags.GetBool("f32", false, "float32 oracle distance storage")
+          ? net::OraclePrecision::kF32
+          : net::OraclePrecision::kF64;
+  return opts;
 }
 
 int CmdPlan(util::FlagParser& flags) {
@@ -538,14 +563,29 @@ int CmdHbJitter(util::FlagParser& flags) {
 
 int CmdTopo(util::FlagParser& flags) {
   net::TransitStubParams params;
+  const std::string preset_name = flags.GetString(
+      "preset", "", "topology preset 1200|10k|50k (overrides --hosts)");
   params.end_hosts = static_cast<std::size_t>(
-      flags.GetInt("hosts", 1200, "end systems"));
+      flags.GetInt("hosts", 1200, "end systems (ignored with --preset)"));
   const auto seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 7, "topology seed"));
+  net::OracleOptions oracle_opts = OracleFlagOptions(flags);
+  const int jobs = flags.GetInt(
+      "jobs", 0, "oracle build threads (0 = hardware concurrency)");
   const std::string report_path = ReportPath(flags);
+  if (!preset_name.empty())
+    params = net::PresetParams(net::ParseTopologyPreset(preset_name));
   util::Rng rng(seed);
   const auto topo = net::GenerateTransitStub(params, rng);
-  const net::LatencyOracle oracle(topo);
+
+  util::ThreadPool workers(jobs < 0 ? 1 : static_cast<std::size_t>(jobs));
+  oracle_opts.pool = &workers;
+  const auto b0 = std::chrono::steady_clock::now();
+  const net::LatencyOracle oracle(topo, oracle_opts);
+  const double build_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - b0)
+          .count();
 
   util::Rng prng(seed ^ 0x777);
   std::vector<double> lat;
@@ -563,6 +603,20 @@ int CmdTopo(util::FlagParser& flags) {
             static_cast<long long>(topo.host_count())});
   t.AddRow({std::string("router edges"),
             static_cast<long long>(topo.routers.edge_count())});
+  t.AddRow({std::string("stub domains"),
+            static_cast<long long>(params.total_stub_domains())});
+  t.AddRow({std::string("oracle"),
+            std::string(oracle.kind() == net::OracleKind::kFlat ? "flat"
+                                                                : "hier")});
+  t.AddRow({std::string("oracle build (ms)"), build_ms});
+  t.AddRow({std::string("oracle memory (MiB)"),
+            static_cast<double>(oracle.MemoryBytes()) / (1024.0 * 1024.0)});
+  if (oracle.kind() == net::OracleKind::kHierarchical) {
+    t.AddRow({std::string("core nodes"),
+              static_cast<long long>(oracle.core_node_count())});
+    t.AddRow({std::string("gateways"),
+              static_cast<long long>(oracle.gateway_count())});
+  }
   t.AddRow({std::string("latency p10 (ms)"), util::Percentile(lat, 10)});
   t.AddRow({std::string("latency p50 (ms)"), util::Percentile(lat, 50)});
   t.AddRow({std::string("latency p90 (ms)"), util::Percentile(lat, 90)});
@@ -571,13 +625,189 @@ int CmdTopo(util::FlagParser& flags) {
   obs::RunReport report("topo");
   report.set_seed(seed);
   report.AddConfig("hosts", static_cast<std::int64_t>(params.end_hosts));
+  report.AddConfig("preset", preset_name.empty() ? "custom" : preset_name);
+  report.AddConfig("oracle",
+                   oracle.kind() == net::OracleKind::kFlat ? "flat" : "hier");
+  report.AddConfig("f32", oracle.uses_float_storage());
   report.AddResult("routers", static_cast<double>(topo.router_count()));
   report.AddResult("end_hosts", static_cast<double>(topo.host_count()));
   report.AddResult("router_edges",
                    static_cast<double>(topo.routers.edge_count()));
+  report.AddResult("oracle_bytes", static_cast<double>(oracle.MemoryBytes()));
+  report.AddResult("oracle_core_nodes",
+                   static_cast<double>(oracle.core_node_count()));
+  report.AddResult("oracle_gateways",
+                   static_cast<double>(oracle.gateway_count()));
   report.AddResult("latency_p10_ms", util::Percentile(lat, 10));
   report.AddResult("latency_p50_ms", util::Percentile(lat, 50));
   report.AddResult("latency_p90_ms", util::Percentile(lat, 90));
+  return FinishReport(report, report_path);
+}
+
+// The full protocol stack at preset scale (the network-substrate PR's
+// headline): preset topology -> hierarchical oracle -> every host joins
+// the DHT -> leafset heartbeats + SOMO gathering run to the horizon ->
+// one ALM session planned with oracle-direct latency fills. At 10k+ hosts
+// there are no network coordinates (kPaper1200 pools build them; here the
+// point is the substrate scales), so only oracle strategies are valid.
+int CmdFullstack(util::FlagParser& flags) {
+  const std::string preset_name =
+      flags.GetString("preset", "10k", "topology preset (1200|10k|50k)");
+  net::OracleOptions oracle_opts = OracleFlagOptions(flags);
+  const auto seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 1, "experiment seed"));
+  const auto group = static_cast<std::size_t>(
+      flags.GetInt("group", 50, "ALM session size incl. root"));
+  const auto helpers = static_cast<std::size_t>(flags.GetInt(
+      "helpers", 200, "helper candidates sampled for the session"));
+  const std::string strategy_name = flags.GetString(
+      "strategy", "critical+adj", "planning strategy (oracle-based only)");
+  const double interval =
+      flags.GetDouble("somo-interval-ms", 5000.0, "SOMO reporting cycle T");
+  const double horizon =
+      flags.GetDouble("horizon-ms", 20000.0, "simulated protocol time");
+  const int jobs = flags.GetInt(
+      "jobs", 0, "oracle build threads (0 = hardware concurrency)");
+  const std::string report_path = ReportPath(flags);
+
+  const alm::Strategy strategy = ParseStrategy(strategy_name);
+  if (alm::StrategyUsesEstimates(strategy))
+    throw util::CheckError(
+        "fullstack has no coordinate estimates; pick an oracle strategy "
+        "(amcast|amcast+adj|critical|critical+adj)");
+
+  const net::TransitStubParams params =
+      net::PresetParams(net::ParseTopologyPreset(preset_name));
+  std::printf("generating %s topology (seed %llu) ...\n",
+              preset_name.c_str(), static_cast<unsigned long long>(seed));
+  util::Rng topo_rng(seed);
+  const auto topo = net::GenerateTransitStub(params, topo_rng);
+
+  sim::Simulation sim(seed);
+  sim.EnableMetrics();
+
+  std::printf("building %s oracle over %zu routers ...\n",
+              oracle_opts.kind == net::OracleKind::kFlat ? "flat" : "hier",
+              topo.router_count());
+  util::ThreadPool workers(jobs < 0 ? 1 : static_cast<std::size_t>(jobs));
+  oracle_opts.pool = &workers;
+  oracle_opts.metrics = &sim.metrics();
+  const auto b0 = std::chrono::steady_clock::now();
+  const net::LatencyOracle oracle(topo, oracle_opts);
+  const double build_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - b0)
+          .count();
+
+  std::printf("joining %zu hosts into the DHT ...\n", topo.host_count());
+  dht::Ring ring(32, &oracle);
+  for (net::HostIdx h = 0; h < topo.host_count(); ++h) {
+    const dht::NodeIndex n = ring.JoinHashed(h);
+    P2P_CHECK(n == h);
+  }
+  ring.StabilizeAll();
+  ring.set_metrics(&sim.metrics());
+
+  std::printf("running heartbeats + SOMO to %.0f ms ...\n", horizon);
+  dht::HeartbeatProtocol hb(sim, ring);
+  hb.Start();
+  somo::SomoConfig somo_cfg;
+  somo_cfg.report_interval_ms = interval;
+  somo::SomoProtocol somo(sim, ring, somo_cfg, [&](dht::NodeIndex n) {
+    somo::NodeReport r;
+    r.node = n;
+    r.host = ring.node(n).host();
+    r.generated_at = sim.now();
+    return r;
+  });
+  somo.Start();
+  const std::size_t protocol_events = sim.RunUntil(horizon);
+
+  std::printf("planning one %zu-member session (%s) ...\n", group,
+              strategy_name.c_str());
+  // Paper degree distribution over all hosts, then the session sample and
+  // a bounded helper-candidate sample (helper selection scans candidates
+  // per recruited helper; the full 10k pool would be planning noise, the
+  // paper's sessions draw on a vicinity anyway).
+  util::Rng rng(seed ^ 0xfeed);
+  alm::PlanInput in;
+  in.degree_bounds.reserve(topo.host_count());
+  for (std::size_t v = 0; v < topo.host_count(); ++v)
+    in.degree_bounds.push_back(pool::SamplePaperDegreeBound(rng));
+  const auto idx = rng.SampleIndices(topo.host_count(), group);
+  in.root = idx[0];
+  in.members.assign(idx.begin() + 1, idx.end());
+  std::vector<char> is_member(topo.host_count(), 0);
+  for (const auto v : idx) is_member[v] = 1;
+  const auto candidate_pool = rng.SampleIndices(
+      topo.host_count(), std::min(topo.host_count(), 4 * helpers + group));
+  for (const auto v : candidate_pool) {
+    if (in.helper_candidates.size() >= helpers) break;
+    if (!is_member[v] && in.degree_bounds[v] >= 4)
+      in.helper_candidates.push_back(v);
+  }
+  in.oracle = &oracle;
+  in.metrics = &sim.metrics();
+  const double base = PlanSession(in, alm::Strategy::kAmcast).height_true;
+  const auto r = PlanSession(in, strategy);
+
+  util::Table t({"metric", "value"});
+  t.AddRow({std::string("preset"), preset_name});
+  t.AddRow({std::string("routers"),
+            static_cast<long long>(topo.router_count())});
+  t.AddRow({std::string("hosts"), static_cast<long long>(topo.host_count())});
+  t.AddRow({std::string("oracle"),
+            std::string(oracle.kind() == net::OracleKind::kFlat ? "flat"
+                                                                : "hier")});
+  t.AddRow({std::string("oracle build (ms)"), build_ms});
+  t.AddRow({std::string("oracle memory (MiB)"),
+            static_cast<double>(oracle.MemoryBytes()) / (1024.0 * 1024.0)});
+  t.AddRow({std::string("protocol events"),
+            static_cast<long long>(protocol_events)});
+  t.AddRow({std::string("heartbeats delivered"),
+            static_cast<long long>(hb.heartbeats_delivered())});
+  t.AddRow({std::string("SOMO gathers"),
+            static_cast<long long>(somo.gathers_completed())});
+  t.AddRow({std::string("SOMO root staleness (ms)"), somo.RootStalenessMs()});
+  t.AddRow({std::string("AMCast baseline height (ms)"), base});
+  t.AddRow({std::string("planned height (ms)"), r.height_true});
+  t.AddRow({std::string("improvement"),
+            alm::Improvement(base, r.height_true)});
+  t.AddRow({std::string("helpers used"),
+            static_cast<long long>(r.helpers_used)});
+  std::printf("%s", t.ToText(3).c_str());
+
+  obs::RunReport report("fullstack");
+  report.set_seed(seed);
+  report.AddConfig("preset", preset_name);
+  report.AddConfig("oracle",
+                   oracle.kind() == net::OracleKind::kFlat ? "flat" : "hier");
+  report.AddConfig("f32", oracle.uses_float_storage());
+  report.AddConfig("group", static_cast<std::int64_t>(group));
+  report.AddConfig("helpers", static_cast<std::int64_t>(helpers));
+  report.AddConfig("strategy", strategy_name);
+  report.AddConfig("somo_interval_ms", interval);
+  report.AddConfig("horizon_ms", horizon);
+  // Wall-clock build time stays out of the results (same-seed reports must
+  // diff clean); it lives in the metrics profile section like every timer.
+  report.AddResult("routers", static_cast<double>(topo.router_count()));
+  report.AddResult("hosts", static_cast<double>(topo.host_count()));
+  report.AddResult("oracle_bytes", static_cast<double>(oracle.MemoryBytes()));
+  report.AddResult("oracle_core_nodes",
+                   static_cast<double>(oracle.core_node_count()));
+  report.AddResult("oracle_gateways",
+                   static_cast<double>(oracle.gateway_count()));
+  report.AddResult("protocol_events", static_cast<double>(protocol_events));
+  report.AddResult("heartbeats_delivered",
+                   static_cast<double>(hb.heartbeats_delivered()));
+  report.AddResult("somo_gathers",
+                   static_cast<double>(somo.gathers_completed()));
+  report.AddResult("somo_root_staleness_ms", somo.RootStalenessMs());
+  report.AddResult("base_height_ms", base);
+  report.AddResult("planned_height_ms", r.height_true);
+  report.AddResult("improvement", alm::Improvement(base, r.height_true));
+  report.AddResult("helpers_used", static_cast<double>(r.helpers_used));
+  report.AttachMetrics(&sim.metrics());
   return FinishReport(report, report_path);
 }
 
@@ -816,6 +1046,8 @@ int main(int argc, char** argv) {
       rc = CmdHbJitter(flags);
     } else if (cmd == "topo") {
       rc = CmdTopo(flags);
+    } else if (cmd == "fullstack") {
+      rc = CmdFullstack(flags);
     } else if (cmd == "observe") {
       rc = CmdObserve(flags);
     } else {

@@ -19,7 +19,7 @@ cd "$repo_root"
 
 cmake --preset release
 cmake --build --preset release -j "$(nproc)" \
-  --target bench_to_json bench_micro bench_kernel
+  --target bench_to_json bench_micro bench_kernel bench_net
 
 ./build-release/bench/bench_to_json \
   --benchmark_out="$repo_root/BENCH_alm.json" \
@@ -69,3 +69,17 @@ else
   echo "python3 not found; skipping kernel scale check"
 fi
 if [[ -n "$baseline" ]]; then rm -f "$baseline"; fi
+
+# Network substrate sweep: LatencyOracle build/query/memory at the
+# topology presets, flat vs hierarchical. Gated (warn-only) on the >=5x
+# hier memory reduction and <=2x query ratio at the 10k+ presets.
+./build-release/bench/bench_net --reps 3 \
+  --json "$repo_root/BENCH_net.json"
+echo "wrote $repo_root/BENCH_net.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$repo_root/tools/check_bench_scale.py" \
+    "$repo_root/BENCH_net.json" \
+    || echo "WARNING: network substrate sweep below target — inspect BENCH_net.json"
+else
+  echo "python3 not found; skipping network substrate check"
+fi

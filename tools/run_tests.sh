@@ -63,6 +63,8 @@ if [ "$report_mode" = 1 ]; then
     "$cli" somo-loss --nodes 24 --horizon-ms 20000 --report "$out/somo-loss.json" >/dev/null
     "$cli" hb-jitter --nodes 24 --horizon-ms 20000 --report "$out/hb-jitter.json" >/dev/null
     "$cli" topo --hosts 300                --report "$out/topo.json"      >/dev/null
+    "$cli" fullstack --preset 1200 --oracle hier --group 20 \
+           --horizon-ms 10000 --report "$out/fullstack.json" >/dev/null
     "$cli" observe --nodes 32 --horizon-ms 20000 --timeseries-dir "$out" \
            --report "$out/observe.json" >/dev/null
   done
