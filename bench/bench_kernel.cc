@@ -21,20 +21,40 @@
 // the legacy wrapper exactly — so per-scale event counts agree and the
 // ns/event ratio legacy : wheel is a true before/after speedup.
 //
+// Two further sweeps ride along:
+//
+//   sharded_scales   the sim::ShardedSimulation lockstep kernel at 1/2/4/8
+//                    shards on 10k and 50k hosts. The headline number is
+//                    critical-path throughput — sum over windows of
+//                    (slowest shard busy + barrier exchange) — i.e. the
+//                    wall time on a machine with >= shards free cores. The
+//                    design makes results bit-identical for any thread
+//                    count, so the projection is sound on small hosts (the
+//                    JSON records `cpus` for the reader).
+//   wheel_layouts    a bench-local generic hierarchical wheel pricing the
+//                    bucket-layout choice: 3 levels x 256 buckets (the
+//                    production shape) against 4 levels x 64 on an
+//                    identical self-rescheduling timer stream.
+//
 // Usage: bench_kernel [--json PATH] [--reps N] [--quick]
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "obs/json.h"
 #include "sim/event_queue.h"
+#include "sim/sharded.h"
+#include "sim/simulation.h"
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/rng.h"
@@ -432,11 +452,356 @@ struct ScaleResult {
   RunStats wheel, batched, heap, legacy;
 };
 
+// ---------------------------------------------------------------------------
+// Sharded lockstep sweep: the production ShardedSimulation driving the same
+// protocol shape (heartbeat fan-out + SOMO hop + probe tick per host), with
+// one of the two heartbeat deliveries aimed across the ring so multi-shard
+// runs push real traffic through the mailbox barrier. Every delay is
+// 56 ms + palette so local and cross-shard sends share one formula — the
+// fired-event stream is identical at every shard count, which the sweep
+// CHECKs (the sharded column measures the kernel, not a different load).
+// ---------------------------------------------------------------------------
+struct ShardedStats {
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+  double wall_ns = 0.0;
+  double critical_ns = 0.0;
+  std::size_t windows = 0;
+  std::size_t cross = 0;
+
+  double critical_ns_per_event() const {
+    return events == 0 ? 0.0 : critical_ns / static_cast<double>(events);
+  }
+  double events_per_sec_critical() const {
+    return critical_ns == 0.0
+               ? 0.0
+               : static_cast<double>(events) * 1e9 / critical_ns;
+  }
+};
+
+inline double U01(std::uint64_t x) {
+  return static_cast<double>(p2p::util::Mix64(x) >> 11) * 0x1.0p-53;
+}
+
+ShardedStats RunShardedOnce(std::size_t hosts, std::size_t shards,
+                            double horizon, std::uint64_t seed) {
+  sim::ShardedOptions opts;
+  opts.shards = shards;
+  opts.lookahead_ms = 56.0;  // the transit-stub structural bound
+  opts.seed = seed;
+  sim::ShardedSimulation ssim(opts);
+  std::vector<std::uint32_t> shard_of(hosts);
+  for (std::size_t h = 0; h < hosts; ++h)
+    shard_of[h] = static_cast<std::uint32_t>(h * shards / hosts);
+
+  // Per-shard tallies: callbacks only ever touch their own shard's slot.
+  std::vector<std::uint64_t> delivered(shards, 0);
+
+  struct HostCtx {
+    sim::ShardedSimulation* ssim;
+    const std::vector<std::uint32_t>* shard_of;
+    std::vector<std::uint64_t>* delivered;
+    std::size_t hosts;
+    std::uint64_t seed;
+  };
+  auto ctx = std::make_unique<HostCtx>(
+      HostCtx{&ssim, &shard_of, &delivered, hosts, seed});
+
+  const auto send = [](HostCtx* c, std::size_t src, std::size_t dst,
+                       double delay) {
+    const std::uint32_t s = (*c->shard_of)[src];
+    const std::uint32_t d = (*c->shard_of)[dst];
+    sim::Simulation& ssrc = c->ssim->shard(s);
+    auto* tally = &(*c->delivered)[d];
+    if (d == s) {
+      ssrc.After(delay, [tally] { ++*tally; });
+    } else {
+      c->ssim->Post(s, d, ssrc.now() + delay, [tally] { ++*tally; });
+    }
+  };
+
+  for (std::size_t h = 0; h < hosts; ++h) {
+    const std::uint32_t s = shard_of[h];
+    sim::Simulation& shard_sim = ssim.shard(s);
+    // Stateless per-host palette (no RNG during the run, and no draw-order
+    // coupling to the shard layout).
+    const double lat = 5.0 + 145.0 * U01(seed ^ (h * 0x9e3779b97f4a7c15ULL));
+    const double phase = 1000.0 * U01(seed ^ (h + 0xa076'1d64'78bd'642fULL));
+    HostCtx* c = ctx.get();
+    shard_sim.Every(1000.0, phase, [c, h, lat, send] {
+      // One near delivery (same shard under the block layout, except at
+      // the boundary) and one far delivery (opposite side of the host
+      // ring: cross-shard at every shard count > 1).
+      send(c, h, (h + 1) % c->hosts, 56.0 + lat);
+      send(c, h, (h + c->hosts / 2 + 1) % c->hosts, 63.0 + lat);
+    });
+    shard_sim.Every(2000.0, phase + 0.5 * lat,
+                    [c, h, lat, send] { send(c, h, h / 2, 56.0 + 0.5 * lat); });
+  }
+
+  ShardedStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+  stats.events = ssim.RunUntil(horizon);
+  const auto t1 = std::chrono::steady_clock::now();
+  stats.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  stats.critical_ns = ssim.critical_path_ns();
+  stats.windows = ssim.windows();
+  stats.cross = ssim.cross_shard_messages();
+  for (const std::uint64_t d : delivered) stats.delivered += d;
+  return stats;
+}
+
+struct ShardedScaleResult {
+  std::size_t hosts = 0;
+  double horizon = 0.0;
+  std::vector<std::pair<std::size_t, ShardedStats>> runs;  // by shard count
+};
+
+// ---------------------------------------------------------------------------
+// Wheel-layout model: a stripped-down hierarchical wheel generic over
+// (levels, bits per level), pricing what the production 3x256 shape trades
+// against a 4x64 alternative — per-level occupancy-bitmap scans and bucket
+// residency on one side, cascade frequency (events touched once per level
+// crossed) on the other. Schedule/drain only; cancel, re-arm, periodics
+// and the due-run cursor are layout-independent and stay out of the model.
+// ---------------------------------------------------------------------------
+template <int Levels, int Bits>
+class LayoutWheel {
+ public:
+  static_assert(Levels * Bits <= 32, "tick range");
+  static constexpr int kBuckets = 1 << Bits;
+  static constexpr std::uint64_t kMask = kBuckets - 1;
+
+  void Schedule(double t, std::uint32_t tag) {
+    Place(Item{t, next_seq_++, tag});
+    ++size_;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::uint64_t cascaded() const { return cascaded_; }
+
+  template <class Fn>
+  std::uint64_t DrainUpTo(double t_end, Fn fn) {
+    std::uint64_t n = 0;
+    while (size_ > 0) {
+      if (due_cursor_ < due_.size()) {
+        const Item& it = due_[due_cursor_];
+        if (it.time > t_end) break;
+        ++due_cursor_;
+        --size_;
+        ++n;
+        fn(it.time, it.tag);
+        if (due_cursor_ == due_.size()) {
+          due_.clear();
+          due_cursor_ = 0;
+        }
+        continue;
+      }
+      if (!Advance()) break;
+    }
+    return n;
+  }
+
+ private:
+  struct Item {
+    double time;
+    std::uint64_t seq;
+    std::uint32_t tag;
+  };
+
+  static std::uint64_t TickOf(double t) {
+    return static_cast<std::uint64_t>(t);
+  }
+
+  void Place(Item it) {
+    const std::uint64_t tick = TickOf(it.time);
+    if (tick <= current_tick_) {
+      InsertDue(it);
+      return;
+    }
+    for (int l = 0; l < Levels; ++l) {
+      const int shift = (l + 1) * Bits;
+      if (shift < 64 && (tick >> shift) != (current_tick_ >> shift)) continue;
+      const int idx =
+          l * kBuckets + static_cast<int>((tick >> (l * Bits)) & kMask);
+      buckets_[idx].push_back(it);
+      occ_[l] |= Word(idx % kBuckets);
+      return;
+    }
+    overflow_.push_back(it);
+    std::push_heap(overflow_.begin(), overflow_.end(), Later);
+  }
+
+  void InsertDue(Item it) {
+    // Sorted insert past the served prefix (due runs are short).
+    auto pos = due_.begin() + static_cast<std::ptrdiff_t>(due_cursor_);
+    while (pos != due_.end() &&
+           (pos->time < it.time ||
+            (pos->time == it.time && pos->seq < it.seq))) {
+      ++pos;
+    }
+    due_.insert(pos, it);
+  }
+
+  // Move the wheel clock to the next occupied bucket; serve level 0 as the
+  // due run, cascade higher levels down. Returns false when fully drained
+  // into overflow-less emptiness.
+  bool Advance() {
+    for (int l = 0; l < Levels; ++l) {
+      const int idx = FindFirst(l);
+      if (idx < 0) continue;
+      const std::uint64_t span = std::uint64_t{1} << (l * Bits);
+      const std::uint64_t keep = ~((span << Bits) - 1);
+      current_tick_ = (current_tick_ & keep) |
+                      (static_cast<std::uint64_t>(idx) * span);
+      auto& b = buckets_[l * kBuckets + idx];
+      std::vector<Item> items;
+      items.swap(b);
+      occ_[l] &= ~Word(idx);
+      if (l == 0) {
+        std::sort(items.begin(), items.end(), [](const Item& a,
+                                                 const Item& b2) {
+          if (a.time != b2.time) return a.time < b2.time;
+          return a.seq < b2.seq;
+        });
+        for (Item& it : items) InsertDue(it);
+      } else {
+        cascaded_ += items.size();
+        for (Item& it : items) Place(it);
+      }
+      return true;
+    }
+    if (overflow_.empty()) return false;
+    current_tick_ = TickOf(overflow_.front().time);
+    const int top_shift = Levels * Bits;
+    while (!overflow_.empty() &&
+           (TickOf(overflow_.front().time) >> top_shift) ==
+               (current_tick_ >> top_shift)) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), Later);
+      Place(overflow_.back());
+      overflow_.pop_back();
+    }
+    return true;
+  }
+
+  int FindFirst(int level) const {
+    const auto& words = occ_[level];
+    for (int w = 0; w < kWords; ++w) {
+      if (words.bits[w] == 0) continue;
+      return w * 64 + std::countr_zero(words.bits[w]);
+    }
+    return -1;
+  }
+
+  static bool Later(const Item& a, const Item& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  static constexpr int kWords = (kBuckets + 63) / 64;
+  struct Occ {
+    std::uint64_t bits[kWords] = {};
+    Occ& operator|=(const Occ& o) {
+      for (int w = 0; w < kWords; ++w) bits[w] |= o.bits[w];
+      return *this;
+    }
+    Occ& operator&=(const Occ& o) {
+      for (int w = 0; w < kWords; ++w) bits[w] &= o.bits[w];
+      return *this;
+    }
+    Occ operator~() const {
+      Occ r;
+      for (int w = 0; w < kWords; ++w) r.bits[w] = ~bits[w];
+      return r;
+    }
+  };
+  static Occ Word(int idx) {
+    Occ o;
+    o.bits[idx / 64] = std::uint64_t{1} << (idx % 64);
+    return o;
+  }
+
+  std::array<std::vector<Item>, static_cast<std::size_t>(Levels) * kBuckets>
+      buckets_;
+  std::array<Occ, Levels> occ_;
+  std::vector<Item> due_;
+  std::size_t due_cursor_ = 0;
+  std::vector<Item> overflow_;
+  std::uint64_t current_tick_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::size_t size_ = 0;
+  std::uint64_t cascaded_ = 0;
+};
+
+struct LayoutStats {
+  std::uint64_t events = 0;
+  std::uint64_t cascaded = 0;
+  double wall_ns = 0.0;
+  double checksum = 0.0;
+
+  double ns_per_event() const {
+    return events == 0 ? 0.0 : wall_ns / static_cast<double>(events);
+  }
+};
+
+// Self-rescheduling timer storm: `timers` chains, each hopping through a
+// fixed delay palette spanning all wheel levels (sub-tick to 100 s), so
+// both layouts field the same stream and differ only in where entries sit
+// and how often they cascade.
+template <class Wheel>
+LayoutStats RunLayout(std::size_t timers, double horizon,
+                      std::uint64_t seed) {
+  static constexpr double kPalette[] = {6.25,   17.0,   42.0,    95.0,
+                                        140.0,  500.0,  1000.0,  3000.0,
+                                        9000.0, 30000.0, 100000.0};
+  static constexpr std::size_t kP = sizeof(kPalette) / sizeof(kPalette[0]);
+  Wheel w;
+  LayoutStats stats;
+  for (std::size_t i = 0; i < timers; ++i) {
+    w.Schedule(1000.0 * U01(seed ^ (i * 0x2545f4914f6cdd1dULL)),
+               static_cast<std::uint32_t>(i % kP));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!w.empty()) {
+    const std::uint64_t n =
+        w.DrainUpTo(horizon, [&w, &stats, horizon](double t,
+                                                   std::uint32_t tag) {
+          stats.checksum += t;
+          const double next = t + kPalette[tag];
+          if (next <= horizon) {
+            w.Schedule(next, static_cast<std::uint32_t>((tag + 1) % kP));
+          }
+        });
+    stats.events += n;
+    if (n == 0) break;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  stats.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  stats.cascaded = w.cascaded();
+  return stats;
+}
+
+template <class Wheel>
+LayoutStats BestOfLayout(int reps, std::size_t timers, double horizon,
+                         std::uint64_t seed) {
+  LayoutStats best;
+  for (int r = 0; r < reps; ++r) {
+    LayoutStats s = RunLayout<Wheel>(timers, horizon, seed);
+    if (r == 0 || s.wall_ns < best.wall_ns) best = s;
+  }
+  return best;
+}
+
 void WriteJson(const std::vector<ScaleResult>& results,
+               const std::vector<ShardedScaleResult>& sharded,
+               const LayoutStats& layout_3x256, const LayoutStats& layout_4x64,
                const std::string& path) {
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("schema").String("p2pkernelbench/v1");
+  w.Key("cpus").Uint(std::thread::hardware_concurrency());
   w.Key("scales").BeginArray();
   for (const auto& r : results) {
     const auto run = [&w](const char* name, const RunStats& s) {
@@ -465,6 +830,56 @@ void WriteJson(const std::vector<ScaleResult>& results,
     w.EndObject();
   }
   w.EndArray();
+
+  // Sharded lockstep kernel: throughput against the critical-path
+  // denominator (max per-shard busy + exchange, per window) — the wall
+  // time on a machine with >= `shards` free cores. Bit-identical results
+  // at any thread count make the projection sound; `cpus` above records
+  // what this host could actually overlap.
+  w.Key("sharded_scales").BeginArray();
+  for (const auto& sc : sharded) {
+    w.BeginObject();
+    w.Key("hosts").Uint(sc.hosts);
+    w.Key("horizon_ms").Number(sc.horizon);
+    double base_critical = 0.0;
+    w.Key("runs").BeginArray();
+    for (const auto& [shards, s] : sc.runs) {
+      if (shards == 1) base_critical = s.critical_ns;
+      w.BeginObject();
+      w.Key("shards").Uint(shards);
+      w.Key("events").Uint(s.events);
+      w.Key("windows").Uint(s.windows);
+      w.Key("cross_shard_messages").Uint(s.cross);
+      w.Key("critical_path_ns").Number(s.critical_ns);
+      w.Key("critical_ns_per_event").Number(s.critical_ns_per_event());
+      w.Key("events_per_sec_critical").Number(s.events_per_sec_critical());
+      w.Key("wall_ns").Number(s.wall_ns);
+      w.Key("speedup_critical_vs_serial")
+          .Number(s.critical_ns == 0.0 ? 0.0
+                                       : base_critical / s.critical_ns);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // Bucket-layout model: production 3x256 against 4x64.
+  w.Key("wheel_layouts").BeginArray();
+  const auto layout = [&w](const char* name, const LayoutStats& s) {
+    w.BeginObject();
+    w.Key("layout").String(name);
+    w.Key("events").Uint(s.events);
+    w.Key("cascaded").Uint(s.cascaded);
+    w.Key("ns_per_event").Number(s.ns_per_event());
+    w.EndObject();
+  };
+  layout("3x256", layout_3x256);
+  layout("4x64", layout_4x64);
+  w.EndArray();
+  w.Key("speedup_4x64_over_3x256")
+      .Number(layout_4x64.ns_per_event() / layout_3x256.ns_per_event());
+
   w.EndObject();
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -563,6 +978,85 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.ToText().c_str());
 
-  if (!json_path.empty()) WriteJson(results, json_path);
+  // --- sharded lockstep sweep --------------------------------------------
+  struct ShardedScale {
+    std::size_t hosts;
+    double horizon;
+  };
+  std::vector<ShardedScale> sharded_scales = {{10000, 10000.0},
+                                              {50000, 4000.0}};
+  if (quick) sharded_scales = {{10000, 2000.0}};
+  const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+
+  std::printf("=== Sharded lockstep kernel (lookahead 56 ms, critical-path "
+              "throughput; %u cpu(s) on this host) ===\n",
+              std::thread::hardware_concurrency());
+  std::vector<ShardedScaleResult> sharded_results;
+  p2p::util::Table stable({"hosts", "shards", "events", "windows",
+                           "cross msgs", "crit ns/ev", "ev/s (crit)",
+                           "speedup"});
+  for (const auto& sc : sharded_scales) {
+    ShardedScaleResult r;
+    r.hosts = sc.hosts;
+    r.horizon = sc.horizon;
+    const std::uint64_t seed = 9000 + sc.hosts;
+    // Rep-major interleaving: machine speed drifts over the minutes the
+    // sweep takes, and the headline ratio divides the serial row by the
+    // sharded rows. Running every shard count back to back within each
+    // rep keeps the runs a ratio compares seconds — not minutes — apart;
+    // the per-count best across reps then comes from the machine's quiet
+    // moments for every count alike.
+    std::vector<ShardedStats> best(shard_counts.size());
+    for (int rep = 0; rep < reps; ++rep) {
+      for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+        ShardedStats s =
+            RunShardedOnce(sc.hosts, shard_counts[i], sc.horizon, seed);
+        if (rep == 0 || s.critical_ns < best[i].critical_ns) best[i] = s;
+      }
+    }
+    for (std::size_t i = 0; i < shard_counts.size(); ++i)
+      r.runs.emplace_back(shard_counts[i], best[i]);
+    // One logical stream at every shard count, or the ratios are fiction.
+    for (const auto& [shards, s] : r.runs) {
+      P2P_CHECK_MSG(s.events == r.runs.front().second.events,
+                    "fired-event mismatch at " << shards << " shards");
+      P2P_CHECK_MSG(s.delivered == r.runs.front().second.delivered,
+                    "delivery mismatch at " << shards << " shards");
+    }
+    const double base = r.runs.front().second.critical_ns;
+    for (const auto& [shards, s] : r.runs) {
+      stable.AddRow({static_cast<long long>(r.hosts),
+                     static_cast<long long>(shards),
+                     static_cast<long long>(s.events),
+                     static_cast<long long>(s.windows),
+                     static_cast<long long>(s.cross),
+                     s.critical_ns_per_event(), s.events_per_sec_critical(),
+                     base / s.critical_ns});
+    }
+    sharded_results.push_back(std::move(r));
+  }
+  std::printf("%s\n", stable.ToText().c_str());
+
+  // --- wheel bucket-layout model -----------------------------------------
+  const std::size_t layout_timers = quick ? 4000 : 20000;
+  const double layout_horizon = quick ? 20000.0 : 60000.0;
+  const LayoutStats l3x256 = BestOfLayout<LayoutWheel<3, 8>>(
+      reps, layout_timers, layout_horizon, 77);
+  const LayoutStats l4x64 = BestOfLayout<LayoutWheel<4, 6>>(
+      reps, layout_timers, layout_horizon, 77);
+  P2P_CHECK(l3x256.events == l4x64.events);
+  P2P_CHECK(l3x256.checksum == l4x64.checksum);
+  std::printf("=== Wheel bucket layouts (identical %llu-event timer storm) "
+              "===\n",
+              static_cast<unsigned long long>(l3x256.events));
+  std::printf("  3x256 (production): %7.1f ns/event, %llu cascades\n",
+              l3x256.ns_per_event(),
+              static_cast<unsigned long long>(l3x256.cascaded));
+  std::printf("  4x64:               %7.1f ns/event, %llu cascades\n\n",
+              l4x64.ns_per_event(),
+              static_cast<unsigned long long>(l4x64.cascaded));
+
+  if (!json_path.empty())
+    WriteJson(results, sharded_results, l3x256, l4x64, json_path);
   return 0;
 }

@@ -1,8 +1,56 @@
 #include "dht/heartbeat.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace p2p::dht {
+
+namespace {
+
+using HeardRow = std::vector<std::pair<NodeIndex, sim::Time>>;
+
+// Sorted-row lookups for the flat last_heard_/suspected_ state.
+sim::Time* FindHeard(HeardRow& row, NodeIndex m) {
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), m,
+      [](const std::pair<NodeIndex, sim::Time>& p, NodeIndex key) {
+        return p.first < key;
+      });
+  if (it != row.end() && it->first == m) return &it->second;
+  return nullptr;
+}
+
+void SetHeard(HeardRow& row, NodeIndex m, sim::Time t) {
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), m,
+      [](const std::pair<NodeIndex, sim::Time>& p, NodeIndex key) {
+        return p.first < key;
+      });
+  if (it != row.end() && it->first == m) {
+    it->second = t;
+  } else {
+    row.insert(it, {m, t});
+  }
+}
+
+// Returns true when `m` was newly inserted.
+bool SortedInsert(std::vector<NodeIndex>& set, NodeIndex m) {
+  const auto it = std::lower_bound(set.begin(), set.end(), m);
+  if (it != set.end() && *it == m) return false;
+  set.insert(it, m);
+  return true;
+}
+
+// Returns true when `m` was present (and removed).
+bool SortedErase(std::vector<NodeIndex>& set, NodeIndex m) {
+  const auto it = std::lower_bound(set.begin(), set.end(), m);
+  if (it == set.end() || *it != m) return false;
+  set.erase(it);
+  return true;
+}
+
+}  // namespace
 
 HeartbeatProtocol::HeartbeatProtocol(sim::Simulation& sim, Ring& ring,
                                      Config config)
@@ -29,8 +77,20 @@ void HeartbeatProtocol::Start() {
   suspected_.resize(ring_.size());
   tokens_.resize(ring_.size());
   for (NodeIndex n = 0; n < ring_.size(); ++n) {
-    if (ring_.node(n).alive()) SchedulePeriodic(n);
+    if (ring_.node(n).alive() && OwnsNode(n)) SchedulePeriodic(n);
   }
+}
+
+void HeartbeatProtocol::BindShard(
+    std::uint32_t shard, const std::vector<std::uint32_t>* shard_of_host,
+    std::vector<HeartbeatProtocol*> peers) {
+  P2P_CHECK_MSG(!running_, "bind before Start");
+  P2P_CHECK(shard_of_host != nullptr);
+  P2P_CHECK_MSG(shard < peers.size(), "shard index outside the peer table");
+  P2P_CHECK_MSG(peers[shard] == this, "peer table must map this shard here");
+  shard_ = shard;
+  shard_of_host_ = shard_of_host;
+  peers_ = std::move(peers);
 }
 
 void HeartbeatProtocol::Stop() {
@@ -46,7 +106,7 @@ void HeartbeatProtocol::OnNodeJoined(NodeIndex n) {
     suspected_.resize(n + 1);
     tokens_.resize(n + 1);
   }
-  SchedulePeriodic(n);
+  if (OwnsNode(n)) SchedulePeriodic(n);
 }
 
 void HeartbeatProtocol::SchedulePeriodic(NodeIndex n) {
@@ -69,8 +129,12 @@ void HeartbeatProtocol::Beat(NodeIndex n) {
     msg.bytes = kHeartbeatBytes;
     sim::SendOptions opts;
     opts.fallback_delay_ms = config_.default_delay_ms;
+    // The receiver's owning instance records the delivery: its state rows
+    // for `to` are only ever touched on its own shard. `peer == this` when
+    // unbound, so the serial path is unchanged.
+    HeartbeatProtocol* peer = PeerForNode(to);
     sim_.transport().Send(
-        msg, [this, n, to, now] { Deliver(n, to, now); }, opts);
+        msg, [peer, n, to, now] { peer->Deliver(n, to, now); }, opts);
   }
   CheckTimeouts(n);
 }
@@ -84,10 +148,10 @@ void HeartbeatProtocol::Deliver(NodeIndex from, NodeIndex to,
   if (!ring_.node(from).alive() || !ring_.node(to).alive()) return;
   ++delivered_;
   m_delivered_->Inc();
-  last_heard_[to][from] = sim_.now();
+  SetHeard(last_heard_[to], from, sim_.now());
   // Hearing from a suspect clears the suspicion (it was a false alarm or
   // the network healed).
-  if (config_.suspect_alive && suspected_[to].erase(from) > 0)
+  if (config_.suspect_alive && SortedErase(suspected_[to], from))
     m_suspicion_clears_->Inc();
   for (const auto& obs : observers_) obs(from, to, send_time, sim_.now());
 }
@@ -101,10 +165,10 @@ void HeartbeatProtocol::CheckTimeouts(NodeIndex n) {
       // before has gone silent past the timeout. Requiring one prior
       // delivery avoids flagging everyone during start-up warm-up.
       if (!config_.suspect_alive) continue;
-      const auto it = last_heard_[n].find(m);
-      if (it == last_heard_[n].end()) continue;
-      if (now - it->second < config_.timeout_ms) continue;
-      if (!suspected_[n].insert(m).second) continue;  // already suspected
+      const sim::Time* heard = FindHeard(last_heard_[n], m);
+      if (heard == nullptr) continue;
+      if (now - *heard < config_.timeout_ms) continue;
+      if (!SortedInsert(suspected_[n], m)) continue;  // already suspected
       ++suspicions_;
       ++false_suspicions_;  // m is alive: by definition a false positive
       m_suspicions_->Inc();
@@ -113,9 +177,14 @@ void HeartbeatProtocol::CheckTimeouts(NodeIndex n) {
       continue;
     }
     if (detected_[m]) continue;
-    const auto it = last_heard_[n].find(m);
-    const sim::Time heard = it == last_heard_[n].end() ? 0.0 : it->second;
+    const sim::Time* found = FindHeard(last_heard_[n], m);
+    const sim::Time heard = found == nullptr ? 0.0 : *found;
     if (now - heard >= config_.timeout_ms) {
+      // Failure detection rewrites shared ring membership (DetectFailure
+      // below) and races lazily-sorted ring views; multi-shard runs keep
+      // membership frozen during windows, so a detection there is a bug.
+      P2P_CHECK_MSG(peers_.size() <= 1,
+                    "failure detection is unsupported in multi-shard runs");
       detected_[m] = 1;
       ++failures_detected_;
       m_failures_->Inc();

@@ -9,9 +9,9 @@
 // configured on the bus applies to heartbeats with no protocol changes.
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "dht/ring.h"
@@ -68,6 +68,22 @@ class HeartbeatProtocol {
   // Register a node that joined after Start().
   void OnNodeJoined(NodeIndex n);
 
+  // --- sharding -----------------------------------------------------------
+
+  // Bind this instance to one shard of a sim::ShardedSimulation run. Every
+  // shard constructs its own HeartbeatProtocol over its own Simulation (and
+  // the shared, stabilized Ring); BindShard tells each instance which nodes
+  // it owns (`shard_of_host` indexed by ring host, owned by the caller and
+  // outliving the protocol) and where its peers live. After binding, Start
+  // schedules periodic beats only for owned nodes, and delivery closures
+  // target the receiver's owning instance, so all mutable per-node state
+  // (last_heard_, suspected_) is touched exclusively by its owner's shard
+  // thread. Serial runs never call this; an unbound instance owns every
+  // node and delivers to itself — the exact seed code path.
+  void BindShard(std::uint32_t shard,
+                 const std::vector<std::uint32_t>* shard_of_host,
+                 std::vector<HeartbeatProtocol*> peers);
+
   void AddObserver(Observer obs) { observers_.push_back(std::move(obs)); }
   void AddFailureObserver(FailureObserver obs) {
     failure_observers_.push_back(std::move(obs));
@@ -96,17 +112,38 @@ class HeartbeatProtocol {
   void Deliver(NodeIndex from, NodeIndex to, sim::Time send_time);
   void CheckTimeouts(NodeIndex n);
 
+  // True when this instance schedules node n's timers and receives its
+  // heartbeats (always true when unbound).
+  bool OwnsNode(NodeIndex n) const {
+    return shard_of_host_ == nullptr ||
+           (*shard_of_host_)[ring_.node(n).host()] == shard_;
+  }
+  // The instance owning node n (this, when unbound — the serial path).
+  HeartbeatProtocol* PeerForNode(NodeIndex n) {
+    if (shard_of_host_ == nullptr) return this;
+    return peers_[(*shard_of_host_)[ring_.node(n).host()]];
+  }
+
   sim::Simulation& sim_;
   Ring& ring_;
   Config config_;
   bool running_ = false;
 
-  // last_heard_[n][m] = sim time node n last heard from leafset member m.
-  std::vector<std::unordered_map<NodeIndex, sim::Time>> last_heard_;
+  // Sharding (empty/null when unbound — see BindShard).
+  std::uint32_t shard_ = 0;
+  const std::vector<std::uint32_t>* shard_of_host_ = nullptr;
+  std::vector<HeartbeatProtocol*> peers_;
+
+  // last_heard_[n]: (member, last-heard sim time) sorted by member — a flat
+  // struct-of-arrays replacement for the old per-node hash map. Leafsets
+  // are small (2L entries), so binary search beats hashing, the rows pack
+  // cache-dense at 50k nodes, and iteration order is deterministic.
+  std::vector<std::vector<std::pair<NodeIndex, sim::Time>>> last_heard_;
   std::vector<sim::Simulation::PeriodicToken> tokens_;
   std::vector<char> detected_;  // dead nodes already processed
-  // suspected_[n] = members node n currently suspects (suspect_alive mode).
-  std::vector<std::unordered_set<NodeIndex>> suspected_;
+  // suspected_[n] = members node n currently suspects, sorted
+  // (suspect_alive mode).
+  std::vector<std::vector<NodeIndex>> suspected_;
 
   std::vector<Observer> observers_;
   std::vector<FailureObserver> failure_observers_;

@@ -1,6 +1,7 @@
 #include "dht/ring.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/check.h"
 
@@ -90,6 +91,30 @@ NodeIndex Ring::JoinHashed(net::HostIdx host, std::uint64_t salt) {
     id = util::Mix64(id);
   }
   return Join(host, id);
+}
+
+NodeIndex Ring::JoinBatchHashed(net::HostIdx first_host, std::size_t count,
+                                std::uint64_t salt) {
+  P2P_CHECK_MSG(count > 0, "empty batch join");
+  RefreshSorted();
+  // Collision probing must see pre-existing AND batch-assigned ids, in the
+  // same order JoinHashed would (each joiner probes against everyone who
+  // joined before it), so both paths assign identical ids.
+  std::unordered_set<NodeId> used;
+  used.reserve(sorted_.size() + count);
+  for (const auto& e : sorted_) used.insert(e.id);
+  const NodeIndex first = nodes_.size();
+  nodes_.reserve(nodes_.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const net::HostIdx host = first_host + i;
+    NodeId id = HashHostToId(static_cast<std::uint64_t>(host) ^ (salt << 32));
+    while (!used.insert(id).second) id = util::Mix64(id);
+    nodes_.emplace_back(id, host, per_side_);
+    ++alive_count_;
+  }
+  sorted_dirty_ = true;
+  StabilizeAll();
+  return first;
 }
 
 void Ring::Leave(NodeIndex n) {

@@ -62,6 +62,17 @@ class Ring {
   // Join with id = hash(host, salt).
   NodeIndex JoinHashed(net::HostIdx host, std::uint64_t salt = 0);
 
+  // Bulk bootstrap: join hosts [first_host, first_host + count) with hashed
+  // ids and run ONE stabilisation pass at the end, instead of the per-join
+  // incremental leafset repair (which rewrites each joiner's 2r-
+  // neighbourhood, touching every node O(r) times across a bootstrap).
+  // The end state — ids, leafsets, fingers, prefix tables — is identical
+  // to `count` JoinHashed calls followed by StabilizeAll; the collision
+  // probe sequence matches JoinHashed's exactly. Returns the index of the
+  // first joined node (the batch is contiguous).
+  NodeIndex JoinBatchHashed(net::HostIdx first_host, std::size_t count,
+                            std::uint64_t salt = 0);
+
   // Graceful departure: neighbours drop the node immediately.
   void Leave(NodeIndex n);
   // Crash: the node stops responding but neighbours keep stale entries

@@ -1,0 +1,70 @@
+#include "net/shard_plan.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace p2p::net {
+
+double ShardLookaheadMs(const TransitStubParams& params) {
+  return 2.0 * (params.last_hop_min_ms + params.stub_transit_link_ms);
+}
+
+ShardPlan PlanShards(const TransitStubTopology& topo, std::size_t shards) {
+  P2P_CHECK_MSG(shards >= 1, "need at least one shard");
+  ShardPlan plan;
+  plan.shards = shards;
+  plan.lookahead_ms = ShardLookaheadMs(topo.params);
+  plan.shard_of_host.assign(topo.host_count(), 0);
+  plan.hosts_per_shard.assign(shards, 0);
+
+  if (shards == 1) {
+    plan.hosts_per_shard[0] = topo.host_count();
+    return plan;
+  }
+
+  // Host count per stub domain. Hosts attach to stub routers only; a
+  // transit-attached host would sit outside every stub domain and void the
+  // two-stub-transit-links argument the lookahead rests on.
+  std::vector<std::size_t> domain_hosts(topo.params.total_stub_domains(), 0);
+  for (HostIdx h = 0; h < topo.host_count(); ++h) {
+    const NodeIdx r = topo.host_router[h];
+    P2P_CHECK_MSG(!topo.is_transit[r],
+                  "host " << h << " attaches to a transit router");
+    ++domain_hosts[topo.domain_of[r]];
+  }
+
+  struct DomainLoad {
+    std::size_t hosts;
+    std::size_t domain;
+  };
+  std::vector<DomainLoad> order;
+  order.reserve(domain_hosts.size());
+  for (std::size_t d = 0; d < domain_hosts.size(); ++d) {
+    if (domain_hosts[d] > 0) order.push_back({domain_hosts[d], d});
+  }
+  P2P_CHECK_MSG(order.size() >= shards,
+                "only " << order.size() << " populated stub domains for "
+                        << shards << " shards");
+  std::sort(order.begin(), order.end(),
+            [](const DomainLoad& a, const DomainLoad& b) {
+              if (a.hosts != b.hosts) return a.hosts > b.hosts;
+              return a.domain < b.domain;
+            });
+
+  // Greedy least-loaded, deterministic tie-break on the lowest shard index.
+  std::vector<std::uint32_t> shard_of_domain(domain_hosts.size(), 0);
+  for (const DomainLoad& d : order) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < shards; ++s) {
+      if (plan.hosts_per_shard[s] < plan.hosts_per_shard[best]) best = s;
+    }
+    shard_of_domain[d.domain] = static_cast<std::uint32_t>(best);
+    plan.hosts_per_shard[best] += d.hosts;
+  }
+  for (HostIdx h = 0; h < topo.host_count(); ++h)
+    plan.shard_of_host[h] = shard_of_domain[topo.domain_of[topo.host_router[h]]];
+  return plan;
+}
+
+}  // namespace p2p::net

@@ -1,0 +1,46 @@
+// Host-to-shard placement for the sharded simulation kernel.
+//
+// The conservative-lookahead barrier (sim/sharded.h) is only correct when
+// every cross-shard message takes at least `lookahead_ms` of virtual time
+// to arrive. The transit-stub hierarchy gives that bound structurally:
+// hosts are partitioned along whole stub domains, so any cross-shard path
+// must leave one stub domain and enter another — two stub-transit links
+// plus two last hops, and link latencies are fixed per class:
+//
+//   cross-shard latency >= 2 * (last_hop_min_ms + stub_transit_link_ms)
+//
+// (56 ms for every preset). The bound is computed once from the topology
+// parameters, not sampled from the oracle, so it is exact by construction;
+// sim/sharded.cc re-checks it per message with a P2P_CHECK.
+//
+// Placement is a deterministic greedy bin-pack: stub domains in decreasing
+// host-count order (ties by domain index) onto the currently least-loaded
+// shard (ties by shard index). Host counts per domain are hash-uniform, so
+// shards come out balanced to within one domain (~hosts/domains).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/transit_stub.h"
+
+namespace p2p::net {
+
+struct ShardPlan {
+  std::size_t shards = 1;
+  // shard_of_host[h] = owning shard of end host h.
+  std::vector<std::uint32_t> shard_of_host;
+  std::vector<std::size_t> hosts_per_shard;
+  // Structural lower bound on cross-shard one-way latency (ms); the
+  // lockstep window length of the sharded kernel.
+  double lookahead_ms = 0.0;
+};
+
+// Partition `topo`'s end hosts into `shards` shards along whole stub
+// domains. Requires 1 <= shards <= populated stub domains.
+ShardPlan PlanShards(const TransitStubTopology& topo, std::size_t shards);
+
+// The lookahead bound alone (2 * (last_hop_min_ms + stub_transit_link_ms)).
+double ShardLookaheadMs(const TransitStubParams& params);
+
+}  // namespace p2p::net

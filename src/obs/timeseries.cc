@@ -5,9 +5,11 @@
 
 namespace p2p::obs {
 
-TimeseriesSampler::TimeseriesSampler(std::size_t capacity)
-    : capacity_(capacity) {
+TimeseriesSampler::TimeseriesSampler(std::size_t capacity, FillPolicy policy)
+    : capacity_(capacity), policy_(policy) {
   P2P_CHECK(capacity_ > 0);
+  P2P_CHECK_MSG(policy_ == FillPolicy::kRing || capacity_ >= 2,
+                "decimation needs capacity >= 2");
 }
 
 std::size_t TimeseriesSampler::AddProbe(std::string name, Probe probe) {
@@ -19,6 +21,17 @@ std::size_t TimeseriesSampler::AddProbe(std::string name, Probe probe) {
 }
 
 void TimeseriesSampler::Sample(double time_ms) {
+  if (policy_ == FillPolicy::kDecimate) {
+    // Halve before testing the stride so the stride check below always
+    // runs against the post-halving stride: kept rows are exactly the
+    // Sample() calls at multiples of the final stride, uniformly spaced.
+    if (ring_.size() == capacity_) HalveResolution();
+    const bool keep = total_ % stride_ == 0;
+    ++total_;
+    if (!keep) return;  // decimated out: probes aren't even evaluated
+  } else {
+    ++total_;
+  }
   Row row;
   row.time_ms = time_ms;
   row.values.reserve(probes_.size());
@@ -26,15 +39,25 @@ void TimeseriesSampler::Sample(double time_ms) {
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(row));
   } else {
-    ring_[total_ % capacity_] = std::move(row);
+    // kRing (a full kDecimate buffer was halved above).
+    ring_[(total_ - 1) % capacity_] = std::move(row);
   }
-  ++total_;
+}
+
+void TimeseriesSampler::HalveResolution() {
+  const std::size_t kept = (ring_.size() + 1) / 2;
+  for (std::size_t j = 1; j < kept; ++j) ring_[j] = std::move(ring_[2 * j]);
+  ring_.resize(kept);
+  stride_ *= 2;
 }
 
 std::vector<TimeseriesSampler::Row> TimeseriesSampler::Snapshot() const {
   std::vector<Row> out;
   out.reserve(ring_.size());
-  const std::size_t start = total_ > capacity_ ? total_ % capacity_ : 0;
+  // kDecimate never wraps: rows sit in insertion order from index 0.
+  const std::size_t start =
+      policy_ == FillPolicy::kRing && total_ > capacity_ ? total_ % capacity_
+                                                         : 0;
   for (std::size_t i = 0; i < ring_.size(); ++i)
     out.push_back(ring_[(start + i) % ring_.size()]);
   return out;

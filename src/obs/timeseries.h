@@ -18,11 +18,25 @@
 
 namespace p2p::obs {
 
+// What to do when the row buffer fills.
+enum class FillPolicy {
+  // Overwrite the oldest row (trace-ring behaviour): full-resolution
+  // recent history, the run's start falls off.
+  kRing,
+  // Halve the time resolution instead: drop every other held row, double
+  // the sampling stride, keep going. The buffer always spans the whole
+  // run, at a power-of-two stride that grows with run length — long runs
+  // keep their start-up transient AND their tail. Purely arithmetic
+  // (stride counters, no RNG), so same-seed runs decimate identically.
+  kDecimate,
+};
+
 class TimeseriesSampler {
  public:
   using Probe = std::function<double()>;
 
-  explicit TimeseriesSampler(std::size_t capacity = 4096);
+  explicit TimeseriesSampler(std::size_t capacity = 4096,
+                             FillPolicy policy = FillPolicy::kRing);
 
   // Register a column before the first Sample(); name becomes the CSV
   // header. Returns the column index.
@@ -34,10 +48,15 @@ class TimeseriesSampler {
   std::size_t probe_count() const { return names_.size(); }
   const std::vector<std::string>& probe_names() const { return names_; }
   std::size_t capacity() const { return capacity_; }
+  FillPolicy fill_policy() const { return policy_; }
   // Rows currently held (<= capacity).
   std::size_t rows() const { return ring_.size(); }
-  // Rows ever sampled; > rows() means the oldest were overwritten.
+  // Sample() calls so far; > rows() means rows were overwritten (kRing) or
+  // decimated away (kDecimate).
   std::size_t total_rows() const { return total_; }
+  // Current sampling stride (kDecimate: every stride-th Sample() call is
+  // kept; always 1 under kRing).
+  std::size_t stride() const { return stride_; }
 
   struct Row {
     double time_ms = 0.0;
@@ -52,11 +71,16 @@ class TimeseriesSampler {
   bool WriteCsv(const std::string& path) const;
 
  private:
+  // Drop every other held row and double the stride (kDecimate).
+  void HalveResolution();
+
   std::size_t capacity_;
+  FillPolicy policy_;
   std::vector<std::string> names_;
   std::vector<Probe> probes_;
   std::vector<Row> ring_;
   std::size_t total_ = 0;
+  std::size_t stride_ = 1;
 };
 
 }  // namespace p2p::obs

@@ -1,0 +1,260 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace p2p::sim {
+
+namespace {
+
+double ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+std::uint64_t ShardSeed(std::uint64_t seed, std::size_t shard,
+                        std::size_t shard_count) {
+  // 1-shard runs must draw the exact RNG stream of the serial kernel.
+  if (shard_count <= 1) return seed;
+  // Mix the shard index and count through SplitMix64 so neighbouring seeds
+  // (1, 2, 3, ...) still yield unrelated per-shard streams, and so the same
+  // shard index under a different shard count is a different stream.
+  std::uint64_t sm = seed ^ util::Mix64(0x9e6c63d0876a3f35ULL +
+                                        static_cast<std::uint64_t>(shard_count));
+  sm ^= util::Mix64(static_cast<std::uint64_t>(shard) * 0xa0761d6478bd642fULL);
+  return util::SplitMix64(sm);
+}
+
+// Per-shard Transport hook: consults the owner's host map and forwards
+// remote sends into the owner's mailboxes. Lives on the shard whose bus it
+// is installed on; IsRemote is called on that shard's thread only, reading
+// the immutable (post-SetHostShards) host map.
+class ShardedSimulation::Router : public ShardRouter {
+ public:
+  Router(ShardedSimulation& owner, std::uint32_t shard)
+      : owner_(owner), shard_(shard) {}
+
+  bool IsRemote(std::size_t dst_host) const override {
+    return owner_.shard_of_host_[dst_host] != shard_;
+  }
+
+  void PostRemote(const Message& msg, Time deliver_time,
+                  util::InlineFn deliver) override {
+    owner_.PostRemoteMessage(shard_, msg, deliver_time, std::move(deliver));
+  }
+
+ private:
+  ShardedSimulation& owner_;
+  std::uint32_t shard_;
+};
+
+ShardedSimulation::ShardedSimulation(const ShardedOptions& opts)
+    : lookahead_ms_(opts.lookahead_ms) {
+  P2P_CHECK_MSG(opts.shards >= 1, "need at least one shard");
+  P2P_CHECK_MSG(opts.shards == 1 || opts.lookahead_ms > 0.0,
+                "multi-shard runs need a positive lookahead");
+  shards_.reserve(opts.shards);
+  for (std::size_t s = 0; s < opts.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->sim = std::make_unique<Simulation>(
+        ShardSeed(opts.seed, s, opts.shards), opts.scheduler);
+    shard->outbox.resize(opts.shards);
+    shard->staged.resize(opts.shards);
+    shards_.push_back(std::move(shard));
+  }
+  if (opts.shards > 1) {
+    std::size_t threads = opts.threads;
+    if (threads == 0) {
+      const std::size_t hw = std::thread::hardware_concurrency();
+      threads = std::min(opts.shards, hw > 0 ? hw : std::size_t{1});
+    }
+    pool_ = std::make_unique<util::ThreadPool>(threads);
+  }
+}
+
+ShardedSimulation::~ShardedSimulation() {
+  // Routers point into this object; detach them from the transports before
+  // the shards (and their buses) go down, in case a bus outlives us via a
+  // caller-held reference during teardown.
+  for (auto& shard : shards_) {
+    if (shard->router) shard->sim->transport().set_shard_router(nullptr);
+  }
+}
+
+void ShardedSimulation::SetHostShards(std::vector<std::uint32_t> shard_of_host) {
+  P2P_CHECK_MSG(shard_of_host_.empty(), "host shards already installed");
+  P2P_CHECK_MSG(windows_ == 0 && now_ == 0.0,
+                "install host shards before running");
+  for (const std::uint32_t s : shard_of_host)
+    P2P_CHECK_MSG(s < shards_.size(), "host mapped to unknown shard " << s);
+  shard_of_host_ = std::move(shard_of_host);
+  if (shards_.size() == 1) return;  // serial path: no per-send router check
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->router =
+        std::make_unique<Router>(*this, static_cast<std::uint32_t>(s));
+    shards_[s]->sim->transport().set_shard_router(shards_[s]->router.get());
+  }
+}
+
+void ShardedSimulation::Post(std::size_t src, std::size_t dst,
+                             Time deliver_time, EventQueue::Callback cb) {
+  P2P_CHECK_MSG(src < shards_.size() && dst < shards_.size(),
+                "unknown shard in cross-shard post");
+  P2P_CHECK_MSG(deliver_time >= window_end_,
+                "cross-shard message undershoots the lookahead barrier: "
+                "deliver=" << deliver_time << " window_end=" << window_end_);
+  shards_[src]->outbox[dst].push_back(Pending{deliver_time, std::move(cb)});
+}
+
+void ShardedSimulation::PostRemoteMessage(std::uint32_t src_shard,
+                                          const Message& msg,
+                                          Time deliver_time,
+                                          EventQueue::Callback deliver) {
+  const std::uint32_t dst_shard = shard_of_host_[msg.dst_host];
+  Transport* bus = &shards_[dst_shard]->sim->transport();
+  // The destination bus accounts the delivery when the closure runs —
+  // mirroring FinishDelivery on a local scheduled send.
+  Post(src_shard, dst_shard, deliver_time,
+       [bus, protocol = msg.protocol, src = msg.src_host, bytes = msg.bytes,
+        cb = std::move(deliver)]() mutable {
+         bus->AccountRemoteDelivery(protocol, src, bytes);
+         if (cb) cb();
+       });
+}
+
+void ShardedSimulation::ExchangeMailboxes() {
+  // The barrier does no per-message work: each destination claims the
+  // outboxes addressed to it with an O(1) vector swap (the swapped-out
+  // staged box is empty, so outboxes come back cleared with their old
+  // staging capacity). The per-message merge/sort/insert happens on the
+  // destination shard's own thread at the next window's start (DrainInbox)
+  // — work the barrier thread would otherwise serialise.
+  const std::size_t n = shards_.size();
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    for (std::size_t src = 0; src < n; ++src) {
+      auto& box = shards_[src]->outbox[dst];
+      cross_messages_ += box.size();
+      shards_[dst]->staged[src].swap(box);
+    }
+  }
+}
+
+void ShardedSimulation::DrainInbox(Shard& shard) {
+  // Canonical (deliver_time, src_shard, send_seq) order: concatenating the
+  // staged boxes in src order puts the scratch in (src_shard, send_seq)
+  // order, so a stable sort on time alone finishes the key. Insertion
+  // order fixes this queue's seq tie-breaks independent of the thread
+  // schedule — the merge runs on the owning shard's thread, but its
+  // inputs and output order are schedule-invariant.
+  for (std::size_t src = 0; src < shard.staged.size(); ++src) {
+    auto& box = shard.staged[src];
+    for (auto& p : box) {
+      shard.inbox.push_back(Routed{p.deliver, static_cast<std::uint32_t>(src),
+                                   std::move(p.cb)});
+    }
+    box.clear();
+  }
+  std::stable_sort(shard.inbox.begin(), shard.inbox.end(),
+                   [](const Routed& a, const Routed& b) {
+                     return a.deliver < b.deliver;
+                   });
+  for (Routed& r : shard.inbox) shard.sim->At(r.deliver, std::move(r.cb));
+  shard.inbox.clear();
+}
+
+bool ShardedSimulation::Idle() const {
+  for (const auto& shard : shards_) {
+    if (shard->sim->pending_events() > 0) return false;
+    for (const auto& box : shard->staged) {
+      if (!box.empty()) return false;
+    }
+    for (const auto& box : shard->outbox) {
+      if (!box.empty()) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t ShardedSimulation::RunUntil(Time t_end) {
+  P2P_CHECK_MSG(t_end >= now_, "cannot run backwards");
+  std::size_t fired_before = 0;
+  for (const auto& shard : shards_) fired_before += shard->sim->fired_events();
+
+  if (shards_.size() == 1) {
+    // Serial fast path: the single shard IS the serial kernel.
+    const auto start = std::chrono::steady_clock::now();
+    shards_[0]->sim->RunUntil(t_end);
+    critical_ns_ += ElapsedNs(start);
+    now_ = t_end;
+    return shards_[0]->sim->fired_events() - fired_before;
+  }
+
+  const std::size_t n = shards_.size();
+  while (now_ < t_end && !Idle()) {
+    window_end_ = std::min(now_ + lookahead_ms_, t_end);
+    const Time w_end = window_end_;
+    pool_->ParallelFor(n, [this, w_end](std::size_t s) {
+      const auto start = std::chrono::steady_clock::now();
+      DrainInbox(*shards_[s]);
+      shards_[s]->sim->RunUntil(w_end);
+      shards_[s]->busy_ns = ElapsedNs(start);
+    });
+    double max_busy = 0.0;
+    for (const auto& shard : shards_)
+      max_busy = std::max(max_busy, shard->busy_ns);
+    const auto xstart = std::chrono::steady_clock::now();
+    ExchangeMailboxes();
+    critical_ns_ += max_busy + ElapsedNs(xstart);
+    now_ = w_end;
+    ++windows_;
+  }
+  if (now_ < t_end) {
+    // Everything drained early; fast-forward the clocks without windows.
+    for (auto& shard : shards_) shard->sim->RunUntil(t_end);
+    now_ = t_end;
+  }
+  window_end_ = t_end;
+
+  std::size_t fired_after = 0;
+  for (const auto& shard : shards_) fired_after += shard->sim->fired_events();
+  return fired_after - fired_before;
+}
+
+std::size_t ShardedSimulation::fired_events() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim->fired_events();
+  return total;
+}
+
+void ShardedSimulation::MergeMetrics(obs::MetricsRegistry& out) const {
+  for (const auto& shard : shards_) out.MergeFrom(shard->sim->metrics());
+}
+
+TransportStats ShardedSimulation::MergedTransportStats() const {
+  TransportStats merged;
+  for (const auto& shard : shards_) {
+    const TransportStats stats = shard->sim->transport().stats();
+    for (std::size_t p = 0; p < kProtocolCount; ++p) {
+      auto& m = merged.by_protocol[p];
+      const auto& s = stats.by_protocol[p];
+      m.sent += s.sent;
+      m.delivered += s.delivered;
+      m.dropped += s.dropped;
+      m.dropped_loss += s.dropped_loss;
+      m.dropped_partition += s.dropped_partition;
+      m.bytes += s.bytes;
+    }
+  }
+  return merged;
+}
+
+}  // namespace p2p::sim

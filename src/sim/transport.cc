@@ -151,6 +151,16 @@ bool Transport::Send(const Message& msg, DeliverFn deliver,
     }
     return false;
   }
+  if (router_ != nullptr && router_->IsRemote(msg.dst_host)) {
+    // Cross-shard: the closure is delivered by the destination shard after
+    // the next lookahead barrier. It never enters this shard's queue, so
+    // the in-flight gauges (a per-shard queue-depth signal) skip it; the
+    // destination bus counts the delivery via AccountRemoteDelivery.
+    P2P_CHECK_MSG(!opts.inline_delivery,
+                  "inline delivery cannot cross shards");
+    router_->PostRemote(msg, sim_.now() + delay, std::move(deliver));
+    return true;
+  }
   if (opts.inline_delivery) {
     FinishDelivery(msg.protocol, msg.src_host, msg.bytes,
                    /*was_scheduled=*/false);

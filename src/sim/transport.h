@@ -115,6 +115,24 @@ struct SendOptions {
   bool inline_delivery = false;
 };
 
+// Cross-shard routing hook for sharded runs (sim/sharded.h installs one
+// per shard). When a send's destination host lives on another shard, the
+// delivery closure cannot be scheduled on the local event queue — it must
+// travel through the owning ShardedSimulation's mailboxes and land on the
+// destination shard at the next lookahead barrier. The transport computes
+// faults, delay and tracing exactly as for a local send, then hands the
+// resolved (message, absolute delivery time, closure) to the router.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+  // True when `dst_host` is owned by a different shard than this bus.
+  virtual bool IsRemote(std::size_t dst_host) const = 0;
+  // Enqueue `deliver` for the destination shard at absolute `deliver_time`
+  // (>= the end of the current lockstep window — checked by the kernel).
+  virtual void PostRemote(const Message& msg, Time deliver_time,
+                          util::InlineFn deliver) = 0;
+};
+
 class Transport {
  public:
   // Move-only small-buffer callable: protocol delivery closures up to 48
@@ -189,11 +207,28 @@ class Transport {
   std::size_t inflight_messages() const { return inflight_msgs_; }
   std::size_t inflight_bytes() const { return inflight_bytes_; }
 
+  // --- sharding -----------------------------------------------------------
+
+  // Route sends to remote hosts through `router` instead of the local
+  // event queue. Null (the default) keeps every delivery local.
+  void set_shard_router(ShardRouter* router) { router_ = router; }
+  ShardRouter* shard_router() const { return router_; }
+
+  // Account a cross-shard message's arrival on this (destination) shard's
+  // bus: the sending shard counted sent/bytes/drops, the receiving shard
+  // counts the delivery. Called by the sharded kernel's mailbox drain.
+  void AccountRemoteDelivery(Protocol protocol, std::size_t src,
+                             std::size_t bytes) {
+    FinishDelivery(protocol, src, bytes, /*was_scheduled=*/false);
+  }
+
   // --- sending ------------------------------------------------------------
 
   // Admit `msg` to the bus. Returns false when fault injection dropped it
   // (the delivery callback will never run); otherwise schedules `deliver`
-  // at now + base delay + jitter (or runs it inline, see SendOptions).
+  // at now + base delay + jitter (or runs it inline, see SendOptions). A
+  // send whose destination a shard router marks remote is handed to the
+  // router with the same accounting/trace treatment.
   bool Send(const Message& msg, DeliverFn deliver, SendOptions opts = {});
 
   TransportStats stats() const { return stats_; }
@@ -233,6 +268,7 @@ class Transport {
   };
 
   Simulation& sim_;
+  ShardRouter* router_ = nullptr;
   const net::LatencyOracle* oracle_ = nullptr;
   // Matches HeartbeatConfig's historical oracle-less delay.
   double default_delay_ms_ = 50.0;

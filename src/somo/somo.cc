@@ -54,6 +54,24 @@ void SomoProtocol::Start() {
   ScheduleLogicalTimers();
 }
 
+void SomoProtocol::BindShard(std::uint32_t shard,
+                             const std::vector<std::uint32_t>* shard_of_host,
+                             std::vector<SomoProtocol*> peers) {
+  P2P_CHECK_MSG(!running_, "bind before Start");
+  P2P_CHECK(shard_of_host != nullptr);
+  P2P_CHECK_MSG(shard < peers.size(), "shard index outside the peer table");
+  P2P_CHECK_MSG(peers[shard] == this, "peer table must map this shard here");
+  // The synchronised cascade, dissemination and redundant links capture
+  // `this` in downward closures that would mutate another shard's state.
+  P2P_CHECK_MSG(peers.size() <= 1 || (!config_.synchronized_gather &&
+                                      !config_.disseminate &&
+                                      !config_.redundant_links),
+                "multi-shard SOMO supports the unsynchronised gather only");
+  shard_ = shard;
+  shard_of_host_ = shard_of_host;
+  peers_ = std::move(peers);
+}
+
 void SomoProtocol::Stop() {
   running_ = false;
   for (auto& t : timers_) sim::Simulation::CancelPeriodic(t);
@@ -70,8 +88,13 @@ void SomoProtocol::ScheduleLogicalTimers() {
     return;
   }
   // Unsynchronised: one independent timer per logical node, random phase.
+  // A bound instance draws phases only for its own logical nodes — each
+  // phase comes from the owner shard's RNG stream, so the draw order is
+  // shard-count-dependent but schedule-independent (and identical to the
+  // serial order at one shard).
   timers_.reserve(tree_->size());
   for (LogicalIndex l = 0; l < tree_->size(); ++l) {
+    if (!OwnsLogical(l)) continue;
     const sim::Time phase =
         sim_.rng().Uniform(0.0, config_.report_interval_ms);
     timers_.push_back(sim_.Every(config_.report_interval_ms, phase,
@@ -161,16 +184,24 @@ void SomoProtocol::PushToParent(LogicalIndex l) {
   P2P_CHECK(slot < pn.children.size());
   AggregateReport payload = state_[l].own;
   const std::size_t wire = payload.SerializedBytes();
+  // The parent's owning instance records the push (== this when unbound),
+  // so from_children rows are only written on their owner's shard.
+  SomoProtocol* target = PeerForLogical(parent);
   SendBetween(ln.owner, pn.owner, kMsgPush, wire,
-              [this, parent, slot, l, payload = std::move(payload)] {
-                if (!running_) return;
-                if (parent >= state_.size()) return;
-                if (slot >= state_[parent].from_children.size()) return;
-                state_[parent].from_children[slot] = payload;
-                // A direct push supersedes any adopted detour copy of this
-                // child.
-                state_[parent].adopted.erase(l);
+              [target, parent, slot, l, payload = std::move(payload)] {
+                target->ReceivePush(parent, slot, l, payload);
               });
+}
+
+void SomoProtocol::ReceivePush(LogicalIndex parent, std::size_t slot,
+                               LogicalIndex from,
+                               const AggregateReport& payload) {
+  if (!running_) return;
+  if (parent >= state_.size()) return;
+  if (slot >= state_[parent].from_children.size()) return;
+  state_[parent].from_children[slot] = payload;
+  // A direct push supersedes any adopted detour copy of this child.
+  state_[parent].adopted.erase(from);
 }
 
 void SomoProtocol::StartSyncGather() {
@@ -345,6 +376,10 @@ std::size_t SomoProtocol::nodes_with_view() const {
 }
 
 void SomoProtocol::Rebuild() {
+  // A rebuild changes logical-node ownership; bound instances would need a
+  // coordinated re-bind across shards, which nothing drives yet.
+  P2P_CHECK_MSG(peers_.size() <= 1,
+                "Rebuild is unsupported in multi-shard runs");
   tree_ = std::make_unique<LogicalTree>(ring_, config_.fanout);
   state_.assign(tree_->size(), LogicalState{});
   for (LogicalIndex l = 0; l < tree_->size(); ++l)

@@ -81,6 +81,26 @@ class SomoProtocol {
   // aggregate caches survive where the logical node persists.
   void Rebuild();
 
+  // --- sharding -----------------------------------------------------------
+
+  // Bind this instance to one shard of a sim::ShardedSimulation run (same
+  // shape as HeartbeatProtocol::BindShard: one instance per shard over the
+  // shared ring, `shard_of_host` owned by the caller). After binding, this
+  // instance runs timers only for logical nodes whose owner host it owns,
+  // and upward pushes land on the parent's owning instance (ReceivePush),
+  // keeping all mutable per-logical-node state shard-local. Multi-shard
+  // runs support the unsynchronised gather only: the synchronised cascade,
+  // dissemination and redundant links thread `this` through downward
+  // closures and are CHECK-rejected.
+  void BindShard(std::uint32_t shard,
+                 const std::vector<std::uint32_t>* shard_of_host,
+                 std::vector<SomoProtocol*> peers);
+
+  // Delivery of a child's upward push: runs on the parent's owning
+  // instance (== this instance when unbound).
+  void ReceivePush(LogicalIndex parent, std::size_t slot, LogicalIndex from,
+                   const AggregateReport& payload);
+
   const LogicalTree& tree() const { return *tree_; }
   const SomoConfig& config() const { return config_; }
 
@@ -161,12 +181,30 @@ class SomoProtocol {
                    SomoMessageKind kind, std::size_t bytes,
                    sim::Transport::DeliverFn deliver);
 
+  // True when this instance runs logical node l's timer (always, unbound).
+  bool OwnsLogical(LogicalIndex l) const {
+    return shard_of_host_ == nullptr ||
+           (*shard_of_host_)[ring_.node(tree_->node(l).owner).host()] ==
+               shard_;
+  }
+  // The instance owning logical node l (this, when unbound).
+  SomoProtocol* PeerForLogical(LogicalIndex l) {
+    if (shard_of_host_ == nullptr) return this;
+    return peers_[(*shard_of_host_)[ring_.node(tree_->node(l).owner)
+                                        .host()]];
+  }
+
   sim::Simulation& sim_;
   dht::Ring& ring_;
   SomoConfig config_;
   ReportProvider provider_;
   std::unique_ptr<LogicalTree> tree_;
   bool running_ = false;
+
+  // Sharding (empty/null when unbound — see BindShard).
+  std::uint32_t shard_ = 0;
+  const std::vector<std::uint32_t>* shard_of_host_ = nullptr;
+  std::vector<SomoProtocol*> peers_;
 
   // Per logical node: cached aggregate most recently computed/pushed, and
   // the aggregates received from children (index into children vector).

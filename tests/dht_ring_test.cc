@@ -228,5 +228,61 @@ TEST(Ring, TwoNodesSplitTheSpace) {
   ring.CheckInvariants();
 }
 
+// Two rings are interchangeable for every consumer we have: same ids/hosts
+// per index, same leafsets, same routing decisions.
+void ExpectSameEndState(const Ring& a, const Ring& b) {
+  ASSERT_EQ(a.size(), b.size());
+  a.CheckInvariants();
+  b.CheckInvariants();
+  for (NodeIndex n = 0; n < a.size(); ++n) {
+    EXPECT_EQ(a.node(n).id(), b.node(n).id()) << "node " << n;
+    EXPECT_EQ(a.node(n).host(), b.node(n).host());
+    const auto ma = a.node(n).leafset().Members();
+    const auto mb = b.node(n).leafset().Members();
+    ASSERT_EQ(ma.size(), mb.size()) << "node " << n;
+    for (std::size_t i = 0; i < ma.size(); ++i) {
+      EXPECT_EQ(ma[i].id, mb[i].id);
+      EXPECT_EQ(ma[i].node, mb[i].node);
+    }
+  }
+  for (NodeId key : {0ull, 1ull << 40, ~0ull, 0x1234567890abcdefull}) {
+    for (NodeIndex from = 0; from < a.size(); from += 7) {
+      const RouteResult ra = a.Route(from, key);
+      const RouteResult rb = b.Route(from, key);
+      EXPECT_EQ(ra.success, rb.success);
+      EXPECT_EQ(ra.hops, rb.hops);
+      EXPECT_EQ(ra.destination, rb.destination);
+    }
+  }
+}
+
+TEST(Ring, BatchJoinMatchesPerHostJoins) {
+  // The setup-time fast path must be behaviour-invisible: JoinBatchHashed
+  // lands the exact end state of the per-host JoinHashed loop (same
+  // collision probe sequence) followed by one StabilizeAll.
+  Ring per_host(8);
+  for (std::size_t i = 0; i < 60; ++i) per_host.JoinHashed(i);
+  per_host.StabilizeAll();
+
+  Ring batch(8);
+  EXPECT_EQ(batch.JoinBatchHashed(0, 60), 0u);
+  EXPECT_EQ(batch.alive_count(), 60u);
+  ExpectSameEndState(per_host, batch);
+}
+
+TEST(Ring, BatchJoinOnPopulatedRingMatches) {
+  // Batch-joining into a ring that already has members (a second wave).
+  Ring per_host(8);
+  for (std::size_t i = 0; i < 10; ++i) per_host.JoinHashed(i);
+  per_host.StabilizeAll();
+  for (std::size_t i = 10; i < 40; ++i) per_host.JoinHashed(i);
+  per_host.StabilizeAll();
+
+  Ring batch(8);
+  batch.JoinBatchHashed(0, 10);
+  EXPECT_EQ(batch.JoinBatchHashed(10, 30), 10u);
+  ExpectSameEndState(per_host, batch);
+}
+
 }  // namespace
 }  // namespace p2p::dht

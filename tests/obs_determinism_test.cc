@@ -109,5 +109,48 @@ TEST(ObsDeterminism, DifferentSeedsDiverge) {
   EXPECT_NE(snap_a, snap_b);
 }
 
+// Decimating-sampler variant: a small-capacity kDecimate sampler over a
+// seeded lossy run, sampled far past capacity so the stride halves several
+// times. Decimation is pure stride arithmetic (no RNG), so same-seed runs
+// must keep the same rows with the same bytes.
+std::string DecimatedRun(std::uint64_t seed) {
+  sim::Simulation sim(seed);
+  sim.EnableMetrics();
+  sim.transport().faults().loss_probability = 0.1;
+  sim.transport().faults().jitter_ms = 5.0;
+
+  dht::Ring ring(8);
+  for (std::size_t i = 0; i < 16; ++i) ring.JoinHashed(i);
+  ring.StabilizeAll();
+  dht::HeartbeatProtocol hb(sim, ring);
+  hb.Start();
+
+  obs::TimeseriesSampler sampler(16, obs::FillPolicy::kDecimate);
+  sampler.AddProbe("hb_sent", [&] {
+    return sim.metrics().Value("dht.heartbeat.sent");
+  });
+  sim.Every(100.0, 100.0, [&] { sampler.Sample(sim.now()); });
+  sim.RunUntil(20000.0);  // 200 samples through a 16-row buffer
+
+  EXPECT_GT(sampler.stride(), 1u);
+  EXPECT_LE(sampler.rows(), 16u);
+  EXPECT_EQ(sampler.total_rows(), 200u);
+  std::FILE* tmp = std::tmpfile();
+  EXPECT_NE(tmp, nullptr);
+  EXPECT_TRUE(sampler.WriteCsv(tmp));
+  std::string csv = ReadAll(tmp);
+  std::fclose(tmp);
+  // The retained rows span the whole run, start and tail included.
+  EXPECT_NE(csv.find("\n100,"), std::string::npos);
+  return csv;
+}
+
+TEST(ObsDeterminism, DecimatedTimeseriesIsByteIdentical) {
+  const std::string a = DecimatedRun(7);
+  const std::string b = DecimatedRun(7);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, DecimatedRun(9));
+}
+
 }  // namespace
 }  // namespace p2p

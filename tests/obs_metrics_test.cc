@@ -10,6 +10,7 @@
 #include "obs/run_report.h"
 #include "obs/scope_timer.h"
 #include "obs/timeseries.h"
+#include "util/check.h"
 
 namespace p2p::obs {
 namespace {
@@ -198,6 +199,47 @@ TEST(Timeseries, BoundedRingKeepsNewestRows) {
   const auto rows = s.Snapshot();
   EXPECT_DOUBLE_EQ(rows.front().time_ms, 2.0);
   EXPECT_DOUBLE_EQ(rows.back().time_ms, 3.0);
+}
+
+TEST(Timeseries, DecimationSpansTheWholeRunAtPowerOfTwoStride) {
+  TimeseriesSampler s(8, FillPolicy::kDecimate);
+  s.AddProbe("t", [] { return 0.0; });
+  for (int i = 0; i < 100; ++i) s.Sample(static_cast<double>(i));
+  EXPECT_EQ(s.total_rows(), 100u);
+  EXPECT_LE(s.rows(), 8u);
+  // Stride grows by halving: a power of two.
+  EXPECT_EQ(s.stride() & (s.stride() - 1), 0u);
+  const auto rows = s.Snapshot();
+  ASSERT_FALSE(rows.empty());
+  // Kept rows are exactly the samples at multiples of the final stride —
+  // uniformly spaced, anchored at the first sample, reaching the tail.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rows[i].time_ms,
+                     static_cast<double>(i * s.stride()));
+  }
+  EXPECT_DOUBLE_EQ(rows.front().time_ms, 0.0);
+  EXPECT_GT(rows.back().time_ms, 100.0 - 2.0 * s.stride());
+}
+
+TEST(Timeseries, DecimationNeverHalvesUnderCapacity) {
+  TimeseriesSampler s(16, FillPolicy::kDecimate);
+  s.AddProbe("t", [] { return 0.0; });
+  for (int i = 0; i < 16; ++i) s.Sample(static_cast<double>(i));
+  // Exactly full: still full resolution (halving happens on the next
+  // sample, not when the buffer merely fills).
+  EXPECT_EQ(s.rows(), 16u);
+  EXPECT_EQ(s.stride(), 1u);
+  s.Sample(16.0);
+  EXPECT_EQ(s.stride(), 2u);
+  // Halving dropped the 8 odd-index rows; sample 16 (a stride multiple)
+  // was then kept.
+  EXPECT_EQ(s.rows(), 9u);
+  EXPECT_DOUBLE_EQ(s.Snapshot().back().time_ms, 16.0);
+}
+
+TEST(Timeseries, DecimationRejectsCapacityOne) {
+  EXPECT_THROW(TimeseriesSampler(1, FillPolicy::kDecimate),
+               util::CheckError);
 }
 
 TEST(Timeseries, CsvHeaderAndDeterministicNumbers) {

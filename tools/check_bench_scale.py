@@ -17,6 +17,13 @@ hosts. Checks:
      largest scale must not exceed baseline * --max-regression
      (default 1.5) — catches an accidental de-optimisation of the hot
      path without failing on ordinary machine-to-machine variance.
+  4. Sharded kernel (when the JSON carries a "sharded_scales" section):
+     at every sweep with hosts >= 10000, the 4-shard critical-path
+     speedup over the 1-shard run must be at least --min-shard-speedup
+     (default 2.5). Critical path = sum over lockstep windows of
+     (slowest shard busy + barrier exchange), i.e. projected wall time
+     with >= 4 free cores; results are bit-identical at any thread
+     count, so the projection is sound on small hosts.
 
 p2pnetbench/v1 — bench_net builds the flat and hierarchical latency
 oracles at the topology presets and times an identical host-pair query
@@ -32,7 +39,8 @@ Exit 0 when every check passes, 1 otherwise (the caller treats failure as
 a warning — benchmark noise should not fail a build).
 
 Usage: check_bench_scale.py NEW.json [BASELINE.json]
-           [--min-speedup 3.0] [--max-regression 1.5]
+           [--min-speedup 3.0] [--min-shard-speedup 2.5]
+           [--max-regression 1.5]
            [--min-mem-reduction 5.0] [--max-query-ratio 2.0]
 """
 
@@ -105,6 +113,39 @@ def check_kernel(data, args):
             if status == "FAIL":
                 failures += 1
 
+    failures += check_sharded(data, args)
+    return failures
+
+
+def check_sharded(data, args):
+    sharded = data.get("sharded_scales", [])
+    if not sharded:
+        print("  --  no sharded_scales section (pre-sharding bench JSON)")
+        return 0
+    failures = 0
+    cpus = data.get("cpus")
+    for sc in sharded:
+        hosts = sc["hosts"]
+        runs = {r["shards"]: r for r in sc["runs"]}
+        if 4 not in runs:
+            print(f"FAIL  {hosts} hosts: no 4-shard run recorded")
+            failures += 1
+            continue
+        speedup = runs[4]["speedup_critical_vs_serial"]
+        if hosts < 10000:
+            print(
+                f"  --  {hosts} hosts: 4-shard critical speedup "
+                f"{speedup:.2f}x (below the 10000-host gate)"
+            )
+            continue
+        status = "ok" if speedup >= args.min_shard_speedup else "FAIL"
+        note = f" (measured on {cpus} cpu(s))" if cpus else ""
+        print(
+            f"{status:>4}  {hosts} hosts: 4-shard critical-path speedup "
+            f"{speedup:.2f}x (floor {args.min_shard_speedup:.1f}x){note}"
+        )
+        if status == "FAIL":
+            failures += 1
     return failures
 
 
@@ -155,6 +196,7 @@ def main() -> int:
     parser.add_argument("bench_json")
     parser.add_argument("baseline_json", nargs="?")
     parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--min-shard-speedup", type=float, default=2.5)
     parser.add_argument("--max-regression", type=float, default=1.5)
     parser.add_argument("--min-mem-reduction", type=float, default=5.0)
     parser.add_argument("--max-query-ratio", type=float, default=2.0)

@@ -26,10 +26,12 @@
 #include "alm/bounds.h"
 #include "alm/critical.h"
 #include "dht/heartbeat.h"
+#include "net/shard_plan.h"
 #include "obs/run_report.h"
 #include "obs/timeseries.h"
 #include "pool/multi_session_sim.h"
 #include "pool/resource_pool.h"
+#include "sim/sharded.h"
 #include "sim/simulation.h"
 #include "sim/trace.h"
 #include "sim/transport.h"
@@ -668,7 +670,15 @@ int CmdFullstack(util::FlagParser& flags) {
       flags.GetDouble("horizon-ms", 20000.0, "simulated protocol time");
   const int jobs = flags.GetInt(
       "jobs", 0, "oracle build threads (0 = hardware concurrency)");
+  const auto shards = static_cast<std::size_t>(flags.GetInt(
+      "shards", 1, "simulation shards (1 = the serial kernel)"));
+  const auto shard_threads = static_cast<std::size_t>(flags.GetInt(
+      "threads", 0, "shard worker threads (0 = min(shards, hardware))"));
+  const std::string join_mode = flags.GetString(
+      "join", "batch", "DHT bootstrap (batch|per-host; same end state)");
   const std::string report_path = ReportPath(flags);
+  P2P_CHECK_MSG(join_mode == "batch" || join_mode == "per-host",
+                "unknown --join mode '" << join_mode << "'");
 
   const alm::Strategy strategy = ParseStrategy(strategy_name);
   if (alm::StrategyUsesEstimates(strategy))
@@ -683,15 +693,25 @@ int CmdFullstack(util::FlagParser& flags) {
   util::Rng topo_rng(seed);
   const auto topo = net::GenerateTransitStub(params, topo_rng);
 
-  sim::Simulation sim(seed);
-  sim.EnableMetrics();
+  // Host -> shard placement along whole stub domains plus the structural
+  // lookahead bound; trivial at 1 shard, where the sharded kernel IS the
+  // serial kernel (same seed, same event stream).
+  const net::ShardPlan plan = net::PlanShards(topo, shards);
+  sim::ShardedOptions sharded_opts;
+  sharded_opts.shards = shards;
+  sharded_opts.lookahead_ms = plan.lookahead_ms;
+  sharded_opts.seed = seed;
+  sharded_opts.threads = shard_threads;
+  sim::ShardedSimulation ssim(sharded_opts);
+  for (std::size_t s = 0; s < shards; ++s) ssim.shard(s).EnableMetrics();
+  sim::Simulation& sim0 = ssim.shard(0);
 
   std::printf("building %s oracle over %zu routers ...\n",
               oracle_opts.kind == net::OracleKind::kFlat ? "flat" : "hier",
               topo.router_count());
   util::ThreadPool workers(jobs < 0 ? 1 : static_cast<std::size_t>(jobs));
   oracle_opts.pool = &workers;
-  oracle_opts.metrics = &sim.metrics();
+  oracle_opts.metrics = &sim0.metrics();
   const auto b0 = std::chrono::steady_clock::now();
   const net::LatencyOracle oracle(topo, oracle_opts);
   const double build_ms =
@@ -699,29 +719,73 @@ int CmdFullstack(util::FlagParser& flags) {
           std::chrono::steady_clock::now() - b0)
           .count();
 
-  std::printf("joining %zu hosts into the DHT ...\n", topo.host_count());
+  std::printf("joining %zu hosts into the DHT (%s) ...\n", topo.host_count(),
+              join_mode.c_str());
   dht::Ring ring(32, &oracle);
-  for (net::HostIdx h = 0; h < topo.host_count(); ++h) {
-    const dht::NodeIndex n = ring.JoinHashed(h);
-    P2P_CHECK(n == h);
+  const auto j0 = std::chrono::steady_clock::now();
+  if (join_mode == "batch") {
+    const dht::NodeIndex first = ring.JoinBatchHashed(0, topo.host_count());
+    P2P_CHECK(first == 0 && ring.size() == topo.host_count());
+  } else {
+    for (net::HostIdx h = 0; h < topo.host_count(); ++h) {
+      const dht::NodeIndex n = ring.JoinHashed(h);
+      P2P_CHECK(n == h);
+    }
+    ring.StabilizeAll();
   }
-  ring.StabilizeAll();
-  ring.set_metrics(&sim.metrics());
+  const double join_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - j0)
+                             .count();
+  ring.set_metrics(&sim0.metrics());
+  sim0.metrics().profile("fullstack.setup.join_ms").Add(join_ms);
+  ssim.SetHostShards(plan.shard_of_host);
 
-  std::printf("running heartbeats + SOMO to %.0f ms ...\n", horizon);
-  dht::HeartbeatProtocol hb(sim, ring);
-  hb.Start();
+  std::printf("running heartbeats + SOMO to %.0f ms (%zu shard%s) ...\n",
+              horizon, shards, shards == 1 ? "" : "s");
+  // One protocol instance per shard over the shared (frozen) ring. At one
+  // shard the instances stay unbound — the exact serial code path.
+  std::vector<std::unique_ptr<dht::HeartbeatProtocol>> hbs;
+  std::vector<std::unique_ptr<somo::SomoProtocol>> somos;
   somo::SomoConfig somo_cfg;
   somo_cfg.report_interval_ms = interval;
-  somo::SomoProtocol somo(sim, ring, somo_cfg, [&](dht::NodeIndex n) {
-    somo::NodeReport r;
-    r.node = n;
-    r.host = ring.node(n).host();
-    r.generated_at = sim.now();
-    return r;
-  });
-  somo.Start();
-  const std::size_t protocol_events = sim.RunUntil(horizon);
+  for (std::size_t s = 0; s < shards; ++s) {
+    sim::Simulation& ssh = ssim.shard(s);
+    hbs.push_back(std::make_unique<dht::HeartbeatProtocol>(ssh, ring));
+    somos.push_back(std::make_unique<somo::SomoProtocol>(
+        ssh, ring, somo_cfg, [&ring, &ssh](dht::NodeIndex n) {
+          somo::NodeReport r;
+          r.node = n;
+          r.host = ring.node(n).host();
+          r.generated_at = ssh.now();
+          return r;
+        }));
+  }
+  if (shards > 1) {
+    std::vector<dht::HeartbeatProtocol*> hb_peers;
+    std::vector<somo::SomoProtocol*> somo_peers;
+    for (std::size_t s = 0; s < shards; ++s) {
+      hb_peers.push_back(hbs[s].get());
+      somo_peers.push_back(somos[s].get());
+    }
+    for (std::size_t s = 0; s < shards; ++s) {
+      hbs[s]->BindShard(static_cast<std::uint32_t>(s), &ssim.host_shards(),
+                        hb_peers);
+      somos[s]->BindShard(static_cast<std::uint32_t>(s), &ssim.host_shards(),
+                          somo_peers);
+    }
+  }
+  for (auto& hb : hbs) hb->Start();
+  for (auto& so : somos) so->Start();
+  const std::size_t protocol_events = ssim.RunUntil(horizon);
+
+  // Aggregated protocol stats: deliveries sum across instances; the root
+  // view lives on the instance owning the SOMO root point's host.
+  std::size_t hb_delivered = 0;
+  for (const auto& hb : hbs) hb_delivered += hb->heartbeats_delivered();
+  const somo::LogicalTree& tree0 = somos[0]->tree();
+  const dht::NodeIndex somo_root_owner = tree0.node(tree0.root()).owner;
+  somo::SomoProtocol& root_somo =
+      *somos[ssim.ShardOfHost(ring.node(somo_root_owner).host())];
 
   std::printf("planning one %zu-member session (%s) ...\n", group,
               strategy_name.c_str());
@@ -747,7 +811,7 @@ int CmdFullstack(util::FlagParser& flags) {
       in.helper_candidates.push_back(v);
   }
   in.oracle = &oracle;
-  in.metrics = &sim.metrics();
+  in.metrics = &sim0.metrics();
   const double base = PlanSession(in, alm::Strategy::kAmcast).height_true;
   const auto r = PlanSession(in, strategy);
 
@@ -762,13 +826,25 @@ int CmdFullstack(util::FlagParser& flags) {
   t.AddRow({std::string("oracle build (ms)"), build_ms});
   t.AddRow({std::string("oracle memory (MiB)"),
             static_cast<double>(oracle.MemoryBytes()) / (1024.0 * 1024.0)});
+  t.AddRow({std::string("DHT join (ms)"), join_ms});
+  t.AddRow({std::string("shards"), static_cast<long long>(shards)});
+  if (shards > 1) {
+    t.AddRow({std::string("lookahead (ms)"), plan.lookahead_ms});
+    t.AddRow({std::string("lockstep windows"),
+              static_cast<long long>(ssim.windows())});
+    t.AddRow({std::string("cross-shard messages"),
+              static_cast<long long>(ssim.cross_shard_messages())});
+    t.AddRow({std::string("critical path (ms)"),
+              ssim.critical_path_ns() / 1e6});
+  }
   t.AddRow({std::string("protocol events"),
             static_cast<long long>(protocol_events)});
   t.AddRow({std::string("heartbeats delivered"),
-            static_cast<long long>(hb.heartbeats_delivered())});
+            static_cast<long long>(hb_delivered)});
   t.AddRow({std::string("SOMO gathers"),
-            static_cast<long long>(somo.gathers_completed())});
-  t.AddRow({std::string("SOMO root staleness (ms)"), somo.RootStalenessMs()});
+            static_cast<long long>(root_somo.gathers_completed())});
+  t.AddRow({std::string("SOMO root staleness (ms)"),
+            root_somo.RootStalenessMs()});
   t.AddRow({std::string("AMCast baseline height (ms)"), base});
   t.AddRow({std::string("planned height (ms)"), r.height_true});
   t.AddRow({std::string("improvement"),
@@ -788,8 +864,12 @@ int CmdFullstack(util::FlagParser& flags) {
   report.AddConfig("strategy", strategy_name);
   report.AddConfig("somo_interval_ms", interval);
   report.AddConfig("horizon_ms", horizon);
+  report.AddConfig("shards", static_cast<std::int64_t>(shards));
+  report.AddConfig("join", join_mode);
   // Wall-clock build time stays out of the results (same-seed reports must
   // diff clean); it lives in the metrics profile section like every timer.
+  // Keys ending in _ms are likewise skipped by tools/compare_reports.py, so
+  // the join and critical-path wall times may sit in the results.
   report.AddResult("routers", static_cast<double>(topo.router_count()));
   report.AddResult("hosts", static_cast<double>(topo.host_count()));
   report.AddResult("oracle_bytes", static_cast<double>(oracle.MemoryBytes()));
@@ -797,17 +877,30 @@ int CmdFullstack(util::FlagParser& flags) {
                    static_cast<double>(oracle.core_node_count()));
   report.AddResult("oracle_gateways",
                    static_cast<double>(oracle.gateway_count()));
+  report.AddResult("setup_join_ms", join_ms);
   report.AddResult("protocol_events", static_cast<double>(protocol_events));
-  report.AddResult("heartbeats_delivered",
-                   static_cast<double>(hb.heartbeats_delivered()));
+  report.AddResult("lockstep_windows", static_cast<double>(ssim.windows()));
+  report.AddResult("cross_shard_messages",
+                   static_cast<double>(ssim.cross_shard_messages()));
+  report.AddResult("critical_path_ms", ssim.critical_path_ns() / 1e6);
+  report.AddResult("heartbeats_delivered", static_cast<double>(hb_delivered));
   report.AddResult("somo_gathers",
-                   static_cast<double>(somo.gathers_completed()));
-  report.AddResult("somo_root_staleness_ms", somo.RootStalenessMs());
+                   static_cast<double>(root_somo.gathers_completed()));
+  report.AddResult("somo_root_staleness_ms", root_somo.RootStalenessMs());
   report.AddResult("base_height_ms", base);
   report.AddResult("planned_height_ms", r.height_true);
   report.AddResult("improvement", alm::Improvement(base, r.height_true));
   report.AddResult("helpers_used", static_cast<double>(r.helpers_used));
-  report.AttachMetrics(&sim.metrics());
+  // One registry per shard; merge in shard order (MergeFrom's fixed spec
+  // order keeps float sums reproducible). The 1-shard report attaches the
+  // single registry directly, exactly as the serial binary did.
+  obs::MetricsRegistry merged;
+  if (shards > 1) {
+    ssim.MergeMetrics(merged);
+    report.AttachMetrics(&merged);
+  } else {
+    report.AttachMetrics(&sim0.metrics());
+  }
   return FinishReport(report, report_path);
 }
 
@@ -924,7 +1017,11 @@ int CmdObserve(util::FlagParser& flags) {
     });
     somo.Start();
 
-    obs::TimeseriesSampler sampler;
+    // Decimating fill: were a scenario ever to outlive the buffer, the CSV
+    // would keep its full span at halved resolution instead of losing the
+    // start-up transient. The standard 60-cycle runs never fill it, so
+    // their bytes are unchanged.
+    obs::TimeseriesSampler sampler(4096, obs::FillPolicy::kDecimate);
     const std::string ts_path =
         ts_dir.empty() ? "" : ts_dir + "/observe_" + sc.name + ".csv";
     if (!ts_path.empty()) {

@@ -8,6 +8,8 @@
 # Usage: tools/run_tests.sh [--report] [preset...] # default: "default sanitize"
 #   tools/run_tests.sh default              # quick pass only
 #   tools/run_tests.sh sanitize             # sanitizer pass only
+#   tools/run_tests.sh tsan                 # ThreadSanitizer, sharded-kernel
+#                                           # suites only (Shard*)
 #   tools/run_tests.sh --report default     # also run every CLI experiment
 #                                           # with --report and validate the
 #                                           # emitted p2preport/v1 JSON
@@ -31,6 +33,16 @@ fi
 
 for preset in "${presets[@]}"; do
   echo "==== preset: $preset ===="
+  if [ "$preset" = "tsan" ]; then
+    # ThreadSanitizer pass: only the sharded-kernel suites run threads, so
+    # build just their binary and run it directly with a Shard* filter —
+    # the multi-threaded TwoShard/mailbox paths are what TSan can catch
+    # (single-threaded suites under TSan add minutes and no coverage).
+    cmake --preset tsan
+    cmake --build --preset tsan -j "$(nproc)" --target sim_shard_tests
+    build-tsan/tests/sim_shard_tests --gtest_filter='Shard*'
+    continue
+  fi
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$(nproc)"
   ctest --preset "$preset" -j "$(nproc)"
@@ -65,6 +77,10 @@ if [ "$report_mode" = 1 ]; then
     "$cli" topo --hosts 300                --report "$out/topo.json"      >/dev/null
     "$cli" fullstack --preset 1200 --oracle hier --group 20 \
            --horizon-ms 10000 --report "$out/fullstack.json" >/dev/null
+    # Sharded kernel determinism: same seed, 2 shards — byte-identical
+    # reports across the a/b passes is the multi-shard contract.
+    "$cli" fullstack --preset 1200 --shards 2 --group 20 \
+           --horizon-ms 10000 --report "$out/fullstack-sharded.json" >/dev/null
     "$cli" observe --nodes 32 --horizon-ms 20000 --timeseries-dir "$out" \
            --report "$out/observe.json" >/dev/null
   done
