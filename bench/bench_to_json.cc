@@ -18,6 +18,7 @@
 #include "alm/amcast.h"
 #include "alm/critical.h"
 #include "alm/latency_matrix.h"
+#include "alm/mesh.h"
 #include "net/latency_oracle.h"
 #include "net/transit_stub.h"
 #include "obs/metrics.h"
@@ -308,6 +309,23 @@ void BM_PlanSessionMetrics(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlanSessionMetrics)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+// The mesh planner on the same instances: build + refine + extract. Not a
+// like-for-like race against BM_PlanSession (different overlay, different
+// robustness story — see docs/PROTOCOLS.md) but the rows pin the cost of
+// the self-organizing baseline so `compare` runs stay predictable.
+void BM_PlanSessionMesh(benchmark::State& state) {
+  auto& fx = SharedFixture();
+  const auto pin =
+      MakePlanInput(fx, static_cast<std::size_t>(state.range(0)));
+  alm::MeshPlanner planner;
+  for (auto _ : state) {
+    const auto r = planner.Plan(pin);
+    benchmark::DoNotOptimize(r.height_true);
+  }
+}
+BENCHMARK(BM_PlanSessionMesh)->Arg(100)->Arg(400)
     ->Unit(benchmark::kMillisecond);
 
 // After the benchmarks, run a short fully-instrumented workload and write

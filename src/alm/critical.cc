@@ -1,137 +1,10 @@
 #include "alm/critical.h"
 
-#include <vector>
-
-#include "obs/scope_timer.h"
-#include "util/check.h"
-
 namespace p2p::alm {
 
-std::string StrategyName(Strategy s) {
-  switch (s) {
-    case Strategy::kAmcast: return "AMCast";
-    case Strategy::kAmcastAdjust: return "AMCast+adj";
-    case Strategy::kCritical: return "Critical";
-    case Strategy::kCriticalAdjust: return "Critical+adj";
-    case Strategy::kLeafset: return "Leafset";
-    case Strategy::kLeafsetAdjust: return "Leafset+adj";
-  }
-  return "?";
-}
-
-bool StrategyUsesHelpers(Strategy s) {
-  return s != Strategy::kAmcast && s != Strategy::kAmcastAdjust;
-}
-
-bool StrategyUsesAdjust(Strategy s) {
-  return s == Strategy::kAmcastAdjust || s == Strategy::kCriticalAdjust ||
-         s == Strategy::kLeafsetAdjust;
-}
-
-bool StrategyUsesEstimates(Strategy s) {
-  return s == Strategy::kLeafset || s == Strategy::kLeafsetAdjust;
-}
-
 PlanResult PlanSession(const PlanInput& input, Strategy strategy) {
-  obs::ScopeTimer plan_timer(
-      input.metrics != nullptr ? &input.metrics->profile("alm.plan_ms")
-                               : nullptr);
-  P2P_CHECK_MSG(input.true_latency != nullptr || input.oracle != nullptr,
-                "PlanSession needs a true latency fn or an oracle");
-  P2P_CHECK_MSG(!StrategyUsesEstimates(strategy) ||
-                    input.estimated_latency != nullptr,
-                "Leafset strategies need an estimated latency");
-  const net::LatencyOracle* oracle = input.oracle;
-  LatencyFn truth = input.true_latency;
-  if (truth == nullptr) {
-    truth = [oracle](ParticipantId a, ParticipantId b) {
-      return oracle->Latency(a, b);
-    };
-  }
-
-  // Planning latency: true for oracle strategies; hybrid for Leafset.
-  LatencyFn planning = truth;
-  if (StrategyUsesEstimates(strategy)) {
-    std::vector<char> is_member(input.degree_bounds.size(), 0);
-    is_member[input.root] = 1;
-    for (const ParticipantId m : input.members) is_member[m] = 1;
-    planning = [is_member = std::move(is_member), truth,
-                est = input.estimated_latency](ParticipantId a,
-                                               ParticipantId b) {
-      return (is_member[a] && is_member[b]) ? truth(a, b) : est(a, b);
-    };
-  }
-
-  AmcastInput ain;
-  ain.degree_bounds = input.degree_bounds;
-  ain.root = input.root;
-  ain.members = input.members;
-  if (StrategyUsesHelpers(strategy))
-    ain.helper_candidates = input.helper_candidates;
-
-  AmcastOptions aopt = input.amcast;
-  aopt.selection = StrategyUsesHelpers(strategy)
-                       ? (input.amcast.selection == HelperSelection::kNone
-                              ? HelperSelection::kMinimaxHeuristic
-                              : input.amcast.selection)
-                       : HelperSelection::kNone;
-
-  // One planning matrix per session: every latency the build (and the
-  // final planning-height evaluation) reads becomes a flat array load
-  // instead of a std::function dispatch. Root and members are the core;
-  // helper candidates are satellites (their pairwise block is never read).
-  std::vector<ParticipantId> core_ids;
-  core_ids.reserve(1 + ain.members.size());
-  core_ids.push_back(ain.root);
-  core_ids.insert(core_ids.end(), ain.members.begin(), ain.members.end());
-  // An oracle without estimate-based planning means every planning latency
-  // is a truth query: fill the matrix with direct oracle calls instead of
-  // going through the std::function per pair.
-  const bool oracle_direct =
-      oracle != nullptr && input.true_latency == nullptr &&
-      !StrategyUsesEstimates(strategy);
-  const std::vector<ParticipantId> satellite_ids =
-      aopt.selection != HelperSelection::kNone ? ain.helper_candidates
-                                               : std::vector<ParticipantId>{};
-  const LatencyMatrix planning_matrix =
-      oracle_direct ? LatencyMatrix(input.degree_bounds.size(), core_ids,
-                                    satellite_ids, *oracle)
-                    : LatencyMatrix(input.degree_bounds.size(), core_ids,
-                                    satellite_ids, planning);
-
-  AmcastResult built = BuildAmcastTree(ain, planning_matrix, aopt);
-
-  PlanResult result{std::move(built.tree), 0.0, 0.0, built.helpers_used, {}};
-  if (StrategyUsesAdjust(strategy)) {
-    // Adjustment always runs on TRUE latencies: by this point every tree
-    // node — helpers included — has been contacted to reserve its degree,
-    // so the session can measure the actual delays among its (small) tree
-    // membership. This is why the paper finds adjustment "remarkably
-    // effective especially for Leafset": it repairs the damage done by
-    // coordinate-estimate errors during helper selection.
-    const LatencyMatrix true_matrix =
-        oracle != nullptr && input.true_latency == nullptr
-            ? LatencyMatrix(input.degree_bounds.size(), result.tree.members(),
-                            *oracle)
-            : LatencyMatrix(input.degree_bounds.size(), result.tree.members(),
-                            truth);
-    result.adjust_stats = AdjustTree(result.tree, input.degree_bounds,
-                                     true_matrix, input.adjust);
-    result.height_true = result.tree.Height(true_matrix);
-  } else {
-    // One O(members) evaluation pass; not worth a pairwise matrix fill.
-    result.height_true = result.tree.Height(truth);
-  }
-  result.height_planning = result.tree.Height(planning_matrix);
-  if (input.metrics != nullptr) {
-    input.metrics->counter("alm.sessions.planned").Inc();
-    if (StrategyUsesAdjust(strategy))
-      input.metrics->counter("alm.sessions.adjusted").Inc();
-    input.metrics->histogram("alm.plan.height_ms").Add(result.height_true);
-    input.metrics->histogram("alm.plan.helpers")
-        .Add(static_cast<double>(result.helpers_used));
-  }
-  return result;
+  TreePlanner planner(OptionsForStrategy(strategy));
+  return planner.Plan(input);
 }
 
 }  // namespace p2p::alm

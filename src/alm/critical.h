@@ -1,73 +1,19 @@
-// Named planning strategies for an ALM session — the six lines of the
-// paper's Figure 8 plus the theoretical bound:
-//   AMCast            greedy DB-MHT over M(s) only
-//   AMCast+adjust     ... followed by tree adjustment
-//   Critical          helper recruitment with oracle pairwise latency
-//   Critical+adjust
-//   Leafset           helper recruitment with coordinate-estimated latency
-//   Leafset+adjust    (the practical algorithm the paper recommends)
-//
-// The Leafset strategies plan with a hybrid latency: session members know
-// their true pairwise latencies (a small group can measure directly), while
-// any pair involving a helper candidate is judged through the coordinate
-// estimate — "the one used the leafset estimation for vicinity judgment".
-// Every strategy's resulting tree is evaluated under the TRUE latency.
+// Compatibility shim. The strategy vocabulary now lives in alm/strategy.h
+// and the planning entry points in alm/planner.h (TreePlanner behind the
+// alm::Planner interface); this header re-exports both so pre-interface
+// includers keep compiling for one release. New code should construct a
+// planner (directly or via PlannerRegistry) instead of calling
+// PlanSession().
 #pragma once
 
-#include <string>
-
-#include "alm/adjust.h"
-#include "alm/amcast.h"
-#include "alm/session.h"
-#include "net/latency_oracle.h"
-#include "obs/metrics.h"
+#include "alm/planner.h"
+#include "alm/strategy.h"
 
 namespace p2p::alm {
 
-enum class Strategy {
-  kAmcast,
-  kAmcastAdjust,
-  kCritical,
-  kCriticalAdjust,
-  kLeafset,
-  kLeafsetAdjust,
-};
-
-std::string StrategyName(Strategy s);
-bool StrategyUsesHelpers(Strategy s);
-bool StrategyUsesAdjust(Strategy s);
-bool StrategyUsesEstimates(Strategy s);
-
-struct PlanInput {
-  std::vector<int> degree_bounds;  // by participant id
-  ParticipantId root = kNoParticipant;
-  std::vector<ParticipantId> members;  // excluding root
-  std::vector<ParticipantId> helper_candidates;
-  LatencyFn true_latency;
-  // Coordinate-based estimate; required only for Leafset strategies.
-  LatencyFn estimated_latency;
-  // When set, planning matrices are filled by direct oracle calls (no
-  // std::function dispatch per pair) and `true_latency` may be left null —
-  // participant ids must then be host indices into the oracle. Leafset
-  // strategies still need `estimated_latency`; a non-null `true_latency`
-  // overrides the oracle for truth queries (hybrid test setups).
-  const net::LatencyOracle* oracle = nullptr;
-  AmcastOptions amcast;   // helper_radius / helper_min_degree knobs
-  AdjustOptions adjust;
-  // Optional instrumentation: alm.plan.* histograms and counters plus the
-  // wall-clock alm.plan_ms profile. Leave null on parallel planning paths —
-  // the registry is not thread-safe.
-  obs::MetricsRegistry* metrics = nullptr;
-};
-
-struct PlanResult {
-  MulticastTree tree;
-  double height_true = 0.0;      // evaluated with true latency
-  double height_planning = 0.0;  // evaluated with the planning latency
-  std::size_t helpers_used = 0;
-  AdjustStats adjust_stats;
-};
-
+// Equivalent to TreePlanner(OptionsForStrategy(strategy)).Plan(input) and
+// byte-identical — results and metric snapshots — to the pre-interface
+// implementation (enforced by tests/alm_planner_test.cc).
 PlanResult PlanSession(const PlanInput& input, Strategy strategy);
 
 }  // namespace p2p::alm

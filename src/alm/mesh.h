@@ -1,0 +1,72 @@
+// Self-organizing unstructured multicast mesh (Ripeanu et al., "In Search
+// of Simplicity" — PAPERS.md), as a second planner behind alm::Planner.
+//
+// Construction is decentralized in spirit and deterministic in execution:
+// every session member joins by linking to a uniformly random already-
+// connected node with free degree, adds random extra links up to a target
+// degree, then runs a fixed number of local refinement rounds — probe a
+// random node, and if it is closer (latency oracle) than the current worst
+// neighbor whose removal keeps the mesh connected, rewire. Data delivery is
+// flood/prune: a message takes every mesh edge, a node keeps the first copy
+// — so the effective dissemination structure per source is the shortest-
+// path tree over the mesh, which DoPlan extracts as a MulticastTree. That
+// keeps every PlanResult metric (height_true, stress via fanout, helper
+// load) directly comparable with TreePlanner under identical seeds.
+//
+// What the mesh buys is robustness, and what it pays is overhead: every
+// join/probe/rewire is counted into PlanResult::maintenance_messages, and
+// Repair() models the local recovery story (disrupted components re-probe
+// for alive mesh nodes; no source-side recomputation) against the tree
+// planners' global re-plan. The `compare` CLI experiment puts the two
+// stories side by side under none/loss/partition scenarios.
+#pragma once
+
+#include <cstdint>
+
+#include "alm/planner.h"
+
+namespace p2p::alm {
+
+struct MeshOptions {
+  // Desired neighbor count per node; the per-participant degree bound still
+  // caps hard (a node with bound 2 keeps 2 neighbors).
+  std::size_t target_degree = 4;
+  // Local refinement rounds after construction; each round gives every
+  // node one random probe and at most one rewire.
+  std::size_t refine_rounds = 12;
+  // Random-probe attempts per node when topping up to target_degree.
+  std::size_t extra_link_attempts = 8;
+  // Modelled cost of a probe to a dead node (timeout) during repair, ms.
+  double probe_timeout_ms = 200.0;
+  // Mixed with the session root and member set to seed the mesh RNG, so
+  // distinct sessions get distinct meshes but the same input replans
+  // identically.
+  std::uint64_t seed = 0x6d657368;  // "mesh"
+};
+
+class MeshPlanner : public Planner {
+ public:
+  MeshPlanner() = default;
+  explicit MeshPlanner(MeshOptions options) : options_(options) {}
+
+  std::string name() const override { return "mesh"; }
+  const MeshOptions& options() const { return options_; }
+
+  // Mesh repair is local: the deterministically rebuilt pre-failure mesh
+  // loses the failed nodes, each disconnected component probes random
+  // nodes until it finds an alive, root-reachable one with free degree
+  // (falling back to the nearest reachable node when every candidate is
+  // saturated), and the dissemination tree is re-extracted. Components
+  // repair in parallel, so repair_latency_ms is the max over components of
+  // their summed probe round-trips (timeouts included).
+  RepairOutcome Repair(const PlanInput& original,
+                       const std::vector<ParticipantId>& failed) override;
+
+ protected:
+  PlanResult DoPlan(const PlanInput& input) override;
+
+ private:
+  MeshOptions options_;
+};
+
+}  // namespace p2p::alm

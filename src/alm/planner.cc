@@ -1,0 +1,256 @@
+#include "alm/planner.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "alm/mesh.h"
+#include "obs/scope_timer.h"
+#include "util/check.h"
+
+namespace p2p::alm {
+
+std::size_t MaxFanout(const MulticastTree& tree) {
+  std::size_t fanout = 0;
+  for (const ParticipantId v : tree.members())
+    fanout = std::max(fanout, tree.children(v).size());
+  return fanout;
+}
+
+Planner::~Planner() = default;
+
+PlanResult Planner::Plan(const PlanInput& input) {
+  PlanResult result = DoPlan(input);
+  if (input.metrics != nullptr && input.planner_metrics) {
+    const std::string ns = "alm.planner." + name() + ".";
+    input.metrics->counter(ns + "plans").Inc();
+    input.metrics->counter(ns + "maintenance_msgs")
+        .Inc(static_cast<double>(result.maintenance_messages));
+    input.metrics->histogram(ns + "height_ms").Add(result.height_true);
+    input.metrics->histogram(ns + "stress")
+        .Add(static_cast<double>(MaxFanout(result.tree)));
+    input.metrics->histogram(ns + "helpers")
+        .Add(static_cast<double>(result.helpers_used));
+  }
+  return result;
+}
+
+RepairOutcome Planner::Repair(const PlanInput& original,
+                              const std::vector<ParticipantId>& failed) {
+  std::vector<char> is_failed(original.degree_bounds.size(), 0);
+  for (const ParticipantId f : failed) {
+    P2P_CHECK_MSG(f != original.root, "cannot repair a failed root");
+    P2P_CHECK_MSG(f < is_failed.size(), "failed id out of range");
+    is_failed[f] = 1;
+  }
+
+  // Who the failures cut off: walk the pre-failure tree from the root,
+  // refusing to cross failed nodes; surviving tree nodes never reached are
+  // the disrupted set. (Helpers count too — they were forwarding.)
+  const PlanResult before = DoPlan(original);
+  RepairOutcome out;
+  {
+    std::vector<char> reached(original.degree_bounds.size(), 0);
+    std::vector<ParticipantId> stack{before.tree.root()};
+    reached[before.tree.root()] = 1;
+    while (!stack.empty()) {
+      const ParticipantId v = stack.back();
+      stack.pop_back();
+      for (const ParticipantId c : before.tree.children(v)) {
+        if (is_failed[c] || reached[c]) continue;
+        reached[c] = 1;
+        stack.push_back(c);
+      }
+    }
+    for (const ParticipantId v : before.tree.members())
+      if (!is_failed[v] && !reached[v]) ++out.disrupted;
+  }
+
+  // Re-plan over the survivors: failed ids leave the member/helper lists
+  // and contribute zero degree, so no planner configuration can route
+  // through them.
+  PlanInput rest = original;
+  const auto alive = [&](ParticipantId v) { return !is_failed[v]; };
+  rest.members.erase(
+      std::remove_if(rest.members.begin(), rest.members.end(),
+                     [&](ParticipantId v) { return !alive(v); }),
+      rest.members.end());
+  rest.helper_candidates.erase(
+      std::remove_if(rest.helper_candidates.begin(),
+                     rest.helper_candidates.end(),
+                     [&](ParticipantId v) { return !alive(v); }),
+      rest.helper_candidates.end());
+  for (const ParticipantId f : failed) rest.degree_bounds[f] = 0;
+
+  out.plan = Plan(rest);
+  out.repair_messages = 2 * out.plan.tree.size();
+  out.repair_latency_ms = 2.0 * out.plan.height_true;
+  return out;
+}
+
+TreePlannerOptions OptionsForStrategy(Strategy s) {
+  TreePlannerOptions opt;
+  opt.use_helpers = StrategyUsesHelpers(s);
+  opt.use_adjust = StrategyUsesAdjust(s);
+  opt.use_estimates = StrategyUsesEstimates(s);
+  return opt;
+}
+
+PlanResult TreePlanner::DoPlan(const PlanInput& input) {
+  obs::ScopeTimer plan_timer(
+      input.metrics != nullptr ? &input.metrics->profile("alm.plan_ms")
+                               : nullptr);
+  P2P_CHECK_MSG(input.true_latency != nullptr || input.oracle != nullptr,
+                "PlanSession needs a true latency fn or an oracle");
+  P2P_CHECK_MSG(!options_.use_estimates || input.estimated_latency != nullptr,
+                "Leafset strategies need an estimated latency");
+  const net::LatencyOracle* oracle = input.oracle;
+  LatencyFn truth = input.true_latency;
+  if (truth == nullptr) {
+    truth = [oracle](ParticipantId a, ParticipantId b) {
+      return oracle->Latency(a, b);
+    };
+  }
+
+  // Planning latency: true for oracle strategies; hybrid for Leafset.
+  LatencyFn planning = truth;
+  if (options_.use_estimates) {
+    std::vector<char> is_member(input.degree_bounds.size(), 0);
+    is_member[input.root] = 1;
+    for (const ParticipantId m : input.members) is_member[m] = 1;
+    planning = [is_member = std::move(is_member), truth,
+                est = input.estimated_latency](ParticipantId a,
+                                               ParticipantId b) {
+      return (is_member[a] && is_member[b]) ? truth(a, b) : est(a, b);
+    };
+  }
+
+  AmcastInput ain;
+  ain.degree_bounds = input.degree_bounds;
+  ain.root = input.root;
+  ain.members = input.members;
+  if (options_.use_helpers) ain.helper_candidates = input.helper_candidates;
+
+  AmcastOptions aopt = input.amcast;
+  aopt.selection = options_.use_helpers
+                       ? (input.amcast.selection == HelperSelection::kNone
+                              ? HelperSelection::kMinimaxHeuristic
+                              : input.amcast.selection)
+                       : HelperSelection::kNone;
+
+  // One planning matrix per session: every latency the build (and the
+  // final planning-height evaluation) reads becomes a flat array load
+  // instead of a std::function dispatch. Root and members are the core;
+  // helper candidates are satellites (their pairwise block is never read).
+  std::vector<ParticipantId> core_ids;
+  input.AppendAllMembers(core_ids);
+  // An oracle without estimate-based planning means every planning latency
+  // is a truth query: fill the matrix with direct oracle calls instead of
+  // going through the std::function per pair.
+  const bool oracle_direct = oracle != nullptr &&
+                             input.true_latency == nullptr &&
+                             !options_.use_estimates;
+  const std::vector<ParticipantId> satellite_ids =
+      aopt.selection != HelperSelection::kNone ? ain.helper_candidates
+                                               : std::vector<ParticipantId>{};
+  const LatencyMatrix planning_matrix =
+      oracle_direct ? LatencyMatrix(input.degree_bounds.size(), core_ids,
+                                    satellite_ids, *oracle)
+                    : LatencyMatrix(input.degree_bounds.size(), core_ids,
+                                    satellite_ids, planning);
+
+  AmcastResult built = BuildAmcastTree(ain, planning_matrix, aopt);
+
+  PlanResult result{std::move(built.tree), 0.0, 0.0, built.helpers_used,
+                    {}, 0};
+  if (options_.use_adjust) {
+    // Adjustment always runs on TRUE latencies: by this point every tree
+    // node — helpers included — has been contacted to reserve its degree,
+    // so the session can measure the actual delays among its (small) tree
+    // membership. This is why the paper finds adjustment "remarkably
+    // effective especially for Leafset": it repairs the damage done by
+    // coordinate-estimate errors during helper selection.
+    const LatencyMatrix true_matrix =
+        oracle != nullptr && input.true_latency == nullptr
+            ? LatencyMatrix(input.degree_bounds.size(), result.tree.members(),
+                            *oracle)
+            : LatencyMatrix(input.degree_bounds.size(), result.tree.members(),
+                            truth);
+    result.adjust_stats = AdjustTree(result.tree, input.degree_bounds,
+                                     true_matrix, input.adjust);
+    result.height_true = result.tree.Height(true_matrix);
+  } else {
+    // One O(members) evaluation pass; not worth a pairwise matrix fill.
+    result.height_true = result.tree.Height(truth);
+  }
+  result.height_planning = result.tree.Height(planning_matrix);
+  if (input.metrics != nullptr) {
+    input.metrics->counter("alm.sessions.planned").Inc();
+    if (options_.use_adjust)
+      input.metrics->counter("alm.sessions.adjusted").Inc();
+    input.metrics->histogram("alm.plan.height_ms").Add(result.height_true);
+    input.metrics->histogram("alm.plan.helpers")
+        .Add(static_cast<double>(result.helpers_used));
+  }
+  return result;
+}
+
+PlannerRegistry& PlannerRegistry::Instance() {
+  static PlannerRegistry registry;
+  return registry;
+}
+
+PlannerRegistry::PlannerRegistry() {
+  factories_["tree"] = [] { return std::make_unique<TreePlanner>(); };
+  factories_["mesh"] = [] { return std::make_unique<MeshPlanner>(); };
+  // The six paper strategies, addressable by their CLI spellings so the
+  // conformance battery (and any config file) can reach every corner of
+  // the TreePlanner option cube through the factory.
+  for (const Strategy s :
+       {Strategy::kAmcast, Strategy::kAmcastAdjust, Strategy::kCritical,
+        Strategy::kCriticalAdjust, Strategy::kLeafset,
+        Strategy::kLeafsetAdjust}) {
+    std::string key;
+    switch (s) {
+      case Strategy::kAmcast: key = "amcast"; break;
+      case Strategy::kAmcastAdjust: key = "amcast+adj"; break;
+      case Strategy::kCritical: key = "critical"; break;
+      case Strategy::kCriticalAdjust: key = "critical+adj"; break;
+      case Strategy::kLeafset: key = "leafset"; break;
+      case Strategy::kLeafsetAdjust: key = "leafset+adj"; break;
+    }
+    factories_[key] = [s] {
+      return std::make_unique<TreePlanner>(OptionsForStrategy(s));
+    };
+  }
+}
+
+void PlannerRegistry::Register(const std::string& name, Factory factory) {
+  P2P_CHECK_MSG(factories_.find(name) == factories_.end(),
+                "planner already registered: " << name);
+  factories_[name] = std::move(factory);
+}
+
+bool PlannerRegistry::Contains(const std::string& name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::unique_ptr<Planner> PlannerRegistry::Create(
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  P2P_CHECK_MSG(it != factories_.end(), "unknown planner: " << name);
+  return it->second();
+}
+
+std::vector<std::string> PlannerRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<Planner> CreatePlanner(const std::string& name) {
+  return PlannerRegistry::Instance().Create(name);
+}
+
+}  // namespace p2p::alm

@@ -22,10 +22,18 @@ struct SessionSpec {
   double start_ms = 0.0;
   double end_ms = -1.0;
 
+  // Members including the root, appended to `out` — the planning hot paths
+  // reuse one scratch vector across sessions instead of allocating per call.
+  void AppendAllMembers(std::vector<ParticipantId>& out) const {
+    out.reserve(out.size() + 1 + members.size());
+    out.push_back(root);
+    out.insert(out.end(), members.begin(), members.end());
+  }
+
   // Members including the root.
   std::vector<ParticipantId> AllMembers() const {
-    std::vector<ParticipantId> all{root};
-    all.insert(all.end(), members.begin(), members.end());
+    std::vector<ParticipantId> all;
+    AppendAllMembers(all);
     return all;
   }
 };

@@ -59,8 +59,8 @@ TransitStubParams PresetParams(TopologyPreset preset) {
 
 TopologyPreset ParseTopologyPreset(const std::string& name) {
   if (name == "1200" || name == "paper") return TopologyPreset::kPaper1200;
-  if (name == "10k") return TopologyPreset::kHosts10k;
-  if (name == "50k") return TopologyPreset::kHosts50k;
+  if (name == "10k" || name == "10000") return TopologyPreset::kHosts10k;
+  if (name == "50k" || name == "50000") return TopologyPreset::kHosts50k;
   throw util::CheckError("unknown topology preset '" + name +
                          "' (1200|10k|50k)");
 }

@@ -94,6 +94,22 @@ double MetricsRegistry::Value(const std::string& name) const {
   return 0.0;
 }
 
+std::vector<std::pair<std::string, double>> MetricsRegistry::ValuesWithPrefix(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, double>> out;
+  const auto starts_with = [&](const std::string& name) {
+    return name.compare(0, prefix.size(), prefix) == 0;
+  };
+  // Ordered maps: walk from lower_bound until the prefix stops matching.
+  for (auto it = counters_.lower_bound(prefix);
+       it != counters_.end() && starts_with(it->first); ++it)
+    out.emplace_back(it->first, it->second.value());
+  for (auto it = gauges_.lower_bound(prefix);
+       it != gauges_.end() && starts_with(it->first); ++it)
+    out.emplace_back(it->first, it->second.value());
+  return out;
+}
+
 namespace {
 
 void WriteHistogram(JsonWriter& w, const Histogram& h) {

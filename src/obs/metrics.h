@@ -22,6 +22,8 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace p2p::obs {
 
@@ -110,6 +112,12 @@ class MetricsRegistry {
   // Value of a named counter or gauge (counters shadow gauges), 0.0 when
   // absent — convenient for timeseries probes.
   double Value(const std::string& name) const;
+
+  // All counters then gauges whose names start with `prefix`, each section
+  // name-sorted — folds a dotted namespace (e.g. "alm.planner.") into a
+  // report or table without enumerating names at the call site.
+  std::vector<std::pair<std::string, double>> ValuesWithPrefix(
+      const std::string& prefix) const;
 
   // Deterministic JSON snapshot ("p2pmetrics/v1"): sections sorted, names
   // sorted, numbers rendered by JsonWriter::FormatNumber. Two same-seed

@@ -72,11 +72,14 @@ MultiSessionResult RunMultiSessionExperiment(
     in.amcast = params.options.amcast;
     in.adjust = params.options.adjust;
 
-    const double base_height =
-        PlanSession(in, alm::Strategy::kAmcast).height_true;
+    // Bounds always come from the tree-planner corners of the option cube
+    // (the paper's Figure 8 frame), whatever planner the market phase runs.
+    alm::TreePlanner base(alm::OptionsForStrategy(alm::Strategy::kAmcast));
+    const double base_height = base.Plan(in).height_true;
 
-    const double lb_height =
-        PlanSession(in, alm::Strategy::kAmcastAdjust).height_true;
+    alm::TreePlanner lower(
+        alm::OptionsForStrategy(alm::Strategy::kAmcastAdjust));
+    const double lb_height = lower.Plan(in).height_true;
     bounds[s].lb_improvement = alm::Improvement(base_height, lb_height);
     if (!shards.empty()) {
       obs::MetricsRegistry& shard = *shards[s];
@@ -88,17 +91,19 @@ MultiSessionResult RunMultiSessionExperiment(
 
     if (params.compute_upper_bound) {
       alm::PlanInput solo = in;
+      std::vector<alm::ParticipantId> all;
+      spec.AppendAllMembers(all);
       std::vector<char> member(pool.size(), 0);
-      member[spec.root] = 1;
-      for (const auto m : spec.members) member[m] = 1;
+      for (const auto m : all) member[m] = 1;
       for (std::size_t v = 0; v < pool.size(); ++v) {
         if (!member[v] &&
             pool.degree_bound(v) >= params.options.helper_min_available)
           solo.helper_candidates.push_back(v);
       }
       solo.estimated_latency = pool.EstimatedLatencyFn();
-      const double ub_height =
-          PlanSession(solo, alm::Strategy::kLeafsetAdjust).height_true;
+      alm::TreePlanner upper(
+          alm::OptionsForStrategy(alm::Strategy::kLeafsetAdjust));
+      const double ub_height = upper.Plan(solo).height_true;
       bounds[s].ub_improvement = alm::Improvement(base_height, ub_height);
       if (!shards.empty()) {
         obs::MetricsRegistry& shard = *shards[s];

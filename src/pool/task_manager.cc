@@ -9,9 +9,18 @@ namespace p2p::pool {
 
 TaskManager::TaskManager(ResourcePool& pool, alm::SessionSpec spec,
                          TaskManagerOptions options)
-    : pool_(pool), spec_(std::move(spec)), options_(options),
+    : pool_(pool), spec_(std::move(spec)), options_(std::move(options)),
       tree_(pool.size()) {
   P2P_CHECK(spec_.root < pool_.size());
+  // "tree" keeps the per-task-manager Strategy knob meaningful; any other
+  // registry name takes that planner's own defaults.
+  const std::string& planner_name = options_.planner.empty()
+                                        ? pool_.config().default_planner
+                                        : options_.planner;
+  planner_ = planner_name == "tree"
+                 ? std::make_unique<alm::TreePlanner>(
+                       alm::OptionsForStrategy(options_.strategy))
+                 : alm::CreatePlanner(planner_name);
   P2P_CHECK(spec_.priority >= somo::kHighestPriority &&
             spec_.priority <= somo::kLowestPriority);
   is_member_.assign(pool_.size(), 0);
@@ -95,7 +104,7 @@ ScheduleOutcome TaskManager::Schedule(const somo::AggregateReport* view) {
       in.helper_candidates.push_back(v);
   }
   in.true_latency = pool_.TrueLatencyFn();
-  if (alm::StrategyUsesEstimates(options_.strategy))
+  if (planner_->NeedsEstimates())
     in.estimated_latency = pool_.EstimatedLatencyFn();
   in.amcast = options_.amcast;
   in.adjust = options_.adjust;
@@ -104,9 +113,9 @@ ScheduleOutcome TaskManager::Schedule(const somo::AggregateReport* view) {
   // members (a host in two conferences), the shared node's guaranteed
   // degree is split and the DB-MHT can become infeasible. Degrade
   // gracefully: report failure instead of crashing the market.
-  alm::PlanResult plan{alm::MulticastTree(0), 0.0, 0.0, 0, {}};
+  alm::PlanResult plan{alm::MulticastTree(0), 0.0, 0.0, 0, {}, 0};
   try {
-    plan = PlanSession(in, options_.strategy);
+    plan = planner_->Plan(in);
   } catch (const util::CheckError&) {
     return outcome;  // ok == false; previous reservation already released
   }

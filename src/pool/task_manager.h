@@ -6,15 +6,21 @@
 // never attempted."
 #pragma once
 
+#include <memory>
+#include <string>
 #include <vector>
 
-#include "alm/critical.h"
+#include "alm/planner.h"
 #include "alm/session.h"
 #include "pool/resource_pool.h"
 
 namespace p2p::pool {
 
 struct TaskManagerOptions {
+  // alm::PlannerRegistry name; empty defers to PoolConfig::default_planner.
+  // "tree" builds a TreePlanner configured from `strategy` below; any other
+  // name is created through the registry (e.g. "mesh").
+  std::string planner;
   alm::Strategy strategy = alm::Strategy::kLeafsetAdjust;
   alm::AmcastOptions amcast;
   alm::AdjustOptions adjust;
@@ -85,6 +91,7 @@ class TaskManager {
   ResourcePool& pool_;
   alm::SessionSpec spec_;
   TaskManagerOptions options_;
+  std::unique_ptr<alm::Planner> planner_;
   std::vector<char> is_member_;
   alm::MulticastTree tree_;
   bool scheduled_ = false;

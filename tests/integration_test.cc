@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "alm/bounds.h"
+#include "alm/critical.h"
 #include "core/pool_api.h"
 #include "dht/heartbeat.h"
 #include "somo/somo.h"

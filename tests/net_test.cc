@@ -340,7 +340,9 @@ TEST(TopologyPreset, ParseNamesRoundTrip) {
   EXPECT_EQ(ParseTopologyPreset("1200"), TopologyPreset::kPaper1200);
   EXPECT_EQ(ParseTopologyPreset("paper"), TopologyPreset::kPaper1200);
   EXPECT_EQ(ParseTopologyPreset("10k"), TopologyPreset::kHosts10k);
+  EXPECT_EQ(ParseTopologyPreset("10000"), TopologyPreset::kHosts10k);
   EXPECT_EQ(ParseTopologyPreset("50k"), TopologyPreset::kHosts50k);
+  EXPECT_EQ(ParseTopologyPreset("50000"), TopologyPreset::kHosts50k);
   EXPECT_THROW(ParseTopologyPreset("2M"), util::CheckError);
   for (const auto p :
        {TopologyPreset::kPaper1200, TopologyPreset::kHosts10k,

@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
-"""Gate the scale sweeps: BENCH_kernel.json and BENCH_net.json.
+"""Gate the scale sweeps: BENCH_kernel.json, BENCH_net.json, BENCH_alm.json.
 
-Dispatches on the "schema" field of the input file.
+Dispatches on the "schema" field of the input file; a file with no
+"schema" but a top-level "benchmarks" list is recognised as
+google-benchmark JSON (what bench_to_json writes to BENCH_alm.json).
 
 p2pkernelbench/v1 — bench_kernel drives an identical synthetic protocol
 mix (heartbeats, SOMO reports, transport deliveries, failure-timeout
@@ -35,6 +37,17 @@ sequence against both. Checks, at every preset with hosts >=
   2. Queries: hier query_ns / flat query_ns must not exceed
      --max-query-ratio (default 2.0).
 
+google-benchmark — bench_to_json's BENCH_alm.json. Checks, against a
+baseline of the same format (typically the committed BENCH_alm.json from
+before a re-run):
+
+  1. Planner-interface overhead: every BM_PlanSession/N real_time must
+     not exceed baseline * --max-plan-regression (default 1.1) — the
+     tentpole acceptance gate that routing the paper strategies through
+     the alm::Planner virtual interface costs <= 10%.
+  2. BM_PlanSessionMesh rows are printed informationally (the mesh is a
+     different overlay, not a regression axis).
+
 Exit 0 when every check passes, 1 otherwise (the caller treats failure as
 a warning — benchmark noise should not fail a build).
 
@@ -42,6 +55,7 @@ Usage: check_bench_scale.py NEW.json [BASELINE.json]
            [--min-speedup 3.0] [--min-shard-speedup 2.5]
            [--max-regression 1.5]
            [--min-mem-reduction 5.0] [--max-query-ratio 2.0]
+           [--max-plan-regression 1.1]
 """
 
 import argparse
@@ -49,12 +63,15 @@ import json
 import sys
 
 KNOWN_SCHEMAS = ("p2pkernelbench/v1", "p2pnetbench/v1")
+GBENCH = "google-benchmark"
 
 
 def load(path):
     with open(path, encoding="utf-8") as f:
         data = json.load(f)
     schema = data.get("schema")
+    if schema is None and "benchmarks" in data:
+        return GBENCH, data
     if schema not in KNOWN_SCHEMAS:
         raise SystemExit(f"{path}: unknown schema {schema!r}")
     return schema, data
@@ -191,6 +208,61 @@ def check_net(data, args):
     return failures
 
 
+def gbench_rows(data):
+    # One row per benchmark instance, keyed by run_name ("BM_Foo/100").
+    # Runs with --benchmark_repetitions emit aggregate rows; prefer the
+    # median (robust against a noisy repetition) over a single-shot
+    # iteration row, and never mix the two for one name.
+    rows = {}
+    for b in data.get("benchmarks", []):
+        run_type = b.get("run_type", "iteration")
+        if run_type == "iteration":
+            rows.setdefault(b.get("run_name", b["name"]), b)
+        elif run_type == "aggregate" and b.get("aggregate_name") == "median":
+            rows[b["run_name"]] = b
+    return rows
+
+
+def check_alm(data, args):
+    rows = gbench_rows(data)
+    plan_rows = sorted(n for n in rows if n.startswith("BM_PlanSession/"))
+    if not plan_rows:
+        raise SystemExit("no BM_PlanSession rows recorded")
+    failures = 0
+
+    if args.baseline_json:
+        base_schema, base = load(args.baseline_json)
+        if base_schema != GBENCH:
+            raise SystemExit(f"{args.baseline_json}: schema mismatch")
+        base_rows = gbench_rows(base)
+        for name in plan_rows:
+            if name not in base_rows:
+                print(f"  --  {name}: not in baseline, skipped")
+                continue
+            unit = rows[name].get("time_unit", "ns")
+            new_t = rows[name]["real_time"]
+            base_t = base_rows[name]["real_time"]
+            limit = base_t * args.max_plan_regression
+            status = "ok" if new_t <= limit else "FAIL"
+            print(
+                f"{status:>4}  {name}: {new_t:.3f} {unit} vs baseline "
+                f"{base_t:.3f} (limit {limit:.3f}, "
+                f"x{args.max_plan_regression:.2f})"
+            )
+            if status == "FAIL":
+                failures += 1
+    else:
+        print("  --  no baseline given: BM_PlanSession regression gate skipped")
+
+    for name in sorted(n for n in rows if n.startswith("BM_PlanSessionMesh/")):
+        unit = rows[name].get("time_unit", "ns")
+        print(
+            f"  --  {name}: {rows[name]['real_time']:.3f} {unit} "
+            "(informational — mesh overlay, not a regression axis)"
+        )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json")
@@ -201,11 +273,14 @@ def main() -> int:
     parser.add_argument("--min-mem-reduction", type=float, default=5.0)
     parser.add_argument("--max-query-ratio", type=float, default=2.0)
     parser.add_argument("--net-scale-floor", type=int, default=10000)
+    parser.add_argument("--max-plan-regression", type=float, default=1.1)
     args = parser.parse_args()
 
     schema, data = load(args.bench_json)
     if schema == "p2pkernelbench/v1":
         failures = check_kernel(data, args)
+    elif schema == GBENCH:
+        failures = check_alm(data, args)
     else:
         failures = check_net(data, args)
     return 1 if failures else 0

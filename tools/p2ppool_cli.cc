@@ -14,6 +14,7 @@
 // --report FILE to additionally emit a structured "p2preport/v1" JSON run
 // report (tools/report_schema.json) with the effective configuration, the
 // headline numbers, and a metrics-registry snapshot.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -25,6 +26,7 @@
 
 #include "alm/bounds.h"
 #include "alm/critical.h"
+#include "alm/mesh.h"
 #include "dht/heartbeat.h"
 #include "net/shard_plan.h"
 #include "obs/run_report.h"
@@ -55,6 +57,8 @@ int Usage() {
       "  observe    SOMO self-monitoring vs ground truth under faults\n"
       "  topo       generate a transit-stub topology and print its stats\n"
       "  fullstack  DHT + SOMO + ALM planning on a preset-scale topology\n"
+      "  compare    planners side by side (tree vs mesh) under fault "
+      "scenarios\n"
       "common flags:\n"
       "  --report FILE   write a p2preport/v1 run_report.json\n");
   return 2;
@@ -94,16 +98,29 @@ std::vector<double> ParseDoubleList(const std::string& s) {
   return out;
 }
 
-alm::Strategy ParseStrategy(const std::string& s) {
-  if (s == "amcast") return alm::Strategy::kAmcast;
-  if (s == "amcast+adj") return alm::Strategy::kAmcastAdjust;
-  if (s == "critical") return alm::Strategy::kCritical;
-  if (s == "critical+adj") return alm::Strategy::kCriticalAdjust;
-  if (s == "leafset") return alm::Strategy::kLeafset;
-  if (s == "leafset+adj") return alm::Strategy::kLeafsetAdjust;
-  throw util::CheckError("unknown strategy '" + s +
-                         "' (amcast|amcast+adj|critical|critical+adj|"
-                         "leafset|leafset+adj)");
+// Build the planner a command asked for: "tree" honors the --strategy
+// flag (the six paper spellings name TreePlanner option-cube corners);
+// every other name goes through the registry. "mesh" additionally takes
+// the tuning knobs.
+std::unique_ptr<alm::Planner> MakePlanner(const std::string& planner_name,
+                                          alm::Strategy strategy,
+                                          const alm::MeshOptions& mesh_opts) {
+  if (planner_name == "tree")
+    return std::make_unique<alm::TreePlanner>(
+        alm::OptionsForStrategy(strategy));
+  if (planner_name == "mesh")
+    return std::make_unique<alm::MeshPlanner>(mesh_opts);
+  return alm::CreatePlanner(planner_name);
+}
+
+// Shared --mesh-degree/--mesh-rounds knobs (plan, fullstack, compare).
+alm::MeshOptions MeshFlagOptions(util::FlagParser& flags) {
+  alm::MeshOptions opts;
+  opts.target_degree = static_cast<std::size_t>(flags.GetInt(
+      "mesh-degree", 4, "mesh planner: target neighbors per node"));
+  opts.refine_rounds = static_cast<std::size_t>(flags.GetInt(
+      "mesh-rounds", 12, "mesh planner: local refinement rounds"));
+  return opts;
 }
 
 net::OracleKind ParseOracleKind(const std::string& s) {
@@ -132,6 +149,9 @@ int CmdPlan(util::FlagParser& flags) {
       flags.GetInt("seed", 1, "pool + sampling seed"));
   const std::string strategy_name =
       flags.GetString("strategy", "leafset+adj", "planning strategy");
+  const std::string planner_name = flags.GetString(
+      "planner", "tree", "planner (tree|mesh; tree honors --strategy)");
+  const alm::MeshOptions mesh_opts = MeshFlagOptions(flags);
   const double radius =
       flags.GetDouble("radius", 100.0, "helper radius R (ms)");
   const double stream =
@@ -169,13 +189,19 @@ int CmdPlan(util::FlagParser& flags) {
   obs::MetricsRegistry registry;
   in.metrics = &registry;
 
-  const alm::Strategy strategy = ParseStrategy(strategy_name);
+  const alm::Strategy strategy = alm::ParseStrategy(strategy_name);
   const double base = PlanSession(in, alm::Strategy::kAmcast).height_true;
-  const auto r = PlanSession(in, strategy);
+  // Legacy tree runs keep their pre-interface metric namespace (and so
+  // their report bytes); other planners opt into alm.planner.*.
+  in.planner_metrics = planner_name != "tree";
+  std::unique_ptr<alm::Planner> planner =
+      MakePlanner(planner_name, strategy, mesh_opts);
+  const auto r = planner->Plan(in);
   const double ideal =
       alm::IdealHeight(in.root, in.members, in.true_latency);
 
   util::Table t({"metric", "value"});
+  t.AddRow({std::string("planner"), planner_name});
   t.AddRow({std::string("strategy"), strategy_name});
   t.AddRow({std::string("group size"), static_cast<long long>(group)});
   t.AddRow({std::string("AMCast baseline height (ms)"), base});
@@ -184,11 +210,15 @@ int CmdPlan(util::FlagParser& flags) {
   t.AddRow({std::string("bound (ideal star)"), alm::Improvement(base, ideal)});
   t.AddRow({std::string("helpers used"),
             static_cast<long long>(r.helpers_used)});
+  if (r.maintenance_messages > 0)
+    t.AddRow({std::string("maintenance msgs"),
+              static_cast<long long>(r.maintenance_messages)});
   std::printf("%s", t.ToText(3).c_str());
 
   obs::RunReport report("plan");
   report.set_seed(seed);
   report.AddConfig("group", static_cast<std::int64_t>(group));
+  report.AddConfig("planner", planner_name);
   report.AddConfig("strategy", strategy_name);
   report.AddConfig("radius", radius);
   report.AddConfig("stream_kbps", stream);
@@ -197,6 +227,8 @@ int CmdPlan(util::FlagParser& flags) {
   report.AddResult("improvement", alm::Improvement(base, r.height_true));
   report.AddResult("ideal_bound", alm::Improvement(base, ideal));
   report.AddResult("helpers_used", static_cast<double>(r.helpers_used));
+  report.AddResult("maintenance_msgs",
+                   static_cast<double>(r.maintenance_messages));
   report.AttachMetrics(&registry);
   return FinishReport(report, report_path);
 }
@@ -664,6 +696,9 @@ int CmdFullstack(util::FlagParser& flags) {
       "helpers", 200, "helper candidates sampled for the session"));
   const std::string strategy_name = flags.GetString(
       "strategy", "critical+adj", "planning strategy (oracle-based only)");
+  const std::string planner_name = flags.GetString(
+      "planner", "tree", "planner (tree|mesh; tree honors --strategy)");
+  const alm::MeshOptions mesh_opts = MeshFlagOptions(flags);
   const double interval =
       flags.GetDouble("somo-interval-ms", 5000.0, "SOMO reporting cycle T");
   const double horizon =
@@ -680,8 +715,10 @@ int CmdFullstack(util::FlagParser& flags) {
   P2P_CHECK_MSG(join_mode == "batch" || join_mode == "per-host",
                 "unknown --join mode '" << join_mode << "'");
 
-  const alm::Strategy strategy = ParseStrategy(strategy_name);
-  if (alm::StrategyUsesEstimates(strategy))
+  const alm::Strategy strategy = alm::ParseStrategy(strategy_name);
+  std::unique_ptr<alm::Planner> planner =
+      MakePlanner(planner_name, strategy, mesh_opts);
+  if (planner->NeedsEstimates())
     throw util::CheckError(
         "fullstack has no coordinate estimates; pick an oracle strategy "
         "(amcast|amcast+adj|critical|critical+adj)");
@@ -788,7 +825,8 @@ int CmdFullstack(util::FlagParser& flags) {
       *somos[ssim.ShardOfHost(ring.node(somo_root_owner).host())];
 
   std::printf("planning one %zu-member session (%s) ...\n", group,
-              strategy_name.c_str());
+              planner_name == "tree" ? strategy_name.c_str()
+                                     : planner_name.c_str());
   // Paper degree distribution over all hosts, then the session sample and
   // a bounded helper-candidate sample (helper selection scans candidates
   // per recruited helper; the full 10k pool would be planning noise, the
@@ -813,10 +851,12 @@ int CmdFullstack(util::FlagParser& flags) {
   in.oracle = &oracle;
   in.metrics = &sim0.metrics();
   const double base = PlanSession(in, alm::Strategy::kAmcast).height_true;
-  const auto r = PlanSession(in, strategy);
+  in.planner_metrics = planner_name != "tree";
+  const auto r = planner->Plan(in);
 
   util::Table t({"metric", "value"});
   t.AddRow({std::string("preset"), preset_name});
+  t.AddRow({std::string("planner"), planner_name});
   t.AddRow({std::string("routers"),
             static_cast<long long>(topo.router_count())});
   t.AddRow({std::string("hosts"), static_cast<long long>(topo.host_count())});
@@ -851,11 +891,15 @@ int CmdFullstack(util::FlagParser& flags) {
             alm::Improvement(base, r.height_true)});
   t.AddRow({std::string("helpers used"),
             static_cast<long long>(r.helpers_used)});
+  if (r.maintenance_messages > 0)
+    t.AddRow({std::string("maintenance msgs"),
+              static_cast<long long>(r.maintenance_messages)});
   std::printf("%s", t.ToText(3).c_str());
 
   obs::RunReport report("fullstack");
   report.set_seed(seed);
   report.AddConfig("preset", preset_name);
+  report.AddConfig("planner", planner_name);
   report.AddConfig("oracle",
                    oracle.kind() == net::OracleKind::kFlat ? "flat" : "hier");
   report.AddConfig("f32", oracle.uses_float_storage());
@@ -891,6 +935,8 @@ int CmdFullstack(util::FlagParser& flags) {
   report.AddResult("planned_height_ms", r.height_true);
   report.AddResult("improvement", alm::Improvement(base, r.height_true));
   report.AddResult("helpers_used", static_cast<double>(r.helpers_used));
+  report.AddResult("maintenance_msgs",
+                   static_cast<double>(r.maintenance_messages));
   // One registry per shard; merge in shard order (MergeFrom's fixed spec
   // order keeps float sums reproducible). The 1-shard report attaches the
   // single registry directly, exactly as the serial binary did.
@@ -901,6 +947,196 @@ int CmdFullstack(util::FlagParser& flags) {
   } else {
     report.AttachMetrics(&sim0.metrics());
   }
+  return FinishReport(report, report_path);
+}
+
+// Judge registered planners against each other on one session under
+// identical seeds: the same preset topology, oracle, degree bounds, member
+// sample, and — per fault scenario — the same failure set for every
+// planner. Three scenarios:
+//   none       plan only (construction cost and tree quality);
+//   loss       a seeded random sample of members fails (uncorrelated);
+//   partition  the lowest-host-id block of members fails together (host
+//              ids are assigned stub domain by stub domain, so the block
+//              approximates one side of a stub split).
+// Each planner answers the faults through its own Repair() story — global
+// re-plan for the tree planners, local component re-probing for the mesh —
+// and the report carries per-planner height/stress/overhead/repair rows
+// keyed "<planner>.<scenario>.<metric>".
+int CmdCompare(util::FlagParser& flags) {
+  const std::string preset_name =
+      flags.GetString("preset", "1200", "topology preset (1200|10k|50k)");
+  const std::string oracle_name = flags.GetString(
+      "oracle", "hier", "latency oracle (flat|hier)");
+  const auto seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 1, "experiment seed"));
+  const auto group = static_cast<std::size_t>(
+      flags.GetInt("group", 50, "ALM session size incl. root"));
+  const auto helpers = static_cast<std::size_t>(flags.GetInt(
+      "helpers", 200, "helper candidates sampled for the session"));
+  const std::string planners_arg = flags.GetString(
+      "planner", "tree,mesh", "comma-separated planner names to compare");
+  const std::string strategy_name = flags.GetString(
+      "strategy", "critical+adj",
+      "tree-planner strategy (oracle-based only)");
+  const alm::MeshOptions mesh_opts = MeshFlagOptions(flags);
+  const double fail_frac = flags.GetDouble(
+      "fail-frac", 0.125, "fraction of members failed per fault scenario");
+  const int jobs = flags.GetInt(
+      "jobs", 0, "oracle build threads (0 = hardware concurrency)");
+  const std::string report_path = ReportPath(flags);
+
+  std::vector<std::string> planner_names;
+  {
+    std::size_t pos = 0;
+    while (pos <= planners_arg.size()) {
+      const std::size_t comma = planners_arg.find(',', pos);
+      const std::string item = planners_arg.substr(
+          pos, comma == std::string::npos ? comma : comma - pos);
+      if (!item.empty()) planner_names.push_back(item);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    P2P_CHECK_MSG(!planner_names.empty(), "empty --planner list");
+  }
+  const alm::Strategy strategy = alm::ParseStrategy(strategy_name);
+
+  const net::TransitStubParams params =
+      net::PresetParams(net::ParseTopologyPreset(preset_name));
+  std::printf("generating %s topology (seed %llu) ...\n",
+              preset_name.c_str(), static_cast<unsigned long long>(seed));
+  util::Rng topo_rng(seed);
+  const auto topo = net::GenerateTransitStub(params, topo_rng);
+
+  net::OracleOptions oracle_opts;
+  oracle_opts.kind = ParseOracleKind(oracle_name);
+  util::ThreadPool workers(jobs < 0 ? 1 : static_cast<std::size_t>(jobs));
+  oracle_opts.pool = &workers;
+  std::printf("building %s oracle over %zu routers ...\n",
+              oracle_opts.kind == net::OracleKind::kFlat ? "flat" : "hier",
+              topo.router_count());
+  const net::LatencyOracle oracle(topo, oracle_opts);
+
+  // Same session sample as fullstack: paper degree bounds over all hosts,
+  // then the group and a bounded helper-candidate sample.
+  util::Rng rng(seed ^ 0xfeed);
+  obs::MetricsRegistry registry;
+  alm::PlanInput in;
+  in.degree_bounds.reserve(topo.host_count());
+  for (std::size_t v = 0; v < topo.host_count(); ++v)
+    in.degree_bounds.push_back(pool::SamplePaperDegreeBound(rng));
+  const auto idx = rng.SampleIndices(topo.host_count(), group);
+  in.root = idx[0];
+  in.members.assign(idx.begin() + 1, idx.end());
+  std::vector<char> is_member(topo.host_count(), 0);
+  for (const auto v : idx) is_member[v] = 1;
+  const auto candidate_pool = rng.SampleIndices(
+      topo.host_count(), std::min(topo.host_count(), 4 * helpers + group));
+  for (const auto v : candidate_pool) {
+    if (in.helper_candidates.size() >= helpers) break;
+    if (!is_member[v] && in.degree_bounds[v] >= 4)
+      in.helper_candidates.push_back(v);
+  }
+  in.oracle = &oracle;
+  in.metrics = &registry;
+  in.planner_metrics = true;
+
+  // Shared failure sets so every planner faces the identical fault.
+  const std::size_t fail_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fail_frac *
+                                  static_cast<double>(in.members.size())));
+  P2P_CHECK_MSG(fail_count < in.members.size(),
+                "--fail-frac leaves no surviving member");
+  std::vector<alm::ParticipantId> loss_set;
+  {
+    util::Rng fail_rng(seed ^ 0xfa11);
+    for (const std::size_t i :
+         fail_rng.SampleIndices(in.members.size(), fail_count))
+      loss_set.push_back(in.members[i]);
+  }
+  std::vector<alm::ParticipantId> partition_set = in.members;
+  std::sort(partition_set.begin(), partition_set.end());
+  partition_set.resize(fail_count);
+
+  struct Row {
+    std::string planner;
+    std::string scenario;
+    double height_ms = 0.0;
+    std::size_t stress = 0;
+    std::size_t maintenance = 0;
+    std::size_t helpers_used = 0;
+    std::size_t disrupted = 0;
+    std::size_t repair_msgs = 0;
+    double repair_ms = 0.0;
+  };
+  std::vector<Row> rows;
+  for (const std::string& name : planner_names) {
+    std::unique_ptr<alm::Planner> planner =
+        MakePlanner(name, strategy, mesh_opts);
+    P2P_CHECK_MSG(!planner->NeedsEstimates(),
+                  "compare has no coordinate estimates; planner '"
+                      << name << "' needs them");
+    std::printf("planning %zu-member session with '%s' ...\n", group,
+                name.c_str());
+    const alm::PlanResult plan = planner->Plan(in);
+    rows.push_back({name, "none", plan.height_true, alm::MaxFanout(plan.tree),
+                    plan.maintenance_messages, plan.helpers_used, 0, 0, 0.0});
+    const struct {
+      const char* scenario;
+      const std::vector<alm::ParticipantId>* failed;
+    } faults[] = {{"loss", &loss_set}, {"partition", &partition_set}};
+    for (const auto& f : faults) {
+      const alm::RepairOutcome rep = planner->Repair(in, *f.failed);
+      rows.push_back({name, f.scenario, rep.plan.height_true,
+                      alm::MaxFanout(rep.plan.tree),
+                      rep.plan.maintenance_messages, rep.plan.helpers_used,
+                      rep.disrupted, rep.repair_messages,
+                      rep.repair_latency_ms});
+    }
+  }
+
+  util::Table t({"planner", "scenario", "height_ms", "stress", "maint_msgs",
+                 "helpers", "disrupted", "repair_msgs", "repair_ms"});
+  for (const Row& row : rows) {
+    t.AddRow({row.planner, row.scenario, row.height_ms,
+              static_cast<long long>(row.stress),
+              static_cast<long long>(row.maintenance),
+              static_cast<long long>(row.helpers_used),
+              static_cast<long long>(row.disrupted),
+              static_cast<long long>(row.repair_msgs), row.repair_ms});
+  }
+  std::printf("%s", t.ToText(3).c_str());
+  for (const auto& [name, value] :
+       registry.ValuesWithPrefix("alm.planner."))
+    std::printf("  %s = %.0f\n", name.c_str(), value);
+
+  obs::RunReport report("compare");
+  report.set_seed(seed);
+  report.AddConfig("preset", preset_name);
+  report.AddConfig("oracle", oracle_name);
+  report.AddConfig("planners", planners_arg);
+  report.AddConfig("strategy", strategy_name);
+  report.AddConfig("group", static_cast<std::int64_t>(group));
+  report.AddConfig("helpers", static_cast<std::int64_t>(helpers));
+  report.AddConfig("fail_frac", fail_frac);
+  report.AddResult("hosts", static_cast<double>(topo.host_count()));
+  report.AddResult("members", static_cast<double>(in.members.size()));
+  report.AddResult("failed_per_scenario", static_cast<double>(fail_count));
+  for (const Row& row : rows) {
+    const std::string prefix = row.planner + "." + row.scenario + ".";
+    report.AddResult(prefix + "height_ms", row.height_ms);
+    report.AddResult(prefix + "stress", static_cast<double>(row.stress));
+    report.AddResult(prefix + "maintenance_msgs",
+                     static_cast<double>(row.maintenance));
+    report.AddResult(prefix + "helpers_used",
+                     static_cast<double>(row.helpers_used));
+    report.AddResult(prefix + "disrupted",
+                     static_cast<double>(row.disrupted));
+    report.AddResult(prefix + "repair_msgs",
+                     static_cast<double>(row.repair_msgs));
+    report.AddResult(prefix + "repair_latency_ms", row.repair_ms);
+  }
+  report.AttachMetrics(&registry);
   return FinishReport(report, report_path);
 }
 
@@ -1145,6 +1381,8 @@ int main(int argc, char** argv) {
       rc = CmdTopo(flags);
     } else if (cmd == "fullstack") {
       rc = CmdFullstack(flags);
+    } else if (cmd == "compare") {
+      rc = CmdCompare(flags);
     } else if (cmd == "observe") {
       rc = CmdObserve(flags);
     } else {

@@ -21,6 +21,15 @@ cmake --preset release
 cmake --build --preset release -j "$(nproc)" \
   --target bench_to_json bench_micro bench_kernel bench_net
 
+# Snapshot the committed BENCH_alm.json (if any) before overwriting it:
+# the old rows are the baseline for the planner-interface regression gate
+# (BM_PlanSession must stay within 1.1x — the Planner virtualisation tax).
+alm_baseline=""
+if [[ -f "$repo_root/BENCH_alm.json" ]]; then
+  alm_baseline=$(mktemp)
+  cp "$repo_root/BENCH_alm.json" "$alm_baseline"
+fi
+
 ./build-release/bench/bench_to_json \
   --benchmark_out="$repo_root/BENCH_alm.json" \
   --benchmark_out_format=json \
@@ -28,6 +37,14 @@ cmake --build --preset release -j "$(nproc)" \
   "$@"
 
 echo "wrote $repo_root/BENCH_alm.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$repo_root/tools/check_bench_scale.py" \
+    "$repo_root/BENCH_alm.json" ${alm_baseline:+"$alm_baseline"} \
+    || echo "WARNING: BM_PlanSession above 1.1x baseline — inspect BENCH_alm.json"
+else
+  echo "python3 not found; skipping planner regression check"
+fi
+if [[ -n "$alm_baseline" ]]; then rm -f "$alm_baseline"; fi
 
 # Metrics-overhead regression gate (<5%): a focused re-run of the
 # instrumented/bare twins with repetitions, compared on median cpu_time

@@ -83,6 +83,11 @@ if [ "$report_mode" = 1 ]; then
            --horizon-ms 10000 --report "$out/fullstack-sharded.json" >/dev/null
     "$cli" observe --nodes 32 --horizon-ms 20000 --timeseries-dir "$out" \
            --report "$out/observe.json" >/dev/null
+    # Planner comparison (tree vs mesh, repair scenarios included): the
+    # report carries per-planner repair rows, so the a/b diff also pins
+    # the mesh rng-stream-continuation repair path to determinism.
+    "$cli" compare --preset 1200 --group 20 --helpers 100 \
+           --report "$out/compare.json" >/dev/null
   done
   python3 tools/validate_report.py "$report_dir"/a/*.json
   for report in "$report_dir"/a/*.json; do
