@@ -14,8 +14,13 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+
 #include "alm/adjust.h"
 #include "alm/amcast.h"
+#include "dht/ring.h"
+#include "obs/alert.h"
+#include "somo/somo.h"
 #include "alm/critical.h"
 #include "alm/latency_matrix.h"
 #include "alm/mesh.h"
@@ -309,6 +314,81 @@ void BM_PlanSessionMetrics(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlanSessionMetrics)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+// SOMO gather + dissemination over a live ring, bare vs with an
+// AlertEngine evaluating the `alert` experiment's two in-band rules every
+// half cycle. The twin prices the whole alerting layer on the monitoring
+// path — probe closures walking the disseminated view included — and
+// tools/check_bench_overhead.py holds the ratio under the same 5% bar as
+// the metrics registry.
+void RunSomoGather(benchmark::State& state, bool with_alerts) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Simulation sim(1);
+  dht::Ring ring(8);
+  for (std::size_t i = 0; i < n; ++i) ring.JoinHashed(i);
+  ring.StabilizeAll();
+  somo::SomoConfig cfg;
+  cfg.fanout = 8;
+  cfg.report_interval_ms = 1000.0;
+  cfg.disseminate = true;
+  somo::SomoProtocol somo(sim, ring, cfg, [&](dht::NodeIndex node) {
+    somo::NodeReport r;
+    r.node = node;
+    r.host = ring.node(node).host();
+    r.generated_at = sim.now();
+    r.telemetry.msgs_sent = node;
+    r.telemetry.sampled_at = sim.now();
+    return r;
+  });
+
+  obs::AlertEngine engine;
+  const dht::NodeIndex observer = ring.size() - 1;
+  if (with_alerts) {
+    obs::AlertRule stale;
+    stale.name = "view.stale";
+    stale.threshold = 1e12;  // never fires: we price evaluation, not repair
+    stale.probe = [&somo, observer] {
+      const double v = somo.ViewStalenessMs(observer);
+      return std::isfinite(v) ? v : 0.0;
+    };
+    engine.AddRule(std::move(stale));
+    obs::AlertRule susp;
+    susp.name = "suspect.rate";
+    susp.threshold = 1e12;
+    susp.probe = [&somo, observer] {
+      const auto& v = somo.ViewAt(observer);
+      if (!v.valid() || v.view->empty()) return 0.0;
+      double total = 0.0;
+      for (const auto& r : v.view->members) {
+        if (r.telemetry.valid())
+          total += static_cast<double>(r.telemetry.suspects);
+      }
+      return total / static_cast<double>(v.view->size());
+    };
+    engine.AddRule(std::move(susp));
+    sim.Every(500.0, 500.0, [&engine, &sim] { engine.Evaluate(sim.now()); });
+  }
+
+  somo.Start();
+  double horizon = 0.0;
+  for (auto _ : state) {
+    horizon += 10000.0;  // ten reporting cycles per iteration
+    sim.RunUntil(horizon);
+    benchmark::DoNotOptimize(somo.gathers_completed());
+  }
+  somo.Stop();
+}
+
+void BM_SomoGather(benchmark::State& state) {
+  RunSomoGather(state, /*with_alerts=*/false);
+}
+BENCHMARK(BM_SomoGather)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_SomoGatherAlerts(benchmark::State& state) {
+  RunSomoGather(state, /*with_alerts=*/true);
+}
+BENCHMARK(BM_SomoGatherAlerts)->Arg(256)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 
 // The mesh planner on the same instances: build + refine + extract. Not a

@@ -176,30 +176,36 @@ void HeartbeatProtocol::CheckTimeouts(NodeIndex n) {
       for (const auto& obs : suspicion_observers_) obs(n, m, now, true);
       continue;
     }
-    if (detected_[m]) continue;
     const sim::Time* found = FindHeard(last_heard_[n], m);
     const sim::Time heard = found == nullptr ? 0.0 : *found;
-    if (now - heard >= config_.timeout_ms) {
+    if (now - heard < config_.timeout_ms) continue;
+    // Sensor mode (auto_repair off): every detector independently marks the
+    // silent member in its own suspect set — the dead node never beats
+    // again, so the suspicion persists and rides the in-band telemetry
+    // until an external reactor repairs membership.
+    if (!config_.auto_repair) SortedInsert(suspected_[n], m);
+    if (detected_[m]) continue;
+    detected_[m] = 1;
+    ++failures_detected_;
+    m_failures_->Inc();
+    if (config_.suspect_alive) {
+      // The unified suspicion stream also sees true positives, so
+      // false_suspicions() / suspicions() is a meaningful FP rate.
+      ++suspicions_;
+      m_suspicions_->Inc();
+      for (const auto& obs : suspicion_observers_) obs(n, m, now, false);
+    }
+    if (config_.auto_repair) {
       // Failure detection rewrites shared ring membership (DetectFailure
       // below) and races lazily-sorted ring views; multi-shard runs keep
       // membership frozen during windows, so a detection there is a bug.
       P2P_CHECK_MSG(peers_.size() <= 1,
                     "failure detection is unsupported in multi-shard runs");
-      detected_[m] = 1;
-      ++failures_detected_;
-      m_failures_->Inc();
-      if (config_.suspect_alive) {
-        // The unified suspicion stream also sees true positives, so
-        // false_suspicions() / suspicions() is a meaningful FP rate.
-        ++suspicions_;
-        m_suspicions_->Inc();
-        for (const auto& obs : suspicion_observers_) obs(n, m, now, false);
-      }
       // First detection triggers ring-wide cleanup, standing in for the
       // rapid propagation of the death notice through leafset exchanges.
       ring_.DetectFailure(m);
-      for (const auto& obs : failure_observers_) obs(n, m, now);
     }
+    for (const auto& obs : failure_observers_) obs(n, m, now);
   }
 }
 

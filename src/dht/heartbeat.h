@@ -36,6 +36,14 @@ struct HeartbeatConfig {
   // when the member is heard again. Off by default — the seed behaviour
   // only ever declares genuinely crashed nodes.
   bool suspect_alive = false;
+  // When true (default), the first detection of a genuinely dead member
+  // triggers ring-wide cleanup (Ring::DetectFailure). Set false to run the
+  // detector as a pure sensor: timeouts are still recorded (counters,
+  // observers, per-node suspect sets — so the silence shows up in in-band
+  // telemetry), but membership repair is left to an external reactor. The
+  // in-band alerting experiments use this to make the disseminated SOMO
+  // view, not simulator ground truth, the thing that heals the ring.
+  bool auto_repair = true;
 };
 
 // Modelled heartbeat wire size: the paper pads heartbeats to ~1.5 KB so
@@ -101,6 +109,14 @@ class HeartbeatProtocol {
   // (message loss or jitter starved the detector).
   std::size_t suspicions() const { return suspicions_; }
   std::size_t false_suspicions() const { return false_suspicions_; }
+
+  // Members node n currently suspects (sorted set size): alive-but-silent
+  // members in suspect_alive mode, plus timed-out dead members when
+  // auto_repair is off. This is the per-node signal HostTelemetry::suspects
+  // carries in-band.
+  std::size_t suspected_count(NodeIndex n) const {
+    return n < suspected_.size() ? suspected_[n].size() : 0;
+  }
 
   sim::Simulation& simulation() { return sim_; }
 

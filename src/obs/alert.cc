@@ -1,0 +1,107 @@
+#include "obs/alert.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace p2p::obs {
+
+std::function<double()> MakeRegistryProbe(const MetricsRegistry& registry,
+                                          std::string name) {
+  return [reg = &registry, name = std::move(name)] { return reg->Value(name); };
+}
+
+AlertEngine::AlertEngine(std::size_t log_capacity) : capacity_(log_capacity) {
+  P2P_CHECK(capacity_ > 0);
+}
+
+std::size_t AlertEngine::AddRule(AlertRule rule) {
+  P2P_CHECK_MSG(rule.probe != nullptr, "alert rule needs a probe");
+  P2P_CHECK_MSG(!rule.name.empty(), "alert rule needs a name");
+  rules_.push_back(std::move(rule));
+  state_.emplace_back();
+  on_fire_.emplace_back();
+  on_clear_.emplace_back();
+  return rules_.size() - 1;
+}
+
+void AlertEngine::OnFire(std::size_t rule, Reaction fn) {
+  on_fire_.at(rule).push_back(std::move(fn));
+}
+
+void AlertEngine::OnClear(std::size_t rule, Reaction fn) {
+  on_clear_.at(rule).push_back(std::move(fn));
+}
+
+void AlertEngine::Append(AlertEvent ev) {
+  if (events_.size() == capacity_) {
+    events_.erase(events_.begin());
+    ++dropped_;
+  }
+  events_.push_back(ev);
+}
+
+void AlertEngine::Evaluate(double now_ms) {
+  ++evaluations_;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& r = rules_[i];
+    RuleState& s = state_[i];
+    const double v = r.probe();
+    s.last = v;
+    const bool breach = r.fire_above ? v > r.threshold : v < r.threshold;
+    const double clear_thr =
+        std::isnan(r.clear_threshold) ? r.threshold : r.clear_threshold;
+    const bool normal = r.fire_above ? v <= clear_thr : v >= clear_thr;
+    if (!s.active) {
+      s.normal_since = -1.0;
+      if (!breach) {
+        s.breach_since = -1.0;
+        continue;
+      }
+      if (s.breach_since < 0.0) s.breach_since = now_ms;
+      if (now_ms - s.breach_since < r.debounce_ms) continue;
+      s.active = true;
+      s.breach_since = -1.0;
+      ++s.fires;
+      ++fires_;
+      if (s.first_fired < 0.0) s.first_fired = now_ms;
+      const AlertEvent ev{now_ms, static_cast<std::uint32_t>(i),
+                          AlertEvent::kFire, v};
+      Append(ev);
+      for (const auto& fn : on_fire_[i]) fn(ev);
+    } else {
+      s.breach_since = -1.0;
+      if (!normal) {
+        s.normal_since = -1.0;
+        continue;
+      }
+      if (s.normal_since < 0.0) s.normal_since = now_ms;
+      if (now_ms - s.normal_since < r.clear_ms) continue;
+      s.active = false;
+      s.normal_since = -1.0;
+      ++clears_;
+      const AlertEvent ev{now_ms, static_cast<std::uint32_t>(i),
+                          AlertEvent::kClear, v};
+      Append(ev);
+      for (const auto& fn : on_clear_[i]) fn(ev);
+    }
+  }
+}
+
+bool AlertEngine::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fputs("time_ms,rule,kind,value\n", f) >= 0;
+  for (const AlertEvent& ev : events_) {
+    const std::string row =
+        JsonWriter::FormatNumber(ev.time_ms) + "," + rules_[ev.rule].name +
+        "," + (ev.kind == AlertEvent::kFire ? "fire" : "clear") + "," +
+        JsonWriter::FormatNumber(ev.value) + "\n";
+    ok = ok && std::fwrite(row.data(), 1, row.size(), f) == row.size();
+  }
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace p2p::obs

@@ -1,0 +1,129 @@
+// Declarative alerting over the observability layer: threshold rules with
+// debounce and hysteresis, evaluated deterministically in *virtual* time.
+//
+// Like TimeseriesSampler, the engine never reads a clock — the caller
+// drives Evaluate(now_ms) on whatever cadence it wants (a simulation
+// periodic timer, a loop over snapshots), so two same-seed runs evaluate
+// the same probe values at the same instants and produce byte-identical
+// event logs (test-enforced; the log lands in p2preport/v1 run reports and
+// in timeseries CSVs).
+//
+// A rule's probe is an arbitrary closure, so a rule can watch the local
+// MetricsRegistry (see MakeRegistryProbe) or a node's in-band disseminated
+// SOMO view alike — the closed monitor→react loop the `alert` experiment
+// builds fires ring/tree repair from the latter.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace p2p::obs {
+
+class MetricsRegistry;
+
+struct AlertRule {
+  std::string name;
+  // Evaluated once per Evaluate(now) call. Must be deterministic for the
+  // event log to be.
+  std::function<double()> probe;
+  double threshold = 0.0;
+  // Direction: true fires when probe > threshold, false when < threshold.
+  bool fire_above = true;
+  // The breach must hold continuously for this long (virtual ms, measured
+  // across Evaluate calls) before the rule fires. 0 fires on the first
+  // breaching evaluation.
+  double debounce_ms = 0.0;
+  // Hysteresis: once fired, the rule clears only when the value returns
+  // past clear_threshold (NaN = use `threshold`) for clear_ms.
+  double clear_threshold = std::numeric_limits<double>::quiet_NaN();
+  double clear_ms = 0.0;
+};
+
+struct AlertEvent {
+  enum Kind : std::uint8_t { kFire = 0, kClear = 1 };
+  double time_ms = 0.0;
+  std::uint32_t rule = 0;  // index into AlertEngine::rules()
+  Kind kind = kFire;
+  double value = 0.0;  // probe value at the transition
+};
+
+// Probe reading a counter/gauge by name (0.0 when absent) — the
+// registry-backed rule flavour.
+std::function<double()> MakeRegistryProbe(const MetricsRegistry& registry,
+                                          std::string name);
+
+class AlertEngine {
+ public:
+  // The event log is bounded: the oldest events are dropped (and counted)
+  // once `log_capacity` is exceeded, keeping report sizes flat no matter
+  // how noisy a run gets.
+  explicit AlertEngine(std::size_t log_capacity = 256);
+
+  using Reaction = std::function<void(const AlertEvent&)>;
+
+  // Returns the rule's index (AlertEvent::rule).
+  std::size_t AddRule(AlertRule rule);
+
+  // Register a simulation callback run when `rule` fires / clears, after
+  // the event is logged. Multiple reactions run in registration order.
+  void OnFire(std::size_t rule, Reaction fn);
+  void OnClear(std::size_t rule, Reaction fn);
+
+  // Evaluate every rule's probe at virtual time `now_ms` (must not
+  // decrease across calls).
+  void Evaluate(double now_ms);
+
+  const std::vector<AlertRule>& rules() const { return rules_; }
+  // Retained events, oldest first (the newest `log_capacity` transitions).
+  const std::vector<AlertEvent>& events() const { return events_; }
+  std::size_t dropped_events() const { return dropped_; }
+  std::size_t fires() const { return fires_; }
+  std::size_t clears() const { return clears_; }
+  std::size_t evaluations() const { return evaluations_; }
+
+  bool active(std::size_t rule) const { return state_.at(rule).active; }
+  // Probe value seen at the most recent Evaluate (NaN before the first).
+  double last_value(std::size_t rule) const { return state_.at(rule).last; }
+  // Virtual time of the rule's first fire, or -1 if it never fired — the
+  // detection-latency measurement the closed-loop experiments report.
+  double first_fired_at(std::size_t rule) const {
+    return state_.at(rule).first_fired;
+  }
+  std::size_t fire_count(std::size_t rule) const {
+    return state_.at(rule).fires;
+  }
+
+  // Write the retained event log as CSV (time_ms,rule,kind,value);
+  // false on I/O error. Deterministic bytes for same-seed runs.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  void Append(AlertEvent ev);
+
+  struct RuleState {
+    bool active = false;
+    double breach_since = -1.0;  // -1: not currently breaching
+    double normal_since = -1.0;  // -1: not currently below clear threshold
+    double last = std::numeric_limits<double>::quiet_NaN();
+    double first_fired = -1.0;
+    std::size_t fires = 0;
+  };
+
+  std::size_t capacity_;
+  std::vector<AlertRule> rules_;
+  std::vector<RuleState> state_;
+  std::vector<std::vector<Reaction>> on_fire_;
+  std::vector<std::vector<Reaction>> on_clear_;
+  std::vector<AlertEvent> events_;
+  std::size_t dropped_ = 0;
+  std::size_t fires_ = 0;
+  std::size_t clears_ = 0;
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace p2p::obs

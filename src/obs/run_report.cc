@@ -35,6 +35,23 @@ void RunReport::AddTimeseries(const std::string& name, const std::string& path,
   timeseries_.push_back(TimeseriesRef{name, path, rows, total_rows});
 }
 
+void RunReport::AddAlerts(const std::string& name, const AlertEngine& engine) {
+  AlertsRef ref;
+  ref.name = name;
+  ref.fires = engine.fires();
+  ref.clears = engine.clears();
+  ref.dropped = engine.dropped_events();
+  ref.evaluations = engine.evaluations();
+  ref.events.reserve(engine.events().size());
+  for (const AlertEvent& ev : engine.events()) {
+    ref.events.push_back(AlertEventRef{ev.time_ms,
+                                       engine.rules()[ev.rule].name,
+                                       ev.kind == AlertEvent::kFire,
+                                       ev.value});
+  }
+  alerts_.push_back(std::move(ref));
+}
+
 std::string RunReport::ToJson() const {
   JsonWriter w;
   w.BeginObject();
@@ -52,6 +69,28 @@ std::string RunReport::ToJson() const {
     w.Raw(metrics_->SnapshotJson(include_profile_));
   } else {
     w.Null();
+  }
+  if (!alerts_.empty()) {
+    w.Key("alerts").BeginObject();
+    for (const AlertsRef& a : alerts_) {
+      w.Key(a.name).BeginObject();
+      w.Key("fires").Uint(a.fires);
+      w.Key("clears").Uint(a.clears);
+      w.Key("dropped").Uint(a.dropped);
+      w.Key("evaluations").Uint(a.evaluations);
+      w.Key("events").BeginArray();
+      for (const AlertEventRef& ev : a.events) {
+        w.BeginObject();
+        w.Key("t_ms").Number(ev.time_ms);
+        w.Key("rule").String(ev.rule);
+        w.Key("kind").String(ev.fire ? "fire" : "clear");
+        w.Key("value").Number(ev.value);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndObject();
   }
   w.Key("timeseries").BeginArray();
   for (const auto& ts : timeseries_) {

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/alert.h"
 #include "obs/metrics.h"
 
 namespace p2p::obs {
@@ -47,6 +48,12 @@ class RunReport {
   void AddTimeseries(const std::string& name, const std::string& path,
                      std::size_t rows, std::size_t total_rows);
 
+  // Snapshot an alert engine's bounded event log into the report's
+  // "alerts" section under `name` (one entry per engine — experiments with
+  // several scenario runs snapshot each). Copies at call time, so the
+  // engine need not outlive the report.
+  void AddAlerts(const std::string& name, const AlertEngine& engine);
+
   std::string ToJson() const;
   // Write ToJson() to `path` (plus a trailing newline); false on I/O error.
   bool Write(const std::string& path) const;
@@ -63,6 +70,21 @@ class RunReport {
     std::size_t total_rows = 0;
   };
   std::vector<TimeseriesRef> timeseries_;
+  struct AlertEventRef {
+    double time_ms = 0.0;
+    std::string rule;
+    bool fire = true;
+    double value = 0.0;
+  };
+  struct AlertsRef {
+    std::string name;
+    std::size_t fires = 0;
+    std::size_t clears = 0;
+    std::size_t dropped = 0;
+    std::size_t evaluations = 0;
+    std::vector<AlertEventRef> events;
+  };
+  std::vector<AlertsRef> alerts_;
   const MetricsRegistry* metrics_ = nullptr;
   bool include_profile_ = true;
 };

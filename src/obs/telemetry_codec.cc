@@ -1,0 +1,59 @@
+#include "obs/telemetry_codec.h"
+
+#include <limits>
+
+namespace p2p::obs {
+
+namespace {
+
+constexpr int kExpBits = 6;
+constexpr int kManBits = 9;
+constexpr int kBias = 31;
+constexpr int kExpMax = (1 << kExpBits) - 1;  // 63: inf/nan
+constexpr std::uint16_t kManMask = (1 << kManBits) - 1;
+
+}  // namespace
+
+std::uint16_t EncodeF16(double v) {
+  std::uint16_t sign = 0;
+  if (std::signbit(v)) {
+    sign = 1u << (kExpBits + kManBits);
+    v = -v;
+  }
+  if (std::isnan(v)) return static_cast<std::uint16_t>(sign | (kExpMax << kManBits) | kManMask);
+  if (std::isinf(v)) return static_cast<std::uint16_t>(sign | (kExpMax << kManBits));
+  if (v == 0.0) return sign;
+  int e = 0;
+  const double m = std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1)
+  // Field exponent for v = (1+f) * 2^(e-1): e - 1 + bias.
+  int exp = e - 1 + kBias;
+  // Round the mantissa to kManBits fractional bits of (2m - 1) in [1, 2).
+  std::uint32_t man =
+      static_cast<std::uint32_t>(std::llround((2.0 * m - 1.0) * (1 << kManBits)));
+  if (man == (1u << kManBits)) {  // rounded up to 2.0: carry into exponent
+    man = 0;
+    ++exp;
+  }
+  if (exp >= kExpMax) return static_cast<std::uint16_t>(sign | (kExpMax << kManBits));
+  if (exp < 1) return sign;  // below smallest normal: flush to zero
+  return static_cast<std::uint16_t>(sign | (exp << kManBits) | man);
+}
+
+double DecodeF16(std::uint16_t bits) {
+  const bool neg = (bits >> (kExpBits + kManBits)) & 1;
+  const int exp = (bits >> kManBits) & kExpMax;
+  const std::uint16_t man = bits & kManMask;
+  double v;
+  if (exp == 0) {
+    v = 0.0;
+  } else if (exp == kExpMax) {
+    v = man == 0 ? std::numeric_limits<double>::infinity()
+                 : std::numeric_limits<double>::quiet_NaN();
+  } else {
+    v = std::ldexp(1.0 + static_cast<double>(man) / (1 << kManBits),
+                   exp - kBias);
+  }
+  return neg ? -v : v;
+}
+
+}  // namespace p2p::obs

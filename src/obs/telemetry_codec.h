@@ -1,0 +1,172 @@
+// Wire primitives for compressed in-band telemetry (paper §3.2: "the leaf
+// SOMO report is 40 bytes"). The schema binding — which fields a SOMO
+// record carries and in what order — lives next to the schema itself
+// (somo/report.h: EncodeAggregate/DecodeAggregate); this header provides
+// the generic, layer-agnostic pieces:
+//
+//   * LEB128 varints and zigzag-mapped signed varints (delta-encoded
+//     counters and index chains),
+//   * a 16-bit minifloat (1 sign / 6 exponent / 9 mantissa, bias 31) for
+//     bandwidth, capacity and coordinate components — relative error
+//     bounded by kF16RelError, range up to ~4.3e9,
+//   * timestamp quantization to kAgeTickMs ticks (absolute error bounded
+//     by kAgeTickMs).
+//
+// Encoders are templated over a Sink so the exact byte cost of an encoding
+// can be computed without materialising it (WireCounter), guaranteeing
+// EncodedSize == Encode().size() structurally rather than by convention.
+// Everything here is pure data → bytes: deterministic by construction.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace p2p::obs {
+
+// --- zigzag ---------------------------------------------------------------
+
+inline std::uint64_t ZigzagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t ZigzagDecode(std::uint64_t u) {
+  return static_cast<std::int64_t>(u >> 1) ^
+         -static_cast<std::int64_t>(u & 1);
+}
+
+// --- 16-bit minifloat -----------------------------------------------------
+
+// Worst-case relative rounding error of EncodeF16/DecodeF16 for values in
+// the normal range [2^-30, ~4.3e9): half a mantissa step.
+inline constexpr double kF16RelError = 1.0 / 1024.0;
+
+// Encode a double into the 1/6/9 minifloat. Values below the smallest
+// normal (2^-30) flush to (signed) zero; values beyond the largest finite
+// (~4.29e9) saturate to infinity; NaN is preserved.
+std::uint16_t EncodeF16(double v);
+double DecodeF16(std::uint16_t bits);
+
+// --- timestamp quantization -----------------------------------------------
+
+// Virtual-time tick for quantized ages/timestamps. 16 ms keeps a whole
+// simulated day in a 3-byte varint while staying far below every protocol
+// period in the repo (heartbeat 1 s, SOMO 1–5 s).
+inline constexpr double kAgeTickMs = 16.0;
+
+// Round-to-nearest tick count; negative times clamp to 0.
+inline std::uint64_t QuantizeTicks(double ms) {
+  if (!(ms > 0.0)) return 0;
+  return static_cast<std::uint64_t>(std::llround(ms / kAgeTickMs));
+}
+
+inline double TicksToMs(std::uint64_t ticks) {
+  return static_cast<double>(ticks) * kAgeTickMs;
+}
+
+// --- sinks ----------------------------------------------------------------
+
+// Byte-materialising sink.
+class WireWriter {
+ public:
+  void Byte(std::uint8_t b) { out_.push_back(b); }
+  void Varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void Zigzag(std::int64_t v) { Varint(ZigzagEncode(v)); }
+  void F16(double v) {
+    const std::uint16_t b = EncodeF16(v);
+    out_.push_back(static_cast<std::uint8_t>(b & 0xff));
+    out_.push_back(static_cast<std::uint8_t>(b >> 8));
+  }
+
+  std::size_t size() const { return out_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return out_; }
+  std::vector<std::uint8_t> Take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+// Size-only sink: same call surface as WireWriter, counts bytes without
+// allocating. Feeding the same values to both sinks yields the same size —
+// that is the EncodedSize contract.
+class WireCounter {
+ public:
+  void Byte(std::uint8_t) { ++n_; }
+  void Varint(std::uint64_t v) {
+    ++n_;
+    while (v >= 0x80) {
+      ++n_;
+      v >>= 7;
+    }
+  }
+  void Zigzag(std::int64_t v) { Varint(ZigzagEncode(v)); }
+  void F16(double) { n_ += 2; }
+
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+};
+
+// --- reader ---------------------------------------------------------------
+
+// Bounds-checked reader over an encoded buffer. Any over-read or malformed
+// varint latches ok() to false and makes every subsequent read return 0 —
+// decoders check ok() once at the end instead of after every field.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t Byte() {
+    if (pos_ >= size_) {
+      ok_ = false;
+      return 0;
+    }
+    return data_[pos_++];
+  }
+
+  std::uint64_t Varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_ || shift >= 64) {
+        ok_ = false;
+        return 0;
+      }
+      const std::uint8_t b = data_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::int64_t Zigzag() { return ZigzagDecode(Varint()); }
+
+  double F16() {
+    const std::uint8_t lo = Byte();
+    const std::uint8_t hi = Byte();
+    return DecodeF16(static_cast<std::uint16_t>(lo) |
+                     (static_cast<std::uint16_t>(hi) << 8));
+  }
+
+  bool ok() const { return ok_; }
+  std::size_t consumed() const { return pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace p2p::obs

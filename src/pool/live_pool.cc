@@ -18,9 +18,12 @@ LiveExperimentResult RunStalenessExperiment(
 
   util::Rng rng(params.seed);
   sim::Simulation sim(params.seed ^ 0x51f15e);
+  sim.transport().EnablePerHostStats(pool.size());
 
   // SOMO publishes each node's live degree table plus its measured
-  // attributes (the Figure-7 report).
+  // attributes (the Figure-7 report), with the host's own transport
+  // counters folded in as in-band telemetry — the compressed record the
+  // wire codec charges for.
   somo::SomoProtocol somo(sim, pool.ring(), params.somo,
                           [&](dht::NodeIndex n) {
                             somo::NodeReport r;
@@ -33,9 +36,24 @@ LiveExperimentResult RunStalenessExperiment(
                             r.up_kbps = est.up_kbps;
                             r.down_kbps = est.down_kbps;
                             r.degrees = pool.registry().table(n);
+                            const auto& hs =
+                                sim.transport().host_stats(r.host);
+                            r.telemetry.msgs_sent = hs.sent;
+                            r.telemetry.msgs_delivered = hs.delivered;
+                            r.telemetry.msgs_dropped = hs.dropped;
+                            r.telemetry.bytes_sent = hs.bytes;
+                            r.telemetry.sampled_at = sim.now();
                             return r;
                           });
   somo.Start();
+
+  if (params.alerts != nullptr) {
+    const double eval_ms = params.alert_eval_ms > 0.0
+                               ? params.alert_eval_ms
+                               : params.somo.report_interval_ms;
+    sim.Every(eval_ms, eval_ms,
+              [&] { params.alerts->Evaluate(sim.now()); });
+  }
 
   // Carve disjoint member blocks.
   std::vector<std::size_t> hosts(pool.size());

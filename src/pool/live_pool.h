@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "obs/alert.h"
 #include "pool/market.h"
 #include "pool/resource_pool.h"
 #include "sim/simulation.h"
@@ -30,6 +31,13 @@ struct LiveExperimentParams {
   somo::SomoConfig somo;  // reporting interval / gather discipline
   TaskManagerOptions options;
   std::uint64_t seed = 1;
+  // Optional alert engine evaluated on the experiment's virtual-time
+  // cadence (every alert_eval_ms, or the SOMO reporting interval when 0).
+  // Callers attach rules over the experiment simulation's registry —
+  // e.g. pool.stale_conflicts rate — before calling; the event log is
+  // theirs to snapshot afterwards. Not owned.
+  obs::AlertEngine* alerts = nullptr;
+  double alert_eval_ms = 0.0;
 };
 
 struct LiveExperimentResult {

@@ -2,6 +2,9 @@
 
 #include <unordered_map>
 
+#include "obs/telemetry_codec.h"
+#include "util/check.h"
+
 namespace p2p::somo {
 
 void AggregateReport::Add(NodeReport r) {
@@ -65,4 +68,168 @@ void AggregateReport::Clear() {
   best_capacity_node = dht::kNoNode;
 }
 
+namespace {
+
+constexpr std::uint8_t kWireVersion = 1;
+constexpr std::uint8_t kTelemetryValid = 0x01;
+
+inline std::int64_t AsI64(std::size_t v) { return static_cast<std::int64_t>(v); }
+
+// One encoder for both the byte-materialising and the counting sink, so
+// EncodedSize and EncodeAggregate can never disagree.
+template <typename Sink>
+void EncodeTo(const AggregateReport& agg, Sink& sink) {
+  sink.Byte(kWireVersion);
+  sink.Varint(agg.members.size());
+  if (agg.members.empty()) return;
+  const std::uint64_t base = obs::QuantizeTicks(agg.newest);
+  sink.Varint(base);
+  sink.Varint(agg.best_capacity_node == dht::kNoNode
+                  ? 0
+                  : static_cast<std::uint64_t>(agg.best_capacity_node) + 1);
+  std::int64_t prev_node = 0;
+  HostTelemetry prev_tel;  // zero counters: the delta chain's seed
+  for (const NodeReport& r : agg.members) {
+    const std::int64_t node = AsI64(r.node);
+    sink.Zigzag(node - prev_node);
+    prev_node = node;
+    sink.Zigzag(static_cast<std::int64_t>(r.host) - node);
+    const std::uint64_t gen = obs::QuantizeTicks(r.generated_at);
+    P2P_DCHECK(gen <= base);
+    sink.Varint(base - gen);
+    sink.Varint(r.coordinates.size());
+    for (const double c : r.coordinates) sink.F16(c);
+    sink.F16(r.up_kbps);
+    sink.F16(r.down_kbps);
+    sink.F16(r.capacity);
+    sink.Zigzag(r.degrees.total);
+    sink.Varint(r.degrees.taken.size());
+    for (const DegreeSlot& s : r.degrees.taken) {
+      P2P_DCHECK(s.session >= -1);
+      P2P_DCHECK(s.priority >= 0 && s.priority <= 3);
+      sink.Varint((static_cast<std::uint64_t>(s.session + 1) << 2) |
+                  static_cast<std::uint64_t>(s.priority & 3));
+    }
+    if (!r.telemetry.valid()) {
+      sink.Byte(0);
+      continue;
+    }
+    sink.Byte(kTelemetryValid);
+    sink.Zigzag(static_cast<std::int64_t>(gen) -
+                static_cast<std::int64_t>(obs::QuantizeTicks(r.telemetry.sampled_at)));
+    sink.Zigzag(AsI64(r.telemetry.msgs_sent) - AsI64(prev_tel.msgs_sent));
+    sink.Zigzag(AsI64(r.telemetry.msgs_delivered) -
+                AsI64(prev_tel.msgs_delivered));
+    sink.Zigzag(AsI64(r.telemetry.msgs_dropped) -
+                AsI64(prev_tel.msgs_dropped));
+    sink.Zigzag(AsI64(r.telemetry.bytes_sent) - AsI64(prev_tel.bytes_sent));
+    sink.Zigzag(AsI64(r.telemetry.suspects) - AsI64(prev_tel.suspects));
+    prev_tel = r.telemetry;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeAggregate(const AggregateReport& agg) {
+  obs::WireWriter w;
+  EncodeTo(agg, w);
+  return w.Take();
+}
+
+std::size_t EncodedSize(const AggregateReport& agg) {
+  obs::WireCounter c;
+  EncodeTo(agg, c);
+  return c.size();
+}
+
+std::size_t AggregateReport::SerializedBytes() const {
+  return EncodedSize(*this);
+}
+
+bool DecodeAggregate(const std::uint8_t* data, std::size_t size,
+                     AggregateReport* out) {
+  P2P_CHECK(out != nullptr);
+  out->Clear();
+  obs::WireReader r(data, size);
+  if (r.Byte() != kWireVersion) return false;
+  const std::uint64_t count = r.Varint();
+  if (!r.ok()) return false;
+  if (count == 0) return r.AtEnd();
+  if (count > size) return false;  // each record costs >= 1 byte
+  const std::uint64_t base = r.Varint();
+  const std::uint64_t best_plus1 = r.Varint();
+  std::int64_t prev_node = 0;
+  HostTelemetry prev_tel;
+  out->members.reserve(count);
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    NodeReport rec;
+    prev_node += r.Zigzag();
+    rec.node = static_cast<dht::NodeIndex>(prev_node);
+    rec.host = static_cast<net::HostIdx>(prev_node + r.Zigzag());
+    const std::uint64_t age = r.Varint();
+    if (age > base) return false;
+    const std::uint64_t gen = base - age;
+    rec.generated_at = obs::TicksToMs(gen);
+    const std::uint64_t dim = r.Varint();
+    if (dim > size) return false;
+    rec.coordinates.resize(dim);
+    for (std::uint64_t d = 0; d < dim && r.ok(); ++d)
+      rec.coordinates[d] = r.F16();
+    rec.up_kbps = r.F16();
+    rec.down_kbps = r.F16();
+    rec.capacity = r.F16();
+    rec.degrees.total = static_cast<int>(r.Zigzag());
+    const std::uint64_t used = r.Varint();
+    if (used > size) return false;
+    rec.degrees.taken.resize(used);
+    for (std::uint64_t s = 0; s < used && r.ok(); ++s) {
+      const std::uint64_t packed = r.Varint();
+      rec.degrees.taken[s].session =
+          static_cast<SessionId>(packed >> 2) - 1;
+      rec.degrees.taken[s].priority = static_cast<int>(packed & 3);
+    }
+    const std::uint8_t flags = r.Byte();
+    if (flags & kTelemetryValid) {
+      const std::int64_t sample_delta = r.Zigzag();
+      const std::int64_t sampled = static_cast<std::int64_t>(gen) - sample_delta;
+      if (sampled < 0) return false;
+      rec.telemetry.sampled_at =
+          obs::TicksToMs(static_cast<std::uint64_t>(sampled));
+      rec.telemetry.msgs_sent =
+          static_cast<std::size_t>(AsI64(prev_tel.msgs_sent) + r.Zigzag());
+      rec.telemetry.msgs_delivered = static_cast<std::size_t>(
+          AsI64(prev_tel.msgs_delivered) + r.Zigzag());
+      rec.telemetry.msgs_dropped = static_cast<std::size_t>(
+          AsI64(prev_tel.msgs_dropped) + r.Zigzag());
+      rec.telemetry.bytes_sent =
+          static_cast<std::size_t>(AsI64(prev_tel.bytes_sent) + r.Zigzag());
+      rec.telemetry.suspects =
+          static_cast<std::size_t>(AsI64(prev_tel.suspects) + r.Zigzag());
+      prev_tel = rec.telemetry;
+    }
+    if (!r.ok()) return false;
+    out->members.push_back(std::move(rec));
+  }
+  if (!r.ok() || !r.AtEnd()) return false;
+  // Freshness window and capacity argmax are derived state: recompute from
+  // the decoded (quantized) members. The argmax *node* travels in the
+  // header — F16 ties could otherwise elect a different champion than the
+  // encoder saw — and its value is the node's decoded capacity.
+  for (const NodeReport& m : out->members) {
+    out->oldest = std::min(out->oldest, m.generated_at);
+    out->newest = std::max(out->newest, m.generated_at);
+  }
+  if (best_plus1 != 0) {
+    out->best_capacity_node = static_cast<dht::NodeIndex>(best_plus1 - 1);
+    for (const NodeReport& m : out->members) {
+      if (m.node == out->best_capacity_node) {
+        out->best_capacity = m.capacity;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace p2p::somo
+

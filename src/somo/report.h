@@ -68,11 +68,14 @@ struct DegreeTable {
   }
 };
 
-// Wire-size model (§3.2: "the leaf SOMO report is 40 bytes"): used by the
-// overhead accounting, not by any algorithm. Telemetry counters ride in the
-// same 40-byte record budget — the paper's report is a fixed-size struct
-// and a handful of uint32 counters fits the existing padding, so adding
-// HostTelemetry deliberately does not change the wire model.
+// Wire-size budget (§3.2: "the leaf SOMO report is 40 bytes"): since the
+// telemetry codec landed these are *budgets the real encoding must fit*,
+// not the sizes themselves — SerializedBytes() measures the actual
+// EncodeAggregate output (delta-encoded indices and counters, quantized
+// ages, 16-bit floats), and tests/somo_report_codec_test.cc enforces that
+// realistic aggregates stay at or under kPerRecordBytes per record and
+// kReportHeaderBytes of header. kReportHeaderBytes also still prices the
+// tiny synchronized "call for reports" control message.
 inline constexpr std::size_t kReportHeaderBytes = 16;
 inline constexpr std::size_t kPerRecordBytes = 40;
 
@@ -87,6 +90,10 @@ struct HostTelemetry {
   std::size_t msgs_delivered = 0;
   std::size_t msgs_dropped = 0;
   std::size_t bytes_sent = 0;
+  // Leafset members this host's node currently suspects (heartbeat
+  // suspect_alive mode) — the in-band failure signal the alert engine's
+  // suspicion-rate rule aggregates over a disseminated view.
+  std::size_t suspects = 0;
   sim::Time sampled_at = -1.0;  // < 0 until a sample is taken
 
   bool valid() const { return sampled_at >= 0.0; }
@@ -129,10 +136,43 @@ struct AggregateReport {
   void MergeKeepFreshest(const AggregateReport& other);
   void Clear();
 
-  // Modelled wire size of this aggregate.
-  std::size_t SerializedBytes() const {
-    return kReportHeaderBytes + members.size() * kPerRecordBytes;
-  }
+  // Measured wire size of this aggregate: EncodedSize(*this). Honest —
+  // the overhead accounting charges what EncodeAggregate would emit.
+  std::size_t SerializedBytes() const;
 };
+
+// --- wire codec -----------------------------------------------------------
+//
+// Compressed aggregate encoding (format documented in docs/OBSERVABILITY.md
+// "Telemetry wire format"; primitives in obs/telemetry_codec.h):
+//
+//   header:  u8 version (=1); varint member count M; if M > 0:
+//            varint base ticks (newest, quantized to obs::kAgeTickMs) and
+//            varint best-capacity node (+1; 0 = none).
+//   record:  node index (zigzag delta vs previous record), host (zigzag
+//            delta vs node), report age in ticks vs base (varint),
+//            coordinates (varint dim + F16 components), up/down kbps and
+//            capacity (F16), degree table (zigzag total, varint used,
+//            one varint per slot packing (session+1)<<2 | priority),
+//            telemetry flag byte; valid telemetry adds the sample age
+//            (zigzag ticks vs the record timestamp) and five counters,
+//            each zigzag delta-encoded against the previous record's
+//            telemetry.
+//
+// Round-trip guarantees (test-enforced): integer fields are exact;
+// timestamps within obs::kAgeTickMs; F16 fields within obs::kF16RelError
+// relative error (values below 2^-30 flush to zero). oldest/newest and the
+// best-capacity value are recomputed from the decoded members.
+
+std::vector<std::uint8_t> EncodeAggregate(const AggregateReport& agg);
+
+// Decode into *out (replacing its contents). False on truncated or
+// malformed input; *out is unspecified after a failure.
+bool DecodeAggregate(const std::uint8_t* data, std::size_t size,
+                     AggregateReport* out);
+
+// Exact byte count EncodeAggregate(agg).size() would return, without
+// materialising the buffer (same templated encoder, counting sink).
+std::size_t EncodedSize(const AggregateReport& agg);
 
 }  // namespace p2p::somo

@@ -319,12 +319,13 @@ void SomoProtocol::RecordRootMetrics(std::uint64_t round) {
 void SomoProtocol::OnRootViewRefreshed() {
   if (!config_.disseminate) return;
   auto snapshot = std::make_shared<const AggregateReport>(root_view_);
-  Disseminate(tree_->root(), std::move(snapshot), sim_.now());
+  const std::size_t wire = snapshot->SerializedBytes();
+  Disseminate(tree_->root(), std::move(snapshot), wire, sim_.now());
 }
 
 void SomoProtocol::Disseminate(LogicalIndex l,
                                std::shared_ptr<const AggregateReport> view,
-                               sim::Time arrival) {
+                               std::size_t wire, sim::Time arrival) {
   if (node_views_.size() < ring_.size()) node_views_.resize(ring_.size());
   const LogicalNode& ln = tree_->node(l);
   // A node adopts the copy unless a fresher one already arrived.
@@ -342,16 +343,16 @@ void SomoProtocol::Disseminate(LogicalIndex l,
     // owner.
     for (const dht::NodeIndex n : ln.reported) {
       if (n == ln.owner || !ring_.node(n).alive()) continue;
-      SendBetween(ln.owner, n, kMsgDisseminate, view->SerializedBytes(),
+      SendBetween(ln.owner, n, kMsgDisseminate, wire,
                   [adopt, n] { adopt(n); });
     }
     return;
   }
   for (const LogicalIndex c : ln.children) {
-    SendBetween(ln.owner, tree_->node(c).owner, kMsgDisseminate,
-                view->SerializedBytes(), [this, c, view] {
+    SendBetween(ln.owner, tree_->node(c).owner, kMsgDisseminate, wire,
+                [this, c, view, wire] {
                   if (!running_ || c >= tree_->size()) return;
-                  Disseminate(c, view, sim_.now());
+                  Disseminate(c, view, wire, sim_.now());
                 });
   }
 }

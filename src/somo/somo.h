@@ -164,9 +164,12 @@ class SomoProtocol {
   void PushToParent(LogicalIndex l);
   AggregateReport ComputeAggregate(LogicalIndex l) const;
   void OnRootViewRefreshed();
+  // `wire` is the view's encoded size, measured once per snapshot at the
+  // root and carried down — re-measuring per downward hop would cost
+  // O(members) per send now that SerializedBytes is a real encoding pass.
   void Disseminate(LogicalIndex l,
                    std::shared_ptr<const AggregateReport> view,
-                   sim::Time arrival);
+                   std::size_t wire, sim::Time arrival);
   void StartSyncGather();
   void SyncDescend(LogicalIndex l, sim::Time arrival, std::uint64_t round);
   void SyncReplyArrived(LogicalIndex l, const AggregateReport& child_agg,

@@ -1,13 +1,23 @@
 #include "util/csv.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <system_error>
 
 #include "util/check.h"
 
 namespace p2p::util {
+
+bool EnsureDir(const std::string& dir) {
+  if (dir.empty()) return false;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  return std::filesystem::is_directory(dir, ec);
+}
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
   P2P_CHECK(!header_.empty());

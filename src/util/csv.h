@@ -10,6 +10,12 @@
 
 namespace p2p::util {
 
+// Create `dir` (and any missing parents) if it does not exist. Returns
+// false when creation fails or the path exists but is not a directory —
+// callers writing CSVs there fail up front with a clear error instead of
+// one fopen failure per file.
+bool EnsureDir(const std::string& dir);
+
 class Table {
  public:
   using Cell = std::variant<std::string, double, long long>;

@@ -98,6 +98,42 @@ TEST(Heartbeat, EachFailureDetectedOnce) {
   EXPECT_EQ(hb.failures_detected(), 2u);
 }
 
+TEST(Heartbeat, SensorModeObservesWithoutRepairing) {
+  // auto_repair=false turns the detector into a pure sensor: timeouts
+  // still count, fire observers, and populate the per-node suspect sets
+  // that flow into in-band telemetry — but nobody calls DetectFailure, so
+  // the dead member stays in its neighbours' leafsets until an external
+  // reactor (the alert loop) evicts it.
+  HeartbeatFixture f(16);
+  HeartbeatConfig cfg;
+  cfg.period_ms = 500.0;
+  cfg.timeout_ms = 1600.0;
+  cfg.suspect_alive = true;
+  cfg.auto_repair = false;
+  HeartbeatProtocol hb(f.sim, f.ring, cfg);
+  NodeIndex dead = kNoNode;
+  hb.AddFailureObserver(
+      [&](NodeIndex, NodeIndex d, sim::Time) { dead = d; });
+  hb.Start();
+  f.sim.RunUntil(2000.0);
+  f.ring.Fail(3);
+  f.sim.RunUntil(8000.0);
+  EXPECT_EQ(dead, 3u);
+  EXPECT_EQ(hb.failures_detected(), 1u);
+  // No ring-wide cleanup: the victim is still in leafsets, only suspected.
+  std::size_t holders = 0, suspectors = 0;
+  for (const NodeIndex n : f.ring.SortedAlive()) {
+    if (f.ring.node(n).leafset().Contains(f.ring.node(3).id())) ++holders;
+    if (hb.suspected_count(n) > 0) ++suspectors;
+  }
+  EXPECT_GT(holders, 0u);
+  EXPECT_GT(suspectors, 0u);
+  // The external reactor's move: evict, then nobody holds the victim.
+  f.ring.DetectFailure(3);
+  for (const NodeIndex n : f.ring.SortedAlive())
+    EXPECT_FALSE(f.ring.node(n).leafset().Contains(f.ring.node(3).id()));
+}
+
 TEST(Heartbeat, StopCancelsFutureBeats) {
   HeartbeatFixture f(8);
   HeartbeatProtocol hb(f.sim, f.ring);

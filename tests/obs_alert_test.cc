@@ -1,0 +1,277 @@
+// AlertEngine semantics: threshold direction, debounce across Evaluate
+// calls, hysteresis (clear_threshold / clear_ms), the bounded drop-oldest
+// event log, reaction ordering, registry probes, and the deterministic
+// CSV / run-report renderings the determinism gate depends on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/alert.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+
+namespace p2p::obs {
+namespace {
+
+// A rule whose probe reads a mutable local — the unit-test stand-in for a
+// disseminated-view or registry probe.
+struct ProbeRule {
+  double value = 0.0;
+  std::function<double()> probe() {
+    return [this] { return value; };
+  }
+};
+
+TEST(AlertEngine, FiresAboveAndBelow) {
+  AlertEngine eng;
+  ProbeRule hi, lo;
+  AlertRule above;
+  above.name = "hi";
+  above.probe = hi.probe();
+  above.threshold = 10.0;
+  above.fire_above = true;
+  AlertRule below;
+  below.name = "lo";
+  below.probe = lo.probe();
+  below.threshold = 2.0;
+  below.fire_above = false;
+  const std::size_t r_hi = eng.AddRule(above);
+  const std::size_t r_lo = eng.AddRule(below);
+
+  hi.value = 10.0;  // not a breach: must be strictly above
+  lo.value = 2.0;   // not a breach: must be strictly below
+  eng.Evaluate(0.0);
+  EXPECT_FALSE(eng.active(r_hi));
+  EXPECT_FALSE(eng.active(r_lo));
+
+  hi.value = 10.5;
+  lo.value = 1.5;
+  eng.Evaluate(100.0);
+  EXPECT_TRUE(eng.active(r_hi));
+  EXPECT_TRUE(eng.active(r_lo));
+  EXPECT_EQ(eng.fires(), 2u);
+  EXPECT_DOUBLE_EQ(eng.first_fired_at(r_hi), 100.0);
+  EXPECT_DOUBLE_EQ(eng.last_value(r_lo), 1.5);
+}
+
+TEST(AlertEngine, DebounceRequiresSustainedBreach) {
+  AlertEngine eng;
+  ProbeRule p;
+  AlertRule r;
+  r.name = "debounced";
+  r.probe = p.probe();
+  r.threshold = 1.0;
+  r.debounce_ms = 500.0;
+  const std::size_t idx = eng.AddRule(r);
+
+  p.value = 2.0;
+  eng.Evaluate(0.0);  // breach starts
+  EXPECT_FALSE(eng.active(idx));
+  eng.Evaluate(400.0);  // held 400 < 500
+  EXPECT_FALSE(eng.active(idx));
+  p.value = 0.0;
+  eng.Evaluate(450.0);  // breach interrupted: debounce window resets
+  p.value = 2.0;
+  eng.Evaluate(500.0);  // new breach starts here
+  eng.Evaluate(900.0);  // held 400 < 500 since the reset
+  EXPECT_FALSE(eng.active(idx));
+  eng.Evaluate(1000.0);  // held 500 — fires
+  EXPECT_TRUE(eng.active(idx));
+  EXPECT_EQ(eng.fire_count(idx), 1u);
+  EXPECT_DOUBLE_EQ(eng.first_fired_at(idx), 1000.0);
+  // No refire while active.
+  eng.Evaluate(2000.0);
+  EXPECT_EQ(eng.fire_count(idx), 1u);
+}
+
+TEST(AlertEngine, HysteresisClearThresholdAndClearMs) {
+  AlertEngine eng;
+  ProbeRule p;
+  AlertRule r;
+  r.name = "hyst";
+  r.probe = p.probe();
+  r.threshold = 10.0;
+  r.clear_threshold = 5.0;  // must drop below 5 to begin clearing
+  r.clear_ms = 300.0;
+  const std::size_t idx = eng.AddRule(r);
+
+  p.value = 12.0;
+  eng.Evaluate(0.0);
+  ASSERT_TRUE(eng.active(idx));
+  p.value = 7.0;  // below threshold but above clear_threshold: stays active
+  eng.Evaluate(100.0);
+  EXPECT_TRUE(eng.active(idx));
+  p.value = 4.0;
+  eng.Evaluate(200.0);  // clearing window starts
+  EXPECT_TRUE(eng.active(idx));
+  eng.Evaluate(400.0);  // held 200 < 300
+  EXPECT_TRUE(eng.active(idx));
+  eng.Evaluate(500.0);  // held 300 — clears
+  EXPECT_FALSE(eng.active(idx));
+  EXPECT_EQ(eng.clears(), 1u);
+  // Re-breach after clearing fires again.
+  p.value = 12.0;
+  eng.Evaluate(600.0);
+  EXPECT_TRUE(eng.active(idx));
+  EXPECT_EQ(eng.fire_count(idx), 2u);
+  EXPECT_DOUBLE_EQ(eng.first_fired_at(idx), 0.0);  // first fire, not last
+}
+
+TEST(AlertEngine, NaNClearThresholdFallsBackToThreshold) {
+  AlertEngine eng;
+  ProbeRule p;
+  AlertRule r;
+  r.name = "noclearthresh";
+  r.probe = p.probe();
+  r.threshold = 10.0;
+  const std::size_t idx = eng.AddRule(r);
+  p.value = 11.0;
+  eng.Evaluate(0.0);
+  ASSERT_TRUE(eng.active(idx));
+  p.value = 9.0;  // below threshold (the fallback clear threshold), clear_ms 0
+  eng.Evaluate(100.0);
+  EXPECT_FALSE(eng.active(idx));
+}
+
+TEST(AlertEngine, ReactionsRunInOrderAfterLogging) {
+  AlertEngine eng;
+  ProbeRule p;
+  AlertRule r;
+  r.name = "react";
+  r.probe = p.probe();
+  r.threshold = 1.0;
+  const std::size_t idx = eng.AddRule(r);
+  std::vector<std::string> order;
+  eng.OnFire(idx, [&](const AlertEvent& ev) {
+    EXPECT_EQ(ev.kind, AlertEvent::kFire);
+    // The event is logged before reactions run.
+    EXPECT_FALSE(eng.events().empty());
+    order.push_back("fire1");
+  });
+  eng.OnFire(idx, [&](const AlertEvent&) { order.push_back("fire2"); });
+  eng.OnClear(idx, [&](const AlertEvent& ev) {
+    EXPECT_EQ(ev.kind, AlertEvent::kClear);
+    order.push_back("clear");
+  });
+
+  p.value = 2.0;
+  eng.Evaluate(0.0);
+  p.value = 0.0;
+  eng.Evaluate(100.0);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "fire1");
+  EXPECT_EQ(order[1], "fire2");
+  EXPECT_EQ(order[2], "clear");
+}
+
+TEST(AlertEngine, BoundedLogDropsOldestAndCounts) {
+  AlertEngine eng(/*log_capacity=*/4);
+  ProbeRule p;
+  AlertRule r;
+  r.name = "noisy";
+  r.probe = p.probe();
+  r.threshold = 1.0;
+  eng.AddRule(r);
+  // 6 fire/clear pairs = 12 events; capacity 4 keeps the newest 4.
+  for (int i = 0; i < 6; ++i) {
+    p.value = 2.0;
+    eng.Evaluate(i * 100.0);
+    p.value = 0.0;
+    eng.Evaluate(i * 100.0 + 50.0);
+  }
+  EXPECT_EQ(eng.events().size(), 4u);
+  EXPECT_EQ(eng.dropped_events(), 8u);
+  EXPECT_EQ(eng.fires(), 6u);
+  EXPECT_EQ(eng.clears(), 6u);
+  // Oldest first, and the retained window is the newest transitions.
+  EXPECT_DOUBLE_EQ(eng.events().front().time_ms, 400.0);
+  EXPECT_DOUBLE_EQ(eng.events().back().time_ms, 550.0);
+}
+
+TEST(AlertEngine, RegistryProbeReadsCountersAndGauges) {
+  MetricsRegistry reg;
+  AlertEngine eng;
+  AlertRule r;
+  r.name = "reg";
+  r.probe = MakeRegistryProbe(reg, "dht.leafset.repairs");
+  r.threshold = 2.0;
+  const std::size_t idx = eng.AddRule(r);
+  eng.Evaluate(0.0);  // absent metric reads 0.0
+  EXPECT_FALSE(eng.active(idx));
+  reg.counter("dht.leafset.repairs").Inc(3.0);
+  eng.Evaluate(100.0);
+  EXPECT_TRUE(eng.active(idx));
+  EXPECT_DOUBLE_EQ(eng.last_value(idx), 3.0);
+}
+
+TEST(AlertEngine, WriteCsvIsDeterministic) {
+  auto run = [](const std::string& path) {
+    AlertEngine eng;
+    ProbeRule p;
+    AlertRule r;
+    r.name = "csv";
+    r.probe = p.probe();
+    r.threshold = 1.0;
+    eng.AddRule(r);
+    p.value = 1.5;
+    eng.Evaluate(10.0);
+    p.value = 0.5;
+    eng.Evaluate(20.0);
+    EXPECT_TRUE(eng.WriteCsv(path));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const std::string a = run("alert_det_a.csv");
+  const std::string b = run("alert_det_b.csv");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // Header plus one line per event.
+  EXPECT_NE(a.find("time_ms,rule,kind,value"), std::string::npos);
+  EXPECT_NE(a.find("fire"), std::string::npos);
+  EXPECT_NE(a.find("clear"), std::string::npos);
+  std::remove("alert_det_a.csv");
+  std::remove("alert_det_b.csv");
+}
+
+TEST(AlertEngine, RunReportAlertsSection) {
+  auto make_json = [] {
+    AlertEngine eng;
+    ProbeRule p;
+    AlertRule r;
+    r.name = "view.stale";
+    r.probe = p.probe();
+    r.threshold = 1.0;
+    eng.AddRule(r);
+    p.value = 2.0;
+    eng.Evaluate(1000.0);
+    p.value = 0.0;
+    eng.Evaluate(2000.0);
+    RunReport report("alert_test");
+    report.set_seed(7);
+    report.AddAlerts("none.inband", eng);
+    return report.ToJson();
+  };
+  const std::string json = make_json();
+  EXPECT_NE(json.find("\"alerts\""), std::string::npos);
+  EXPECT_NE(json.find("\"none.inband\""), std::string::npos);
+  EXPECT_NE(json.find("\"view.stale\""), std::string::npos);
+  EXPECT_NE(json.find("\"fires\""), std::string::npos);
+  EXPECT_NE(json.find("\"evaluations\""), std::string::npos);
+  // Byte-identical across same-input constructions.
+  EXPECT_EQ(json, make_json());
+  // Engines with an empty log still serialize (fires: 0, events: []).
+  AlertEngine empty;
+  RunReport r2("alert_test");
+  r2.AddAlerts("quiet", empty);
+  const std::string j2 = r2.ToJson();
+  EXPECT_NE(j2.find("\"quiet\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2p::obs

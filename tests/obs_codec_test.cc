@@ -1,0 +1,193 @@
+// Telemetry wire primitives: LEB128 varints, zigzag signed mapping, the
+// 16-bit minifloat, age-tick quantization, and the writer/counter/reader
+// trio. The structural guarantee the aggregate codec leans on — the
+// counting sink reports exactly what the writing sink emits — is enforced
+// here at the primitive level.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "obs/telemetry_codec.h"
+#include "util/rng.h"
+
+namespace p2p::obs {
+namespace {
+
+TEST(Zigzag, MapsSignAlternating) {
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+  EXPECT_EQ(ZigzagEncode(2), 4u);
+}
+
+TEST(Zigzag, RoundTripsExtremes) {
+  const std::int64_t cases[] = {
+      0,
+      1,
+      -1,
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::min() + 1,
+  };
+  for (const std::int64_t v : cases) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v) << v;
+  }
+}
+
+TEST(Varint, RoundTripsBoundaries) {
+  // Every 7-bit length boundary, plus the 64-bit extremes.
+  std::vector<std::uint64_t> cases = {0, 1};
+  for (int bits = 7; bits < 64; bits += 7) {
+    const std::uint64_t edge = std::uint64_t{1} << bits;
+    cases.push_back(edge - 1);
+    cases.push_back(edge);
+  }
+  cases.push_back(std::numeric_limits<std::uint64_t>::max());
+  WireWriter w;
+  for (const std::uint64_t v : cases) w.Varint(v);
+  WireCounter c;
+  for (const std::uint64_t v : cases) c.Varint(v);
+  EXPECT_EQ(c.size(), w.size());
+  WireReader r(w.bytes().data(), w.size());
+  for (const std::uint64_t v : cases) {
+    EXPECT_EQ(r.Varint(), v);
+    EXPECT_TRUE(r.ok());
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  for (std::uint64_t v = 0; v < 128; ++v) {
+    WireCounter c;
+    c.Varint(v);
+    EXPECT_EQ(c.size(), 1u) << v;
+  }
+  WireCounter c;
+  c.Varint(128);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(F16, ExactOnSpecials) {
+  EXPECT_EQ(DecodeF16(EncodeF16(0.0)), 0.0);
+  EXPECT_EQ(DecodeF16(EncodeF16(-0.0)), 0.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(DecodeF16(EncodeF16(inf)), inf);
+  EXPECT_EQ(DecodeF16(EncodeF16(-inf)), -inf);
+  EXPECT_TRUE(std::isnan(
+      DecodeF16(EncodeF16(std::numeric_limits<double>::quiet_NaN()))));
+}
+
+TEST(F16, RelativeErrorBoundScan) {
+  // Sweep magnitudes across the representable range: the decoded value
+  // must stay within kF16RelError relative error, both signs.
+  util::Rng rng(99);
+  for (int e = -28; e <= 30; ++e) {
+    for (int i = 0; i < 50; ++i) {
+      const double mag = std::ldexp(1.0 + rng.Uniform(0.0, 1.0), e);
+      for (const double v : {mag, -mag}) {
+        const double d = DecodeF16(EncodeF16(v));
+        EXPECT_LE(std::abs(d - v), kF16RelError * std::abs(v))
+            << "value " << v << " decoded " << d;
+      }
+    }
+  }
+}
+
+TEST(F16, TinyValuesFlushToZero) {
+  EXPECT_EQ(DecodeF16(EncodeF16(std::ldexp(1.0, -40))), 0.0);
+  EXPECT_EQ(DecodeF16(EncodeF16(-std::ldexp(1.0, -40))), 0.0);
+}
+
+TEST(F16, HugeValuesSaturateToInfinity) {
+  const double d = DecodeF16(EncodeF16(1e30));
+  EXPECT_TRUE(std::isinf(d));
+  EXPECT_GT(d, 0.0);
+}
+
+TEST(AgeTicks, QuantizationBound) {
+  for (const double ms : {0.0, 1.0, 7.9, 16.0, 1234.5, 1e7}) {
+    const double back = TicksToMs(QuantizeTicks(ms));
+    EXPECT_LE(std::abs(back - ms), kAgeTickMs / 2.0 + 1e-9) << ms;
+  }
+  // Negative times clamp to tick zero (ages are non-negative by contract).
+  EXPECT_EQ(QuantizeTicks(-5.0), 0u);
+}
+
+TEST(WireReader, TruncationLatchesNotOk) {
+  WireWriter w;
+  w.Byte(1);
+  w.Varint(1u << 20);  // 3 bytes
+  w.F16(3.5);
+  ASSERT_EQ(w.size(), 6u);
+  // Reading from every strict prefix must fail cleanly, never read past
+  // the end, and stay failed (latched) once tripped.
+  for (std::size_t len = 0; len < w.size(); ++len) {
+    WireReader r(w.bytes().data(), len);
+    (void)r.Byte();
+    (void)r.Varint();
+    (void)r.F16();
+    EXPECT_FALSE(r.ok()) << "prefix " << len;
+    (void)r.Byte();
+    EXPECT_FALSE(r.ok());
+  }
+  WireReader full(w.bytes().data(), w.size());
+  EXPECT_EQ(full.Byte(), 1u);
+  EXPECT_EQ(full.Varint(), 1u << 20);
+  EXPECT_DOUBLE_EQ(full.F16(), 3.5);
+  EXPECT_TRUE(full.ok());
+  EXPECT_TRUE(full.AtEnd());
+}
+
+TEST(WireReader, OverlongVarintRejected) {
+  // 11 continuation bytes: more than a 64-bit varint can ever need.
+  std::vector<std::uint8_t> bytes(11, 0x80);
+  bytes.push_back(0x01);
+  WireReader r(bytes.data(), bytes.size());
+  (void)r.Varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireCounter, MatchesWriterOnRandomStreams) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    WireWriter w;
+    WireCounter c;
+    const int ops = 1 + static_cast<int>(rng.NextBounded(30));
+    for (int i = 0; i < ops; ++i) {
+      switch (rng.NextBounded(4)) {
+        case 0: {
+          const auto b = static_cast<std::uint8_t>(rng.NextBounded(256));
+          w.Byte(b);
+          c.Byte(b);
+          break;
+        }
+        case 1: {
+          const std::uint64_t v = rng() >> rng.NextBounded(64);
+          w.Varint(v);
+          c.Varint(v);
+          break;
+        }
+        case 2: {
+          const auto v = static_cast<std::int64_t>(rng());
+          w.Zigzag(v);
+          c.Zigzag(v);
+          break;
+        }
+        default: {
+          const double v = rng.Uniform(-1e6, 1e6);
+          w.F16(v);
+          c.F16(v);
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(c.size(), w.size()) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace p2p::obs

@@ -1,0 +1,203 @@
+// The closed monitor→react loop in miniature (the `alert` experiment's
+// mechanics at unit scale): heartbeat runs as a pure sensor
+// (auto_repair=false), SOMO disseminates the global view, and an
+// AlertEngine rule over one observer's *in-band copy* of that view drives
+// probe-and-evict repair when a crashed leaf owner pins view staleness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dht/heartbeat.h"
+#include "dht/ring.h"
+#include "obs/alert.h"
+#include "sim/simulation.h"
+#include "somo/somo.h"
+
+namespace p2p::somo {
+namespace {
+
+constexpr double kInterval = 500.0;    // SOMO reporting cycle T
+constexpr double kHbTimeout = 3500.0;
+constexpr double kCrashAt = 15000.0;
+constexpr double kHorizon = 60000.0;
+
+// One full in-band loop over a 64-node ring. Mirrors CmdAlert's wiring:
+// stale threshold = hb timeout + (depth+2)·T, debounce T/2, ∞ probe → 0,
+// suspects = aged-past-threshold members ∪ seen-but-vanished members, one
+// direct probe each (dead ⇒ evict, alive ⇒ false detect), then Rebuild.
+struct LoopRun {
+  double hb_detect = -1.0;
+  double alert_detect = -1.0;
+  double diss_period = 0.0;
+  std::size_t fires = 0;
+  std::size_t repaired = 0;
+  std::size_t false_detects = 0;
+  bool victim_evicted = false;
+  std::vector<obs::AlertEvent> events;
+};
+
+LoopRun RunLoop(std::uint64_t seed, bool crash) {
+  sim::Simulation sim(seed);
+  dht::Ring ring(8);
+  for (std::size_t i = 0; i < 64; ++i) ring.JoinHashed(i);
+  ring.StabilizeAll();
+
+  dht::HeartbeatConfig hb_cfg;
+  hb_cfg.suspect_alive = true;
+  hb_cfg.timeout_ms = kHbTimeout;
+  hb_cfg.auto_repair = false;  // sensor only: repair is the alert's job
+  dht::HeartbeatProtocol hb(sim, ring, hb_cfg);
+
+  SomoConfig cfg;
+  cfg.fanout = 4;
+  cfg.report_interval_ms = kInterval;
+  cfg.disseminate = true;
+  SomoProtocol somo(sim, ring, cfg, [&](dht::NodeIndex n) {
+    NodeReport r;
+    r.node = n;
+    r.host = ring.node(n).host();
+    r.generated_at = sim.now();
+    r.telemetry.suspects = hb.suspected_count(n);
+    r.telemetry.sampled_at = sim.now();
+    return r;
+  });
+
+  const LogicalTree& tree = somo.tree();
+  const dht::NodeIndex root_owner = tree.node(tree.root()).owner;
+  dht::NodeIndex observer = dht::kNoNode;
+  for (dht::NodeIndex n = 0; n < ring.size(); ++n) {
+    if (n == root_owner) continue;
+    observer = n;
+    break;
+  }
+  dht::NodeIndex victim = dht::kNoNode;
+  std::size_t victim_leaf_size = static_cast<std::size_t>(-1);
+  for (const LogicalIndex l : tree.leaves()) {
+    const LogicalNode& ln = tree.node(l);
+    if (ln.owner == root_owner || ln.owner == observer) continue;
+    if (ln.reported.empty() || ln.reported.size() >= victim_leaf_size)
+      continue;
+    victim_leaf_size = ln.reported.size();
+    victim = ln.owner;
+  }
+  EXPECT_NE(observer, dht::kNoNode);
+  EXPECT_NE(victim, dht::kNoNode);
+
+  LoopRun out;
+  out.diss_period = (static_cast<double>(tree.depth()) + 2.0) * kInterval;
+  const double stale_threshold = kHbTimeout + out.diss_period;
+
+  obs::AlertEngine engine;
+  obs::AlertRule stale;
+  stale.name = "view.stale";
+  stale.threshold = stale_threshold;
+  stale.debounce_ms = kInterval / 2.0;
+  stale.clear_ms = kInterval;
+  stale.probe = [&somo, observer] {
+    const double v = somo.ViewStalenessMs(observer);
+    return std::isfinite(v) ? v : 0.0;
+  };
+  const std::size_t stale_rule = engine.AddRule(std::move(stale));
+
+  hb.AddFailureObserver(
+      [&out, victim](dht::NodeIndex, dht::NodeIndex dead, sim::Time when) {
+        if (dead == victim && out.hb_detect < 0.0) out.hb_detect = when;
+      });
+
+  std::vector<char> evicted(ring.size(), 0);
+  std::vector<char> seen(ring.size(), 0);
+  engine.OnFire(stale_rule, [&](const obs::AlertEvent&) {
+    const SomoProtocol::NodeView& v = somo.ViewAt(observer);
+    if (!v.valid()) return;
+    std::vector<char> current(ring.size(), 0);
+    std::vector<dht::NodeIndex> suspects;
+    for (const auto& r : v.view->members) {
+      if (r.node >= ring.size()) continue;
+      current[r.node] = 1;
+      seen[r.node] = 1;
+      if (sim.now() - r.generated_at > stale_threshold)
+        suspects.push_back(r.node);
+    }
+    for (dht::NodeIndex n = 0; n < ring.size(); ++n) {
+      if (seen[n] && !current[n]) suspects.push_back(n);
+    }
+    for (const dht::NodeIndex n : suspects) {
+      if (evicted[n]) continue;
+      if (!ring.node(n).alive()) {
+        evicted[n] = 1;
+        ring.DetectFailure(n);
+        ++out.repaired;
+      } else {
+        ++out.false_detects;
+      }
+    }
+    somo.Rebuild();
+  });
+
+  hb.Start();
+  somo.Start();
+  sim.Every(kInterval / 2.0, kInterval / 2.0,
+            [&engine, &sim] { engine.Evaluate(sim.now()); });
+  if (crash) {
+    sim.At(kCrashAt, [&ring, victim] { ring.Fail(victim); });
+  }
+  sim.RunUntil(kHorizon);
+
+  out.alert_detect = engine.first_fired_at(stale_rule);
+  out.fires = engine.fire_count(stale_rule);
+  out.victim_evicted = evicted[victim] != 0;
+  out.events = engine.events();
+  somo.Stop();
+  hb.Stop();
+  return out;
+}
+
+TEST(SomoAlertLoop, InBandViewDrivesEvictionOfCrashedLeafOwner) {
+  const LoopRun run = RunLoop(42, /*crash=*/true);
+  // The sensor heartbeat noticed the silence...
+  ASSERT_GE(run.hb_detect, kCrashAt);
+  // ...but membership repair came solely from the alert reaction.
+  EXPECT_TRUE(run.victim_evicted);
+  EXPECT_GE(run.repaired, 1u);
+  ASSERT_GE(run.fires, 1u);
+  // Nothing fired before the fault existed.
+  EXPECT_GT(run.alert_detect, kCrashAt);
+  // Detection bound: staleness crosses threshold ≈ crash + threshold, so
+  // relative to the heartbeat (≈ crash + timeout − one heartbeat period)
+  // the in-band path lags by at most the dissemination period plus one
+  // debounce + one evaluation step (T/2 each) plus that heartbeat period.
+  EXPECT_LE(run.alert_detect,
+            run.hb_detect + run.diss_period + kInterval + 1000.0);
+}
+
+TEST(SomoAlertLoop, NoFaultTwinStaysQuiet) {
+  const LoopRun run = RunLoop(42, /*crash=*/false);
+  EXPECT_EQ(run.fires, 0u);
+  EXPECT_EQ(run.repaired, 0u);
+  EXPECT_EQ(run.false_detects, 0u);
+  EXPECT_TRUE(run.events.empty());
+  EXPECT_LT(run.alert_detect, 0.0);  // never fired
+}
+
+TEST(SomoAlertLoop, SameSeedYieldsIdenticalEventLogs) {
+  const LoopRun a = RunLoop(42, /*crash=*/true);
+  const LoopRun b = RunLoop(42, /*crash=*/true);
+  EXPECT_EQ(a.hb_detect, b.hb_detect);
+  EXPECT_EQ(a.alert_detect, b.alert_detect);
+  EXPECT_EQ(a.repaired, b.repaired);
+  EXPECT_EQ(a.false_detects, b.false_detects);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time_ms, b.events[i].time_ms);
+    EXPECT_EQ(a.events[i].rule, b.events[i].rule);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].value, b.events[i].value);
+  }
+  // A different seed shifts timer phases; the loop still detects/repairs.
+  const LoopRun c = RunLoop(43, /*crash=*/true);
+  EXPECT_TRUE(c.victim_evicted);
+}
+
+}  // namespace
+}  // namespace p2p::somo

@@ -97,13 +97,18 @@ TEST(AggregateReport, CapacityArgmaxMergeSortsUpward) {
   EXPECT_DOUBLE_EQ(root.best_capacity, 9.0);
 }
 
-TEST(AggregateReport, SerializedBytesModel) {
+TEST(AggregateReport, SerializedBytesIsMeasuredAndWithinBudget) {
+  // SerializedBytes is the measured codec output now, not a constant
+  // model: it must match EncodedSize exactly and fit the paper's budget.
   AggregateReport a;
-  EXPECT_EQ(a.SerializedBytes(), kReportHeaderBytes);
+  EXPECT_EQ(a.SerializedBytes(), EncodedSize(a));
+  EXPECT_LE(a.SerializedBytes(), kReportHeaderBytes);
   NodeReport r;
   r.node = 0;
   a.Add(r);
-  EXPECT_EQ(a.SerializedBytes(), kReportHeaderBytes + kPerRecordBytes);
+  EXPECT_EQ(a.SerializedBytes(), EncodedSize(a));
+  EXPECT_LE(a.SerializedBytes(), kReportHeaderBytes + kPerRecordBytes);
+  EXPECT_GT(a.SerializedBytes(), 0u);
 }
 
 // ---------------------------------------------------- redundant links --
@@ -182,9 +187,9 @@ TEST(SomoRedundant, BytesAccountedForAllTraffic) {
   somo->Start();
   f.sim.RunUntil(10000.0);
   EXPECT_GT(somo->bytes_sent(), 0u);
-  // Every message carries at least a header.
-  EXPECT_GE(somo->bytes_sent(),
-            somo->messages_sent() * kReportHeaderBytes);
+  // Every message carries at least the (compressed) encoding's version and
+  // count bytes; empty aggregates encode to ~2 bytes, not a 16-byte header.
+  EXPECT_GE(somo->bytes_sent(), somo->messages_sent() * 2);
 }
 
 // --------------------------------------------- in-band root swap -------

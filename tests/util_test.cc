@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <thread>
@@ -281,6 +282,30 @@ TEST(Table, WriteCsvRoundTripsThroughFile) {
 TEST(Table, WriteCsvFailsOnBadPath) {
   Table t({"a"});
   EXPECT_FALSE(t.WriteCsv("/nonexistent-dir-zzz/file.csv"));
+}
+
+TEST(EnsureDir, CreatesNestedDirectoriesAndIsIdempotent) {
+  const std::string base = ::testing::TempDir() + "/p2p_ensure_dir_test";
+  std::filesystem::remove_all(base);
+  const std::string nested = base + "/a/b/c";
+  EXPECT_TRUE(EnsureDir(nested));
+  EXPECT_TRUE(std::filesystem::is_directory(nested));
+  EXPECT_TRUE(EnsureDir(nested));  // already exists: still fine
+  // The created directory is actually usable for CSVs.
+  Table t({"x"});
+  t.AddRow({1.0});
+  EXPECT_TRUE(t.WriteCsv(nested + "/out.csv"));
+  std::filesystem::remove_all(base);
+}
+
+TEST(EnsureDir, FailsOnEmptyAndOnFileInTheWay) {
+  EXPECT_FALSE(EnsureDir(""));
+  const std::string file = ::testing::TempDir() + "/p2p_ensure_dir_file";
+  std::filesystem::remove_all(file);
+  std::ofstream(file) << "not a directory";
+  EXPECT_FALSE(EnsureDir(file));           // exists but is a file
+  EXPECT_FALSE(EnsureDir(file + "/sub"));  // parent is a file
+  std::filesystem::remove_all(file);
 }
 
 // ---------------------------------------------------------- thread pool --

@@ -7,6 +7,7 @@ identical inputs; this script compares their cpu_time per size:
 
     BM_TransportThroughputMetrics/N  vs  BM_TransportThroughput/N
     BM_PlanSessionMetrics/N          vs  BM_PlanSession/N
+    BM_SomoGatherAlerts/N            vs  BM_SomoGather/N
 
 When the JSON holds repetition aggregates (run_benches.sh passes
 --benchmark_repetitions for the overhead pass), the median row is used —
@@ -26,6 +27,7 @@ import sys
 PAIRS = [
     ("BM_TransportThroughputMetrics", "BM_TransportThroughput"),
     ("BM_PlanSessionMetrics", "BM_PlanSession"),
+    ("BM_SomoGatherAlerts", "BM_SomoGather"),
 ]
 
 

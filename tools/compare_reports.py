@@ -16,6 +16,11 @@ Compared, in order:
   metrics.counters/gauges         same key set; numbers within tolerance
   metrics.histograms              count exact; min/max/mean/sum/p* within
                                   tolerance
+  alerts                          exact: counts AND the full event log,
+                                  including t_ms (virtual time — this is
+                                  where same-seed timing determinism is
+                                  enforced, since result keys ending in
+                                  _ms are skipped as wall-clock timings)
   timeseries                      name and total_rows per entry
   metrics.profile                 ignored (wall clock)
 
@@ -97,6 +102,25 @@ def compare(left, right, differ):
                 if not differ.close(a.get(stat), b.get(stat), name):
                     differ.report(f"metrics.histograms.{name}.{stat}",
                                   a.get(stat), b.get(stat))
+
+    al, ar = left.get("alerts", {}), right.get("alerts", {})
+    for name in sorted(set(al) | set(ar)):
+        if name not in al or name not in ar:
+            differ.report(f"alerts.{name}",
+                          "present" if name in al else "<absent>",
+                          "present" if name in ar else "<absent>")
+            continue
+        a, b = al[name], ar[name]
+        for field in ("fires", "clears", "dropped", "evaluations"):
+            differ.exact(f"alerts.{name}.{field}", a.get(field), b.get(field))
+        ea, eb = a.get("events", []), b.get("events", [])
+        if len(ea) != len(eb):
+            differ.report(f"alerts.{name}.events (length)", len(ea), len(eb))
+            continue
+        for i, (va, vb) in enumerate(zip(ea, eb)):
+            # Alert events are virtual-time transitions: byte-identical
+            # across same-seed runs, t_ms included.
+            differ.exact(f"alerts.{name}.events[{i}]", va, vb)
 
     tl = {t["name"]: t for t in left.get("timeseries", [])}
     tr = {t["name"]: t for t in right.get("timeseries", [])}

@@ -6,6 +6,7 @@
 //   p2ppool_cli somo-loss --loss 0,0.1,0.3 --fail 1 --redundant
 //   p2ppool_cli hb-jitter --jitter 0,500,2000,4000
 //   p2ppool_cli observe --nodes 64 --loss 0.2 --timeseries-dir /tmp
+//   p2ppool_cli alert --preset 1200 --oracle hier --scenarios none,loss
 //   p2ppool_cli topo  --hosts 1200 --seed 7
 //   p2ppool_cli topo  --preset 10k --oracle hier
 //   p2ppool_cli fullstack --preset 10k --oracle hier --group 50
@@ -29,6 +30,7 @@
 #include "alm/mesh.h"
 #include "dht/heartbeat.h"
 #include "net/shard_plan.h"
+#include "obs/alert.h"
 #include "obs/run_report.h"
 #include "obs/timeseries.h"
 #include "pool/multi_session_sim.h"
@@ -55,6 +57,8 @@ int Usage() {
       "  somo-loss  sweep bus loss rates: SOMO root staleness vs loss\n"
       "  hb-jitter  sweep bus jitter: heartbeat false-positive rate\n"
       "  observe    SOMO self-monitoring vs ground truth under faults\n"
+      "  alert      in-band alerts: disseminated-view-triggered vs "
+      "ground-truth repair\n"
       "  topo       generate a transit-stub topology and print its stats\n"
       "  fullstack  DHT + SOMO + ALM planning on a preset-scale topology\n"
       "  compare    planners side by side (tree vs mesh) under fault "
@@ -96,6 +100,40 @@ std::vector<double> ParseDoubleList(const std::string& s) {
   }
   if (out.empty()) throw util::CheckError("empty list '" + s + "'");
   return out;
+}
+
+// Shared --scenarios parsing (observe, alert): a comma-separated subset of
+// none|loss|partition, with the loss scenario taking the command's --loss
+// probability.
+struct FaultScenario {
+  std::string name;
+  double loss = 0.0;
+  bool partition = false;
+};
+
+std::vector<FaultScenario> ParseScenarios(const std::string& flag,
+                                          double loss) {
+  std::vector<FaultScenario> scenarios;
+  std::size_t pos = 0;
+  while (pos <= flag.size()) {
+    const std::size_t comma = flag.find(',', pos);
+    const std::string name =
+        flag.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (name == "none") {
+      scenarios.push_back({name, 0.0, false});
+    } else if (name == "loss") {
+      scenarios.push_back({name, loss, false});
+    } else if (name == "partition") {
+      scenarios.push_back({name, 0.0, true});
+    } else if (!name.empty()) {
+      throw util::CheckError("unknown scenario '" + name +
+                             "' (none|loss|partition)");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (scenarios.empty()) throw util::CheckError("no scenarios selected");
+  return scenarios;
 }
 
 // Build the planner a command asked for: "tree" honors the --strategy
@@ -811,18 +849,45 @@ int CmdFullstack(util::FlagParser& flags) {
                           somo_peers);
     }
   }
+  // The root view lives on the instance owning the SOMO root point's host
+  // (all shards build the identical tree).
+  const somo::LogicalTree& tree0 = somos[0]->tree();
+  const dht::NodeIndex somo_root_owner = tree0.node(tree0.root()).owner;
+  const std::size_t root_shard =
+      ssim.ShardOfHost(ring.node(somo_root_owner).host());
+  somo::SomoProtocol& root_somo = *somos[root_shard];
+
+  // Root-staleness sentinel, evaluated on the root owner's shard so the
+  // probe only reads shard-local state (race-free under --shards, where
+  // dissemination is unavailable and the root view is the freshest copy).
+  // The threshold is the unsync gather bound plus slack; a healthy run
+  // logs zero fires, and the (empty) event log still lands in the report's
+  // alerts section for the determinism gate to diff.
+  obs::AlertEngine alert_engine;
+  obs::AlertRule root_stale;
+  root_stale.name = "somo.root.stale";
+  root_stale.threshold = (static_cast<double>(tree0.depth()) + 2.0) * interval;
+  root_stale.debounce_ms = interval;
+  root_stale.clear_ms = interval;
+  root_stale.probe = [&root_somo] {
+    const double v = root_somo.RootStalenessMs();
+    return std::isfinite(v) ? v : 0.0;  // no complete view yet
+  };
+  const std::size_t root_stale_rule =
+      alert_engine.AddRule(std::move(root_stale));
+  sim::Simulation& root_sim = ssim.shard(root_shard);
+  root_sim.Every(interval / 2.0, interval / 2.0,
+                 [&alert_engine, &root_sim] {
+                   alert_engine.Evaluate(root_sim.now());
+                 });
+
   for (auto& hb : hbs) hb->Start();
   for (auto& so : somos) so->Start();
   const std::size_t protocol_events = ssim.RunUntil(horizon);
 
-  // Aggregated protocol stats: deliveries sum across instances; the root
-  // view lives on the instance owning the SOMO root point's host.
+  // Aggregated protocol stats: deliveries sum across instances.
   std::size_t hb_delivered = 0;
   for (const auto& hb : hbs) hb_delivered += hb->heartbeats_delivered();
-  const somo::LogicalTree& tree0 = somos[0]->tree();
-  const dht::NodeIndex somo_root_owner = tree0.node(tree0.root()).owner;
-  somo::SomoProtocol& root_somo =
-      *somos[ssim.ShardOfHost(ring.node(somo_root_owner).host())];
 
   std::printf("planning one %zu-member session (%s) ...\n", group,
               planner_name == "tree" ? strategy_name.c_str()
@@ -885,6 +950,8 @@ int CmdFullstack(util::FlagParser& flags) {
             static_cast<long long>(root_somo.gathers_completed())});
   t.AddRow({std::string("SOMO root staleness (ms)"),
             root_somo.RootStalenessMs()});
+  t.AddRow({std::string("alert fires"),
+            static_cast<long long>(alert_engine.fires())});
   t.AddRow({std::string("AMCast baseline height (ms)"), base});
   t.AddRow({std::string("planned height (ms)"), r.height_true});
   t.AddRow({std::string("improvement"),
@@ -931,6 +998,13 @@ int CmdFullstack(util::FlagParser& flags) {
   report.AddResult("somo_gathers",
                    static_cast<double>(root_somo.gathers_completed()));
   report.AddResult("somo_root_staleness_ms", root_somo.RootStalenessMs());
+  report.AddResult("alert_fires", static_cast<double>(alert_engine.fires()));
+  report.AddResult("alert_evaluations",
+                   static_cast<double>(alert_engine.evaluations()));
+  report.AddResult(
+      "alert_root_stale_first_ms",
+      alert_engine.first_fired_at(root_stale_rule));
+  report.AddAlerts("fullstack", alert_engine);
   report.AddResult("base_height_ms", base);
   report.AddResult("planned_height_ms", r.height_true);
   report.AddResult("improvement", alm::Improvement(base, r.height_true));
@@ -1173,33 +1247,12 @@ int CmdObserve(util::FlagParser& flags) {
       "timeseries-dir", "", "write observe_<scenario>.csv files to DIR");
   const std::string report_path = ReportPath(flags);
 
-  struct Scenario {
-    std::string name;
-    double loss = 0.0;
-    bool partition = false;
-  };
-  std::vector<Scenario> scenarios;
-  {
-    std::size_t pos = 0;
-    while (pos <= scenarios_flag.size()) {
-      const std::size_t comma = scenarios_flag.find(',', pos);
-      const std::string name = scenarios_flag.substr(
-          pos, comma == std::string::npos ? comma : comma - pos);
-      if (name == "none") {
-        scenarios.push_back({name, 0.0, false});
-      } else if (name == "loss") {
-        scenarios.push_back({name, loss, false});
-      } else if (name == "partition") {
-        scenarios.push_back({name, 0.0, true});
-      } else if (!name.empty()) {
-        throw util::CheckError("unknown scenario '" + name +
-                               "' (none|loss|partition)");
-      }
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
+  const std::vector<FaultScenario> scenarios =
+      ParseScenarios(scenarios_flag, loss);
+  if (!ts_dir.empty() && !util::EnsureDir(ts_dir)) {
+    std::printf("error: cannot create --timeseries-dir %s\n", ts_dir.c_str());
+    return 1;
   }
-  if (scenarios.empty()) throw util::CheckError("no scenarios selected");
 
   obs::RunReport report("observe");
   report.set_seed(seed);
@@ -1212,8 +1265,8 @@ int CmdObserve(util::FlagParser& flags) {
   std::vector<std::unique_ptr<sim::Simulation>> sims;
 
   util::Table t({"scenario", "coverage", "count_err%", "age_err_ms",
-                 "peak_age_ms", "root_stale_ms", "drop%"});
-  for (const Scenario& sc : scenarios) {
+                 "peak_age_ms", "root_stale_ms", "view_cov", "drop%"});
+  for (const FaultScenario& sc : scenarios) {
     sims.push_back(std::make_unique<sim::Simulation>(seed));
     sim::Simulation& sim = *sims.back();
     sim.EnableMetrics();
@@ -1236,18 +1289,22 @@ int CmdObserve(util::FlagParser& flags) {
     somo::SomoConfig cfg;
     cfg.fanout = fanout;
     cfg.report_interval_ms = interval;
+    // Disseminate the root view back down, so every node holds a copy of
+    // the newscast whose error vs ground truth can be scored below.
+    cfg.disseminate = true;
     somo::SomoProtocol somo(sim, ring, cfg, [&](dht::NodeIndex n) {
       somo::NodeReport r;
       r.node = n;
       r.host = ring.node(n).host();
       r.generated_at = sim.now();
       // In-band self-monitoring: snapshot this host's transport counters
-      // into the report (rides the existing 40-byte record budget).
+      // into the report (rides the measured 40-byte record budget).
       const sim::HostStats& hs = sim.transport().host_stats(r.host);
       r.telemetry.msgs_sent = hs.sent;
       r.telemetry.msgs_delivered = hs.delivered;
       r.telemetry.msgs_dropped = hs.dropped;
       r.telemetry.bytes_sent = hs.bytes;
+      r.telemetry.suspects = hb.suspected_count(n);
       r.telemetry.sampled_at = sim.now();
       return r;
     });
@@ -1273,6 +1330,9 @@ int CmdObserve(util::FlagParser& flags) {
       });
       sampler.AddProbe("inflight_messages", [&] {
         return static_cast<double>(sim.transport().inflight_messages());
+      });
+      sampler.AddProbe("nodes_with_view", [&] {
+        return static_cast<double>(somo.nodes_with_view());
       });
       sim.Every(interval, interval, [&] { sampler.Sample(sim.now()); });
     }
@@ -1328,8 +1388,43 @@ int CmdObserve(util::FlagParser& flags) {
                               static_cast<double>(total.sent);
     const double root_stale = somo.RootStalenessMs();
 
+    // Dissemination scoring: every node's copy of the newscast, not just
+    // the root's. Per node with a view: staleness of the copy and the mean
+    // relative error of its telemetry counts vs live ground truth. The
+    // whole distribution lands in the metrics histograms; headline
+    // percentiles in the results.
+    std::vector<double> view_age, view_err;
+    obs::Histogram& h_age = sim.metrics().histogram("observe.view.age_ms");
+    obs::Histogram& h_err =
+        sim.metrics().histogram("observe.view.count_err_pct");
+    for (dht::NodeIndex n = 0; n < nodes; ++n) {
+      if (!ring.node(n).alive()) continue;
+      const somo::SomoProtocol::NodeView& v = somo.ViewAt(n);
+      if (!v.valid() || v.view->empty()) continue;
+      const double age = sim.now() - v.view->oldest;
+      double err = 0.0;
+      std::size_t cnt = 0;
+      for (const auto& r : v.view->members) {
+        if (!r.telemetry.valid()) continue;
+        ++cnt;
+        const sim::HostStats& truth = sim.transport().host_stats(r.host);
+        const double truth_sent = static_cast<double>(truth.sent);
+        err += std::abs(static_cast<double>(r.telemetry.msgs_sent) -
+                        truth_sent) /
+               std::max(1.0, truth_sent);
+      }
+      err = cnt > 0 ? 100.0 * err / static_cast<double>(cnt) : 0.0;
+      view_age.push_back(age);
+      view_err.push_back(err);
+      h_age.Add(age);
+      h_err.Add(err);
+    }
+    const double view_cov = static_cast<double>(view_age.size()) /
+                            static_cast<double>(ring.alive_count());
+    sim.metrics().gauge("observe.view.coverage").Set(view_cov);
+
     t.AddRow({sc.name, final.coverage, final.count_err_pct, final.age_ms,
-              peak.age_ms, root_stale, drop_pct});
+              peak.age_ms, root_stale, view_cov, drop_pct});
     const std::string prefix = sc.name + ".";
     report.AddResult(prefix + "coverage", final.coverage);
     report.AddResult(prefix + "count_error_pct", final.count_err_pct);
@@ -1338,6 +1433,16 @@ int CmdObserve(util::FlagParser& flags) {
     report.AddResult(prefix + "peak_age_error_ms", peak.age_ms);
     report.AddResult(prefix + "root_staleness_ms", root_stale);
     report.AddResult(prefix + "drop_pct", drop_pct);
+    report.AddResult(prefix + "view_coverage", view_cov);
+    report.AddResult(
+        prefix + "view_age_p50_ms",
+        view_age.empty() ? -1.0 : util::Percentile(view_age, 50));
+    report.AddResult(
+        prefix + "view_age_p90_ms",
+        view_age.empty() ? -1.0 : util::Percentile(view_age, 90));
+    report.AddResult(
+        prefix + "view_count_err_p90_pct",
+        view_err.empty() ? -1.0 : util::Percentile(view_err, 90));
 
     if (!ts_path.empty()) {
       if (!sampler.WriteCsv(ts_path)) {
@@ -1354,6 +1459,376 @@ int CmdObserve(util::FlagParser& flags) {
   std::printf("%s", t.ToText(3).c_str());
   if (!ts_dir.empty())
     std::printf("timeseries CSVs -> %s/observe_<scenario>.csv\n",
+                ts_dir.c_str());
+  if (!sims.empty()) report.AttachMetrics(&sims.back()->metrics());
+  return FinishReport(report, report_path);
+}
+
+// The closed monitor→react loop: can the *in-band* disseminated SOMO view,
+// not the simulator's ground truth, drive membership healing — and how far
+// behind ground truth does it run?
+//
+// Per fault scenario, two arms over identical seeds:
+//   truth   heartbeats auto-repair (Ring::DetectFailure on timeout) and a
+//           failure observer rebuilds the SOMO tree — the conventional
+//           out-of-band reactor.
+//   inband  heartbeats run as pure sensors (auto_repair off): timeouts only
+//           feed the per-node suspect sets riding the telemetry. Repair is
+//           triggered solely by alert rules over one observer node's copy
+//           of the disseminated newscast; on a stale-view fire the reactor
+//           direct-probes the stale members ("contacting the nodes reveals
+//           the truth"), evicts the ones that do not answer, and rebuilds
+//           the tree. Probes answered by live members count as
+//           false_detects.
+//
+// The injected failure is the owner of one SOMO leaf: its death silences a
+// whole gather subtree, so the victims' reports pin the view's staleness —
+// exactly the signal the "view.stale" rule watches. Detection latency is
+// measured within-run (heartbeat observers fire in sensor mode too), and
+// the stale threshold is derived from the tree: one dissemination period
+// (depth+2 reporting cycles) past the heartbeat timeout.
+int CmdAlert(util::FlagParser& flags) {
+  const std::string preset_name =
+      flags.GetString("preset", "1200", "topology preset (1200|10k|50k)");
+  net::OracleOptions oracle_opts = OracleFlagOptions(flags);
+  const auto seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 1, "experiment seed"));
+  const auto fanout =
+      static_cast<std::size_t>(flags.GetInt("fanout", 8, "SOMO fanout k"));
+  const double interval =
+      flags.GetDouble("interval-ms", 1000.0, "SOMO reporting cycle T");
+  const double horizon =
+      flags.GetDouble("horizon-ms", 60000.0, "simulated time per run");
+  const double loss = flags.GetDouble(
+      "loss", 0.05, "loss probability for the 'loss' scenario");
+  const double hb_timeout =
+      flags.GetDouble("hb-timeout-ms", 3500.0, "heartbeat failure timeout");
+  const std::string scenarios_flag = flags.GetString(
+      "scenarios", "none,loss,partition", "comma-separated scenario names");
+  const std::string ts_dir = flags.GetString(
+      "timeseries-dir", "", "write alert_<scenario>_<arm>.csv event logs");
+  const int jobs = flags.GetInt(
+      "jobs", 0, "oracle build threads (0 = hardware concurrency)");
+  const std::string report_path = ReportPath(flags);
+
+  const std::vector<FaultScenario> scenarios =
+      ParseScenarios(scenarios_flag, loss);
+  if (!ts_dir.empty() && !util::EnsureDir(ts_dir)) {
+    std::printf("error: cannot create --timeseries-dir %s\n", ts_dir.c_str());
+    return 1;
+  }
+
+  const net::TransitStubParams params =
+      net::PresetParams(net::ParseTopologyPreset(preset_name));
+  std::printf("generating %s topology (seed %llu) ...\n", preset_name.c_str(),
+              static_cast<unsigned long long>(seed));
+  util::Rng topo_rng(seed);
+  const auto topo = net::GenerateTransitStub(params, topo_rng);
+  const std::size_t hosts = topo.host_count();
+  util::ThreadPool workers(jobs < 0 ? 1 : static_cast<std::size_t>(jobs));
+  oracle_opts.pool = &workers;
+  const net::LatencyOracle oracle(topo, oracle_opts);
+
+  obs::RunReport report("alert");
+  report.set_seed(seed);
+  report.AddConfig("preset", preset_name);
+  report.AddConfig("oracle",
+                   oracle.kind() == net::OracleKind::kFlat ? "flat" : "hier");
+  report.AddConfig("fanout", static_cast<std::int64_t>(fanout));
+  report.AddConfig("interval_ms", interval);
+  report.AddConfig("horizon_ms", horizon);
+  report.AddConfig("loss", loss);
+  report.AddConfig("hb_timeout_ms", hb_timeout);
+  report.AddConfig("scenarios", scenarios_flag);
+
+  struct ArmResult {
+    double hb_detect = -1.0;     // heartbeat first times out the victim
+    double alert_detect = -1.0;  // "view.stale" first fires
+    double suspect_detect = -1.0;
+    std::size_t stale_fires = 0;
+    std::size_t suspect_fires = 0;
+    std::size_t false_detects = 0;  // stale members probed alive
+    std::size_t repaired = 0;       // stale members evicted (dead)
+    std::size_t rebuilds = 0;
+    double leafset_repairs = 0.0;
+    double end_alive_stale = -1.0;  // RootAliveStalenessMs at the horizon
+    std::size_t somo_msgs = 0;
+    std::size_t somo_bytes = 0;
+    std::size_t hb_false_susp = 0;
+    std::size_t tree_depth = 0;
+  };
+
+  std::vector<std::unique_ptr<sim::Simulation>> sims;
+  util::Table t({"scenario", "arm", "hb_detect", "alert_detect", "delta",
+                 "fires", "false_det", "repaired", "end_stale_ms"});
+  bool wrote_period = false;
+
+  for (const FaultScenario& sc : scenarios) {
+    for (const bool inband : {false, true}) {
+      const std::string arm = inband ? "inband" : "truth";
+      // Both arms run the same seed: identical timer phases and fault
+      // schedule, so the only divergence is who drives the repair.
+      sims.push_back(std::make_unique<sim::Simulation>(seed));
+      sim::Simulation& sim = *sims.back();
+      sim.EnableMetrics();
+      sim.transport().EnablePerHostStats(hosts);
+      sim.transport().faults().loss_probability = sc.loss;
+
+      dht::Ring ring(32, &oracle);
+      const dht::NodeIndex first = ring.JoinBatchHashed(0, hosts);
+      P2P_CHECK(first == 0 && ring.size() == hosts);
+      ring.set_metrics(&sim.metrics());
+
+      dht::HeartbeatConfig hb_cfg;
+      hb_cfg.suspect_alive = true;
+      hb_cfg.timeout_ms = hb_timeout;
+      hb_cfg.auto_repair = !inband;
+      dht::HeartbeatProtocol hb(sim, ring, hb_cfg);
+
+      somo::SomoConfig cfg;
+      cfg.fanout = fanout;
+      cfg.report_interval_ms = interval;
+      cfg.disseminate = true;
+      somo::SomoProtocol somo(sim, ring, cfg, [&](dht::NodeIndex n) {
+        somo::NodeReport r;
+        r.node = n;
+        r.host = ring.node(n).host();
+        r.generated_at = sim.now();
+        const sim::HostStats& hs = sim.transport().host_stats(r.host);
+        r.telemetry.msgs_sent = hs.sent;
+        r.telemetry.msgs_delivered = hs.delivered;
+        r.telemetry.msgs_dropped = hs.dropped;
+        r.telemetry.bytes_sent = hs.bytes;
+        r.telemetry.suspects = hb.suspected_count(n);
+        r.telemetry.sampled_at = sim.now();
+        return r;
+      });
+
+      // Cast: root owner; an observer holding a disseminated copy; a
+      // victim owning the smallest SOMO leaf. Observer and victim sit
+      // outside the partition block [0, hosts/8) so the partition scenario
+      // degrades their *view*, not their connectivity.
+      const somo::LogicalTree& tree = somo.tree();
+      const dht::NodeIndex root_owner = tree.node(tree.root()).owner;
+      const std::size_t block_hi = hosts / 8;
+      dht::NodeIndex observer = dht::kNoNode;
+      for (dht::NodeIndex n = 0; n < ring.size(); ++n) {
+        if (ring.node(n).host() < block_hi || n == root_owner) continue;
+        observer = n;
+        break;
+      }
+      dht::NodeIndex victim = dht::kNoNode;
+      std::size_t victim_leaf_size = static_cast<std::size_t>(-1);
+      for (const somo::LogicalIndex l : tree.leaves()) {
+        const somo::LogicalNode& ln = tree.node(l);
+        if (ln.owner == root_owner || ln.owner == observer) continue;
+        if (ring.node(ln.owner).host() < block_hi) continue;
+        if (ln.reported.empty() || ln.reported.size() >= victim_leaf_size)
+          continue;
+        victim_leaf_size = ln.reported.size();
+        victim = ln.owner;
+      }
+      P2P_CHECK(observer != dht::kNoNode && victim != dht::kNoNode);
+
+      // Rules over the observer's in-band copy of the newscast.
+      obs::AlertEngine engine;
+      const double diss_period = (static_cast<double>(tree.depth()) + 2.0) *
+                                 interval;
+      const double stale_threshold = hb_timeout + diss_period;
+      obs::AlertRule stale;
+      stale.name = "view.stale";
+      stale.threshold = stale_threshold;
+      // Half a cycle of debounce: one confirming evaluation. A full cycle
+      // would push in-band detection beyond the dissemination-period bound
+      // the experiment is out to demonstrate.
+      stale.debounce_ms = interval / 2.0;
+      stale.clear_ms = interval;
+      stale.probe = [&somo, observer] {
+        const double v = somo.ViewStalenessMs(observer);
+        return std::isfinite(v) ? v : 0.0;  // no view yet: nothing to alert
+      };
+      const std::size_t stale_rule = engine.AddRule(std::move(stale));
+      obs::AlertRule susp;
+      susp.name = "suspect.rate";
+      susp.threshold = 1.0;  // mean suspects per reported member
+      susp.debounce_ms = interval;
+      susp.clear_ms = interval;
+      susp.probe = [&somo, observer] {
+        const somo::SomoProtocol::NodeView& v = somo.ViewAt(observer);
+        if (!v.valid() || v.view->empty()) return 0.0;
+        double total = 0.0;
+        for (const auto& r : v.view->members) {
+          if (r.telemetry.valid())
+            total += static_cast<double>(r.telemetry.suspects);
+        }
+        return total / static_cast<double>(v.view->size());
+      };
+      const std::size_t susp_rule = engine.AddRule(std::move(susp));
+
+      ArmResult res;
+      res.tree_depth = tree.depth();
+      hb.AddFailureObserver([&res, &somo, victim, inband](
+                                dht::NodeIndex, dht::NodeIndex dead,
+                                sim::Time when) {
+        if (dead == victim && res.hb_detect < 0.0) res.hb_detect = when;
+        if (!inband) {
+          // Truth arm reactor: membership already healed by auto-repair;
+          // re-derive the gather tree (fires once per dead node).
+          somo.Rebuild();
+          ++res.rebuilds;
+        }
+      });
+      std::vector<char> evicted(ring.size(), 0);
+      std::vector<char> seen(ring.size(), 0);  // ever in the observer's view
+      if (inband) {
+        // Shared reactor: suspects are members whose report aged past the
+        // threshold, plus members the view has *lost* (a rebuilt tree
+        // drops a dead machine's cached report entirely, so absence —
+        // against the membership the newscast itself taught the observer —
+        // is the other staleness signal). Each suspect gets one direct
+        // probe ("contacting the nodes reveals the truth"): unanswered ⇒
+        // evict + leafset repair, answered ⇒ false detect. Either way the
+        // gather tree is re-derived.
+        const auto probe_and_repair = [&] {
+          const somo::SomoProtocol::NodeView& v = somo.ViewAt(observer);
+          if (!v.valid()) return;
+          std::vector<char> current(ring.size(), 0);
+          std::vector<dht::NodeIndex> suspects;
+          for (const auto& r : v.view->members) {
+            if (r.node >= ring.size()) continue;
+            current[r.node] = 1;
+            seen[r.node] = 1;
+            if (sim.now() - r.generated_at > stale_threshold)
+              suspects.push_back(r.node);
+          }
+          for (dht::NodeIndex n = 0; n < ring.size(); ++n) {
+            if (seen[n] && !current[n]) suspects.push_back(n);
+          }
+          for (const dht::NodeIndex n : suspects) {
+            if (evicted[n]) continue;
+            if (!ring.node(n).alive()) {
+              evicted[n] = 1;
+              ring.DetectFailure(n);
+              ++res.repaired;
+              sim.metrics().counter("alert.repairs").Inc();
+            } else {
+              ++res.false_detects;
+              sim.metrics().counter("alert.false_detects").Inc();
+            }
+          }
+          somo.Rebuild();
+          ++res.rebuilds;
+          sim.metrics().counter("alert.rebuilds").Inc();
+        };
+        engine.OnFire(stale_rule,
+                      [probe_and_repair](const obs::AlertEvent&) {
+                        probe_and_repair();
+                      });
+        engine.OnFire(susp_rule,
+                      [probe_and_repair](const obs::AlertEvent&) {
+                        probe_and_repair();
+                      });
+      }
+
+      hb.Start();
+      somo.Start();
+      sim.Every(interval / 2.0, interval / 2.0,
+                [&engine, &sim] { engine.Evaluate(sim.now()); });
+
+      const double t_crash = horizon / 3.0;
+      sim.At(t_crash, [&ring, victim] { ring.Fail(victim); });
+      if (sc.partition) {
+        std::vector<std::size_t> block;
+        for (std::size_t h = 0; h < block_hi; ++h) {
+          if (h == ring.node(root_owner).host()) continue;
+          block.push_back(h);
+        }
+        sim.At(t_crash,
+               [&sim, block] { sim.transport().Partition(block); });
+        sim.At(2.0 * horizon / 3.0,
+               [&sim] { sim.transport().HealPartitions(); });
+      }
+
+      sim.RunUntil(horizon);
+
+      res.alert_detect = engine.first_fired_at(stale_rule);
+      res.suspect_detect = engine.first_fired_at(susp_rule);
+      res.stale_fires = engine.fire_count(stale_rule);
+      res.suspect_fires = engine.fire_count(susp_rule);
+      res.leafset_repairs = sim.metrics().Value("dht.leafset.repairs");
+      const double alive_stale = somo.RootAliveStalenessMs();
+      res.end_alive_stale = std::isfinite(alive_stale) ? alive_stale : -1.0;
+      res.somo_msgs = somo.messages_sent();
+      res.somo_bytes = somo.bytes_sent();
+      res.hb_false_susp = hb.false_suspicions();
+      // Missed repair: the injected failure was never acted on — the truth
+      // arm's heartbeat never timed the victim out, or the in-band arm's
+      // reactor never evicted it.
+      const bool missed =
+          inband ? evicted[victim] == 0 : res.hb_detect < 0.0;
+      somo.Stop();
+      hb.Stop();
+
+      const double delta =
+          res.hb_detect >= 0.0 && res.alert_detect >= 0.0
+              ? res.alert_detect - res.hb_detect
+              : -1.0;
+      t.AddRow({sc.name, arm, res.hb_detect, res.alert_detect, delta,
+                static_cast<long long>(res.stale_fires + res.suspect_fires),
+                static_cast<long long>(res.false_detects),
+                static_cast<long long>(res.repaired), res.end_alive_stale});
+
+      if (!wrote_period) {
+        // Identical across scenarios and arms (same membership, same tree).
+        report.AddResult("tree_depth", static_cast<double>(res.tree_depth));
+        report.AddResult("dissemination_period_ms", diss_period);
+        report.AddResult("stale_threshold_ms", stale_threshold);
+        wrote_period = true;
+      }
+      const std::string prefix = sc.name + "." + arm + ".";
+      report.AddResult(prefix + "hb_detect_ms", res.hb_detect);
+      report.AddResult(prefix + "alert_detect_ms", res.alert_detect);
+      report.AddResult(prefix + "detect_delta_ms", delta);
+      report.AddResult(prefix + "suspect_detect_ms", res.suspect_detect);
+      report.AddResult(prefix + "stale_fires",
+                       static_cast<double>(res.stale_fires));
+      report.AddResult(prefix + "suspect_fires",
+                       static_cast<double>(res.suspect_fires));
+      report.AddResult(prefix + "false_detects",
+                       static_cast<double>(res.false_detects));
+      report.AddResult(prefix + "missed_repairs", missed ? 1.0 : 0.0);
+      report.AddResult(prefix + "repaired",
+                       static_cast<double>(res.repaired));
+      report.AddResult(prefix + "rebuilds",
+                       static_cast<double>(res.rebuilds));
+      report.AddResult(prefix + "leafset_repairs", res.leafset_repairs);
+      report.AddResult(prefix + "end_alive_staleness_ms",
+                       res.end_alive_stale);
+      report.AddResult(prefix + "somo_messages",
+                       static_cast<double>(res.somo_msgs));
+      report.AddResult(prefix + "somo_bytes",
+                       static_cast<double>(res.somo_bytes));
+      report.AddResult(prefix + "hb_false_suspicions",
+                       static_cast<double>(res.hb_false_susp));
+      report.AddAlerts(sc.name + "." + arm, engine);
+
+      if (!ts_dir.empty()) {
+        const std::string csv_path =
+            ts_dir + "/alert_" + sc.name + "_" + arm + ".csv";
+        if (!engine.WriteCsv(csv_path)) {
+          std::printf("error: cannot write alert log to %s\n",
+                      csv_path.c_str());
+          return 1;
+        }
+        report.AddTimeseries(sc.name + "." + arm + ".alerts", csv_path,
+                             engine.events().size(),
+                             engine.events().size() + engine.dropped_events());
+      }
+    }
+  }
+  std::printf("%s", t.ToText(1).c_str());
+  if (!ts_dir.empty())
+    std::printf("alert event CSVs -> %s/alert_<scenario>_<arm>.csv\n",
                 ts_dir.c_str());
   if (!sims.empty()) report.AttachMetrics(&sims.back()->metrics());
   return FinishReport(report, report_path);
@@ -1385,6 +1860,8 @@ int main(int argc, char** argv) {
       rc = CmdCompare(flags);
     } else if (cmd == "observe") {
       rc = CmdObserve(flags);
+    } else if (cmd == "alert") {
+      rc = CmdAlert(flags);
     } else {
       std::printf("unknown command '%s'\n", cmd.c_str());
       return Usage();

@@ -9,7 +9,8 @@
 # Also writes BENCH_metrics_snapshot.json — a p2pmetrics/v1 registry
 # snapshot from a short instrumented workload — and checks the metrics
 # overhead pairs (BM_TransportThroughputMetrics vs BM_TransportThroughput,
-# BM_PlanSessionMetrics vs BM_PlanSession) stay under 5%.
+# BM_PlanSessionMetrics vs BM_PlanSession, BM_SomoGatherAlerts vs
+# BM_SomoGather) stay under 5%.
 #
 # Usage: tools/run_benches.sh [extra google-benchmark flags...]
 set -euo pipefail
@@ -48,14 +49,17 @@ if [[ -n "$alm_baseline" ]]; then rm -f "$alm_baseline"; fi
 
 # Metrics-overhead regression gate (<5%): a focused re-run of the
 # instrumented/bare twins with repetitions, compared on median cpu_time
-# (single-shot comparisons are dominated by scheduler noise). Warn-only:
+# (single-shot comparisons are dominated by scheduler noise). Repetitions
+# are randomly interleaved so slow machine drift hits both twins equally
+# instead of biasing whichever runs second. Warn-only:
 # noise on loaded machines should not fail the whole bench run.
 ./build-release/bench/bench_to_json \
-  --benchmark_filter='BM_TransportThroughput(Metrics)?/|BM_PlanSession(Metrics)?/' \
+  --benchmark_filter='BM_TransportThroughput(Metrics)?/|BM_PlanSession(Metrics)?/|BM_SomoGather(Alerts)?/' \
   --benchmark_out="$repo_root/BENCH_obs_overhead.json" \
   --benchmark_out_format=json \
   --benchmark_min_time=0.5 \
   --benchmark_repetitions=5 \
+  --benchmark_enable_random_interleaving=true \
   --benchmark_report_aggregates_only=true
 echo "wrote $repo_root/BENCH_obs_overhead.json"
 if command -v python3 >/dev/null 2>&1; then

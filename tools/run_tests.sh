@@ -83,6 +83,14 @@ if [ "$report_mode" = 1 ]; then
            --horizon-ms 10000 --report "$out/fullstack-sharded.json" >/dev/null
     "$cli" observe --nodes 32 --horizon-ms 20000 --timeseries-dir "$out" \
            --report "$out/observe.json" >/dev/null
+    # In-band alerting loop: the report embeds per-arm alert event logs
+    # (virtual-time transitions), so the a/b diff enforces byte-identical
+    # alert histories. The nested --timeseries-dir does not exist yet —
+    # exercising the EnsureDir path — and the alert_*.csv event logs land
+    # there. 36 s horizon: long enough for crash + detection + recovery.
+    "$cli" alert --preset 1200 --oracle hier --horizon-ms 36000 \
+           --timeseries-dir "$out/alert_ts/nested" \
+           --report "$out/alert.json" >/dev/null
     # Planner comparison (tree vs mesh, repair scenarios included): the
     # report carries per-planner repair rows, so the a/b diff also pins
     # the mesh rng-stream-continuation repair path to determinism.

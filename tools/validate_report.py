@@ -48,6 +48,55 @@ def validate_metrics(m, path, errors):
                     _err(path, f"{section}[{name!r}] is not a number", errors)
 
 
+def validate_alerts(alerts, path, errors):
+    if alerts is None:
+        return  # section is optional: omitted when no engine was attached
+    if not isinstance(alerts, dict):
+        _err(path, "alerts is not an object", errors)
+        return
+    for name, a in alerts.items():
+        if not isinstance(a, dict):
+            _err(path, f"alerts[{name!r}] is not an object", errors)
+            continue
+        for field in ("fires", "clears", "dropped", "evaluations"):
+            v = a.get(field)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                _err(path, f"alerts[{name!r}].{field} missing or not a "
+                           "non-negative integer", errors)
+        events = a.get("events")
+        if not isinstance(events, list):
+            _err(path, f"alerts[{name!r}].events missing or not an array",
+                 errors)
+            continue
+        prev_t = None
+        for i, ev in enumerate(events):
+            if not isinstance(ev, dict):
+                _err(path, f"alerts[{name!r}].events[{i}] is not an object",
+                     errors)
+                continue
+            t = ev.get("t_ms")
+            if not isinstance(t, (int, float)) or isinstance(t, bool):
+                _err(path, f"alerts[{name!r}].events[{i}].t_ms is not a "
+                           "number", errors)
+            elif prev_t is not None and t < prev_t:
+                _err(path, f"alerts[{name!r}].events[{i}] out of order "
+                           f"({t} < {prev_t})", errors)
+            else:
+                prev_t = t
+            if not isinstance(ev.get("rule"), str) or not ev.get("rule"):
+                _err(path, f"alerts[{name!r}].events[{i}].rule missing or "
+                           "empty", errors)
+            if ev.get("kind") not in ("fire", "clear"):
+                _err(path, f"alerts[{name!r}].events[{i}].kind is "
+                           f"{ev.get('kind')!r}, expected 'fire'|'clear'",
+                     errors)
+            v = ev.get("value")
+            if v is not None and (not isinstance(v, (int, float))
+                                  or isinstance(v, bool)):
+                _err(path, f"alerts[{name!r}].events[{i}].value is not a "
+                           "number or null", errors)
+
+
 def validate_report(doc, path, errors):
     if not isinstance(doc, dict):
         _err(path, "top level is not an object", errors)
@@ -80,6 +129,7 @@ def validate_report(doc, path, errors):
                 _err(path, f"results[{k!r}] is not a number or null", errors)
 
     validate_metrics(doc.get("metrics"), path, errors)
+    validate_alerts(doc.get("alerts"), path, errors)
 
     ts = doc.get("timeseries", [])
     if not isinstance(ts, list):
