@@ -51,10 +51,12 @@
 #include <utility>
 #include <vector>
 
+#include "dht/ring.h"
 #include "obs/json.h"
 #include "sim/event_queue.h"
 #include "sim/sharded.h"
 #include "sim/simulation.h"
+#include "somo/report.h"
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/rng.h"
@@ -559,6 +561,90 @@ struct ShardedScaleResult {
 };
 
 // ---------------------------------------------------------------------------
+// Per-host protocol memory (PR 9): the ring's routing state plus a full
+// SOMO root aggregate, measured against the pre-SoA layouts — the seed's
+// dense per-node prefix/finger allocations and the AoS aggregate
+// (vector<NodeReport> + per-record coord/degree heap), both computable
+// exactly from the records the sweep builds. check_bench_scale.py gates
+// the 10k row on --max-bytes-per-host and the >=2x reduction.
+// ---------------------------------------------------------------------------
+struct MemoryScaleResult {
+  std::size_t hosts = 0;
+  std::size_t ring_bytes = 0;
+  std::size_t aggregate_bytes = 0;
+  std::size_t presoa_ring_bytes = 0;
+  std::size_t presoa_aggregate_bytes = 0;
+  double join_ms = 0.0;  // batch bootstrap wall time at this scale
+
+  double bytes_per_host() const {
+    return static_cast<double>(ring_bytes + aggregate_bytes) /
+           static_cast<double>(hosts);
+  }
+  double presoa_bytes_per_host() const {
+    return static_cast<double>(presoa_ring_bytes + presoa_aggregate_bytes) /
+           static_cast<double>(hosts);
+  }
+  double reduction() const {
+    return presoa_bytes_per_host() / bytes_per_host();
+  }
+};
+
+MemoryScaleResult RunMemoryScale(std::size_t hosts) {
+  MemoryScaleResult r;
+  r.hosts = hosts;
+
+  p2p::dht::Ring ring(16);
+  const auto t0 = std::chrono::steady_clock::now();
+  ring.JoinBatchHashed(0, hosts);
+  r.join_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  r.ring_bytes = ring.MemoryBytes();
+  // The seed allocated a dense 16x16 prefix table and a 64-entry inline
+  // finger array per node, regardless of fill (leafsets were already
+  // compact and carry over unchanged).
+  r.presoa_ring_bytes =
+      r.ring_bytes -
+      [&ring] {
+        std::size_t soa = 0;
+        for (p2p::dht::NodeIndex n = 0; n < ring.size(); ++n)
+          soa += ring.node(n).prefix().HeapBytes() +
+                 ring.node(n).fingers().HeapBytes();
+        return soa;
+      }() +
+      hosts * (16 * 16 + 64) * sizeof(p2p::dht::LeafsetEntry);
+
+  p2p::somo::AggregateReport agg;
+  std::size_t aos_heap = 0;
+  for (std::size_t n = 0; n < hosts; ++n) {
+    p2p::somo::NodeReport rep;
+    rep.node = static_cast<p2p::dht::NodeIndex>(n);
+    rep.host = static_cast<p2p::net::HostIdx>(n);
+    rep.generated_at = static_cast<double>(n);
+    rep.up_kbps = 100.0;
+    rep.down_kbps = 500.0;
+    rep.capacity = static_cast<double>(n % 100);
+    if (n % 3 != 0)
+      for (std::size_t d = 0; d < 2 + n % 3; ++d)
+        rep.coordinates.push_back(static_cast<double>(d));
+    if (n % 4 == 0) rep.degrees.taken.push_back({});
+    if (n % 2 == 0) {
+      rep.telemetry.msgs_sent = n;
+      rep.telemetry.sampled_at = rep.generated_at;
+    }
+    aos_heap += rep.coordinates.capacity() * sizeof(double) +
+                rep.degrees.taken.capacity() * sizeof(p2p::somo::DegreeSlot);
+    agg.Add(rep);
+  }
+  r.aggregate_bytes = agg.MemoryBytes();
+  // Pre-SoA aggregate: vector<NodeReport> with each record's own heap.
+  r.presoa_aggregate_bytes =
+      sizeof(p2p::somo::AggregateReport) +
+      hosts * sizeof(p2p::somo::NodeReport) + aos_heap;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
 // Wheel-layout model: a stripped-down hierarchical wheel generic over
 // (levels, bits per level), pricing what the production 3x256 shape trades
 // against a 4x64 alternative — per-level occupancy-bitmap scans and bucket
@@ -796,12 +882,26 @@ LayoutStats BestOfLayout(int reps, std::size_t timers, double horizon,
 
 void WriteJson(const std::vector<ScaleResult>& results,
                const std::vector<ShardedScaleResult>& sharded,
+               const std::vector<MemoryScaleResult>& memory,
                const LayoutStats& layout_3x256, const LayoutStats& layout_4x64,
                const std::string& path) {
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("schema").String("p2pkernelbench/v1");
   w.Key("cpus").Uint(std::thread::hardware_concurrency());
+  w.Key("memory_scales").BeginArray();
+  for (const auto& m : memory) {
+    w.BeginObject();
+    w.Key("hosts").Uint(m.hosts);
+    w.Key("ring_bytes").Uint(m.ring_bytes);
+    w.Key("aggregate_bytes").Uint(m.aggregate_bytes);
+    w.Key("bytes_per_host").Number(m.bytes_per_host());
+    w.Key("presoa_bytes_per_host").Number(m.presoa_bytes_per_host());
+    w.Key("reduction_vs_presoa").Number(m.reduction());
+    w.Key("join_ms").Number(m.join_ms);
+    w.EndObject();
+  }
+  w.EndArray();
   w.Key("scales").BeginArray();
   for (const auto& r : results) {
     const auto run = [&w](const char* name, const RunStats& s) {
@@ -1037,6 +1137,23 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", stable.ToText().c_str());
 
+  // --- per-host protocol memory ------------------------------------------
+  std::vector<std::size_t> mem_hosts = {1200, 10000};
+  if (quick) mem_hosts = {1200};
+  std::printf("=== Per-host protocol memory (ring routing state + SOMO "
+              "root aggregate,\n SoA vs the seed's dense/AoS layouts) "
+              "===\n");
+  std::vector<MemoryScaleResult> memory_results;
+  p2p::util::Table mtable({"hosts", "B/host (SoA)", "B/host (pre-SoA)",
+                           "reduction", "join ms"});
+  for (const std::size_t h : mem_hosts) {
+    MemoryScaleResult m = RunMemoryScale(h);
+    mtable.AddRow({static_cast<long long>(m.hosts), m.bytes_per_host(),
+                   m.presoa_bytes_per_host(), m.reduction(), m.join_ms});
+    memory_results.push_back(m);
+  }
+  std::printf("%s\n", mtable.ToText().c_str());
+
   // --- wheel bucket-layout model -----------------------------------------
   const std::size_t layout_timers = quick ? 4000 : 20000;
   const double layout_horizon = quick ? 20000.0 : 60000.0;
@@ -1057,6 +1174,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(l4x64.cascaded));
 
   if (!json_path.empty())
-    WriteJson(results, sharded_results, l3x256, l4x64, json_path);
+    WriteJson(results, sharded_results, memory_results, l3x256, l4x64,
+              json_path);
   return 0;
 }

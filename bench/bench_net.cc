@@ -10,22 +10,36 @@
 //
 // JSON schema "p2pnetbench/v1"; tools/check_bench_scale.py gates the
 // committed BENCH_net.json on the >=5x memory reduction and <=2x query
-// ratio at the 10k+ presets.
+// ratio at the 10k+ presets, plus (PR 9) the substrate setup rows: wall
+// seconds for topology generation + pooled hierarchical build + DHT batch
+// join must stay under --max-setup-seconds, and the end-to-end setup must
+// be >= --min-setup-speedup faster than the pre-SoA join cost (measured
+// in-process by replaying the seed's dense O(N^2) prefix-table fill).
 //
-// Usage: bench_net [--json PATH] [--reps N] [--quick]
+// The 100k preset skips the flat oracle BUILD (an ~880 MiB all-pairs
+// triangle with a multi-minute Dijkstra sweep); its flat bytes are the
+// closed-form triangle size, so the memory-reduction row stays honest,
+// and the query-ratio row is marked unmeasured.
+//
+// Usage: bench_net [--json PATH] [--reps N] [--quick] [--big]
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "dht/id.h"
+#include "dht/ring.h"
 #include "net/latency_oracle.h"
 #include "net/transit_stub.h"
 #include "obs/json.h"
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace p2p::bench {
 namespace {
@@ -61,51 +75,141 @@ double TimeQueries(const net::LatencyOracle& oracle,
   return best_ns;
 }
 
+// Fullstack substrate setup: wall times for the three phases that gate a
+// big-preset launch, plus an in-process replay of the seed's dense
+// O(N^2) prefix-table fill (the pre-SoA join cost the PR 9 binary-search
+// build replaced) as the speedup baseline.
+struct SetupStats {
+  std::size_t threads = 0;
+  double topo_ms = 0.0;       // pooled GenerateTransitStub
+  double hier_ms = 0.0;       // pooled hierarchical oracle build
+  double join_ms = 0.0;       // Ring::JoinBatchHashed + StabilizeAll
+  double join_presoa_ms = 0.0;  // 0 when skipped (100k+: would take minutes)
+
+  double total_s() const { return (topo_ms + hier_ms + join_ms) / 1000.0; }
+  double speedup_vs_presoa() const {
+    if (join_presoa_ms <= 0.0) return 0.0;
+    return (topo_ms + hier_ms + join_presoa_ms) /
+           (topo_ms + hier_ms + join_ms);
+  }
+};
+
 struct PresetResult {
   std::string name;
   std::size_t hosts = 0;
   std::size_t routers = 0;
   std::size_t core_nodes = 0;
   std::size_t gateways = 0;
+  bool flat_measured = true;  // false => flat bytes are the closed form
   OracleStats flat, hier, hier_f32;
+  SetupStats setup;
 
   double memory_reduction() const {
     return static_cast<double>(flat.bytes) /
            static_cast<double>(hier.bytes);
   }
-  double query_ratio() const { return hier.query_ns / flat.query_ns; }
+  double query_ratio() const {
+    return flat_measured ? hier.query_ns / flat.query_ns : 0.0;
+  }
 };
+
+// The seed's Ring::BuildPrefixTable offered every sorted id to every node:
+// N x N SharedPrefixDigits + first-come placement into a dense 16x16
+// table. Replayed here verbatim over the real post-join id set so the
+// setup speedup prices the actual algorithmic change, not machine drift
+// against a stale committed number.
+double PreSoaPrefixFillMs(const dht::Ring& ring) {
+  std::vector<std::pair<dht::NodeId, std::uint32_t>> sorted;
+  sorted.reserve(ring.size());
+  for (dht::NodeIndex n = 0; n < ring.size(); ++n)
+    sorted.emplace_back(ring.node(n).id(), static_cast<std::uint32_t>(n));
+  std::sort(sorted.begin(), sorted.end());
+
+  struct Slot {
+    dht::NodeId id = 0;
+    std::uint32_t node = 0xffffffffu;
+  };
+  std::vector<Slot> table(16 * 16);
+  std::size_t filled_checksum = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& [owner_id, owner] : sorted) {
+    for (auto& s : table) s = Slot{};
+    for (const auto& [id, node] : sorted) {
+      if (id == owner_id) continue;
+      const std::uint64_t diff = owner_id ^ id;
+      const std::size_t shared =
+          static_cast<std::size_t>(__builtin_clzll(diff)) / 4;
+      const std::size_t col = (id >> (60 - 4 * shared)) & 0xf;
+      Slot& slot = table[shared * 16 + col];
+      if (slot.node == 0xffffffffu) {
+        slot = {id, node};
+        ++filled_checksum;
+      }
+    }
+  }
+  const double ms = WallMs(t0);
+  P2P_CHECK(filled_checksum > 0);  // keep the loop observable
+  return ms;
+}
 
 PresetResult RunPreset(net::TopologyPreset preset, int reps,
                        std::size_t query_count) {
   PresetResult r;
   r.name = net::TopologyPresetName(preset);
   const net::TransitStubParams params = net::PresetParams(preset);
+  const std::size_t threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  util::ThreadPool pool(threads);
+  r.setup.threads = threads;
+
   util::Rng topo_rng(42);
-  const auto topo = net::GenerateTransitStub(params, topo_rng);
+  auto t0 = std::chrono::steady_clock::now();
+  const auto topo = net::GenerateTransitStub(params, topo_rng, &pool);
+  r.setup.topo_ms = WallMs(t0);
   r.hosts = topo.host_count();
   r.routers = topo.router_count();
+  // Building the flat all-pairs triangle at 100k+ routers costs minutes
+  // and ~a GiB; beyond 50k hosts its bytes are reported closed-form and
+  // the query-ratio row is unmeasured.
+  r.flat_measured = r.hosts <= 50000;
   std::printf("[%s] %zu routers, %zu hosts ...\n", r.name.c_str(), r.routers,
               r.hosts);
 
-  const auto build = [&](net::OracleKind kind, net::OraclePrecision prec) {
-    const auto t0 = std::chrono::steady_clock::now();
+  const auto build = [&](net::OracleKind kind, net::OraclePrecision prec,
+                         util::ThreadPool* p) {
+    const auto b0 = std::chrono::steady_clock::now();
     net::LatencyOracle oracle(
-        topo, net::OracleOptions{.kind = kind, .precision = prec});
-    const double ms = WallMs(t0);
+        topo, net::OracleOptions{.kind = kind, .precision = prec, .pool = p});
+    const double ms = WallMs(b0);
     return std::make_pair(std::move(oracle), ms);
   };
-  auto [flat, flat_ms] =
-      build(net::OracleKind::kFlat, net::OraclePrecision::kF64);
   auto [hier, hier_ms] =
-      build(net::OracleKind::kHierarchical, net::OraclePrecision::kF64);
+      build(net::OracleKind::kHierarchical, net::OraclePrecision::kF64,
+            nullptr);
   auto [hier32, hier32_ms] =
-      build(net::OracleKind::kHierarchical, net::OraclePrecision::kF32);
-  r.flat = {flat_ms, 0.0, flat.MemoryBytes()};
+      build(net::OracleKind::kHierarchical, net::OraclePrecision::kF32,
+            nullptr);
   r.hier = {hier_ms, 0.0, hier.MemoryBytes()};
   r.hier_f32 = {hier32_ms, 0.0, hier32.MemoryBytes()};
   r.core_nodes = hier.core_node_count();
   r.gateways = hier.gateway_count();
+
+  // Pooled hierarchical rebuild: the setup row mirrors the fullstack CLI
+  // (which always hands the oracle its worker pool).
+  r.setup.hier_ms =
+      build(net::OracleKind::kHierarchical, net::OraclePrecision::kF64, &pool)
+          .second;
+
+  // DHT bulk bootstrap over the preset's host set, the third setup phase.
+  {
+    dht::Ring ring(32, &hier);
+    ring.set_thread_pool(&pool);
+    t0 = std::chrono::steady_clock::now();
+    const dht::NodeIndex first = ring.JoinBatchHashed(0, topo.host_count());
+    r.setup.join_ms = WallMs(t0);
+    P2P_CHECK(first == 0 && ring.size() == topo.host_count());
+    if (r.flat_measured) r.setup.join_presoa_ms = PreSoaPrefixFillMs(ring);
+  }
 
   // One shared random pair sequence, with spot checks that the backends
   // price the same answers.
@@ -116,6 +220,23 @@ PresetResult RunPreset(net::TopologyPreset preset, int reps,
     queries.emplace_back(
         static_cast<std::uint32_t>(qrng.NextBounded(r.hosts)),
         static_cast<std::uint32_t>(qrng.NextBounded(r.hosts)));
+
+  if (!r.flat_measured) {
+    // Closed-form flat footprint: the lower-triangle f64 router matrix
+    // plus the per-host attach arrays — what the build would allocate.
+    r.flat.bytes = r.routers * (r.routers + 1) / 2 * sizeof(double) +
+                   r.hosts * (sizeof(net::NodeIdx) + sizeof(double));
+    double sum_hier = 0.0, sum_f32 = 0.0;
+    r.hier.query_ns = TimeQueries(hier, queries, reps, &sum_hier);
+    r.hier_f32.query_ns = TimeQueries(hier32, queries, reps, &sum_f32);
+    P2P_CHECK(std::abs(sum_f32 - sum_hier) <
+              1e-3 * static_cast<double>(queries.size()));
+    return r;
+  }
+
+  auto [flat, flat_ms] =
+      build(net::OracleKind::kFlat, net::OraclePrecision::kF64, nullptr);
+  r.flat = {flat_ms, 0.0, flat.MemoryBytes()};
   for (std::size_t i = 0; i < queries.size(); i += 1000) {
     const auto [a, b] = queries[i];
     const double f = flat.Latency(a, b);
@@ -155,9 +276,19 @@ void WriteJson(const std::vector<PresetResult>& results,
     w.Key("routers").Uint(r.routers);
     w.Key("core_nodes").Uint(r.core_nodes);
     w.Key("gateways").Uint(r.gateways);
+    w.Key("flat_measured").Bool(r.flat_measured);
     oracle("flat", r.flat);
     oracle("hier", r.hier);
     oracle("hier_f32", r.hier_f32);
+    w.Key("setup").BeginObject();
+    w.Key("threads").Uint(r.setup.threads);
+    w.Key("topo_ms").Number(r.setup.topo_ms);
+    w.Key("hier_ms").Number(r.setup.hier_ms);
+    w.Key("dht_join_ms").Number(r.setup.join_ms);
+    w.Key("dht_join_presoa_ms").Number(r.setup.join_presoa_ms);
+    w.Key("total_s").Number(r.setup.total_s());
+    w.Key("speedup_vs_presoa").Number(r.setup.speedup_vs_presoa());
+    w.EndObject();
     w.Key("memory_reduction").Number(r.memory_reduction());
     w.Key("query_ratio_hier_over_flat").Number(r.query_ratio());
     w.EndObject();
@@ -185,11 +316,13 @@ int main(int argc, char** argv) {
   std::string json_path;
   int reps = 3;
   bool quick = false;
+  bool big = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
     if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
     if (arg == "--quick") quick = true;
+    if (arg == "--big") big = true;
   }
 
   std::vector<p2p::net::TopologyPreset> presets = {
@@ -197,6 +330,7 @@ int main(int argc, char** argv) {
       p2p::net::TopologyPreset::kHosts10k,
       p2p::net::TopologyPreset::kHosts50k};
   if (quick) presets.pop_back();
+  if (big) presets.push_back(p2p::net::TopologyPreset::kHosts100k);
   const std::size_t query_count = quick ? 100000 : 1000000;
 
   std::printf("\n=== Network substrate scale sweep ===\n");
@@ -209,6 +343,9 @@ int main(int argc, char** argv) {
                           "hier build ms", "flat MiB", "hier MiB",
                           "mem reduction", "flat q ns", "hier q ns",
                           "q ratio"});
+  p2p::util::Table setup_table({"preset", "threads", "topo ms", "hier ms",
+                                "join ms", "pre-SoA join ms", "setup s",
+                                "setup speedup"});
   for (const auto preset : presets) {
     PresetResult r = RunPreset(preset, reps, query_count);
     table.AddRow({r.name, static_cast<long long>(r.routers),
@@ -218,9 +355,16 @@ int main(int argc, char** argv) {
                   static_cast<double>(r.hier.bytes) / (1024.0 * 1024.0),
                   r.memory_reduction(), r.flat.query_ns, r.hier.query_ns,
                   r.query_ratio()});
+    setup_table.AddRow({r.name, static_cast<long long>(r.setup.threads),
+                        r.setup.topo_ms, r.setup.hier_ms, r.setup.join_ms,
+                        r.setup.join_presoa_ms, r.setup.total_s(),
+                        r.setup.speedup_vs_presoa()});
     results.push_back(std::move(r));
   }
   std::printf("\n%s\n", table.ToText().c_str());
+  std::printf("=== Substrate setup (topology + pooled hier oracle + DHT "
+              "batch join;\n pre-SoA join = replayed dense O(N^2) prefix "
+              "fill) ===\n%s\n", setup_table.ToText().c_str());
 
   if (!json_path.empty()) WriteJson(results, json_path);
   return 0;

@@ -360,9 +360,9 @@ void RunSomoGather(benchmark::State& state, bool with_alerts) {
       const auto& v = somo.ViewAt(observer);
       if (!v.valid() || v.view->empty()) return 0.0;
       double total = 0.0;
-      for (const auto& r : v.view->members) {
-        if (r.telemetry.valid())
-          total += static_cast<double>(r.telemetry.suspects);
+      for (std::size_t i = 0; i < v.view->size(); ++i) {
+        if (const auto* tel = v.view->telemetry(i))
+          total += static_cast<double>(tel->suspects);
       }
       return total / static_cast<double>(v.view->size());
     };

@@ -78,7 +78,7 @@ int main() {
   auto print_view = [&] {
     const auto& view = somo.RootReport();
     double total_up = 0.0;
-    for (const auto& r : view.members) total_up += r.up_kbps;
+    for (std::size_t i = 0; i < view.size(); ++i) total_up += view.up_kbps(i);
     std::printf("[%7.1f s] global view: %zu machines, staleness %.1f s, "
                 "aggregate uplink %.1f Mbps (SOMO depth %zu)\n",
                 sim.now() / 1000.0, view.size(),

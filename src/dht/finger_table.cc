@@ -1,12 +1,77 @@
 #include "dht/finger_table.h"
 
+#include "util/check.h"
+
 namespace p2p::dht {
 
+namespace {
+inline bool SameEntry(const LeafsetEntry& a, const LeafsetEntry& b) {
+  return a.id == b.id && a.node == b.node;
+}
+}  // namespace
+
+std::size_t FingerTable::RunIndexOf(std::size_t i) const {
+  P2P_DCHECK(i < kBits);
+  // Last run whose first <= i. Runs are few (~log N); scan from the back,
+  // which also makes the common sequential-rebuild Set(i) pattern O(1).
+  std::size_t k = runs_.size();
+  while (runs_[--k].first > i) {
+  }
+  return k;
+}
+
+void FingerTable::CoalesceAt(std::size_t k) {
+  if (k == 0 || k >= runs_.size()) return;
+  if (SameEntry(runs_[k - 1].entry, runs_[k].entry))
+    runs_.erase(runs_.begin() + static_cast<std::ptrdiff_t>(k));
+}
+
+void FingerTable::Set(std::size_t i, NodeId id, NodeIndex node) {
+  P2P_CHECK(i < kBits);
+  std::size_t k = RunIndexOf(i);
+  const LeafsetEntry entry{id, node};
+  if (SameEntry(runs_[k].entry, entry)) return;
+  const std::size_t a = runs_[k].first;
+  const std::size_t b = RunEnd(k);
+  const LeafsetEntry old = runs_[k].entry;
+  // Split [a, b) around i, writing the new entry into a run of its own.
+  if (i > a) {
+    // Keep [a, i) as the old run; insert [i, …) after it.
+    runs_.insert(runs_.begin() + static_cast<std::ptrdiff_t>(k + 1),
+                 {static_cast<std::uint8_t>(i), entry});
+    ++k;
+  } else {
+    runs_[k].entry = entry;
+  }
+  if (i + 1 < b) {
+    runs_.insert(runs_.begin() + static_cast<std::ptrdiff_t>(k + 1),
+                 {static_cast<std::uint8_t>(i + 1), old});
+  }
+  // Only the seams around the written run can have become equal.
+  CoalesceAt(k + 1);
+  CoalesceAt(k);
+}
+
+void FingerTable::Invalidate(NodeIndex node) {
+  for (std::size_t k = 0; k < runs_.size(); ++k) {
+    if (runs_[k].entry.node == node) runs_[k].entry = {0, kNoNode};
+  }
+  // Invalidation can equalise any neighbouring pair; sweep once.
+  for (std::size_t k = 1; k < runs_.size();) {
+    if (SameEntry(runs_[k - 1].entry, runs_[k].entry))
+      runs_.erase(runs_.begin() + static_cast<std::ptrdiff_t>(k));
+    else
+      ++k;
+  }
+}
+
 NodeIndex FingerTable::ClosestPreceding(NodeId key) const {
+  // Argmax of clockwise progress over distinct entries — each run's entry
+  // need only be considered once.
   NodeIndex best = kNoNode;
   NodeId best_dist = 0;
-  for (std::size_t i = kBits; i-- > 0;) {
-    const auto& e = entries_[i];
+  for (std::size_t k = runs_.size(); k-- > 0;) {
+    const auto& e = runs_[k].entry;
     if (e.node == kNoNode || e.id == owner_) continue;
     // Strictly inside (owner, key): progress without overshoot.
     if (!InArc(owner_, e.id, key) || e.id == key) continue;

@@ -2,10 +2,16 @@
 // responsible for key x + 2^i. Fingers give O(log N) lookup on top of the
 // O(N) base ring (paper §3.1: "elaborate algorithms built upon the above
 // concept achieve O(logN) performance").
+//
+// Stored run-length compressed: successive fingers of one node mostly point
+// at the same successor (the first ~64 − log2 N targets land in one zone),
+// so the 64 logical entries collapse to ~log2 N + 1 runs. The table keeps a
+// partition of [0, 64) into maximal runs of equal entries — ~24 B × runs
+// instead of a 1 KiB dense array per node.
 #pragma once
 
-#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dht/id.h"
@@ -17,9 +23,7 @@ class FingerTable {
  public:
   static constexpr std::size_t kBits = 64;
 
-  explicit FingerTable(NodeId owner) : owner_(owner) {
-    entries_.fill({0, kNoNode});
-  }
+  explicit FingerTable(NodeId owner) : owner_(owner) { Clear(); }
 
   NodeId owner() const { return owner_; }
 
@@ -28,28 +32,52 @@ class FingerTable {
     return owner_ + (NodeId{1} << i);
   }
 
-  void Set(std::size_t i, NodeId id, NodeIndex node) {
-    entries_.at(i) = {id, node};
+  // Reset all fingers to empty.
+  void Clear() {
+    runs_.clear();
+    runs_.push_back({0, {0, kNoNode}});
   }
 
-  const LeafsetEntry& finger(std::size_t i) const { return entries_.at(i); }
+  void Set(std::size_t i, NodeId id, NodeIndex node);
+
+  const LeafsetEntry& finger(std::size_t i) const {
+    return runs_[RunIndexOf(i)].entry;
+  }
 
   // Remove any fingers pointing at a failed node (they will be refilled on
   // the next rebuild).
-  void Invalidate(NodeIndex node) {
-    for (auto& e : entries_) {
-      if (e.node == node) e = {0, kNoNode};
-    }
-  }
+  void Invalidate(NodeIndex node);
 
   // Best next hop toward `key`: the finger with the largest id in the arc
   // (owner, key), i.e. the classic closest-preceding-finger rule. Returns
   // kNoNode when no finger makes progress.
   NodeIndex ClosestPreceding(NodeId key) const;
 
+  // Distinct maximal runs (diagnostics / memory accounting).
+  std::size_t run_count() const { return runs_.size(); }
+
+  // Heap bytes held by this table (memory accounting; excludes
+  // sizeof(*this)).
+  std::size_t HeapBytes() const { return runs_.capacity() * sizeof(Run); }
+
  private:
+  // Run k covers logical fingers [runs_[k].first, runs_[k+1].first) (the
+  // last run extends to kBits). runs_ is never empty; runs_[0].first == 0;
+  // adjacent runs hold distinct entries.
+  struct Run {
+    std::uint8_t first;
+    LeafsetEntry entry;
+  };
+
+  std::size_t RunIndexOf(std::size_t i) const;
+  std::size_t RunEnd(std::size_t k) const {
+    return k + 1 < runs_.size() ? runs_[k + 1].first : kBits;
+  }
+  // Merge runs_[k] into its predecessor when their entries are equal.
+  void CoalesceAt(std::size_t k);
+
   NodeId owner_;
-  std::array<LeafsetEntry, kBits> entries_;
+  std::vector<Run> runs_;
 };
 
 }  // namespace p2p::dht

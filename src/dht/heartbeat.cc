@@ -209,4 +209,18 @@ void HeartbeatProtocol::CheckTimeouts(NodeIndex n) {
   }
 }
 
+std::size_t HeartbeatProtocol::MemoryBytes() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += last_heard_.capacity() *
+           sizeof(std::vector<std::pair<NodeIndex, sim::Time>>);
+  for (const auto& row : last_heard_)
+    bytes += row.capacity() * sizeof(std::pair<NodeIndex, sim::Time>);
+  bytes += tokens_.capacity() * sizeof(sim::Simulation::PeriodicToken);
+  bytes += detected_.capacity();
+  bytes += suspected_.capacity() * sizeof(std::vector<NodeIndex>);
+  for (const auto& row : suspected_)
+    bytes += row.capacity() * sizeof(NodeIndex);
+  return bytes;
+}
+
 }  // namespace p2p::dht

@@ -122,6 +122,11 @@ class HeartbeatProtocol {
 
   const Config& config() const { return config_; }
 
+  // Resident bytes of the detector's per-node tables (the dense
+  // last-heard / suspicion rows) plus this object — feeds the
+  // mem.bytes_per_host gauge.
+  std::size_t MemoryBytes() const;
+
  private:
   void SchedulePeriodic(NodeIndex n);
   void Beat(NodeIndex n);

@@ -137,4 +137,37 @@ void KvStore::CheckInvariants() const {
   }
 }
 
+void KvStore::Reserve(std::size_t expected_keys) {
+  if (store_.size() < ring_.size()) store_.resize(ring_.size());
+  directory_.reserve(expected_keys);
+  if (store_.empty()) return;
+  // Each key lands on replicas_ nodes; spread evenly with 2x headroom for
+  // the hash-placement skew so the per-node maps never rehash mid-load.
+  const std::size_t per_node =
+      (expected_keys * replicas_ * 2) / store_.size() + 1;
+  for (auto& node_store : store_) node_store.reserve(per_node);
+}
+
+namespace {
+std::size_t MapBytes(const std::unordered_map<NodeId, std::string>& m) {
+  // Bucket array + one heap node per element (payload + hash/next links)
+  // + out-of-line string storage (SSO-resident values cost nothing extra).
+  std::size_t bytes = m.bucket_count() * sizeof(void*);
+  bytes += m.size() * (sizeof(std::pair<const NodeId, std::string>) +
+                       2 * sizeof(void*));
+  for (const auto& [key, value] : m) {
+    (void)key;
+    if (value.capacity() >= sizeof(std::string)) bytes += value.capacity() + 1;
+  }
+  return bytes;
+}
+}  // namespace
+
+std::size_t KvStore::MemoryBytes() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += store_.capacity() * sizeof(std::unordered_map<NodeId, std::string>);
+  for (const auto& node_store : store_) bytes += MapBytes(node_store);
+  return bytes + MapBytes(directory_);
+}
+
 }  // namespace p2p::dht

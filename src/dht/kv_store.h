@@ -56,6 +56,15 @@ class KvStore {
   // the responsible node and its immediate alive successors.
   void CheckInvariants() const;
 
+  // Pre-size the directory and every per-node map for `expected_keys`
+  // total keys over current membership, so bulk loads never rehash
+  // mid-stream. Idempotent; call after membership is settled.
+  void Reserve(std::size_t expected_keys);
+
+  // Resident bytes across the directory and all per-node maps (bucket
+  // arrays + nodes + out-of-line string payloads) plus this object.
+  std::size_t MemoryBytes() const;
+
  private:
   // The replica set for a key under current membership: responsible node
   // followed by its alive successors (deduplicated), up to `replicas_`.

@@ -69,6 +69,12 @@ class Leafset {
   // [farthest predecessor, farthest successor].
   bool Covers(NodeId key) const;
 
+  // Heap bytes held by this leafset (memory accounting; excludes
+  // sizeof(*this)).
+  std::size_t HeapBytes() const {
+    return (succ_.capacity() + pred_.capacity()) * sizeof(LeafsetEntry);
+  }
+
  private:
   NodeId owner_;
   std::size_t r_;

@@ -103,13 +103,28 @@ NodeIndex Ring::JoinBatchHashed(net::HostIdx first_host, std::size_t count,
   std::unordered_set<NodeId> used;
   used.reserve(sorted_.size() + count);
   for (const auto& e : sorted_) used.insert(e.id);
+  // First-choice hashes are pure per-host functions: fan the batch out
+  // across the pool (identical values under any schedule), then resolve
+  // the rare collisions serially in join order so the probe sequence —
+  // and therefore every assigned id — matches JoinHashed's exactly.
+  std::vector<NodeId> first_choice(count);
+  const auto hash_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      first_choice[i] = HashHostToId(
+          static_cast<std::uint64_t>(first_host + i) ^ (salt << 32));
+    }
+  };
+  if (pool_ != nullptr && count >= 4096) {
+    pool_->ParallelForRange(count, 1024, hash_range);
+  } else {
+    hash_range(0, count);
+  }
   const NodeIndex first = nodes_.size();
   nodes_.reserve(nodes_.size() + count);
   for (std::size_t i = 0; i < count; ++i) {
-    const net::HostIdx host = first_host + i;
-    NodeId id = HashHostToId(static_cast<std::uint64_t>(host) ^ (salt << 32));
+    NodeId id = first_choice[i];
     while (!used.insert(id).second) id = util::Mix64(id);
-    nodes_.emplace_back(id, host, per_side_);
+    nodes_.emplace_back(id, first_host + i, per_side_);
     ++alive_count_;
   }
   sorted_dirty_ = true;
@@ -276,11 +291,23 @@ void Ring::set_metrics(obs::MetricsRegistry* registry) {
 }
 
 void Ring::StabilizeAll() {
+  // Snapshot the sorted membership once; every per-node rebuild below only
+  // reads it (and writes that node's own tables), so the loop is safe to
+  // fan out across the pool and lands on identical state either way.
   RefreshSorted();
-  for (const auto& e : sorted_) {
-    FillLeafsetFromSorted(e.node);
-    BuildFingers(e.node);
-    BuildPrefixTable(e.node);
+  const std::size_t m = sorted_.size();
+  const auto rebuild = [this](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      const NodeIndex n = sorted_[k].node;
+      FillLeafsetFromSorted(n);
+      BuildFingers(n);
+      BuildPrefixTable(n);
+    }
+  };
+  if (pool_ != nullptr && m >= 2048) {
+    pool_->ParallelForRange(m, 512, rebuild);
+  } else {
+    rebuild(0, m);
   }
 }
 
@@ -294,10 +321,60 @@ void Ring::BuildFingers(NodeIndex n) {
 }
 
 void Ring::BuildPrefixTable(NodeIndex n) {
+  // Equivalent to offering every sorted alive id in ascending order (the
+  // historical build): under first-come placement the winner of slot
+  // (row, col) is the SMALLEST alive id sharing exactly `row` digits with
+  // the owner and carrying digit `col` at position row — i.e. the smallest
+  // id in one aligned interval of the ring. One binary search per slot
+  // replaces the O(N) offer sweep per node, which was the dominant cost of
+  // bulk joins (O(N²) across a bootstrap). dht_prefix_test pins the
+  // equivalence against the offer-loop build.
   RefreshSorted();
   Node& x = nodes_.at(n);
-  x.prefix().Clear();
-  for (const auto& e : sorted_) x.prefix().Offer(e.id, e.node);
+  PrefixTable& pt = x.prefix();
+  pt.Clear();
+  const NodeId owner = x.id();
+  const std::size_t bits = pt.bits_per_digit();
+  const std::size_t rows = pt.digits();
+  const std::size_t cols = pt.columns();
+  const auto first_at_or_after = [this](NodeId lo) {
+    return std::lower_bound(
+        sorted_.begin(), sorted_.end(), lo,
+        [](const LeafsetEntry& e, NodeId v) { return e.id < v; });
+  };
+  for (std::size_t row = 0; row < rows; ++row) {
+    // Ids eligible for row `row` or deeper share the owner's first `row`
+    // digits — an aligned block. Once the owner is alone in its block, this
+    // row and every deeper one stay empty.
+    NodeId block_base = 0;
+    if (row > 0) {
+      const std::size_t shift = 64 - bits * row;
+      block_base = (owner >> shift) << shift;
+      const NodeId block_end = block_base + (NodeId{1} << shift);  // 0: top
+      bool other = false;
+      for (auto it = first_at_or_after(block_base);
+           it != sorted_.end() && (block_end == 0 || it->id < block_end);
+           ++it) {
+        if (it->id != owner) {
+          other = true;
+          break;
+        }
+      }
+      if (!other) break;
+    }
+    const std::size_t own_digit = pt.DigitOf(owner, row);
+    const std::size_t slot_shift = 64 - bits * (row + 1);
+    for (std::size_t col = 0; col < cols; ++col) {
+      // Ids with digit own_digit here share > row digits: deeper rows.
+      if (col == own_digit) continue;
+      const NodeId lo = block_base | (static_cast<NodeId>(col) << slot_shift);
+      const NodeId hi = lo + (NodeId{1} << slot_shift);  // 0 means wrap: top
+      const auto it = first_at_or_after(lo);
+      if (it == sorted_.end()) continue;
+      if (hi != 0 && it->id >= hi) continue;
+      pt.Place(row, col, it->id, it->node);
+    }
+  }
 }
 
 void Ring::SwapNodeIds(NodeIndex a, NodeIndex b) {
@@ -315,6 +392,18 @@ void Ring::SwapNodeIds(NodeIndex a, NodeIndex b) {
   // positions, so a full stabilisation is the simple correct repair (ids
   // didn't move for anyone else, so their leafsets come out identical).
   StabilizeAll();
+}
+
+std::size_t Ring::MemoryBytes() const {
+  std::size_t total = sizeof(*this);
+  total += nodes_.capacity() * sizeof(Node);
+  for (const Node& x : nodes_) {
+    total += x.leafset().HeapBytes();
+    total += x.fingers().HeapBytes();
+    total += x.prefix().HeapBytes();
+  }
+  total += sorted_.capacity() * sizeof(LeafsetEntry);
+  return total;
 }
 
 double Ring::LatencyBetween(NodeIndex a, NodeIndex b) const {

@@ -15,6 +15,7 @@
 #include "net/latency_oracle.h"
 #include "obs/metrics.h"
 #include "sim/trace.h"
+#include "util/thread_pool.h"
 
 namespace p2p::dht {
 
@@ -96,7 +97,11 @@ class Ring {
   // --- maintenance --------------------------------------------------------
 
   // Recompute every alive node's leafset and fingers from the alive set
-  // (the state a converged maintenance protocol reaches).
+  // (the state a converged maintenance protocol reaches). With a thread
+  // pool attached (set_thread_pool), per-node rebuilds fan out across the
+  // pool — each node writes only its own tables against the shared sorted
+  // snapshot, so the result is schedule-invariant and identical to the
+  // serial pass.
   void StabilizeAll();
   // Rebuild one node's fingers against current membership.
   void BuildFingers(NodeIndex n);
@@ -111,6 +116,17 @@ class Ring {
 
   std::size_t size() const { return nodes_.size(); }
   std::size_t alive_count() const { return alive_count_; }
+
+  // Optional worker pool for the bulk paths (StabilizeAll, batch-join
+  // hashing). Null (the default) keeps everything on the calling thread;
+  // results are byte-identical either way.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* thread_pool() const { return pool_; }
+
+  // Total heap + inline bytes of the ring's routing state: nodes (leafset,
+  // fingers, prefix tables) plus the sorted-membership cache. Feeds the
+  // mem.bytes_per_host gauge.
+  std::size_t MemoryBytes() const;
   Node& node(NodeIndex n) { return nodes_.at(n); }
   const Node& node(NodeIndex n) const { return nodes_.at(n); }
   const net::LatencyOracle* oracle() const { return oracle_; }
@@ -144,6 +160,7 @@ class Ring {
   void FillLeafsetFromSorted(NodeIndex n);
 
   std::size_t per_side_;
+  util::ThreadPool* pool_ = nullptr;
   const net::LatencyOracle* oracle_;
   sim::TraceSink* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -13,12 +13,16 @@ NodeIdx Graph::AddNode() {
 }
 
 void Graph::AddEdge(NodeIdx a, NodeIdx b, double w) {
+  AddEdgeRaw(a, b, w);
+  ++edge_count_;
+}
+
+void Graph::AddEdgeRaw(NodeIdx a, NodeIdx b, double w) {
   P2P_CHECK(a < adj_.size() && b < adj_.size());
   P2P_CHECK_MSG(a != b, "self-loop at node " << a);
   P2P_CHECK_MSG(w > 0.0, "non-positive edge weight " << w);
   adj_[a].push_back({b, w});
   adj_[b].push_back({a, w});
-  ++edge_count_;
 }
 
 bool Graph::HasEdge(NodeIdx a, NodeIdx b) const {

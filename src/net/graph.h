@@ -26,6 +26,12 @@ class Graph {
   // and harmless for shortest paths.
   void AddEdge(NodeIdx a, NodeIdx b, double w);
 
+  // AddEdge without bumping edge_count(): for bulk fills that insert edges
+  // concurrently over DISJOINT node sets (each adjacency list has a single
+  // writer). The caller accounts the total afterwards via BumpEdgeCount.
+  void AddEdgeRaw(NodeIdx a, NodeIdx b, double w);
+  void BumpEdgeCount(std::size_t n) { edge_count_ += n; }
+
   bool HasEdge(NodeIdx a, NodeIdx b) const;
 
   struct Neighbor {

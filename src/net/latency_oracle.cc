@@ -54,8 +54,17 @@ void LatencyOracle::BuildFlat(const TransitStubTopology& topo,
     for (std::size_t r = 0; r < router_count_; ++r) run_source(r);
   }
   // The generator guarantees connectivity; every distance must be finite.
-  for (std::size_t i = 0; i < flat_.size(); ++i)
-    P2P_CHECK(flat_.Get(i) < kInfLatency);
+  // Pure read-only scan — chunks freely across the pool (ParallelForRange
+  // rethrows the first failing chunk's CheckError).
+  auto check_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      P2P_CHECK(flat_.Get(i) < kInfLatency);
+  };
+  if (opts.pool != nullptr) {
+    opts.pool->ParallelForRange(flat_.size(), 1 << 16, check_range);
+  } else {
+    check_range(0, flat_.size());
+  }
 #ifndef NDEBUG
   // The packed layout assumes Dijkstra distances are symmetric (they are:
   // the router graph is undirected). Spot-check a few sources in debug
@@ -222,19 +231,29 @@ void LatencyOracle::BuildHierarchical(const TransitStubTopology& topo,
     }
     portal_core_.resize(portal_offset_[router_count_]);
     portal_dist_.resize(portal_offset_[router_count_]);
-    for (NodeIdx r = 0; r < router_count_; ++r) {
-      std::size_t at = portal_offset_[r];
-      if (core_index_[r] != kNone) {
-        portal_core_[at] = core_index_[r];
-        portal_dist_[at] = 0.0;
-        continue;
+    // With the offsets fixed above, each router writes only its own
+    // [offset, offset+n) span — disjoint outputs, no RNG, so the fill
+    // chunks across the pool without affecting results.
+    auto fill_portals = [&](std::size_t begin, std::size_t end) {
+      for (NodeIdx r = begin; r < end; ++r) {
+        std::size_t at = portal_offset_[r];
+        if (core_index_[r] != kNone) {
+          portal_core_[at] = core_index_[r];
+          portal_dist_[at] = 0.0;
+          continue;
+        }
+        const std::uint32_t d = stub_domain_[r];
+        for (const NodeIdx g : domain_gateways[d]) {
+          portal_core_[at] = core_index_[g];
+          portal_dist_[at] = IntraDistance(d, local_of_[r], local_of_[g]);
+          ++at;
+        }
       }
-      const std::uint32_t d = stub_domain_[r];
-      for (const NodeIdx g : domain_gateways[d]) {
-        portal_core_[at] = core_index_[g];
-        portal_dist_[at] = IntraDistance(d, local_of_[r], local_of_[g]);
-        ++at;
-      }
+    };
+    if (opts.pool != nullptr) {
+      opts.pool->ParallelForRange(router_count_, 2048, fill_portals);
+    } else {
+      fill_portals(0, router_count_);
     }
   }
 }

@@ -16,6 +16,7 @@
 
 #include "net/graph.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace p2p::net {
 
@@ -70,14 +71,17 @@ struct TransitStubParams {
 // router substrate sublinearly with the host count and multi-home ~30% of
 // stub domains so gateway-pair routing is actually exercised.
 enum class TopologyPreset {
-  kPaper1200,  //   600 routers,  1200 hosts (paper §5.2, single-homed)
-  kHosts10k,   // 4,160 routers, 10000 hosts
-  kHosts50k,   // 7,300 routers, 50000 hosts
+  kPaper1200,  //    600 routers,   1200 hosts (paper §5.2, single-homed)
+  kHosts10k,   //  4,160 routers,  10000 hosts
+  kHosts50k,   //  7,300 routers,  50000 hosts
+  kHosts100k,  // 10,512 routers, 100000 hosts
+  kHosts250k,  // 16,660 routers, 250000 hosts (stretch)
 };
 
 TransitStubParams PresetParams(TopologyPreset preset);
 
-// "1200" | "10k" | "50k" (throws util::CheckError on anything else).
+// "1200" | "10k" | "50k" | "100k" | "250k" (throws util::CheckError on
+// anything else).
 TopologyPreset ParseTopologyPreset(const std::string& name);
 const char* TopologyPresetName(TopologyPreset preset);
 
@@ -100,8 +104,12 @@ struct TransitStubTopology {
   std::size_t host_count() const { return host_router.size(); }
 };
 
-// Generate a topology; deterministic for a given rng state.
+// Generate a topology; deterministic for a given rng state. When `pool` is
+// non-null the stub-domain edge materialisation fans out across it; every
+// RNG draw happens in a serial planning pass first, so the result is
+// byte-identical to the serial path at any thread count.
 TransitStubTopology GenerateTransitStub(const TransitStubParams& params,
-                                        util::Rng& rng);
+                                        util::Rng& rng,
+                                        util::ThreadPool* pool = nullptr);
 
 }  // namespace p2p::net

@@ -56,14 +56,23 @@ ScheduleOutcome TaskManager::Schedule(const somo::AggregateReport* view) {
   reg.ReleaseSession(spec_.id);
   scheduled_ = false;
 
-  // When planning from a SOMO snapshot, index the advertised degree
-  // tables by node. Nodes absent from the view are treated as
-  // unavailable (the newscast has not reported them yet).
-  std::vector<const somo::DegreeTable*> advertised;
+  // When planning from a SOMO snapshot, index the advertised availability
+  // by node (degrees free or preemptible at this session's priority,
+  // straight off the view's degree columns). Nodes absent from the view
+  // are treated as unavailable (the newscast has not reported them yet;
+  // advertised[n] stays -1).
+  std::vector<int> advertised;
   if (view != nullptr) {
-    advertised.assign(pool_.size(), nullptr);
-    for (const auto& r : view->members) {
-      if (r.node < advertised.size()) advertised[r.node] = &r.degrees;
+    advertised.assign(pool_.size(), -1);
+    for (std::size_t i = 0; i < view->size(); ++i) {
+      const dht::NodeIndex n = view->node(i);
+      if (n >= advertised.size()) continue;
+      const auto slots = view->degree_slots(i);
+      int avail = view->degrees_total(i) - static_cast<int>(slots.size());
+      for (const auto& s : slots) {
+        if (s.priority > spec_.priority) ++avail;
+      }
+      advertised[n] = avail;
     }
   }
 
@@ -78,8 +87,7 @@ ScheduleOutcome TaskManager::Schedule(const somo::AggregateReport* view) {
       in.degree_bounds[v] =
           reg.AvailableFor(v, somo::kHighestPriority, true);
     } else if (view != nullptr) {
-      in.degree_bounds[v] =
-          advertised[v] ? advertised[v]->AvailableFor(spec_.priority) : 0;
+      in.degree_bounds[v] = advertised[v] >= 0 ? advertised[v] : 0;
     } else {
       in.degree_bounds[v] = reg.AvailableFor(v, spec_.priority, false);
     }

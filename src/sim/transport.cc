@@ -205,4 +205,20 @@ void Transport::DeliverScheduled(std::uint32_t idx) {
   if (cb) cb();
 }
 
+std::size_t Transport::MemoryBytes() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += host_stats_.capacity() * sizeof(HostStats);
+  bytes += inflight_slab_.size() * sizeof(Inflight);
+  bytes += link_loss_.bucket_count() * sizeof(void*) +
+           link_loss_.size() *
+               (sizeof(std::pair<const std::uint64_t, double>) +
+                2 * sizeof(void*));
+  bytes += partitions_.capacity() * sizeof(std::unordered_set<std::size_t>);
+  for (const auto& set : partitions_) {
+    bytes += set.bucket_count() * sizeof(void*) +
+             set.size() * (sizeof(std::size_t) + 2 * sizeof(void*));
+  }
+  return bytes;
+}
+
 }  // namespace p2p::sim

@@ -234,6 +234,11 @@ class Transport {
   TransportStats stats() const { return stats_; }
   void ResetStats() { stats_ = TransportStats{}; }
 
+  // Resident bytes of the bus's tables: per-host stats (zero until
+  // EnablePerHostStats), the in-flight slab, link-loss overrides and
+  // partition sets, plus this object. Feeds the mem.bytes_per_host gauge.
+  std::size_t MemoryBytes() const;
+
  private:
   static std::uint64_t LinkKey(std::size_t src, std::size_t dst) {
     return (static_cast<std::uint64_t>(src) << 32) ^

@@ -7,14 +7,114 @@
 
 namespace p2p::somo {
 
-void AggregateReport::Add(NodeReport r) {
+NodeReport AggregateReport::Member(std::size_t i) const {
+  P2P_DCHECK(i < size());
+  NodeReport r;
+  r.node = node(i);
+  r.host = host(i);
+  r.generated_at = generated_[i];
+  const auto c = coordinates(i);
+  r.coordinates.assign(c.begin(), c.end());
+  r.up_kbps = up_[i];
+  r.down_kbps = down_[i];
+  r.degrees.total = deg_total_[i];
+  const auto slots = degree_slots(i);
+  r.degrees.taken.assign(slots.begin(), slots.end());
+  r.capacity = capacity_[i];
+  if (const HostTelemetry* t = telemetry(i)) r.telemetry = *t;
+  return r;
+}
+
+void AggregateReport::Add(const NodeReport& r) {
   oldest = std::min(oldest, r.generated_at);
   newest = std::max(newest, r.generated_at);
   if (r.capacity > best_capacity) {
     best_capacity = r.capacity;
     best_capacity_node = r.node;
   }
-  members.push_back(std::move(r));
+  node_.push_back(r.node == dht::kNoNode
+                      ? kNone32
+                      : static_cast<std::uint32_t>(r.node));
+  host_.push_back(static_cast<std::uint32_t>(r.host));
+  generated_.push_back(r.generated_at);
+  up_.push_back(r.up_kbps);
+  down_.push_back(r.down_kbps);
+  capacity_.push_back(r.capacity);
+  deg_total_.push_back(r.degrees.total);
+  coord_off_.push_back(static_cast<std::uint32_t>(coord_pool_.size()));
+  coord_dim_.push_back(static_cast<std::uint16_t>(r.coordinates.size()));
+  coord_pool_.insert(coord_pool_.end(), r.coordinates.begin(),
+                     r.coordinates.end());
+  deg_off_.push_back(static_cast<std::uint32_t>(deg_pool_.size()));
+  deg_used_.push_back(static_cast<std::uint16_t>(r.degrees.taken.size()));
+  deg_pool_.insert(deg_pool_.end(), r.degrees.taken.begin(),
+                   r.degrees.taken.end());
+  if (r.telemetry.valid()) {
+    tel_off_.push_back(static_cast<std::uint32_t>(tel_pool_.size()));
+    tel_pool_.push_back(r.telemetry);
+  } else {
+    tel_off_.push_back(kNone32);
+  }
+}
+
+void AggregateReport::AppendFrom(const AggregateReport& other,
+                                 std::size_t j) {
+  node_.push_back(other.node_[j]);
+  host_.push_back(other.host_[j]);
+  generated_.push_back(other.generated_[j]);
+  up_.push_back(other.up_[j]);
+  down_.push_back(other.down_[j]);
+  capacity_.push_back(other.capacity_[j]);
+  deg_total_.push_back(other.deg_total_[j]);
+  const auto c = other.coordinates(j);
+  coord_off_.push_back(static_cast<std::uint32_t>(coord_pool_.size()));
+  coord_dim_.push_back(other.coord_dim_[j]);
+  coord_pool_.insert(coord_pool_.end(), c.begin(), c.end());
+  const auto slots = other.degree_slots(j);
+  deg_off_.push_back(static_cast<std::uint32_t>(deg_pool_.size()));
+  deg_used_.push_back(other.deg_used_[j]);
+  deg_pool_.insert(deg_pool_.end(), slots.begin(), slots.end());
+  if (other.tel_off_[j] == kNone32) {
+    tel_off_.push_back(kNone32);
+  } else {
+    tel_off_.push_back(static_cast<std::uint32_t>(tel_pool_.size()));
+    tel_pool_.push_back(other.tel_pool_[other.tel_off_[j]]);
+  }
+}
+
+void AggregateReport::ReplaceFrom(std::size_t i, const AggregateReport& other,
+                                  std::size_t j) {
+  node_[i] = other.node_[j];
+  host_[i] = other.host_[j];
+  generated_[i] = other.generated_[j];
+  up_[i] = other.up_[j];
+  down_[i] = other.down_[j];
+  capacity_[i] = other.capacity_[j];
+  deg_total_[i] = other.deg_total_[j];
+  const auto c = other.coordinates(j);
+  if (other.coord_dim_[j] == coord_dim_[i]) {
+    std::copy(c.begin(), c.end(), coord_pool_.begin() + coord_off_[i]);
+  } else {
+    coord_off_[i] = static_cast<std::uint32_t>(coord_pool_.size());
+    coord_dim_[i] = other.coord_dim_[j];
+    coord_pool_.insert(coord_pool_.end(), c.begin(), c.end());
+  }
+  const auto slots = other.degree_slots(j);
+  if (other.deg_used_[j] == deg_used_[i]) {
+    std::copy(slots.begin(), slots.end(), deg_pool_.begin() + deg_off_[i]);
+  } else {
+    deg_off_[i] = static_cast<std::uint32_t>(deg_pool_.size());
+    deg_used_[i] = other.deg_used_[j];
+    deg_pool_.insert(deg_pool_.end(), slots.begin(), slots.end());
+  }
+  if (other.tel_off_[j] == kNone32) {
+    tel_off_[i] = kNone32;
+  } else if (tel_off_[i] != kNone32) {
+    tel_pool_[tel_off_[i]] = other.tel_pool_[other.tel_off_[j]];
+  } else {
+    tel_off_[i] = static_cast<std::uint32_t>(tel_pool_.size());
+    tel_pool_.push_back(other.tel_pool_[other.tel_off_[j]]);
+  }
 }
 
 void AggregateReport::Merge(const AggregateReport& other) {
@@ -25,47 +125,100 @@ void AggregateReport::Merge(const AggregateReport& other) {
     best_capacity = other.best_capacity;
     best_capacity_node = other.best_capacity_node;
   }
-  members.insert(members.end(), other.members.begin(), other.members.end());
+  for (std::size_t j = 0; j < other.size(); ++j) AppendFrom(other, j);
+}
+
+void AggregateReport::RecomputeExtrema() {
+  oldest = std::numeric_limits<double>::infinity();
+  newest = -std::numeric_limits<double>::infinity();
+  best_capacity = -std::numeric_limits<double>::infinity();
+  best_capacity_node = dht::kNoNode;
+  for (std::size_t i = 0; i < size(); ++i) {
+    oldest = std::min(oldest, generated_[i]);
+    newest = std::max(newest, generated_[i]);
+    if (capacity_[i] > best_capacity) {
+      best_capacity = capacity_[i];
+      best_capacity_node = node(i);
+    }
+  }
 }
 
 void AggregateReport::MergeKeepFreshest(const AggregateReport& other) {
   if (other.empty()) return;
   // Index existing members; replace with fresher duplicates, append new.
-  std::unordered_map<dht::NodeIndex, std::size_t> index;
-  index.reserve(members.size());
-  for (std::size_t i = 0; i < members.size(); ++i)
-    index.emplace(members[i].node, i);
-  for (const NodeReport& r : other.members) {
-    const auto it = index.find(r.node);
+  std::unordered_map<std::uint32_t, std::size_t> index;
+  index.reserve(size() + other.size());
+  for (std::size_t i = 0; i < size(); ++i) index.emplace(node_[i], i);
+  for (std::size_t j = 0; j < other.size(); ++j) {
+    const auto it = index.find(other.node_[j]);
     if (it == index.end()) {
-      index.emplace(r.node, members.size());
-      members.push_back(r);
-    } else if (r.generated_at > members[it->second].generated_at) {
-      members[it->second] = r;
+      index.emplace(other.node_[j], size());
+      AppendFrom(other, j);
+    } else if (other.generated_[j] > generated_[it->second]) {
+      ReplaceFrom(it->second, other, j);
     }
   }
   // Recompute freshness window and capacity argmax from scratch (the
   // replaced entries may have carried the old extrema).
-  oldest = std::numeric_limits<double>::infinity();
-  newest = -std::numeric_limits<double>::infinity();
-  best_capacity = -std::numeric_limits<double>::infinity();
-  best_capacity_node = dht::kNoNode;
-  for (const NodeReport& r : members) {
-    oldest = std::min(oldest, r.generated_at);
-    newest = std::max(newest, r.generated_at);
-    if (r.capacity > best_capacity) {
-      best_capacity = r.capacity;
-      best_capacity_node = r.node;
-    }
-  }
+  RecomputeExtrema();
 }
 
 void AggregateReport::Clear() {
-  members.clear();
+  node_.clear();
+  host_.clear();
+  generated_.clear();
+  up_.clear();
+  down_.clear();
+  capacity_.clear();
+  deg_total_.clear();
+  coord_off_.clear();
+  coord_dim_.clear();
+  coord_pool_.clear();
+  deg_off_.clear();
+  deg_used_.clear();
+  deg_pool_.clear();
+  tel_off_.clear();
+  tel_pool_.clear();
   oldest = std::numeric_limits<double>::infinity();
   newest = -std::numeric_limits<double>::infinity();
   best_capacity = -std::numeric_limits<double>::infinity();
   best_capacity_node = dht::kNoNode;
+}
+
+void AggregateReport::Reserve(std::size_t n, std::size_t coord_dims,
+                              std::size_t degree_slots, bool with_telemetry) {
+  node_.reserve(n);
+  host_.reserve(n);
+  generated_.reserve(n);
+  up_.reserve(n);
+  down_.reserve(n);
+  capacity_.reserve(n);
+  deg_total_.reserve(n);
+  coord_off_.reserve(n);
+  coord_dim_.reserve(n);
+  coord_pool_.reserve(n * coord_dims);
+  deg_off_.reserve(n);
+  deg_used_.reserve(n);
+  deg_pool_.reserve(n * degree_slots);
+  tel_off_.reserve(n);
+  if (with_telemetry) tel_pool_.reserve(n);
+}
+
+std::size_t AggregateReport::MemoryBytes() const {
+  return sizeof(*this) + node_.capacity() * sizeof(std::uint32_t) +
+         host_.capacity() * sizeof(std::uint32_t) +
+         generated_.capacity() * sizeof(double) +
+         up_.capacity() * sizeof(double) + down_.capacity() * sizeof(double) +
+         capacity_.capacity() * sizeof(double) +
+         deg_total_.capacity() * sizeof(std::int32_t) +
+         coord_off_.capacity() * sizeof(std::uint32_t) +
+         coord_dim_.capacity() * sizeof(std::uint16_t) +
+         coord_pool_.capacity() * sizeof(double) +
+         deg_off_.capacity() * sizeof(std::uint32_t) +
+         deg_used_.capacity() * sizeof(std::uint16_t) +
+         deg_pool_.capacity() * sizeof(DegreeSlot) +
+         tel_off_.capacity() * sizeof(std::uint32_t) +
+         tel_pool_.capacity() * sizeof(HostTelemetry);
 }
 
 namespace {
@@ -75,13 +228,17 @@ constexpr std::uint8_t kTelemetryValid = 0x01;
 
 inline std::int64_t AsI64(std::size_t v) { return static_cast<std::int64_t>(v); }
 
+}  // namespace
+
 // One encoder for both the byte-materialising and the counting sink, so
-// EncodedSize and EncodeAggregate can never disagree.
+// EncodedSize and EncodeAggregate can never disagree. Walks the SoA columns
+// in record order — the exact sink-call sequence the AoS members loop made,
+// so the wire format is unchanged.
 template <typename Sink>
 void EncodeTo(const AggregateReport& agg, Sink& sink) {
   sink.Byte(kWireVersion);
-  sink.Varint(agg.members.size());
-  if (agg.members.empty()) return;
+  sink.Varint(agg.size());
+  if (agg.empty()) return;
   const std::uint64_t base = obs::QuantizeTicks(agg.newest);
   sink.Varint(base);
   sink.Varint(agg.best_capacity_node == dht::kNoNode
@@ -89,46 +246,45 @@ void EncodeTo(const AggregateReport& agg, Sink& sink) {
                   : static_cast<std::uint64_t>(agg.best_capacity_node) + 1);
   std::int64_t prev_node = 0;
   HostTelemetry prev_tel;  // zero counters: the delta chain's seed
-  for (const NodeReport& r : agg.members) {
-    const std::int64_t node = AsI64(r.node);
+  for (std::size_t i = 0; i < agg.size(); ++i) {
+    const std::int64_t node = AsI64(agg.node(i));
     sink.Zigzag(node - prev_node);
     prev_node = node;
-    sink.Zigzag(static_cast<std::int64_t>(r.host) - node);
-    const std::uint64_t gen = obs::QuantizeTicks(r.generated_at);
+    sink.Zigzag(static_cast<std::int64_t>(agg.host(i)) - node);
+    const std::uint64_t gen = obs::QuantizeTicks(agg.generated_[i]);
     P2P_DCHECK(gen <= base);
     sink.Varint(base - gen);
-    sink.Varint(r.coordinates.size());
-    for (const double c : r.coordinates) sink.F16(c);
-    sink.F16(r.up_kbps);
-    sink.F16(r.down_kbps);
-    sink.F16(r.capacity);
-    sink.Zigzag(r.degrees.total);
-    sink.Varint(r.degrees.taken.size());
-    for (const DegreeSlot& s : r.degrees.taken) {
+    const auto coords = agg.coordinates(i);
+    sink.Varint(coords.size());
+    for (const double c : coords) sink.F16(c);
+    sink.F16(agg.up_[i]);
+    sink.F16(agg.down_[i]);
+    sink.F16(agg.capacity_[i]);
+    sink.Zigzag(agg.deg_total_[i]);
+    const auto slots = agg.degree_slots(i);
+    sink.Varint(slots.size());
+    for (const DegreeSlot& s : slots) {
       P2P_DCHECK(s.session >= -1);
       P2P_DCHECK(s.priority >= 0 && s.priority <= 3);
       sink.Varint((static_cast<std::uint64_t>(s.session + 1) << 2) |
                   static_cast<std::uint64_t>(s.priority & 3));
     }
-    if (!r.telemetry.valid()) {
+    const HostTelemetry* tel = agg.telemetry(i);
+    if (tel == nullptr) {
       sink.Byte(0);
       continue;
     }
     sink.Byte(kTelemetryValid);
     sink.Zigzag(static_cast<std::int64_t>(gen) -
-                static_cast<std::int64_t>(obs::QuantizeTicks(r.telemetry.sampled_at)));
-    sink.Zigzag(AsI64(r.telemetry.msgs_sent) - AsI64(prev_tel.msgs_sent));
-    sink.Zigzag(AsI64(r.telemetry.msgs_delivered) -
-                AsI64(prev_tel.msgs_delivered));
-    sink.Zigzag(AsI64(r.telemetry.msgs_dropped) -
-                AsI64(prev_tel.msgs_dropped));
-    sink.Zigzag(AsI64(r.telemetry.bytes_sent) - AsI64(prev_tel.bytes_sent));
-    sink.Zigzag(AsI64(r.telemetry.suspects) - AsI64(prev_tel.suspects));
-    prev_tel = r.telemetry;
+                static_cast<std::int64_t>(obs::QuantizeTicks(tel->sampled_at)));
+    sink.Zigzag(AsI64(tel->msgs_sent) - AsI64(prev_tel.msgs_sent));
+    sink.Zigzag(AsI64(tel->msgs_delivered) - AsI64(prev_tel.msgs_delivered));
+    sink.Zigzag(AsI64(tel->msgs_dropped) - AsI64(prev_tel.msgs_dropped));
+    sink.Zigzag(AsI64(tel->bytes_sent) - AsI64(prev_tel.bytes_sent));
+    sink.Zigzag(AsI64(tel->suspects) - AsI64(prev_tel.suspects));
+    prev_tel = *tel;
   }
 }
-
-}  // namespace
 
 std::vector<std::uint8_t> EncodeAggregate(const AggregateReport& agg) {
   obs::WireWriter w;
@@ -160,7 +316,6 @@ bool DecodeAggregate(const std::uint8_t* data, std::size_t size,
   const std::uint64_t best_plus1 = r.Varint();
   std::int64_t prev_node = 0;
   HostTelemetry prev_tel;
-  out->members.reserve(count);
   for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
     NodeReport rec;
     prev_node += r.Zigzag();
@@ -208,22 +363,20 @@ bool DecodeAggregate(const std::uint8_t* data, std::size_t size,
       prev_tel = rec.telemetry;
     }
     if (!r.ok()) return false;
-    out->members.push_back(std::move(rec));
+    out->Add(rec);
   }
   if (!r.ok() || !r.AtEnd()) return false;
-  // Freshness window and capacity argmax are derived state: recompute from
-  // the decoded (quantized) members. The argmax *node* travels in the
-  // header — F16 ties could otherwise elect a different champion than the
-  // encoder saw — and its value is the node's decoded capacity.
-  for (const NodeReport& m : out->members) {
-    out->oldest = std::min(out->oldest, m.generated_at);
-    out->newest = std::max(out->newest, m.generated_at);
-  }
+  // Freshness window and best-capacity value are derived state, recomputed
+  // by Add from the decoded (quantized) members — but the argmax *node*
+  // travels in the header (F16 ties could otherwise elect a different
+  // champion than the encoder saw), so re-point it and its value here.
+  out->best_capacity = -std::numeric_limits<double>::infinity();
+  out->best_capacity_node = dht::kNoNode;
   if (best_plus1 != 0) {
     out->best_capacity_node = static_cast<dht::NodeIndex>(best_plus1 - 1);
-    for (const NodeReport& m : out->members) {
-      if (m.node == out->best_capacity_node) {
-        out->best_capacity = m.capacity;
+    for (std::size_t m = 0; m < out->size(); ++m) {
+      if (out->node(m) == out->best_capacity_node) {
+        out->best_capacity = out->capacity(m);
         break;
       }
     }
@@ -232,4 +385,3 @@ bool DecodeAggregate(const std::uint8_t* data, std::size_t size,
 }
 
 }  // namespace p2p::somo
-

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "coord/vec.h"
@@ -117,8 +118,19 @@ struct NodeReport {
 };
 
 // Aggregate flowing up the SOMO hierarchy.
-struct AggregateReport {
-  std::vector<NodeReport> members;
+//
+// Struct-of-arrays storage: member records live in dense per-field columns
+// (plus shared pools for the variable-length coordinate/degree/telemetry
+// payloads) instead of a vector of 150-byte NodeReport structs, roughly
+// halving the resident bytes per represented host across the cached
+// aggregates of the gather tree. Record order is preserved exactly as the
+// old vector-of-structs kept it, and the wire codec walks records in that
+// order — encoded bytes are identical to the AoS layout's (the retained
+// pre-SoA implementation in tests/reference/ pins this differentially).
+// NodeReport remains the interchange type at the edges: providers hand one
+// in via Add, and Member(i) materialises one back out.
+class AggregateReport {
+ public:
   sim::Time oldest = std::numeric_limits<double>::infinity();
   sim::Time newest = -std::numeric_limits<double>::infinity();
   // Running argmax of member capacity (the upward merge-sort, condensed
@@ -126,19 +138,91 @@ struct AggregateReport {
   dht::NodeIndex best_capacity_node = dht::kNoNode;
   double best_capacity = -std::numeric_limits<double>::infinity();
 
-  bool empty() const { return members.empty(); }
-  std::size_t size() const { return members.size(); }
+  bool empty() const { return node_.empty(); }
+  std::size_t size() const { return node_.size(); }
 
-  void Add(NodeReport r);
+  // --- per-record column accessors (i < size()) ---------------------------
+  dht::NodeIndex node(std::size_t i) const {
+    return node_[i] == kNone32 ? dht::kNoNode
+                               : static_cast<dht::NodeIndex>(node_[i]);
+  }
+  net::HostIdx host(std::size_t i) const {
+    return static_cast<net::HostIdx>(host_[i]);
+  }
+  sim::Time generated_at(std::size_t i) const { return generated_[i]; }
+  double up_kbps(std::size_t i) const { return up_[i]; }
+  double down_kbps(std::size_t i) const { return down_[i]; }
+  double capacity(std::size_t i) const { return capacity_[i]; }
+  int degrees_total(std::size_t i) const { return deg_total_[i]; }
+  std::span<const double> coordinates(std::size_t i) const {
+    return {coord_pool_.data() + coord_off_[i], coord_dim_[i]};
+  }
+  std::span<const DegreeSlot> degree_slots(std::size_t i) const {
+    return {deg_pool_.data() + deg_off_[i], deg_used_[i]};
+  }
+  // Null when the record carries no (valid) telemetry sample.
+  const HostTelemetry* telemetry(std::size_t i) const {
+    return tel_off_[i] == kNone32 ? nullptr : &tel_pool_[tel_off_[i]];
+  }
+
+  // Materialise record i as a full NodeReport (edge interchange only — hot
+  // paths should read the columns directly).
+  NodeReport Member(std::size_t i) const;
+
+  void Add(const NodeReport& r);
   void Merge(const AggregateReport& other);
   // Merge keeping only the freshest report per node — used when redundant
   // SOMO links may deliver overlapping aggregates.
   void MergeKeepFreshest(const AggregateReport& other);
   void Clear();
 
+  // Pre-size the columns for n records with the given expected payload
+  // shapes (rehash/reallocation audit: bulk builders call this once).
+  void Reserve(std::size_t n, std::size_t coord_dims = 0,
+               std::size_t degree_slots = 0, bool with_telemetry = false);
+
   // Measured wire size of this aggregate: EncodedSize(*this). Honest —
   // the overhead accounting charges what EncodeAggregate would emit.
   std::size_t SerializedBytes() const;
+
+  // Resident bytes of this aggregate (columns + pools + this). The SoA
+  // counterpart of the retained AoS reference's accounting; the memory
+  // regression test compares the two at the 10k preset.
+  std::size_t MemoryBytes() const;
+
+ private:
+  static constexpr std::uint32_t kNone32 = 0xffffffffu;
+
+  // Append record j of `other` (column-wise copy).
+  void AppendFrom(const AggregateReport& other, std::size_t j);
+  // Overwrite record i with record j of `other` (fresher duplicate).
+  void ReplaceFrom(std::size_t i, const AggregateReport& other,
+                   std::size_t j);
+  void RecomputeExtrema();
+
+  template <typename Sink>
+  friend void EncodeTo(const AggregateReport& agg, Sink& sink);
+
+  // One entry per record, in insertion order (== the old members order).
+  std::vector<std::uint32_t> node_;
+  std::vector<std::uint32_t> host_;
+  std::vector<double> generated_;
+  std::vector<double> up_;
+  std::vector<double> down_;
+  std::vector<double> capacity_;
+  std::vector<std::int32_t> deg_total_;
+  // Variable-length payloads: (offset, count) per record into shared pools.
+  // Replacements reuse the span in place when the shape matches and append
+  // otherwise; aggregates are rebuilt every gather round, so abandoned
+  // spans never accumulate beyond a round.
+  std::vector<std::uint32_t> coord_off_;
+  std::vector<std::uint16_t> coord_dim_;
+  std::vector<double> coord_pool_;
+  std::vector<std::uint32_t> deg_off_;
+  std::vector<std::uint16_t> deg_used_;
+  std::vector<DegreeSlot> deg_pool_;
+  std::vector<std::uint32_t> tel_off_;  // kNone32 = no telemetry
+  std::vector<HostTelemetry> tel_pool_;
 };
 
 // --- wire codec -----------------------------------------------------------

@@ -20,7 +20,7 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dht/heartbeat.h"
@@ -218,13 +218,27 @@ class SomoProtocol {
     std::size_t pending = 0;
     AggregateReport agg;
   };
+  // Flat, index-keyed per-logical-node state. The adopted/sync tables used
+  // to be unordered_maps; both hold a handful of entries (≤ fanout uncles,
+  // ≤ a few overlapping sync rounds), so sorted/linear vectors beat hash
+  // tables on both bytes and lookup time — and iteration order becomes
+  // deterministic by construction.
+  struct AdoptedEntry {
+    LogicalIndex from;
+    AggregateReport agg;
+  };
+  struct SyncRound {
+    std::uint64_t round;
+    PendingGather gather;
+  };
   struct LogicalState {
     AggregateReport own;  // leaf: last local report; internal: last merge
     std::vector<AggregateReport> from_children;
     // Aggregates adopted from "nephews" whose parent's host is dead
-    // (redundant-links mode), keyed by the pushing logical node.
-    std::unordered_map<LogicalIndex, AggregateReport> adopted;
-    std::unordered_map<std::uint64_t, PendingGather> sync;  // by round
+    // (redundant-links mode), keyed by the pushing logical node; sorted by
+    // `from` (ComputeAggregate merges in that order).
+    std::vector<AdoptedEntry> adopted;
+    std::vector<SyncRound> sync;  // in-flight rounds, insertion order
   };
   std::vector<LogicalState> state_;
   std::vector<sim::Simulation::PeriodicToken> timers_;
@@ -248,7 +262,14 @@ class SomoProtocol {
   obs::Histogram* m_gather_latency_;  // sync rounds only
   obs::Histogram* m_report_age_;
   // Launch time of each in-flight synchronized round (somo.gather.latency).
-  std::unordered_map<std::uint64_t, sim::Time> sync_started_;
+  // Few rounds overlap, so a flat vector with linear probes suffices.
+  std::vector<std::pair<std::uint64_t, sim::Time>> sync_started_;
+
+ public:
+  // Resident bytes of this protocol instance's per-logical-node state
+  // (cached aggregates, dissemination views, timers). Feeds the
+  // mem.bytes_per_host gauge.
+  std::size_t MemoryBytes() const;
 };
 
 }  // namespace p2p::somo

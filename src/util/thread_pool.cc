@@ -52,4 +52,34 @@ void ThreadPool::ParallelFor(std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::ParallelForRange(
+    std::size_t n, std::size_t min_chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  min_chunk = std::max<std::size_t>(1, min_chunk);
+  const std::size_t max_chunks = 4 * thread_count();
+  const std::size_t chunks =
+      std::clamp<std::size_t>((n + min_chunk - 1) / min_chunk, 1, max_chunks);
+  if (chunks == 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = n * c / chunks;
+    const std::size_t end = n * (c + 1) / chunks;
+    futures.push_back(Submit([begin, end, &fn] { fn(begin, end); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace p2p::util

@@ -48,6 +48,17 @@ class ThreadPool {
   // Exceptions propagate (the first one encountered is rethrown).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  // Chunked variant for fine-grained items: partitions [0, n) into
+  // contiguous ranges of at least `min_chunk` indices (at most ~4 chunks
+  // per worker) and runs fn(begin, end) per range. One future per chunk
+  // instead of per index — use when fn(i) is too cheap to pay a task
+  // submission each. The partition depends only on n, min_chunk and the
+  // pool width, never on scheduling, so independent per-index work stays
+  // deterministic.
+  void ParallelForRange(
+      std::size_t n, std::size_t min_chunk,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
  private:
   void WorkerLoop();
 

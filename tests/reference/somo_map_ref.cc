@@ -1,20 +1,170 @@
-#include "somo/somo.h"
+// Retained pre-SoA SOMO implementation — see somo_map_ref.h. The function
+// bodies below are the pre-refactor src/somo/report.cc and src/somo/somo.cc
+// verbatim (namespace and #include lines aside); resist "improving" them,
+// their only job is to behave exactly like the code they replaced.
+#include "reference/somo_map_ref.h"
 
 #include <algorithm>
-#include <memory>
 #include <string>
+#include <unordered_map>
 
+#include "obs/telemetry_codec.h"
 #include "util/check.h"
 
-namespace p2p::somo {
+namespace p2p::somoref {
+
+using somo::DegreeSlot;
+using somo::HostTelemetry;
+using somo::kNoLogical;
+using somo::kReportHeaderBytes;
+
+void AggregateReport::Add(NodeReport r) {
+  oldest = std::min(oldest, r.generated_at);
+  newest = std::max(newest, r.generated_at);
+  if (r.capacity > best_capacity) {
+    best_capacity = r.capacity;
+    best_capacity_node = r.node;
+  }
+  members.push_back(std::move(r));
+}
+
+void AggregateReport::Merge(const AggregateReport& other) {
+  if (other.empty()) return;
+  oldest = std::min(oldest, other.oldest);
+  newest = std::max(newest, other.newest);
+  if (other.best_capacity > best_capacity) {
+    best_capacity = other.best_capacity;
+    best_capacity_node = other.best_capacity_node;
+  }
+  members.insert(members.end(), other.members.begin(), other.members.end());
+}
+
+void AggregateReport::MergeKeepFreshest(const AggregateReport& other) {
+  if (other.empty()) return;
+  // Index existing members; replace with fresher duplicates, append new.
+  std::unordered_map<dht::NodeIndex, std::size_t> index;
+  index.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i)
+    index.emplace(members[i].node, i);
+  for (const NodeReport& r : other.members) {
+    const auto it = index.find(r.node);
+    if (it == index.end()) {
+      index.emplace(r.node, members.size());
+      members.push_back(r);
+    } else if (r.generated_at > members[it->second].generated_at) {
+      members[it->second] = r;
+    }
+  }
+  oldest = std::numeric_limits<double>::infinity();
+  newest = -std::numeric_limits<double>::infinity();
+  best_capacity = -std::numeric_limits<double>::infinity();
+  best_capacity_node = dht::kNoNode;
+  for (const NodeReport& r : members) {
+    oldest = std::min(oldest, r.generated_at);
+    newest = std::max(newest, r.generated_at);
+    if (r.capacity > best_capacity) {
+      best_capacity = r.capacity;
+      best_capacity_node = r.node;
+    }
+  }
+}
+
+void AggregateReport::Clear() {
+  members.clear();
+  oldest = std::numeric_limits<double>::infinity();
+  newest = -std::numeric_limits<double>::infinity();
+  best_capacity = -std::numeric_limits<double>::infinity();
+  best_capacity_node = dht::kNoNode;
+}
+
+std::size_t AggregateReport::MemoryBytes() const {
+  std::size_t heap = members.capacity() * sizeof(NodeReport);
+  for (const NodeReport& r : members) {
+    heap += r.coordinates.capacity() * sizeof(double);
+    heap += r.degrees.taken.capacity() * sizeof(DegreeSlot);
+  }
+  return sizeof(*this) + heap;
+}
+
+namespace {
+
+constexpr std::uint8_t kWireVersion = 1;
+constexpr std::uint8_t kTelemetryValid = 0x01;
+
+inline std::int64_t AsI64(std::size_t v) { return static_cast<std::int64_t>(v); }
+
+template <typename Sink>
+void EncodeTo(const AggregateReport& agg, Sink& sink) {
+  sink.Byte(kWireVersion);
+  sink.Varint(agg.members.size());
+  if (agg.members.empty()) return;
+  const std::uint64_t base = obs::QuantizeTicks(agg.newest);
+  sink.Varint(base);
+  sink.Varint(agg.best_capacity_node == dht::kNoNode
+                  ? 0
+                  : static_cast<std::uint64_t>(agg.best_capacity_node) + 1);
+  std::int64_t prev_node = 0;
+  HostTelemetry prev_tel;
+  for (const NodeReport& r : agg.members) {
+    const std::int64_t node = AsI64(r.node);
+    sink.Zigzag(node - prev_node);
+    prev_node = node;
+    sink.Zigzag(static_cast<std::int64_t>(r.host) - node);
+    const std::uint64_t gen = obs::QuantizeTicks(r.generated_at);
+    P2P_DCHECK(gen <= base);
+    sink.Varint(base - gen);
+    sink.Varint(r.coordinates.size());
+    for (const double c : r.coordinates) sink.F16(c);
+    sink.F16(r.up_kbps);
+    sink.F16(r.down_kbps);
+    sink.F16(r.capacity);
+    sink.Zigzag(r.degrees.total);
+    sink.Varint(r.degrees.taken.size());
+    for (const DegreeSlot& s : r.degrees.taken) {
+      sink.Varint((static_cast<std::uint64_t>(s.session + 1) << 2) |
+                  static_cast<std::uint64_t>(s.priority & 3));
+    }
+    if (!r.telemetry.valid()) {
+      sink.Byte(0);
+      continue;
+    }
+    sink.Byte(kTelemetryValid);
+    sink.Zigzag(static_cast<std::int64_t>(gen) -
+                static_cast<std::int64_t>(obs::QuantizeTicks(r.telemetry.sampled_at)));
+    sink.Zigzag(AsI64(r.telemetry.msgs_sent) - AsI64(prev_tel.msgs_sent));
+    sink.Zigzag(AsI64(r.telemetry.msgs_delivered) -
+                AsI64(prev_tel.msgs_delivered));
+    sink.Zigzag(AsI64(r.telemetry.msgs_dropped) -
+                AsI64(prev_tel.msgs_dropped));
+    sink.Zigzag(AsI64(r.telemetry.bytes_sent) - AsI64(prev_tel.bytes_sent));
+    sink.Zigzag(AsI64(r.telemetry.suspects) - AsI64(prev_tel.suspects));
+    prev_tel = r.telemetry;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeAggregate(const AggregateReport& agg) {
+  obs::WireWriter w;
+  EncodeTo(agg, w);
+  return w.Take();
+}
+
+std::size_t EncodedSize(const AggregateReport& agg) {
+  obs::WireCounter c;
+  EncodeTo(agg, c);
+  return c.size();
+}
+
+std::size_t AggregateReport::SerializedBytes() const {
+  return EncodedSize(*this);
+}
 
 SomoProtocol::SomoProtocol(sim::Simulation& sim, dht::Ring& ring,
                            SomoConfig config, ReportProvider provider)
     : sim_(sim), ring_(ring), config_(config), provider_(std::move(provider)) {
   P2P_CHECK(config_.report_interval_ms > 0.0);
   P2P_CHECK(provider_ != nullptr);
-  // The deprecated per-SOMO hop-delay knob becomes the bus-wide oracle-less
-  // fallback, so every gather discipline prices hops identically.
   sim_.transport().set_default_delay_ms(config_.default_hop_delay_ms);
   if (ring_.oracle() != nullptr) sim_.transport().set_oracle(ring_.oracle());
   tree_ = std::make_unique<LogicalTree>(ring_, config_.fanout);
@@ -54,24 +204,6 @@ void SomoProtocol::Start() {
   ScheduleLogicalTimers();
 }
 
-void SomoProtocol::BindShard(std::uint32_t shard,
-                             const std::vector<std::uint32_t>* shard_of_host,
-                             std::vector<SomoProtocol*> peers) {
-  P2P_CHECK_MSG(!running_, "bind before Start");
-  P2P_CHECK(shard_of_host != nullptr);
-  P2P_CHECK_MSG(shard < peers.size(), "shard index outside the peer table");
-  P2P_CHECK_MSG(peers[shard] == this, "peer table must map this shard here");
-  // The synchronised cascade, dissemination and redundant links capture
-  // `this` in downward closures that would mutate another shard's state.
-  P2P_CHECK_MSG(peers.size() <= 1 || (!config_.synchronized_gather &&
-                                      !config_.disseminate &&
-                                      !config_.redundant_links),
-                "multi-shard SOMO supports the unsynchronised gather only");
-  shard_ = shard;
-  shard_of_host_ = shard_of_host;
-  peers_ = std::move(peers);
-}
-
 void SomoProtocol::Stop() {
   running_ = false;
   for (auto& t : timers_) sim::Simulation::CancelPeriodic(t);
@@ -82,19 +214,12 @@ void SomoProtocol::ScheduleLogicalTimers() {
   for (auto& t : timers_) sim::Simulation::CancelPeriodic(t);
   timers_.clear();
   if (config_.synchronized_gather) {
-    // Only the root keeps a timer; everything below reacts to the cascade.
     timers_.push_back(sim_.Every(config_.report_interval_ms, 0.0,
                                  [this] { StartSyncGather(); }));
     return;
   }
-  // Unsynchronised: one independent timer per logical node, random phase.
-  // A bound instance draws phases only for its own logical nodes — each
-  // phase comes from the owner shard's RNG stream, so the draw order is
-  // shard-count-dependent but schedule-independent (and identical to the
-  // serial order at one shard).
   timers_.reserve(tree_->size());
   for (LogicalIndex l = 0; l < tree_->size(); ++l) {
-    if (!OwnsLogical(l)) continue;
     const sim::Time phase =
         sim_.rng().Uniform(0.0, config_.report_interval_ms);
     timers_.push_back(sim_.Every(config_.report_interval_ms, phase,
@@ -106,8 +231,6 @@ AggregateReport SomoProtocol::ComputeAggregate(LogicalIndex l) const {
   const LogicalNode& ln = tree_->node(l);
   AggregateReport agg;
   if (ln.is_leaf()) {
-    // A leaf collects the reports of the machines whose ids fall in its
-    // region (each alive node is reported by exactly one leaf).
     if (ring_.node(ln.owner).alive()) {
       for (const dht::NodeIndex n : ln.reported) {
         if (ring_.node(n).alive()) agg.Add(provider_(n));
@@ -115,21 +238,18 @@ AggregateReport SomoProtocol::ComputeAggregate(LogicalIndex l) const {
     }
     return agg;
   }
-  // Children's aggregates are region-disjoint, but adopted copies (from
-  // redundant links) can overlap with a recovered parent path — merge
-  // keeping the freshest report per node.
   for (const auto& child_agg : state_[l].from_children)
     agg.MergeKeepFreshest(child_agg);
-  for (const AdoptedEntry& a : state_[l].adopted)
-    agg.MergeKeepFreshest(a.agg);
+  for (const auto& [src, adopted_agg] : state_[l].adopted)
+    agg.MergeKeepFreshest(adopted_agg);
   return agg;
 }
 
 void SomoProtocol::FireLogical(LogicalIndex l) {
   if (!running_) return;
-  if (l >= tree_->size()) return;  // tree shrank in a Rebuild
+  if (l >= tree_->size()) return;
   const LogicalNode& ln = tree_->node(l);
-  if (!ring_.node(ln.owner).alive()) return;  // will be repaired by Rebuild
+  if (!ring_.node(ln.owner).alive()) return;
   state_[l].own = ComputeAggregate(l);
   if (ln.is_root()) {
     root_view_ = state_[l].own;
@@ -149,9 +269,6 @@ void SomoProtocol::PushToParent(LogicalIndex l) {
   const LogicalIndex parent = ln.parent;
   const LogicalNode& pn = tree_->node(parent);
 
-  // Redundant links (§3.2): a dead parent host would swallow the push;
-  // hand the aggregate to a random alive parent-sibling instead, which
-  // adopts it into its own upward aggregate.
   if (config_.redundant_links && !ring_.node(pn.owner).alive() &&
       !pn.is_root()) {
     const LogicalNode& gp = tree_->node(pn.parent);
@@ -167,25 +284,15 @@ void SomoProtocol::PushToParent(LogicalIndex l) {
       m_redundant_->Inc();
       AggregateReport payload = state_[l].own;
       const std::size_t wire = payload.SerializedBytes();
-      SendBetween(ln.owner, tree_->node(uncle).owner, kMsgRedundantPush,
+      SendBetween(ln.owner, tree_->node(uncle).owner, somo::kMsgRedundantPush,
                   wire, [this, uncle, l, payload = std::move(payload)] {
                     if (!running_ || uncle >= state_.size()) return;
-                    auto& adopted = state_[uncle].adopted;
-                    const auto it = std::lower_bound(
-                        adopted.begin(), adopted.end(), l,
-                        [](const AdoptedEntry& a, LogicalIndex v) {
-                          return a.from < v;
-                        });
-                    if (it != adopted.end() && it->from == l)
-                      it->agg = payload;
-                    else
-                      adopted.insert(it, {l, payload});
+                    state_[uncle].adopted[l] = payload;
                   });
       return;
     }
   }
 
-  // Position of l among its parent's children.
   std::size_t slot = 0;
   for (; slot < pn.children.size(); ++slot) {
     if (pn.children[slot] == l) break;
@@ -193,12 +300,9 @@ void SomoProtocol::PushToParent(LogicalIndex l) {
   P2P_CHECK(slot < pn.children.size());
   AggregateReport payload = state_[l].own;
   const std::size_t wire = payload.SerializedBytes();
-  // The parent's owning instance records the push (== this when unbound),
-  // so from_children rows are only written on their owner's shard.
-  SomoProtocol* target = PeerForLogical(parent);
-  SendBetween(ln.owner, pn.owner, kMsgPush, wire,
-              [target, parent, slot, l, payload = std::move(payload)] {
-                target->ReceivePush(parent, slot, l, payload);
+  SendBetween(ln.owner, pn.owner, somo::kMsgPush, wire,
+              [this, parent, slot, l, payload = std::move(payload)] {
+                ReceivePush(parent, slot, l, payload);
               });
 }
 
@@ -209,18 +313,13 @@ void SomoProtocol::ReceivePush(LogicalIndex parent, std::size_t slot,
   if (parent >= state_.size()) return;
   if (slot >= state_[parent].from_children.size()) return;
   state_[parent].from_children[slot] = payload;
-  // A direct push supersedes any adopted detour copy of this child.
-  auto& adopted = state_[parent].adopted;
-  const auto it = std::lower_bound(
-      adopted.begin(), adopted.end(), from,
-      [](const AdoptedEntry& a, LogicalIndex v) { return a.from < v; });
-  if (it != adopted.end() && it->from == from) adopted.erase(it);
+  state_[parent].adopted.erase(from);
 }
 
 void SomoProtocol::StartSyncGather() {
   if (!running_) return;
   const std::uint64_t round = ++sync_round_counter_;
-  sync_started_.push_back({round, sim_.now()});
+  sync_started_[round] = sim_.now();
   SyncDescend(tree_->root(), sim_.now(), round);
 }
 
@@ -228,7 +327,6 @@ void SomoProtocol::SyncDescend(LogicalIndex l, sim::Time arrival,
                                std::uint64_t round) {
   const LogicalNode& ln = tree_->node(l);
   if (ln.is_leaf()) {
-    // Fresh reports travel straight back up.
     AggregateReport agg;
     if (ring_.node(ln.owner).alive()) {
       for (const dht::NodeIndex n : ln.reported) {
@@ -237,7 +335,6 @@ void SomoProtocol::SyncDescend(LogicalIndex l, sim::Time arrival,
     }
     const LogicalIndex parent = ln.parent;
     if (parent == kNoLogical) {
-      // Root is itself a leaf: intra-host hand-off, not bus traffic.
       sim_.At(arrival, [this, round, agg = std::move(agg)] {
         root_view_ = agg;
         ++gathers_completed_;
@@ -248,26 +345,18 @@ void SomoProtocol::SyncDescend(LogicalIndex l, sim::Time arrival,
       return;
     }
     const std::size_t wire = agg.SerializedBytes();
-    SendBetween(ln.owner, tree_->node(parent).owner, kMsgSyncReply, wire,
+    SendBetween(ln.owner, tree_->node(parent).owner, somo::kMsgSyncReply, wire,
                 [this, parent, round, agg = std::move(agg)] {
                   SyncReplyArrived(parent, agg, round);
                 });
     return;
   }
-  auto& sync = state_[l].sync;
-  const auto it = std::find_if(
-      sync.begin(), sync.end(),
-      [round](const SyncRound& s) { return s.round == round; });
-  if (it == sync.end())
-    sync.push_back({round, PendingGather{ln.children.size(), {}}});
-  else
-    it->gather = PendingGather{ln.children.size(), {}};
+  state_[l].sync[round] = PendingGather{ln.children.size(), {}};
   for (const LogicalIndex c : ln.children) {
-    // The "call for reports" is tiny.
-    SendBetween(ln.owner, tree_->node(c).owner, kMsgSyncCall,
+    SendBetween(ln.owner, tree_->node(c).owner, somo::kMsgSyncCall,
                 kReportHeaderBytes, [this, c, round] {
                   if (!running_) return;
-                  if (c >= tree_->size()) return;  // tree rebuilt meanwhile
+                  if (c >= tree_->size()) return;
                   SyncDescend(c, sim_.now(), round);
                 });
   }
@@ -278,14 +367,12 @@ void SomoProtocol::SyncReplyArrived(LogicalIndex l,
                                     std::uint64_t round) {
   if (!running_ || l >= state_.size()) return;
   LogicalState& st = state_[l];
-  const auto it = std::find_if(
-      st.sync.begin(), st.sync.end(),
-      [round](const SyncRound& s) { return s.round == round; });
-  if (it == st.sync.end()) return;  // stale round (tree rebuilt, etc.)
-  it->gather.agg.Merge(child_agg);
-  P2P_DCHECK(it->gather.pending > 0);
-  if (--it->gather.pending > 0) return;
-  AggregateReport complete = std::move(it->gather.agg);
+  const auto it = st.sync.find(round);
+  if (it == st.sync.end()) return;
+  it->second.agg.Merge(child_agg);
+  P2P_DCHECK(it->second.pending > 0);
+  if (--it->second.pending > 0) return;
+  AggregateReport complete = std::move(it->second.agg);
   st.sync.erase(it);
   const LogicalNode& ln = tree_->node(l);
   if (ln.is_root()) {
@@ -298,7 +385,7 @@ void SomoProtocol::SyncReplyArrived(LogicalIndex l,
   }
   const LogicalIndex parent = ln.parent;
   const std::size_t wire = complete.SerializedBytes();
-  SendBetween(ln.owner, tree_->node(parent).owner, kMsgSyncReply, wire,
+  SendBetween(ln.owner, tree_->node(parent).owner, somo::kMsgSyncReply, wire,
               [this, parent, round, payload = std::move(complete)] {
                 SyncReplyArrived(parent, payload, round);
               });
@@ -308,22 +395,15 @@ void SomoProtocol::RecordRootMetrics(std::uint64_t round) {
   const sim::Time now = sim_.now();
   m_root_members_->Set(static_cast<double>(root_view_.size()));
   if (!root_view_.empty()) m_root_staleness_->Set(now - root_view_.oldest);
-  for (std::size_t i = 0; i < root_view_.size(); ++i)
-    m_report_age_->Add(now - root_view_.generated_at(i));
+  for (const auto& r : root_view_.members)
+    m_report_age_->Add(now - r.generated_at);
   if (round != 0) {
-    // Synchronized gather: the cascade round-trip, call to complete view.
-    const auto it = std::find_if(
-        sync_started_.begin(), sync_started_.end(),
-        [round](const auto& s) { return s.first == round; });
+    const auto it = sync_started_.find(round);
     if (it != sync_started_.end()) {
       m_gather_latency_->Add(now - it->second);
       sync_started_.erase(it);
     }
   }
-  // Per-level freshness: the oldest report inside any non-empty aggregate
-  // cached at each tree level (unsync gather only — internal caches are the
-  // source of the paper's ~log_k(N)·T root-staleness bound, and watching
-  // the age climb level by level makes that bound visible).
   std::vector<double> level_age;
   for (LogicalIndex l = 0; l < tree_->size(); ++l) {
     const AggregateReport& agg = state_[l].own;
@@ -352,28 +432,24 @@ void SomoProtocol::Disseminate(LogicalIndex l,
                                std::size_t wire, sim::Time arrival) {
   if (node_views_.size() < ring_.size()) node_views_.resize(ring_.size());
   const LogicalNode& ln = tree_->node(l);
-  // A node adopts the copy unless a fresher one already arrived.
   auto adopt = [this, view](dht::NodeIndex n) {
     if (n >= node_views_.size()) return;
     const sim::Time when = sim_.now();
     if (node_views_[n].received_at >= when && node_views_[n].valid())
-      return;  // a fresher copy already arrived
+      return;
     node_views_[n] = NodeView{view, when};
   };
-  // The hosting machine's own copy is an intra-host hand-off.
   sim_.At(arrival, [adopt, owner = ln.owner] { adopt(owner); });
   if (ln.is_leaf()) {
-    // The machines the leaf reports for hear the newscast from the leaf's
-    // owner.
     for (const dht::NodeIndex n : ln.reported) {
       if (n == ln.owner || !ring_.node(n).alive()) continue;
-      SendBetween(ln.owner, n, kMsgDisseminate, wire,
+      SendBetween(ln.owner, n, somo::kMsgDisseminate, wire,
                   [adopt, n] { adopt(n); });
     }
     return;
   }
   for (const LogicalIndex c : ln.children) {
-    SendBetween(ln.owner, tree_->node(c).owner, kMsgDisseminate, wire,
+    SendBetween(ln.owner, tree_->node(c).owner, somo::kMsgDisseminate, wire,
                 [this, c, view, wire] {
                   if (!running_ || c >= tree_->size()) return;
                   Disseminate(c, view, wire, sim_.now());
@@ -401,10 +477,6 @@ std::size_t SomoProtocol::nodes_with_view() const {
 }
 
 void SomoProtocol::Rebuild() {
-  // A rebuild changes logical-node ownership; bound instances would need a
-  // coordinated re-bind across shards, which nothing drives yet.
-  P2P_CHECK_MSG(peers_.size() <= 1,
-                "Rebuild is unsupported in multi-shard runs");
   tree_ = std::make_unique<LogicalTree>(ring_, config_.fanout);
   state_.assign(tree_->size(), LogicalState{});
   for (LogicalIndex l = 0; l < tree_->size(); ++l)
@@ -420,10 +492,9 @@ double SomoProtocol::RootStalenessMs() const {
 
 double SomoProtocol::RootAliveStalenessMs() const {
   sim::Time oldest = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < root_view_.size(); ++i) {
-    const dht::NodeIndex n = root_view_.node(i);
-    if (n >= ring_.size() || !ring_.node(n).alive()) continue;
-    oldest = std::min(oldest, root_view_.generated_at(i));
+  for (const auto& r : root_view_.members) {
+    if (r.node >= ring_.size() || !ring_.node(r.node).alive()) continue;
+    oldest = std::min(oldest, r.generated_at);
   }
   if (oldest == std::numeric_limits<double>::infinity())
     return std::numeric_limits<double>::infinity();
@@ -433,9 +504,8 @@ double SomoProtocol::RootAliveStalenessMs() const {
 bool SomoProtocol::RootViewComplete() const {
   if (root_view_.empty()) return false;
   std::vector<char> seen(ring_.size(), 0);
-  for (std::size_t i = 0; i < root_view_.size(); ++i) {
-    const dht::NodeIndex n = root_view_.node(i);
-    if (n < seen.size()) seen[n] = 1;
+  for (const auto& r : root_view_.members) {
+    if (r.node < seen.size()) seen[r.node] = 1;
   }
   for (const dht::NodeIndex n : ring_.SortedAlive()) {
     if (!seen[n]) return false;
@@ -443,75 +513,4 @@ bool SomoProtocol::RootViewComplete() const {
   return true;
 }
 
-SomoProtocol::QueryResult SomoProtocol::QueryFromNode(
-    dht::NodeIndex n) const {
-  QueryResult qr;
-  const dht::NodeIndex root_owner = tree_->node(tree_->root()).owner;
-  qr.route = ring_.Route(n, ring_.node(root_owner).id());
-  qr.view = &root_view_;
-  return qr;
-}
-
-dht::NodeIndex SomoProtocol::OptimizeRootFromView() {
-  if (root_view_.empty() || root_view_.best_capacity_node == dht::kNoNode)
-    return dht::kNoNode;
-  const dht::NodeIndex best = root_view_.best_capacity_node;
-  if (best >= ring_.size() || !ring_.node(best).alive())
-    return dht::kNoNode;  // stale advert: the champion died
-  const dht::NodeIndex root_owner = tree_->node(tree_->root()).owner;
-  if (best != root_owner) {
-    ring_.SwapNodeIds(best, root_owner);
-    Rebuild();
-  }
-  return tree_->node(tree_->root()).owner;
-}
-
-std::size_t SomoProtocol::MemoryBytes() const {
-  std::size_t total = sizeof(*this);
-  total += state_.capacity() * sizeof(LogicalState);
-  for (const LogicalState& st : state_) {
-    total += st.own.MemoryBytes() - sizeof(AggregateReport);
-    total += st.from_children.capacity() * sizeof(AggregateReport);
-    for (const auto& c : st.from_children)
-      total += c.MemoryBytes() - sizeof(AggregateReport);
-    total += st.adopted.capacity() * sizeof(AdoptedEntry);
-    for (const auto& a : st.adopted)
-      total += a.agg.MemoryBytes() - sizeof(AggregateReport);
-    total += st.sync.capacity() * sizeof(SyncRound);
-    for (const auto& s : st.sync)
-      total += s.gather.agg.MemoryBytes() - sizeof(AggregateReport);
-  }
-  total += root_view_.MemoryBytes() - sizeof(AggregateReport);
-  total += node_views_.capacity() * sizeof(NodeView);
-  // Disseminated snapshots are shared (one per refresh); charge the live
-  // one once rather than per holder.
-  for (const auto& v : node_views_) {
-    if (v.valid()) {
-      total += v.view->MemoryBytes();
-      break;
-    }
-  }
-  total += timers_.capacity() * sizeof(sim::Simulation::PeriodicToken);
-  total += sync_started_.capacity() * sizeof(sync_started_[0]);
-  return total;
-}
-
-dht::NodeIndex SomoProtocol::OptimizeRoot(
-    const std::function<double(dht::NodeIndex)>& capacity) {
-  // Upward merge-sort through SOMO, condensed: find the most capable alive
-  // node, then swap its id with the current root-point owner's.
-  const auto alive = ring_.SortedAlive();
-  P2P_CHECK(!alive.empty());
-  dht::NodeIndex best = alive.front();
-  for (const dht::NodeIndex n : alive) {
-    if (capacity(n) > capacity(best)) best = n;
-  }
-  const dht::NodeIndex root_owner = tree_->node(tree_->root()).owner;
-  if (best != root_owner) {
-    ring_.SwapNodeIds(best, root_owner);
-    Rebuild();
-  }
-  return tree_->node(tree_->root()).owner;
-}
-
-}  // namespace p2p::somo
+}  // namespace p2p::somoref

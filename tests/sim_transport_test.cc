@@ -374,5 +374,57 @@ TEST(TraceSink, WriteTextEmitsHeaderAndRows) {
   std::fclose(tmp);
 }
 
+// ------------------------------------------------- per-host stats (lazy) --
+
+TEST(Transport, PerHostStatsAllocateLazily) {
+  Simulation sim;
+  Transport& tp = sim.transport();
+
+  // Off by default: no table, and traffic does not allocate one. The
+  // first send grows the pooled in-flight slab, so warm it before taking
+  // the baseline — the deltas below then isolate the per-host table.
+  EXPECT_FALSE(tp.per_host_enabled());
+  tp.Send(Msg(0, 1), [] {});
+  sim.Run();
+  const std::size_t before = tp.MemoryBytes();
+  tp.Send(Msg(0, 1), [] {});
+  sim.Run();
+  EXPECT_FALSE(tp.per_host_enabled());
+  EXPECT_EQ(tp.MemoryBytes(), before);
+
+  // Enabling sizes the table to the host count and starts counting — but
+  // only from that point on: the pre-enable send above is not back-filled.
+  tp.EnablePerHostStats(4);
+  EXPECT_TRUE(tp.per_host_enabled());
+  EXPECT_GE(tp.MemoryBytes(), before + 4 * sizeof(HostStats));
+  EXPECT_EQ(tp.host_stats(0).sent, 0u);
+
+  tp.Send(Msg(0, 2, Protocol::kSomo, 250), [] {});
+  sim.Run();
+  EXPECT_EQ(tp.host_stats(0).sent, 1u);
+  EXPECT_EQ(tp.host_stats(0).delivered, 1u);
+  EXPECT_EQ(tp.host_stats(0).bytes, 250u);
+  EXPECT_EQ(tp.host_stats(2).sent, 0u);  // accounting is per SOURCE host
+}
+
+TEST(Transport, PerHostStatsNeverShrinkAndIgnoreOutOfRangeHosts) {
+  Simulation sim;
+  Transport& tp = sim.transport();
+  tp.Send(Msg(0, 1), [] {});  // warm the pooled in-flight slab
+  sim.Run();
+  tp.EnablePerHostStats(8);
+  const std::size_t sized = tp.MemoryBytes();
+  tp.EnablePerHostStats(2);  // re-enable with fewer hosts must not shrink
+  EXPECT_EQ(tp.MemoryBytes(), sized);
+
+  // A send from a host beyond the table is delivered but uncounted rather
+  // than crashing or growing the table.
+  tp.Send(Msg(100, 1), [] {});
+  sim.Run();
+  EXPECT_EQ(tp.MemoryBytes(), sized);
+  EXPECT_EQ(tp.stats().Total().delivered, 2u);
+  EXPECT_EQ(tp.host_stats(0).sent, 0u);  // pre-enable send not back-filled
+}
+
 }  // namespace
 }  // namespace p2p::sim

@@ -112,12 +112,13 @@ LoopRun RunLoop(std::uint64_t seed, bool crash) {
     if (!v.valid()) return;
     std::vector<char> current(ring.size(), 0);
     std::vector<dht::NodeIndex> suspects;
-    for (const auto& r : v.view->members) {
-      if (r.node >= ring.size()) continue;
-      current[r.node] = 1;
-      seen[r.node] = 1;
-      if (sim.now() - r.generated_at > stale_threshold)
-        suspects.push_back(r.node);
+    for (std::size_t i = 0; i < v.view->size(); ++i) {
+      const dht::NodeIndex n = v.view->node(i);
+      if (n >= ring.size()) continue;
+      current[n] = 1;
+      seen[n] = 1;
+      if (sim.now() - v.view->generated_at(i) > stale_threshold)
+        suspects.push_back(n);
     }
     for (dht::NodeIndex n = 0; n < ring.size(); ++n) {
       if (seen[n] && !current[n]) suspects.push_back(n);

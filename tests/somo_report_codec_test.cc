@@ -83,8 +83,8 @@ TEST(ReportCodec, RandomizedRoundTripProperty) {
         << "trial " << trial;
     ASSERT_EQ(dec.size(), agg.size());
     for (std::size_t i = 0; i < agg.size(); ++i) {
-      const NodeReport& a = agg.members[i];
-      const NodeReport& d = dec.members[i];
+      const NodeReport a = agg.Member(i);
+      const NodeReport d = dec.Member(i);
       EXPECT_EQ(d.node, a.node);
       EXPECT_EQ(d.host, a.host);
       EXPECT_NEAR(d.generated_at, a.generated_at, kTsTolMs);

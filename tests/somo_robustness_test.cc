@@ -56,9 +56,9 @@ TEST(AggregateReportDedup, KeepsFreshestPerNode) {
 
   a.MergeKeepFreshest(b);
   EXPECT_EQ(a.size(), 2u);
-  for (const auto& r : a.members) {
-    if (r.node == 1) {
-      EXPECT_DOUBLE_EQ(r.generated_at, 20.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.node(i) == 1) {
+      EXPECT_DOUBLE_EQ(a.generated_at(i), 20.0);
     }
   }
   EXPECT_DOUBLE_EQ(a.oldest, 15.0);
@@ -78,7 +78,7 @@ TEST(AggregateReportDedup, StaleDuplicateIgnored) {
   b.Add(stale);
   a.MergeKeepFreshest(b);
   EXPECT_EQ(a.size(), 1u);
-  EXPECT_DOUBLE_EQ(a.members[0].generated_at, 30.0);
+  EXPECT_DOUBLE_EQ(a.generated_at(0), 30.0);
 }
 
 TEST(AggregateReport, CapacityArgmaxMergeSortsUpward) {

@@ -1,0 +1,225 @@
+// Differential pin for the PR 9 struct-of-arrays refactor: the production
+// SomoProtocol (SoA AggregateReport columns, sorted-vector adopted/sync
+// tables) against the retained map-based implementation
+// (reference/somo_map_ref.h) on identical seeded simulations at the
+// paper's 1200-host scale. For every gather discipline whose record order
+// the refactor preserves (unsync, synchronized, disseminate) the two runs
+// must agree EXACTLY: message/byte event totals, encoded root-view wire
+// bytes at several checkpoints, staleness figures, and the somo.* metric
+// snapshot. The redundant-links config intentionally changed adopted-table
+// iteration order (sorted by logical index vs. hash order), so it is
+// compared semantically: same member sets, same message totals, same
+// coverage — not byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "dht/ring.h"
+#include "reference/somo_map_ref.h"
+#include "sim/simulation.h"
+#include "somo/somo.h"
+
+namespace p2p::somo {
+namespace {
+
+constexpr std::size_t kHosts = 1200;  // the paper's §5.2 end-system count
+constexpr std::uint64_t kSeed = 77;
+constexpr double kInterval = 500.0;
+constexpr double kHorizon = 12000.0;
+constexpr double kCheckpointEvery = 4000.0;
+
+// Deterministic per-node report exercising every SoA column: coordinates
+// (variable width), bandwidths, capacity, degree slots and telemetry on a
+// subset of nodes so both absent-payload paths are covered.
+NodeReport MakeReport(const dht::Ring& ring, dht::NodeIndex n, double now) {
+  NodeReport r;
+  r.node = n;
+  r.host = ring.node(n).host();
+  r.generated_at = now;
+  r.up_kbps = 100.0 + static_cast<double>(n % 37) * 12.5;
+  r.down_kbps = 500.0 + static_cast<double>(n % 53) * 7.25;
+  r.capacity = static_cast<double>((n * 2654435761u) % 1000) / 10.0;
+  if (n % 3 != 0) {
+    for (std::size_t d = 0; d < 2 + n % 3; ++d)
+      r.coordinates.push_back(static_cast<double>(n % 101) - 50.0 +
+                              static_cast<double>(d));
+  }
+  r.degrees.total = static_cast<int>(n % 9);
+  if (n % 4 == 0) {
+    DegreeSlot slot;
+    slot.session = static_cast<SessionId>(n % 17);
+    slot.priority = kHighestPriority;
+    r.degrees.taken.push_back(slot);
+  }
+  if (n % 2 == 0) {
+    r.telemetry.msgs_sent = n * 3 + 1;
+    r.telemetry.msgs_delivered = n * 3;
+    r.telemetry.bytes_sent = n * 1500;
+    r.telemetry.suspects = n % 2;
+    r.telemetry.sampled_at = now;
+  }
+  return r;
+}
+
+struct RunObservation {
+  // Cumulative (messages, bytes, gathers) at each checkpoint — the
+  // protocol's externally visible event log in summary form.
+  std::vector<std::array<std::size_t, 3>> event_log;
+  // Encoded root view at each checkpoint (wire bytes).
+  std::vector<std::vector<std::uint8_t>> root_wires;
+  // Sorted member node ids of the final root view (semantic comparison).
+  std::vector<dht::NodeIndex> final_members;
+  double root_staleness = 0.0;
+  double alive_staleness = 0.0;
+  bool complete = false;
+  std::size_t nodes_with_view = 0;
+  std::string metrics_json;  // deterministic somo.*-bearing snapshot
+};
+
+// Shared ring construction so both protocols see identical membership.
+// (The ring is deterministic for a fixed seed path: JoinHashed in host
+// order + one StabilizeAll.)
+template <typename Protocol, typename Aggregate,
+          std::vector<std::uint8_t> (*Encode)(const Aggregate&)>
+RunObservation RunProtocol(SomoConfig cfg, bool kill_internal_owner = false) {
+  sim::Simulation sim(kSeed);
+  dht::Ring ring(16);
+  for (std::size_t h = 0; h < kHosts; ++h) ring.JoinHashed(h);
+  ring.StabilizeAll();
+
+  Protocol somo(sim, ring, cfg, [&ring, &sim](dht::NodeIndex n) {
+    return MakeReport(ring, n, sim.now());
+  });
+  somo.Start();
+
+  if (kill_internal_owner) {
+    // Crash the owner of one internal logical node mid-run WITHOUT a
+    // rebuild, forcing the redundant detour path through the adopted
+    // tables (the part of the refactor whose iteration order changed).
+    // The logical tree is a pure function of membership, so both
+    // protocols pick the same victim.
+    const auto& tree = somo.tree();
+    dht::NodeIndex victim = dht::kNoNode;
+    for (LogicalIndex l = 0; l < tree.size(); ++l) {
+      const auto& ln = tree.node(l);
+      if (!ln.is_leaf() && !ln.is_root() &&
+          ln.owner != tree.node(tree.root()).owner) {
+        victim = ln.owner;
+        break;
+      }
+    }
+    EXPECT_NE(victim, dht::kNoNode);
+    sim.At(kHorizon / 2.0, [&ring, victim] { ring.Fail(victim); });
+  }
+
+  RunObservation out;
+  for (double t = kCheckpointEvery; t <= kHorizon; t += kCheckpointEvery) {
+    sim.RunUntil(t);
+    out.event_log.push_back(
+        {somo.messages_sent(), somo.bytes_sent(), somo.gathers_completed()});
+    out.root_wires.push_back(Encode(somo.RootReport()));
+  }
+
+  const Aggregate& root = somo.RootReport();
+  for (std::size_t i = 0; i < root.size(); ++i) {
+    if constexpr (std::is_same_v<Aggregate, AggregateReport>) {
+      out.final_members.push_back(root.node(i));
+    } else {
+      out.final_members.push_back(root.members[i].node);
+    }
+  }
+  std::sort(out.final_members.begin(), out.final_members.end());
+  out.root_staleness = somo.RootStalenessMs();
+  out.alive_staleness = somo.RootAliveStalenessMs();
+  out.complete = somo.RootViewComplete();
+  out.nodes_with_view = somo.nodes_with_view();
+  out.metrics_json = sim.metrics().SnapshotJson();
+  somo.Stop();
+  return out;
+}
+
+RunObservation RunSoA(SomoConfig cfg, bool kill_internal_owner = false) {
+  return RunProtocol<SomoProtocol, AggregateReport, &EncodeAggregate>(
+      cfg, kill_internal_owner);
+}
+RunObservation RunRef(SomoConfig cfg, bool kill_internal_owner = false) {
+  return RunProtocol<somoref::SomoProtocol, somoref::AggregateReport,
+                     &somoref::EncodeAggregate>(cfg, kill_internal_owner);
+}
+
+void ExpectExactMatch(const RunObservation& soa, const RunObservation& ref) {
+  ASSERT_EQ(soa.event_log.size(), ref.event_log.size());
+  for (std::size_t c = 0; c < soa.event_log.size(); ++c) {
+    EXPECT_EQ(soa.event_log[c][0], ref.event_log[c][0])
+        << "messages diverge at checkpoint " << c;
+    EXPECT_EQ(soa.event_log[c][1], ref.event_log[c][1])
+        << "bytes diverge at checkpoint " << c;
+    EXPECT_EQ(soa.event_log[c][2], ref.event_log[c][2])
+        << "gathers diverge at checkpoint " << c;
+    EXPECT_EQ(soa.root_wires[c], ref.root_wires[c])
+        << "root view wire bytes diverge at checkpoint " << c;
+  }
+  EXPECT_EQ(soa.final_members, ref.final_members);
+  EXPECT_DOUBLE_EQ(soa.root_staleness, ref.root_staleness);
+  EXPECT_DOUBLE_EQ(soa.alive_staleness, ref.alive_staleness);
+  EXPECT_EQ(soa.complete, ref.complete);
+  EXPECT_EQ(soa.nodes_with_view, ref.nodes_with_view);
+  EXPECT_EQ(soa.metrics_json, ref.metrics_json);
+}
+
+TEST(SomoSoaDifferential, UnsyncGatherMatchesMapReference) {
+  SomoConfig cfg;
+  cfg.fanout = 8;
+  cfg.report_interval_ms = kInterval;
+  ExpectExactMatch(RunSoA(cfg), RunRef(cfg));
+}
+
+TEST(SomoSoaDifferential, SynchronizedGatherMatchesMapReference) {
+  SomoConfig cfg;
+  cfg.fanout = 8;
+  cfg.report_interval_ms = kInterval;
+  cfg.synchronized_gather = true;
+  ExpectExactMatch(RunSoA(cfg), RunRef(cfg));
+}
+
+TEST(SomoSoaDifferential, DisseminateMatchesMapReference) {
+  SomoConfig cfg;
+  cfg.fanout = 8;
+  cfg.report_interval_ms = kInterval;
+  cfg.disseminate = true;
+  ExpectExactMatch(RunSoA(cfg), RunRef(cfg));
+}
+
+TEST(SomoSoaDifferential, RedundantLinksMatchSemantically) {
+  // The SoA adopted table iterates sorted by logical index where the old
+  // hash map had pointer-ish order, so redundant-detour aggregates may
+  // concatenate members differently — the VIEW must still be the same set
+  // with the same coverage and message totals.
+  SomoConfig cfg;
+  cfg.fanout = 4;
+  cfg.report_interval_ms = kInterval;
+  cfg.redundant_links = true;
+  const RunObservation soa = RunSoA(cfg, /*kill_internal_owner=*/true);
+  const RunObservation ref = RunRef(cfg, /*kill_internal_owner=*/true);
+  ASSERT_EQ(soa.event_log.size(), ref.event_log.size());
+  for (std::size_t c = 0; c < soa.event_log.size(); ++c) {
+    EXPECT_EQ(soa.event_log[c][0], ref.event_log[c][0])
+        << "messages diverge at checkpoint " << c;
+    EXPECT_EQ(soa.event_log[c][2], ref.event_log[c][2])
+        << "gathers diverge at checkpoint " << c;
+  }
+  EXPECT_EQ(soa.final_members, ref.final_members);
+  EXPECT_EQ(soa.complete, ref.complete);
+  EXPECT_EQ(soa.nodes_with_view, ref.nodes_with_view);
+  EXPECT_DOUBLE_EQ(soa.root_staleness, ref.root_staleness);
+}
+
+}  // namespace
+}  // namespace p2p::somo

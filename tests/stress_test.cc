@@ -106,8 +106,9 @@ TEST(FullStackStress, EverythingRunsThroughChurnAndConverges) {
   somo.Start();
   churn.Start();
 
-  // Seed the store.
+  // Seed the store (pre-sized: the bulk load must never rehash mid-run).
   util::Rng key_rng(6);
+  kv.Reserve(40);
   std::vector<dht::NodeId> keys;
   for (int i = 0; i < 40; ++i) {
     keys.push_back(key_rng());

@@ -19,7 +19,12 @@ hosts. Checks:
      largest scale must not exceed baseline * --max-regression
      (default 1.5) — catches an accidental de-optimisation of the hot
      path without failing on ordinary machine-to-machine variance.
-  4. Sharded kernel (when the JSON carries a "sharded_scales" section):
+  4. Memory (when the JSON carries a "memory_scales" section, PR 9): at
+     every sweep with hosts >= 10000, per-host protocol bytes (ring
+     routing state + SOMO root aggregate) must stay <=
+     --max-bytes-per-host (default 4096) AND at least 2x below the
+     recorded pre-SoA layout (--min-host-mem-reduction, default 2.0).
+  5. Sharded kernel (when the JSON carries a "sharded_scales" section):
      at every sweep with hosts >= 10000, the 4-shard critical-path
      speedup over the 1-shard run must be at least --min-shard-speedup
      (default 2.5). Critical path = sum over lockstep windows of
@@ -35,7 +40,14 @@ sequence against both. Checks, at every preset with hosts >=
   1. Memory: flat bytes / hier bytes must be at least
      --min-mem-reduction (default 5.0).
   2. Queries: hier query_ns / flat query_ns must not exceed
-     --max-query-ratio (default 2.0).
+     --max-query-ratio (default 2.0). Skipped when the row carries
+     "flat_measured": false (the 100k+ presets report the flat triangle
+     closed-form instead of building it).
+  3. Setup (when the row carries a "setup" section, PR 9): topology +
+     pooled hier oracle + DHT batch join must finish within
+     --max-setup-seconds (default 120), and wherever the pre-SoA join
+     replay was measured at >= 50000 hosts, the end-to-end setup must be
+     >= --min-setup-speedup (default 3.0) faster than it.
 
 google-benchmark — bench_to_json's BENCH_alm.json. Checks, against a
 baseline of the same format (typically the committed BENCH_alm.json from
@@ -56,6 +68,8 @@ Usage: check_bench_scale.py NEW.json [BASELINE.json]
            [--max-regression 1.5]
            [--min-mem-reduction 5.0] [--max-query-ratio 2.0]
            [--max-plan-regression 1.1]
+           [--max-bytes-per-host 4096] [--min-host-mem-reduction 2.0]
+           [--max-setup-seconds 120] [--min-setup-speedup 3.0]
 """
 
 import argparse
@@ -130,7 +144,41 @@ def check_kernel(data, args):
             if status == "FAIL":
                 failures += 1
 
+    failures += check_memory(data, args)
     failures += check_sharded(data, args)
+    return failures
+
+
+def check_memory(data, args):
+    memory = data.get("memory_scales", [])
+    if not memory:
+        print("  --  no memory_scales section (pre-SoA bench JSON)")
+        return 0
+    failures = 0
+    for m in memory:
+        hosts = m["hosts"]
+        bph = m["bytes_per_host"]
+        reduction = m["reduction_vs_presoa"]
+        if hosts < 10000:
+            print(
+                f"  --  {hosts} hosts: {bph:.0f} B/host, "
+                f"{reduction:.2f}x below pre-SoA (below the 10000-host gate)"
+            )
+            continue
+        status = "ok" if bph <= args.max_bytes_per_host else "FAIL"
+        print(
+            f"{status:>4}  {hosts} hosts: {bph:.0f} B/host "
+            f"(ceiling {args.max_bytes_per_host:.0f})"
+        )
+        if status == "FAIL":
+            failures += 1
+        status = "ok" if reduction >= args.min_host_mem_reduction else "FAIL"
+        print(
+            f"{status:>4}  {hosts} hosts: {reduction:.2f}x below the "
+            f"pre-SoA layout (floor {args.min_host_mem_reduction:.1f}x)"
+        )
+        if status == "FAIL":
+            failures += 1
     return failures
 
 
@@ -190,14 +238,21 @@ def check_net(data, args):
         )
         if status == "FAIL":
             failures += 1
-        ratio = p["query_ratio_hier_over_flat"]
-        status = "ok" if ratio <= args.max_query_ratio else "FAIL"
-        print(
-            f"{status:>4}  {name}: hier/flat query ratio {ratio:.2f} "
-            f"(limit {args.max_query_ratio:.1f})"
-        )
-        if status == "FAIL":
-            failures += 1
+        if p.get("flat_measured", True):
+            ratio = p["query_ratio_hier_over_flat"]
+            status = "ok" if ratio <= args.max_query_ratio else "FAIL"
+            print(
+                f"{status:>4}  {name}: hier/flat query ratio {ratio:.2f} "
+                f"(limit {args.max_query_ratio:.1f})"
+            )
+            if status == "FAIL":
+                failures += 1
+        else:
+            print(
+                f"  --  {name}: flat oracle not built at this scale "
+                "(bytes are the closed-form triangle); query gate skipped"
+            )
+        failures += check_setup(p, args)
 
     if gated == 0:
         print(
@@ -205,6 +260,40 @@ def check_net(data, args):
             "— the sweep never reached the scale the gate defends"
         )
         failures += 1
+    return failures
+
+
+def check_setup(p, args):
+    setup = p.get("setup")
+    if setup is None:
+        print(f"  --  {p['preset']}: no setup section (pre-PR-9 bench JSON)")
+        return 0
+    failures = 0
+    name, hosts = p["preset"], p["hosts"]
+    total_s = setup["total_s"]
+    status = "ok" if total_s <= args.max_setup_seconds else "FAIL"
+    print(
+        f"{status:>4}  {name}: substrate setup {total_s:.1f} s "
+        f"(topo {setup['topo_ms']:.0f} + hier {setup['hier_ms']:.0f} + "
+        f"join {setup['dht_join_ms']:.0f} ms, "
+        f"{setup['threads']} thread(s); ceiling {args.max_setup_seconds:.0f} s)"
+    )
+    if status == "FAIL":
+        failures += 1
+    speedup = setup.get("speedup_vs_presoa", 0.0)
+    if speedup > 0.0 and hosts >= 50000:
+        status = "ok" if speedup >= args.min_setup_speedup else "FAIL"
+        print(
+            f"{status:>4}  {name}: setup {speedup:.2f}x faster than the "
+            f"pre-SoA join replay (floor {args.min_setup_speedup:.1f}x)"
+        )
+        if status == "FAIL":
+            failures += 1
+    elif speedup > 0.0:
+        print(
+            f"  --  {name}: setup {speedup:.2f}x faster than the pre-SoA "
+            "join replay (below the 50000-host gate)"
+        )
     return failures
 
 
@@ -274,6 +363,10 @@ def main() -> int:
     parser.add_argument("--max-query-ratio", type=float, default=2.0)
     parser.add_argument("--net-scale-floor", type=int, default=10000)
     parser.add_argument("--max-plan-regression", type=float, default=1.1)
+    parser.add_argument("--max-bytes-per-host", type=float, default=4096.0)
+    parser.add_argument("--min-host-mem-reduction", type=float, default=2.0)
+    parser.add_argument("--max-setup-seconds", type=float, default=120.0)
+    parser.add_argument("--min-setup-speedup", type=float, default=3.0)
     args = parser.parse_args()
 
     schema, data = load(args.bench_json)

@@ -636,7 +636,8 @@ int CmdHbJitter(util::FlagParser& flags) {
 int CmdTopo(util::FlagParser& flags) {
   net::TransitStubParams params;
   const std::string preset_name = flags.GetString(
-      "preset", "", "topology preset 1200|10k|50k (overrides --hosts)");
+      "preset", "",
+      "topology preset 1200|10k|50k|100k|250k (overrides --hosts)");
   params.end_hosts = static_cast<std::size_t>(
       flags.GetInt("hosts", 1200, "end systems (ignored with --preset)"));
   const auto seed =
@@ -723,8 +724,8 @@ int CmdTopo(util::FlagParser& flags) {
 // there are no network coordinates (kPaper1200 pools build them; here the
 // point is the substrate scales), so only oracle strategies are valid.
 int CmdFullstack(util::FlagParser& flags) {
-  const std::string preset_name =
-      flags.GetString("preset", "10k", "topology preset (1200|10k|50k)");
+  const std::string preset_name = flags.GetString(
+      "preset", "10k", "topology preset (1200|10k|50k|100k|250k)");
   net::OracleOptions oracle_opts = OracleFlagOptions(flags);
   const auto seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 1, "experiment seed"));
@@ -765,8 +766,13 @@ int CmdFullstack(util::FlagParser& flags) {
       net::PresetParams(net::ParseTopologyPreset(preset_name));
   std::printf("generating %s topology (seed %llu) ...\n",
               preset_name.c_str(), static_cast<unsigned long long>(seed));
+  util::ThreadPool workers(jobs < 0 ? 1 : static_cast<std::size_t>(jobs));
   util::Rng topo_rng(seed);
-  const auto topo = net::GenerateTransitStub(params, topo_rng);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto topo = net::GenerateTransitStub(params, topo_rng, &workers);
+  const double topo_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
 
   // Host -> shard placement along whole stub domains plus the structural
   // lookahead bound; trivial at 1 shard, where the sharded kernel IS the
@@ -784,7 +790,6 @@ int CmdFullstack(util::FlagParser& flags) {
   std::printf("building %s oracle over %zu routers ...\n",
               oracle_opts.kind == net::OracleKind::kFlat ? "flat" : "hier",
               topo.router_count());
-  util::ThreadPool workers(jobs < 0 ? 1 : static_cast<std::size_t>(jobs));
   oracle_opts.pool = &workers;
   oracle_opts.metrics = &sim0.metrics();
   const auto b0 = std::chrono::steady_clock::now();
@@ -797,6 +802,7 @@ int CmdFullstack(util::FlagParser& flags) {
   std::printf("joining %zu hosts into the DHT (%s) ...\n", topo.host_count(),
               join_mode.c_str());
   dht::Ring ring(32, &oracle);
+  ring.set_thread_pool(&workers);
   const auto j0 = std::chrono::steady_clock::now();
   if (join_mode == "batch") {
     const dht::NodeIndex first = ring.JoinBatchHashed(0, topo.host_count());
@@ -889,6 +895,21 @@ int CmdFullstack(util::FlagParser& flags) {
   std::size_t hb_delivered = 0;
   for (const auto& hb : hbs) hb_delivered += hb->heartbeats_delivered();
 
+  // mem.bytes_per_host: resident protocol-state bytes per host across the
+  // SoA layouts (ring tables + per-shard SOMO, heartbeat and transport
+  // state) — the gauge the memory-regression test and BENCH_kernel rows
+  // track. Derived from element counts/capacities, not allocator state, so
+  // same-seed runs agree.
+  std::size_t proto_bytes = ring.MemoryBytes();
+  for (std::size_t s = 0; s < shards; ++s) {
+    proto_bytes += hbs[s]->MemoryBytes();
+    proto_bytes += somos[s]->MemoryBytes();
+    proto_bytes += ssim.shard(s).transport().MemoryBytes();
+  }
+  const double mem_per_host = static_cast<double>(proto_bytes) /
+                              static_cast<double>(topo.host_count());
+  sim0.metrics().gauge("mem.bytes_per_host").Set(mem_per_host);
+
   std::printf("planning one %zu-member session (%s) ...\n", group,
               planner_name == "tree" ? strategy_name.c_str()
                                      : planner_name.c_str());
@@ -928,10 +949,12 @@ int CmdFullstack(util::FlagParser& flags) {
   t.AddRow({std::string("oracle"),
             std::string(oracle.kind() == net::OracleKind::kFlat ? "flat"
                                                                 : "hier")});
+  t.AddRow({std::string("topology gen (ms)"), topo_ms});
   t.AddRow({std::string("oracle build (ms)"), build_ms});
   t.AddRow({std::string("oracle memory (MiB)"),
             static_cast<double>(oracle.MemoryBytes()) / (1024.0 * 1024.0)});
   t.AddRow({std::string("DHT join (ms)"), join_ms});
+  t.AddRow({std::string("protocol mem (bytes/host)"), mem_per_host});
   t.AddRow({std::string("shards"), static_cast<long long>(shards)});
   if (shards > 1) {
     t.AddRow({std::string("lookahead (ms)"), plan.lookahead_ms});
@@ -988,7 +1011,10 @@ int CmdFullstack(util::FlagParser& flags) {
                    static_cast<double>(oracle.core_node_count()));
   report.AddResult("oracle_gateways",
                    static_cast<double>(oracle.gateway_count()));
+  report.AddResult("setup_topo_ms", topo_ms);
+  report.AddResult("setup_oracle_ms", build_ms);
   report.AddResult("setup_join_ms", join_ms);
+  report.AddResult("mem_bytes_per_host", mem_per_host);
   report.AddResult("protocol_events", static_cast<double>(protocol_events));
   report.AddResult("lockstep_windows", static_cast<double>(ssim.windows()));
   report.AddResult("cross_shard_messages",
@@ -1039,7 +1065,8 @@ int CmdFullstack(util::FlagParser& flags) {
 // keyed "<planner>.<scenario>.<metric>".
 int CmdCompare(util::FlagParser& flags) {
   const std::string preset_name =
-      flags.GetString("preset", "1200", "topology preset (1200|10k|50k)");
+      flags.GetString("preset", "1200",
+                      "topology preset (1200|10k|50k|100k|250k)");
   const std::string oracle_name = flags.GetString(
       "oracle", "hier", "latency oracle (flat|hier)");
   const auto seed =
@@ -1346,15 +1373,17 @@ int CmdObserve(util::FlagParser& flags) {
     const auto measure = [&] {
       Divergence d;
       std::size_t with_telemetry = 0;
-      for (const auto& r : somo.RootReport().members) {
-        if (!r.telemetry.valid()) continue;
+      const somo::AggregateReport& root = somo.RootReport();
+      for (std::size_t i = 0; i < root.size(); ++i) {
+        const somo::HostTelemetry* tel = root.telemetry(i);
+        if (tel == nullptr) continue;
         ++with_telemetry;
-        const sim::HostStats& truth = sim.transport().host_stats(r.host);
+        const sim::HostStats& truth = sim.transport().host_stats(root.host(i));
         const double truth_sent = static_cast<double>(truth.sent);
-        d.count_err_pct += std::abs(static_cast<double>(r.telemetry.msgs_sent) -
+        d.count_err_pct += std::abs(static_cast<double>(tel->msgs_sent) -
                                     truth_sent) /
                            std::max(1.0, truth_sent);
-        d.age_ms += sim.now() - r.telemetry.sampled_at;
+        d.age_ms += sim.now() - tel->sampled_at;
       }
       const double denom =
           with_telemetry > 0 ? static_cast<double>(with_telemetry) : 1.0;
@@ -1404,13 +1433,14 @@ int CmdObserve(util::FlagParser& flags) {
       const double age = sim.now() - v.view->oldest;
       double err = 0.0;
       std::size_t cnt = 0;
-      for (const auto& r : v.view->members) {
-        if (!r.telemetry.valid()) continue;
+      for (std::size_t i = 0; i < v.view->size(); ++i) {
+        const somo::HostTelemetry* tel = v.view->telemetry(i);
+        if (tel == nullptr) continue;
         ++cnt;
-        const sim::HostStats& truth = sim.transport().host_stats(r.host);
+        const sim::HostStats& truth =
+            sim.transport().host_stats(v.view->host(i));
         const double truth_sent = static_cast<double>(truth.sent);
-        err += std::abs(static_cast<double>(r.telemetry.msgs_sent) -
-                        truth_sent) /
+        err += std::abs(static_cast<double>(tel->msgs_sent) - truth_sent) /
                std::max(1.0, truth_sent);
       }
       err = cnt > 0 ? 100.0 * err / static_cast<double>(cnt) : 0.0;
@@ -1489,7 +1519,8 @@ int CmdObserve(util::FlagParser& flags) {
 // (depth+2 reporting cycles) past the heartbeat timeout.
 int CmdAlert(util::FlagParser& flags) {
   const std::string preset_name =
-      flags.GetString("preset", "1200", "topology preset (1200|10k|50k)");
+      flags.GetString("preset", "1200",
+                      "topology preset (1200|10k|50k|100k|250k)");
   net::OracleOptions oracle_opts = OracleFlagOptions(flags);
   const auto seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 1, "experiment seed"));
@@ -1657,9 +1688,9 @@ int CmdAlert(util::FlagParser& flags) {
         const somo::SomoProtocol::NodeView& v = somo.ViewAt(observer);
         if (!v.valid() || v.view->empty()) return 0.0;
         double total = 0.0;
-        for (const auto& r : v.view->members) {
-          if (r.telemetry.valid())
-            total += static_cast<double>(r.telemetry.suspects);
+        for (std::size_t i = 0; i < v.view->size(); ++i) {
+          if (const auto* tel = v.view->telemetry(i))
+            total += static_cast<double>(tel->suspects);
         }
         return total / static_cast<double>(v.view->size());
       };
@@ -1694,12 +1725,13 @@ int CmdAlert(util::FlagParser& flags) {
           if (!v.valid()) return;
           std::vector<char> current(ring.size(), 0);
           std::vector<dht::NodeIndex> suspects;
-          for (const auto& r : v.view->members) {
-            if (r.node >= ring.size()) continue;
-            current[r.node] = 1;
-            seen[r.node] = 1;
-            if (sim.now() - r.generated_at > stale_threshold)
-              suspects.push_back(r.node);
+          for (std::size_t i = 0; i < v.view->size(); ++i) {
+            const dht::NodeIndex n = v.view->node(i);
+            if (n >= ring.size()) continue;
+            current[n] = 1;
+            seen[n] = 1;
+            if (sim.now() - v.view->generated_at(i) > stale_threshold)
+              suspects.push_back(n);
           }
           for (dht::NodeIndex n = 0; n < ring.size(); ++n) {
             if (seen[n] && !current[n]) suspects.push_back(n);

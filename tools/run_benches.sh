@@ -73,7 +73,10 @@ fi
 # Kernel scale sweep: event-loop ns/event at 1.2k/5k/10k hosts under the
 # timing wheel, the retained heap backend, and a copy of the pre-wheel
 # queue. Gated (warn-only) on the >=3x legacy:wheel speedup at 10k hosts,
-# flat wheel memory, and ns/event regression vs the committed baseline.
+# flat wheel memory, ns/event regression vs the committed baseline, and
+# (PR 9) the per-host protocol memory rows: <= 4096 B/host and >= 2x
+# below the pre-SoA layouts at 10k hosts (--max-bytes-per-host /
+# --min-host-mem-reduction).
 baseline=""
 if [[ -f "$repo_root/BENCH_kernel.json" ]]; then
   baseline=$(mktemp)
@@ -93,7 +96,10 @@ if [[ -n "$baseline" ]]; then rm -f "$baseline"; fi
 
 # Network substrate sweep: LatencyOracle build/query/memory at the
 # topology presets, flat vs hierarchical. Gated (warn-only) on the >=5x
-# hier memory reduction and <=2x query ratio at the 10k+ presets.
+# hier memory reduction and <=2x query ratio at the 10k+ presets, plus
+# (PR 9) the substrate setup rows: topology + pooled hier build + DHT
+# batch join within --max-setup-seconds (120 s) and >= 3x faster than
+# the replayed pre-SoA dense prefix fill at 50k (--min-setup-speedup).
 ./build-release/bench/bench_net --reps 3 \
   --json "$repo_root/BENCH_net.json"
 echo "wrote $repo_root/BENCH_net.json"

@@ -5,7 +5,8 @@
 # outliving protocols, trace sinks outliving simulations), so treat a clean
 # default run as only half a result.
 #
-# Usage: tools/run_tests.sh [--report] [preset...] # default: "default sanitize"
+# Usage: tools/run_tests.sh [--report] [--big] [preset...]
+#                                           # default: "default sanitize"
 #   tools/run_tests.sh default              # quick pass only
 #   tools/run_tests.sh sanitize             # sanitizer pass only
 #   tools/run_tests.sh tsan                 # ThreadSanitizer, sharded-kernel
@@ -13,16 +14,24 @@
 #   tools/run_tests.sh --report default     # also run every CLI experiment
 #                                           # with --report and validate the
 #                                           # emitted p2preport/v1 JSON
+#   tools/run_tests.sh --big default        # opt-in 100k-preset fullstack
+#                                           # smoke (minutes of wall time;
+#                                           # skipped by default). With
+#                                           # --report it joins the a/b
+#                                           # same-seed double-run diff.
 set -euo pipefail
 
 repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
 cd "$repo_root"
 
 report_mode=0
+big_mode=0
 presets=()
 for arg in "$@"; do
   if [ "$arg" = "--report" ]; then
     report_mode=1
+  elif [ "$arg" = "--big" ]; then
+    big_mode=1
   else
     presets+=("$arg")
   fi
@@ -81,6 +90,13 @@ if [ "$report_mode" = 1 ]; then
     # reports across the a/b passes is the multi-shard contract.
     "$cli" fullstack --preset 1200 --shards 2 --group 20 \
            --horizon-ms 10000 --report "$out/fullstack-sharded.json" >/dev/null
+    # Opt-in 100k-preset smoke (minutes per pass): the a/b diff extends
+    # the same-seed byte-identical contract to the big-preset SoA +
+    # parallel-build paths at their intended scale.
+    if [ "$big_mode" = 1 ]; then
+      "$cli" fullstack --preset 100k --shards 8 --group 20 \
+             --horizon-ms 5000 --report "$out/fullstack-100k.json" >/dev/null
+    fi
     "$cli" observe --nodes 32 --horizon-ms 20000 --timeseries-dir "$out" \
            --report "$out/observe.json" >/dev/null
     # In-band alerting loop: the report embeds per-arm alert event logs
@@ -102,6 +118,16 @@ if [ "$report_mode" = 1 ]; then
     python3 tools/compare_reports.py \
       "$report" "$report_dir/b/$(basename "$report")"
   done
+fi
+
+if [ "$big_mode" = 1 ] && [ "$report_mode" = 0 ]; then
+  echo "==== big-preset smoke (100k fullstack, 8 shards) ===="
+  cli="build/tools/p2ppool_cli"
+  if [ ! -x "$cli" ]; then
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)" --target p2ppool_cli
+  fi
+  "$cli" fullstack --preset 100k --shards 8 --group 20 --horizon-ms 5000
 fi
 
 echo "all test presets passed: ${presets[*]}"
