@@ -35,6 +35,13 @@
 //                    bucket-layout choice: 3 levels x 256 buckets (the
 //                    production shape) against 4 levels x 64 on an
 //                    identical self-rescheduling timer stream.
+//   wide_area        8 geographic regions, inter-region >= 150 ms: fixed
+//                    56 ms lockstep windows against the measured per-pair
+//                    lookahead matrix on the same workload — the window
+//                    reduction check_bench_scale.py gates.
+//   run_phase_breakdown  a four-rung ladder (wheel pop / callback dispatch /
+//                    transport resolve / metrics) over one identical event
+//                    stream; adjacent deltas price each run-loop phase.
 //
 // Usage: bench_kernel [--json PATH] [--reps N] [--quick]
 #include <algorithm>
@@ -561,6 +568,266 @@ struct ShardedScaleResult {
 };
 
 // ---------------------------------------------------------------------------
+// Wide-area lookahead scenario: 8 geographic regions on a ring, intra-region
+// delay 56 ms + palette, inter-region >= 150 ms (continental links). Hosts
+// block-map to regions and regions block-map to shards, so every cross-shard
+// channel is a cross-region channel and a measured per-pair lookahead bound
+// is the region latency floor (>= 152.5 ms) instead of the 56 ms structural
+// constant the fixed path must assume. Same workload both ways — only the
+// window schedule changes — so the row prices exactly what lookahead
+// extraction buys: horizon/56 windows collapse to roughly horizon/162.
+//
+// (The multihomed 10k preset in `sharded_scales` cannot show this: its
+// domains all meet the same transit core, so the true minimum cross-shard
+// latency sits at the structural bound and extraction is a no-op there.)
+// ---------------------------------------------------------------------------
+constexpr std::size_t kWideRegions = 8;
+// Minimum additive part of every send delay on top of the region base
+// (the SOMO hop adds 0.5 * lat, lat >= 5).
+constexpr double kWideMinAddMs = 2.5;
+
+double RegionDelayMs(std::size_t r1, std::size_t r2) {
+  if (r1 == r2) return 56.0;
+  const std::size_t d = r1 > r2 ? r1 - r2 : r2 - r1;
+  const std::size_t ring = std::min(d, kWideRegions - d);
+  return 150.0 + 10.0 * static_cast<double>(ring);
+}
+
+struct WideAreaStats {
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+  std::size_t windows = 0;
+  std::size_t cross = 0;
+  double critical_ns = 0.0;
+};
+
+WideAreaStats RunWideAreaOnce(std::size_t hosts, std::size_t shards,
+                              double horizon, std::uint64_t seed,
+                              bool extracted) {
+  sim::ShardedOptions opts;
+  opts.shards = shards;
+  opts.lookahead_ms = 56.0;  // the structural bound, geography-blind
+  opts.seed = seed;
+  if (extracted && shards > 1) {
+    // What net::ExtractLookahead would measure here: per shard pair, the
+    // cheapest inter-region base delay plus the smallest additive part any
+    // send carries.
+    opts.lookahead_matrix.assign(shards * shards, 0.0);
+    for (std::size_t r1 = 0; r1 < kWideRegions; ++r1) {
+      for (std::size_t r2 = 0; r2 < kWideRegions; ++r2) {
+        const std::size_t s1 = r1 * shards / kWideRegions;
+        const std::size_t s2 = r2 * shards / kWideRegions;
+        if (s1 == s2) continue;
+        double& cell = opts.lookahead_matrix[s1 * shards + s2];
+        const double bound = RegionDelayMs(r1, r2) + kWideMinAddMs;
+        if (cell == 0.0 || bound < cell) cell = bound;
+      }
+    }
+  }
+  sim::ShardedSimulation ssim(opts);
+
+  std::vector<std::uint32_t> region_of(hosts);
+  std::vector<std::uint32_t> shard_of(hosts);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    region_of[h] = static_cast<std::uint32_t>(h * kWideRegions / hosts);
+    shard_of[h] = static_cast<std::uint32_t>(region_of[h] * shards /
+                                             kWideRegions);
+  }
+  std::vector<std::uint64_t> delivered(shards, 0);
+
+  struct HostCtx {
+    sim::ShardedSimulation* ssim;
+    const std::vector<std::uint32_t>* region_of;
+    const std::vector<std::uint32_t>* shard_of;
+    std::vector<std::uint64_t>* delivered;
+    std::size_t hosts;
+  };
+  auto ctx = std::make_unique<HostCtx>(
+      HostCtx{&ssim, &region_of, &shard_of, &delivered, hosts});
+
+  // `extra` rides on top of the region base delay and is >= kWideMinAddMs.
+  const auto send = [](HostCtx* c, std::size_t src, std::size_t dst,
+                       double extra) {
+    const std::uint32_t s = (*c->shard_of)[src];
+    const std::uint32_t d = (*c->shard_of)[dst];
+    const double delay =
+        RegionDelayMs((*c->region_of)[src], (*c->region_of)[dst]) + extra;
+    sim::Simulation& ssrc = c->ssim->shard(s);
+    auto* tally = &(*c->delivered)[d];
+    if (d == s) {
+      ssrc.After(delay, [tally] { ++*tally; });
+    } else {
+      c->ssim->Post(s, d, ssrc.now() + delay, [tally] { ++*tally; });
+    }
+  };
+
+  for (std::size_t h = 0; h < hosts; ++h) {
+    sim::Simulation& shard_sim = ssim.shard(shard_of[h]);
+    const double lat = 5.0 + 145.0 * U01(seed ^ (h * 0x9e3779b97f4a7c15ULL));
+    const double phase = 1000.0 * U01(seed ^ (h + 0xa076'1d64'78bd'642fULL));
+    HostCtx* c = ctx.get();
+    shard_sim.Every(1000.0, phase, [c, h, lat, send] {
+      send(c, h, (h + 1) % c->hosts, lat);                  // near neighbour
+      send(c, h, (h + c->hosts / 2 + 1) % c->hosts, 7.0 + lat);  // far side
+    });
+    shard_sim.Every(2000.0, phase + 0.5 * lat,
+                    [c, h, lat, send] { send(c, h, h / 2, 0.5 * lat); });
+  }
+
+  WideAreaStats stats;
+  stats.events = ssim.RunUntil(horizon);
+  stats.critical_ns = ssim.critical_path_ns();
+  stats.windows = ssim.windows();
+  stats.cross = ssim.cross_shard_messages();
+  for (const std::uint64_t d : delivered) stats.delivered += d;
+  return stats;
+}
+
+struct WideAreaResult {
+  std::size_t hosts = 0;
+  double horizon = 0.0;
+  struct Run {
+    std::size_t shards = 0;
+    WideAreaStats fixed, extracted;
+    double window_reduction() const {
+      return extracted.windows == 0
+                 ? 0.0
+                 : static_cast<double>(fixed.windows) /
+                       static_cast<double>(extracted.windows);
+    }
+  };
+  std::vector<Run> runs;
+};
+
+// ---------------------------------------------------------------------------
+// Run-phase breakdown: where a serial run-loop nanosecond actually goes.
+// Four rungs drive the exact same fired-event stream (CHECKed) and add one
+// cost layer each, so adjacent deltas price a phase by subtraction:
+//
+//   wheel_pop          pop/re-arm/schedule machinery, near-empty callbacks
+//   callback_dispatch  + real delivery closures (payload capture, failure-
+//                        detector push-back via Rearm)
+//   transport_resolve  + sends routed through the Transport bus (fault and
+//                        delay resolution, accounting, in-flight slab)
+//   metrics            + per-send/delivery registry counters enabled
+// ---------------------------------------------------------------------------
+enum class BreakPhase : int {
+  kWheelPop = 0,
+  kCallback = 1,
+  kTransport = 2,
+  kMetrics = 3,
+};
+
+struct BreakdownStats {
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+  double wall_ns = 0.0;
+  double ns_per_event() const {
+    return events == 0 ? 0.0 : wall_ns / static_cast<double>(events);
+  }
+};
+
+BreakdownStats RunBreakdownOnce(BreakPhase phase, std::size_t hosts,
+                                double horizon, std::uint64_t seed) {
+  sim::Simulation sim(seed);
+  if (phase == BreakPhase::kMetrics) sim.EnableMetrics();
+
+  struct Ctx {
+    sim::Simulation* sim;
+    BreakPhase phase;
+    std::size_t hosts;
+    std::vector<double> lat;
+    std::vector<sim::EventId> timeout;
+    std::uint64_t delivered = 0;
+    std::uint64_t bytes = 0;
+  };
+  auto ctx = std::make_unique<Ctx>();
+  ctx->sim = &sim;
+  ctx->phase = phase;
+  ctx->hosts = hosts;
+  ctx->timeout.assign(hosts, sim::kInvalidEventId);
+  ctx->lat.reserve(hosts);
+  for (std::size_t h = 0; h < hosts; ++h)
+    ctx->lat.push_back(5.0 + 145.0 * U01(seed ^ (h * 0x9e3779b97f4a7c15ULL)));
+
+  struct Msg {
+    std::uint32_t src, dst, bytes;
+    float latency;
+  };
+  // The suppress pattern (Delivered in the scale sweep's Workload): reset
+  // the failure timeout on every heartbeat; it never fires within the
+  // horizon, so it adds Rearm work but no events.
+  const auto delivered_cb = [](Ctx* c, std::size_t h, const Msg& m) {
+    ++c->delivered;
+    c->bytes += m.bytes;
+    const double t = c->sim->now() + 3000.0;
+    if (c->timeout[h] == sim::kInvalidEventId ||
+        !c->sim->Rearm(c->timeout[h], t)) {
+      c->timeout[h] = c->sim->At(t, [c, h] {
+        c->timeout[h] = sim::kInvalidEventId;
+      });
+    }
+  };
+
+  for (std::size_t h = 0; h < hosts; ++h) {
+    const double phase_ms = 1000.0 * U01(seed ^ (h + 0xa076'1d64'78bd'642fULL));
+    const double lat = ctx->lat[h];
+    Ctx* c = ctx.get();
+    sim.Every(1000.0, phase_ms, [c, h, lat, delivered_cb] {
+      const Msg m{static_cast<std::uint32_t>(h),
+                  static_cast<std::uint32_t>((h + 1) % c->hosts), 64,
+                  static_cast<float>(lat)};
+      switch (c->phase) {
+        case BreakPhase::kWheelPop:
+          // Same delivery event, empty body: the floor.
+          c->sim->After(lat, [] {});
+          break;
+        case BreakPhase::kCallback:
+          c->sim->After(lat, [c, h, m, delivered_cb] {
+            delivered_cb(c, h, m);
+          });
+          break;
+        case BreakPhase::kTransport:
+        case BreakPhase::kMetrics: {
+          sim::Message msg;
+          msg.src_host = h;
+          msg.dst_host = m.dst;
+          msg.protocol = sim::Protocol::kOther;
+          msg.bytes = m.bytes;
+          sim::SendOptions so;
+          so.delay_override_ms = lat;  // identical delivery times
+          c->sim->transport().Send(msg,
+                                   [c, h, m, delivered_cb] {
+                                     delivered_cb(c, h, m);
+                                   },
+                                   so);
+          break;
+        }
+      }
+    });
+  }
+
+  BreakdownStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+  stats.events = sim.RunUntil(horizon);
+  const auto t1 = std::chrono::steady_clock::now();
+  stats.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  stats.delivered = ctx->delivered;
+  return stats;
+}
+
+struct BreakdownResult {
+  std::size_t hosts = 0;
+  double horizon = 0.0;
+  // Indexed by BreakPhase.
+  std::array<BreakdownStats, 4> phases;
+};
+
+constexpr const char* kBreakPhaseNames[4] = {
+    "wheel_pop", "callback_dispatch", "transport_resolve", "metrics"};
+
+// ---------------------------------------------------------------------------
 // Per-host protocol memory (PR 9): the ring's routing state plus a full
 // SOMO root aggregate, measured against the pre-SoA layouts — the seed's
 // dense per-node prefix/finger allocations and the AoS aggregate
@@ -882,13 +1149,16 @@ LayoutStats BestOfLayout(int reps, std::size_t timers, double horizon,
 
 void WriteJson(const std::vector<ScaleResult>& results,
                const std::vector<ShardedScaleResult>& sharded,
+               const std::vector<WideAreaResult>& wide,
+               const BreakdownResult& breakdown,
                const std::vector<MemoryScaleResult>& memory,
                const LayoutStats& layout_3x256, const LayoutStats& layout_4x64,
                const std::string& path) {
+  const unsigned cpus = std::thread::hardware_concurrency();
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("schema").String("p2pkernelbench/v1");
-  w.Key("cpus").Uint(std::thread::hardware_concurrency());
+  w.Key("cpus").Uint(cpus);
   w.Key("memory_scales").BeginArray();
   for (const auto& m : memory) {
     w.BeginObject();
@@ -947,6 +1217,9 @@ void WriteJson(const std::vector<ScaleResult>& results,
       if (shards == 1) base_critical = s.critical_ns;
       w.BeginObject();
       w.Key("shards").Uint(shards);
+      // Per-row so downstream checks can flag critical-path projections
+      // from hosts that could not actually overlap the shards.
+      w.Key("cpus").Uint(cpus);
       w.Key("events").Uint(s.events);
       w.Key("windows").Uint(s.windows);
       w.Key("cross_shard_messages").Uint(s.cross);
@@ -963,6 +1236,54 @@ void WriteJson(const std::vector<ScaleResult>& results,
     w.EndObject();
   }
   w.EndArray();
+
+  // Wide-area lookahead extraction: fixed 56 ms windows vs the measured
+  // per-pair matrix, same workload (see RunWideAreaOnce).
+  w.Key("wide_area").BeginArray();
+  for (const auto& wa : wide) {
+    w.BeginObject();
+    w.Key("hosts").Uint(wa.hosts);
+    w.Key("horizon_ms").Number(wa.horizon);
+    w.Key("regions").Uint(kWideRegions);
+    w.Key("runs").BeginArray();
+    for (const auto& run : wa.runs) {
+      w.BeginObject();
+      w.Key("shards").Uint(run.shards);
+      w.Key("cpus").Uint(cpus);
+      w.Key("events").Uint(run.fixed.events);
+      w.Key("cross_shard_messages").Uint(run.fixed.cross);
+      w.Key("windows_fixed").Uint(run.fixed.windows);
+      w.Key("windows_extracted").Uint(run.extracted.windows);
+      w.Key("window_reduction").Number(run.window_reduction());
+      w.Key("critical_path_ns_fixed").Number(run.fixed.critical_ns);
+      w.Key("critical_path_ns_extracted").Number(run.extracted.critical_ns);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // Run-phase breakdown ladder: identical event stream, one cost layer per
+  // rung; delta_ns prices the layer against the previous rung.
+  w.Key("run_phase_breakdown").BeginObject();
+  w.Key("hosts").Uint(breakdown.hosts);
+  w.Key("horizon_ms").Number(breakdown.horizon);
+  w.Key("events").Uint(breakdown.phases[0].events);
+  w.Key("phases").BeginArray();
+  for (std::size_t i = 0; i < breakdown.phases.size(); ++i) {
+    const BreakdownStats& s = breakdown.phases[i];
+    w.BeginObject();
+    w.Key("phase").String(kBreakPhaseNames[i]);
+    w.Key("ns_per_event").Number(s.ns_per_event());
+    w.Key("delta_ns")
+        .Number(i == 0 ? s.ns_per_event()
+                       : s.ns_per_event() -
+                             breakdown.phases[i - 1].ns_per_event());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
 
   // Bucket-layout model: production 3x256 against 4x64.
   w.Key("wheel_layouts").BeginArray();
@@ -1137,6 +1458,104 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", stable.ToText().c_str());
 
+  // --- wide-area lookahead extraction ------------------------------------
+  struct WideScale {
+    std::size_t hosts;
+    double horizon;
+  };
+  std::vector<WideScale> wide_scales = {{10000, 10000.0}};
+  if (quick) wide_scales = {{10000, 4000.0}};
+  const std::vector<std::size_t> wide_shard_counts = {2, 4, 8};
+
+  std::printf("=== Wide-area lookahead extraction (8 regions, inter-region "
+              ">= 150 ms;\n fixed 56 ms windows vs measured per-pair "
+              "matrix, same workload) ===\n");
+  std::vector<WideAreaResult> wide_results;
+  p2p::util::Table wtable({"hosts", "shards", "events", "win fixed",
+                           "win extracted", "reduction"});
+  for (const auto& sc : wide_scales) {
+    WideAreaResult r;
+    r.hosts = sc.hosts;
+    r.horizon = sc.horizon;
+    const std::uint64_t seed = 11000 + sc.hosts;
+    for (const std::size_t shards : wide_shard_counts) {
+      WideAreaResult::Run run;
+      run.shards = shards;
+      for (int rep = 0; rep < reps; ++rep) {
+        WideAreaStats f =
+            RunWideAreaOnce(sc.hosts, shards, sc.horizon, seed, false);
+        WideAreaStats e =
+            RunWideAreaOnce(sc.hosts, shards, sc.horizon, seed, true);
+        if (rep == 0 || f.critical_ns < run.fixed.critical_ns) run.fixed = f;
+        if (rep == 0 || e.critical_ns < run.extracted.critical_ns)
+          run.extracted = e;
+      }
+      // Same workload either way: the matrix only reschedules the windows.
+      P2P_CHECK_MSG(run.fixed.events == run.extracted.events,
+                    "wide-area fired-event mismatch at " << shards
+                                                         << " shards");
+      P2P_CHECK_MSG(run.fixed.delivered == run.extracted.delivered,
+                    "wide-area delivery mismatch at " << shards << " shards");
+      P2P_CHECK_MSG(run.extracted.windows <= run.fixed.windows,
+                    "extracted lookahead must not add windows");
+      wtable.AddRow({static_cast<long long>(r.hosts),
+                     static_cast<long long>(shards),
+                     static_cast<long long>(run.fixed.events),
+                     static_cast<long long>(run.fixed.windows),
+                     static_cast<long long>(run.extracted.windows),
+                     run.window_reduction()});
+      r.runs.push_back(run);
+    }
+    // One logical stream at every shard count, like the lockstep sweep.
+    for (const auto& run : r.runs) {
+      P2P_CHECK_MSG(run.fixed.events == r.runs.front().fixed.events,
+                    "wide-area stream mismatch across shard counts");
+    }
+    wide_results.push_back(std::move(r));
+  }
+  std::printf("%s\n", wtable.ToText().c_str());
+
+  // --- run-phase breakdown -----------------------------------------------
+  BreakdownResult breakdown;
+  breakdown.hosts = quick ? 5000 : 10000;
+  breakdown.horizon = quick ? 4000.0 : 10000.0;
+  {
+    const std::uint64_t seed = 13000 + breakdown.hosts;
+    for (int p = 0; p < 4; ++p) {
+      BreakdownStats best;
+      for (int rep = 0; rep < reps; ++rep) {
+        BreakdownStats s =
+            RunBreakdownOnce(static_cast<BreakPhase>(p), breakdown.hosts,
+                             breakdown.horizon, seed);
+        if (rep == 0 || s.wall_ns < best.wall_ns) best = s;
+      }
+      breakdown.phases[static_cast<std::size_t>(p)] = best;
+    }
+    // Identical fired-event stream on every rung, or the deltas are noise.
+    for (int p = 1; p < 4; ++p) {
+      P2P_CHECK_MSG(breakdown.phases[p].events == breakdown.phases[0].events,
+                    "breakdown rung " << kBreakPhaseNames[p]
+                                      << " changed the event stream");
+    }
+    for (int p = 2; p < 4; ++p) {
+      P2P_CHECK(breakdown.phases[p].delivered ==
+                breakdown.phases[1].delivered);
+    }
+    std::printf("=== Run-phase breakdown (%zu hosts, identical %llu-event "
+                "stream per rung) ===\n",
+                breakdown.hosts,
+                static_cast<unsigned long long>(
+                    breakdown.phases[0].events));
+    for (int p = 0; p < 4; ++p) {
+      const double ns = breakdown.phases[p].ns_per_event();
+      const double prev =
+          p == 0 ? 0.0 : breakdown.phases[p - 1].ns_per_event();
+      std::printf("  %-18s %7.1f ns/event  (+%5.1f)\n", kBreakPhaseNames[p],
+                  ns, ns - prev);
+    }
+    std::printf("\n");
+  }
+
   // --- per-host protocol memory ------------------------------------------
   std::vector<std::size_t> mem_hosts = {1200, 10000};
   if (quick) mem_hosts = {1200};
@@ -1174,7 +1593,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(l4x64.cascaded));
 
   if (!json_path.empty())
-    WriteJson(results, sharded_results, memory_results, l3x256, l4x64,
-              json_path);
+    WriteJson(results, sharded_results, wide_results, breakdown,
+              memory_results, l3x256, l4x64, json_path);
   return 0;
 }

@@ -96,6 +96,10 @@ void HeartbeatProtocol::BindShard(
 void HeartbeatProtocol::Stop() {
   running_ = false;
   for (auto& t : tokens_) sim::Simulation::CancelPeriodic(t);
+  sim_.Cancel(beat_walker_);
+  beat_walker_ = sim::kInvalidEventId;
+  beat_order_.clear();
+  beat_cursor_ = 0;
 }
 
 void HeartbeatProtocol::OnNodeJoined(NodeIndex n) {
@@ -110,9 +114,81 @@ void HeartbeatProtocol::OnNodeJoined(NodeIndex n) {
 }
 
 void HeartbeatProtocol::SchedulePeriodic(NodeIndex n) {
-  // Desynchronise nodes with a random phase within one period.
+  // Desynchronise nodes with a random phase within one period. Both paths
+  // draw identically, so the rng stream (and everything downstream of it)
+  // does not depend on batch_beats.
   const sim::Time phase = sim_.rng().Uniform(0.0, config_.period_ms);
-  tokens_[n] = sim_.Every(config_.period_ms, phase, [this, n] { Beat(n); });
+  if (!config_.batch_beats) {
+    tokens_[n] = sim_.Every(config_.period_ms, phase, [this, n] { Beat(n); });
+    return;
+  }
+  InsertBeat(sim_.now() + phase, n);
+}
+
+void HeartbeatProtocol::InsertBeat(sim::Time first, NodeIndex n) {
+  // The row is cyclically ascending: [cursor, end) then [0, cursor). A
+  // deadline past the current segment's tail belongs to the wrapped
+  // segment (it fires next cycle). Ties insert after existing entries —
+  // the per-node timer a joiner would have created carries a younger seq
+  // than anything already scheduled at that time.
+  const auto fires_no_later = [first](const std::pair<sim::Time, NodeIndex>&
+                                          e) { return e.first <= first; };
+  std::size_t pos;
+  if (beat_cursor_ < beat_order_.size() &&
+      first <= beat_order_.back().first) {
+    pos = static_cast<std::size_t>(
+        std::partition_point(beat_order_.begin() + beat_cursor_,
+                             beat_order_.end(), fires_no_later) -
+        beat_order_.begin());
+    beat_order_.insert(beat_order_.begin() + pos, {first, n});
+  } else {
+    pos = static_cast<std::size_t>(
+        std::partition_point(beat_order_.begin(),
+                             beat_order_.begin() + beat_cursor_,
+                             fires_no_later) -
+        beat_order_.begin());
+    beat_order_.insert(beat_order_.begin() + pos, {first, n});
+    ++beat_cursor_;  // inserted into the wrapped (next-cycle) segment
+  }
+  const std::size_t next =
+      beat_cursor_ == beat_order_.size() ? 0 : beat_cursor_;
+  if (pos != next) return;
+  // The new entry is the next to fire: pull the walker's wakeup forward.
+  // Rearm reports false when the walker is firing right now (a join from
+  // inside the sweep) — BeatSweep reschedules after it drains — and when
+  // no walker exists yet (Start), schedule the first one.
+  if (beat_walker_ == sim::kInvalidEventId) {
+    ScheduleSweep();
+  } else {
+    sim_.Rearm(beat_walker_, first);
+  }
+}
+
+void HeartbeatProtocol::BeatSweep() {
+  const sim::Time now = sim_.now();
+  while (!beat_order_.empty()) {
+    if (beat_cursor_ == beat_order_.size()) {
+      if (beat_order_.front().first != now) break;
+      beat_cursor_ = 0;
+    }
+    auto& e = beat_order_[beat_cursor_];
+    if (e.first != now) break;
+    const NodeIndex n = e.second;
+    e.first += config_.period_ms;  // same arithmetic as a periodic re-arm
+    ++beat_cursor_;
+    Beat(n);
+  }
+  ScheduleSweep();
+}
+
+void HeartbeatProtocol::ScheduleSweep() {
+  if (beat_order_.empty()) {
+    beat_walker_ = sim::kInvalidEventId;
+    return;
+  }
+  const std::size_t next =
+      beat_cursor_ == beat_order_.size() ? 0 : beat_cursor_;
+  beat_walker_ = sim_.At(beat_order_[next].first, [this] { BeatSweep(); });
 }
 
 void HeartbeatProtocol::Beat(NodeIndex n) {
@@ -216,6 +292,7 @@ std::size_t HeartbeatProtocol::MemoryBytes() const {
   for (const auto& row : last_heard_)
     bytes += row.capacity() * sizeof(std::pair<NodeIndex, sim::Time>);
   bytes += tokens_.capacity() * sizeof(sim::Simulation::PeriodicToken);
+  bytes += beat_order_.capacity() * sizeof(std::pair<sim::Time, NodeIndex>);
   bytes += detected_.capacity();
   bytes += suspected_.capacity() * sizeof(std::vector<NodeIndex>);
   for (const auto& row : suspected_)

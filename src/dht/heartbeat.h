@@ -44,6 +44,18 @@ struct HeartbeatConfig {
   // in-band alerting experiments use this to make the disseminated SOMO
   // view, not simulator ground truth, the thing that heals the ring.
   bool auto_repair = true;
+  // Batch-tick the beat timers (default): every node shares one period, so
+  // beats recur in a fixed cyclic order — one self-rescheduling walker
+  // event sweeps the phase-sorted beat row and fires each node at exactly
+  // the time its own periodic timer would have fired (deadlines accumulate
+  // += period per node, matching the event queue's re-arm arithmetic
+  // bit-for-bit). The observable stream — beat times, send order, observer
+  // callbacks, metrics — is byte-identical to the per-node path (pinned by
+  // a differential test); what changes is the event-queue working set: one
+  // always-hot walker record instead of N periodic records scattered
+  // across the slab, which is where the run-phase profile showed the
+  // heartbeat tax at 50k+ hosts. Set false to retain per-node timers.
+  bool batch_beats = true;
 };
 
 // Modelled heartbeat wire size: the paper pads heartbeats to ~1.5 KB so
@@ -129,6 +141,13 @@ class HeartbeatProtocol {
 
  private:
   void SchedulePeriodic(NodeIndex n);
+  // Batched beats: insert node n's first deadline into the cyclic beat
+  // row, keeping the walker's wakeup aligned with the earliest entry.
+  void InsertBeat(sim::Time first, NodeIndex n);
+  // Fire every beat whose deadline equals the walker's wakeup time, then
+  // reschedule for the next entry.
+  void BeatSweep();
+  void ScheduleSweep();
   void Beat(NodeIndex n);
   void Deliver(NodeIndex from, NodeIndex to, sim::Time send_time);
   void CheckTimeouts(NodeIndex n);
@@ -161,6 +180,15 @@ class HeartbeatProtocol {
   // cache-dense at 50k nodes, and iteration order is deterministic.
   std::vector<std::vector<std::pair<NodeIndex, sim::Time>>> last_heard_;
   std::vector<sim::Simulation::PeriodicToken> tokens_;
+  // Batched beats (config_.batch_beats): the beat row, cyclically sorted
+  // by next deadline — [beat_cursor_, end) then [0, beat_cursor_) is
+  // ascending. The sweep advances each fired entry by one period in
+  // place, which preserves the ordering (x < y implies x+p <= y+p, and
+  // rounding ties keep their row order, matching the per-node timers'
+  // seq order).
+  std::vector<std::pair<sim::Time, NodeIndex>> beat_order_;
+  std::size_t beat_cursor_ = 0;
+  sim::EventId beat_walker_ = sim::kInvalidEventId;
   std::vector<char> detected_;  // dead nodes already processed
   // suspected_[n] = members node n currently suspects, sorted
   // (suspect_alive mode).

@@ -1,7 +1,9 @@
 #include "net/shard_plan.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "net/latency_oracle.h"
 #include "util/check.h"
 
 namespace p2p::net {
@@ -65,6 +67,113 @@ ShardPlan PlanShards(const TransitStubTopology& topo, std::size_t shards) {
   for (HostIdx h = 0; h < topo.host_count(); ++h)
     plan.shard_of_host[h] = shard_of_domain[topo.domain_of[topo.host_router[h]]];
   return plan;
+}
+
+// Measured per-pair lookahead via the gateway reduction.
+//
+// Every cross-shard path is a cross-stub-domain path, and the only links
+// leaving a stub domain are its attach (gateway) links, so
+//
+//   Latency(a, b) = last_hop(a) + dist(r_a, g1) + dist(g1, g2)
+//                   + dist(g2, r_b) + last_hop(b)
+//
+// for some gateways g1 of a's domain, g2 of b's domain. Folding the
+// sender/receiver side into a per-gateway cost
+//
+//   A(g) = min over hosts h in g's domain of last_hop(h) + dist(r_h, g)
+//
+// makes the pair minimum   min over gateway pairs of A(g1) + dist(g1, g2)
+// + A(g2).  Both directions of the equality follow from the triangle
+// inequality of the oracle's distances, so the reduction is exact for the
+// flat and the hierarchical backend alike — O(gateways^2) oracle queries
+// instead of O(hosts^2).
+void ExtractLookahead(const TransitStubTopology& topo,
+                      const LatencyOracle& oracle, ShardPlan& plan) {
+  const std::size_t shards = plan.shards;
+  const double inf = std::numeric_limits<double>::infinity();
+  plan.lookahead_matrix.assign(shards * shards, 0.0);
+  plan.extracted_lookahead_ms = plan.lookahead_ms;
+  if (shards <= 1) return;
+
+  // Cheapest last hop per stub router, over the hosts attached to it.
+  const std::size_t n_routers = topo.routers.node_count();
+  std::vector<double> min_hop(n_routers, inf);
+  for (HostIdx h = 0; h < topo.host_count(); ++h) {
+    const NodeIdx r = topo.host_router[h];
+    min_hop[r] = std::min(min_hop[r], topo.host_last_hop_ms[h]);
+  }
+
+  // Stub routers grouped by domain (transit routers host nothing and are
+  // interior to every cross-domain path, so only stub routers matter).
+  const std::size_t n_domains = topo.params.total_stub_domains();
+  std::vector<std::vector<NodeIdx>> domain_routers(n_domains);
+  for (NodeIdx r = 0; r < n_routers; ++r) {
+    if (!topo.is_transit[r]) domain_routers[topo.domain_of[r]].push_back(r);
+  }
+  std::vector<std::uint32_t> shard_of_domain(n_domains, 0);
+  std::vector<bool> domain_populated(n_domains, false);
+  for (HostIdx h = 0; h < topo.host_count(); ++h) {
+    const std::size_t d = topo.domain_of[topo.host_router[h]];
+    shard_of_domain[d] = plan.shard_of_host[h];
+    domain_populated[d] = true;
+  }
+
+  // Gateways (stub routers with a transit neighbor) and their A(g) costs.
+  struct Gateway {
+    NodeIdx router;
+    std::uint32_t shard;
+    double a;  // min over same-domain hosts of last_hop + dist(r_h, g)
+  };
+  std::vector<Gateway> gws;
+  for (std::size_t d = 0; d < n_domains; ++d) {
+    if (!domain_populated[d]) continue;
+    for (const NodeIdx g : domain_routers[d]) {
+      bool is_gateway = false;
+      for (const auto& e : topo.routers.Neighbors(g)) {
+        if (topo.is_transit[e.to]) {
+          is_gateway = true;
+          break;
+        }
+      }
+      if (!is_gateway) continue;
+      double a = inf;
+      for (const NodeIdx r : domain_routers[d]) {
+        if (min_hop[r] == inf) continue;
+        a = std::min(a, min_hop[r] + oracle.RouterDistance(r, g));
+      }
+      gws.push_back({g, shard_of_domain[d], a});
+    }
+  }
+
+  std::vector<double>& L = plan.lookahead_matrix;
+  std::fill(L.begin(), L.end(), inf);
+  for (std::size_t i = 0; i < gws.size(); ++i) {
+    for (std::size_t j = 0; j < gws.size(); ++j) {
+      if (gws[i].shard == gws[j].shard) continue;
+      double& cell = L[gws[i].shard * shards + gws[j].shard];
+      const double d = gws[i].a + gws[j].a +
+                       oracle.RouterDistance(gws[i].router, gws[j].router);
+      cell = std::min(cell, d);
+    }
+  }
+  double global_min = inf;
+  for (std::size_t i = 0; i < shards; ++i) {
+    for (std::size_t j = 0; j < shards; ++j) {
+      double& cell = L[i * shards + j];
+      if (i == j) {
+        cell = 0.0;
+        continue;
+      }
+      P2P_CHECK_MSG(cell < inf, "no cross-shard channel between shards "
+                                    << i << " and " << j);
+      // The structural bound is itself sound, so it can only sharpen a
+      // matrix entry (it never does for exact extraction; the max guards
+      // against a future oracle backend with approximate distances).
+      cell = std::max(cell, plan.lookahead_ms);
+      global_min = std::min(global_min, cell);
+    }
+  }
+  plan.extracted_lookahead_ms = global_min;
 }
 
 }  // namespace p2p::net

@@ -13,10 +13,23 @@
 // parameters, not sampled from the oracle, so it is exact by construction;
 // sim/sharded.cc re-checks it per message with a P2P_CHECK.
 //
+// ExtractLookahead sharpens the structural constant into a *measured*
+// per-shard-pair matrix: for each ordered shard pair (i, j), the true
+// minimum host-to-host latency across the actual domain→shard assignment,
+// computed from oracle distances via the gateway reduction (see the .cc).
+// The matrix min is the binding window constraint the sharded kernel
+// advances by; each entry is a sound per-channel bound (every message from
+// shard i to shard j takes at least matrix[i][j] ms of virtual time).
+//
 // Placement is a deterministic greedy bin-pack: stub domains in decreasing
 // host-count order (ties by domain index) onto the currently least-loaded
 // shard (ties by shard index). Host counts per domain are hash-uniform, so
 // shards come out balanced to within one domain (~hosts/domains).
+// Placement deliberately ignores latency: with multihomed stub domains
+// (second attach to a uniformly random transit router), the multihome
+// links connect nearly every transit neighborhood pair, so no balanced
+// partition avoids a ~2*(last_hop+stub_transit) cross-shard path — the
+// measured matrix, not the placement, is where the slack lives.
 #pragma once
 
 #include <cstdint>
@@ -26,14 +39,28 @@
 
 namespace p2p::net {
 
+class LatencyOracle;
+
 struct ShardPlan {
   std::size_t shards = 1;
   // shard_of_host[h] = owning shard of end host h.
   std::vector<std::uint32_t> shard_of_host;
   std::vector<std::size_t> hosts_per_shard;
   // Structural lower bound on cross-shard one-way latency (ms); the
-  // lockstep window length of the sharded kernel.
+  // lockstep window length of the retained fixed-lookahead kernel path.
   double lookahead_ms = 0.0;
+  // Measured per-shard-pair lookahead (ms), row-major shards x shards:
+  // lookahead_matrix[i * shards + j] is the minimum latency of any host in
+  // shard i to any host in shard j (diagonal entries are 0 and unused).
+  // Empty until ExtractLookahead() fills it.
+  std::vector<double> lookahead_matrix;
+  // min over off-diagonal matrix entries; 0 until extracted. Always >= the
+  // structural lookahead_ms (the measured minimum can only sharpen it).
+  double extracted_lookahead_ms = 0.0;
+
+  double PairLookaheadMs(std::size_t i, std::size_t j) const {
+    return lookahead_matrix[i * shards + j];
+  }
 };
 
 // Partition `topo`'s end hosts into `shards` shards along whole stub
@@ -42,5 +69,16 @@ ShardPlan PlanShards(const TransitStubTopology& topo, std::size_t shards);
 
 // The lookahead bound alone (2 * (last_hop_min_ms + stub_transit_link_ms)).
 double ShardLookaheadMs(const TransitStubParams& params);
+
+// Fill `plan.lookahead_matrix` / `plan.extracted_lookahead_ms` with the
+// measured minimum cross-shard latency per ordered shard pair, computed
+// from `oracle` distances and the plan's actual host assignment. Exact —
+// equal to min over cross-shard host pairs of oracle.Latency(a, b) — but
+// computed through the per-domain gateway reduction, so it costs
+// O(gateways^2) oracle queries instead of O(hosts^2). Soundness (each
+// entry <= every observed cross-shard delivery latency) is re-checked per
+// message by sim/sharded.cc and property-tested in tests/.
+void ExtractLookahead(const TransitStubTopology& topo,
+                      const LatencyOracle& oracle, ShardPlan& plan);
 
 }  // namespace p2p::net

@@ -41,14 +41,19 @@ class EventQueue::Backend {
   virtual void PopAllUpTo(Time t_end, void* ctx, EventQueue::SinkFn sink) {
     while (!QueueEmpty()) {
       const std::uint32_t slot = PeekMin();
-      if (record(slot).time > t_end) return;
+      if (time_of(slot) > t_end) return;
       PopMin();
       Emit(slot, ctx, sink);
     }
   }
 
  protected:
-  const Slot& record(std::uint32_t slot) const { return q_.slab_[slot]; }
+  // Flat ordering keys — the hot reads of every compare/sort/min scan.
+  Time time_of(std::uint32_t slot) const { return q_.keys_[slot].time; }
+  std::uint64_t seq_of(std::uint32_t slot) const { return q_.keys_[slot].seq; }
+  // The backend's private per-slot location word (wheel: packed bucket
+  // index + position). Valid only while the slot is scheduled.
+  std::uint64_t& word_of(std::uint32_t slot) { return q_.keys_[slot].backend_word; }
   bool Live(std::uint32_t slot, std::uint64_t seq) const {
     return q_.OccurrenceLive(slot, seq);
   }
@@ -111,33 +116,34 @@ class EventQueue::WheelBackend final : public EventQueue::Backend {
   explicit WheelBackend(EventQueue& q) : Backend(q) { occ_.fill(0); }
 
   void Add(std::uint32_t slot) override {
-    if (loc_.size() <= slot) loc_.resize(slot + 1);
     Place(slot);
     // Keep the cached minimum correct: a strictly earlier arrival takes
     // over; on a time tie the incumbent wins (its seq is smaller).
-    if (cache_ != kNoSlot && record(slot).time < cache_time_) {
+    if (cache_ != kNoSlot && time_of(slot) < cache_time_) {
       cache_ = slot;
-      cache_time_ = record(slot).time;
+      cache_time_ = time_of(slot);
     }
   }
 
   void Remove(std::uint32_t slot) override {
     if (slot == cache_) cache_ = kNoSlot;
-    Loc& loc = loc_[slot];
-    switch (loc.kind) {
-      case Loc::kBucket: {
-        std::vector<std::uint32_t>& b = buckets_[loc.bucket];
-        b[loc.pos] = b.back();
-        loc_[b[loc.pos]].pos = loc.pos;
+    const std::uint64_t w = word_of(slot);
+    switch (KindOf(w)) {
+      case kInBucket: {
+        std::vector<std::uint32_t>& b = buckets_[BucketOf(w)];
+        const std::uint32_t pos = PosOf(w);
+        b[pos] = b.back();
+        word_of(b[pos]) = PackLoc(kInBucket, BucketOf(w), pos);
         b.pop_back();
         --bucket_entries_;
-        if (b.empty()) ClearBit(loc.bucket);
+        if (b.empty()) ClearBit(BucketOf(w));
         break;
       }
-      case Loc::kDue: {
-        due_.erase(due_.begin() + loc.pos);
-        for (std::size_t i = loc.pos; i < due_.size(); ++i) {
-          loc_[due_[i]].pos = static_cast<std::uint32_t>(i);
+      case kInDue: {
+        due_.erase(due_.begin() + PosOf(w));
+        for (std::size_t i = PosOf(w); i < due_.size(); ++i) {
+          word_of(due_[i].slot) =
+              PackLoc(kInDue, 0, static_cast<std::uint32_t>(i));
         }
         // Cancelling the last pending entry must leave due_ truly empty
         // (not a served prefix with cursor == size): ServeBucketAsDue
@@ -148,16 +154,16 @@ class EventQueue::WheelBackend final : public EventQueue::Backend {
         }
         break;
       }
-      case Loc::kOverflow:
+      case kInOverflow:
         ++ov_garbage_;
         // Each compaction discards at least half the heap, so the cost
         // amortises to O(1) per cancellation.
         if (ov_garbage_ > overflow_.size() / 2) CompactOverflow();
         break;
-      case Loc::kNone:
+      case kNowhere:
         break;
     }
-    loc.kind = Loc::kNone;
+    word_of(slot) = kNowhere;
   }
 
   std::uint32_t PeekMin() override {
@@ -169,7 +175,7 @@ class EventQueue::WheelBackend final : public EventQueue::Backend {
     // now and the peeked event would land behind the clock.
     std::uint32_t best = kNoSlot;
     if (due_cursor_ < due_.size()) {
-      best = due_[due_cursor_];
+      best = due_[due_cursor_].slot;
     } else {
       for (int level = 0; level < 3 && best == kNoSlot; ++level) {
         const int idx = FindFirst(level);
@@ -182,7 +188,7 @@ class EventQueue::WheelBackend final : public EventQueue::Backend {
       }
     }
     cache_ = best;
-    cache_time_ = record(best).time;
+    cache_time_ = time_of(best);
     return best;
   }
 
@@ -190,8 +196,8 @@ class EventQueue::WheelBackend final : public EventQueue::Backend {
     cache_ = kNoSlot;
     for (;;) {
       if (due_cursor_ < due_.size()) {
-        const std::uint32_t slot = due_[due_cursor_++];
-        loc_[slot].kind = Loc::kNone;
+        const std::uint32_t slot = due_[due_cursor_++].slot;
+        word_of(slot) = kNowhere;
         if (due_cursor_ == due_.size()) {
           due_.clear();
           due_cursor_ = 0;
@@ -253,11 +259,12 @@ class EventQueue::WheelBackend final : public EventQueue::Backend {
   void PopAllUpTo(Time t_end, void* ctx, EventQueue::SinkFn sink) override {
     while (!QueueEmpty()) {
       while (due_cursor_ < due_.size()) {
-        const std::uint32_t slot = due_[due_cursor_];
-        if (record(slot).time > t_end) return;
+        const DueItem& it = due_[due_cursor_];
+        if (it.time > t_end) return;
+        const std::uint32_t slot = it.slot;
         if (slot == cache_) cache_ = kNoSlot;
         ++due_cursor_;
-        loc_[slot].kind = Loc::kNone;
+        word_of(slot) = kNowhere;
         if (due_cursor_ == due_.size()) {
           due_.clear();
           due_cursor_ = 0;
@@ -266,24 +273,42 @@ class EventQueue::WheelBackend final : public EventQueue::Backend {
       }
       if (QueueEmpty()) return;
       const std::uint32_t slot = PeekMin();
-      if (record(slot).time > t_end) return;
+      if (time_of(slot) > t_end) return;
       PopMin();  // advances the wheel clock / cascades, then pops `slot`
       Emit(slot, ctx, sink);
     }
   }
 
  private:
-  struct Loc {
-    enum Kind : std::uint8_t { kNone, kBucket, kDue, kOverflow };
-    Kind kind = kNone;
-    std::uint16_t bucket = 0;  // global bucket index (level * 256 + slot)
-    std::uint32_t pos = 0;     // index within the bucket vector or due_
-  };
+  // Per-slot location, packed into the Key record's backend_word so it
+  // travels on the cache line the queue already touches: bits 0-7 kind,
+  // 8-23 global bucket index (level * 256 + slot), 32-63 position within
+  // the bucket vector or due_. kNowhere is 0 — a freshly allocated key
+  // word reads as "not placed".
+  enum LocKind : std::uint8_t { kNowhere, kInBucket, kInDue, kInOverflow };
+  static LocKind KindOf(std::uint64_t w) {
+    return static_cast<LocKind>(w & 0xff);
+  }
+  static std::uint16_t BucketOf(std::uint64_t w) {
+    return static_cast<std::uint16_t>((w >> 8) & 0xffff);
+  }
+  static std::uint32_t PosOf(std::uint64_t w) {
+    return static_cast<std::uint32_t>(w >> 32);
+  }
+  static std::uint64_t PackLoc(LocKind kind, std::uint16_t bucket,
+                               std::uint64_t pos) {
+    return static_cast<std::uint64_t>(kind) |
+           (static_cast<std::uint64_t>(bucket) << 8) | (pos << 32);
+  }
   struct OvItem {
     Time time;
     std::uint64_t seq;
     std::uint32_t slot;
   };
+  // Dense due-run entry: the ordering keys ride alongside the slot so the
+  // per-tick sort and the pop scan read contiguous 24-byte records instead
+  // of gathering time_/seq_ at random slab indices per comparison.
+  using DueItem = OvItem;
 
   // Casting a double >= 2^63 to uint64 is UB; times this far out (~127
   // millennia of simulated ms) collapse into one sentinel tick and order
@@ -295,8 +320,8 @@ class EventQueue::WheelBackend final : public EventQueue::Backend {
   }
 
   void Place(std::uint32_t slot) {
-    const Slot& s = record(slot);
-    const std::uint64_t tick = TickOf(s.time);
+    const Time t = time_of(slot);
+    const std::uint64_t tick = TickOf(t);
     if (tick <= current_tick_) {
       // The tick being served right now (or the sentinel tick).
       InsertDue(slot);
@@ -311,40 +336,39 @@ class EventQueue::WheelBackend final : public EventQueue::Backend {
       bucket = 512 + static_cast<int>((tick >> 16) & 0xff);
     }
     if (bucket < 0) {
-      overflow_.push_back(OvItem{s.time, s.seq, slot});
+      overflow_.push_back(OvItem{t, seq_of(slot), slot});
       std::push_heap(overflow_.begin(), overflow_.end(), FiresLater<OvItem>);
-      loc_[slot].kind = Loc::kOverflow;
+      word_of(slot) = kInOverflow;
       return;
     }
     std::vector<std::uint32_t>& b = buckets_[bucket];
-    Loc& loc = loc_[slot];
-    loc.kind = Loc::kBucket;
-    loc.bucket = static_cast<std::uint16_t>(bucket);
-    loc.pos = static_cast<std::uint32_t>(b.size());
+    word_of(slot) = PackLoc(kInBucket, static_cast<std::uint16_t>(bucket),
+                            b.size());
     b.push_back(slot);
     ++bucket_entries_;
     SetBit(bucket);
   }
 
   void InsertDue(std::uint32_t slot) {
-    const Slot& s = record(slot);
+    const Time st = time_of(slot);
+    const std::uint64_t ss = seq_of(slot);
     // Binary insert by (time, seq), clamped to at or after the cursor so
     // already-served positions are never disturbed.
     std::size_t lo = due_cursor_;
     std::size_t hi = due_.size();
     while (lo < hi) {
       const std::size_t mid = lo + (hi - lo) / 2;
-      const Slot& m = record(due_[mid]);
-      if (m.time < s.time || (m.time == s.time && m.seq < s.seq)) {
+      const DueItem& m = due_[mid];
+      if (m.time < st || (m.time == st && m.seq < ss)) {
         lo = mid + 1;
       } else {
         hi = mid;
       }
     }
-    due_.insert(due_.begin() + lo, slot);
-    loc_[slot].kind = Loc::kDue;
+    due_.insert(due_.begin() + lo, DueItem{st, ss, slot});
     for (std::size_t i = lo; i < due_.size(); ++i) {
-      loc_[due_[i]].pos = static_cast<std::uint32_t>(i);
+      word_of(due_[i].slot) =
+          PackLoc(kInDue, 0, static_cast<std::uint32_t>(i));
     }
   }
 
@@ -352,20 +376,24 @@ class EventQueue::WheelBackend final : public EventQueue::Backend {
   // by exact (time, seq).
   void ServeBucketAsDue(int idx) {
     std::vector<std::uint32_t>& b = buckets_[idx];
-    due_.swap(b);  // due_ is empty and cursor 0 whenever the wheel advances
-    bucket_entries_ -= due_.size();
+    // due_ is empty and cursor 0 whenever the wheel advances; gather the
+    // bucket's keys into dense records so the sort never leaves the run.
+    due_.clear();
+    due_.reserve(b.size());
+    for (const std::uint32_t slot : b) {
+      due_.push_back(DueItem{time_of(slot), seq_of(slot), slot});
+    }
+    bucket_entries_ -= b.size();
+    b.clear();
     ClearBit(idx);
     std::sort(due_.begin(), due_.end(),
-              [this](std::uint32_t x, std::uint32_t y) {
-                const Slot& a = record(x);
-                const Slot& b2 = record(y);
-                return a.time < b2.time ||
-                       (a.time == b2.time && a.seq < b2.seq);
+              [](const DueItem& x, const DueItem& y) {
+                return x.time < y.time || (x.time == y.time && x.seq < y.seq);
               });
     due_cursor_ = 0;
     for (std::size_t i = 0; i < due_.size(); ++i) {
-      loc_[due_[i]].kind = Loc::kDue;
-      loc_[due_[i]].pos = static_cast<std::uint32_t>(i);
+      word_of(due_[i].slot) =
+          PackLoc(kInDue, 0, static_cast<std::uint32_t>(i));
     }
   }
 
@@ -388,9 +416,9 @@ class EventQueue::WheelBackend final : public EventQueue::Backend {
         best = slot;
         continue;
       }
-      const Slot& s = record(slot);
-      const Slot& t = record(best);
-      if (s.time < t.time || (s.time == t.time && s.seq < t.seq)) best = slot;
+      const Time ts = time_of(slot);
+      const Time tb = time_of(best);
+      if (ts < tb || (ts == tb && seq_of(slot) < seq_of(best))) best = slot;
     }
     return best;
   }
@@ -435,11 +463,10 @@ class EventQueue::WheelBackend final : public EventQueue::Backend {
   std::array<std::vector<std::uint32_t>, 768> buckets_;
   std::array<std::uint64_t, 12> occ_;  // 256-bit occupancy bitmap per level
   std::size_t bucket_entries_ = 0;
-  std::vector<std::uint32_t> due_;  // current tick, sorted by (time, seq)
+  std::vector<DueItem> due_;  // current tick, sorted by (time, seq)
   std::size_t due_cursor_ = 0;
   std::vector<OvItem> overflow_;  // beyond-horizon min-heap (lazy cancel)
   std::size_t ov_garbage_ = 0;
-  std::vector<Loc> loc_;  // indexed by slab slot
   std::vector<std::uint32_t> scratch_;
   // Cached result of PeekMin, invalidated by pops and by removal of the
   // cached slot; keeps RunUntil's peek-then-pop loop O(1) per event.
@@ -461,8 +488,7 @@ class EventQueue::HeapBackend final : public EventQueue::Backend {
   explicit HeapBackend(EventQueue& q) : Backend(q) {}
 
   void Add(std::uint32_t slot) override {
-    const Slot& s = record(slot);
-    items_.push_back(Item{s.time, s.seq, slot});
+    items_.push_back(Item{time_of(slot), seq_of(slot), slot});
     std::push_heap(items_.begin(), items_.end(), FiresLater<Item>);
   }
 
@@ -533,15 +559,16 @@ void EventQueue::CheckTime(Time t) {
 std::uint32_t EventQueue::AllocSlot() {
   if (free_head_ != kNoSlot) {
     const std::uint32_t slot = free_head_;
-    free_head_ = slab_[slot].next_free;
+    free_head_ = static_cast<std::uint32_t>(keys_[slot].backend_word);
     return slot;
   }
   P2P_CHECK_MSG(slab_.size() < kNoSlot, "event slab exhausted");
   slab_.emplace_back();
+  keys_.push_back(Key{});
   const std::uint32_t slot = static_cast<std::uint32_t>(slab_.size() - 1);
   // A record regrowing at a trimmed index resumes the retired generation:
   // ids issued to the pre-trim tenant must not name the new tenant.
-  if (slot < retired_gen_.size()) slab_.back().gen = retired_gen_[slot];
+  if (slot < retired_gen_.size()) keys_[slot].gen = retired_gen_[slot];
   slab_hwm_ = std::max(slab_hwm_, slab_.size());
   return slot;
 }
@@ -550,10 +577,10 @@ void EventQueue::FreeSlot(std::uint32_t slot) {
   Slot& s = slab_[slot];
   s.fn = nullptr;
   s.period = -1.0;
-  s.rearmed_while_firing = false;
-  s.state = State::kFree;
-  ++s.gen;  // invalidates every outstanding id for this slot
-  s.next_free = free_head_;
+  Key& k = keys_[slot];
+  k.state = static_cast<std::uint8_t>(State::kFree);  // clears rearmed
+  ++k.gen;  // invalidates every outstanding id for this slot
+  k.backend_word = free_head_;  // freelist link while free
   free_head_ = slot;
   // Attempt a trim only after at least slab/4 frees since the last check,
   // keeping the O(slab) freelist rebuild amortised O(1) per free.
@@ -573,11 +600,13 @@ void EventQueue::MaybeTrimSlab() {
   const std::size_t floor =
       std::max<std::size_t>(kMinTrimSlots, live_count_ * 2);
   bool trimmed = false;
-  while (slab_.size() > floor && slab_.back().state == State::kFree) {
+  while (slab_.size() > floor &&
+         state(static_cast<std::uint32_t>(slab_.size() - 1)) == State::kFree) {
     const std::size_t idx = slab_.size() - 1;
     if (retired_gen_.size() <= idx) retired_gen_.resize(idx + 1, 0);
-    retired_gen_[idx] = slab_.back().gen;
+    retired_gen_[idx] = keys_[idx].gen;
     slab_.pop_back();  // deque: surviving records do not move
+    keys_.pop_back();
     trimmed = true;
   }
   if (!trimmed) return;
@@ -587,8 +616,8 @@ void EventQueue::MaybeTrimSlab() {
   // they read as garbage and compact away.
   free_head_ = kNoSlot;
   for (std::size_t i = slab_.size(); i-- > 0;) {
-    if (slab_[i].state == State::kFree) {
-      slab_[i].next_free = free_head_;
+    if (state(static_cast<std::uint32_t>(i)) == State::kFree) {
+      keys_[i].backend_word = free_head_;
       free_head_ = static_cast<std::uint32_t>(i);
     }
   }
@@ -599,8 +628,16 @@ std::uint32_t EventQueue::SlotOf(EventId id) const {
   if (low == 0) return kNoSlot;
   const std::uint32_t slot = static_cast<std::uint32_t>(low - 1);
   if (slot >= slab_.size()) return kNoSlot;
-  if (slab_[slot].gen != static_cast<std::uint32_t>(id >> 32)) return kNoSlot;
+  if (keys_[slot].gen != static_cast<std::uint32_t>(id >> 32)) return kNoSlot;
   return slot;
+}
+
+void EventQueue::BackendAdd(std::uint32_t slot) {
+  if (kind_ == SchedulerKind::kTimingWheel) {
+    static_cast<WheelBackend*>(backend_.get())->Add(slot);
+  } else {
+    backend_->Add(slot);
+  }
 }
 
 EventId EventQueue::Schedule(Time t, Callback cb) {
@@ -609,11 +646,11 @@ EventId EventQueue::Schedule(Time t, Callback cb) {
   const std::uint32_t slot = AllocSlot();
   Slot& s = slab_[slot];
   s.fn = std::move(cb);
-  s.time = t;
+  keys_[slot].time = t;
   s.period = -1.0;
-  s.seq = next_seq_++;
-  s.state = State::kScheduled;
-  backend_->Add(slot);
+  keys_[slot].seq = next_seq_++;
+  set_state(slot, State::kScheduled);
+  BackendAdd(slot);
   ++live_count_;
   return IdOf(slot);
 }
@@ -626,11 +663,11 @@ EventId EventQueue::SchedulePeriodic(Time first, Time period, Callback cb) {
   const std::uint32_t slot = AllocSlot();
   Slot& s = slab_[slot];
   s.fn = std::move(cb);
-  s.time = first;
+  keys_[slot].time = first;
   s.period = period;
-  s.seq = next_seq_++;
-  s.state = State::kScheduled;
-  backend_->Add(slot);
+  keys_[slot].seq = next_seq_++;
+  set_state(slot, State::kScheduled);
+  BackendAdd(slot);
   ++live_count_;
   return IdOf(slot);
 }
@@ -639,19 +676,23 @@ bool EventQueue::Cancel(EventId id) {
   const std::uint32_t slot = SlotOf(id);
   if (slot == kNoSlot) return false;
   Slot& s = slab_[slot];
-  switch (s.state) {
+  switch (state(slot)) {
     case State::kScheduled:
       // Kill the occurrence before telling the backend, so lazy backends
       // see it as garbage if they compact inside Remove.
-      s.state = State::kStopped;
+      set_state(slot, State::kStopped);
       backend_->Remove(slot);
       --live_count_;
       FreeSlot(slot);
       return true;
     case State::kFiring:
+      // A one-shot firing in place (batched drain) already left the live
+      // count and frees itself when the callback returns — same answer a
+      // Pop()-style driver gives for the already-recycled record.
+      if (s.period < 0.0) return false;
       // Periodic cancelled from inside its own callback; FinishPeriodic
       // frees the record once the callback returns.
-      s.state = State::kStopped;
+      set_state(slot, State::kStopped);
       --live_count_;
       return true;
     case State::kStopped:
@@ -666,20 +707,22 @@ bool EventQueue::Rearm(EventId id, Time t) {
   if (slot == kNoSlot) return false;
   CheckTime(t);
   Slot& s = slab_[slot];
-  switch (s.state) {
+  switch (state(slot)) {
     case State::kScheduled:
       // Fresh seq first: the backend's old entry must already read as dead
       // when Remove runs, in case a lazy backend compacts.
-      s.seq = next_seq_++;
-      s.time = t;
+      keys_[slot].seq = next_seq_++;
+      keys_[slot].time = t;
       backend_->Remove(slot);
-      backend_->Add(slot);
+      BackendAdd(slot);
       return true;
     case State::kFiring:
+      // A firing one-shot reads as already fired (see Cancel above).
+      if (s.period < 0.0) return false;
       // From inside the periodic's own callback: override the upcoming
       // deadline + period re-arm.
-      s.time = t;
-      s.rearmed_while_firing = true;
+      keys_[slot].time = t;
+      set_rearmed_while_firing(slot, true);
       return true;
     case State::kStopped:
     case State::kFree:
@@ -690,7 +733,7 @@ bool EventQueue::Rearm(EventId id, Time t) {
 
 Time EventQueue::PeekTime() const {
   P2P_CHECK(!empty());
-  return slab_[backend_->PeekMin()].time;
+  return keys_[backend_->PeekMin()].time;
 }
 
 EventQueue::Fired EventQueue::Pop() {
@@ -698,7 +741,7 @@ EventQueue::Fired EventQueue::Pop() {
   const std::uint32_t slot = backend_->PopMin();
   Slot& s = slab_[slot];
   Fired fired;
-  fired.time = s.time;
+  fired.time = keys_[slot].time;
   fired.id = IdOf(slot);
   if (s.period < 0.0) {
     fired.cb = std::move(s.fn);
@@ -707,7 +750,7 @@ EventQueue::Fired EventQueue::Pop() {
   } else {
     // Periodic: the record survives the firing; the driver runs *periodic
     // through the slab (stable storage) and then calls FinishPeriodic.
-    s.state = State::kFiring;
+    set_state(slot, State::kFiring);
     fired.periodic = &s.fn;
   }
   return fired;
@@ -717,40 +760,44 @@ bool EventQueue::FinishPeriodic(EventId id) {
   const std::uint32_t slot = SlotOf(id);
   P2P_CHECK_MSG(slot != kNoSlot, "FinishPeriodic on an unknown event id");
   Slot& s = slab_[slot];
-  if (s.state == State::kStopped) {
+  if (state(slot) == State::kStopped) {
     FreeSlot(slot);
     return false;
   }
-  P2P_CHECK_MSG(s.state == State::kFiring,
+  P2P_CHECK_MSG(state(slot) == State::kFiring,
                 "FinishPeriodic on an event that is not firing");
   // Deadline accumulates from the scheduled time, not from `now`, so
   // periodic timers do not drift. Seq is consumed *after* the callback ran
   // (the caller invokes the callback between Pop and FinishPeriodic),
   // matching the order a cancel-and-reschedule implementation would
   // consume it — same-seed runs stay byte-identical across the migration.
-  if (!s.rearmed_while_firing) s.time += s.period;
-  s.rearmed_while_firing = false;
-  s.seq = next_seq_++;
-  s.state = State::kScheduled;
-  backend_->Add(slot);
+  Key& k = keys_[slot];
+  if ((k.state & kRearmedBit) == 0) k.time += s.period;
+  k.state = static_cast<std::uint8_t>(State::kScheduled);  // clears rearmed
+  k.seq = next_seq_++;
+  BackendAdd(slot);
   return true;
 }
 
 void EventQueue::EmitSlot(std::uint32_t slot, void* ctx, SinkFn sink) {
   Slot& s = slab_[slot];
   Fired fired;
-  fired.time = s.time;
+  fired.time = keys_[slot].time;
   fired.id = IdOf(slot);
+  set_state(slot, State::kFiring);
+  fired.periodic = &s.fn;
   if (s.period < 0.0) {
-    // Same sequencing as Pop(): the record is recycled before the callback
-    // runs, so the callback may schedule into the freed slot.
-    fired.cb = std::move(s.fn);
+    // One-shots fire in place too on the batched path: the callback runs
+    // straight out of the slab (stable deque storage) instead of paying a
+    // 64-byte move into Fired, and the record is recycled after it
+    // returns. Cancel/Rearm treat a firing one-shot as already gone
+    // (period < 0 in the kFiring branches), exactly as if the record had
+    // been freed before the callback like Pop() does, so the two drivers
+    // stay observationally identical.
     --live_count_;
-    FreeSlot(slot);
     sink(ctx, fired);
+    FreeSlot(slot);
   } else {
-    s.state = State::kFiring;
-    fired.periodic = &s.fn;
     sink(ctx, fired);
     FinishPeriodic(fired.id);
   }
@@ -762,8 +809,8 @@ void EventQueue::PopAllUpTo(Time t_end, void* ctx, SinkFn sink) {
 }
 
 bool EventQueue::OccurrenceLive(std::uint32_t slot, std::uint64_t seq) const {
-  return slot < slab_.size() && slab_[slot].state == State::kScheduled &&
-         slab_[slot].seq == seq;
+  return slot < slab_.size() && state(slot) == State::kScheduled &&
+         keys_[slot].seq == seq;
 }
 
 std::size_t EventQueue::heap_footprint() const {

@@ -125,12 +125,15 @@ class EventQueue {
   // Drain every event with time <= t_end into `sink`, in (time, seq)
   // order, with ONE virtual backend call for the whole batch — the wheel
   // backend walks its due-run cursor inline instead of paying a
-  // peek+pop virtual round trip per event. The sink runs each callback:
-  // one-shots arrive with `cb` moved out (record already recycled);
-  // periodic firings arrive with `periodic` set and are re-armed
-  // internally after the sink returns — the sink must NOT call
-  // FinishPeriodic. Events the sink's callbacks schedule at times
-  // <= t_end fire within the same drain, exactly as a Pop() loop would.
+  // peek+pop virtual round trip per event. EVERY firing — one-shot or
+  // periodic — arrives with `periodic` pointing at the stored callback
+  // (invoke-in-place: no 64-byte closure move per event); the sink runs
+  // it through the pointer and must NOT call FinishPeriodic. One-shot
+  // records are recycled after the sink returns (Cancel/Rearm on the
+  // firing id report false, as if a Pop() driver had already freed it);
+  // periodics are re-armed internally. Events the sink's callbacks
+  // schedule at times <= t_end fire within the same drain, exactly as a
+  // Pop() loop would.
   using SinkFn = void (*)(void* ctx, Fired& fired);
   void PopAllUpTo(Time t_end, void* ctx, SinkFn sink);
 
@@ -161,16 +164,38 @@ class EventQueue {
     kStopped,    // periodic cancelled while firing; freed by FinishPeriodic
   };
 
-  struct Slot {
+  // Hot-field split, round two. Everything the queue machinery reads
+  // about a pending event — ordering keys, generation, lifecycle state,
+  // freelist link, and the backend's location word — packs into one
+  // 32-byte Key record (keys_ below), two per cache line, so serving a
+  // wheel tick or recycling a fired record touches ONE line of metadata
+  // instead of gathering time/seq/state/location from four parallel
+  // arrays at random slot indices. What remains in the slab record is
+  // exactly what the firing itself touches: the callback and its period,
+  // packed into a single 64-byte line. Net: one fired one-shot costs two
+  // cold lines (key + slab), and everything else it touches rides along
+  // for free. The deque keeps callback addresses stable while they run
+  // and schedule into a growing slab.
+  struct alignas(64) Slot {
     Callback fn;
-    Time time = 0.0;
     Time period = -1.0;  // < 0: one-shot
-    std::uint64_t seq = 0;
-    std::uint32_t gen = 0;
-    std::uint32_t next_free = kNoSlot;
-    State state = State::kFree;
-    bool rearmed_while_firing = false;
   };
+  static_assert(sizeof(Slot) == 64,
+                "event slab record must stay one cache line");
+
+  struct alignas(32) Key {
+    Time time = 0.0;
+    std::uint64_t seq = 0;
+    // While scheduled: the ordering backend's private location word (the
+    // wheel packs bucket/position here). While free: the freelist link.
+    std::uint64_t backend_word = 0;
+    std::uint32_t gen = 0;
+    // State enum in the low bits, rearmed-while-firing flag in the top
+    // bit (see kRearmedBit).
+    std::uint8_t state = 0;
+  };
+  static_assert(sizeof(Key) == 32,
+                "two key records per cache line, never straddling");
 
   class Backend;
   class WheelBackend;
@@ -185,14 +210,40 @@ class EventQueue {
   // so a stale id can never cancel the record's next tenant. The +1 keeps
   // kInvalidEventId (0) unreachable.
   EventId IdOf(std::uint32_t slot) const {
-    return (static_cast<EventId>(slab_[slot].gen) << 32) |
+    return (static_cast<EventId>(keys_[slot].gen) << 32) |
            (static_cast<EventId>(slot) + 1);
+  }
+
+  // Key::state packs the State enum in the low bits and the
+  // rearmed-while-firing flag in the top bit, so a firing touches one
+  // byte of metadata — in a line it has already pulled in.
+  static constexpr std::uint8_t kRearmedBit = 0x80;
+  State state(std::uint32_t slot) const {
+    return static_cast<State>(keys_[slot].state & ~kRearmedBit);
+  }
+  void set_state(std::uint32_t slot, State s) {
+    keys_[slot].state =
+        static_cast<std::uint8_t>(s) | (keys_[slot].state & kRearmedBit);
+  }
+  bool rearmed_while_firing(std::uint32_t slot) const {
+    return (keys_[slot].state & kRearmedBit) != 0;
+  }
+  void set_rearmed_while_firing(std::uint32_t slot, bool on) {
+    if (on) {
+      keys_[slot].state |= kRearmedBit;
+    } else {
+      keys_[slot].state &= static_cast<std::uint8_t>(~kRearmedBit);
+    }
   }
   // Returns kNoSlot when the id does not name a current slab record.
   std::uint32_t SlotOf(EventId id) const;
 
   std::uint32_t AllocSlot();
   void FreeSlot(std::uint32_t slot);
+  // backend_->Add devirtualised for the default wheel: Schedule pays this
+  // once per event, and the static cast lets Place() inline into the
+  // scheduling hot path.
+  void BackendAdd(std::uint32_t slot);
   void MaybeTrimSlab();
   // Fire one already-popped slot through a PopAllUpTo sink.
   void EmitSlot(std::uint32_t slot, void* ctx, SinkFn sink);
@@ -203,6 +254,10 @@ class EventQueue {
   // the callback itself schedules new events (growing the slab), so
   // records must never move.
   std::deque<Slot> slab_;
+  // Slot-indexed record metadata (see Key above). Grown in lockstep with
+  // slab_; accessed by index only, so vector reallocation on growth is
+  // safe.
+  std::vector<Key> keys_;
   mutable std::unique_ptr<Backend> backend_;
   std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 1;

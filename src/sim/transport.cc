@@ -151,7 +151,8 @@ bool Transport::Send(const Message& msg, DeliverFn deliver,
     }
     return false;
   }
-  if (router_ != nullptr && router_->IsRemote(msg.dst_host)) {
+  if (router_ != nullptr && msg.dst_host < shard_host_count_ &&
+      shard_of_host_map_[msg.dst_host] != own_shard_) {
     // Cross-shard: the closure is delivered by the destination shard after
     // the next lookahead barrier. It never enters this shard's queue, so
     // the in-flight gauges (a per-shard queue-depth signal) skip it; the

@@ -125,10 +125,12 @@ struct SendOptions {
 class ShardRouter {
  public:
   virtual ~ShardRouter() = default;
-  // True when `dst_host` is owned by a different shard than this bus.
-  virtual bool IsRemote(std::size_t dst_host) const = 0;
   // Enqueue `deliver` for the destination shard at absolute `deliver_time`
   // (>= the end of the current lockstep window — checked by the kernel).
+  // The remote test itself is NOT virtual: the bus reads the owner's
+  // immutable host->shard map directly (set_shard_router hands it over),
+  // so every local send on a sharded run pays one array load instead of a
+  // virtual IsRemote call — only genuinely remote sends reach this hook.
   virtual void PostRemote(const Message& msg, Time deliver_time,
                           util::InlineFn deliver) = 0;
 };
@@ -210,8 +212,21 @@ class Transport {
   // --- sharding -----------------------------------------------------------
 
   // Route sends to remote hosts through `router` instead of the local
-  // event queue. Null (the default) keeps every delivery local.
-  void set_shard_router(ShardRouter* router) { router_ = router; }
+  // event queue. `shard_of_host` (host -> owning shard, immutable while
+  // installed) and `own_shard` devirtualize the per-send remote test; a
+  // host index at or past `host_count` is treated as local. Null router
+  // (the default) keeps every delivery local.
+  void set_shard_router(ShardRouter* router,
+                        const std::uint32_t* shard_of_host = nullptr,
+                        std::size_t host_count = 0,
+                        std::uint32_t own_shard = 0) {
+    router_ = router;
+    shard_of_host_map_ = router == nullptr ? nullptr : shard_of_host;
+    shard_host_count_ = router == nullptr ? 0 : host_count;
+    own_shard_ = own_shard;
+    P2P_CHECK_MSG(router_ == nullptr || shard_of_host_map_ != nullptr,
+                  "a shard router needs the host -> shard map");
+  }
   ShardRouter* shard_router() const { return router_; }
 
   // Account a cross-shard message's arrival on this (destination) shard's
@@ -274,6 +289,10 @@ class Transport {
 
   Simulation& sim_;
   ShardRouter* router_ = nullptr;
+  // Devirtualized remote test (see set_shard_router).
+  const std::uint32_t* shard_of_host_map_ = nullptr;
+  std::size_t shard_host_count_ = 0;
+  std::uint32_t own_shard_ = 0;
   const net::LatencyOracle* oracle_ = nullptr;
   // Matches HeartbeatConfig's historical oracle-less delay.
   double default_delay_ms_ = 50.0;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -31,6 +32,11 @@ class InlineFn {
   // docs/KERNEL.md). Raising it grows every pending event; lowering it
   // sends hot-path closures to the heap.
   static constexpr std::size_t kInlineBytes = 48;
+  // Word alignment, not max_align_t: protocol closures capture pointers,
+  // doubles, and ints. Keeping the buffer at 8 makes the whole object
+  // 56 bytes, which lets an event-slab record (InlineFn + period) occupy
+  // exactly one cache line. Over-aligned captures fall back to the heap.
+  static constexpr std::size_t kInlineAlign = alignof(void*);
 
   InlineFn() = default;
   InlineFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
@@ -41,8 +47,7 @@ class InlineFn {
                                         !std::is_same_v<D, std::nullptr_t> &&
                                         std::is_invocable_r_v<void, D&>>>
   InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
-    if constexpr (sizeof(D) <= kInlineBytes &&
-                  alignof(D) <= alignof(std::max_align_t)) {
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= kInlineAlign) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
       ops_ = &kInlineOps<D>;
     } else {
@@ -84,8 +89,14 @@ class InlineFn {
  private:
   struct Ops {
     void (*invoke)(void* obj);
-    // Move-construct into dst from src, then destroy src.
+    // Move-construct into dst from src, then destroy src. Null for
+    // trivially copyable inline captures — the owner memcpys the buffer
+    // instead of paying an indirect call per move (the kernel moves every
+    // callback once, into the event slab, on the Schedule hot path).
     void (*relocate)(void* dst, void* src);
+    // Null when destruction is a no-op — the slab recycles millions of
+    // fired one-shots, and nearly every protocol closure captures only
+    // trivial values.
     void (*destroy)(void* obj);
     bool inline_stored;
   };
@@ -93,12 +104,16 @@ class InlineFn {
   template <typename D>
   static constexpr Ops kInlineOps = {
       [](void* obj) { (*std::launder(reinterpret_cast<D*>(obj)))(); },
-      [](void* dst, void* src) {
-        D* s = std::launder(reinterpret_cast<D*>(src));
-        ::new (dst) D(std::move(*s));
-        s->~D();
-      },
-      [](void* obj) { std::launder(reinterpret_cast<D*>(obj))->~D(); },
+      std::is_trivially_copyable_v<D>
+          ? nullptr
+          : +[](void* dst, void* src) {
+              D* s = std::launder(reinterpret_cast<D*>(src));
+              ::new (dst) D(std::move(*s));
+              s->~D();
+            },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* obj) { std::launder(reinterpret_cast<D*>(obj))->~D(); },
       true};
 
   template <typename D>
@@ -113,7 +128,13 @@ class InlineFn {
 
   void MoveFrom(InlineFn&& other) {
     if (other.ops_ != nullptr) {
-      other.ops_->relocate(buf_, other.buf_);
+      if (other.ops_->relocate != nullptr) {
+        other.ops_->relocate(buf_, other.buf_);
+      } else {
+        // Trivially copyable inline capture: the whole buffer copy beats
+        // an indirect call, and the moved-from bytes need no destruction.
+        std::memcpy(buf_, other.buf_, kInlineBytes);
+      }
       ops_ = other.ops_;
       other.ops_ = nullptr;
     }
@@ -121,12 +142,12 @@ class InlineFn {
 
   void Reset() {
     if (ops_ != nullptr) {
-      ops_->destroy(buf_);
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
       ops_ = nullptr;
     }
   }
 
-  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  alignas(kInlineAlign) unsigned char buf_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
 

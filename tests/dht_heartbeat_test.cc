@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
 #include "dht/churn.h"
 #include "dht/heartbeat.h"
 #include "dht/ring.h"
@@ -158,6 +161,64 @@ TEST(Heartbeat, JoinedNodeStartsBeating) {
   });
   f.sim.RunUntil(4000.0);
   EXPECT_GT(from_new, 0u);
+}
+
+// Batched beat walker (HeartbeatConfig::batch_beats): one self-rescheduling
+// event sweeps the phase-sorted beat row. The pin: every observable — the
+// full delivery trace with timestamps, the failure trace, every counter —
+// is byte-identical to the per-node-timer path, through a crash, a
+// mid-run join, and several beat cycles.
+TEST(Heartbeat, BatchedBeatsMatchPerNodeTimersByteForByte) {
+  struct Trace {
+    std::vector<std::tuple<NodeIndex, NodeIndex, sim::Time, sim::Time>> beats;
+    std::vector<std::tuple<NodeIndex, NodeIndex, sim::Time>> failures;
+    std::size_t sent = 0, delivered = 0, detected = 0;
+  };
+  const auto run = [](bool batch) {
+    Trace t;
+    HeartbeatFixture f(24);
+    HeartbeatConfig cfg;
+    cfg.period_ms = 500.0;
+    cfg.timeout_ms = 1600.0;
+    cfg.batch_beats = batch;
+    HeartbeatProtocol hb(f.sim, f.ring, cfg);
+    hb.AddObserver([&](NodeIndex from, NodeIndex to, sim::Time s,
+                       sim::Time r) { t.beats.emplace_back(from, to, s, r); });
+    hb.AddFailureObserver([&](NodeIndex det, NodeIndex dead, sim::Time when) {
+      t.failures.emplace_back(det, dead, when);
+    });
+    hb.Start();
+    f.sim.RunUntil(1200.0);
+    const NodeIndex joiner = f.ring.JoinHashed(99);
+    hb.OnNodeJoined(joiner);
+    f.sim.RunUntil(2000.0);
+    f.ring.Fail(3);
+    f.sim.RunUntil(8000.0);
+    t.sent = hb.heartbeats_sent();
+    t.delivered = hb.heartbeats_delivered();
+    t.detected = hb.failures_detected();
+    return t;
+  };
+  const Trace a = run(false);
+  const Trace b = run(true);
+  EXPECT_GT(a.beats.size(), 0u);
+  EXPECT_EQ(a.beats, b.beats);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.detected, b.detected);
+}
+
+// Stop() must silence the walker path just like it cancels per-node timers.
+TEST(Heartbeat, StopCancelsBatchedWalker) {
+  HeartbeatFixture f(8);
+  HeartbeatProtocol hb(f.sim, f.ring);  // batch_beats defaults on
+  hb.Start();
+  f.sim.RunUntil(1500.0);
+  const std::size_t sent = hb.heartbeats_sent();
+  hb.Stop();
+  f.sim.RunUntil(10000.0);
+  EXPECT_EQ(hb.heartbeats_sent(), sent);
 }
 
 // ---------------------------------------------------------------- Churn --

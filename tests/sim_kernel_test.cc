@@ -654,7 +654,7 @@ TEST(EventQueueKernel, SlabTrimsAfterBurstDrains) {
   EXPECT_GE(q.slab_capacity(), kBurst);
   std::size_t drained = 0;
   q.PopAllUpTo(static_cast<Time>(kBurst + 1), [&](EventQueue::Fired& f) {
-    f.cb();
+    (*f.periodic)();  // invoke-in-place: every batched firing presents here
     ++drained;
   });
   EXPECT_EQ(drained, kBurst);
@@ -691,7 +691,7 @@ TEST(EventQueueKernel, StaleIdAfterTrimCannotCancelRegrownSlot) {
     first.push_back(q.Schedule(static_cast<Time>(i + 1), [] {}));
   }
   q.PopAllUpTo(static_cast<Time>(kCount + 1), [](EventQueue::Fired& f) {
-    f.cb();
+    (*f.periodic)();  // invoke-in-place: every batched firing presents here
   });
   ASSERT_LT(q.slab_capacity(), kCount);  // the tail was trimmed
   // Regrow past the trimmed indices: every new id must differ from every

@@ -6,12 +6,19 @@
 //    per-message lookahead CHECK,
 //  * the 1-shard differential against the serial kernel (event count,
 //    metrics snapshot, trace bytes — the SchedulerAB methodology),
-//  * same-seed multi-shard byte-identity, independent of the thread count.
+//  * same-seed multi-shard byte-identity, independent of the thread count,
+//  * the coalesced-vs-per-message exchange differential and its edge cases
+//    (empty outboxes, one active pair, everything in one window),
+//  * per-pair lookahead matrices: byte-identity against the fixed-window
+//    baseline with fewer barriers, per-message rejection of unsound
+//    entries, and ExtractLookahead's exactness/soundness against the
+//    brute-force oracle minimum on randomized multihomed topologies.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <set>
 #include <string>
@@ -20,6 +27,7 @@
 
 #include "dht/heartbeat.h"
 #include "dht/ring.h"
+#include "net/latency_oracle.h"
 #include "net/shard_plan.h"
 #include "net/transit_stub.h"
 #include "obs/metrics.h"
@@ -316,16 +324,22 @@ struct ShardedRunLog {
 // A bound two-shard protocol run over a synthetic host split. The
 // lookahead (10 ms) underruns every oracle-less delay in play (heartbeat
 // fallback 50 ms, SOMO hop 200 ms; jitter only adds), so the contract
-// holds without a topology.
-ShardedRunLog RunTwoShards(std::uint64_t seed, std::size_t threads) {
+// holds without a topology — as does any `matrix` (2x2 per-pair
+// lookahead; empty = the uniform 10 ms path) whose entries stay below
+// the 50 ms heartbeat floor.
+ShardedRunLog RunTwoShards(std::uint64_t seed, std::size_t threads,
+                           bool coalesced = true,
+                           std::vector<double> matrix = {}) {
   constexpr std::size_t kHosts = 24;
   ShardedRunLog log;
 
   ShardedOptions opts;
   opts.shards = 2;
   opts.lookahead_ms = 10.0;
+  opts.lookahead_matrix = std::move(matrix);
   opts.seed = seed;
   opts.threads = threads;
+  opts.coalesced_exchange = coalesced;
   ShardedSimulation ssim(opts);
   std::vector<std::uint32_t> shard_of_host(kHosts);
   for (std::size_t h = 0; h < kHosts; ++h)
@@ -380,6 +394,7 @@ TEST(ShardDeterminism, SameSeedIsByteIdenticalAcrossThreadCounts) {
   const ShardedRunLog a = RunTwoShards(99, /*threads=*/1);
   const ShardedRunLog b = RunTwoShards(99, /*threads=*/2);
   const ShardedRunLog c = RunTwoShards(99, /*threads=*/2);
+  const ShardedRunLog d = RunTwoShards(99, /*threads=*/8);
   // The run exercised the barrier for real.
   EXPECT_GT(a.cross, 0u);
   EXPECT_GT(a.windows, 100u);  // 15000 ms / 10 ms windows, minus idle skip
@@ -389,10 +404,14 @@ TEST(ShardDeterminism, SameSeedIsByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(a.cross, b.cross);
   EXPECT_EQ(a.merged_json, b.merged_json);
   EXPECT_EQ(a.shard_json, b.shard_json);
-  // ...and so do two threaded runs.
+  // ...and so do two threaded runs...
   EXPECT_EQ(b.fired, c.fired);
   EXPECT_EQ(b.merged_json, c.merged_json);
   EXPECT_EQ(b.shard_json, c.shard_json);
+  // ...and an oversubscribed run (more threads than shards or cores).
+  EXPECT_EQ(a.fired, d.fired);
+  EXPECT_EQ(a.merged_json, d.merged_json);
+  EXPECT_EQ(a.shard_json, d.shard_json);
   EXPECT_NE(a.merged_json.find("dht.heartbeat.delivered"), std::string::npos);
   EXPECT_NE(a.merged_json.find("somo.messages"), std::string::npos);
 }
@@ -403,6 +422,207 @@ TEST(ShardDeterminism, DifferentSeedsDiverge) {
   const ShardedRunLog a = RunTwoShards(99, /*threads=*/1);
   const ShardedRunLog b = RunTwoShards(100, /*threads=*/1);
   EXPECT_NE(a.merged_json, b.merged_json);
+}
+
+// -------------------------------------------------------- ShardExchange --
+
+TEST(ShardExchange, PerMessagePathMatchesCoalescedByteForByte) {
+  // The retained concatenate+stable_sort drain and the coalesced SoA
+  // k-way-merge drain must produce identical schedules — every counter,
+  // every window, every delivery.
+  const ShardedRunLog coalesced =
+      RunTwoShards(99, /*threads=*/2, /*coalesced=*/true);
+  const ShardedRunLog per_message =
+      RunTwoShards(99, /*threads=*/2, /*coalesced=*/false);
+  EXPECT_GT(coalesced.cross, 0u);
+  EXPECT_EQ(coalesced.fired, per_message.fired);
+  EXPECT_EQ(coalesced.windows, per_message.windows);
+  EXPECT_EQ(coalesced.cross, per_message.cross);
+  EXPECT_EQ(coalesced.merged_json, per_message.merged_json);
+  EXPECT_EQ(coalesced.shard_json, per_message.shard_json);
+}
+
+TEST(ShardExchange, LocalOnlyWindowsExchangeNothing) {
+  // Every outbox column stays empty: the barrier must cope with windows
+  // that move no messages at all and still advance virtual time.
+  ShardedOptions opts;
+  opts.shards = 3;
+  opts.lookahead_ms = 10.0;
+  opts.seed = 11;
+  opts.threads = 2;
+  ShardedSimulation ssim(opts);
+  std::size_t fired[3] = {0, 0, 0};
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (int k = 0; k < 10; ++k) {
+      ssim.shard(s).At(5.0 + 10.0 * k, [&fired, s] { ++fired[s]; });
+    }
+  }
+  EXPECT_EQ(ssim.RunUntil(200.0), 30u);
+  EXPECT_EQ(ssim.cross_shard_messages(), 0u);
+  EXPECT_GE(ssim.windows(), 1u);
+  for (std::size_t s = 0; s < 3; ++s) EXPECT_EQ(fired[s], 10u);
+}
+
+TEST(ShardExchange, SingleActivePairDrainsSorted) {
+  // Only one (src, dst) column ever fills; posts arrive time-descending
+  // and must still deliver ascending.
+  ShardedOptions opts;
+  opts.shards = 4;
+  opts.lookahead_ms = 10.0;
+  opts.seed = 12;
+  opts.threads = 2;
+  ShardedSimulation ssim(opts);
+  std::vector<int> order;
+  const auto tag = [&order](int t) {
+    return [&order, t] { order.push_back(t); };
+  };
+  for (int k = 9; k >= 0; --k) {
+    ssim.Post(2, 1, 15.0 + 10.0 * k, tag(k));
+  }
+  EXPECT_EQ(ssim.RunUntil(150.0), 10u);
+  EXPECT_EQ(ssim.cross_shard_messages(), 10u);
+  const std::vector<int> want = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(order, want);
+}
+
+TEST(ShardExchange, AllMessagesInOneWindowDrainInCanonicalOrder) {
+  // Both senders dump everything into the same lockstep window, with a
+  // deliberate cross-source tie at every delivery time: the merge must
+  // order ties by src shard, then per-src send order — one window, one
+  // barrier, 32 messages.
+  ShardedOptions opts;
+  opts.shards = 2;
+  opts.lookahead_ms = 1000.0;
+  opts.seed = 13;
+  opts.threads = 1;
+  ShardedSimulation ssim(opts);
+  std::vector<int> order;
+  const auto tag = [&order](int t) {
+    return [&order, t] { order.push_back(t); };
+  };
+  for (int k = 0; k < 16; ++k) {
+    const int slot = (k * 5) % 16;  // scrambled emission order
+    const double t = 1100.0 + 50.0 * slot;
+    ssim.Post(1, 0, t, tag(1000 + slot));
+    ssim.Post(0, 0, t, tag(slot));  // same time: src 0 must precede src 1
+  }
+  EXPECT_EQ(ssim.RunUntil(2000.0), 32u);
+  ASSERT_EQ(order.size(), 32u);
+  for (int slot = 0; slot < 16; ++slot) {
+    EXPECT_EQ(order[2 * slot], slot);
+    EXPECT_EQ(order[2 * slot + 1], 1000 + slot);
+  }
+}
+
+// ------------------------------------------------- ShardLookaheadMatrix --
+
+TEST(ShardLookaheadMatrix, MatrixRunMatchesFixedRunWithFewerWindows) {
+  // A sound non-uniform matrix (every entry under the 50 ms heartbeat
+  // floor) must reproduce the fixed-lookahead schedule byte for byte while
+  // advancing in fewer, larger windows — the tentpole's whole point.
+  const ShardedRunLog fixed = RunTwoShards(99, /*threads=*/2);
+  const ShardedRunLog matrix =
+      RunTwoShards(99, /*threads=*/2, /*coalesced=*/true, {0.0, 30.0, 15.0, 0.0});
+  EXPECT_EQ(fixed.fired, matrix.fired);
+  EXPECT_EQ(fixed.cross, matrix.cross);
+  EXPECT_EQ(fixed.merged_json, matrix.merged_json);
+  EXPECT_EQ(fixed.shard_json, matrix.shard_json);
+  // >= 1.5x fewer barriers (the bounded-lag recurrence alternates 15/30 ms
+  // advances against the uniform 10 ms).
+  EXPECT_LE(matrix.windows * 3, fixed.windows * 2);
+}
+
+TEST(ShardLookaheadMatrix, UnsoundMatrixEntryIsRejectedPerMessage) {
+  // An overclaimed pair bound (60 ms > the true 50 ms heartbeat delay)
+  // must trip the per-message extraction validation, not deliver late.
+  EXPECT_THROW(
+      RunTwoShards(99, /*threads=*/1, /*coalesced=*/true, {0.0, 60.0, 60.0, 0.0}),
+      util::CheckError);
+}
+
+TEST(ShardLookaheadMatrix, RejectsMalformedMatrices) {
+  ShardedOptions opts;
+  opts.shards = 2;
+  opts.lookahead_ms = 10.0;
+  opts.lookahead_matrix = {0.0, 10.0, 10.0};  // 3 cells for 2 shards
+  EXPECT_THROW(ShardedSimulation{opts}, util::CheckError);
+  opts.lookahead_matrix = {0.0, 10.0, 0.0, 0.0};  // zero off-diagonal
+  EXPECT_THROW(ShardedSimulation{opts}, util::CheckError);
+}
+
+// --------------------------------------------- ShardLookaheadExtraction --
+
+net::TransitStubTopology MultihomedTopo(std::uint64_t seed,
+                                        std::size_t hosts = 120) {
+  net::TransitStubParams p = p2p::testing::SmallTopologyParams(hosts);
+  // Multi-homed stub domains give every domain up to two gateways — the
+  // configuration that makes the extraction's gateway reduction earn its
+  // keep (and the one the 10k+ presets run with).
+  p.stub_multihome_prob = 0.5;
+  util::Rng rng(seed);
+  return net::GenerateTransitStub(p, rng);
+}
+
+TEST(ShardLookaheadExtraction, MatchesBruteForceOnSmallTopology) {
+  const net::TransitStubTopology topo = MultihomedTopo(301);
+  const net::LatencyOracle oracle(topo);
+  net::ShardPlan plan = net::PlanShards(topo, 3);
+  net::ExtractLookahead(topo, oracle, plan);
+  ASSERT_EQ(plan.lookahead_matrix.size(), 9u);
+
+  // The gateway reduction claims exactness: matrix[i][j] == min over
+  // cross-shard host pairs of oracle latency (floored at the structural
+  // bound). Check against the O(hosts^2) brute force.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> brute(9, kInf);
+  for (std::size_t a = 0; a < topo.host_count(); ++a) {
+    for (std::size_t b = 0; b < topo.host_count(); ++b) {
+      const std::uint32_t sa = plan.shard_of_host[a];
+      const std::uint32_t sb = plan.shard_of_host[b];
+      if (sa == sb) continue;
+      double& cell = brute[sa * 3 + sb];
+      cell = std::min(cell, oracle.Latency(a, b));
+    }
+  }
+  double min_off_diag = kInf;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      const double expect = std::max(brute[i * 3 + j], plan.lookahead_ms);
+      EXPECT_NEAR(plan.PairLookaheadMs(i, j), expect, 1e-9)
+          << "pair (" << i << "," << j << ")";
+      min_off_diag = std::min(min_off_diag, plan.PairLookaheadMs(i, j));
+    }
+  }
+  EXPECT_DOUBLE_EQ(plan.extracted_lookahead_ms, min_off_diag);
+  EXPECT_GE(plan.extracted_lookahead_ms, plan.lookahead_ms);
+}
+
+TEST(ShardLookaheadExtraction, SoundForRandomizedMultihomedPresets) {
+  // The property the kernel's per-message CHECK rests on: for every
+  // topology seed and shard count, each matrix entry is a lower bound on
+  // every cross-shard host-pair latency the oracle can produce.
+  for (const std::uint64_t seed : {401ULL, 402ULL, 403ULL}) {
+    const net::TransitStubTopology topo = MultihomedTopo(seed, 90);
+    const net::LatencyOracle oracle(topo);
+    for (const std::size_t shards : {2UL, 4UL}) {
+      net::ShardPlan plan = net::PlanShards(topo, shards);
+      net::ExtractLookahead(topo, oracle, plan);
+      for (std::size_t a = 0; a < topo.host_count(); ++a) {
+        for (std::size_t b = 0; b < topo.host_count(); ++b) {
+          const std::uint32_t sa = plan.shard_of_host[a];
+          const std::uint32_t sb = plan.shard_of_host[b];
+          if (sa == sb) continue;
+          ASSERT_LE(plan.PairLookaheadMs(sa, sb),
+                    oracle.Latency(a, b) + 1e-9)
+              << "seed " << seed << " shards " << shards << " hosts " << a
+              << "->" << b;
+        }
+      }
+      // And it never loosens the structural bound.
+      EXPECT_GE(plan.extracted_lookahead_ms, plan.lookahead_ms);
+    }
+  }
 }
 
 }  // namespace

@@ -30,7 +30,18 @@ hosts. Checks:
      (default 2.5). Critical path = sum over lockstep windows of
      (slowest shard busy + barrier exchange), i.e. projected wall time
      with >= 4 free cores; results are bit-identical at any thread
-     count, so the projection is sound on small hosts.
+     count, so the projection is sound on small hosts. Rows whose
+     recorded "cpus" is below their shard count get a warning — the
+     projection is still sound, but the host never actually overlapped
+     the shards.
+  6. Serial throughput ceiling (PR 10): at the largest sharded sweep,
+     the 1-shard critical_ns_per_event must not exceed
+     --max-ns-per-event (default 160, 0 disables) — the absolute
+     run-phase budget the flat-profile work defends.
+  7. Lookahead extraction (when the JSON carries a "wide_area"
+     section, PR 10): every wide-area run's window_reduction (fixed
+     56 ms windows / measured-matrix windows, same workload) must be
+     at least --min-window-reduction (default 1.5).
 
 p2pnetbench/v1 — bench_net builds the flat and hierarchical latency
 oracles at the topology presets and times an identical host-pair query
@@ -70,6 +81,7 @@ Usage: check_bench_scale.py NEW.json [BASELINE.json]
            [--max-plan-regression 1.1]
            [--max-bytes-per-host 4096] [--min-host-mem-reduction 2.0]
            [--max-setup-seconds 120] [--min-setup-speedup 3.0]
+           [--max-ns-per-event 160] [--min-window-reduction 1.5]
 """
 
 import argparse
@@ -146,6 +158,7 @@ def check_kernel(data, args):
 
     failures += check_memory(data, args)
     failures += check_sharded(data, args)
+    failures += check_wide_area(data, args)
     return failures
 
 
@@ -192,6 +205,18 @@ def check_sharded(data, args):
     for sc in sharded:
         hosts = sc["hosts"]
         runs = {r["shards"]: r for r in sc["runs"]}
+        # A critical-path projection from a host that could not overlap
+        # the shards is still sound (results are bit-identical at any
+        # thread count) but worth flagging: the wall_ns column of that
+        # row was measured mostly sequentially.
+        for shards, row in sorted(runs.items()):
+            row_cpus = row.get("cpus", cpus)
+            if row_cpus is not None and shards > 1 and row_cpus < shards:
+                print(
+                    f"warn  {hosts} hosts: {shards}-shard row measured on "
+                    f"{row_cpus} cpu(s) — critical-path projection only, "
+                    "wall time ran (partly) sequentially"
+                )
         if 4 not in runs:
             print(f"FAIL  {hosts} hosts: no 4-shard run recorded")
             failures += 1
@@ -211,6 +236,50 @@ def check_sharded(data, args):
         )
         if status == "FAIL":
             failures += 1
+
+    # Absolute serial run-phase budget at the largest sweep.
+    if args.max_ns_per_event > 0.0:
+        top = max(sharded, key=lambda sc: sc["hosts"])
+        serial = next(
+            (r for r in top["runs"] if r["shards"] == 1), None
+        )
+        if serial is None:
+            print(f"FAIL  {top['hosts']} hosts: no 1-shard run recorded")
+            failures += 1
+        else:
+            ns = serial["critical_ns_per_event"]
+            status = "ok" if ns <= args.max_ns_per_event else "FAIL"
+            print(
+                f"{status:>4}  {top['hosts']} hosts: serial "
+                f"{ns:.1f} ns/event (ceiling {args.max_ns_per_event:.0f})"
+            )
+            if status == "FAIL":
+                failures += 1
+    return failures
+
+
+def check_wide_area(data, args):
+    wide = data.get("wide_area", [])
+    if not wide:
+        print("  --  no wide_area section (pre-extraction bench JSON)")
+        return 0
+    failures = 0
+    for wa in wide:
+        hosts = wa["hosts"]
+        for run in wa["runs"]:
+            shards = run["shards"]
+            reduction = run["window_reduction"]
+            wf, we = run["windows_fixed"], run["windows_extracted"]
+            status = (
+                "ok" if reduction >= args.min_window_reduction else "FAIL"
+            )
+            print(
+                f"{status:>4}  {hosts} hosts / {shards} shards: lookahead "
+                f"extraction {wf} -> {we} windows, {reduction:.2f}x "
+                f"(floor {args.min_window_reduction:.1f}x)"
+            )
+            if status == "FAIL":
+                failures += 1
     return failures
 
 
@@ -367,6 +436,8 @@ def main() -> int:
     parser.add_argument("--min-host-mem-reduction", type=float, default=2.0)
     parser.add_argument("--max-setup-seconds", type=float, default=120.0)
     parser.add_argument("--min-setup-speedup", type=float, default=3.0)
+    parser.add_argument("--max-ns-per-event", type=float, default=160.0)
+    parser.add_argument("--min-window-reduction", type=float, default=1.5)
     args = parser.parse_args()
 
     schema, data = load(args.bench_json)

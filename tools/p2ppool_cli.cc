@@ -750,9 +750,15 @@ int CmdFullstack(util::FlagParser& flags) {
       "threads", 0, "shard worker threads (0 = min(shards, hardware))"));
   const std::string join_mode = flags.GetString(
       "join", "batch", "DHT bootstrap (batch|per-host; same end state)");
+  const std::string lookahead_mode = flags.GetString(
+      "lookahead", "extracted",
+      "cross-shard windows (extracted = measured per-pair matrix, "
+      "fixed = uniform structural bound)");
   const std::string report_path = ReportPath(flags);
   P2P_CHECK_MSG(join_mode == "batch" || join_mode == "per-host",
                 "unknown --join mode '" << join_mode << "'");
+  P2P_CHECK_MSG(lookahead_mode == "extracted" || lookahead_mode == "fixed",
+                "unknown --lookahead mode '" << lookahead_mode << "'");
 
   const alm::Strategy strategy = alm::ParseStrategy(strategy_name);
   std::unique_ptr<alm::Planner> planner =
@@ -777,27 +783,46 @@ int CmdFullstack(util::FlagParser& flags) {
   // Host -> shard placement along whole stub domains plus the structural
   // lookahead bound; trivial at 1 shard, where the sharded kernel IS the
   // serial kernel (same seed, same event stream).
-  const net::ShardPlan plan = net::PlanShards(topo, shards);
-  sim::ShardedOptions sharded_opts;
-  sharded_opts.shards = shards;
-  sharded_opts.lookahead_ms = plan.lookahead_ms;
-  sharded_opts.seed = seed;
-  sharded_opts.threads = shard_threads;
-  sim::ShardedSimulation ssim(sharded_opts);
-  for (std::size_t s = 0; s < shards; ++s) ssim.shard(s).EnableMetrics();
-  sim::Simulation& sim0 = ssim.shard(0);
+  net::ShardPlan plan = net::PlanShards(topo, shards);
 
   std::printf("building %s oracle over %zu routers ...\n",
               oracle_opts.kind == net::OracleKind::kFlat ? "flat" : "hier",
               topo.router_count());
+  // The oracle must exist before the sharded kernel now that the measured
+  // lookahead matrix feeds ShardedOptions, so its build timers land in a
+  // setup registry merged into shard 0 once the shards exist.
+  obs::MetricsRegistry setup_metrics;
   oracle_opts.pool = &workers;
-  oracle_opts.metrics = &sim0.metrics();
+  oracle_opts.metrics = &setup_metrics;
   const auto b0 = std::chrono::steady_clock::now();
   const net::LatencyOracle oracle(topo, oracle_opts);
   const double build_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - b0)
           .count();
+
+  // Sharpen the structural constant into the measured per-pair matrix
+  // (--lookahead fixed retains the uniform-window baseline for the a/b
+  // differential). Extraction is exact and deterministic — same seed, same
+  // matrix — so same-seed reports still diff clean.
+  double extract_ms = 0.0;
+  if (shards > 1 && lookahead_mode == "extracted") {
+    const auto e0 = std::chrono::steady_clock::now();
+    net::ExtractLookahead(topo, oracle, plan);
+    extract_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - e0)
+                     .count();
+  }
+  sim::ShardedOptions sharded_opts;
+  sharded_opts.shards = shards;
+  sharded_opts.lookahead_ms = plan.lookahead_ms;
+  sharded_opts.lookahead_matrix = plan.lookahead_matrix;
+  sharded_opts.seed = seed;
+  sharded_opts.threads = shard_threads;
+  sim::ShardedSimulation ssim(sharded_opts);
+  for (std::size_t s = 0; s < shards; ++s) ssim.shard(s).EnableMetrics();
+  sim::Simulation& sim0 = ssim.shard(0);
+  sim0.metrics().MergeFrom(setup_metrics);
 
   std::printf("joining %zu hosts into the DHT (%s) ...\n", topo.host_count(),
               join_mode.c_str());
@@ -958,6 +983,10 @@ int CmdFullstack(util::FlagParser& flags) {
   t.AddRow({std::string("shards"), static_cast<long long>(shards)});
   if (shards > 1) {
     t.AddRow({std::string("lookahead (ms)"), plan.lookahead_ms});
+    if (!plan.lookahead_matrix.empty()) {
+      t.AddRow({std::string("extracted lookahead (ms)"),
+                plan.extracted_lookahead_ms});
+    }
     t.AddRow({std::string("lockstep windows"),
               static_cast<long long>(ssim.windows())});
     t.AddRow({std::string("cross-shard messages"),
@@ -1000,6 +1029,7 @@ int CmdFullstack(util::FlagParser& flags) {
   report.AddConfig("horizon_ms", horizon);
   report.AddConfig("shards", static_cast<std::int64_t>(shards));
   report.AddConfig("join", join_mode);
+  report.AddConfig("lookahead", lookahead_mode);
   // Wall-clock build time stays out of the results (same-seed reports must
   // diff clean); it lives in the metrics profile section like every timer.
   // Keys ending in _ms are likewise skipped by tools/compare_reports.py, so
@@ -1014,8 +1044,14 @@ int CmdFullstack(util::FlagParser& flags) {
   report.AddResult("setup_topo_ms", topo_ms);
   report.AddResult("setup_oracle_ms", build_ms);
   report.AddResult("setup_join_ms", join_ms);
+  report.AddResult("setup_extract_ms", extract_ms);
   report.AddResult("mem_bytes_per_host", mem_per_host);
   report.AddResult("protocol_events", static_cast<double>(protocol_events));
+  // Deterministic lookahead facts (the extraction depends only on seed):
+  // the structural window bound, the measured matrix min (0 on --lookahead
+  // fixed or at 1 shard), and the window count they produce.
+  report.AddResult("lookahead_structural_ms", plan.lookahead_ms);
+  report.AddResult("lookahead_extracted_ms", plan.extracted_lookahead_ms);
   report.AddResult("lockstep_windows", static_cast<double>(ssim.windows()));
   report.AddResult("cross_shard_messages",
                    static_cast<double>(ssim.cross_shard_messages()));
@@ -1043,6 +1079,10 @@ int CmdFullstack(util::FlagParser& flags) {
   obs::MetricsRegistry merged;
   if (shards > 1) {
     ssim.MergeMetrics(merged);
+    // Barrier machinery wall times (exchange swap, inbox drain, outbox
+    // pre-sort, window advance) join the non-deterministic profile section
+    // next to the other ScopeTimer histograms.
+    merged.MergeFrom(ssim.kernel_profile());
     report.AttachMetrics(&merged);
   } else {
     report.AttachMetrics(&sim0.metrics());

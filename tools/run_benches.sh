@@ -73,10 +73,14 @@ fi
 # Kernel scale sweep: event-loop ns/event at 1.2k/5k/10k hosts under the
 # timing wheel, the retained heap backend, and a copy of the pre-wheel
 # queue. Gated (warn-only) on the >=3x legacy:wheel speedup at 10k hosts,
-# flat wheel memory, ns/event regression vs the committed baseline, and
+# flat wheel memory, ns/event regression vs the committed baseline,
 # (PR 9) the per-host protocol memory rows: <= 4096 B/host and >= 2x
 # below the pre-SoA layouts at 10k hosts (--max-bytes-per-host /
-# --min-host-mem-reduction).
+# --min-host-mem-reduction), and (PR 10) the run-phase budget — serial
+# critical_ns_per_event <= 160 at the largest sharded sweep
+# (--max-ns-per-event) — plus the wide-area lookahead-extraction rows:
+# >= 1.5x fewer lockstep windows than the fixed 56 ms schedule
+# (--min-window-reduction).
 baseline=""
 if [[ -f "$repo_root/BENCH_kernel.json" ]]; then
   baseline=$(mktemp)
@@ -88,6 +92,7 @@ echo "wrote $repo_root/BENCH_kernel.json"
 if command -v python3 >/dev/null 2>&1; then
   python3 "$repo_root/tools/check_bench_scale.py" \
     "$repo_root/BENCH_kernel.json" ${baseline:+"$baseline"} \
+    --max-ns-per-event 160 --min-window-reduction 1.5 \
     || echo "WARNING: kernel scale sweep below target — inspect BENCH_kernel.json"
 else
   echo "python3 not found; skipping kernel scale check"
